@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Every benchmark uses the virtual-time cost model with the same dataset
+magnification so numbers are comparable across files; see DESIGN.md for
+the substitution rationale (absolute numbers are synthetic, shapes are
+the reproduction target).
+"""
+
+import pytest
+
+#: dataset magnification applied to the cost model in all benchmarks —
+#: models the paper's 10 TB runs with laptop-sized actual data.
+DATA_SCALE = 10_000
+
+
+def make_conf(profile: str):
+    from repro.config import HiveConf
+    factory = {
+        "v3": HiveConf.v3_profile,
+        "container": HiveConf.v3_container_profile,
+        "legacy": HiveConf.legacy_profile,
+    }[profile]
+    conf = factory()
+    conf.cost.data_scale = DATA_SCALE
+    return conf
+
+
+@pytest.fixture(scope="session")
+def data_scale():
+    return DATA_SCALE

@@ -1,0 +1,77 @@
+"""Ablation: compaction (Section 3.2).
+
+Accumulating single-transaction deltas degrades reads (more directories,
+more files, per-row merge work); minor compaction folds deltas together;
+major compaction restores base-only reads.  The benchmark tracks read
+latency and file counts across the lifecycle.
+"""
+
+import pytest
+
+import repro
+from repro.bench.harness import load_rows
+from repro.metastore.compaction import CompactionType
+from conftest import make_conf
+
+DELTAS = 24
+ROWS_PER_DELTA = 400
+QUERY = "SELECT grp, COUNT(*), SUM(val) FROM t GROUP BY grp"
+
+
+@pytest.fixture(scope="module")
+def lifecycle():
+    conf = make_conf("v3")
+    conf.results_cache_enabled = False
+    conf.llap_cache_enabled = False
+    conf.compaction_delta_threshold = 10_000   # manual control
+    server = repro.HiveServer2(conf)
+    session = server.connect()
+    session.conf.results_cache_enabled = False
+    session.conf.llap_cache_enabled = False
+    session.execute("CREATE TABLE t (k INT, grp INT, val DOUBLE) "
+                    "TBLPROPERTIES ('transactional'='true')")
+    for d in range(DELTAS):
+        rows = [(d * ROWS_PER_DELTA + i, i % 20, float(i))
+                for i in range(ROWS_PER_DELTA)]
+        load_rows(server, "t", rows)
+    session.execute("DELETE FROM t WHERE k % 11 = 0")
+
+    stages = {}
+
+    def snapshot(label):
+        table = server.hms.get_table("t")
+        files = len(server.fs.list_files(table.location, recursive=True))
+        result = session.execute(QUERY)
+        stages[label] = (result.metrics.total_s, files,
+                         sorted(result.rows))
+
+    snapshot("uncompacted")
+    server.hms.compaction_queue.enqueue("default.t", None,
+                                        CompactionType.MINOR)
+    server.run_compaction()
+    snapshot("minor")
+    server.hms.compaction_queue.enqueue("default.t", None,
+                                        CompactionType.MAJOR)
+    server.run_compaction()
+    snapshot("major")
+    return stages
+
+
+def test_compaction_lifecycle(benchmark, lifecycle):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("Ablation — compaction lifecycle (Section 3.2)")
+    for label, (seconds, files, _) in lifecycle.items():
+        print(f"  {label:<13}: {seconds:8.3f}s   files={files}")
+    uncompacted, minor, major = (lifecycle["uncompacted"],
+                                 lifecycle["minor"], lifecycle["major"])
+    # results never change
+    assert uncompacted[2] == minor[2] == major[2]
+    # each stage reduces the file count
+    assert minor[1] < uncompacted[1]
+    assert major[1] <= minor[1]
+    # and read latency is monotone non-increasing (within noise)
+    assert minor[0] <= uncompacted[0] * 1.02
+    assert major[0] <= minor[0] * 1.02
+    benchmark.extra_info["files_before"] = uncompacted[1]
+    benchmark.extra_info["files_after"] = major[1]

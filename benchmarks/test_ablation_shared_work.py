@@ -1,0 +1,58 @@
+"""Ablation: shared work optimization (Section 4.5 / q88 callout).
+
+Paper: "New optimization features such as shared work optimizer make a
+big difference on their own; for example, q88 is 2.7x faster when it is
+enabled."  This benchmark runs the q88-shaped query (eight identical
+expensive subexpressions) with the optimizer on and off.
+"""
+
+import pytest
+
+import repro
+from repro.bench import TpcdsScale, create_tpcds_warehouse
+from conftest import make_conf
+
+SCALE = TpcdsScale()
+Q88 = next(q for q in __import__("repro.bench.tpcds",
+                                 fromlist=["TPCDS_QUERIES"]).TPCDS_QUERIES
+           if q.name == "q_shared_scan_88")
+
+
+@pytest.fixture(scope="module")
+def timings():
+    conf_on = make_conf("v3")
+    conf_off = make_conf("v3")
+    conf_off.shared_work_optimization = False
+    session_on = create_tpcds_warehouse(repro.HiveServer2(conf_on), SCALE)
+    session_off = create_tpcds_warehouse(repro.HiveServer2(conf_off),
+                                         SCALE)
+    for session in (session_on, session_off):
+        session.conf.results_cache_enabled = False
+        session.execute(Q88.sql)       # warm caches
+    on = session_on.execute(Q88.sql)
+    off = session_off.execute(Q88.sql)
+    return on, off
+
+
+def test_shared_work_q88(benchmark, timings):
+    on, off = timings
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ratio = off.metrics.total_s / on.metrics.total_s
+    benchmark.extra_info["shared_work_speedup"] = ratio
+    print()
+    print("Ablation — shared work optimizer on q88-shaped query")
+    print(f"  disabled: {off.metrics.total_s:8.2f}s")
+    print(f"  enabled:  {on.metrics.total_s:8.2f}s")
+    print(f"  speedup:  {ratio:8.2f}x   (paper: 2.7x on q88)")
+    assert on.rows == off.rows
+    assert 1.8 <= ratio <= 12.0
+
+
+def test_shared_work_merges_vertices(timings):
+    """With sharing on, the DAG carries each repeated fragment once."""
+    on, off = timings
+    from repro.runtime.tez import build_dag, merge_shared_vertices
+    dag_off = build_dag(off.optimized.root)
+    dag_on = merge_shared_vertices(build_dag(on.optimized.root),
+                                   on.optimized.shared_digests)
+    assert len(dag_on.vertices) < len(dag_off.vertices)

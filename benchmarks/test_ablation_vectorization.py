@@ -1,0 +1,58 @@
+"""Ablation: vectorized execution (Section 5, building on [39]).
+
+The paper credits the columnar format + vectorized operators with
+order-of-magnitude latency reductions before LLAP even enters.  This
+ablation flips only ``vectorized_execution`` on the v3 profile and
+measures a CPU-bound aggregation.
+"""
+
+import pytest
+
+import repro
+from repro.bench import TpcdsScale, create_tpcds_warehouse
+from conftest import make_conf
+
+SCALE = TpcdsScale()
+
+QUERY = """
+    SELECT i_category, d_moy, SUM(ss_ext_sales_price) s,
+           AVG(ss_quantity) q
+    FROM store_sales, item, date_dim
+    WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
+    GROUP BY i_category, d_moy ORDER BY s DESC LIMIT 50
+"""
+
+
+@pytest.fixture(scope="module")
+def timings():
+    out = {}
+    for label, vectorized in (("vectorized", True),
+                              ("row-at-a-time", False)):
+        conf = make_conf("v3")
+        conf.vectorized_execution = vectorized
+        session = create_tpcds_warehouse(repro.HiveServer2(conf), SCALE)
+        session.conf.results_cache_enabled = False
+        session.execute(QUERY)          # warm the LLAP cache
+        out[label] = session.execute(QUERY)
+    return out
+
+
+def test_vectorization_speedup(benchmark, timings):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    fast = timings["vectorized"]
+    slow = timings["row-at-a-time"]
+    assert fast.rows == slow.rows
+    ratio = slow.metrics.total_s / fast.metrics.total_s
+    cpu_ratio = slow.metrics.cpu_s / fast.metrics.cpu_s
+    benchmark.extra_info["vectorization_speedup"] = ratio
+    print()
+    print("Ablation — vectorized execution (Section 5 / [39])")
+    print(f"  row-at-a-time: {slow.metrics.total_s:8.3f}s "
+          f"(cpu {slow.metrics.cpu_s:.3f}s)")
+    print(f"  vectorized:    {fast.metrics.total_s:8.3f}s "
+          f"(cpu {fast.metrics.cpu_s:.3f}s)")
+    print(f"  speedup:       {ratio:8.2f}x overall, {cpu_ratio:.2f}x CPU")
+    # the CPU component shrinks by the configured row/vector cost ratio
+    # (row_cpu_s / vector_cpu_s = 4.0 by default)
+    assert 3.0 <= cpu_ratio <= 5.0
+    assert ratio > 1.3

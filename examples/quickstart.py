@@ -1,0 +1,64 @@
+"""Quickstart: create tables, load data, run analytic SQL.
+
+Run with:  python examples/quickstart.py
+"""
+
+import repro
+
+
+def main() -> None:
+    # one call spins up a single-process warehouse: simulated HDFS, the
+    # metastore, LLAP cache and an HS2 session
+    session = repro.connect()
+
+    print("== DDL ==")
+    session.execute("""
+        CREATE TABLE sales (
+            item_id INT, store STRING, price DOUBLE, quantity INT
+        ) PARTITIONED BY (day INT)""")
+    session.execute("CREATE TABLE items (item_id INT, category STRING)")
+
+    print("== load ==")
+    session.execute("""
+        INSERT INTO items VALUES
+            (1, 'Sports'), (2, 'Books'), (3, 'Music'), (4, 'Sports')""")
+    # the trailing column routes rows to partitions (dynamic partitioning)
+    session.execute("""
+        INSERT INTO sales VALUES
+            (1, 'north', 9.99, 2, 1), (2, 'north', 5.00, 1, 1),
+            (3, 'south', 7.25, 3, 1), (1, 'south', 9.99, 1, 2),
+            (4, 'north', 19.50, 2, 2), (2, 'south', 5.00, 4, 2)""")
+
+    print("== query ==")
+    result = session.execute("""
+        SELECT category, SUM(price * quantity) AS revenue
+        FROM sales, items
+        WHERE sales.item_id = items.item_id
+        GROUP BY category
+        ORDER BY revenue DESC""")
+    for row in result.rows:
+        print(f"  {row[0]:<8} {row[1]:8.2f}")
+    print(f"  [virtual latency: {result.metrics.total_s:.3f}s, "
+          f"{len(result.metrics.vertices)} vertices]")
+
+    print("== the optimizer at work ==")
+    explain = session.execute("""
+        EXPLAIN SELECT store, SUM(price) FROM sales
+        WHERE day = 1 GROUP BY store""")
+    for (line,) in explain.rows:
+        print("  " + line)
+    # note the partition pruning: only day=1 is scanned
+
+    print("== repeated queries hit the results cache ==")
+    again = session.execute("""
+        SELECT category, SUM(price * quantity) AS revenue
+        FROM sales, items
+        WHERE sales.item_id = items.item_id
+        GROUP BY category
+        ORDER BY revenue DESC""")
+    print(f"  from_cache={again.from_cache}, "
+          f"latency={again.metrics.total_s:.3f}s")
+
+
+if __name__ == "__main__":
+    main()

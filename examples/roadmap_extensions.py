@@ -1,0 +1,135 @@
+"""The paper's Section 9 roadmap, implemented: multi-statement
+
+transactions, the Kafka connector, runtime-statistics feedback into the
+optimizer, and the materialized-view advisor.
+
+Run with:  python examples/roadmap_extensions.py
+"""
+
+import repro
+from repro.advisor import MaterializedViewAdvisor
+from repro.federation import KafkaBroker, KafkaStorageHandler
+from repro.metastore.stats import TableStatistics
+
+
+def multi_statement_transactions(server):
+    print("== multi-statement transactions ==")
+    session = server.connect()
+    session.conf.results_cache_enabled = False
+    session.execute("CREATE TABLE ledger (account INT, amount DOUBLE)")
+    session.execute("INSERT INTO ledger VALUES (1, 100.0), (2, 50.0)")
+
+    session.execute("BEGIN")
+    session.execute("UPDATE ledger SET amount = amount - 30 "
+                    "WHERE account = 1")
+    session.execute("UPDATE ledger SET amount = amount + 30 "
+                    "WHERE account = 2")
+    inside = session.execute(
+        "SELECT account, amount FROM ledger ORDER BY account").rows
+    print(f"  inside txn (own writes visible):  {inside}")
+    observer = server.connect()
+    observer.conf.results_cache_enabled = False
+    outside = observer.execute(
+        "SELECT account, amount FROM ledger ORDER BY account").rows
+    print(f"  other session (isolated):         {outside}")
+    session.execute("COMMIT")
+    after = observer.execute(
+        "SELECT account, amount FROM ledger ORDER BY account").rows
+    print(f"  after COMMIT, everyone sees:      {after}")
+
+
+def kafka_connector(server):
+    print("== Kafka connector ==")
+    broker = KafkaBroker()
+    server.register_storage_handler("kafka", KafkaStorageHandler(broker))
+    session = server.connect()
+    session.conf.results_cache_enabled = False
+    session.execute(
+        "CREATE EXTERNAL TABLE clicks (user_id INT, page STRING) "
+        "STORED BY 'kafka' TBLPROPERTIES ('kafka.partitions'='2')")
+    session.execute("INSERT INTO clicks VALUES "
+                    "(1,'/home'), (2,'/buy'), (1,'/buy'), (3,'/home')")
+    # events produced outside Hive are immediately queryable
+    broker.get("clicks").produce((2, "/home"))
+    rows = session.execute(
+        "SELECT page, COUNT(*) FROM clicks GROUP BY page "
+        "ORDER BY page").rows
+    print(f"  counts over the stream:           {rows}")
+    tail = session.execute(
+        "SELECT user_id, page, __offset FROM clicks "
+        "WHERE __offset >= 1 ORDER BY __partition, __offset").rows
+    print(f"  offset-seek (pushed to broker):   {tail}")
+
+
+def runtime_stats_feedback(server):
+    print("== runtime statistics feed the optimizer ==")
+    session = server.connect()
+    session.conf.results_cache_enabled = False
+    session.conf.runtime_stats_feedback = True
+    session.execute("CREATE TABLE f (k INT)")
+    session.execute("CREATE TABLE d (k INT)")
+    session.execute("INSERT INTO f VALUES "
+                    + ", ".join(f"({i % 8})" for i in range(240)))
+    session.execute("INSERT INTO d VALUES "
+                    + ", ".join(f"({i})" for i in range(8)))
+    # catalog statistics lie: 'd' claims a million rows
+    server.hms.set_statistics(server.hms.get_table("d"),
+                              TableStatistics(row_count=1_000_000))
+    from repro.plan.relnodes import Join, walk
+    sql = "SELECT COUNT(*) FROM d, f WHERE d.k = f.k"
+    first = session.execute(sql)
+    join = next(n for n in walk(first.optimized.root)
+                if isinstance(n, Join))
+    print(f"  first plan builds on: "
+          f"{'fact' if 'default.f' in join.right.digest else 'dim'} "
+          "(misled by stale statistics)")
+    second = session.execute(sql)
+    join = next(n for n in walk(second.optimized.root)
+                if isinstance(n, Join))
+    print(f"  second plan builds on: "
+          f"{'fact' if 'default.f' in join.right.digest else 'dim'} "
+          "(observed cardinalities win)")
+
+
+def mv_advisor(server):
+    print("== materialized view advisor ==")
+    session = server.connect()
+    session.conf.results_cache_enabled = False
+    session.execute("CREATE TABLE s (item INT, amt DOUBLE, dsk INT)")
+    session.execute("CREATE TABLE dd (dsk INT, yr INT, mo INT, "
+                    "PRIMARY KEY (dsk) DISABLE NOVALIDATE)")
+    session.execute("INSERT INTO dd VALUES " + ", ".join(
+        f"({d}, {2020 + d // 12}, {d % 12 + 1})" for d in range(24)))
+    session.execute("INSERT INTO s VALUES " + ", ".join(
+        f"({i % 7}, {float(i % 20)}, {i % 24})" for i in range(300)))
+
+    workload = [
+        "SELECT yr, SUM(amt) FROM s, dd WHERE s.dsk = dd.dsk GROUP BY yr",
+        "SELECT mo, SUM(amt) FROM s, dd WHERE s.dsk = dd.dsk "
+        "AND yr = 2020 GROUP BY mo",
+        "SELECT yr, mo, COUNT(*) FROM s, dd WHERE s.dsk = dd.dsk "
+        "GROUP BY yr, mo",
+    ]
+    advisor = MaterializedViewAdvisor(server, min_support=2)
+    for sql in workload:
+        advisor.record(sql)
+    (recommendation,) = advisor.recommend(top_k=1)
+    print(f"  observed {advisor.workload_size} queries; recommending:")
+    print(f"    {recommendation.create_statement}")
+    print(f"    (supports {recommendation.supporting_queries} queries, "
+          f"benefit {recommendation.benefit_score:,.0f})")
+    session.execute(recommendation.create_statement)
+    result = session.execute(workload[0])
+    print(f"  workload query now answered from: {result.views_used}")
+
+
+def main() -> None:
+    server = repro.HiveServer2()
+    multi_statement_transactions(server)
+    kafka_connector(server)
+    runtime_stats_feedback(server)
+    mv_advisor(server)
+
+
+if __name__ == "__main__":
+    main()

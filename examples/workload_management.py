@@ -1,0 +1,67 @@
+"""Workload management: the paper's Section 5.2 resource plan, verbatim.
+
+Creates the ``daytime`` plan with ``bi`` and ``etl`` pools, a downgrade
+trigger, and an application mapping, then shows queries being routed,
+borrowing idle capacity, and getting moved by the trigger.
+
+Run with:  python examples/workload_management.py
+"""
+
+import repro
+
+
+def main() -> None:
+    server = repro.HiveServer2()
+    admin = server.connect()
+
+    print("== the paper's resource plan DDL (Section 5.2) ==")
+    ddl = [
+        "CREATE RESOURCE PLAN daytime",
+        "CREATE POOL daytime.bi WITH alloc_fraction=0.8, "
+        "query_parallelism=5",
+        "CREATE POOL daytime.etl WITH alloc_fraction=0.2, "
+        "query_parallelism=20",
+        "CREATE RULE downgrade IN daytime WHEN total_runtime > 3000 "
+        "THEN MOVE etl",
+        "ADD RULE downgrade TO bi",
+        "CREATE APPLICATION MAPPING visualization_app IN daytime TO bi",
+        "ALTER PLAN daytime SET DEFAULT POOL = etl",
+        "ALTER RESOURCE PLAN daytime ENABLE ACTIVATE",
+    ]
+    for statement in ddl:
+        print(f"  {statement};")
+        admin.execute(statement)
+
+    plan = server.workload_manager.plan
+    print(f"\n  active plan: {plan.name}  pools="
+          f"{[(p.name, p.alloc_fraction, p.query_parallelism) for p in plan.pools.values()]}")
+
+    print("== queries route to pools by application ==")
+    bi_session = server.connect(application="visualization_app")
+    etl_session = server.connect(application="nightly_loader")
+    bi_session.execute("CREATE TABLE metrics (k INT, v DOUBLE)")
+    rows = ", ".join(f"({i}, {i * 0.5})" for i in range(500))
+    bi_session.execute(f"INSERT INTO metrics VALUES {rows}")
+    bi_session.conf.results_cache_enabled = False
+    etl_session.conf.results_cache_enabled = False
+
+    bi_result = bi_session.execute("SELECT COUNT(*) FROM metrics")
+    etl_result = etl_session.execute("SELECT SUM(v) FROM metrics")
+    print(f"  visualization_app query ran in pool: "
+          f"{bi_result.metrics.pool!r}")
+    print(f"  nightly_loader query ran in pool:   "
+          f"{etl_result.metrics.pool!r} (default)")
+
+    print("== a trigger moves long-running queries out of bi ==")
+    # tighten the trigger so our small query overruns it
+    admin.execute("CREATE RULE demote IN daytime WHEN total_runtime > 0 "
+                  "THEN MOVE etl")
+    admin.execute("ADD RULE demote TO bi")
+    moved = bi_session.execute("SELECT k % 10 g, SUM(v) FROM metrics "
+                               "GROUP BY k % 10")
+    print(f"  started in 'bi', moved to: {moved.metrics.moved_to_pool!r}"
+          f" (runtime {moved.metrics.total_s:.2f}s exceeded threshold)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — a pure-Python reproduction of Apache Hive 3.x.
+
+From "Apache Hive: From MapReduce to Enterprise-grade Big Data
+Warehousing" (SIGMOD 2019): a SQL warehouse with ACID snapshot-isolation
+transactions over a base/delta file layout, a Calcite-style multi-stage
+optimizer (join reordering, materialized-view rewriting, shared-work,
+dynamic semijoin reduction), a Tez-style DAG runtime with an LLAP
+cache/executor layer and workload management, plus federation to
+external engines through storage handlers.
+
+Quickstart::
+
+    import repro
+
+    server = repro.HiveServer2()
+    session = server.connect()
+    session.execute("CREATE TABLE t (a INT, b STRING)")
+    session.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+    result = session.execute("SELECT b, COUNT(*) FROM t GROUP BY b")
+    print(result.rows)
+"""
+
+from .config import CostModelConf, HiveConf
+from .errors import (AnalysisError, CatalogError, ExecutionError,
+                     FederationError, HiveError, LockTimeoutError,
+                     ParseError, TransactionError,
+                     UnsupportedFeatureError, WorkloadManagementError,
+                     WriteConflictError)
+from .server import HiveServer2, QueryResult, Session
+
+__version__ = "1.0.0"
+
+
+def connect(conf: HiveConf | None = None, database: str = "default",
+            application: str | None = None) -> Session:
+    """Spin up a fresh single-process warehouse and open a session."""
+    return HiveServer2(conf).connect(database, application)
+
+
+__all__ = [
+    "connect", "HiveServer2", "Session", "QueryResult", "HiveConf",
+    "CostModelConf", "HiveError", "ParseError",
+    "UnsupportedFeatureError", "AnalysisError", "CatalogError",
+    "TransactionError", "WriteConflictError", "LockTimeoutError",
+    "ExecutionError", "FederationError", "WorkloadManagementError",
+    "__version__",
+]

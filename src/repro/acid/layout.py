@@ -1,0 +1,142 @@
+"""ACID directory layout (Section 3.2, Figure 3).
+
+Within each table or partition directory Hive keeps separate *stores*:
+
+* ``base_<W>`` — all valid records up to WriteId ``W`` (created by major
+  compaction or an initial bulk load),
+* ``delta_<Wmin>_<Wmax>`` — inserted records in a WriteId range (a single
+  transaction writes ``delta_W_W``; minor compaction merges ranges),
+* ``delete_delta_<Wmin>_<Wmax>`` — tombstones pointing at the unique
+  (WriteId, FileId/bucket, RowId) of deleted records.
+
+Given the directory listing and a reader's
+:class:`~repro.metastore.txn.ValidWriteIdList`, :func:`select_acid_state`
+decides which directories a snapshot must read and which are obsolete —
+the same directory-level filtering the paper describes for scans.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import HiveError
+from ..metastore.txn import ValidWriteIdList
+
+# the optional trailing component is the statement id: a transaction
+# writing the same table from several statements (multi-statement
+# transactions) gets delta_W_W_0, delta_W_W_1, ... like Hive's stmtId
+_BASE_RE = re.compile(r"^base_(\d+)$")
+_DELTA_RE = re.compile(r"^delta_(\d+)_(\d+)(?:_(\d+))?$")
+_DELETE_DELTA_RE = re.compile(r"^delete_delta_(\d+)_(\d+)(?:_(\d+))?$")
+
+
+@dataclass(frozen=True)
+class BaseDir:
+    write_id: int
+    name: str
+
+
+@dataclass(frozen=True)
+class DeltaDir:
+    min_write_id: int
+    max_write_id: int
+    name: str
+    is_delete: bool = False
+
+    @property
+    def is_compacted(self) -> bool:
+        return self.max_write_id > self.min_write_id
+
+
+@dataclass
+class AcidDirectoryState:
+    """Directories a snapshot reader must visit, plus obsolete ones."""
+
+    base: BaseDir | None = None
+    insert_deltas: list[DeltaDir] = field(default_factory=list)
+    delete_deltas: list[DeltaDir] = field(default_factory=list)
+    obsolete: list[str] = field(default_factory=list)
+
+    def all_read_dirs(self) -> list[str]:
+        dirs = []
+        if self.base is not None:
+            dirs.append(self.base.name)
+        dirs.extend(d.name for d in self.insert_deltas)
+        dirs.extend(d.name for d in self.delete_deltas)
+        return dirs
+
+
+def parse_acid_dirs(names: list[str]) -> tuple[list[BaseDir], list[DeltaDir]]:
+    """Classify child directory names into bases and deltas.
+
+    Unknown names are ignored (e.g. temp dirs); malformed ACID-looking
+    names raise.
+    """
+    bases: list[BaseDir] = []
+    deltas: list[DeltaDir] = []
+    for name in names:
+        m = _BASE_RE.match(name)
+        if m:
+            bases.append(BaseDir(int(m.group(1)), name))
+            continue
+        m = _DELTA_RE.match(name)
+        if m:
+            lo, hi = int(m.group(1)), int(m.group(2))
+            if lo > hi:
+                raise HiveError(f"malformed delta dir {name}")
+            deltas.append(DeltaDir(lo, hi, name, is_delete=False))
+            continue
+        m = _DELETE_DELTA_RE.match(name)
+        if m:
+            lo, hi = int(m.group(1)), int(m.group(2))
+            if lo > hi:
+                raise HiveError(f"malformed delete delta dir {name}")
+            deltas.append(DeltaDir(lo, hi, name, is_delete=True))
+    bases.sort(key=lambda b: b.write_id)
+    deltas.sort(key=lambda d: (d.min_write_id, d.max_write_id, d.is_delete))
+    return bases, deltas
+
+
+def select_acid_state(names: list[str],
+                      valid: ValidWriteIdList) -> AcidDirectoryState:
+    """Choose the directories a snapshot must read.
+
+    * the newest base whose WriteId is at or below the high watermark is
+    the starting point; older bases are obsolete,
+    * delta directories entirely at or below the chosen base are obsolete
+    (their content is already folded in),
+    * remaining deltas are read if their range can contain valid data:
+      a single-WriteId delta is skipped when that WriteId is invalid
+      (open/aborted), and any delta above the high watermark is skipped.
+      Compacted (multi-id) deltas only ever contain committed data, so
+      they are read whenever they are at or below the high watermark —
+      per-row WriteId filtering inside the reader handles the rest.
+    """
+    bases, deltas = parse_acid_dirs(names)
+    state = AcidDirectoryState()
+
+    chosen_base: BaseDir | None = None
+    for base in bases:
+        if base.write_id <= valid.high_watermark:
+            if chosen_base is not None:
+                state.obsolete.append(chosen_base.name)
+            chosen_base = base
+        # a base above the high watermark is from the future: ignore,
+        # but it is not obsolete (a newer snapshot will want it)
+    state.base = chosen_base
+    base_wid = chosen_base.write_id if chosen_base else 0
+
+    for delta in deltas:
+        if delta.max_write_id <= base_wid:
+            state.obsolete.append(delta.name)
+            continue
+        if delta.min_write_id > valid.high_watermark:
+            continue  # future data, not visible and not obsolete
+        if not delta.is_compacted and not valid.is_valid(delta.min_write_id):
+            continue  # single-txn delta from an open/aborted transaction
+        if delta.is_delete:
+            state.delete_deltas.append(delta)
+        else:
+            state.insert_deltas.append(delta)
+    return state

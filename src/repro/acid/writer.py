@@ -1,0 +1,155 @@
+"""ACID writers.
+
+Every record written by a transaction carries the triple that identifies
+it uniquely (Section 3.2): the **WriteId** of the writing transaction, the
+**FileId** (bucket number) and a **RowId** within the file.  Insert
+transactions create ``delta_W_W`` directories; deletes create
+``delete_delta_W_W`` directories whose rows *point at* the unique id of
+the deleted record; updates are split into a delete plus an insert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..common.rows import Column, Schema
+from ..common.types import BIGINT, INT
+from ..errors import HiveError
+from ..formats.orc import OrcWriter
+from ..fs import SimFileSystem
+
+#: meta columns prepended to every row of an ACID data file.
+ACID_META_COLUMNS = (
+    Column("__writeid__", BIGINT, nullable=False),
+    Column("__bucket__", INT, nullable=False),
+    Column("__rowid__", BIGINT, nullable=False),
+)
+
+#: schema of delete-delta files: the deleting WriteId plus the pointed-at
+#: original record id.
+DELETE_SCHEMA = Schema([
+    Column("__writeid__", BIGINT, nullable=False),
+    Column("__orig_writeid__", BIGINT, nullable=False),
+    Column("__bucket__", INT, nullable=False),
+    Column("__rowid__", BIGINT, nullable=False),
+])
+
+BUCKET_FILE = "bucket_00000"
+
+
+@dataclass(frozen=True)
+class RowId:
+    """Unique record identifier within a table (WriteId, FileId, RowId)."""
+
+    write_id: int
+    bucket: int
+    row_id: int
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.write_id, self.bucket, self.row_id)
+
+
+def acid_schema(data_schema: Schema) -> Schema:
+    return Schema(list(ACID_META_COLUMNS) + list(data_schema.columns))
+
+
+class AcidWriter:
+    """Writes ACID delta/base directories and plain (non-ACID) files."""
+
+    def __init__(self, fs: SimFileSystem, row_group_size: int = 4096):
+        self.fs = fs
+        self.row_group_size = row_group_size
+
+    # -- transactional writes ------------------------------------------------ #
+    def write_insert_delta(self, location: str, write_id: int,
+                           schema: Schema, rows: Sequence[tuple],
+                           bloom_columns: Sequence[str] = ()) -> str:
+        """Create ``delta_W_W[_S]/bucket_00000`` with fresh RowIds.
+
+        A multi-statement transaction writing the same table repeatedly
+        gets one directory per statement (Hive's stmtId); the statement
+        id is also stored in the bucket field so the
+        (WriteId, FileId, RowId) triple stays unique.
+        """
+        if write_id < 1:
+            raise HiveError("write_id must be >= 1")
+        directory, statement_id = self._statement_dir(
+            location, f"delta_{write_id}_{write_id}")
+        meta_rows = [(write_id, statement_id, i, *row)
+                     for i, row in enumerate(rows)]
+        return self._write_bucket(directory, acid_schema(schema), meta_rows,
+                                  bloom_columns)
+
+    def write_delete_delta(self, location: str, write_id: int,
+                           row_ids: Sequence[RowId]) -> str:
+        """Create ``delete_delta_W_W[_S]`` with tombstones."""
+        directory, _ = self._statement_dir(
+            location, f"delete_delta_{write_id}_{write_id}")
+        rows = [(write_id, r.write_id, r.bucket, r.row_id)
+                # sorted so the reader's merge stays sequential
+                for r in sorted(row_ids, key=RowId.as_tuple)]
+        return self._write_bucket(directory, DELETE_SCHEMA, rows, ())
+
+    def _statement_dir(self, location: str,
+                       base_name: str) -> tuple[str, int]:
+        """First unused statement suffix for this (location, range)."""
+        directory = f"{location}/{base_name}"
+        statement_id = 0
+        while self.fs.exists(f"{directory}/{BUCKET_FILE}"):
+            statement_id += 1
+            directory = f"{location}/{base_name}_{statement_id}"
+        return directory, statement_id
+
+    # -- compaction products ------------------------------------------------- #
+    def write_merged_delta(self, location: str, min_wid: int, max_wid: int,
+                           schema_with_meta: Schema,
+                           meta_rows: Sequence[tuple],
+                           is_delete: bool = False,
+                           bloom_columns: Sequence[str] = ()) -> str:
+        prefix = "delete_delta" if is_delete else "delta"
+        directory = f"{location}/{prefix}_{min_wid}_{max_wid}"
+        return self._write_bucket(directory, schema_with_meta, meta_rows,
+                                  bloom_columns)
+
+    def write_base(self, location: str, write_id: int,
+                   schema_with_meta: Schema, meta_rows: Sequence[tuple],
+                   bloom_columns: Sequence[str] = ()) -> str:
+        directory = f"{location}/base_{write_id}"
+        return self._write_bucket(directory, schema_with_meta, meta_rows,
+                                  bloom_columns)
+
+    # -- non-transactional writes --------------------------------------------- #
+    def write_plain(self, location: str, schema: Schema,
+                    rows: Sequence[tuple],
+                    bloom_columns: Sequence[str] = (),
+                    file_seq: int = 0,
+                    file_format: str = "orc") -> str:
+        """Write a plain data file for a non-ACID table.
+
+        ``file_format`` selects the SerDe: the ORC-like columnar
+        container (default) or Hive's delimited text format.
+        """
+        path = f"{location}/part-{file_seq:05d}"
+        if file_format == "text":
+            from ..formats.text import TextWriter
+            writer = TextWriter(schema)
+            writer.write_rows(rows)
+            self.fs.create(path, writer.finish())
+            return path
+        writer = OrcWriter(schema, self.row_group_size,
+                           bloom_columns=bloom_columns)
+        writer.write_rows(rows)
+        self.fs.create(path, writer.finish())
+        return path
+
+    # -- internals ------------------------------------------------------------ #
+    def _write_bucket(self, directory: str, schema: Schema,
+                      rows: Sequence[tuple],
+                      bloom_columns: Sequence[str]) -> str:
+        path = f"{directory}/{BUCKET_FILE}"
+        writer = OrcWriter(schema, self.row_group_size,
+                           bloom_columns=bloom_columns)
+        writer.write_rows(rows)
+        self.fs.create(path, writer.finish())
+        return path

@@ -1,0 +1,273 @@
+"""Materialized-view advisor (§9 roadmap: "one of the most requested
+
+features is the implementation of an advisor or recommender", citing
+Agrawal et al. and DB2's Design Advisor).
+
+The advisor watches a workload of SELECT statements, clusters them by
+*join signature* (the set of tables plus the equi-join conditions
+connecting them), and for each frequently recurring signature emits a
+``CREATE MATERIALIZED VIEW`` statement that the rewriting engine
+(Section 4.4) can answer every clustered query from:
+
+* the view's **group keys** are the union of the queries' grouping
+  columns and filter columns (so residual predicates stay expressible
+  over the view output),
+* the view's **aggregates** are the union of the mergeable aggregate
+  calls (sum/count/min/max — the roll-up-safe set),
+* the **benefit score** compares the rows the workload currently scans
+  against the estimated view size (group-key NDV product from HMS
+  statistics).
+
+Usage::
+
+    advisor = MaterializedViewAdvisor(server)
+    for sql in workload:
+        advisor.record(sql)
+    for rec in advisor.recommend(top_k=2):
+        session.execute(rec.create_statement)
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .errors import HiveError
+from .sql import ast_nodes as ast
+from .sql.functions import AGGREGATE_FUNCTIONS
+from .sql.parser import parse_statement
+
+_MERGEABLE = {"sum", "count", "min", "max"}
+
+
+@dataclass
+class _QueryProfile:
+    tables: frozenset[str]
+    join_conditions: frozenset[str]
+    group_exprs: tuple[str, ...]
+    filter_columns: tuple[str, ...]
+    aggregates: tuple[tuple[str, Optional[str]], ...]   # (func, arg text)
+
+
+@dataclass
+class ViewRecommendation:
+    """One proposed materialized view."""
+
+    name: str
+    create_statement: str
+    tables: tuple[str, ...]
+    supporting_queries: int
+    #: rows the workload scans per execution without the view
+    scanned_rows_per_query: float
+    #: estimated materialized view cardinality
+    estimated_view_rows: float
+    benefit_score: float
+
+    def __repr__(self) -> str:
+        return (f"ViewRecommendation({self.name}: "
+                f"{self.supporting_queries} queries, "
+                f"benefit={self.benefit_score:,.0f})")
+
+
+class MaterializedViewAdvisor:
+    """Collects a workload and proposes views."""
+
+    def __init__(self, server, min_support: int = 2):
+        self.server = server
+        self.min_support = min_support
+        self._profiles: list[_QueryProfile] = []
+        self._skipped = 0
+
+    # -- workload capture ---------------------------------------------------- #
+    def record(self, sql: str) -> bool:
+        """Profile one statement; returns False if it is out of scope
+
+        (non-SELECT, subqueries, outer joins, ...)."""
+        try:
+            statement = parse_statement(sql, self.server.conf)
+        except HiveError:
+            self._skipped += 1
+            return False
+        if not isinstance(statement, ast.SelectStatement):
+            self._skipped += 1
+            return False
+        profile = self._profile(statement.query)
+        if profile is None:
+            self._skipped += 1
+            return False
+        self._profiles.append(profile)
+        return True
+
+    def _profile(self, query: ast.Query) -> Optional[_QueryProfile]:
+        if query.ctes or not isinstance(query.body, ast.QuerySpec):
+            return None
+        spec = query.body
+        tables: list[str] = []
+        join_conditions: list[str] = []
+        for ref in spec.from_refs:
+            flat = self._flatten_ref(ref, tables, join_conditions)
+            if not flat:
+                return None
+        if not tables or len(set(tables)) != len(tables):
+            return None
+        filter_columns: list[str] = []
+        if spec.where is not None:
+            for conjunct in _split_and(spec.where):
+                if self._is_equi_join(conjunct):
+                    join_conditions.append(conjunct.unparse().lower())
+                else:
+                    for node in ast.walk_expr(conjunct):
+                        if isinstance(node, ast.ColumnRef):
+                            filter_columns.append(node.name.lower())
+        aggregates: list[tuple[str, Optional[str]]] = []
+        for item in spec.select_items:
+            if isinstance(item.expr, ast.Star):
+                return None
+            for node in ast.walk_expr(item.expr):
+                if isinstance(node, ast.FuncCall) and node.window is None \
+                        and node.name in AGGREGATE_FUNCTIONS:
+                    if node.name not in _MERGEABLE or node.distinct:
+                        return None
+                    arg = (node.args[0].unparse().lower()
+                           if node.args else None)
+                    aggregates.append((node.name, arg))
+        group_exprs = tuple(e.unparse().lower() for e in spec.group_by)
+        if spec.grouping_sets is not None:
+            return None
+        return _QueryProfile(
+            tables=frozenset(t.lower() for t in tables),
+            join_conditions=frozenset(join_conditions),
+            group_exprs=group_exprs,
+            filter_columns=tuple(sorted(set(filter_columns))),
+            aggregates=tuple(sorted(set(aggregates),
+                                    key=lambda a: (a[0], a[1] or ""))))
+
+    def _flatten_ref(self, ref: ast.TableRef, tables: list,
+                     join_conditions: list) -> bool:
+        if isinstance(ref, ast.NamedTable):
+            if ref.alias is not None and ref.alias.lower() != \
+                    ref.name.split(".")[-1].lower():
+                return False   # aliases would break textual signatures
+            tables.append(ref.name)
+            return True
+        if isinstance(ref, ast.JoinRef) and ref.kind == "inner":
+            if not self._flatten_ref(ref.left, tables, join_conditions):
+                return False
+            if not self._flatten_ref(ref.right, tables, join_conditions):
+                return False
+            if ref.condition is not None:
+                for conjunct in _split_and(ref.condition):
+                    if not self._is_equi_join(conjunct):
+                        return False
+                    join_conditions.append(conjunct.unparse().lower())
+            return True
+        return False
+
+    @staticmethod
+    def _is_equi_join(conjunct: ast.Expr) -> bool:
+        return (isinstance(conjunct, ast.BinaryOp)
+                and conjunct.op == "="
+                and isinstance(conjunct.left, ast.ColumnRef)
+                and isinstance(conjunct.right, ast.ColumnRef))
+
+    # -- recommendation ---------------------------------------------------------- #
+    def recommend(self, top_k: int = 3) -> list[ViewRecommendation]:
+        """Cluster the workload and emit the highest-benefit views."""
+        clusters: dict[tuple, list[_QueryProfile]] = defaultdict(list)
+        for profile in self._profiles:
+            clusters[(profile.tables,
+                      profile.join_conditions)].append(profile)
+        recommendations: list[ViewRecommendation] = []
+        sequence = 0
+        for (tables, joins), profiles in clusters.items():
+            if len(profiles) < self.min_support:
+                continue
+            keys: list[str] = []
+            for profile in profiles:
+                for expr in profile.group_exprs:
+                    if expr not in keys:
+                        keys.append(expr)
+                for column in profile.filter_columns:
+                    if column not in keys:
+                        keys.append(column)
+            aggregates: list[tuple[str, Optional[str]]] = []
+            for profile in profiles:
+                for call in profile.aggregates:
+                    if call not in aggregates:
+                        aggregates.append(call)
+            if not aggregates and not keys:
+                continue
+            sequence += 1
+            name = f"mv_advisor_{sequence}"
+            sql = self._render(name, tables, joins, keys, aggregates)
+            scanned = self._scanned_rows(tables)
+            view_rows = self._estimate_view_rows(tables, keys)
+            benefit = (len(profiles)
+                       * max(0.0, scanned - view_rows))
+            recommendations.append(ViewRecommendation(
+                name=name, create_statement=sql,
+                tables=tuple(sorted(tables)),
+                supporting_queries=len(profiles),
+                scanned_rows_per_query=scanned,
+                estimated_view_rows=view_rows,
+                benefit_score=benefit))
+        recommendations.sort(key=lambda r: -r.benefit_score)
+        return recommendations[:top_k]
+
+    def _render(self, name: str, tables: frozenset[str],
+                joins: frozenset[str], keys: list[str],
+                aggregates: list[tuple[str, Optional[str]]]) -> str:
+        select_parts = list(keys)
+        for i, (func, arg) in enumerate(aggregates):
+            rendered_arg = "*" if arg is None else arg
+            select_parts.append(
+                f"{func.upper()}({rendered_arg}) AS agg_{i}")
+        from_clause = ", ".join(sorted(tables))
+        where_clause = (" WHERE " + " AND ".join(sorted(joins))
+                        if joins else "")
+        group_clause = (" GROUP BY " + ", ".join(keys)
+                        if keys and aggregates else "")
+        return (f"CREATE MATERIALIZED VIEW {name} AS SELECT "
+                f"{', '.join(select_parts)} FROM {from_clause}"
+                f"{where_clause}{group_clause}")
+
+    def _scanned_rows(self, tables: frozenset[str]) -> float:
+        total = 0.0
+        for name in tables:
+            try:
+                table = self.server.hms.get_table(name)
+            except HiveError:
+                continue
+            total += self.server.hms.get_statistics(table).row_count
+        return total
+
+    def _estimate_view_rows(self, tables: frozenset[str],
+                            keys: list[str]) -> float:
+        """NDV product of the key columns, capped by the fact size."""
+        if not keys:
+            return 1.0
+        product = 1.0
+        largest = 1.0
+        for name in tables:
+            try:
+                table = self.server.hms.get_table(name)
+            except HiveError:
+                continue
+            stats = self.server.hms.get_statistics(table)
+            largest = max(largest, float(stats.row_count))
+            for key in keys:
+                column = stats.column(key)
+                if column is not None:
+                    product *= max(1.0, column.ndv)
+        return min(product, largest)
+
+    @property
+    def workload_size(self) -> int:
+        return len(self._profiles)
+
+
+def _split_and(expr: ast.Expr) -> list[ast.Expr]:
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return _split_and(expr.left) + _split_and(expr.right)
+    return [expr]

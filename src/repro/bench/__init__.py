@@ -1,0 +1,9 @@
+"""Benchmark substrate: TPC-DS-like and SSB generators, harness."""
+
+from .harness import BenchmarkRun, load_rows, run_query_set
+from .tpcds import TPCDS_QUERIES, TpcdsScale, create_tpcds_warehouse
+from .ssb import SSB_QUERIES, SsbScale, create_ssb_warehouse
+
+__all__ = ["BenchmarkRun", "load_rows", "run_query_set",
+           "TPCDS_QUERIES", "TpcdsScale", "create_tpcds_warehouse",
+           "SSB_QUERIES", "SsbScale", "create_ssb_warehouse"]

@@ -1,0 +1,188 @@
+"""Benchmark harness: bulk loading, query-set runs, report rendering.
+
+Used by the ``benchmarks/`` suite to regenerate every table and figure of
+the paper's Section 7.  Latencies are the runtime's *virtual* seconds
+(see DESIGN.md on the cost-model substitution); "warm cache" repetitions
+follow the paper ("the average over three runs with warm cache").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..errors import HiveError
+from ..server import HiveServer2, Session
+from .tpcds import BenchQuery
+
+
+def load_rows(server: HiveServer2, table_name: str,
+              rows: Sequence[tuple]) -> int:
+    """Bulk-load rows through the transactional write path."""
+    from ..server.dml import TableWriter
+    table = server.hms.get_table(table_name)
+    writer = TableWriter(server.hms, server.conf)
+    result = writer.insert_rows(table, rows)
+    server.run_compaction()
+    return result.rows_affected
+
+
+@dataclass
+class QueryTiming:
+    name: str
+    seconds: Optional[float]        # None = query failed / unsupported
+    rows: int = 0
+    error: str = ""
+    from_cache: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        return self.seconds is not None
+
+
+@dataclass
+class BenchmarkRun:
+    """Timings for one (profile, query set) execution."""
+
+    label: str
+    timings: list[QueryTiming] = field(default_factory=list)
+
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.timings if t.succeeded)
+
+    def succeeded_count(self) -> int:
+        return sum(1 for t in self.timings if t.succeeded)
+
+    def timing(self, name: str) -> QueryTiming:
+        for t in self.timings:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+
+def run_query_set(session: Session,
+                  queries: Sequence[BenchQuery | tuple[str, str]],
+                  label: str, warm_runs: int = 1,
+                  use_cache: bool = False) -> BenchmarkRun:
+    """Run every query ``1 + warm_runs`` times, keeping the last timing.
+
+    The first execution warms the LLAP cache (the paper reports warm-
+    cache numbers); result-cache hits are excluded unless ``use_cache``
+    (otherwise every repetition would be a trivial cache fetch).
+    """
+    run = BenchmarkRun(label=label)
+    for query in queries:
+        if isinstance(query, BenchQuery):
+            name, sql = query.name, query.sql
+        else:
+            name, sql = query
+        if not use_cache:
+            session.conf.results_cache_enabled = False
+        try:
+            result = None
+            for _ in range(1 + warm_runs):
+                result = session.execute(sql)
+            run.timings.append(QueryTiming(
+                name, result.metrics.total_s if result.metrics else 0.0,
+                rows=len(result.rows), from_cache=result.from_cache))
+        except HiveError as error:
+            run.timings.append(QueryTiming(name, None,
+                                           error=type(error).__name__))
+    return run
+
+
+# --------------------------------------------------------------------------- #
+# report rendering (the rows/series the paper's artifacts show)
+
+def render_comparison(runs: Sequence[BenchmarkRun],
+                      title: str) -> str:
+    """Per-query response-time table across runs (Figure 7 / 8 style)."""
+    names: list[str] = []
+    for run in runs:
+        for timing in run.timings:
+            if timing.name not in names:
+                names.append(timing.name)
+    width = max(len(n) for n in names) + 2
+    header = "query".ljust(width) + "".join(
+        run.label.rjust(16) for run in runs) + "   speedup".rjust(10)
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for name in names:
+        cells = []
+        values = []
+        for run in runs:
+            try:
+                timing = run.timing(name)
+            except KeyError:
+                timing = QueryTiming(name, None, error="missing")
+            if timing.succeeded:
+                cells.append(f"{timing.seconds:14.3f}s")
+                values.append(timing.seconds)
+            else:
+                cells.append(f"{'FAIL(' + timing.error + ')':>15}")
+                values.append(None)
+        if len(values) >= 2 and values[0] and values[-1]:
+            speedup = f"{values[0] / values[-1]:8.1f}x"
+        else:
+            speedup = "      --"
+        lines.append(name.ljust(width) + "".join(cells) + speedup)
+    lines.append("-" * len(header))
+    totals = "TOTAL".ljust(width) + "".join(
+        f"{run.total_seconds():14.3f}s" for run in runs)
+    if len(runs) >= 2 and runs[-1].total_seconds() > 0:
+        totals += (f"{runs[0].total_seconds() / runs[-1].total_seconds():8.1f}x")
+    lines.append(totals)
+    counts = "queries ok".ljust(width) + "".join(
+        f"{run.succeeded_count():15d}" for run in runs)
+    lines.append(counts)
+    return "\n".join(lines)
+
+
+def geometric_mean_speedup(baseline: BenchmarkRun,
+                           improved: BenchmarkRun) -> float:
+    """Geo-mean of per-query speedups over commonly-succeeding queries."""
+    import math
+    ratios = []
+    for timing in baseline.timings:
+        if not timing.succeeded:
+            continue
+        try:
+            other = improved.timing(timing.name)
+        except KeyError:
+            continue
+        if other.succeeded and other.seconds > 0:
+            ratios.append(timing.seconds / other.seconds)
+    if not ratios:
+        return 1.0
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def average_speedup(baseline: BenchmarkRun,
+                    improved: BenchmarkRun) -> float:
+    ratios = []
+    for timing in baseline.timings:
+        if not timing.succeeded:
+            continue
+        try:
+            other = improved.timing(timing.name)
+        except KeyError:
+            continue
+        if other.succeeded and other.seconds > 0:
+            ratios.append(timing.seconds / other.seconds)
+    return sum(ratios) / len(ratios) if ratios else 1.0
+
+
+def max_speedup(baseline: BenchmarkRun,
+                improved: BenchmarkRun) -> tuple[str, float]:
+    best = ("", 0.0)
+    for timing in baseline.timings:
+        if not timing.succeeded:
+            continue
+        try:
+            other = improved.timing(timing.name)
+        except KeyError:
+            continue
+        if other.succeeded and other.seconds > 0:
+            ratio = timing.seconds / other.seconds
+            if ratio > best[1]:
+                best = (timing.name, ratio)
+    return best

@@ -1,0 +1,271 @@
+"""Star-Schema Benchmark (Section 7.3 / Figure 8).
+
+SSB (O'Neil et al., TPCTC 2009) derives from TPC-H: one ``lineorder``
+fact table, four dimensions (date, customer, supplier, part) and 13
+queries in four flights that "join, aggregate, and place fairly tight
+dimensional filters over different sets of tables".
+
+The paper's experiment denormalizes the whole schema into one
+materialized view, stores it natively and then in Druid, and lets the
+rewriting engine answer all 13 queries from the view.  This module
+provides the generator, the 13 queries, and the denormalization DDL.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..server import HiveServer2, Session
+
+REGIONS = ["AMERICA", "ASIA", "EUROPE", "AFRICA", "MIDDLE EAST"]
+NATIONS = {
+    "AMERICA": ["UNITED STATES", "CANADA", "BRAZIL", "ARGENTINA", "PERU"],
+    "ASIA": ["CHINA", "JAPAN", "INDIA", "INDONESIA", "VIETNAM"],
+    "EUROPE": ["FRANCE", "GERMANY", "RUSSIA", "ROMANIA", "UNITED KINGDOM"],
+    "AFRICA": ["ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"],
+    "MIDDLE EAST": ["EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"],
+}
+MFGRS = [f"MFGR#{i}" for i in range(1, 6)]
+
+
+@dataclass
+class SsbScale:
+    years: int = 4                # 1992..1995-ish window
+    customers: int = 300
+    suppliers: int = 100
+    parts: int = 250
+    lineorders: int = 15_000
+    seed: int = 11
+
+    @classmethod
+    def tiny(cls) -> "SsbScale":
+        return cls(years=2, customers=50, suppliers=20, parts=40,
+                   lineorders=1_200)
+
+
+SSB_DDL = [
+    """CREATE TABLE ssb_date (
+         d_datekey INT, d_date DATE, d_year INT, d_yearmonthnum INT,
+         d_yearmonth STRING, d_weeknuminyear INT,
+         PRIMARY KEY (d_datekey) DISABLE NOVALIDATE)""",
+    """CREATE TABLE ssb_customer (
+         c_custkey INT, c_city STRING, c_nation STRING, c_region STRING,
+         PRIMARY KEY (c_custkey) DISABLE NOVALIDATE)""",
+    """CREATE TABLE ssb_supplier (
+         s_suppkey INT, s_city STRING, s_nation STRING, s_region STRING,
+         PRIMARY KEY (s_suppkey) DISABLE NOVALIDATE)""",
+    """CREATE TABLE ssb_part (
+         p_partkey INT, p_mfgr STRING, p_category STRING,
+         p_brand1 STRING,
+         PRIMARY KEY (p_partkey) DISABLE NOVALIDATE)""",
+    """CREATE TABLE lineorder (
+         lo_orderkey INT, lo_custkey INT, lo_partkey INT,
+         lo_suppkey INT, lo_orderdate INT, lo_quantity INT,
+         lo_extendedprice DOUBLE, lo_discount DOUBLE,
+         lo_revenue DOUBLE, lo_supplycost DOUBLE,
+         FOREIGN KEY (lo_orderdate) REFERENCES ssb_date (d_datekey)
+             DISABLE,
+         FOREIGN KEY (lo_custkey) REFERENCES ssb_customer (c_custkey)
+             DISABLE,
+         FOREIGN KEY (lo_suppkey) REFERENCES ssb_supplier (s_suppkey)
+             DISABLE,
+         FOREIGN KEY (lo_partkey) REFERENCES ssb_part (p_partkey)
+             DISABLE)""",
+]
+
+#: the denormalized materialized view of the paper's Figure 8 experiment:
+#: every dimension attribute the 13 queries filter or group on, the fact
+#: measures, and the derived discount revenue used by flight 1.
+SSB_FLAT_MV_SELECT = """
+    SELECT d_date, d_year, d_yearmonthnum, d_yearmonth, d_weeknuminyear,
+           c_city, c_nation, c_region,
+           s_city, s_nation, s_region,
+           p_mfgr, p_category, p_brand1,
+           lo_quantity, lo_discount, lo_revenue, lo_supplycost,
+           lo_extendedprice * lo_discount AS lo_discount_revenue,
+           lo_revenue - lo_supplycost AS lo_profit
+    FROM lineorder, ssb_date, ssb_customer, ssb_supplier, ssb_part
+    WHERE lo_orderdate = d_datekey AND lo_custkey = c_custkey
+      AND lo_suppkey = s_suppkey AND lo_partkey = p_partkey
+"""
+
+
+def generate_ssb_data(scale: SsbScale) -> dict[str, list[tuple]]:
+    rng = random.Random(scale.seed)
+    data: dict[str, list[tuple]] = {}
+
+    dates = []
+    base = datetime.date(1992, 1, 1)
+    day_count = scale.years * 365
+    for i in range(0, day_count, 1):
+        day = base + datetime.timedelta(days=i)
+        datekey = day.year * 10000 + day.month * 100 + day.day
+        dates.append((datekey, day, day.year,
+                      day.year * 100 + day.month,
+                      day.strftime("%b%Y"), day.isocalendar()[1]))
+    data["ssb_date"] = dates
+
+    def geo():
+        region = rng.choice(REGIONS)
+        nation = rng.choice(NATIONS[region])
+        city = f"{nation[:9]}{rng.randint(0, 9)}"
+        return city, nation, region
+
+    data["ssb_customer"] = []
+    for key in range(scale.customers):
+        city, nation, region = geo()
+        data["ssb_customer"].append((key, city, nation, region))
+    data["ssb_supplier"] = []
+    for key in range(scale.suppliers):
+        city, nation, region = geo()
+        data["ssb_supplier"].append((key, city, nation, region))
+
+    data["ssb_part"] = []
+    for key in range(scale.parts):
+        mfgr = rng.choice(MFGRS)
+        category = f"{mfgr}{rng.randint(1, 5)}"
+        brand = f"{category}{rng.randint(1, 8)}"
+        data["ssb_part"].append((key, mfgr, category, brand))
+
+    lineorders = []
+    for order in range(scale.lineorders):
+        datekey = dates[rng.randint(0, len(dates) - 1)][0]
+        quantity = rng.randint(1, 50)
+        price = round(rng.uniform(100.0, 10000.0), 2)
+        discount = float(rng.randint(0, 10))
+        revenue = round(price * (1 - discount / 100.0), 2)
+        lineorders.append((
+            order, rng.randint(0, scale.customers - 1),
+            rng.randint(0, scale.parts - 1),
+            rng.randint(0, scale.suppliers - 1),
+            datekey, quantity, price, discount, revenue,
+            round(price * 0.6, 2)))
+    data["lineorder"] = lineorders
+    return data
+
+
+def create_ssb_warehouse(server: HiveServer2,
+                         scale: Optional[SsbScale] = None,
+                         session: Optional[Session] = None) -> Session:
+    from .harness import load_rows
+    scale = scale or SsbScale()
+    session = session or server.connect()
+    for ddl in SSB_DDL:
+        session.execute(ddl)
+    data = generate_ssb_data(scale)
+    for table_name, rows in data.items():
+        load_rows(server, table_name, rows)
+    return session
+
+
+# --------------------------------------------------------------------------- #
+# the 13 SSB queries (flights 1-4)
+
+SSB_QUERIES: list[tuple[str, str]] = [
+    ("q1.1", """
+        SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+        FROM lineorder, ssb_date
+        WHERE lo_orderdate = d_datekey AND d_year = 1993
+          AND lo_discount >= 1 AND lo_discount <= 3
+          AND lo_quantity < 25"""),
+    ("q1.2", """
+        SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+        FROM lineorder, ssb_date
+        WHERE lo_orderdate = d_datekey AND d_yearmonthnum = 199401
+          AND lo_discount >= 4 AND lo_discount <= 6
+          AND lo_quantity >= 26 AND lo_quantity <= 35"""),
+    ("q1.3", """
+        SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+        FROM lineorder, ssb_date
+        WHERE lo_orderdate = d_datekey AND d_weeknuminyear = 6
+          AND d_year = 1994 AND lo_discount >= 5 AND lo_discount <= 7
+          AND lo_quantity >= 26 AND lo_quantity <= 35"""),
+    ("q2.1", """
+        SELECT SUM(lo_revenue) revenue, d_year, p_brand1
+        FROM lineorder, ssb_date, ssb_part, ssb_supplier
+        WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey
+          AND lo_suppkey = s_suppkey AND p_category = 'MFGR#12'
+          AND s_region = 'AMERICA'
+        GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1"""),
+    ("q2.2", """
+        SELECT SUM(lo_revenue) revenue, d_year, p_brand1
+        FROM lineorder, ssb_date, ssb_part, ssb_supplier
+        WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey
+          AND lo_suppkey = s_suppkey
+          AND p_brand1 IN ('MFGR#121', 'MFGR#122', 'MFGR#123')
+          AND s_region = 'ASIA'
+        GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1"""),
+    ("q2.3", """
+        SELECT SUM(lo_revenue) revenue, d_year, p_brand1
+        FROM lineorder, ssb_date, ssb_part, ssb_supplier
+        WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey
+          AND lo_suppkey = s_suppkey AND p_brand1 = 'MFGR#224'
+          AND s_region = 'EUROPE'
+        GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1"""),
+    ("q3.1", """
+        SELECT c_nation, s_nation, d_year, SUM(lo_revenue) revenue
+        FROM lineorder, ssb_customer, ssb_supplier, ssb_date
+        WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+          AND lo_orderdate = d_datekey AND c_region = 'ASIA'
+          AND s_region = 'ASIA' AND d_year >= 1992 AND d_year <= 1997
+        GROUP BY c_nation, s_nation, d_year
+        ORDER BY d_year, revenue DESC"""),
+    ("q3.2", """
+        SELECT c_city, s_city, d_year, SUM(lo_revenue) revenue
+        FROM lineorder, ssb_customer, ssb_supplier, ssb_date
+        WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+          AND lo_orderdate = d_datekey
+          AND c_nation = 'UNITED STATES' AND s_nation = 'UNITED STATES'
+          AND d_year >= 1992 AND d_year <= 1997
+        GROUP BY c_city, s_city, d_year
+        ORDER BY d_year, revenue DESC"""),
+    ("q3.3", """
+        SELECT c_city, s_city, d_year, SUM(lo_revenue) revenue
+        FROM lineorder, ssb_customer, ssb_supplier, ssb_date
+        WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+          AND lo_orderdate = d_datekey
+          AND c_nation = 'CHINA' AND s_nation = 'CHINA'
+          AND d_year >= 1992 AND d_year <= 1997
+        GROUP BY c_city, s_city, d_year
+        ORDER BY d_year, revenue DESC"""),
+    ("q3.4", """
+        SELECT c_city, s_city, d_year, SUM(lo_revenue) revenue
+        FROM lineorder, ssb_customer, ssb_supplier, ssb_date
+        WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+          AND lo_orderdate = d_datekey
+          AND c_nation = 'JAPAN' AND s_nation = 'JAPAN'
+          AND d_yearmonth = 'Mar1994'
+        GROUP BY c_city, s_city, d_year
+        ORDER BY d_year, revenue DESC"""),
+    ("q4.1", """
+        SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) profit
+        FROM lineorder, ssb_date, ssb_customer, ssb_supplier, ssb_part
+        WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+          AND lo_partkey = p_partkey AND lo_orderdate = d_datekey
+          AND c_region = 'AMERICA' AND s_region = 'AMERICA'
+          AND p_mfgr IN ('MFGR#1', 'MFGR#2')
+        GROUP BY d_year, c_nation ORDER BY d_year, c_nation"""),
+    ("q4.2", """
+        SELECT d_year, s_nation, p_category,
+               SUM(lo_revenue - lo_supplycost) profit
+        FROM lineorder, ssb_date, ssb_customer, ssb_supplier, ssb_part
+        WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+          AND lo_partkey = p_partkey AND lo_orderdate = d_datekey
+          AND c_region = 'AMERICA' AND s_region = 'AMERICA'
+          AND d_year >= 1994 AND p_mfgr IN ('MFGR#1', 'MFGR#2')
+        GROUP BY d_year, s_nation, p_category
+        ORDER BY d_year, s_nation, p_category"""),
+    ("q4.3", """
+        SELECT d_year, s_city, p_brand1,
+               SUM(lo_revenue - lo_supplycost) profit
+        FROM lineorder, ssb_date, ssb_customer, ssb_supplier, ssb_part
+        WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+          AND lo_partkey = p_partkey AND lo_orderdate = d_datekey
+          AND s_nation = 'UNITED STATES' AND d_year >= 1994
+          AND p_category = 'MFGR#14'
+        GROUP BY d_year, s_city, p_brand1
+        ORDER BY d_year, s_city, p_brand1"""),
+]

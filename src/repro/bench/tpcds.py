@@ -1,0 +1,444 @@
+"""TPC-DS-like star-schema workload (Section 7.1 / Figure 7, Table 1).
+
+The paper runs the 99 official TPC-DS queries on 10 TB; this module
+generates the same *kind* of database — a ``store_sales`` fact table
+partitioned by day, a ``store_returns`` fact, and the date/item/customer/
+store/time/household dimensions — at laptop scale, plus a query set that
+covers the SQL feature classes the paper calls out:
+
+* half of the queries use features Hive v1.2 lacked (INTERSECT/EXCEPT,
+  interval notation, ORDER BY on unselected columns, GROUPING
+  SETS/ROLLUP, correlated subqueries with non-equi conditions), so the
+  legacy profile can run only a subset — the Figure 7 effect,
+* ``q_shared_scan_88`` repeats one expensive subexpression eight times
+  (the paper's q88 callout for the shared-work optimizer),
+* ``q_badorder_58`` is written in a deliberately bad syntactic join
+  order, which only the cost-based reorderer fixes (q58's 45x),
+* several star joins with selective dimension filters exercise dynamic
+  semijoin reduction and partition pruning.
+
+Every query is annotated with the feature class it represents.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..server import HiveServer2, Session
+
+_BASE_DATE = datetime.date(2018, 1, 1)
+
+CATEGORIES = ["Sports", "Books", "Music", "Home", "Electronics",
+              "Jewelry", "Shoes", "Toys"]
+BRANDS = [f"brand_{i}" for i in range(25)]
+STATES = ["CA", "NY", "TX", "WA", "IL", "GA", "OH", "FL"]
+COUNTRIES = ["US", "DE", "FR", "JP", "BR", "IN"]
+
+
+@dataclass
+class TpcdsScale:
+    """Row counts for the generated database."""
+
+    days: int = 60
+    items: int = 300
+    customers: int = 1000
+    stores: int = 12
+    households: int = 50
+    time_slots: int = 48          # half-hour buckets
+    store_sales: int = 20_000
+    store_returns: int = 2_000
+    seed: int = 7
+
+    @classmethod
+    def tiny(cls) -> "TpcdsScale":
+        return cls(days=12, items=40, customers=60, stores=4,
+                   households=10, time_slots=12, store_sales=1_500,
+                   store_returns=200)
+
+
+# --------------------------------------------------------------------------- #
+# DDL
+
+TPCDS_DDL = [
+    """CREATE TABLE date_dim (
+         d_date_sk INT, d_date DATE, d_year INT, d_moy INT, d_dom INT,
+         d_qoy INT, d_day_name STRING,
+         PRIMARY KEY (d_date_sk) DISABLE NOVALIDATE)""",
+    """CREATE TABLE item (
+         i_item_sk INT, i_item_id STRING, i_category STRING,
+         i_brand STRING, i_current_price DOUBLE,
+         PRIMARY KEY (i_item_sk) DISABLE NOVALIDATE)""",
+    """CREATE TABLE customer (
+         c_customer_sk INT, c_customer_id STRING, c_first_name STRING,
+         c_last_name STRING, c_birth_country STRING,
+         c_preferred_cust_flag STRING,
+         PRIMARY KEY (c_customer_sk) DISABLE NOVALIDATE)""",
+    """CREATE TABLE store (
+         s_store_sk INT, s_store_id STRING, s_state STRING,
+         s_city STRING,
+         PRIMARY KEY (s_store_sk) DISABLE NOVALIDATE)""",
+    """CREATE TABLE household_demographics (
+         hd_demo_sk INT, hd_dep_count INT, hd_income_band INT,
+         PRIMARY KEY (hd_demo_sk) DISABLE NOVALIDATE)""",
+    """CREATE TABLE time_dim (
+         t_time_sk INT, t_hour INT, t_minute INT,
+         PRIMARY KEY (t_time_sk) DISABLE NOVALIDATE)""",
+    """CREATE TABLE store_sales (
+         ss_sold_time_sk INT, ss_item_sk INT, ss_customer_sk INT,
+         ss_store_sk INT, ss_hdemo_sk INT, ss_ticket_number INT,
+         ss_quantity INT, ss_list_price DOUBLE, ss_sales_price DOUBLE,
+         ss_ext_sales_price DOUBLE, ss_net_profit DOUBLE,
+         FOREIGN KEY (ss_item_sk) REFERENCES item (i_item_sk) DISABLE,
+         FOREIGN KEY (ss_customer_sk) REFERENCES customer (c_customer_sk)
+             DISABLE,
+         FOREIGN KEY (ss_store_sk) REFERENCES store (s_store_sk) DISABLE)
+       PARTITIONED BY (ss_sold_date_sk INT)
+       TBLPROPERTIES ('orc.bloom.filter.columns'='ss_item_sk')""",
+    """CREATE TABLE store_returns (
+         sr_item_sk INT, sr_customer_sk INT, sr_ticket_number INT,
+         sr_return_amt DOUBLE, sr_returned_date_sk INT)""",
+]
+
+
+# --------------------------------------------------------------------------- #
+# data generation
+
+def generate_tpcds_data(scale: TpcdsScale) -> dict[str, list[tuple]]:
+    rng = random.Random(scale.seed)
+    data: dict[str, list[tuple]] = {}
+
+    data["date_dim"] = []
+    for sk in range(scale.days):
+        day = _BASE_DATE + datetime.timedelta(days=sk)
+        data["date_dim"].append(
+            (sk, day, day.year, day.month, day.day,
+             (day.month - 1) // 3 + 1, day.strftime("%A")))
+
+    data["item"] = [
+        (sk, f"ITEM{sk:06d}", rng.choice(CATEGORIES), rng.choice(BRANDS),
+         round(rng.uniform(1.0, 300.0), 2))
+        for sk in range(scale.items)]
+
+    data["customer"] = [
+        (sk, f"CUST{sk:07d}", f"first{sk % 97}", f"last{sk % 131}",
+         rng.choice(COUNTRIES), rng.choice(["Y", "N"]))
+        for sk in range(scale.customers)]
+
+    data["store"] = [
+        (sk, f"STORE{sk:03d}", rng.choice(STATES), f"city{sk % 7}")
+        for sk in range(scale.stores)]
+
+    data["household_demographics"] = [
+        (sk, rng.randint(0, 9), rng.randint(1, 20))
+        for sk in range(scale.households)]
+
+    data["time_dim"] = [
+        (sk, (sk * 24) // scale.time_slots, (sk * 30) % 60)
+        for sk in range(scale.time_slots)]
+
+    sales = []
+    for ticket in range(scale.store_sales):
+        date_sk = rng.randint(0, scale.days - 1)
+        quantity = rng.randint(1, 20)
+        list_price = round(rng.uniform(1.0, 300.0), 2)
+        sales_price = round(list_price * rng.uniform(0.4, 1.0), 2)
+        sales.append((
+            rng.randint(0, scale.time_slots - 1),
+            rng.randint(0, scale.items - 1),
+            rng.randint(0, scale.customers - 1),
+            rng.randint(0, scale.stores - 1),
+            rng.randint(0, scale.households - 1),
+            ticket, quantity, list_price, sales_price,
+            round(sales_price * quantity, 2),
+            round((sales_price - list_price * 0.5) * quantity, 2),
+            date_sk,                      # dynamic partition column
+        ))
+    data["store_sales"] = sales
+
+    returns = []
+    for i in range(scale.store_returns):
+        source = sales[rng.randint(0, len(sales) - 1)]
+        returns.append((
+            source[1], source[2], source[5],
+            round(source[8] * rng.uniform(0.1, 1.0), 2),
+            min(scale.days - 1, source[11] + rng.randint(1, 10))))
+    data["store_returns"] = returns
+    return data
+
+
+def create_tpcds_warehouse(server: HiveServer2,
+                           scale: Optional[TpcdsScale] = None,
+                           session: Optional[Session] = None) -> Session:
+    """Create tables, load data, and compute statistics."""
+    from .harness import load_rows
+    scale = scale or TpcdsScale()
+    session = session or server.connect()
+    for ddl in TPCDS_DDL:
+        session.execute(ddl)
+    data = generate_tpcds_data(scale)
+    for table_name, rows in data.items():
+        load_rows(server, table_name, rows)
+    return session
+
+
+# --------------------------------------------------------------------------- #
+# the query set
+
+@dataclass(frozen=True)
+class BenchQuery:
+    name: str
+    sql: str
+    feature: str
+    #: queries using SQL the legacy profile lacks (the Figure 7 effect)
+    requires_v3: bool = False
+
+
+TPCDS_QUERIES: list[BenchQuery] = [
+    # -- plain star joins / aggregation (run on both profiles) ------------- #
+    BenchQuery("q03_brand_by_year", """
+        SELECT d_year, i_brand, SUM(ss_ext_sales_price) sum_agg
+        FROM store_sales, date_dim, item
+        WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk
+          AND i_category = 'Sports' AND d_moy = 1
+        GROUP BY d_year, i_brand
+        ORDER BY d_year, sum_agg DESC LIMIT 100""", "star-join"),
+    BenchQuery("q07_customer_avg", """
+        SELECT i_item_id, AVG(ss_quantity) agg1,
+               AVG(ss_list_price) agg2, AVG(ss_sales_price) agg3
+        FROM store_sales, item
+        WHERE ss_item_sk = i_item_sk AND i_category IN ('Books', 'Music')
+        GROUP BY i_item_id ORDER BY i_item_id LIMIT 100""", "star-join"),
+    BenchQuery("q19_brand_store", """
+        SELECT i_brand, s_state, SUM(ss_ext_sales_price) ext_price
+        FROM store_sales, item, store, date_dim
+        WHERE ss_item_sk = i_item_sk AND ss_store_sk = s_store_sk
+          AND ss_sold_date_sk = d_date_sk AND d_moy = 2
+          AND i_category = 'Electronics'
+        GROUP BY i_brand, s_state
+        ORDER BY ext_price DESC, i_brand LIMIT 100""", "star-join"),
+    BenchQuery("q42_month_category", """
+        SELECT d_year, d_moy, i_category, SUM(ss_ext_sales_price) s
+        FROM store_sales, date_dim, item
+        WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk
+          AND d_moy = 1
+        GROUP BY d_year, d_moy, i_category
+        ORDER BY s DESC LIMIT 100""", "star-join"),
+    BenchQuery("q52_brand_daily", """
+        SELECT d_dom, i_brand, SUM(ss_ext_sales_price) ext_price
+        FROM store_sales, date_dim, item
+        WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk
+          AND i_category = 'Jewelry' AND d_moy = 1
+        GROUP BY d_dom, i_brand ORDER BY d_dom, ext_price DESC
+        LIMIT 100""", "star-join"),
+    BenchQuery("q55_brand_month", """
+        SELECT i_brand, SUM(ss_ext_sales_price) ext_price
+        FROM store_sales, item, date_dim
+        WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
+          AND d_moy = 2 AND i_category = 'Home'
+        GROUP BY i_brand ORDER BY ext_price DESC LIMIT 100""",
+               "semijoin-reduction"),
+    BenchQuery("q43_store_weekday", """
+        SELECT s_store_id, d_day_name, SUM(ss_sales_price) s
+        FROM store_sales, date_dim, store
+        WHERE ss_sold_date_sk = d_date_sk AND ss_store_sk = s_store_sk
+          AND s_state IN ('CA', 'NY')
+        GROUP BY s_store_id, d_day_name
+        ORDER BY s_store_id LIMIT 100""", "star-join"),
+    BenchQuery("q68_customer_city", """
+        SELECT c_last_name, c_first_name, s_city,
+               SUM(ss_ext_sales_price) extended_price
+        FROM store_sales, store, customer
+        WHERE ss_store_sk = s_store_sk
+          AND ss_customer_sk = c_customer_sk AND s_state = 'TX'
+        GROUP BY c_last_name, c_first_name, s_city
+        ORDER BY c_last_name, c_first_name LIMIT 100""", "star-join"),
+    BenchQuery("q96_counting", """
+        SELECT COUNT(*) cnt
+        FROM store_sales, household_demographics, time_dim
+        WHERE ss_sold_time_sk = t_time_sk
+          AND ss_hdemo_sk = hd_demo_sk
+          AND t_hour = 8 AND hd_dep_count = 5""", "star-join"),
+    BenchQuery("q98_category_share", """
+        SELECT i_item_id, i_category, SUM(ss_ext_sales_price) itemrevenue
+        FROM store_sales, item, date_dim
+        WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
+          AND i_category IN ('Sports', 'Books', 'Home') AND d_moy <= 2
+        GROUP BY i_item_id, i_category
+        ORDER BY i_category, itemrevenue DESC LIMIT 100""", "star-join"),
+    BenchQuery("q_returns_ratio", """
+        SELECT i_category, SUM(sr_return_amt) returns_amt
+        FROM store_returns, item
+        WHERE sr_item_sk = i_item_sk
+        GROUP BY i_category ORDER BY returns_amt DESC""", "fact-join"),
+    BenchQuery("q_semijoin_star", """
+        SELECT ss_customer_sk, SUM(ss_sales_price) AS sum_sales
+        FROM store_sales, store_returns, item
+        WHERE ss_item_sk = sr_item_sk
+          AND ss_ticket_number = sr_ticket_number
+          AND ss_item_sk = i_item_sk AND i_category = 'Sports'
+        GROUP BY ss_customer_sk
+        ORDER BY sum_sales DESC LIMIT 100""", "semijoin-reduction"),
+    # written in a deliberately bad syntactic order: date_dim only joins
+    # store_returns, so a rule-based left-deep plan cross-products the
+    # fact with date_dim before any join key applies — the kind of plan
+    # behind the paper's 45x q58 speedup, fixed only by the CBO
+    BenchQuery("q_badorder_58", """
+        SELECT i_brand, SUM(sr_return_amt) returned
+        FROM store_sales, date_dim, store_returns, item
+        WHERE ss_item_sk = sr_item_sk
+          AND ss_ticket_number = sr_ticket_number
+          AND sr_returned_date_sk = d_date_sk AND d_moy = 1
+          AND d_dom <= 6
+          AND sr_item_sk = i_item_sk AND i_category = 'Music'
+        GROUP BY i_brand ORDER BY returned DESC LIMIT 50""",
+               "join-reordering"),
+    BenchQuery("q_shared_scan_88", """
+        SELECT h8.cnt, h9.cnt, h10.cnt, h11.cnt,
+               h12.cnt, h13.cnt, h14.cnt, h15.cnt
+        FROM
+          (SELECT COUNT(*) cnt FROM store_sales, household_demographics,
+             time_dim WHERE ss_sold_time_sk = t_time_sk
+             AND ss_hdemo_sk = hd_demo_sk AND hd_dep_count = 3
+             AND t_hour = 8) h8,
+          (SELECT COUNT(*) cnt FROM store_sales, household_demographics,
+             time_dim WHERE ss_sold_time_sk = t_time_sk
+             AND ss_hdemo_sk = hd_demo_sk AND hd_dep_count = 3
+             AND t_hour = 9) h9,
+          (SELECT COUNT(*) cnt FROM store_sales, household_demographics,
+             time_dim WHERE ss_sold_time_sk = t_time_sk
+             AND ss_hdemo_sk = hd_demo_sk AND hd_dep_count = 3
+             AND t_hour = 10) h10,
+          (SELECT COUNT(*) cnt FROM store_sales, household_demographics,
+             time_dim WHERE ss_sold_time_sk = t_time_sk
+             AND ss_hdemo_sk = hd_demo_sk AND hd_dep_count = 3
+             AND t_hour = 11) h11,
+          (SELECT COUNT(*) cnt FROM store_sales, household_demographics,
+             time_dim WHERE ss_sold_time_sk = t_time_sk
+             AND ss_hdemo_sk = hd_demo_sk AND hd_dep_count = 3
+             AND t_hour = 12) h12,
+          (SELECT COUNT(*) cnt FROM store_sales, household_demographics,
+             time_dim WHERE ss_sold_time_sk = t_time_sk
+             AND ss_hdemo_sk = hd_demo_sk AND hd_dep_count = 3
+             AND t_hour = 13) h13,
+          (SELECT COUNT(*) cnt FROM store_sales, household_demographics,
+             time_dim WHERE ss_sold_time_sk = t_time_sk
+             AND ss_hdemo_sk = hd_demo_sk AND hd_dep_count = 3
+             AND t_hour = 14) h14,
+          (SELECT COUNT(*) cnt FROM store_sales, household_demographics,
+             time_dim WHERE ss_sold_time_sk = t_time_sk
+             AND ss_hdemo_sk = hd_demo_sk AND hd_dep_count = 3
+             AND t_hour = 15) h15""", "shared-work"),
+    BenchQuery("q_in_subquery", """
+        SELECT c_last_name, COUNT(*) cnt FROM customer
+        WHERE c_customer_sk IN (
+            SELECT ss_customer_sk FROM store_sales, date_dim
+            WHERE ss_sold_date_sk = d_date_sk AND d_moy = 1)
+        GROUP BY c_last_name ORDER BY cnt DESC, c_last_name
+        LIMIT 20""", "subquery"),
+    BenchQuery("q_correlated_scalar", """
+        SELECT i_category, i_brand,
+           (SELECT MAX(ss_sales_price) FROM store_sales
+            WHERE ss_item_sk = i_item_sk) max_price
+        FROM item WHERE i_current_price > 250
+        ORDER BY i_category, i_brand LIMIT 50""", "subquery"),
+    BenchQuery("q_window_rank", """
+        SELECT i_category, total, RANK() OVER (ORDER BY total DESC) rnk
+        FROM (SELECT i_category, SUM(ss_ext_sales_price) total
+              FROM store_sales, item WHERE ss_item_sk = i_item_sk
+              GROUP BY i_category) t
+        ORDER BY rnk""", "window"),
+    BenchQuery("q_union_all", """
+        SELECT 'sales' channel, SUM(ss_ext_sales_price) amount
+        FROM store_sales
+        UNION ALL
+        SELECT 'returns' channel, SUM(sr_return_amt) amount
+        FROM store_returns""", "union"),
+    BenchQuery("q_count_distinct", """
+        SELECT d_year, COUNT(DISTINCT ss_customer_sk) customers
+        FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk
+        GROUP BY d_year ORDER BY d_year""", "distinct-agg"),
+    # -- queries needing v3-only SQL features (fail on hive-1.2) ------------ #
+    BenchQuery("q_intersect_14", """
+        SELECT ss_item_sk FROM store_sales, date_dim
+        WHERE ss_sold_date_sk = d_date_sk AND d_moy = 1
+        INTERSECT
+        SELECT sr_item_sk FROM store_returns""",
+               "set-operations", requires_v3=True),
+    BenchQuery("q_except_87", """
+        SELECT c_customer_sk FROM customer
+        EXCEPT
+        SELECT ss_customer_sk FROM store_sales, date_dim
+        WHERE ss_sold_date_sk = d_date_sk AND d_moy = 2""",
+               "set-operations", requires_v3=True),
+    BenchQuery("q_intersect_38", """
+        SELECT COUNT(*) cnt FROM (
+          SELECT ss_customer_sk FROM store_sales, date_dim
+          WHERE ss_sold_date_sk = d_date_sk AND d_moy = 1
+          INTERSECT
+          SELECT sr_customer_sk FROM store_returns) hot
+        """, "set-operations", requires_v3=True),
+    BenchQuery("q_interval_16", """
+        SELECT COUNT(*) orders FROM store_sales, date_dim
+        WHERE ss_sold_date_sk = d_date_sk
+          AND d_date BETWEEN DATE '2018-01-10'
+              AND DATE '2018-01-10' + INTERVAL '30' DAY""",
+               "interval-notation", requires_v3=True),
+    BenchQuery("q_interval_32", """
+        SELECT SUM(ss_ext_sales_price) excess
+        FROM store_sales, item, date_dim
+        WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
+          AND d_date > DATE '2018-02-15' - INTERVAL '14' DAY
+          AND i_category = 'Toys'""",
+               "interval-notation", requires_v3=True),
+    BenchQuery("q_orderby_unselected", """
+        SELECT i_item_id, i_brand FROM item
+        WHERE i_current_price > 100
+        ORDER BY i_current_price DESC LIMIT 20""",
+               "order-by-unselected", requires_v3=True),
+    BenchQuery("q_orderby_unselected_2", """
+        SELECT s_store_id FROM store WHERE s_state = 'CA'
+        ORDER BY s_city LIMIT 10""",
+               "order-by-unselected", requires_v3=True),
+    BenchQuery("q_grouping_sets_27", """
+        SELECT d_year, d_moy, SUM(ss_sales_price) s
+        FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk
+        GROUP BY GROUPING SETS ((d_year, d_moy), (d_year), ())
+        ORDER BY d_year, d_moy LIMIT 200""",
+               "grouping-sets", requires_v3=True),
+    BenchQuery("q_rollup_67", """
+        SELECT i_category, i_brand, SUM(ss_ext_sales_price) s
+        FROM store_sales, item WHERE ss_item_sk = i_item_sk
+        GROUP BY ROLLUP (i_category, i_brand)
+        ORDER BY i_category, i_brand LIMIT 200""",
+               "grouping-sets", requires_v3=True),
+    BenchQuery("q_nonequi_exists", """
+        SELECT i_item_id FROM item
+        WHERE i_current_price > 290 AND EXISTS (
+          SELECT 1 FROM store_sales
+          WHERE ss_item_sk = i_item_sk
+            AND ss_sales_price > i_current_price * 0.9)
+        ORDER BY i_item_id""",
+               "non-equi-correlation", requires_v3=True),
+    BenchQuery("q_nonequi_notexists", """
+        SELECT COUNT(*) loyal FROM customer
+        WHERE NOT EXISTS (
+          SELECT 1 FROM store_sales
+          WHERE ss_customer_sk = c_customer_sk
+            AND ss_net_profit < c_customer_sk * -0.01)""",
+               "non-equi-correlation", requires_v3=True),
+    BenchQuery("q_mixed_features", """
+        SELECT d_year, d_moy, SUM(ss_sales_price) s
+        FROM store_sales, date_dim
+        WHERE ss_sold_date_sk = d_date_sk
+          AND d_date > DATE '2018-01-05' - INTERVAL '2' DAY
+        GROUP BY GROUPING SETS ((d_year, d_moy), ())
+        ORDER BY d_year, d_moy LIMIT 100""",
+               "grouping-sets", requires_v3=True),
+]
+
+
+def legacy_supported_queries() -> list[BenchQuery]:
+    return [q for q in TPCDS_QUERIES if not q.requires_v3]

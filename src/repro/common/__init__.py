@@ -1,0 +1,14 @@
+"""Shared primitives: type system, schemas, vectorized batches, sketches."""
+
+from .types import (
+    DataType, BOOLEAN, INT, BIGINT, DOUBLE, STRING, DATE, TIMESTAMP,
+    DecimalType, VarcharType, type_from_name,
+)
+from .rows import Column, Schema
+from .vector import ColumnVector, VectorBatch
+
+__all__ = [
+    "DataType", "BOOLEAN", "INT", "BIGINT", "DOUBLE", "STRING", "DATE",
+    "TIMESTAMP", "DecimalType", "VarcharType", "type_from_name",
+    "Column", "Schema", "ColumnVector", "VectorBatch",
+]

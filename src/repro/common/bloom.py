@@ -1,0 +1,85 @@
+"""Bloom filter.
+
+Used in two places, mirroring the paper:
+
+* ORC-like files store per-row-group Bloom filters so sargable predicates
+  can skip row groups (Section 5.1, I/O elevator pushdown).
+* Dynamic semijoin reduction builds a Bloom filter from the filtered
+  dimension-side values and pushes it into fact-table scans (Section 4.6).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+
+from ..errors import HiveError
+
+
+class BloomFilter:
+    """Classic Bloom filter with double hashing (Kirsch-Mitzenmacher)."""
+
+    def __init__(self, expected_items: int, fpp: float = 0.05):
+        if expected_items < 1:
+            expected_items = 1
+        if not 0.0 < fpp < 1.0:
+            raise HiveError("fpp must be in (0, 1)")
+        self.expected_items = expected_items
+        self.fpp = fpp
+        self.num_bits = max(
+            8, int(-expected_items * math.log(fpp) / (math.log(2) ** 2)))
+        self.num_hashes = max(
+            1, int(round(self.num_bits / expected_items * math.log(2))))
+        self.bits = np.zeros((self.num_bits + 7) // 8, dtype=np.uint8)
+        self.count = 0
+
+    # -- updates ----------------------------------------------------------- #
+    def add(self, value) -> None:
+        h1, h2 = _double_hash(value)
+        for i in range(self.num_hashes):
+            bit = (h1 + i * h2) % self.num_bits
+            self.bits[bit >> 3] |= 1 << (bit & 7)
+        self.count += 1
+
+    def add_all(self, values) -> None:
+        for value in values:
+            self.add(value)
+
+    # -- membership ---------------------------------------------------------- #
+    def might_contain(self, value) -> bool:
+        h1, h2 = _double_hash(value)
+        for i in range(self.num_hashes):
+            bit = (h1 + i * h2) % self.num_bits
+            if not self.bits[bit >> 3] & (1 << (bit & 7)):
+                return False
+        return True
+
+    def might_contain_many(self, values: np.ndarray) -> np.ndarray:
+        """Vector form; returns a boolean mask."""
+        return np.fromiter((self.might_contain(v) for v in values),
+                           dtype=bool, count=len(values))
+
+    # -- merging ----------------------------------------------------------- #
+    def merge(self, other: "BloomFilter") -> "BloomFilter":
+        """Union of two filters built with identical parameters."""
+        if (self.num_bits, self.num_hashes) != (other.num_bits,
+                                                other.num_hashes):
+            raise HiveError("cannot merge Bloom filters with different shapes")
+        merged = BloomFilter(self.expected_items, self.fpp)
+        merged.num_bits, merged.num_hashes = self.num_bits, self.num_hashes
+        merged.bits = np.bitwise_or(self.bits, other.bits)
+        merged.count = self.count + other.count
+        return merged
+
+    def nbytes(self) -> int:
+        return int(self.bits.nbytes)
+
+
+def _double_hash(value) -> tuple[int, int]:
+    payload = repr(value).encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=16).digest()
+    h1 = int.from_bytes(digest[:8], "little")
+    h2 = int.from_bytes(digest[8:], "little") | 1
+    return h1, h2

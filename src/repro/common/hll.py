@@ -1,0 +1,107 @@
+"""HyperLogLog++ cardinality sketch.
+
+HMS stores the number-of-distinct-values statistic as a HyperLogLog++
+sketch so that statistics remain *additive*: inserts and per-partition
+statistics merge without loss of accuracy (Section 4.1, citing Heule et
+al., EDBT 2013).
+
+This implementation follows the standard dense HLL layout with the HLL++
+empty-register linear-counting correction for small cardinalities.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+
+import numpy as np
+
+from ..errors import HiveError
+
+
+class HyperLogLog:
+    """Dense HyperLogLog++ sketch with 2**p registers."""
+
+    def __init__(self, p: int = 14):
+        if not 4 <= p <= 18:
+            raise HiveError("HLL precision must be in [4, 18]")
+        self.p = p
+        self.m = 1 << p
+        self.registers = np.zeros(self.m, dtype=np.uint8)
+        self._alpha = _alpha(self.m)
+
+    # -- updates ----------------------------------------------------------- #
+    def add(self, value) -> None:
+        h = _hash64(value)
+        idx = h >> (64 - self.p)
+        remainder = (h << self.p) & 0xFFFFFFFFFFFFFFFF
+        rank = _leading_zeros64(remainder) + 1
+        if rank > self.registers[idx]:
+            self.registers[idx] = rank
+
+    def add_all(self, values) -> None:
+        for value in values:
+            self.add(value)
+
+    # -- estimation ---------------------------------------------------------- #
+    def cardinality(self) -> int:
+        registers = self.registers.astype(np.float64)
+        estimate = self._alpha * self.m * self.m / np.sum(
+            np.power(2.0, -registers))
+        zeros = int(np.count_nonzero(self.registers == 0))
+        if estimate <= 2.5 * self.m and zeros > 0:
+            # linear counting for the small range (HLL++ correction)
+            estimate = self.m * math.log(self.m / zeros)
+        return int(round(estimate))
+
+    # -- merging ----------------------------------------------------------- #
+    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
+        """Lossless union: register-wise max.  Precision must match."""
+        if self.p != other.p:
+            raise HiveError(
+                f"cannot merge HLL sketches of precision {self.p} and {other.p}")
+        merged = HyperLogLog(self.p)
+        np.maximum(self.registers, other.registers, out=merged.registers)
+        return merged
+
+    def copy(self) -> "HyperLogLog":
+        clone = HyperLogLog(self.p)
+        clone.registers = self.registers.copy()
+        return clone
+
+    # -- serialization --------------------------------------------------------- #
+    def to_bytes(self) -> bytes:
+        return struct.pack("<B", self.p) + self.registers.tobytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "HyperLogLog":
+        p = struct.unpack_from("<B", data, 0)[0]
+        sketch = cls(p)
+        sketch.registers = np.frombuffer(
+            data[1:], dtype=np.uint8).copy()
+        if len(sketch.registers) != sketch.m:
+            raise HiveError("corrupt HLL payload")
+        return sketch
+
+
+def _alpha(m: int) -> float:
+    if m == 16:
+        return 0.673
+    if m == 32:
+        return 0.697
+    if m == 64:
+        return 0.709
+    return 0.7213 / (1 + 1.079 / m)
+
+
+def _hash64(value) -> int:
+    payload = repr(value).encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def _leading_zeros64(x: int) -> int:
+    if x == 0:
+        return 64
+    return 64 - x.bit_length()

@@ -1,0 +1,99 @@
+"""Run-length encoding codec.
+
+LLAP's internal format is a run-length encoded columnar layout shared by
+I/O, cache, and execution (Section 5.1).  This module provides the RLE
+codec used by the ORC-like file format and by the LLAP chunk cache.
+
+The encoding alternates two kinds of runs over a numpy array:
+
+* *repeat run*: ``(count, value)`` for ``count >= MIN_REPEAT`` equal values,
+* *literal run*: a verbatim stretch of values.
+
+Null masks are encoded the same way (booleans compress extremely well).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+MIN_REPEAT = 3
+
+
+@dataclass
+class RepeatRun:
+    count: int
+    value: object
+
+
+@dataclass
+class LiteralRun:
+    values: np.ndarray
+
+
+Run = Union[RepeatRun, LiteralRun]
+
+
+def encode(values: np.ndarray) -> list[Run]:
+    """Encode a 1-D numpy array into a list of runs."""
+    n = len(values)
+    runs: list[Run] = []
+    literal_start = 0
+    i = 0
+    while i < n:
+        j = i + 1
+        # object arrays can hold None; use equality carefully
+        while j < n and _eq(values[j], values[i]):
+            j += 1
+        run_len = j - i
+        if run_len >= MIN_REPEAT:
+            if literal_start < i:
+                runs.append(LiteralRun(values[literal_start:i].copy()))
+            runs.append(RepeatRun(run_len, values[i]))
+            literal_start = j
+        i = j
+    if literal_start < n:
+        runs.append(LiteralRun(values[literal_start:n].copy()))
+    return runs
+
+
+def decode(runs: list[Run], dtype: np.dtype) -> np.ndarray:
+    """Reassemble runs into a numpy array of ``dtype``."""
+    total = encoded_length(runs)
+    out = np.empty(total, dtype=dtype)
+    pos = 0
+    for run in runs:
+        if isinstance(run, RepeatRun):
+            out[pos:pos + run.count] = run.value
+            pos += run.count
+        else:
+            out[pos:pos + len(run.values)] = run.values
+            pos += len(run.values)
+    return out
+
+
+def encoded_length(runs: list[Run]) -> int:
+    return sum(r.count if isinstance(r, RepeatRun) else len(r.values)
+               for r in runs)
+
+
+def encoded_size_bytes(runs: list[Run], value_width: int) -> int:
+    """Approximate encoded byte size (repeat runs cost one value + count)."""
+    size = 0
+    for run in runs:
+        if isinstance(run, RepeatRun):
+            size += value_width + 4
+        else:
+            size += len(run.values) * value_width + 4
+    return size
+
+
+def _eq(a, b) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    # NaN never equals itself but belongs in the same run for compression
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (np.isnan(a) and np.isnan(b))
+    return bool(a == b)

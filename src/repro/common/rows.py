@@ -1,0 +1,111 @@
+"""Schemas and columns.
+
+A :class:`Schema` is an ordered list of :class:`Column` descriptors and is
+attached to tables, file readers, and every node of a query plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import AnalysisError
+from .types import DataType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column; ``nullable`` participates in constraint-based
+
+    optimizer transformations (Section 4.4 uses NOT NULL metadata).
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+    comment: str = ""
+
+    def renamed(self, name: str) -> "Column":
+        return Column(name, self.dtype, self.nullable, self.comment)
+
+    def __str__(self) -> str:
+        null = "" if self.nullable else " NOT NULL"
+        return f"{self.name} {self.dtype}{null}"
+
+
+class Schema:
+    """Ordered collection of columns with case-insensitive name lookup."""
+
+    def __init__(self, columns: Iterable[Column]):
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self._index: dict[str, int] = {}
+        for i, col in enumerate(self.columns):
+            key = col.name.lower()
+            if key in self._index:
+                raise AnalysisError(f"duplicate column name: {col.name}")
+            self._index[key] = i
+
+    # -- lookup ---------------------------------------------------------- #
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise AnalysisError(f"unknown column: {name}") from None
+
+    def field(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    def __getitem__(self, i: int) -> Column:
+        return self.columns[i]
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    # -- derivation ------------------------------------------------------ #
+    def names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def types(self) -> list[DataType]:
+        return [c.dtype for c in self.columns]
+
+    def select(self, names: Sequence[str]) -> "Schema":
+        return Schema(self.field(n) for n in names)
+
+    def concat(self, other: "Schema", dedupe: bool = False) -> "Schema":
+        """Join schemas; with ``dedupe`` clashing names get a suffix."""
+        merged = list(self.columns)
+        seen = {c.name.lower() for c in merged}
+        for col in other.columns:
+            name = col.name
+            if name.lower() in seen:
+                if not dedupe:
+                    raise AnalysisError(f"ambiguous column in join: {name}")
+                suffix = 1
+                while f"{name}_{suffix}".lower() in seen:
+                    suffix += 1
+                name = f"{name}_{suffix}"
+            merged.append(col.renamed(name))
+            seen.add(name.lower())
+        return Schema(merged)
+
+    def prefixed(self, prefix: str) -> "Schema":
+        return Schema(c.renamed(f"{prefix}.{c.name}") for c in self.columns)
+
+    def row_width_bytes(self) -> int:
+        return sum(c.dtype.width_bytes for c in self.columns)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash(self.columns)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(c) for c in self.columns)
+        return f"Schema({inner})"

@@ -1,0 +1,252 @@
+"""SQL type system.
+
+Hive uses a nested data model with the usual atomic SQL types; this module
+implements the atomic types that the reproduction's SQL dialect exposes
+(BOOLEAN, INT, BIGINT, DOUBLE, DECIMAL(p, s), STRING/VARCHAR, DATE,
+TIMESTAMP) together with the coercion lattice used by the analyzer.
+
+Each type knows its numpy storage dtype (used by the vectorized runtime)
+and an estimate of its on-disk width (used by the optimizer's cost model).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+_EPOCH_DATE = datetime.date(1970, 1, 1)
+
+
+@dataclass(frozen=True)
+class DataType:
+    """An atomic SQL data type.
+
+    Parameterized types (DECIMAL, VARCHAR) subclass this and add their
+    parameters; the ``name`` field is the canonical SQL spelling.
+    """
+
+    name: str
+
+    # -- classification ------------------------------------------------ #
+    @property
+    def is_numeric(self) -> bool:
+        return self.name in ("INT", "BIGINT", "DOUBLE") or isinstance(
+            self, DecimalType)
+
+    @property
+    def is_integral(self) -> bool:
+        return self.name in ("INT", "BIGINT")
+
+    @property
+    def is_string(self) -> bool:
+        return self.name == "STRING" or isinstance(self, VarcharType)
+
+    @property
+    def is_temporal(self) -> bool:
+        return self.name in ("DATE", "TIMESTAMP")
+
+    # -- physical layout ------------------------------------------------ #
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """Storage dtype for vectorized execution.
+
+        Strings use object arrays; DATE is stored as int32 days since
+        epoch; TIMESTAMP as int64 milliseconds since epoch; DECIMAL is
+        approximated with float64 (documented substitution: exact decimal
+        arithmetic is not needed for any reproduced experiment).
+        """
+        return _NUMPY_DTYPES[self._family()]
+
+    @property
+    def width_bytes(self) -> int:
+        """Estimated encoded width, used by the optimizer cost model."""
+        return _WIDTHS[self._family()]
+
+    def _family(self) -> str:
+        if isinstance(self, DecimalType):
+            return "DECIMAL"
+        if isinstance(self, VarcharType):
+            return "STRING"
+        return self.name
+
+    # -- value conversion ------------------------------------------------ #
+    def to_storage(self, value):
+        """Convert a Python value to its storage representation."""
+        if value is None:
+            return None
+        family = self._family()
+        if family in ("INT", "BIGINT"):
+            return int(value)
+        if family in ("DOUBLE", "DECIMAL"):
+            return float(value)
+        if family == "BOOLEAN":
+            return bool(value)
+        if family == "STRING":
+            return str(value)
+        if family == "DATE":
+            if isinstance(value, datetime.date):
+                return (value - _EPOCH_DATE).days
+            if isinstance(value, str):
+                parsed = datetime.date.fromisoformat(value)
+                return (parsed - _EPOCH_DATE).days
+            return int(value)
+        if family == "TIMESTAMP":
+            if isinstance(value, datetime.datetime):
+                return int(value.timestamp() * 1000)
+            if isinstance(value, str):
+                parsed = datetime.datetime.fromisoformat(value)
+                return int(parsed.timestamp() * 1000)
+            return int(value)
+        raise AnalysisError(f"cannot store value of type {family}")
+
+    def from_storage(self, value):
+        """Convert a storage value back to the user-facing Python value."""
+        if value is None:
+            return None
+        family = self._family()
+        if family == "DATE":
+            return _EPOCH_DATE + datetime.timedelta(days=int(value))
+        if family == "TIMESTAMP":
+            return datetime.datetime.fromtimestamp(value / 1000.0)
+        if family == "BOOLEAN":
+            return bool(value)
+        if family in ("INT", "BIGINT"):
+            return int(value)
+        if family in ("DOUBLE", "DECIMAL"):
+            return float(value)
+        return value
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class DecimalType(DataType):
+    """DECIMAL(precision, scale); stored as float64 (see module docs)."""
+
+    precision: int = 10
+    scale: int = 0
+
+    def __str__(self) -> str:
+        return f"DECIMAL({self.precision},{self.scale})"
+
+
+@dataclass(frozen=True)
+class VarcharType(DataType):
+    """VARCHAR(length); behaves as STRING at runtime."""
+
+    length: int = 255
+
+    def __str__(self) -> str:
+        return f"VARCHAR({self.length})"
+
+
+BOOLEAN = DataType("BOOLEAN")
+INT = DataType("INT")
+BIGINT = DataType("BIGINT")
+DOUBLE = DataType("DOUBLE")
+STRING = DataType("STRING")
+DATE = DataType("DATE")
+TIMESTAMP = DataType("TIMESTAMP")
+
+
+def decimal(precision: int = 10, scale: int = 0) -> DecimalType:
+    return DecimalType("DECIMAL", precision, scale)
+
+
+def varchar(length: int = 255) -> VarcharType:
+    return VarcharType("VARCHAR", length)
+
+
+_NUMPY_DTYPES = {
+    "BOOLEAN": np.dtype(np.bool_),
+    "INT": np.dtype(np.int64),
+    "BIGINT": np.dtype(np.int64),
+    "DOUBLE": np.dtype(np.float64),
+    "DECIMAL": np.dtype(np.float64),
+    "STRING": np.dtype(object),
+    "DATE": np.dtype(np.int32),
+    "TIMESTAMP": np.dtype(np.int64),
+}
+
+_WIDTHS = {
+    "BOOLEAN": 1,
+    "INT": 4,
+    "BIGINT": 8,
+    "DOUBLE": 8,
+    "DECIMAL": 8,
+    "STRING": 24,
+    "DATE": 4,
+    "TIMESTAMP": 8,
+}
+
+# coercion lattice: smaller rank coerces to larger within a family
+_NUMERIC_RANK = {"INT": 1, "BIGINT": 2, "DECIMAL": 3, "DOUBLE": 4}
+
+
+def common_type(left: DataType, right: DataType) -> DataType:
+    """Least common supertype for binary expressions.
+
+    Numeric types widen along INT < BIGINT < DECIMAL < DOUBLE.  Temporal
+    and string types only unify with themselves (plus STRING absorbing
+    VARCHAR).  Raises :class:`AnalysisError` for incompatible pairs.
+    """
+    if left == right:
+        return left
+    lf, rf = left._family(), right._family()
+    if lf == rf:
+        # e.g. two different VARCHAR lengths or DECIMAL params
+        return STRING if lf == "STRING" else DOUBLE if lf == "DECIMAL" else left
+    if lf in _NUMERIC_RANK and rf in _NUMERIC_RANK:
+        winner = lf if _NUMERIC_RANK[lf] >= _NUMERIC_RANK[rf] else rf
+        return {"INT": INT, "BIGINT": BIGINT, "DOUBLE": DOUBLE,
+                "DECIMAL": DOUBLE}[winner]
+    if {lf, rf} == {"STRING", "DATE"} or {lf, rf} == {"STRING", "TIMESTAMP"}:
+        # allow date literals written as strings
+        return left if lf != "STRING" else right
+    raise AnalysisError(f"incompatible types: {left} and {right}")
+
+
+def type_from_name(name: str, *params: int) -> DataType:
+    """Resolve a SQL type name (as parsed) to a :class:`DataType`."""
+    upper = name.upper()
+    aliases = {
+        "INTEGER": INT, "INT": INT, "SMALLINT": INT, "TINYINT": INT,
+        "BIGINT": BIGINT, "LONG": BIGINT,
+        "DOUBLE": DOUBLE, "FLOAT": DOUBLE, "REAL": DOUBLE,
+        "BOOLEAN": BOOLEAN, "BOOL": BOOLEAN,
+        "STRING": STRING, "TEXT": STRING, "CHAR": STRING,
+        "DATE": DATE, "TIMESTAMP": TIMESTAMP, "DATETIME": TIMESTAMP,
+    }
+    if upper in aliases:
+        return aliases[upper]
+    if upper == "DECIMAL" or upper == "NUMERIC":
+        precision = params[0] if params else 10
+        scale = params[1] if len(params) > 1 else 0
+        return decimal(precision, scale)
+    if upper == "VARCHAR":
+        return varchar(params[0] if params else 255)
+    raise AnalysisError(f"unknown type name: {name}")
+
+
+def infer_literal_type(value) -> DataType:
+    """Type of a Python literal produced by the parser."""
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, int):
+        return BIGINT if abs(value) > 2**31 - 1 else INT
+    if isinstance(value, float):
+        return DOUBLE
+    if isinstance(value, datetime.datetime):
+        return TIMESTAMP
+    if isinstance(value, datetime.date):
+        return DATE
+    if isinstance(value, str):
+        return STRING
+    if value is None:
+        return STRING
+    raise AnalysisError(f"cannot infer type of literal {value!r}")

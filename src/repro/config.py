@@ -1,0 +1,216 @@
+"""Warehouse configuration (the analogue of HiveConf).
+
+A :class:`HiveConf` instance carries every tunable used across the stack:
+optimizer feature flags, runtime/LLAP switches, ACID thresholds, and the
+cost-model constants the cluster simulator charges for IO, network and
+container start-up.
+
+Two factory profiles reproduce the versions compared in the paper's
+Figure 7:
+
+* :func:`HiveConf.v3_profile` — Hive 3.1: CBO, shared-work optimization,
+  dynamic semijoin reduction, vectorization, LLAP, result cache, full SQL.
+* :func:`HiveConf.legacy_profile` — Hive 1.2: rule-based only, no LLAP, no
+  vectorized execution, restricted SQL surface.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .errors import ConfigError
+
+
+@dataclass
+class CostModelConf:
+    """Constants for the simulated-time cost model.
+
+    All times are in (virtual) seconds; throughputs in bytes per second.
+    Values are calibrated so that relative effects match the paper's
+    cluster (10 nodes, 10 GbE, 2 x 6TB disks): the absolute scale is
+    arbitrary, the ratios are what the experiments measure.
+    """
+
+    #: time to allocate and launch a YARN container (Section 5, bottleneck
+    #: for low-latency queries when LLAP is disabled).  Containers for a
+    #: query's DAG are allocated once, up front.
+    container_startup_s: float = 2.5
+    #: scheduling overhead to dispatch a fragment to an LLAP executor.
+    llap_dispatch_s: float = 0.02
+    #: disk scan throughput per node.
+    disk_bytes_per_s: float = 200e6
+    #: LLAP in-memory cache read throughput per node.
+    cache_bytes_per_s: float = 4e9
+    #: network shuffle throughput per node (10 GbE shared).
+    network_bytes_per_s: float = 1.0e9
+    #: per-row CPU cost for row-at-a-time (non-vectorized) operators.
+    row_cpu_s: float = 1.0e-6
+    #: per-row CPU cost under vectorized execution.
+    vector_cpu_s: float = 2.5e-7
+    #: multiplier applied to CPU work on cold JIT (fresh container); LLAP
+    #: daemons are long-lived so their code is always warm.
+    jit_cold_multiplier: float = 1.3
+    #: fixed per-query compile/submit overhead in HS2.
+    compile_overhead_s: float = 0.15
+    #: per-vertex task setup cost inside an already-running container.
+    task_setup_s: float = 0.05
+    #: per-file open cost (namenode round trip + footer read) — what
+    #: makes uncompacted delta pile-ups expensive (Section 3.2).
+    file_open_s: float = 0.05
+    #: per-row cost of the merge-on-read anti-join against delete
+    #: deltas; deliberately row-at-a-time (not vectorizable), matching
+    #: the Section 8 discussion of the first ACID design's penalty.
+    merge_row_s: float = 4.0e-7
+    #: virtual dataset magnification: every byte and row the runtime
+    #: observes is charged as ``data_scale`` of them.  Benchmarks use
+    #: this to model the paper's 10 TB runs with laptop-sized inputs —
+    #: the relative effects (startup vs IO vs CPU) then match large-
+    #: scale behaviour (see DESIGN.md, substitutions).
+    data_scale: float = 1.0
+
+
+@dataclass
+class HiveConf:
+    """Complete configuration for one warehouse instance or session."""
+
+    # ------------------------------------------------------------------ #
+    # identification
+    name: str = "hive-3.1"
+
+    # ------------------------------------------------------------------ #
+    # SQL surface (Figure 7: legacy Hive 1.2 lacked these)
+    support_setops: bool = True           # INTERSECT / EXCEPT
+    support_correlated_subqueries: bool = True
+    support_nonequi_correlation: bool = True
+    support_interval_notation: bool = True
+    support_order_by_unselected: bool = True
+    support_grouping_sets: bool = True
+    support_window_functions: bool = True
+
+    # ------------------------------------------------------------------ #
+    # optimizer (Section 4)
+    cbo_enabled: bool = True              # Calcite-style cost-based stages
+    join_reordering: bool = True
+    filter_pushdown: bool = True
+    project_pruning: bool = True
+    constant_folding: bool = True
+    partition_pruning: bool = True
+    shared_work_optimization: bool = True  # Section 4.5
+    semijoin_reduction: bool = True        # Section 4.6
+    semijoin_bloom_fpp: float = 0.05
+    mv_rewriting: bool = True              # Section 4.4
+    federation_pushdown: bool = True       # Section 6.2
+
+    # ------------------------------------------------------------------ #
+    # re-optimization (Section 4.2): "overlay" | "reoptimize" | "off"
+    reexecution_strategy: str = "reoptimize"
+    max_reexecutions: int = 1
+    #: config overrides applied on every re-execution (overlay strategy)
+    reexecution_overlay: dict = field(default_factory=dict)
+    #: feed runtime statistics persisted in HMS back into the optimizer
+    #: on every compilation (§9 roadmap).  Off by default: observed
+    #: cardinalities go stale when data changes, so opting in is a
+    #: workload decision (the paper cites LEO / Oracle adaptive stats).
+    runtime_stats_feedback: bool = False
+    #: simulated per-query memory budget for hash-join build sides, in
+    #: rows; None = unlimited.  Exceeding it raises OutOfMemoryError,
+    #: which triggers re-execution.
+    hash_join_memory_rows: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # result cache (Section 4.3)
+    results_cache_enabled: bool = True
+    results_cache_max_entries: int = 64
+    results_cache_wait_pending: bool = True
+
+    # ------------------------------------------------------------------ #
+    # runtime (Section 5)
+    vectorized_execution: bool = True
+    llap_enabled: bool = True
+    llap_cache_enabled: bool = True
+    llap_io_threads: int = 4
+    llap_executors_per_daemon: int = 8
+    llap_cache_capacity_bytes: int = 512 << 20
+    container_reuse: bool = False          # Tez container reuse w/o LLAP
+
+    # ------------------------------------------------------------------ #
+    # ACID (Section 3.2)
+    acid_enabled: bool = True
+    compaction_delta_threshold: int = 10   # minor compaction trigger
+    compaction_delta_pct_threshold: float = 0.1  # major trigger: delta/base rows
+    txn_lock_timeout_s: float = 5.0
+
+    # ------------------------------------------------------------------ #
+    # cluster shape (matches the paper's testbed by default)
+    num_nodes: int = 10
+    cores_per_node: int = 8
+
+    cost: CostModelConf = field(default_factory=CostModelConf)
+
+    # ------------------------------------------------------------------ #
+    def copy(self, **overrides) -> "HiveConf":
+        """Return a copy with ``overrides`` applied (unknown keys raise)."""
+        valid = {f.name for f in dataclasses.fields(self)}
+        unknown = set(overrides) - valid
+        if unknown:
+            raise ConfigError(f"unknown configuration keys: {sorted(unknown)}")
+        clone = dataclasses.replace(self, cost=dataclasses.replace(self.cost))
+        for key, value in overrides.items():
+            setattr(clone, key, value)
+        clone.validate()
+        return clone
+
+    def validate(self) -> None:
+        if self.reexecution_strategy not in ("overlay", "reoptimize", "off"):
+            raise ConfigError(
+                f"invalid reexecution_strategy {self.reexecution_strategy!r}")
+        if not 0.0 < self.semijoin_bloom_fpp < 1.0:
+            raise ConfigError("semijoin_bloom_fpp must be in (0, 1)")
+        if self.num_nodes < 1 or self.cores_per_node < 1:
+            raise ConfigError("cluster must have >= 1 node and >= 1 core")
+        if self.max_reexecutions < 0:
+            raise ConfigError("max_reexecutions must be >= 0")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def v3_profile(cls) -> "HiveConf":
+        """Hive 3.1 with LLAP — the fully featured system."""
+        return cls(name="hive-3.1-llap")
+
+    @classmethod
+    def v3_container_profile(cls) -> "HiveConf":
+        """Hive 3.1 running on plain Tez containers (Table 1 baseline)."""
+        return cls(name="hive-3.1-container", llap_enabled=False,
+                   llap_cache_enabled=False)
+
+    @classmethod
+    def legacy_profile(cls) -> "HiveConf":
+        """Hive 1.2 on Tez 0.5 — the Figure 7 baseline.
+
+        Rule-based optimizer only, row-at-a-time execution, fresh
+        containers for every query, restricted SQL support.
+        """
+        return cls(
+            name="hive-1.2",
+            support_setops=False,
+            support_correlated_subqueries=True,
+            support_nonequi_correlation=False,
+            support_interval_notation=False,
+            support_order_by_unselected=False,
+            support_grouping_sets=False,
+            support_window_functions=True,
+            cbo_enabled=False,
+            join_reordering=False,
+            shared_work_optimization=False,
+            semijoin_reduction=False,
+            mv_rewriting=False,
+            federation_pushdown=False,
+            reexecution_strategy="off",
+            results_cache_enabled=False,
+            vectorized_execution=False,
+            llap_enabled=False,
+            llap_cache_enabled=False,
+            acid_enabled=False,
+        )

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the warehouse.
+
+Every error raised by the library derives from :class:`HiveError` so that
+callers can catch a single base class.  Subclasses mirror the failure
+domains of the real system: parsing, semantic analysis, metastore/catalog
+operations, transactions, execution, and federation.
+"""
+
+from __future__ import annotations
+
+
+class HiveError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(HiveError):
+    """SQL text could not be tokenized or parsed.
+
+    Carries the offending position so clients can point at the token.
+    """
+
+    def __init__(self, message: str, position: int = -1, line: int = -1):
+        super().__init__(message)
+        self.position = position
+        self.line = line
+
+
+class UnsupportedFeatureError(ParseError):
+    """The SQL construct exists but is not supported by the active profile.
+
+    Used to model the paper's Figure 7 observation that Hive v1.2 could run
+    only 50 of the 99 TPC-DS queries: the legacy profile raises this error
+    for INTERSECT/EXCEPT, correlated scalar subqueries with non-equi
+    predicates, interval notation, and ORDER BY on unselected columns.
+    """
+
+
+class AnalysisError(HiveError):
+    """Semantic analysis failed (unknown table/column, type mismatch...)."""
+
+
+class CatalogError(HiveError):
+    """Metastore/catalog operation failed (missing or duplicate object)."""
+
+
+class TransactionError(HiveError):
+    """Transaction manager rejected an operation."""
+
+
+class WriteConflictError(TransactionError):
+    """First-commit-wins conflict: another transaction wrote the same rows."""
+
+
+class LockTimeoutError(TransactionError):
+    """A required lock could not be acquired in time."""
+
+
+class ExecutionError(HiveError):
+    """A runtime failure while executing a query plan."""
+
+
+class VertexFailureError(ExecutionError):
+    """A DAG vertex failed; may trigger re-optimization (Section 4.2)."""
+
+    def __init__(self, message: str, vertex: str = "", retriable: bool = True):
+        super().__init__(message)
+        self.vertex = vertex
+        self.retriable = retriable
+
+
+class OutOfMemoryError(VertexFailureError):
+    """Simulated memory exhaustion, e.g. a hash join that misestimated its
+
+    build side.  This is the canonical trigger for the ``reoptimize``
+    strategy in Section 4.2 of the paper.
+    """
+
+
+class FederationError(HiveError):
+    """An external storage handler failed."""
+
+
+class ConfigError(HiveError):
+    """Invalid configuration value."""
+
+
+class WorkloadManagementError(HiveError):
+    """Resource plan violation, e.g. a trigger killed the query."""

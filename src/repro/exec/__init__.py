@@ -1,0 +1,1 @@
+"""Physical planning and vectorized execution."""

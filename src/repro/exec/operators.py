@@ -1,0 +1,601 @@
+"""Relational operator execution.
+
+``execute(rel, ctx)`` interprets a logical plan over materialized
+:class:`~repro.common.vector.VectorBatch` data.  The Tez-style runtime
+(:mod:`repro.runtime.tez`) carves the plan into vertices and calls into
+this module for each fragment; scans are delegated to the context, which
+routes them through the ACID reader / LLAP elevator / storage handlers.
+
+Every operator records its output cardinality in
+``ctx.runtime_stats`` — the runtime statistics that query re-execution
+uses (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..common.rows import Column, Schema
+from ..common.types import BIGINT, DOUBLE
+from ..common.vector import ColumnVector, VectorBatch
+from ..errors import ExecutionError, OutOfMemoryError
+from ..plan import relnodes as rel
+from ..plan import rexnodes as rex
+from . import expr_eval
+
+#: guard against runaway cross products in nested-loop joins
+MAX_CROSS_PRODUCT = 20_000_000
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a fragment needs at run time."""
+
+    #: scan delegate: TableScan -> VectorBatch (wired by the runtime)
+    scan_executor: Callable[[rel.TableScan], VectorBatch]
+    #: per-operator output cardinalities (digest -> rows), for reopt
+    runtime_stats: dict = field(default_factory=dict)
+    #: dynamic semijoin filters keyed by reducer id (Section 4.6)
+    semijoin_filters: dict = field(default_factory=dict)
+    #: simulated available memory per hash join build, in rows; a build
+    #: side exceeding it raises OutOfMemoryError (triggers reoptimization)
+    hash_join_memory_rows: Optional[int] = None
+    #: digests eligible for result reuse (shared work / semijoin sources);
+    #: results land in ``memo`` and re-executions are skipped
+    memo_digests: frozenset = frozenset()
+    memo: dict = field(default_factory=dict)
+
+    def record(self, node: rel.RelNode, rows: int) -> None:
+        self.runtime_stats[node.digest] = rows
+
+
+def execute(node: rel.RelNode, ctx: ExecutionContext) -> VectorBatch:
+    digest = None
+    if ctx.memo_digests:
+        digest = node.digest
+        if digest in ctx.memo:
+            return ctx.memo[digest]
+    handler = _DISPATCH.get(type(node))
+    if handler is None:
+        raise ExecutionError(f"no executor for {type(node).__name__}")
+    result = handler(node, ctx)
+    ctx.record(node, result.num_rows)
+    if digest is not None and digest in ctx.memo_digests:
+        ctx.memo[digest] = result
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# leaves
+
+def _exec_scan(node: rel.TableScan, ctx: ExecutionContext) -> VectorBatch:
+    return ctx.scan_executor(node)
+
+
+def _exec_values(node: rel.Values, ctx: ExecutionContext) -> VectorBatch:
+    return VectorBatch.from_rows(node.schema, node.rows)
+
+
+# --------------------------------------------------------------------------- #
+# unary
+
+def _exec_filter(node: rel.Filter, ctx: ExecutionContext) -> VectorBatch:
+    child = execute(node.input, ctx)
+    mask = expr_eval.evaluate_predicate(node.condition, child)
+    return child.filter(mask)
+
+
+def _exec_project(node: rel.Project, ctx: ExecutionContext) -> VectorBatch:
+    child = execute(node.input, ctx)
+    vectors = [expr_eval.evaluate(expr, child) for expr in node.exprs]
+    return VectorBatch(node.schema, vectors)
+
+
+def _exec_limit(node: rel.Limit, ctx: ExecutionContext) -> VectorBatch:
+    child = execute(node.input, ctx)
+    return child.slice(0, node.count)
+
+
+def _exec_sort(node: rel.Sort, ctx: ExecutionContext) -> VectorBatch:
+    child = execute(node.input, ctx)
+    order = sort_indices(child, node.keys)
+    if node.fetch is not None:
+        order = order[:node.fetch]
+    return child.take(order)
+
+
+def sort_indices(batch: VectorBatch,
+                 keys: Sequence[rel.SortKey]) -> np.ndarray:
+    """Stable multi-key sort; NULLs sort last regardless of direction."""
+    n = batch.num_rows
+    if n == 0:
+        return np.arange(0)
+    indices = list(range(n))
+    key_values = []
+    for key in keys:
+        vector = batch.vectors[key.index]
+        key_values.append((vector, key.ascending))
+
+    def sort_key(i: int):
+        parts = []
+        for vector, ascending in key_values:
+            is_null = bool(vector.nulls[i])
+            value = None if is_null else vector.data[i]
+            if value is not None and isinstance(value, np.generic):
+                value = value.item()
+            # nulls last: (1, anything); invert for DESC on comparables
+            parts.append((1, 0) if is_null else (0, _Directional(
+                value, ascending)))
+        return tuple(parts)
+
+    indices.sort(key=sort_key)
+    return np.asarray(indices, dtype=np.int64)
+
+
+class _Directional:
+    """Wrapper to invert comparison for DESC keys."""
+
+    __slots__ = ("value", "ascending")
+
+    def __init__(self, value, ascending: bool):
+        self.value = value
+        self.ascending = ascending
+
+    def __lt__(self, other: "_Directional") -> bool:
+        if self.ascending:
+            return self.value < other.value
+        return other.value < self.value
+
+    def __eq__(self, other) -> bool:
+        return self.value == other.value
+
+
+# --------------------------------------------------------------------------- #
+# aggregation
+
+def _exec_aggregate(node: rel.Aggregate, ctx: ExecutionContext) -> VectorBatch:
+    child = execute(node.input, ctx)
+    if node.grouping_sets is not None:
+        return _aggregate_grouping_sets(node, child)
+    rows = _aggregate_once(node, child, node.group_keys)
+    return VectorBatch.from_rows(node.schema, rows)
+
+
+def _aggregate_grouping_sets(node: rel.Aggregate,
+                             child: VectorBatch) -> VectorBatch:
+    all_rows = []
+    key_count = len(node.group_keys)
+    for gset in node.grouping_sets:
+        keys = tuple(node.group_keys[i] for i in gset)
+        rows = _aggregate_once(node, child, keys)
+        grouping_id = 0
+        for i in range(key_count):
+            if i not in gset:
+                grouping_id |= 1 << (key_count - 1 - i)
+        expanded = []
+        for row in rows:
+            full = [None] * key_count
+            for out_pos, key_pos in enumerate(gset):
+                full[key_pos] = row[out_pos]
+            expanded.append(tuple(full) + tuple(row[len(gset):])
+                            + (grouping_id,))
+        all_rows.extend(expanded)
+    return VectorBatch.from_rows(node.schema, all_rows)
+
+
+def _aggregate_once(node: rel.Aggregate, child: VectorBatch,
+                    group_keys: tuple[int, ...]) -> list[tuple]:
+    key_columns = [child.vectors[k] for k in group_keys]
+    n = child.num_rows
+    groups: dict[tuple, list] = {}
+    order: list[tuple] = []
+    arg_columns = []
+    for call in node.agg_calls:
+        arg_columns.append(None if call.arg is None
+                           else child.vectors[call.arg])
+
+    def new_states():
+        return [_new_state(call) for call in node.agg_calls]
+
+    if not group_keys:
+        states = new_states()
+        groups[()] = states
+        order.append(())
+        for i in range(n):
+            _update_states(node.agg_calls, states, arg_columns, i)
+    else:
+        for i in range(n):
+            key = tuple(
+                None if kc.nulls[i] else _plain(kc.data[i])
+                for kc in key_columns)
+            states = groups.get(key)
+            if states is None:
+                states = new_states()
+                groups[key] = states
+                order.append(key)
+            _update_states(node.agg_calls, states, arg_columns, i)
+
+    rows = []
+    for key in order:
+        states = groups[key]
+        finals = tuple(_finalize_state(call, state)
+                       for call, state in zip(node.agg_calls, states))
+        rows.append(key + finals)
+    if not group_keys and not rows:
+        rows.append(tuple(_finalize_state(call, state) for call, state
+                          in zip(node.agg_calls, new_states())))
+    return rows
+
+
+def _new_state(call: rex.AggregateCall):
+    if call.distinct:
+        return set()
+    if call.func == "count":
+        return 0
+    if call.func in ("sum", "avg"):
+        return [0.0, 0]          # sum, count
+    if call.func in ("min", "max"):
+        return [None]
+    if call.func in ("stddev", "variance"):
+        return [0.0, 0.0, 0]     # sum, sumsq, count
+    raise ExecutionError(f"unknown aggregate {call.func}")
+
+
+def _update_states(calls, states, arg_columns, i: int) -> None:
+    for slot, (call, state, column) in enumerate(
+            zip(calls, states, arg_columns)):
+        if column is None:       # count(*)
+            if call.distinct:
+                state.add(i)
+            else:
+                states[slot] += 1
+            continue
+        if column.nulls[i]:
+            continue
+        value = _plain(column.data[i])
+        if call.distinct:
+            state.add(value)
+        elif call.func == "count":
+            states[slot] += 1
+        elif call.func in ("sum", "avg"):
+            state[0] += value
+            state[1] += 1
+        elif call.func == "min":
+            if state[0] is None or value < state[0]:
+                state[0] = value
+        elif call.func == "max":
+            if state[0] is None or value > state[0]:
+                state[0] = value
+        elif call.func in ("stddev", "variance"):
+            state[0] += value
+            state[1] += value * value
+            state[2] += 1
+
+
+def _finalize_state(call: rex.AggregateCall, state):
+    if call.distinct:
+        if call.func == "count":
+            return len(state)
+        if not state:
+            return None
+        if call.func == "sum":
+            return sum(state)
+        if call.func == "avg":
+            return sum(state) / len(state)
+        if call.func == "min":
+            return min(state)
+        if call.func == "max":
+            return max(state)
+        raise ExecutionError(f"unsupported DISTINCT {call.func}")
+    if call.func == "count":
+        return state
+    if call.func == "sum":
+        if state[1] == 0:
+            return None
+        total = state[0]
+        return int(total) if call.dtype == BIGINT else total
+    if call.func == "avg":
+        return None if state[1] == 0 else state[0] / state[1]
+    if call.func in ("min", "max"):
+        return state[0]
+    if call.func in ("stddev", "variance"):
+        if state[2] == 0:
+            return None
+        mean = state[0] / state[2]
+        variance = max(0.0, state[1] / state[2] - mean * mean)
+        return variance if call.func == "variance" else variance ** 0.5
+    raise ExecutionError(call.func)
+
+
+def _plain(value):
+    return value.item() if isinstance(value, np.generic) else value
+
+
+# --------------------------------------------------------------------------- #
+# joins
+
+def _exec_join(node: rel.Join, ctx: ExecutionContext) -> VectorBatch:
+    left = execute(node.left, ctx)
+    right = execute(node.right, ctx)
+    return join_batches(node, left, right, ctx)
+
+
+def join_batches(node: rel.Join, left: VectorBatch, right: VectorBatch,
+                 ctx: ExecutionContext) -> VectorBatch:
+    left_width = len(left.schema)
+    pairs, residual = rex.split_equi_condition(node.condition, left_width)
+    if (ctx.hash_join_memory_rows is not None and pairs
+            and right.num_rows > ctx.hash_join_memory_rows):
+        raise OutOfMemoryError(
+            f"hash join build side has {right.num_rows} rows, memory "
+            f"budget is {ctx.hash_join_memory_rows}",
+            vertex=node._explain_label())
+
+    li, ri = _candidate_pairs(left, right, pairs)
+    if residual:
+        mask = _residual_mask(node, left, right, li, ri, residual)
+        li, ri = li[mask], ri[mask]
+
+    kind = node.kind
+    if kind == "semi":
+        keep = np.unique(li)
+        return left.take(keep)
+    if kind == "anti":
+        matched = np.zeros(left.num_rows, dtype=bool)
+        matched[li] = True
+        return left.filter(~matched)
+
+    out_schema = node.schema
+    if kind == "inner":
+        return _combine(out_schema, left, right, li, ri)
+    if kind in ("left", "full"):
+        matched = np.zeros(left.num_rows, dtype=bool)
+        matched[li] = True
+        extra_left = np.nonzero(~matched)[0]
+        li = np.concatenate([li, extra_left])
+        ri = np.concatenate([ri, np.full(len(extra_left), -1,
+                                         dtype=np.int64)])
+    if kind in ("right", "full"):
+        matched_right = np.zeros(right.num_rows, dtype=bool)
+        matched_right[ri[ri >= 0]] = True
+        extra_right = np.nonzero(~matched_right)[0]
+        li = np.concatenate([li, np.full(len(extra_right), -1,
+                                         dtype=np.int64)])
+        ri = np.concatenate([ri, extra_right])
+    return _combine(out_schema, left, right, li, ri)
+
+
+def _candidate_pairs(left: VectorBatch, right: VectorBatch,
+                     pairs: list[tuple[int, int]]
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    if not pairs:
+        total = left.num_rows * right.num_rows
+        if total > MAX_CROSS_PRODUCT:
+            raise ExecutionError(
+                f"cross product of {left.num_rows} x {right.num_rows} "
+                "rows exceeds the nested-loop limit")
+        li = np.repeat(np.arange(left.num_rows), right.num_rows)
+        ri = np.tile(np.arange(right.num_rows), left.num_rows)
+        return li.astype(np.int64), ri.astype(np.int64)
+    # hash join: build on right
+    build: dict[tuple, list[int]] = {}
+    right_keys = [right.vectors[r] for _, r in pairs]
+    for i in range(right.num_rows):
+        if any(kc.nulls[i] for kc in right_keys):
+            continue
+        key = tuple(_plain(kc.data[i]) for kc in right_keys)
+        build.setdefault(key, []).append(i)
+    left_keys = [left.vectors[l] for l, _ in pairs]
+    li_out: list[int] = []
+    ri_out: list[int] = []
+    for i in range(left.num_rows):
+        if any(kc.nulls[i] for kc in left_keys):
+            continue
+        key = tuple(_plain(kc.data[i]) for kc in left_keys)
+        matches = build.get(key)
+        if matches:
+            li_out.extend([i] * len(matches))
+            ri_out.extend(matches)
+    return (np.asarray(li_out, dtype=np.int64),
+            np.asarray(ri_out, dtype=np.int64))
+
+
+def _residual_mask(node, left, right, li, ri, residual) -> np.ndarray:
+    combined_schema = left.schema.concat(right.schema, dedupe=True)
+    combined = VectorBatch(
+        combined_schema,
+        [v.take(li) for v in left.vectors]
+        + [v.take(ri) for v in right.vectors])
+    condition = rex.make_and(list(residual))
+    return expr_eval.evaluate_predicate(condition, combined)
+
+
+def _combine(out_schema: Schema, left: VectorBatch, right: VectorBatch,
+             li: np.ndarray, ri: np.ndarray) -> VectorBatch:
+    """Materialize joined rows; index -1 produces NULL-padded sides."""
+    vectors: list[ColumnVector] = []
+    for v in left.vectors:
+        vectors.append(_take_padded(v, li))
+    for v in right.vectors:
+        vectors.append(_take_padded(v, ri))
+    return VectorBatch(out_schema, vectors)
+
+
+def _take_padded(vector: ColumnVector, indices: np.ndarray) -> ColumnVector:
+    if len(indices) == 0:
+        return ColumnVector(vector.dtype,
+                            np.empty(0, dtype=vector.data.dtype),
+                            np.empty(0, dtype=bool))
+    safe = np.where(indices < 0, 0, indices)
+    data = vector.data[safe]
+    nulls = vector.nulls[safe] | (indices < 0)
+    if len(vector.data) == 0:
+        # all padding
+        data = np.zeros(len(indices), dtype=vector.data.dtype) \
+            if vector.data.dtype != np.dtype(object) else _empty_obj(
+                len(indices))
+        nulls = np.ones(len(indices), dtype=bool)
+    return ColumnVector(vector.dtype, data, nulls)
+
+
+def _empty_obj(n: int) -> np.ndarray:
+    out = np.empty(n, dtype=object)
+    out[:] = ""
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# set operations
+
+def _exec_union(node: rel.Union, ctx: ExecutionContext) -> VectorBatch:
+    batches = [execute(child, ctx) for child in node.rels]
+    return VectorBatch.concat(node.schema, [
+        b.with_schema(node.schema) for b in batches])
+
+
+def _exec_setop(node: rel.SetOp, ctx: ExecutionContext) -> VectorBatch:
+    left = execute(node.left, ctx)
+    right = execute(node.right, ctx)
+    right_rows = set(right.to_rows())
+    left_rows = left.to_rows()
+    if node.kind == "intersect":
+        out, seen = [], set()
+        for row in left_rows:
+            if row in right_rows and (node.all or row not in seen):
+                out.append(row)
+                seen.add(row)
+    elif node.kind == "except":
+        out, seen = [], set()
+        for row in left_rows:
+            if row not in right_rows and (node.all or row not in seen):
+                out.append(row)
+                seen.add(row)
+    else:
+        raise ExecutionError(f"unknown set op {node.kind}")
+    return VectorBatch.from_rows(node.schema, out)
+
+
+# --------------------------------------------------------------------------- #
+# window functions
+
+def _exec_window(node: rel.Window, ctx: ExecutionContext) -> VectorBatch:
+    child = execute(node.input, ctx)
+    n = child.num_rows
+    out_vectors = list(child.vectors)
+    for call in node.calls:
+        out_vectors.append(_window_column(call, child, n))
+    return VectorBatch(node.schema, out_vectors)
+
+
+def _window_column(call: rel.WindowCall, child: VectorBatch,
+                   n: int) -> ColumnVector:
+    partitions: dict[tuple, list[int]] = {}
+    for i in range(n):
+        key = tuple(
+            None if child.vectors[k].nulls[i]
+            else _plain(child.vectors[k].data[i])
+            for k in call.partition_keys)
+        partitions.setdefault(key, []).append(i)
+
+    np_dtype = call.dtype.numpy_dtype
+    data = (np.zeros(n, dtype=np_dtype) if np_dtype != np.dtype(object)
+            else _empty_obj(n))
+    nulls = np.zeros(n, dtype=bool)
+
+    for rows in partitions.values():
+        ordered = rows
+        if call.order_keys:
+            sub = child.take(np.asarray(rows, dtype=np.int64))
+            order = sort_indices(sub, call.order_keys)
+            ordered = [rows[j] for j in order]
+        if call.func == "row_number":
+            for rank, idx in enumerate(ordered, 1):
+                data[idx] = rank
+        elif call.func in ("rank", "dense_rank"):
+            _rank_partition(call, child, ordered, data)
+        else:
+            _agg_partition(call, child, ordered, data, nulls)
+    return ColumnVector(call.dtype, data, nulls)
+
+
+def _rank_partition(call, child, ordered, data) -> None:
+    def order_tuple(i: int):
+        return tuple(
+            (1,) if child.vectors[k.index].nulls[i]
+            else (0, _plain(child.vectors[k.index].data[i]))
+            for k in call.order_keys)
+
+    prev = None
+    rank = 0
+    dense = 0
+    for pos, idx in enumerate(ordered, 1):
+        current = order_tuple(idx)
+        if current != prev:
+            rank = pos
+            dense += 1
+            prev = current
+        data[idx] = rank if call.func == "rank" else dense
+
+
+def _agg_partition(call, child, ordered, data, nulls) -> None:
+    """Windowed aggregates: running when ORDER BY present, else whole."""
+    column = None if call.arg is None else child.vectors[call.arg]
+    if not call.order_keys:
+        values = []
+        if column is None:
+            total_count = len(ordered)
+        else:
+            values = [_plain(column.data[i]) for i in ordered
+                      if not column.nulls[i]]
+            total_count = len(values)
+        result, is_null = _window_agg_value(call.func, values, total_count)
+        for idx in ordered:
+            data[idx] = result if not is_null else data[idx]
+            nulls[idx] = is_null
+        return
+    running: list = []
+    count = 0
+    for idx in ordered:
+        if column is None:
+            count += 1
+        elif not column.nulls[idx]:
+            running.append(_plain(column.data[idx]))
+            count += 1
+        result, is_null = _window_agg_value(call.func, running, count)
+        if not is_null:
+            data[idx] = result
+        nulls[idx] = is_null
+
+
+def _window_agg_value(func: str, values: list, count: int):
+    if func == "count":
+        return count, False
+    if not values:
+        return 0, True
+    if func == "sum":
+        return sum(values), False
+    if func == "avg":
+        return sum(values) / len(values), False
+    if func == "min":
+        return min(values), False
+    if func == "max":
+        return max(values), False
+    raise ExecutionError(f"unsupported window aggregate {func}")
+
+
+_DISPATCH = {
+    rel.TableScan: _exec_scan,
+    rel.Values: _exec_values,
+    rel.Filter: _exec_filter,
+    rel.Project: _exec_project,
+    rel.Limit: _exec_limit,
+    rel.Sort: _exec_sort,
+    rel.Aggregate: _exec_aggregate,
+    rel.Join: _exec_join,
+    rel.Union: _exec_union,
+    rel.SetOp: _exec_setop,
+    rel.Window: _exec_window,
+}

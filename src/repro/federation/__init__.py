@@ -1,0 +1,11 @@
+"""Federation: storage handlers and computation pushdown (Section 6)."""
+
+from .handler import StorageHandler
+from .druid import DruidEngine, DruidQuery, DruidStorageHandler
+from .jdbc import JdbcStorageHandler
+from .kafka import KafkaBroker, KafkaStorageHandler, KafkaTopic
+from .pushdown import make_pushdown_rule
+
+__all__ = ["StorageHandler", "DruidEngine", "DruidQuery",
+           "DruidStorageHandler", "JdbcStorageHandler", "KafkaBroker",
+           "KafkaStorageHandler", "KafkaTopic", "make_pushdown_rule"]

@@ -1,0 +1,781 @@
+"""A miniature Druid: time-partitioned OLAP store + storage handler.
+
+Reproduces the pieces of Druid the paper's federation experiment relies
+on (Sections 6.1-6.2, Figure 8):
+
+* **segments**: data is partitioned by time interval; queries prune
+  segments by interval before touching rows,
+* **inverted indexes** on dimension columns: selector/in filters resolve
+  to row ids without scanning,
+* a **JSON-style query language** (scan / timeseries / topN / groupBy)
+  with filters, aggregations and a limitSpec — the translator emits these
+  from relational operator chains exactly like Figure 6,
+* a cost model tuned for filtered aggregation: Druid's specialized
+  storage makes per-row aggregation cheaper than a general SQL runtime,
+  which is why pushing computation wins.
+
+The handler implements the full storage-handler contract: metastore
+hooks, schema inference from Druid metadata, SerDe in both directions,
+and Calcite-style pushdown.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..common.rows import Column, Schema
+from ..common.types import DOUBLE, DataType
+from ..errors import FederationError
+from ..metastore.catalog import TableDescriptor
+from ..plan import relnodes as rel
+from ..plan import rexnodes as rex
+from .handler import StorageHandler
+
+_MS_PER_DAY = 86_400_000
+
+
+@dataclass
+class DruidCostModel:
+    """Simulated latency constants for the mini Druid."""
+
+    broker_overhead_s: float = 0.030
+    segment_overhead_s: float = 0.002
+    row_scan_s: float = 3.0e-8        # vectorized column scan per row
+    indexed_lookup_s: float = 2.0e-8  # per row id produced by an index
+    agg_row_s: float = 6.0e-8         # specialized aggregation per row
+    result_row_s: float = 2.0e-7
+    #: historical-node parallelism: segments are scanned concurrently
+    #: across the cluster's cores
+    parallelism: int = 80
+    #: virtual dataset magnification — keep equal to the Hive side's
+    #: ``CostModelConf.data_scale`` for apples-to-apples comparisons
+    data_scale: float = 1.0
+
+
+# --------------------------------------------------------------------------- #
+# query model
+
+@dataclass
+class DruidQuery:
+    """A JSON-style Druid query (Figure 6c)."""
+
+    query_type: str                       # scan|timeseries|topN|groupBy
+    datasource: str
+    intervals: Optional[list[tuple[int, int]]] = None   # [lo, hi) in ms
+    filter: Optional[dict] = None
+    dimensions: list[str] = field(default_factory=list)
+    aggregations: list[dict] = field(default_factory=list)
+    limit_spec: Optional[dict] = None
+    columns: list[str] = field(default_factory=list)
+    granularity: str = "all"
+
+    def to_json(self) -> str:
+        body: dict = {"queryType": self.query_type,
+                      "dataSource": self.datasource,
+                      "granularity": self.granularity}
+        if self.intervals is not None:
+            body["intervals"] = [
+                f"{_iso(lo)}/{_iso(hi)}" for lo, hi in self.intervals]
+        if self.filter is not None:
+            body["filter"] = self.filter
+        if self.dimensions:
+            body["dimensions"] = self.dimensions
+        if self.aggregations:
+            body["aggregations"] = self.aggregations
+        if self.limit_spec is not None:
+            body["limitSpec"] = self.limit_spec
+        if self.columns:
+            body["columns"] = self.columns
+        return json.dumps(body, indent=1)
+
+    def __repr__(self) -> str:
+        return (f"DruidQuery({self.query_type} on {self.datasource}, "
+                f"dims={self.dimensions}, aggs={len(self.aggregations)})")
+
+
+def _iso(ms: int) -> str:
+    if ms <= -4_000_000_000_000:
+        return "-146136543-09-08T08:23:32.096"   # Druid's MIN_INSTANT
+    if ms >= 4_000_000_000_000:
+        return "146140482-04-24T15:36:27.903"    # Druid's MAX_INSTANT
+    return datetime.datetime.utcfromtimestamp(ms / 1000).strftime(
+        "%Y-%m-%dT%H:%M:%S.000")
+
+
+# --------------------------------------------------------------------------- #
+# storage
+
+class DruidSegment:
+    """One time chunk of a datasource, stored column-wise."""
+
+    def __init__(self, interval: tuple[int, int],
+                 columns: dict[str, np.ndarray]):
+        self.interval = interval
+        self.columns = columns
+        self.num_rows = len(next(iter(columns.values()))) if columns else 0
+        self._indexes: dict[str, dict] = {}
+
+    def index_of(self, dimension: str) -> dict:
+        """Lazily built inverted index: value -> row-id array."""
+        index = self._indexes.get(dimension)
+        if index is None:
+            index = {}
+            column = self.columns[dimension]
+            for i, value in enumerate(column):
+                key = value.item() if hasattr(value, "item") else value
+                index.setdefault(key, []).append(i)
+            index = {k: np.asarray(v, dtype=np.int64)
+                     for k, v in index.items()}
+            self._indexes[dimension] = index
+        return index
+
+
+class DruidDataSource:
+    """A named table inside the engine."""
+
+    def __init__(self, name: str, schema: Schema, time_column: str,
+                 dimensions: list[str], metrics: list[str],
+                 segment_granularity_days: int = 30):
+        self.name = name
+        self.schema = schema
+        self.time_column = time_column
+        self.dimensions = dimensions
+        self.metrics = metrics
+        self.segment_granularity_days = segment_granularity_days
+        self.segments: list[DruidSegment] = []
+
+    @property
+    def num_rows(self) -> int:
+        return sum(s.num_rows for s in self.segments)
+
+    def ingest(self, rows: Sequence[tuple]) -> int:
+        """Partition rows into time-chunk segments and append them."""
+        if not rows:
+            return 0
+        names = self.schema.names()
+        time_idx = names.index(self.time_column) \
+            if self.time_column in names else None
+        chunks: dict[int, list[tuple]] = {}
+        for row in rows:
+            if time_idx is None:
+                bucket = 0
+            else:
+                ms = _to_ms(row[time_idx])
+                bucket = ms // (_MS_PER_DAY
+                                * self.segment_granularity_days)
+            chunks.setdefault(bucket, []).append(row)
+        for bucket, chunk in sorted(chunks.items()):
+            lo = bucket * _MS_PER_DAY * self.segment_granularity_days
+            hi = lo + _MS_PER_DAY * self.segment_granularity_days
+            columns: dict[str, np.ndarray] = {}
+            for j, column in enumerate(self.schema):
+                values = [_storage_value(column.dtype, row[j])
+                          for row in chunk]
+                np_dtype = column.dtype.numpy_dtype
+                if np_dtype == np.dtype(object):
+                    arr = np.empty(len(values), dtype=object)
+                    arr[:] = values
+                else:
+                    arr = np.asarray(values, dtype=np_dtype)
+                columns[column.name] = arr
+            self.segments.append(DruidSegment((lo, hi), columns))
+        return len(rows)
+
+
+def _to_ms(value) -> int:
+    if isinstance(value, datetime.datetime):
+        return int(value.timestamp() * 1000)
+    if isinstance(value, datetime.date):
+        return (value - datetime.date(1970, 1, 1)).days * _MS_PER_DAY
+    if isinstance(value, (int, float)):
+        return int(value)
+    raise FederationError(f"cannot interpret {value!r} as a timestamp")
+
+
+def _storage_value(dtype: DataType, value):
+    if value is None:
+        return "" if dtype.numpy_dtype == np.dtype(object) else 0
+    return dtype.to_storage(value)
+
+
+# --------------------------------------------------------------------------- #
+# engine
+
+class DruidEngine:
+    """The standalone OLAP store (one per deployment)."""
+
+    def __init__(self, cost: Optional[DruidCostModel] = None):
+        self.datasources: dict[str, DruidDataSource] = {}
+        self.cost = cost or DruidCostModel()
+        self.queries_served = 0
+
+    # -- DDL -------------------------------------------------------------- #
+    def create_datasource(self, name: str, schema: Schema,
+                          time_column: str, dimensions: list[str],
+                          metrics: list[str]) -> DruidDataSource:
+        if name in self.datasources:
+            raise FederationError(f"datasource {name} already exists")
+        ds = DruidDataSource(name, schema, time_column, dimensions,
+                             metrics)
+        self.datasources[name] = ds
+        return ds
+
+    def drop_datasource(self, name: str) -> None:
+        self.datasources.pop(name, None)
+
+    def get(self, name: str) -> DruidDataSource:
+        try:
+            return self.datasources[name]
+        except KeyError:
+            raise FederationError(f"no such datasource: {name}") from None
+
+    # -- query execution ---------------------------------------------------- #
+    def execute(self, query: DruidQuery) -> tuple[list[tuple], float]:
+        """Run a query; returns (rows, simulated latency seconds)."""
+        ds = self.get(query.datasource)
+        self.queries_served += 1
+        scale = self.cost.data_scale / max(1, self.cost.parallelism)
+        cost = self.cost.broker_overhead_s
+        matched_total = 0
+        segments_touched = 0
+
+        groups: dict[tuple, list] = {}
+        scan_rows: list[tuple] = []
+        agg_specs = query.aggregations
+        dims = query.dimensions
+
+        for segment in ds.segments:
+            if query.intervals is not None and not _overlaps(
+                    segment.interval, query.intervals):
+                continue
+            segments_touched += 1
+            row_ids, filter_cost = _apply_filter(segment, query.filter,
+                                                 self.cost)
+            cost += filter_cost
+            if row_ids is not None and len(row_ids) == 0:
+                continue
+            n = segment.num_rows if row_ids is None else len(row_ids)
+            matched_total += n
+            if query.query_type == "scan":
+                cost += n * scale * self.cost.row_scan_s
+                columns = [segment.columns[c] for c in query.columns]
+                ids = row_ids if row_ids is not None else np.arange(
+                    segment.num_rows)
+                for i in ids:
+                    scan_rows.append(tuple(
+                        _plain(col[i]) for col in columns))
+                continue
+            cost += n * scale * self.cost.agg_row_s * max(1, len(agg_specs))
+            dim_cols = [segment.columns[d] for d in dims]
+            agg_cols = [segment.columns[a["fieldName"]]
+                        if a.get("fieldName") else None
+                        for a in agg_specs]
+            ids = row_ids if row_ids is not None else range(
+                segment.num_rows)
+            for i in ids:
+                key = tuple(_plain(c[i]) for c in dim_cols)
+                state = groups.get(key)
+                if state is None:
+                    state = [_agg_init(a) for a in agg_specs]
+                    groups[key] = state
+                for k, (spec, col) in enumerate(zip(agg_specs, agg_cols)):
+                    state[k] = _agg_update(spec, state[k],
+                                           None if col is None
+                                           else _plain(col[i]))
+
+        cost += segments_touched * self.cost.segment_overhead_s
+
+        if query.query_type == "scan":
+            cost += len(scan_rows) * scale * self.cost.result_row_s
+            return scan_rows, cost
+
+        rows = [key + tuple(state) for key, state in groups.items()]
+        if not dims and not rows:
+            rows = [tuple(_agg_init(a) for a in agg_specs)]
+        if query.limit_spec is not None:
+            rows = _apply_limit_spec(rows, dims, agg_specs,
+                                     query.limit_spec)
+        cost += len(rows) * self.cost.result_row_s
+        return rows, cost
+
+
+def _overlaps(interval: tuple[int, int],
+              wanted: list[tuple[int, int]]) -> bool:
+    lo, hi = interval
+    return any(lo < whi and wlo < hi for wlo, whi in wanted)
+
+
+def _apply_filter(segment: DruidSegment, spec: Optional[dict],
+                  cost_model: DruidCostModel
+                  ) -> tuple[Optional[np.ndarray], float]:
+    """Returns (row ids or None for all, simulated cost)."""
+    if spec is None:
+        return None, 0.0
+    kind = spec["type"]
+    if kind == "and":
+        ids = None
+        cost = 0.0
+        for sub in spec["fields"]:
+            sub_ids, sub_cost = _apply_filter(segment, sub, cost_model)
+            cost += sub_cost
+            if sub_ids is None:
+                continue
+            ids = sub_ids if ids is None else np.intersect1d(
+                ids, sub_ids, assume_unique=False)
+        return ids, cost
+    if kind == "or":
+        parts = []
+        cost = 0.0
+        for sub in spec["fields"]:
+            sub_ids, sub_cost = _apply_filter(segment, sub, cost_model)
+            cost += sub_cost
+            if sub_ids is None:
+                return None, cost
+            parts.append(sub_ids)
+        merged = np.unique(np.concatenate(parts)) if parts else \
+            np.empty(0, dtype=np.int64)
+        return merged, cost
+    if kind == "not":
+        sub_ids, cost = _apply_filter(segment, spec["field"], cost_model)
+        everything = np.arange(segment.num_rows)
+        if sub_ids is None:
+            return np.empty(0, dtype=np.int64), cost
+        return np.setdiff1d(everything, sub_ids), cost
+    if kind == "selector":
+        index = segment.index_of(spec["dimension"])
+        ids = index.get(spec["value"], np.empty(0, dtype=np.int64))
+        return ids, (len(ids) * cost_model.data_scale
+                     * cost_model.indexed_lookup_s
+                     / max(1, cost_model.parallelism))
+    if kind == "in":
+        index = segment.index_of(spec["dimension"])
+        parts = [index.get(v, np.empty(0, dtype=np.int64))
+                 for v in spec["values"]]
+        ids = np.unique(np.concatenate(parts)) if parts else \
+            np.empty(0, dtype=np.int64)
+        return ids, (len(ids) * cost_model.data_scale
+                     * cost_model.indexed_lookup_s
+                     / max(1, cost_model.parallelism))
+    if kind == "bound":
+        column = segment.columns[spec["dimension"]]
+        mask = np.ones(segment.num_rows, dtype=bool)
+        lower = spec.get("lower")
+        upper = spec.get("upper")
+        if lower is not None:
+            mask &= (column > lower) if spec.get("lowerStrict") \
+                else (column >= lower)
+        if upper is not None:
+            mask &= (column < upper) if spec.get("upperStrict") \
+                else (column <= upper)
+        ids = np.nonzero(mask)[0]
+        return ids, (segment.num_rows * cost_model.data_scale
+                     * cost_model.row_scan_s
+                     / max(1, cost_model.parallelism))
+    raise FederationError(f"unknown filter type {kind!r}")
+
+
+def _agg_init(spec: dict):
+    kind = spec["type"]
+    if kind == "count":
+        return 0
+    if kind in ("doubleSum", "longSum", "floatSum"):
+        return 0 if kind == "longSum" else 0.0
+    if kind in ("doubleMin", "longMin"):
+        return None
+    if kind in ("doubleMax", "longMax"):
+        return None
+    raise FederationError(f"unknown aggregation {kind!r}")
+
+
+def _agg_update(spec: dict, state, value):
+    kind = spec["type"]
+    if kind == "count":
+        return state + 1
+    if value is None:
+        return state
+    if kind.endswith("Sum"):
+        return state + value
+    if kind.endswith("Min"):
+        return value if state is None or value < state else state
+    if kind.endswith("Max"):
+        return value if state is None or value > state else state
+    raise FederationError(kind)
+
+
+def _apply_limit_spec(rows: list[tuple], dims: list[str],
+                      agg_specs: list[dict], limit_spec: dict):
+    names = list(dims) + [a["name"] for a in agg_specs]
+    for order in reversed(limit_spec.get("columns", [])):
+        idx = names.index(order["dimension"])
+        descending = order.get("direction") == "descending"
+        rows.sort(key=lambda r: ((r[idx] is None), r[idx]
+                                 if r[idx] is not None else 0),
+                  reverse=descending)
+    limit = limit_spec.get("limit")
+    return rows[:limit] if limit is not None else rows
+
+
+def _plain(value):
+    return value.item() if hasattr(value, "item") else value
+
+
+# --------------------------------------------------------------------------- #
+# the storage handler
+
+class DruidStorageHandler(StorageHandler):
+    """Connects Hive tables to a :class:`DruidEngine` (Section 6.1)."""
+
+    name = "druid"
+
+    def __init__(self, engine: DruidEngine):
+        self.engine = engine
+
+    # -- metastore hook -------------------------------------------------------- #
+    def datasource_name(self, table: TableDescriptor) -> str:
+        return table.properties.get("druid.datasource", table.name)
+
+    def on_create_table(self, table: TableDescriptor) -> None:
+        name = self.datasource_name(table)
+        if name in self.engine.datasources:
+            return  # mapping an existing datasource
+        if not len(table.schema):
+            raise FederationError(
+                f"datasource {name} does not exist and the table "
+                "declares no columns")
+        time_column = None
+        dimensions: list[str] = []
+        metrics: list[str] = []
+        for column in table.schema:
+            family = column.dtype._family()
+            if family in ("DATE", "TIMESTAMP") and time_column is None:
+                time_column = column.name
+            elif family in ("DOUBLE", "DECIMAL"):
+                metrics.append(column.name)
+            else:
+                dimensions.append(column.name)
+        self.engine.create_datasource(
+            name, table.schema, time_column or "", dimensions, metrics)
+
+    def on_drop_table(self, table: TableDescriptor) -> None:
+        if table.properties.get("druid.datasource.retain") != "true":
+            self.engine.drop_datasource(self.datasource_name(table))
+
+    def infer_schema(self, table: TableDescriptor) -> Optional[Schema]:
+        name = self.datasource_name(table)
+        if name in self.engine.datasources:
+            return self.engine.datasources[name].schema
+        return None
+
+    # -- IO ------------------------------------------------------------------ #
+    def scan_table(self, table: TableDescriptor,
+                   columns: Sequence[str]) -> tuple[list[tuple], float]:
+        ds = self.engine.get(self.datasource_name(table))
+        query = DruidQuery("scan", ds.name, columns=list(columns))
+        rows, seconds = self.engine.execute(query)
+        return [self._deserialize(table, columns, row)
+                for row in rows], seconds
+
+    def insert_rows(self, table: TableDescriptor,
+                    rows: Sequence[tuple]) -> None:
+        ds = self.engine.get(self.datasource_name(table))
+        ds.ingest(rows)
+
+    def _deserialize(self, table: TableDescriptor,
+                     columns: Sequence[str], row: tuple) -> tuple:
+        types = [table.schema.field(c).dtype for c in columns]
+        return tuple(t.from_storage(v) if v is not None else None
+                     for t, v in zip(types, row))
+
+    # -- pushdown (Section 6.2) --------------------------------------------------- #
+    def try_pushdown(self, table: TableDescriptor,
+                     chain: list[rel.RelNode],
+                     scan: rel.TableScan
+                     ) -> Optional[tuple[DruidQuery, Schema, int]]:
+        translator = _DruidTranslator(self, table, scan)
+        return translator.translate(chain)
+
+    def execute_pushed(self, table: TableDescriptor,
+                       query: DruidQuery) -> tuple[list[tuple], float]:
+        return self.engine.execute(query)
+
+
+class _DruidTranslator:
+    """Greedy operator-chain → DruidQuery translation."""
+
+    def __init__(self, handler: DruidStorageHandler,
+                 table: TableDescriptor, scan: rel.TableScan):
+        self.handler = handler
+        self.table = table
+        self.scan = scan
+        self.ds = handler.engine.get(handler.datasource_name(table))
+
+    def translate(self, chain: list[rel.RelNode]
+                  ) -> Optional[tuple[DruidQuery, Schema, int]]:
+        """``chain`` is bottom-up (scan-adjacent first).
+
+        Returns (query, output schema of the consumed prefix, consumed
+        count), or None when nothing beyond a raw scan can be pushed.
+        """
+        query = DruidQuery("scan", self.ds.name,
+                           columns=[c.name for c in self.scan.schema])
+        schema = self.scan.schema
+        consumed = 0
+        i = 0
+        aggregated = False
+        # 1. filter
+        if i < len(chain) and isinstance(chain[i], rel.Filter):
+            spec, intervals = self._filter_spec(chain[i].condition, schema)
+            if spec is not None or intervals is not None:
+                query.filter = spec
+                query.intervals = intervals
+                consumed = i + 1
+                i += 1
+            else:
+                return self._finish(query, schema, consumed, aggregated)
+        # 2. optional pre-projection of plain columns
+        pre_map: Optional[list[int]] = None
+        if i < len(chain) and isinstance(chain[i], rel.Project) \
+                and i + 1 < len(chain) \
+                and isinstance(chain[i + 1], rel.Aggregate):
+            project = chain[i]
+            if all(isinstance(e, rex.RexInputRef) for e in project.exprs):
+                pre_map = [e.index for e in project.exprs]
+                i += 1
+            else:
+                return self._finish(query, schema, consumed, aggregated)
+        # 3. aggregate
+        if i < len(chain) and isinstance(chain[i], rel.Aggregate):
+            aggregate = chain[i]
+            converted = self._aggregate_spec(aggregate, schema, pre_map)
+            if converted is None:
+                return self._finish(query, schema, consumed, aggregated)
+            query.dimensions, query.aggregations = converted
+            query.columns = []
+            aggregated = True
+            schema = aggregate.schema
+            consumed = i + 1
+            i += 1
+        # 3b. identity post-projection (renaming) folds into the result
+        if aggregated and i < len(chain) and isinstance(
+                chain[i], rel.Project):
+            project = chain[i]
+            identity = (len(project.exprs) == len(schema) and all(
+                isinstance(e, rex.RexInputRef) and e.index == j
+                for j, e in enumerate(project.exprs)))
+            if identity:
+                schema = project.schema
+                consumed = i + 1
+                i += 1
+        # 4. sort + limit over aggregate output
+        if aggregated and i < len(chain) and isinstance(
+                chain[i], rel.Sort) and chain[i].fetch is not None:
+            sort = chain[i]
+            # limitSpec must use the engine's internal output names
+            internal = list(query.dimensions) + [
+                a["name"] for a in query.aggregations]
+            query.limit_spec = {
+                "limit": sort.fetch,
+                "columns": [
+                    {"dimension": internal[k.index],
+                     "direction": "descending" if not k.ascending
+                     else "ascending"}
+                    for k in sort.keys]}
+            consumed = i + 1
+            i += 1
+        return self._finish(query, schema, consumed, aggregated)
+
+    def _finish(self, query: DruidQuery, schema: Schema, consumed: int,
+                aggregated: bool):
+        if aggregated:
+            if not query.dimensions:
+                query.query_type = "timeseries"
+            elif len(query.dimensions) == 1 and query.limit_spec:
+                query.query_type = "topN"
+            else:
+                query.query_type = "groupBy"
+        return query, schema, consumed
+
+    # -- filter conversion --------------------------------------------------------- #
+    def _filter_spec(self, condition: rex.RexNode, schema: Schema):
+        intervals: list[tuple[int, int]] = []
+        specs: list[dict] = []
+        for conjunct in rex.conjunctions(condition):
+            spec = self._conjunct_spec(conjunct, schema, intervals)
+            if spec is None and not intervals:
+                return None, None
+            if spec is not None:
+                specs.append(spec)
+        combined: Optional[dict]
+        if not specs:
+            combined = None
+        elif len(specs) == 1:
+            combined = specs[0]
+        else:
+            combined = {"type": "and", "fields": specs}
+        merged_intervals = _merge_intervals(intervals) if intervals \
+            else None
+        return combined, merged_intervals
+
+    def _conjunct_spec(self, conjunct: rex.RexNode, schema: Schema,
+                       intervals: list) -> Optional[dict]:
+        if not isinstance(conjunct, rex.RexCall):
+            return None
+        year_spec = self._extract_year_spec(conjunct, schema, intervals)
+        if year_spec is not None:
+            return year_spec
+        if conjunct.op == "IN":
+            ref = conjunct.operands[0]
+            if not isinstance(ref, rex.RexInputRef):
+                return None
+            values = []
+            for operand in conjunct.operands[1:]:
+                if not isinstance(operand, rex.RexLiteral):
+                    return None
+                values.append(ref.dtype.to_storage(operand.value))
+            return {"type": "in", "dimension": schema[ref.index].name,
+                    "values": values}
+        if conjunct.op in ("=", "<", "<=", ">", ">="):
+            a, b = conjunct.operands
+            if isinstance(a, rex.RexInputRef) and isinstance(
+                    b, rex.RexLiteral):
+                ref, literal, op = a, b, conjunct.op
+            elif isinstance(b, rex.RexInputRef) and isinstance(
+                    a, rex.RexLiteral):
+                ref, literal = b, a
+                op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                      "=": "="}[conjunct.op]
+            else:
+                return None
+            column = schema[ref.index].name
+            value = ref.dtype.to_storage(literal.value)
+            if column == self.ds.time_column and op != "=" \
+                    and ref.dtype._family() in ("DATE", "TIMESTAMP"):
+                ms = value * _MS_PER_DAY \
+                    if ref.dtype._family() == "DATE" else value
+                if op in (">", ">="):
+                    intervals.append((ms if op == ">=" else ms + 1,
+                                      2**62))
+                else:
+                    intervals.append((-2**62,
+                                      ms + 1 if op == "<=" else ms))
+                # also emit the bound so row filtering stays exact
+            if op == "=":
+                return {"type": "selector", "dimension": column,
+                        "value": value}
+            spec: dict = {"type": "bound", "dimension": column}
+            if op in (">", ">="):
+                spec["lower"] = value
+                spec["lowerStrict"] = (op == ">")
+            else:
+                spec["upper"] = value
+                spec["upperStrict"] = (op == "<")
+            return spec
+        return None
+
+    def _extract_year_spec(self, conjunct: rex.RexCall, schema: Schema,
+                           intervals: list) -> Optional[dict]:
+        """Figure 6's pattern: EXTRACT(year FROM t) <op> Y becomes a
+
+        bound on the temporal column (plus a broker interval when the
+        column is the datasource's time column)."""
+        import datetime
+        if conjunct.op not in ("=", "<", "<=", ">", ">="):
+            return None
+        a, b = conjunct.operands
+        if isinstance(a, rex.RexCall) and isinstance(b, rex.RexLiteral):
+            call, literal, op = a, b, conjunct.op
+        elif isinstance(b, rex.RexCall) and isinstance(a, rex.RexLiteral):
+            call, literal = b, a
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                  "=": "="}[conjunct.op]
+        else:
+            return None
+        if call.op != "EXTRACT_YEAR" or len(call.operands) != 1:
+            return None
+        ref = call.operands[0]
+        if not isinstance(ref, rex.RexInputRef):
+            return None
+        family = ref.dtype._family()
+        if family not in ("DATE", "TIMESTAMP"):
+            return None
+        year = int(literal.value)
+        column = schema[ref.index].name
+
+        def boundary(y: int):
+            day = datetime.date(y, 1, 1)
+            days = (day - datetime.date(1970, 1, 1)).days
+            return days if family == "DATE" else days * _MS_PER_DAY
+
+        lower = upper = None           # [lower, upper) in storage units
+        if op in (">=", "="):
+            lower = boundary(year)
+        if op == ">":
+            lower = boundary(year + 1)
+        if op in ("<=", "="):
+            upper = boundary(year + 1)
+        if op == "<":
+            upper = boundary(year)
+        if column == self.ds.time_column:
+            ms = _MS_PER_DAY if family == "DATE" else 1
+            intervals.append((lower * ms if lower is not None else -2**62,
+                              upper * ms if upper is not None else 2**62))
+        spec: dict = {"type": "bound", "dimension": column}
+        if lower is not None:
+            spec["lower"] = lower
+            spec["lowerStrict"] = False
+        if upper is not None:
+            spec["upper"] = upper
+            spec["upperStrict"] = True
+        return spec
+
+    # -- aggregate conversion ---------------------------------------------------- #
+    def _aggregate_spec(self, aggregate: rel.Aggregate, schema: Schema,
+                        pre_map: Optional[list[int]]):
+        if aggregate.grouping_sets is not None:
+            return None
+
+        def source_ordinal(i: int) -> int:
+            return pre_map[i] if pre_map is not None else i
+
+        dims = []
+        for key in aggregate.group_keys:
+            dims.append(schema[source_ordinal(key)].name)
+        aggs = []
+        for call in aggregate.agg_calls:
+            if call.distinct:
+                return None
+            if call.func == "count" and call.arg is None:
+                aggs.append({"type": "count", "name": call.name})
+                continue
+            if call.arg is None:
+                return None
+            column = schema[source_ordinal(call.arg)]
+            if call.func == "sum":
+                kind = ("doubleSum" if column.dtype._family()
+                        in ("DOUBLE", "DECIMAL") else "longSum")
+            elif call.func == "min":
+                kind = ("doubleMin" if column.dtype._family()
+                        in ("DOUBLE", "DECIMAL") else "longMin")
+            elif call.func == "max":
+                kind = ("doubleMax" if column.dtype._family()
+                        in ("DOUBLE", "DECIMAL") else "longMax")
+            else:
+                return None
+            aggs.append({"type": kind, "name": call.name,
+                         "fieldName": column.name})
+        return dims, aggs
+
+
+def _merge_intervals(intervals: list[tuple[int, int]]
+                     ) -> list[tuple[int, int]]:
+    """Intersect accumulated one-sided bounds into a single interval."""
+    lo = max((a for a, _ in intervals), default=-2**62)
+    hi = min((b for _, b in intervals), default=2**62)
+    if lo >= hi:
+        return [(0, 0)]
+    return [(lo, hi)]

@@ -1,0 +1,80 @@
+"""Storage handler interface (Section 6.1).
+
+A storage handler consists of an *input format* (how to read from the
+external engine, including splitting work), an *output format* (how to
+write), a *SerDe* (representation conversion) and a *Metastore hook*
+(notifications on catalog events).  This ABC folds input format + SerDe
+into :meth:`scan_table` (rows come back in Hive's Python-value
+representation), the output format + SerDe into :meth:`insert_rows`, and
+the Metastore hook into the ``on_*`` methods.
+
+Handlers that support Calcite-generated queries (Section 6.2) implement
+:meth:`try_pushdown`/:meth:`execute_pushed`: the optimizer hands them the
+chain of relational operators above the scan, and they return an
+engine-native query object (or None to decline).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from ..common.rows import Schema
+from ..metastore.catalog import TableDescriptor
+from ..plan import relnodes as rel
+
+
+class StorageHandler(ABC):
+    """Base class for all external-engine connectors."""
+
+    name: str = "abstract"
+
+    # -- metastore hook -------------------------------------------------------- #
+    def on_create_table(self, table: TableDescriptor) -> None:
+        """Called when a table backed by this handler is registered."""
+
+    def on_drop_table(self, table: TableDescriptor) -> None:
+        """Called when such a table is dropped."""
+
+    def infer_schema(self, table: TableDescriptor) -> Optional[Schema]:
+        """Column names/types discovered from the external engine.
+
+        Hive external tables over existing sources need no column list:
+        "they are automatically inferred from Druid metadata".
+        """
+        return None
+
+    # -- input format + SerDe ---------------------------------------------------- #
+    @abstractmethod
+    def scan_table(self, table: TableDescriptor,
+                   columns: Sequence[str]
+                   ) -> tuple[list[tuple], float]:
+        """Full read of selected columns.
+
+        Returns ``(rows, external_time_s)`` where the time is the
+        engine's simulated processing latency.
+        """
+
+    # -- output format + SerDe --------------------------------------------------- #
+    @abstractmethod
+    def insert_rows(self, table: TableDescriptor,
+                    rows: Sequence[tuple]) -> None:
+        """Write rows into the external engine."""
+
+    # -- Calcite pushdown (Section 6.2) -------------------------------------------- #
+    def try_pushdown(self, table: TableDescriptor,
+                     chain: list[rel.RelNode],
+                     scan: rel.TableScan
+                     ) -> Optional[tuple[object, Schema]]:
+        """Translate an operator chain into an engine-native query.
+
+        ``chain`` lists the operators above the scan, outermost first.
+        Returns ``(query_object, result_schema)`` or None to decline —
+        in which case Hive reads the raw data and computes itself.
+        """
+        return None
+
+    @abstractmethod
+    def execute_pushed(self, table: TableDescriptor,
+                       query: object) -> tuple[list[tuple], float]:
+        """Run a query produced by :meth:`try_pushdown`."""

@@ -1,0 +1,299 @@
+"""JDBC storage handler backed by an embedded SQLite engine.
+
+The paper notes Hive "can push operations to ... multiple engines with
+JDBC support using Calcite", which "can generate SQL queries from
+operator expressions using a large number of different dialects".  This
+handler does exactly that: the operator chain above a scan is rendered
+back to SQL text and executed by the external RDBMS (Python's bundled
+``sqlite3``, standing in for any JDBC source).
+"""
+
+from __future__ import annotations
+
+import datetime
+import sqlite3
+from typing import Optional, Sequence
+
+from ..common.rows import Schema
+from ..common.types import DataType
+from ..errors import FederationError
+from ..metastore.catalog import TableDescriptor
+from ..plan import relnodes as rel
+from ..plan import rexnodes as rex
+from .handler import StorageHandler
+
+#: simulated per-row transfer latency and connection overhead
+CONNECTION_OVERHEAD_S = 0.050
+ROW_TRANSFER_S = 4.0e-6
+ROW_PROCESS_S = 8.0e-7
+
+
+class JdbcStorageHandler(StorageHandler):
+    """Federates to an in-process SQLite database."""
+
+    name = "jdbc"
+
+    def __init__(self, connection: Optional[sqlite3.Connection] = None):
+        self.connection = connection or sqlite3.connect(":memory:")
+
+    # -- metastore hook -------------------------------------------------------- #
+    def remote_table(self, table: TableDescriptor) -> str:
+        return table.properties.get("hive.sql.table", table.name)
+
+    def on_create_table(self, table: TableDescriptor) -> None:
+        remote = self.remote_table(table)
+        exists = self.connection.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' "
+            "AND name=?", (remote,)).fetchone()
+        if exists:
+            return
+        if not len(table.schema):
+            raise FederationError(
+                f"remote table {remote} does not exist and no columns "
+                "were declared")
+        columns = ", ".join(
+            f"{c.name} {_sqlite_type(c.dtype)}" for c in table.schema)
+        self.connection.execute(f"CREATE TABLE {remote} ({columns})")
+        self.connection.commit()
+
+    def on_drop_table(self, table: TableDescriptor) -> None:
+        if table.properties.get("hive.sql.retain") != "true":
+            self.connection.execute(
+                f"DROP TABLE IF EXISTS {self.remote_table(table)}")
+            self.connection.commit()
+
+    def infer_schema(self, table: TableDescriptor) -> Optional[Schema]:
+        return None  # SQLite types are too loose to infer reliably
+
+    # -- IO ------------------------------------------------------------------ #
+    def scan_table(self, table: TableDescriptor,
+                   columns: Sequence[str]) -> tuple[list[tuple], float]:
+        remote = self.remote_table(table)
+        select = ", ".join(columns)
+        cursor = self.connection.execute(
+            f"SELECT {select} FROM {remote}")
+        rows = [self._deserialize(table, columns, row)
+                for row in cursor.fetchall()]
+        seconds = CONNECTION_OVERHEAD_S + len(rows) * (
+            ROW_PROCESS_S + ROW_TRANSFER_S)
+        return rows, seconds
+
+    def insert_rows(self, table: TableDescriptor,
+                    rows: Sequence[tuple]) -> None:
+        if not rows:
+            return
+        remote = self.remote_table(table)
+        marks = ", ".join("?" for _ in table.schema)
+        payload = [tuple(_serialize(c.dtype, v)
+                         for c, v in zip(table.schema, row))
+                   for row in rows]
+        self.connection.executemany(
+            f"INSERT INTO {remote} VALUES ({marks})", payload)
+        self.connection.commit()
+
+    def _deserialize(self, table: TableDescriptor,
+                     columns: Sequence[str], row: tuple) -> tuple:
+        types = [table.schema.field(c).dtype if c in table.schema
+                 else None for c in columns]
+        return tuple(_deserialize_value(t, v)
+                     for t, v in zip(types, row))
+
+    # -- pushdown ----------------------------------------------------------------- #
+    def try_pushdown(self, table: TableDescriptor,
+                     chain: list[rel.RelNode],
+                     scan: rel.TableScan
+                     ) -> Optional[tuple[str, Schema, int]]:
+        generator = _SqlGenerator(self.remote_table(table), scan.schema)
+        return generator.translate(chain)
+
+    def execute_pushed(self, table: TableDescriptor,
+                       query: str) -> tuple[list[tuple], float]:
+        cursor = self.connection.execute(query)
+        rows = cursor.fetchall()
+        # the remote engine did the heavy lifting; charge per result row
+        seconds = CONNECTION_OVERHEAD_S + len(rows) * ROW_TRANSFER_S \
+            + self._estimate_scan_cost(table)
+        return [tuple(row) for row in rows], seconds
+
+    def _estimate_scan_cost(self, table: TableDescriptor) -> float:
+        remote = self.remote_table(table)
+        try:
+            count = self.connection.execute(
+                f"SELECT COUNT(*) FROM {remote}").fetchone()[0]
+        except sqlite3.Error:
+            count = 0
+        return count * ROW_PROCESS_S
+
+
+# --------------------------------------------------------------------------- #
+# SQL generation (the Calcite dialect writer)
+
+class _SqlGenerator:
+    def __init__(self, remote_table: str, scan_schema: Schema):
+        self.remote_table = remote_table
+        self.scan_schema = scan_schema
+
+    def translate(self, chain: list[rel.RelNode]
+                  ) -> Optional[tuple[str, Schema, int]]:
+        where = ""
+        schema = self.scan_schema
+        select = ", ".join(c.name for c in schema)
+        group = ""
+        order = ""
+        limit = ""
+        consumed = 0
+        i = 0
+        if i < len(chain) and isinstance(chain[i], rel.Filter):
+            rendered = _render_predicate(chain[i].condition, schema)
+            if rendered is None:
+                return self._finish(select, where, group, order, limit,
+                                    schema, consumed)
+            where = f" WHERE {rendered}"
+            consumed = i + 1
+            i += 1
+        pre_map: Optional[list[int]] = None
+        if i + 1 < len(chain) and isinstance(chain[i], rel.Project) \
+                and isinstance(chain[i + 1], rel.Aggregate) \
+                and all(isinstance(e, rex.RexInputRef)
+                        for e in chain[i].exprs):
+            pre_map = [e.index for e in chain[i].exprs]
+            i += 1
+        if i < len(chain) and isinstance(chain[i], rel.Aggregate):
+            aggregate = chain[i]
+            rendered = self._render_aggregate(aggregate, schema, pre_map)
+            if rendered is None:
+                return self._finish(select, where, group, order, limit,
+                                    schema, consumed)
+            select, group = rendered
+            schema = aggregate.schema
+            consumed = i + 1
+            i += 1
+            if i < len(chain) and isinstance(chain[i], rel.Sort) \
+                    and chain[i].fetch is not None:
+                sort = chain[i]
+                names = schema.names()
+                keys = ", ".join(
+                    f"{names[k.index]}{'' if k.ascending else ' DESC'}"
+                    for k in sort.keys)
+                order = f" ORDER BY {keys}"
+                limit = f" LIMIT {sort.fetch}"
+                consumed = i + 1
+                i += 1
+        return self._finish(select, where, group, order, limit, schema,
+                            consumed)
+
+    def _finish(self, select, where, group, order, limit, schema,
+                consumed):
+        sql = (f"SELECT {select} FROM {self.remote_table}"
+               f"{where}{group}{order}{limit}")
+        return sql, schema, consumed
+
+    def _render_aggregate(self, aggregate: rel.Aggregate, schema: Schema,
+                          pre_map: Optional[list[int]]):
+        if aggregate.grouping_sets is not None:
+            return None
+
+        def name_of(i: int) -> str:
+            return schema[pre_map[i] if pre_map is not None else i].name
+
+        out_names = aggregate.schema.names()
+        parts = []
+        keys = []
+        for pos, key in enumerate(aggregate.group_keys):
+            column = name_of(key)
+            keys.append(column)
+            parts.append(f"{column} AS {out_names[pos]}")
+        base = len(aggregate.group_keys)
+        for pos, call in enumerate(aggregate.agg_calls):
+            if call.distinct:
+                return None
+            if call.func not in ("sum", "count", "min", "max", "avg"):
+                return None
+            arg = "*" if call.arg is None else name_of(call.arg)
+            parts.append(f"{call.func.upper()}({arg}) AS "
+                         f"{out_names[base + pos]}")
+        select = ", ".join(parts)
+        group = f" GROUP BY {', '.join(keys)}" if keys else ""
+        return select, group
+
+
+def _render_predicate(condition: rex.RexNode,
+                      schema: Schema) -> Optional[str]:
+    parts = []
+    for conjunct in rex.conjunctions(condition):
+        rendered = _render_conjunct(conjunct, schema)
+        if rendered is None:
+            return None
+        parts.append(rendered)
+    return " AND ".join(parts)
+
+
+def _render_conjunct(conjunct: rex.RexNode,
+                     schema: Schema) -> Optional[str]:
+    if not isinstance(conjunct, rex.RexCall):
+        return None
+    if conjunct.op in ("=", "<>", "<", "<=", ">", ">="):
+        a, b = conjunct.operands
+        left = _render_operand(a, schema)
+        right = _render_operand(b, schema)
+        if left is None or right is None:
+            return None
+        return f"{left} {conjunct.op} {right}"
+    if conjunct.op == "IN":
+        ref = _render_operand(conjunct.operands[0], schema)
+        if ref is None:
+            return None
+        values = []
+        for operand in conjunct.operands[1:]:
+            rendered = _render_operand(operand, schema)
+            if rendered is None:
+                return None
+            values.append(rendered)
+        return f"{ref} IN ({', '.join(values)})"
+    if conjunct.op == "LIKE":
+        ref = _render_operand(conjunct.operands[0], schema)
+        pattern = _render_operand(conjunct.operands[1], schema)
+        if ref is None or pattern is None:
+            return None
+        return f"{ref} LIKE {pattern}"
+    return None
+
+
+def _render_operand(operand: rex.RexNode,
+                    schema: Schema) -> Optional[str]:
+    if isinstance(operand, rex.RexInputRef):
+        return schema[operand.index].name
+    if isinstance(operand, rex.RexLiteral):
+        value = operand.value
+        if value is None:
+            return "NULL"
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if isinstance(value, datetime.date):
+            return str(operand.dtype.to_storage(value))
+        return str(value)
+    return None
+
+
+def _sqlite_type(dtype: DataType) -> str:
+    family = dtype._family()
+    if family in ("INT", "BIGINT", "BOOLEAN", "DATE", "TIMESTAMP"):
+        return "INTEGER"
+    if family in ("DOUBLE", "DECIMAL"):
+        return "REAL"
+    return "TEXT"
+
+
+def _serialize(dtype: DataType, value):
+    if value is None:
+        return None
+    return dtype.to_storage(value)
+
+
+def _deserialize_value(dtype: Optional[DataType], value):
+    if value is None or dtype is None:
+        return value
+    return dtype.from_storage(value)

@@ -1,0 +1,277 @@
+"""Kafka storage handler (the §9 roadmap connector, implemented).
+
+A miniature Kafka: a broker holds named **topics**, each a set of
+append-only **partitions** of ``(offset, timestamp_ms, payload)`` records.
+The storage handler maps a Hive table to a topic; scans expose the
+metadata pseudo-columns Hive's real Kafka handler adds —
+``__partition``, ``__offset`` and ``__timestamp`` — alongside the
+user's payload columns, so SQL can window over offsets or event time:
+
+    SELECT ... FROM kafka_events WHERE __offset > 1000
+
+Offset and timestamp predicates are pushed down to the broker, which
+seeks instead of scanning (Kafka consumers are offset-addressable).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..common.rows import Column, Schema
+from ..common.types import BIGINT, INT, TIMESTAMP
+from ..errors import FederationError
+from ..metastore.catalog import TableDescriptor
+from ..plan import relnodes as rel
+from ..plan import rexnodes as rex
+from .handler import StorageHandler
+
+#: metadata columns prepended to every Kafka-backed table
+KAFKA_META_COLUMNS = (
+    Column("__partition", INT, nullable=False),
+    Column("__offset", BIGINT, nullable=False),
+    Column("__timestamp", TIMESTAMP, nullable=False),
+)
+
+#: simulated costs: consumer setup + per-record fetch
+CONSUMER_SETUP_S = 0.020
+RECORD_FETCH_S = 2.0e-6
+
+
+@dataclass
+class KafkaRecord:
+    offset: int
+    timestamp_ms: int
+    payload: tuple
+
+
+@dataclass
+class TopicPartition:
+    records: list[KafkaRecord] = field(default_factory=list)
+
+    @property
+    def high_watermark(self) -> int:
+        return len(self.records)
+
+
+class KafkaTopic:
+    """One topic: N append-only partitions, round-robin production."""
+
+    def __init__(self, name: str, num_partitions: int = 2):
+        if num_partitions < 1:
+            raise FederationError("a topic needs >= 1 partition")
+        self.name = name
+        self.partitions = [TopicPartition()
+                           for _ in range(num_partitions)]
+        self._rr = itertools.count()
+        self._clock = itertools.count(1_600_000_000_000, 1000)
+
+    def produce(self, payload: tuple,
+                partition: Optional[int] = None,
+                timestamp_ms: Optional[int] = None) -> tuple[int, int]:
+        """Append one record; returns (partition, offset)."""
+        index = (next(self._rr) % len(self.partitions)
+                 if partition is None else partition)
+        target = self.partitions[index]
+        record = KafkaRecord(target.high_watermark,
+                             timestamp_ms if timestamp_ms is not None
+                             else next(self._clock),
+                             tuple(payload))
+        target.records.append(record)
+        return index, record.offset
+
+    def consume(self, partition: int, start_offset: int = 0,
+                end_offset: Optional[int] = None) -> list[KafkaRecord]:
+        """Offset-addressed read (a seek, not a scan)."""
+        records = self.partitions[partition].records
+        return records[start_offset:end_offset]
+
+    @property
+    def total_records(self) -> int:
+        return sum(p.high_watermark for p in self.partitions)
+
+
+class KafkaBroker:
+    """The standalone messaging system."""
+
+    def __init__(self):
+        self.topics: dict[str, KafkaTopic] = {}
+
+    def create_topic(self, name: str,
+                     num_partitions: int = 2) -> KafkaTopic:
+        if name in self.topics:
+            raise FederationError(f"topic {name} already exists")
+        topic = KafkaTopic(name, num_partitions)
+        self.topics[name] = topic
+        return topic
+
+    def get(self, name: str) -> KafkaTopic:
+        try:
+            return self.topics[name]
+        except KeyError:
+            raise FederationError(f"no such topic: {name}") from None
+
+
+@dataclass
+class KafkaScanSpec:
+    """Pushed-down scan bounds (offsets / event time)."""
+
+    topic: str
+    min_offset: int = 0
+    max_offset: Optional[int] = None
+    min_timestamp_ms: Optional[int] = None
+    max_timestamp_ms: Optional[int] = None
+    columns: Optional[list[str]] = None
+
+    def __repr__(self) -> str:
+        return (f"KafkaScan({self.topic} offsets "
+                f"[{self.min_offset}, {self.max_offset}])")
+
+
+class KafkaStorageHandler(StorageHandler):
+    """Connects Hive tables to topics (Section 6.1 contract)."""
+
+    name = "kafka"
+
+    def __init__(self, broker: KafkaBroker):
+        self.broker = broker
+
+    # -- metastore hook -------------------------------------------------------- #
+    def topic_name(self, table: TableDescriptor) -> str:
+        return table.properties.get("kafka.topic", table.name)
+
+    def on_create_table(self, table: TableDescriptor) -> None:
+        name = self.topic_name(table)
+        if name not in self.broker.topics:
+            partitions = int(table.properties.get(
+                "kafka.partitions", "2"))
+            self.broker.create_topic(name, partitions)
+        meta_names = {c.name for c in KAFKA_META_COLUMNS}
+        overlap = meta_names & {c.name for c in table.schema}
+        if overlap:
+            raise FederationError(
+                f"columns {sorted(overlap)} clash with Kafka metadata "
+                "columns")
+        # expose payload + metadata columns through the catalog
+        table.schema = Schema(list(table.schema.columns)
+                              + list(KAFKA_META_COLUMNS))
+
+    def on_drop_table(self, table: TableDescriptor) -> None:
+        if table.properties.get("kafka.topic.retain") != "true":
+            self.broker.topics.pop(self.topic_name(table), None)
+
+    # -- IO ------------------------------------------------------------------ #
+    def insert_rows(self, table: TableDescriptor,
+                    rows: Sequence[tuple]) -> None:
+        """Produce; callers write only the payload columns."""
+        topic = self.broker.get(self.topic_name(table))
+        payload_width = len(table.schema) - len(KAFKA_META_COLUMNS)
+        for row in rows:
+            topic.produce(tuple(row[:payload_width]))
+
+    def scan_table(self, table: TableDescriptor,
+                   columns: Sequence[str]) -> tuple[list[tuple], float]:
+        return self.execute_pushed(
+            table, KafkaScanSpec(self.topic_name(table)), columns)
+
+    # -- pushdown ----------------------------------------------------------------- #
+    def try_pushdown(self, table: TableDescriptor,
+                     chain: list[rel.RelNode], scan: rel.TableScan
+                     ) -> Optional[tuple[KafkaScanSpec, Schema, int]]:
+        """Convert offset/timestamp bounds into consumer seeks."""
+        spec = KafkaScanSpec(self.topic_name(table),
+                             columns=[c.name for c in scan.schema])
+        consumed = 0
+        if chain and isinstance(chain[0], rel.Filter):
+            remaining = self._apply_bounds(chain[0].condition,
+                                           scan.schema, spec)
+            if remaining == 0:
+                consumed = 1
+            elif spec.min_offset == 0 and spec.max_offset is None \
+                    and spec.min_timestamp_ms is None \
+                    and spec.max_timestamp_ms is None:
+                return None  # nothing pushable
+        return spec, scan.schema if consumed == 0 else chain[0].schema, \
+            consumed
+
+    def _apply_bounds(self, condition: rex.RexNode, schema: Schema,
+                      spec: KafkaScanSpec) -> int:
+        """Mutates ``spec``; returns the number of non-pushed conjuncts."""
+        remaining = 0
+        for conjunct in rex.conjunctions(condition):
+            if not (isinstance(conjunct, rex.RexCall)
+                    and conjunct.op in ("=", "<", "<=", ">", ">=")):
+                remaining += 1
+                continue
+            a, b = conjunct.operands
+            if isinstance(a, rex.RexInputRef) and isinstance(
+                    b, rex.RexLiteral):
+                ref, literal, op = a, b, conjunct.op
+            elif isinstance(b, rex.RexInputRef) and isinstance(
+                    a, rex.RexLiteral):
+                ref, literal = b, a
+                op = {"<": ">", "<=": ">=", ">": "<",
+                      ">=": "<=", "=": "="}[conjunct.op]
+            else:
+                remaining += 1
+                continue
+            column = schema[ref.index].name
+            value = ref.dtype.to_storage(literal.value)
+            if column == "__offset":
+                if op in (">", ">="):
+                    spec.min_offset = max(
+                        spec.min_offset,
+                        value + 1 if op == ">" else value)
+                elif op in ("<", "<="):
+                    top = value if op == "<" else value + 1
+                    spec.max_offset = (top if spec.max_offset is None
+                                       else min(spec.max_offset, top))
+                else:
+                    spec.min_offset = value
+                    spec.max_offset = value + 1
+            elif column == "__timestamp":
+                if op in (">", ">="):
+                    spec.min_timestamp_ms = value
+                elif op in ("<", "<="):
+                    spec.max_timestamp_ms = value
+                else:
+                    spec.min_timestamp_ms = value
+                    spec.max_timestamp_ms = value
+            else:
+                remaining += 1
+        return remaining
+
+    def execute_pushed(self, table: TableDescriptor, spec: KafkaScanSpec,
+                       columns: Optional[Sequence[str]] = None
+                       ) -> tuple[list[tuple], float]:
+        topic = self.broker.get(spec.topic)
+        if columns is not None:
+            names = list(columns)
+        elif spec.columns is not None:
+            names = list(spec.columns)
+        else:
+            names = [c.name for c in table.schema]
+        payload_names = [c.name for c in table.schema
+                         if c.name not in ("__partition", "__offset",
+                                           "__timestamp")]
+        rows: list[tuple] = []
+        fetched = 0
+        for partition_index, _ in enumerate(topic.partitions):
+            records = topic.consume(partition_index, spec.min_offset,
+                                    spec.max_offset)
+            for record in records:
+                if spec.min_timestamp_ms is not None \
+                        and record.timestamp_ms < spec.min_timestamp_ms:
+                    continue
+                if spec.max_timestamp_ms is not None \
+                        and record.timestamp_ms > spec.max_timestamp_ms:
+                    continue
+                fetched += 1
+                by_name = dict(zip(payload_names, record.payload))
+                by_name["__partition"] = partition_index
+                by_name["__offset"] = record.offset
+                by_name["__timestamp"] = record.timestamp_ms
+                rows.append(tuple(by_name[n] for n in names))
+        seconds = CONSUMER_SETUP_S + fetched * RECORD_FETCH_S
+        return rows, seconds

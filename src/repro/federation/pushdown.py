@@ -1,0 +1,77 @@
+"""Computation pushdown rule (Section 6.2, Figure 6).
+
+Walks the optimized plan top-down looking for operator chains
+(Sort/Limit → Project → Aggregate → Project → Filter) that bottom out in
+a scan of a handler-backed table.  The handler's translator converts the
+longest pushable prefix (scan-adjacent first) into an engine-native
+query; the consumed operators are replaced by a single
+:class:`~repro.plan.relnodes.TableScan` carrying ``pushed_query``, whose
+schema equals the consumed prefix's output so any unconsumed operators
+stack on top unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..metastore.hms import HiveMetastore
+from ..plan import relnodes as rel
+
+_CHAIN_OPS = (rel.Filter, rel.Project, rel.Aggregate, rel.Sort,
+              rel.Limit)
+
+
+def make_pushdown_rule(hms: HiveMetastore, handlers: dict):
+    """Build the optimizer callback for the registered handlers."""
+
+    def rule(root: rel.RelNode) -> rel.RelNode:
+        return _apply(root, hms, handlers)
+
+    return rule
+
+
+def _apply(node: rel.RelNode, hms: HiveMetastore,
+           handlers: dict) -> rel.RelNode:
+    replaced = _try_chain(node, hms, handlers)
+    if replaced is not None:
+        return replaced
+    new_inputs = [_apply(child, hms, handlers) for child in node.inputs]
+    if list(node.inputs) != new_inputs:
+        return node.with_inputs(new_inputs)
+    return node
+
+
+def _try_chain(node: rel.RelNode, hms: HiveMetastore,
+               handlers: dict) -> Optional[rel.RelNode]:
+    chain: list[rel.RelNode] = []
+    cursor = node
+    while isinstance(cursor, _CHAIN_OPS):
+        chain.append(cursor)
+        cursor = cursor.inputs[0]
+    if not isinstance(cursor, rel.TableScan):
+        return None
+    scan = cursor
+    if scan.pushed_query is not None:
+        return None
+    try:
+        table = hms.get_table(scan.table_name)
+    except Exception:
+        return None
+    if table.storage_handler is None:
+        return None
+    handler = handlers.get(table.storage_handler)
+    if handler is None:
+        return None
+    bottom_up = list(reversed(chain))
+    translated = handler.try_pushdown(table, bottom_up, scan)
+    if translated is None:
+        return None
+    query, schema, consumed = translated
+    pushed_scan = rel.TableScan(
+        scan.table_name, schema, pushed_query=query,
+        scan_id=scan.scan_id)
+    result: rel.RelNode = pushed_scan
+    # reapply unconsumed operators (they reference the same ordinals)
+    for op in bottom_up[consumed:]:
+        result = op.with_inputs([result])
+    return result

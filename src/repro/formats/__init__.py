@@ -1,0 +1,7 @@
+"""File formats: ORC-like columnar container and delimited text."""
+
+from .orc import OrcReader, OrcWriter, SargPredicate
+from .text import TextReader, TextWriter
+
+__all__ = ["OrcReader", "OrcWriter", "SargPredicate", "TextReader",
+           "TextWriter"]

@@ -1,0 +1,94 @@
+"""Delimited text file format.
+
+Hive's original storage format and still the interchange default.  Used
+here by the legacy profile's ETL examples and as the simplest SerDe for
+the storage-handler interface.  ``\\N`` marks NULL, fields are separated
+by ``\\x01`` by default (Hive's historical ctrl-A delimiter).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..common.rows import Schema
+from ..common.vector import VectorBatch
+from ..errors import HiveError
+
+NULL_TOKEN = "\\N"
+DEFAULT_DELIMITER = "\x01"
+
+
+class TextWriter:
+    """Serializes rows to delimited text."""
+
+    def __init__(self, schema: Schema, delimiter: str = DEFAULT_DELIMITER):
+        self.schema = schema
+        self.delimiter = delimiter
+        self._lines: list[str] = []
+
+    def write_rows(self, rows: Iterable[Sequence]) -> None:
+        width = len(self.schema)
+        for row in rows:
+            if len(row) != width:
+                raise HiveError(
+                    f"row has {len(row)} fields, schema has {width}")
+            fields = [NULL_TOKEN if v is None else str(v) for v in row]
+            for f in fields:
+                if self.delimiter in f:
+                    raise HiveError("field value contains the delimiter")
+            self._lines.append(self.delimiter.join(fields))
+
+    def write_batch(self, batch: VectorBatch) -> None:
+        self.write_rows(batch.to_rows())
+
+    def finish(self) -> bytes:
+        return ("\n".join(self._lines) + ("\n" if self._lines else "")
+                ).encode("utf-8")
+
+
+class TextReader:
+    """Deserializes delimited text back into typed rows."""
+
+    def __init__(self, schema: Schema, data: bytes,
+                 delimiter: str = DEFAULT_DELIMITER):
+        self.schema = schema
+        self.delimiter = delimiter
+        self._text = data.decode("utf-8")
+
+    def read_rows(self) -> list[tuple]:
+        rows = []
+        types = self.schema.types()
+        for line_no, line in enumerate(self._text.splitlines(), 1):
+            parts = line.split(self.delimiter)
+            if len(parts) != len(types):
+                raise HiveError(
+                    f"line {line_no}: expected {len(types)} fields, "
+                    f"got {len(parts)}")
+            row = []
+            for raw, dtype in zip(parts, types):
+                if raw == NULL_TOKEN:
+                    row.append(None)
+                else:
+                    row.append(_parse(raw, dtype))
+            rows.append(tuple(row))
+        return rows
+
+    def read_batch(self) -> VectorBatch:
+        return VectorBatch.from_rows(self.schema, self.read_rows())
+
+
+def _parse(raw: str, dtype):
+    family = dtype._family()
+    if family in ("INT", "BIGINT"):
+        return int(raw)
+    if family in ("DOUBLE", "DECIMAL"):
+        return float(raw)
+    if family == "BOOLEAN":
+        return raw.lower() in ("true", "1", "t")
+    if family == "DATE":
+        import datetime
+        return datetime.date.fromisoformat(raw)
+    if family == "TIMESTAMP":
+        import datetime
+        return datetime.datetime.fromisoformat(raw)
+    return raw

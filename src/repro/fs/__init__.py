@@ -1,0 +1,5 @@
+"""Simulated HDFS-compatible file system."""
+
+from .filesystem import FileEntry, FileStatus, IOStats, SimFileSystem
+
+__all__ = ["FileEntry", "FileStatus", "IOStats", "SimFileSystem"]

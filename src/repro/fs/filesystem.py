@@ -1,0 +1,256 @@
+"""In-memory simulation of an HDFS-like distributed file system.
+
+The paper's warehouse stores table data as immutable files inside a
+directory hierarchy (``warehouse/db/table/partition/base_or_delta/file``).
+This module provides that substrate:
+
+* immutable files (create once, no in-place update — the constraint that
+  motivates the ACID base/delta design of Section 3.2),
+* a **FileId**: a unique identifier assigned to every file, which, paired
+  with the file length, lets the LLAP cache validate cached chunks the way
+  HDFS file ids / S3 ETags do (Section 5.1),
+* directory listing and recursive delete (used by compaction cleanup),
+* an :class:`IOStats` counter so the cluster simulator can charge virtual
+  IO time for every byte that crosses the "disk" boundary.
+
+Paths are POSIX-style strings; directories are implicit but tracked so
+that empty directories survive (partition directories can be empty).
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+
+from ..errors import HiveError
+
+
+class FileSystemError(HiveError):
+    """Raised on missing paths, duplicate creates, etc."""
+
+
+@dataclass
+class IOStats:
+    """Byte/IOPS counters; the runtime converts these to virtual seconds."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    files_opened: int = 0
+    files_created: int = 0
+    files_deleted: int = 0
+
+    def reset(self) -> None:
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.files_opened = 0
+        self.files_created = 0
+        self.files_deleted = 0
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(self.bytes_read, self.bytes_written,
+                       self.files_opened, self.files_created,
+                       self.files_deleted)
+
+
+@dataclass
+class FileEntry:
+    """An immutable stored file."""
+
+    path: str
+    data: bytes
+    file_id: int
+    mtime: int
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+    @property
+    def etag(self) -> tuple[int, int]:
+        """Cache-validity token: unique id + length (Section 5.1)."""
+        return (self.file_id, len(self.data))
+
+
+@dataclass(frozen=True)
+class FileStatus:
+    """Metadata-only view returned by :meth:`SimFileSystem.status`."""
+
+    path: str
+    length: int
+    file_id: int
+    mtime: int
+
+
+def _norm(path: str) -> str:
+    normalized = posixpath.normpath("/" + path.strip("/"))
+    return normalized
+
+
+class SimFileSystem:
+    """The simulated namespace.  Not thread-safe by design: the runtime
+
+    serializes FS mutations the way a NameNode serializes namespace edits.
+    """
+
+    def __init__(self):
+        self._files: dict[str, FileEntry] = {}
+        self._dirs: set[str] = {"/"}
+        self._next_file_id = 1
+        self._clock = 0
+        self.stats = IOStats()
+
+    # -- directories ------------------------------------------------------- #
+    def mkdirs(self, path: str) -> None:
+        path = _norm(path)
+        parts = path.strip("/").split("/") if path != "/" else []
+        current = ""
+        for part in parts:
+            current += "/" + part
+            self._dirs.add(current)
+
+    def is_dir(self, path: str) -> bool:
+        return _norm(path) in self._dirs
+
+    def exists(self, path: str) -> bool:
+        path = _norm(path)
+        return path in self._files or path in self._dirs
+
+    # -- files ------------------------------------------------------------ #
+    def create(self, path: str, data: bytes) -> FileEntry:
+        """Create an immutable file; parent directories are created."""
+        path = _norm(path)
+        if path in self._files:
+            raise FileSystemError(f"file already exists: {path}")
+        if path in self._dirs:
+            raise FileSystemError(f"path is a directory: {path}")
+        self.mkdirs(posixpath.dirname(path))
+        self._clock += 1
+        entry = FileEntry(path=path, data=bytes(data),
+                          file_id=self._next_file_id, mtime=self._clock)
+        self._next_file_id += 1
+        self._files[path] = entry
+        self.stats.files_created += 1
+        self.stats.bytes_written += len(data)
+        return entry
+
+    def read(self, path: str) -> bytes:
+        entry = self._entry(path)
+        self.stats.files_opened += 1
+        self.stats.bytes_read += len(entry.data)
+        return entry.data
+
+    def read_range(self, path: str, offset: int, length: int) -> bytes:
+        """Ranged read — the I/O elevator fetches individual stripes."""
+        entry = self._entry(path)
+        self.stats.files_opened += 1
+        chunk = entry.data[offset:offset + length]
+        self.stats.bytes_read += len(chunk)
+        return chunk
+
+    def status(self, path: str) -> FileStatus:
+        entry = self._entry(path)
+        return FileStatus(entry.path, entry.length, entry.file_id,
+                          entry.mtime)
+
+    def file_id(self, path: str) -> int:
+        return self._entry(path).file_id
+
+    def delete(self, path: str, recursive: bool = False) -> int:
+        """Delete a file, or a directory tree with ``recursive``.
+
+        Returns the number of files removed.
+        """
+        path = _norm(path)
+        if path in self._files:
+            del self._files[path]
+            self.stats.files_deleted += 1
+            return 1
+        if path in self._dirs:
+            children_files = [p for p in self._files
+                              if p.startswith(path + "/")]
+            children_dirs = [d for d in self._dirs
+                             if d.startswith(path + "/")]
+            if (children_files or children_dirs) and not recursive:
+                raise FileSystemError(f"directory not empty: {path}")
+            for p in children_files:
+                del self._files[p]
+            for d in children_dirs:
+                self._dirs.discard(d)
+            self._dirs.discard(path)
+            self.stats.files_deleted += len(children_files)
+            return len(children_files)
+        raise FileSystemError(f"no such path: {path}")
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomic rename of a file or directory tree (commit primitive)."""
+        src, dst = _norm(src), _norm(dst)
+        if src in self._files:
+            if dst in self._files or dst in self._dirs:
+                raise FileSystemError(f"destination exists: {dst}")
+            entry = self._files.pop(src)
+            self.mkdirs(posixpath.dirname(dst))
+            self._files[dst] = FileEntry(dst, entry.data, entry.file_id,
+                                         entry.mtime)
+            return
+        if src in self._dirs:
+            if dst in self._files or dst in self._dirs:
+                raise FileSystemError(f"destination exists: {dst}")
+            self.mkdirs(posixpath.dirname(dst))
+            moved_dirs = [d for d in self._dirs if
+                          d == src or d.startswith(src + "/")]
+            for d in moved_dirs:
+                self._dirs.discard(d)
+                self._dirs.add(dst + d[len(src):])
+            moved = [p for p in self._files if p.startswith(src + "/")]
+            for p in moved:
+                entry = self._files.pop(p)
+                new_path = dst + p[len(src):]
+                self._files[new_path] = FileEntry(
+                    new_path, entry.data, entry.file_id, entry.mtime)
+            return
+        raise FileSystemError(f"no such path: {src}")
+
+    # -- listing ------------------------------------------------------------ #
+    def list_files(self, path: str, recursive: bool = False) -> list[FileStatus]:
+        """Files directly under ``path`` (or the whole subtree)."""
+        path = _norm(path)
+        if path in self._files:
+            return [self.status(path)]
+        if path not in self._dirs:
+            raise FileSystemError(f"no such directory: {path}")
+        prefix = path if path != "/" else ""
+        out = []
+        for p, entry in sorted(self._files.items()):
+            if not p.startswith(prefix + "/"):
+                continue
+            if not recursive and "/" in p[len(prefix) + 1:]:
+                continue
+            out.append(FileStatus(p, entry.length, entry.file_id,
+                                  entry.mtime))
+        return out
+
+    def list_dirs(self, path: str) -> list[str]:
+        """Immediate child directories of ``path`` (partition listing)."""
+        path = _norm(path)
+        if path not in self._dirs:
+            raise FileSystemError(f"no such directory: {path}")
+        prefix = path if path != "/" else ""
+        children = set()
+        for d in self._dirs:
+            if d.startswith(prefix + "/"):
+                rest = d[len(prefix) + 1:]
+                children.add(rest.split("/")[0])
+        return sorted(prefix + "/" + c for c in children)
+
+    def total_bytes(self, path: str = "/") -> int:
+        path = _norm(path)
+        prefix = "" if path == "/" else path
+        return sum(len(e.data) for p, e in self._files.items()
+                   if path == "/" or p == path or p.startswith(prefix + "/"))
+
+    def _entry(self, path: str) -> FileEntry:
+        path = _norm(path)
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileSystemError(f"no such file: {path}") from None

@@ -1,0 +1,10 @@
+"""LLAP: persistent executors, data cache, I/O elevator, workload mgmt."""
+
+from .cache import CacheStats, ChunkKey, LlapCache
+from .elevator import DirectReaderFactory, LlapReaderFactory
+from .workload import (Pool, ResourcePlan, Trigger, WorkloadManager,
+                       TriggerAction)
+
+__all__ = ["CacheStats", "ChunkKey", "LlapCache", "DirectReaderFactory",
+           "LlapReaderFactory", "Pool", "ResourcePlan", "Trigger",
+           "TriggerAction", "WorkloadManager"]

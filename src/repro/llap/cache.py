@@ -1,0 +1,146 @@
+"""LLAP data cache (Section 5.1).
+
+An off-heap-style buffer pool addressed along two dimensions, row group
+and column: the unit is a **row-column chunk**.  Cache validity uses the
+file's unique identifier plus its length (the HDFS FileId / S3 ETag
+analogue), so appends and ACID deltas never serve stale data — new files
+have new ids, and the cache becomes an MVCC view of the data.
+
+Eviction uses **LRFU** (Least Recently/Frequently Used), the default the
+paper describes as "tuned for analytic workloads with frequent full and
+partial scan operations".  Each chunk carries a *combined recency and
+frequency* value::
+
+    crf(t) = 1 + crf(t_last) * 2^(-lambda * (t - t_last))
+
+``lambda`` → 0 degenerates to LFU; ``lambda`` → 1 to LRU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import HiveError
+
+
+@dataclass(frozen=True)
+class ChunkKey:
+    """Identity of one row-column chunk."""
+
+    file_id: int
+    file_length: int
+    row_group: int
+    column: str
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    hit_bytes: int = 0
+    miss_bytes: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = 0
+        self.hit_bytes = self.miss_bytes = 0
+        self.evictions = self.evicted_bytes = 0
+
+
+@dataclass
+class _Entry:
+    payload: object
+    nbytes: int
+    crf: float
+    last_access: int
+
+
+class LlapCache:
+    """LRFU chunk cache with a byte-capacity bound."""
+
+    def __init__(self, capacity_bytes: int, lrfu_lambda: float = 0.01):
+        if capacity_bytes < 0:
+            raise HiveError("cache capacity must be >= 0")
+        if not 0.0 <= lrfu_lambda <= 1.0:
+            raise HiveError("lrfu lambda must be in [0, 1]")
+        self.capacity_bytes = capacity_bytes
+        self.lrfu_lambda = lrfu_lambda
+        self.stats = CacheStats()
+        self._entries: dict[ChunkKey, _Entry] = {}
+        self._used = 0
+        self._clock = 0
+
+    # -- access ------------------------------------------------------------- #
+    def get(self, key: ChunkKey) -> Optional[object]:
+        self._clock += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        entry.crf = 1.0 + entry.crf * self._decay(
+            self._clock - entry.last_access)
+        entry.last_access = self._clock
+        self.stats.hits += 1
+        self.stats.hit_bytes += entry.nbytes
+        return entry.payload
+
+    def put(self, key: ChunkKey, payload: object, nbytes: int) -> bool:
+        """Insert a chunk, evicting as needed; returns False if the chunk
+
+        is larger than the whole cache (never admitted)."""
+        if nbytes > self.capacity_bytes:
+            return False
+        self._clock += 1
+        if key in self._entries:
+            old = self._entries.pop(key)
+            self._used -= old.nbytes
+        self._evict_until(self.capacity_bytes - nbytes)
+        self._entries[key] = _Entry(payload, nbytes, 1.0, self._clock)
+        self._used += nbytes
+        self.stats.miss_bytes += nbytes
+        return True
+
+    def invalidate_file(self, file_id: int) -> int:
+        """Drop every chunk of a file (e.g. after compaction cleanup)."""
+        doomed = [k for k in self._entries if k.file_id == file_id]
+        for key in doomed:
+            self._used -= self._entries.pop(key).nbytes
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0
+
+    # -- introspection ---------------------------------------------------------- #
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: ChunkKey) -> bool:
+        return key in self._entries
+
+    # -- internals ------------------------------------------------------------ #
+    def _decay(self, age: int) -> float:
+        return 2.0 ** (-self.lrfu_lambda * age)
+
+    def _current_crf(self, entry: _Entry) -> float:
+        return entry.crf * self._decay(self._clock - entry.last_access)
+
+    def _evict_until(self, budget: int) -> None:
+        while self._used > budget and self._entries:
+            victim_key = min(self._entries,
+                             key=lambda k: self._current_crf(
+                                 self._entries[k]))
+            victim = self._entries.pop(victim_key)
+            self._used -= victim.nbytes
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += victim.nbytes

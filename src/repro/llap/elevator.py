@@ -1,0 +1,177 @@
+"""I/O elevator: reader factories used by the scan path (Section 5.1).
+
+Two implementations of the same interface:
+
+* :class:`DirectReaderFactory` — the container path: every open reads the
+  file from the (simulated) disk; bytes are charged to ``disk_bytes``.
+* :class:`LlapReaderFactory` — the LLAP path: file *metadata* (the parsed
+  footer, including indexes) is cached per file id even for data that was
+  never cached; row-column chunks are served from the
+  :class:`~repro.llap.cache.LlapCache` when valid, and decoded + cached
+  on miss.  Sargable predicates and Bloom filters are evaluated against
+  the cached metadata *before* deciding which chunks to load, so chunks
+  that a predicate excludes never trash the cache.
+
+Both factories expose cumulative :class:`IOBreakdown` counters which the
+cost model converts into virtual IO time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..common.vector import ColumnVector, VectorBatch
+from ..formats.orc import OrcReader, SargPredicate
+from ..fs import SimFileSystem
+from .cache import ChunkKey, LlapCache
+
+
+@dataclass
+class IOBreakdown:
+    """Bytes by source; the cost model charges different throughputs."""
+
+    disk_bytes: int = 0
+    cache_bytes: int = 0
+    metadata_bytes: int = 0
+    files_opened: int = 0
+
+    def merge(self, other: "IOBreakdown") -> None:
+        self.disk_bytes += other.disk_bytes
+        self.cache_bytes += other.cache_bytes
+        self.metadata_bytes += other.metadata_bytes
+        self.files_opened += other.files_opened
+
+    def reset(self) -> None:
+        self.disk_bytes = 0
+        self.cache_bytes = 0
+        self.metadata_bytes = 0
+        self.files_opened = 0
+
+
+class DirectReaderFactory:
+    """Cold reads straight from the file system (Tez container mode)."""
+
+    def __init__(self, fs: SimFileSystem):
+        self.fs = fs
+        self.io = IOBreakdown()
+
+    def open(self, path: str):
+        data = self.fs.read(path)
+        reader = OrcReader(data)
+        self.io.files_opened += 1
+        self.io.metadata_bytes += reader.metadata_bytes
+        return _DirectReader(reader, self.io)
+
+
+class _DirectReader:
+    """Charges every chunk it decodes as disk bytes."""
+
+    def __init__(self, reader: OrcReader, io: IOBreakdown):
+        self._reader = reader
+        self._io = io
+        self.schema = reader.schema
+        self.num_rows = reader.num_rows
+        self.row_groups = reader.row_groups
+        self.metadata_bytes = reader.metadata_bytes
+
+    def select_row_groups(self, sargs: Sequence[SargPredicate] = ()):
+        return self._reader.select_row_groups(sargs)
+
+    def read_row_group(self, group: int,
+                       columns: Sequence[str] | None = None) -> VectorBatch:
+        names = (list(columns) if columns is not None
+                 else self.schema.names())
+        for name in names:
+            self._io.disk_bytes += self._reader.column_chunk_bytes(
+                group, name)
+        return self._reader.read_row_group(group, names)
+
+    def read_all(self, columns=None, sargs=()):
+        names = (list(columns) if columns is not None
+                 else self.schema.names())
+        groups = self.select_row_groups(sargs)
+        batches = [self.read_row_group(g, names) for g in groups]
+        return VectorBatch.concat(self.schema.select(names), batches)
+
+    def column_chunk_bytes(self, group: int, column: str) -> int:
+        return self._reader.column_chunk_bytes(group, column)
+
+
+class LlapReaderFactory:
+    """Warm path through the metadata cache and the chunk cache."""
+
+    def __init__(self, fs: SimFileSystem, cache: LlapCache):
+        self.fs = fs
+        self.cache = cache
+        self.io = IOBreakdown()
+        #: metadata cache: (file_id, length) -> parsed OrcReader
+        self._metadata: dict[tuple[int, int], OrcReader] = {}
+
+    def open(self, path: str):
+        status = self.fs.status(path)
+        key = (status.file_id, status.length)
+        reader = self._metadata.get(key)
+        if reader is None:
+            data = self.fs.read(path)
+            reader = OrcReader(data)
+            self._metadata[key] = reader
+            # a fresh open pays for the footer read from disk
+            self.io.metadata_bytes += reader.metadata_bytes
+            self.io.disk_bytes += reader.metadata_bytes
+        self.io.files_opened += 1
+        return _CachedReader(reader, status.file_id, status.length,
+                             self.cache, self.io)
+
+    def invalidate(self, file_id: int) -> None:
+        self._metadata = {k: v for k, v in self._metadata.items()
+                          if k[0] != file_id}
+        self.cache.invalidate_file(file_id)
+
+
+class _CachedReader:
+    """Serves row-column chunks through the LLAP cache."""
+
+    def __init__(self, reader: OrcReader, file_id: int, length: int,
+                 cache: LlapCache, io: IOBreakdown):
+        self._reader = reader
+        self._file_id = file_id
+        self._length = length
+        self._cache = cache
+        self._io = io
+        self.schema = reader.schema
+        self.num_rows = reader.num_rows
+        self.row_groups = reader.row_groups
+        self.metadata_bytes = reader.metadata_bytes
+
+    def select_row_groups(self, sargs: Sequence[SargPredicate] = ()):
+        return self._reader.select_row_groups(sargs)
+
+    def read_row_group(self, group: int,
+                       columns: Sequence[str] | None = None) -> VectorBatch:
+        names = (list(columns) if columns is not None
+                 else self.schema.names())
+        vectors: list[ColumnVector] = []
+        for name in names:
+            key = ChunkKey(self._file_id, self._length, group, name)
+            cached = self._cache.get(key)
+            chunk_bytes = self._reader.column_chunk_bytes(group, name)
+            if cached is not None:
+                self._io.cache_bytes += chunk_bytes
+                vectors.append(cached)
+                continue
+            vector = self._reader.read_column(group, name)
+            self._io.disk_bytes += chunk_bytes
+            self._cache.put(key, vector, chunk_bytes)
+            vectors.append(vector)
+        return VectorBatch(self.schema.select(names), vectors)
+
+    def read_all(self, columns=None, sargs=()):
+        names = (list(columns) if columns is not None
+                 else self.schema.names())
+        groups = self.select_row_groups(sargs)
+        batches = [self.read_row_group(g, names) for g in groups]
+        return VectorBatch.concat(self.schema.select(names), batches)
+
+    def column_chunk_bytes(self, group: int, column: str) -> int:
+        return self._reader.column_chunk_bytes(group, column)

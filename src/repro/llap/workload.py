@@ -1,0 +1,180 @@
+"""Workload management (Section 5.2).
+
+Resource plans control access to LLAP resources per query: **pools**
+reserve a fraction of cluster executors and a concurrency level;
+**mappings** route incoming queries to pools by application name;
+**triggers** fire on runtime metrics and either *move* a query to another
+pool or *kill* it.  Idle pool capacity may be borrowed by queries mapped
+elsewhere until the owning pool claims it.
+
+Plans are persisted in HMS; exactly one plan is active at a time.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import WorkloadManagementError
+
+
+class TriggerAction(enum.Enum):
+    MOVE = "move"
+    KILL = "kill"
+
+
+@dataclass
+class Trigger:
+    name: str
+    metric: str                # e.g. "total_runtime" (virtual seconds)
+    threshold: float
+    action: TriggerAction
+    target_pool: Optional[str] = None
+
+
+@dataclass
+class Pool:
+    name: str
+    alloc_fraction: float
+    query_parallelism: int
+    triggers: list[Trigger] = field(default_factory=list)
+
+
+@dataclass
+class ResourcePlan:
+    name: str
+    pools: dict[str, Pool] = field(default_factory=dict)
+    mappings: dict[str, str] = field(default_factory=dict)
+    default_pool: Optional[str] = None
+    #: rules created but not yet attached to a pool (CREATE RULE)
+    unattached_triggers: dict[str, Trigger] = field(default_factory=dict)
+    enabled: bool = False
+
+    def add_pool(self, pool: Pool) -> None:
+        if pool.name in self.pools:
+            raise WorkloadManagementError(
+                f"pool {pool.name} already exists in plan {self.name}")
+        total = sum(p.alloc_fraction for p in self.pools.values())
+        if total + pool.alloc_fraction > 1.0 + 1e-9:
+            raise WorkloadManagementError(
+                f"plan {self.name}: allocation fractions exceed 1.0")
+        self.pools[pool.name] = pool
+        if self.default_pool is None:
+            self.default_pool = pool.name
+
+    def attach_rule(self, rule_name: str, pool_name: str) -> None:
+        trigger = self.unattached_triggers.get(rule_name)
+        if trigger is None:
+            raise WorkloadManagementError(f"no such rule: {rule_name}")
+        pool = self.pools.get(pool_name)
+        if pool is None:
+            raise WorkloadManagementError(f"no such pool: {pool_name}")
+        pool.triggers.append(trigger)
+
+    def route(self, application: Optional[str]) -> str:
+        if application is not None and application in self.mappings:
+            return self.mappings[application]
+        if self.default_pool is None:
+            raise WorkloadManagementError(
+                f"plan {self.name} has no pools")
+        return self.default_pool
+
+
+@dataclass
+class QueryAdmission:
+    """Result of admitting one query under the active plan."""
+
+    pool: str
+    #: fraction of cluster executors this query's pool guarantees
+    capacity_fraction: float
+    #: virtual time the query had to wait for a concurrency slot
+    queue_delay_s: float = 0.0
+    moved_to: Optional[str] = None
+    killed: bool = False
+    #: threshold of the trigger that fired (for post-hoc re-pricing)
+    fired_threshold: float = 0.0
+
+
+class WorkloadManager:
+    """Admits queries into pools and evaluates triggers.
+
+    Concurrency is modeled in virtual time: each pool keeps a heap of
+    running-query finish times; when a pool is at its parallelism limit,
+    an arriving query waits for the earliest finisher.
+    """
+
+    def __init__(self, plan: Optional[ResourcePlan] = None):
+        self.plan = plan
+        self._running: dict[str, list[float]] = {}
+
+    @property
+    def active(self) -> bool:
+        return self.plan is not None and self.plan.enabled \
+            and bool(self.plan.pools)
+
+    # -- admission --------------------------------------------------------------- #
+    def admit(self, application: Optional[str],
+              arrival_s: float) -> QueryAdmission:
+        if not self.active:
+            return QueryAdmission(pool="", capacity_fraction=1.0)
+        pool_name = self.plan.route(application)
+        pool = self.plan.pools[pool_name]
+        heap = self._running.setdefault(pool_name, [])
+        while heap and heap[0] <= arrival_s:
+            heapq.heappop(heap)
+        delay = 0.0
+        if len(heap) >= pool.query_parallelism:
+            earliest = heapq.heappop(heap)
+            delay = max(0.0, earliest - arrival_s)
+        fraction = pool.alloc_fraction
+        # borrow idle capacity from pools with no running queries
+        for other_name, other in self.plan.pools.items():
+            if other_name == pool_name:
+                continue
+            other_heap = self._running.get(other_name, [])
+            if not any(f > arrival_s for f in other_heap):
+                fraction += other.alloc_fraction
+        return QueryAdmission(pool=pool_name,
+                              capacity_fraction=min(1.0, fraction),
+                              queue_delay_s=delay)
+
+    def complete(self, admission: QueryAdmission, finish_s: float) -> None:
+        if not self.active or not admission.pool:
+            return
+        heapq.heappush(self._running.setdefault(admission.pool, []),
+                       finish_s)
+
+    # -- triggers ----------------------------------------------------------------- #
+    def check_triggers(self, admission: QueryAdmission,
+                       metrics: dict[str, float]) -> QueryAdmission:
+        """Evaluate the current pool's triggers against query metrics.
+
+        MOVE re-homes the query (its remaining work runs with the target
+        pool's capacity); KILL raises.
+        """
+        if not self.active or not admission.pool:
+            return admission
+        pool = self.plan.pools[admission.pool]
+        for trigger in pool.triggers:
+            value = metrics.get(trigger.metric)
+            if value is None or value <= trigger.threshold:
+                continue
+            if trigger.action is TriggerAction.KILL:
+                admission.killed = True
+                raise WorkloadManagementError(
+                    f"query killed by trigger {trigger.name} "
+                    f"({trigger.metric}={value:.2f} > "
+                    f"{trigger.threshold})")
+            target = self.plan.pools.get(trigger.target_pool)
+            if target is None:
+                raise WorkloadManagementError(
+                    f"trigger {trigger.name} moves to unknown pool "
+                    f"{trigger.target_pool}")
+            admission.moved_to = target.name
+            admission.pool = target.name
+            admission.capacity_fraction = target.alloc_fraction
+            admission.fired_threshold = trigger.threshold
+            break
+        return admission

@@ -1,0 +1,15 @@
+"""Hive Metastore (HMS): catalog, statistics, transactions, locks."""
+
+from .catalog import (Database, PartitionDescriptor, TableDescriptor,
+                      TableKind)
+from .hms import HiveMetastore
+from .locks import LockManager, LockType
+from .stats import ColumnStatistics, TableStatistics
+from .txn import Snapshot, TransactionManager, TxnState, ValidWriteIdList
+
+__all__ = [
+    "Database", "PartitionDescriptor", "TableDescriptor", "TableKind",
+    "HiveMetastore", "LockManager", "LockType", "ColumnStatistics",
+    "TableStatistics", "Snapshot", "TransactionManager", "TxnState",
+    "ValidWriteIdList",
+]

@@ -1,0 +1,306 @@
+"""The Hive Metastore service facade.
+
+HMS is "a catalog for all data queryable by Hive" (Section 2).  This class
+owns:
+
+* databases, tables, partitions and their locations on the simulated FS,
+* additive table/partition statistics (Section 4.1),
+* the transaction and lock managers (Section 3.2),
+* the materialized-view registry with freshness metadata (Section 4.4),
+* workload-management resource plans (Section 5.2),
+* the compaction queue (Section 3.2),
+* a notification-event log consumed by storage-handler metastore hooks
+  (Section 6.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..common.rows import Column, Schema
+from ..errors import CatalogError
+from ..fs import SimFileSystem
+from .catalog import (Constraints, Database, MaterializedViewInfo,
+                      PartitionDescriptor, TableDescriptor, TableKind)
+from .compaction import CompactionQueue
+from .locks import LockManager
+from .stats import TableStatistics
+from .txn import TransactionManager
+
+WAREHOUSE_ROOT = "/warehouse"
+
+
+@dataclass
+class NotificationEvent:
+    event_id: int
+    event_type: str           # CREATE_TABLE, DROP_TABLE, ADD_PARTITION, INSERT...
+    table: str
+    payload: dict
+
+
+class HiveMetastore:
+    """One metastore instance shared by all sessions of a warehouse."""
+
+    def __init__(self, fs: SimFileSystem):
+        self.fs = fs
+        self._lock = threading.RLock()
+        self._databases: dict[str, Database] = {}
+        self._stats: dict[tuple[str, tuple | None], TableStatistics] = {}
+        self.txn_manager = TransactionManager()
+        self.lock_manager = LockManager()
+        self.compaction_queue = CompactionQueue()
+        self._resource_plans: dict[str, object] = {}
+        self._active_resource_plan: Optional[str] = None
+        self._events: list[NotificationEvent] = []
+        self._event_counter = itertools.count(1)
+        #: runtime statistics captured during execution, persisted here
+        #: so the optimizer can feed them back (§4.2 / §9 roadmap):
+        #: plan-node digest -> last observed output cardinality
+        self._runtime_stats: dict[str, int] = {}
+        self.create_database("default", if_not_exists=True)
+        fs.mkdirs(WAREHOUSE_ROOT)
+
+    # ------------------------------------------------------------------ #
+    # databases
+    def create_database(self, name: str, if_not_exists: bool = False) -> Database:
+        name = name.lower()
+        with self._lock:
+            if name in self._databases:
+                if if_not_exists:
+                    return self._databases[name]
+                raise CatalogError(f"database {name} already exists")
+            db = Database(name)
+            self._databases[name] = db
+            self.fs.mkdirs(f"{WAREHOUSE_ROOT}/{name}")
+            return db
+
+    def get_database(self, name: str) -> Database:
+        try:
+            return self._databases[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such database: {name}") from None
+
+    def list_databases(self) -> list[str]:
+        return sorted(self._databases)
+
+    # ------------------------------------------------------------------ #
+    # tables
+    def create_table(self, database: str, name: str, schema: Schema,
+                     partition_columns: Sequence[Column] = (),
+                     kind: TableKind = TableKind.MANAGED,
+                     file_format: str = "orc",
+                     is_acid: bool = False,
+                     storage_handler: Optional[str] = None,
+                     properties: Optional[dict] = None,
+                     constraints: Optional[Constraints] = None,
+                     mv_info: Optional[MaterializedViewInfo] = None,
+                     bloom_filter_columns: Sequence[str] = (),
+                     ) -> TableDescriptor:
+        database = database.lower()
+        name = name.lower()
+        with self._lock:
+            db = self.get_database(database)
+            if name in db.tables:
+                raise CatalogError(
+                    f"table {database}.{name} already exists")
+            location = f"{WAREHOUSE_ROOT}/{database}/{name}"
+            table = TableDescriptor(
+                database=database, name=name, schema=schema,
+                partition_columns=tuple(partition_columns), kind=kind,
+                file_format=file_format, is_acid=is_acid,
+                location=location, storage_handler=storage_handler,
+                properties=dict(properties or {}),
+                constraints=constraints or Constraints(),
+                mv_info=mv_info,
+                bloom_filter_columns=tuple(bloom_filter_columns))
+            db.tables[name] = table
+            if storage_handler is None:
+                self.fs.mkdirs(location)
+            self._stats[(table.qualified_name, None)] = TableStatistics()
+            self._emit("CREATE_TABLE", table.qualified_name, {})
+            return table
+
+    def get_table(self, name: str, database: str = "default") -> TableDescriptor:
+        """Resolve ``db.table`` or bare ``table`` in ``database``."""
+        if "." in name:
+            database, name = name.split(".", 1)
+        db = self.get_database(database)
+        try:
+            return db.tables[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no such table: {database}.{name}") from None
+
+    def table_exists(self, name: str, database: str = "default") -> bool:
+        try:
+            self.get_table(name, database)
+            return True
+        except CatalogError:
+            return False
+
+    def drop_table(self, name: str, database: str = "default",
+                   purge: bool = True) -> None:
+        with self._lock:
+            table = self.get_table(name, database)
+            del self._databases[table.database].tables[table.name]
+            self._stats.pop((table.qualified_name, None), None)
+            for values in list(table.partitions):
+                self._stats.pop((table.qualified_name, values), None)
+            if purge and table.storage_handler is None and self.fs.exists(
+                    table.location):
+                self.fs.delete(table.location, recursive=True)
+            self._emit("DROP_TABLE", table.qualified_name, {})
+
+    def list_tables(self, database: str = "default") -> list[str]:
+        return sorted(self.get_database(database).tables)
+
+    # ------------------------------------------------------------------ #
+    # partitions
+    def add_partition(self, table: TableDescriptor,
+                      values: tuple) -> PartitionDescriptor:
+        with self._lock:
+            spec = "/".join(
+                f"{c.name}={v}"
+                for c, v in zip(table.partition_columns, values))
+            location = f"{table.location}/{spec}"
+            descriptor = table.add_partition(values, location)
+            self.fs.mkdirs(location)
+            self._emit("ADD_PARTITION", table.qualified_name,
+                       {"values": values})
+            return descriptor
+
+    def get_or_add_partition(self, table: TableDescriptor,
+                             values: tuple) -> PartitionDescriptor:
+        if values in table.partitions:
+            return table.partitions[values]
+        return self.add_partition(table, values)
+
+    def drop_partition(self, table: TableDescriptor, values: tuple,
+                       purge: bool = True) -> None:
+        with self._lock:
+            descriptor = table.drop_partition(values)
+            self._stats.pop((table.qualified_name, values), None)
+            if purge and self.fs.exists(descriptor.location):
+                self.fs.delete(descriptor.location, recursive=True)
+            self._emit("DROP_PARTITION", table.qualified_name,
+                       {"values": values})
+
+    # ------------------------------------------------------------------ #
+    # statistics (additive, Section 4.1)
+    def update_statistics(self, table: TableDescriptor,
+                          delta: TableStatistics,
+                          partition: tuple | None = None) -> None:
+        """Merge ``delta`` into existing stats (inserts add on)."""
+        with self._lock:
+            key = (table.qualified_name, partition)
+            existing = self._stats.get(key)
+            self._stats[key] = existing.merge(delta) if existing else delta
+            if partition is not None:
+                # roll partition deltas into the table-level aggregate too
+                table_key = (table.qualified_name, None)
+                table_stats = self._stats.get(table_key)
+                self._stats[table_key] = (table_stats.merge(delta)
+                                          if table_stats else delta.copy())
+
+    def set_statistics(self, table: TableDescriptor, stats: TableStatistics,
+                       partition: tuple | None = None) -> None:
+        """Replace stats wholesale (ANALYZE TABLE / full rebuild)."""
+        with self._lock:
+            self._stats[(table.qualified_name, partition)] = stats
+
+    def get_statistics(self, table: TableDescriptor,
+                       partition: tuple | None = None) -> TableStatistics:
+        with self._lock:
+            stats = self._stats.get((table.qualified_name, partition))
+            return stats.copy() if stats else TableStatistics()
+
+    # ------------------------------------------------------------------ #
+    # materialized views (Section 4.4)
+    def list_materialized_views(self) -> list[TableDescriptor]:
+        with self._lock:
+            out = []
+            for db in self._databases.values():
+                for table in db.tables.values():
+                    if table.is_materialized_view:
+                        out.append(table)
+            return sorted(out, key=lambda t: t.qualified_name)
+
+    def views_enabled_for_rewrite(self) -> list[TableDescriptor]:
+        return [v for v in self.list_materialized_views()
+                if v.mv_info is not None and v.mv_info.enabled_for_rewrite]
+
+    def is_view_fresh(self, view: TableDescriptor,
+                      now_s: float = 0.0) -> bool:
+        """Fresh if no source table advanced past the snapshot the view was
+
+        built from, or staleness is within the allowed window."""
+        info = view.mv_info
+        if info is None:
+            return False
+        stale = False
+        for source in info.source_tables:
+            current = self.txn_manager.current_write_id(source)
+            if current > info.snapshot_write_ids.get(source, 0):
+                stale = True
+                break
+        if not stale:
+            return True
+        if info.allowed_staleness_s > 0:
+            return (now_s - info.rebuild_time) <= info.allowed_staleness_s
+        return False
+
+    # ------------------------------------------------------------------ #
+    # resource plans (Section 5.2) — persisted by HMS
+    def save_resource_plan(self, name: str, plan: object) -> None:
+        with self._lock:
+            self._resource_plans[name.lower()] = plan
+
+    def get_resource_plan(self, name: str) -> object:
+        try:
+            return self._resource_plans[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such resource plan: {name}") from None
+
+    def activate_resource_plan(self, name: str) -> None:
+        with self._lock:
+            if name.lower() not in self._resource_plans:
+                raise CatalogError(f"no such resource plan: {name}")
+            self._active_resource_plan = name.lower()
+
+    def active_resource_plan(self) -> object | None:
+        with self._lock:
+            if self._active_resource_plan is None:
+                return None
+            return self._resource_plans[self._active_resource_plan]
+
+    # ------------------------------------------------------------------ #
+    # runtime statistics (Section 4.2; §9: "feedback that information
+    # into the optimizer")
+    def record_runtime_stats(self, stats: dict[str, int]) -> None:
+        with self._lock:
+            self._runtime_stats.update(stats)
+
+    def runtime_stats(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._runtime_stats)
+
+    def clear_runtime_stats(self) -> None:
+        with self._lock:
+            self._runtime_stats.clear()
+
+    # ------------------------------------------------------------------ #
+    # notification events (Section 6.1, metastore hooks)
+    def _emit(self, event_type: str, table: str, payload: dict) -> None:
+        self._events.append(NotificationEvent(
+            next(self._event_counter), event_type, table, payload))
+
+    def emit_event(self, event_type: str, table: str, payload: dict) -> None:
+        with self._lock:
+            self._emit(event_type, table, payload)
+
+    def events_since(self, event_id: int) -> list[NotificationEvent]:
+        with self._lock:
+            return [e for e in self._events if e.event_id > event_id]

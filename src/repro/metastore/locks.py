@@ -1,0 +1,110 @@
+"""Lock manager (Section 3.2, "Transaction and lock management").
+
+Lock granularity follows the paper: a partition for partitioned tables,
+the whole table otherwise.  Ordinary reads and writes take **shared**
+locks; only operations that disrupt both readers and writers (DROP TABLE,
+DROP PARTITION) take **exclusive** locks.  Update/delete conflicts are
+*not* resolved here — they use the optimistic write-set check at commit
+time in :mod:`repro.metastore.txn`.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+
+from ..errors import LockTimeoutError, TransactionError
+
+
+class LockType(enum.Enum):
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass(frozen=True)
+class LockKey:
+    """(table, partition values or None) — the lockable unit."""
+
+    table: str
+    partition: tuple | None = None
+
+    def conflicts_with(self, other: "LockKey") -> bool:
+        if self.table != other.table:
+            return False
+        if self.partition is None or other.partition is None:
+            # table-level lock covers all partitions
+            return True
+        return self.partition == other.partition
+
+
+@dataclass
+class _Held:
+    key: LockKey
+    lock_type: LockType
+    txn_id: int
+
+
+class LockManager:
+    """Blocking lock table with timeout; locks are owned by transactions."""
+
+    def __init__(self, default_timeout_s: float = 5.0):
+        self._cond = threading.Condition()
+        self._held: list[_Held] = []
+        self.default_timeout_s = default_timeout_s
+
+    # -- acquisition ----------------------------------------------------------- #
+    def acquire(self, txn_id: int, table: str, partition: tuple | None,
+                lock_type: LockType, timeout_s: float | None = None) -> None:
+        """Block until the lock is grantable or the timeout elapses."""
+        key = LockKey(table.lower(),
+                      tuple(partition) if partition is not None else None)
+        deadline = (timeout_s if timeout_s is not None
+                    else self.default_timeout_s)
+        with self._cond:
+            if not self._cond.wait_for(
+                    lambda: self._grantable(txn_id, key, lock_type),
+                    timeout=deadline):
+                raise LockTimeoutError(
+                    f"txn {txn_id}: timed out acquiring {lock_type.value} "
+                    f"lock on {key.table} partition {key.partition}")
+            self._held.append(_Held(key, lock_type, txn_id))
+
+    def _grantable(self, txn_id: int, key: LockKey,
+                   lock_type: LockType) -> bool:
+        for held in self._held:
+            if held.txn_id == txn_id:
+                continue  # re-entrant within a transaction
+            if not held.key.conflicts_with(key):
+                continue
+            if (lock_type is LockType.EXCLUSIVE
+                    or held.lock_type is LockType.EXCLUSIVE):
+                return False
+        return True
+
+    # -- release ------------------------------------------------------------ #
+    def release_all(self, txn_id: int) -> int:
+        """Release every lock owned by ``txn_id`` (commit/abort path)."""
+        with self._cond:
+            before = len(self._held)
+            self._held = [h for h in self._held if h.txn_id != txn_id]
+            released = before - len(self._held)
+            if released:
+                self._cond.notify_all()
+            return released
+
+    # -- introspection -------------------------------------------------------- #
+    def locks_held(self, txn_id: int | None = None) -> list[tuple]:
+        with self._cond:
+            out = []
+            for held in self._held:
+                if txn_id is None or held.txn_id == txn_id:
+                    out.append((held.key.table, held.key.partition,
+                                held.lock_type, held.txn_id))
+            return out
+
+    def assert_no_locks(self) -> None:
+        with self._cond:
+            if self._held:
+                raise TransactionError(
+                    f"lock leak: {len(self._held)} locks still held")

@@ -1,0 +1,5 @@
+"""Multi-stage rule/cost-based optimizer (the Calcite integration)."""
+
+from .planner import OptimizedPlan, Optimizer
+
+__all__ = ["OptimizedPlan", "Optimizer"]

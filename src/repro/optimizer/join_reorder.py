@@ -1,0 +1,216 @@
+"""Cost-based join reordering.
+
+Collects maximal trees of inner joins, then greedily builds a left-deep
+order that minimizes estimated intermediate cardinalities (a classic
+Selinger-lite heuristic; Calcite's LoptOptimizeJoinRule plays this role
+in Hive, Section 4.1).  Cross products are only chosen when no connected
+choice remains.  The smaller side ends up on the right, which is the
+hash-join build side in the runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..plan import relnodes as rel
+from ..plan import rexnodes as rex
+from .stats import StatsProvider
+
+
+def reorder_joins(root: rel.RelNode,
+                  stats: StatsProvider) -> rel.RelNode:
+    def rule(node: rel.RelNode) -> Optional[rel.RelNode]:
+        if not _is_reorderable_root(node):
+            return None
+        return _reorder_tree(node, stats)
+
+    return rel.transform_bottom_up(root, rule)
+
+
+def _is_inner_join(node: rel.RelNode) -> bool:
+    return isinstance(node, rel.Join) and node.kind == "inner"
+
+
+def _is_reorderable_root(node: rel.RelNode) -> bool:
+    """A topmost inner join with at least 3 leaves below it."""
+    if not _is_inner_join(node):
+        return False
+    leaves, _ = _collect(node)
+    return len(leaves) >= 3
+
+
+def _collect(node: rel.RelNode) -> tuple[list[rel.RelNode],
+                                         list[rex.RexNode]]:
+    """Flatten a tree of inner joins into leaves and conjuncts.
+
+    Conjunct ordinals are rewritten to the global space of the leaves in
+    collection (left-to-right) order.
+    """
+    leaves: list[rel.RelNode] = []
+    conjuncts: list[rex.RexNode] = []
+
+    def visit(n: rel.RelNode, offset: int) -> int:
+        if _is_inner_join(n):
+            left_width = visit(n.left, offset)
+            right_width = visit(n.right, offset + left_width)
+            if n.condition is not None:
+                shifted = rex.shift_refs(n.condition, offset)
+                conjuncts.extend(rex.conjunctions(shifted))
+            return left_width + right_width
+        leaves.append(n)
+        return len(n.schema)
+
+    # visit with local offsets, then globalize: the recursion above
+    # already passes the global offset down correctly.
+    visit(node, 0)
+    return leaves, conjuncts
+
+
+def _reorder_tree(node: rel.Join, stats: StatsProvider) -> rel.RelNode:
+    leaves, conjuncts = _collect(node)
+    offsets = []
+    total = 0
+    for leaf in leaves:
+        offsets.append(total)
+        total += len(leaf.schema)
+    leaf_of_ordinal = {}
+    for li, leaf in enumerate(leaves):
+        for j in range(len(leaf.schema)):
+            leaf_of_ordinal[offsets[li] + j] = li
+
+    conjunct_leaves = [frozenset(leaf_of_ordinal[i]
+                                 for i in c.input_refs())
+                       for c in conjuncts]
+
+    remaining = set(range(len(leaves)))
+    used_conjuncts: set[int] = set()
+
+    # start from the smallest-cardinality connected pair
+    leaf_rows = [stats.row_count(leaf) for leaf in leaves]
+    best_pair = None
+    best_rows = None
+    for ci, leaf_set in enumerate(conjunct_leaves):
+        if len(leaf_set) == 2:
+            a, b = sorted(leaf_set)
+            estimate = _pair_estimate(leaf_rows[a], leaf_rows[b])
+            if best_rows is None or estimate < best_rows:
+                best_rows = estimate
+                best_pair = (a, b)
+    if best_pair is None:
+        return None  # no equi edges at all: leave as written
+
+    order = [max(best_pair, key=lambda i: leaf_rows[i])]
+    order.append(best_pair[0] if order[0] == best_pair[1]
+                 else best_pair[1])
+    remaining -= set(order)
+
+    current_rows = _pair_estimate(leaf_rows[order[0]], leaf_rows[order[1]])
+    while remaining:
+        joined = set(order)
+        best_leaf = None
+        best_estimate = None
+        best_connected = False
+        for candidate in remaining:
+            connected = any(
+                leaf_set and candidate in leaf_set
+                and leaf_set - {candidate} <= joined
+                for leaf_set in conjunct_leaves)
+            estimate = (_pair_estimate(current_rows, leaf_rows[candidate])
+                        if connected
+                        else current_rows * leaf_rows[candidate])
+            key = (not connected, estimate)
+            if best_estimate is None or key < (not best_connected,
+                                               best_estimate):
+                best_estimate = estimate
+                best_leaf = candidate
+                best_connected = connected
+        order.append(best_leaf)
+        remaining.discard(best_leaf)
+        current_rows = best_estimate
+
+    # rebuild a left-deep tree in `order`
+    new_offsets = {}
+    cursor = 0
+    for leaf_index in order:
+        new_offsets[leaf_index] = cursor
+        cursor += len(leaves[leaf_index].schema)
+
+    def remap(old: int) -> int:
+        leaf_index = leaf_of_ordinal[old]
+        return new_offsets[leaf_index] + (old - offsets[leaf_index])
+
+    current = leaves[order[0]]
+    placed = {order[0]}
+    pending = list(range(len(conjuncts)))
+    for leaf_index in order[1:]:
+        placed.add(leaf_index)
+        applicable = []
+        for ci in list(pending):
+            if conjunct_leaves[ci] <= placed and conjunct_leaves[ci]:
+                applicable.append(
+                    rex.remap_refs(conjuncts[ci], remap))
+                pending.remove(ci)
+        condition = rex.make_and(applicable)
+        current = rel.Join(current, leaves[leaf_index], "inner", condition)
+    # degenerate conjuncts that referenced nothing (constants)
+    leftovers = [rex.remap_refs(conjuncts[ci], remap) for ci in pending]
+    if leftovers:
+        current = rel.Filter(current, rex.make_and(leftovers))
+
+    # restore the original column order
+    exprs = []
+    names = []
+    for li, leaf in enumerate(leaves):
+        for j, col in enumerate(leaf.schema):
+            exprs.append(rex.RexInputRef(remap(offsets[li] + j),
+                                         col.dtype))
+    for col in node.schema:
+        names.append(col.name)
+    return rel.Project(current, tuple(exprs), tuple(names))
+
+
+def _pair_estimate(left_rows: float, right_rows: float) -> float:
+    """Estimated output of an equi join between sides of given sizes."""
+    return max(left_rows, right_rows)
+
+
+def choose_build_sides(root: rel.RelNode,
+                       stats: StatsProvider) -> rel.RelNode:
+    """Put the smaller estimated input on the hash-join build side.
+
+    The runtime builds on the right input; a misestimate here is exactly
+    the planning mistake ("wrong join algorithm selection or memory
+    allocation") that Section 4.2's reoptimization fixes with runtime
+    statistics.
+    """
+
+    def rule(node: rel.RelNode) -> Optional[rel.RelNode]:
+        if not (isinstance(node, rel.Join) and node.kind == "inner"
+                and node.condition is not None):
+            return None
+        pairs, _ = rex.split_equi_condition(node.condition,
+                                            len(node.left.schema))
+        if not pairs:
+            return None
+        left_rows = stats.row_count(node.left)
+        right_rows = stats.row_count(node.right)
+        if right_rows <= left_rows:
+            return None
+        left_width = len(node.left.schema)
+        right_width = len(node.right.schema)
+
+        def remap(i: int) -> int:
+            return i + right_width if i < left_width else i - left_width
+
+        swapped = rel.Join(node.right, node.left, "inner",
+                           rex.remap_refs(node.condition, remap))
+        # restore the original column order above the swapped join
+        exprs = []
+        for i in range(left_width + right_width):
+            new_ordinal = remap(i)
+            dtype = node.schema[i].dtype
+            exprs.append(rex.RexInputRef(new_ordinal, dtype))
+        return rel.Project(swapped, tuple(exprs),
+                           tuple(c.name for c in node.schema))
+
+    return rel.transform_bottom_up(root, rule)

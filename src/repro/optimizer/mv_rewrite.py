@@ -1,0 +1,827 @@
+"""Materialized view rewriting (Section 4.4).
+
+Produces *fully contained* and *partially contained* rewritings of
+Select-Project-Join-Aggregate (SPJA) expressions against registered
+materialized views, mirroring Figure 4:
+
+* **full containment** (Figure 4b): the view's predicate set is implied
+  by the query's; the query is answered from the view alone, with a
+  residual filter and (if the query groups are coarser) a roll-up
+  aggregation on top,
+* **partial containment** (Figure 4c): exactly one view range predicate
+  is wider in the query; the rewrite unions the view contents with the
+  *delta* computed from the source tables and re-aggregates.
+
+The matcher is structural: plans are canonicalized over
+``table.column`` names, so it is insensitive to join order and column
+pruning, but it bails out on self-joins, outer joins, window functions
+and grouping sets.  The incremental MV rebuild in the driver reuses this
+exact machinery, as the paper describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..common.rows import Schema
+from ..errors import HiveError
+from ..metastore.catalog import TableDescriptor
+from ..plan import relnodes as rel
+from ..plan import rexnodes as rex
+
+_MERGEABLE = {"sum", "count", "min", "max"}
+
+
+# --------------------------------------------------------------------------- #
+# SPJA extraction
+
+@dataclass
+class SPJA:
+    """Canonical form of an SPJA subtree."""
+
+    tables: tuple[str, ...]                  # sorted unique table names
+    scans: list[rel.TableScan]
+    offsets: list[int]
+    conjuncts: list[rex.RexNode]             # over global leaf space
+    # aggregation (None for SPJ)
+    group_exprs: Optional[list[rex.RexNode]] = None
+    agg_calls: Optional[list[tuple]] = None  # (func, arg_digest, distinct, dtype)
+    # final projection over (aggregate output | leaf space)
+    output_exprs: list[rex.RexNode] = field(default_factory=list)
+    output_names: list[str] = field(default_factory=list)
+    aggregate_node: Optional[rel.Aggregate] = None
+    ordinal_names: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def is_aggregated(self) -> bool:
+        return self.group_exprs is not None
+
+
+def canonical_digest(expr: rex.RexNode,
+                     ordinal_names: dict[int, str]) -> Optional[str]:
+    """Digest with input ordinals replaced by table.column names."""
+    if isinstance(expr, rex.RexInputRef):
+        return ordinal_names.get(expr.index)
+    if isinstance(expr, rex.RexLiteral):
+        return repr(expr.value)
+    if isinstance(expr, rex.RexCall):
+        parts = []
+        for operand in expr.operands:
+            digest = canonical_digest(operand, ordinal_names)
+            if digest is None:
+                return None
+            parts.append(digest)
+        if expr.op in ("AND", "OR", "=", "<>", "+", "*"):
+            parts = sorted(parts)
+        return f"{expr.op}({', '.join(parts)})"
+    return None
+
+
+def extract_spja(node: rel.RelNode) -> Optional[SPJA]:
+    """Extract the canonical SPJA form, or None if the shape is richer."""
+    top_project: Optional[rel.Project] = None
+    if isinstance(node, rel.Project):
+        top_project = node
+        node = node.input
+    aggregate: Optional[rel.Aggregate] = None
+    if isinstance(node, rel.Aggregate):
+        if node.grouping_sets is not None or any(
+                c.distinct for c in node.agg_calls):
+            return None
+        aggregate = node
+        node = node.input
+    pre_project: Optional[rel.Project] = None
+    if isinstance(node, rel.Project):
+        pre_project = node
+        node = node.input
+    top_filter_conjuncts: list[rex.RexNode] = []
+    if isinstance(node, rel.Filter):
+        top_filter_conjuncts = rex.conjunctions(node.condition)
+        node = node.input
+
+    scans: list[rel.TableScan] = []
+    offsets: list[int] = []
+    conjuncts: list[rex.RexNode] = []
+
+    def visit(n: rel.RelNode, offset: int) -> Optional[int]:
+        if isinstance(n, rel.Join) and n.kind == "inner":
+            left_width = visit(n.left, offset)
+            if left_width is None:
+                return None
+            right_width = visit(n.right, offset + left_width)
+            if right_width is None:
+                return None
+            if n.condition is not None:
+                conjuncts.extend(rex.conjunctions(
+                    rex.shift_refs(n.condition, offset)))
+            return left_width + right_width
+        if isinstance(n, rel.Filter):
+            width = visit(n.input, offset)
+            if width is None:
+                return None
+            conjuncts.extend(rex.conjunctions(
+                rex.shift_refs(n.condition, offset)))
+            return width
+        if isinstance(n, rel.TableScan):
+            if n.pushed_query is not None:
+                return None
+            scans.append(n)
+            offsets.append(offset)
+            return len(n.schema)
+        return None
+
+    total = visit(node, 0)
+    if total is None or not scans:
+        return None
+    table_names = [s.table_name for s in scans]
+    if len(set(table_names)) != len(table_names):
+        return None  # self-join: canonical names would be ambiguous
+
+    ordinal_names: dict[int, str] = {}
+    for scan, offset in zip(scans, offsets):
+        for j, col in enumerate(scan.schema):
+            ordinal_names[offset + j] = f"{scan.table_name}.{col.name.lower()}"
+
+    conjuncts = conjuncts + top_filter_conjuncts
+    spja = SPJA(tables=tuple(sorted(set(table_names))), scans=scans,
+                offsets=offsets, conjuncts=conjuncts,
+                ordinal_names=ordinal_names)
+
+    def leaf_expr(expr: rex.RexNode,
+                  through: Optional[rel.Project]) -> rex.RexNode:
+        if through is None:
+            return expr
+        return _inline(expr, through.exprs)
+
+    if aggregate is not None:
+        spja.aggregate_node = aggregate
+        spja.group_exprs = [
+            leaf_expr(rex.RexInputRef(k, aggregate.input.schema[k].dtype),
+                      pre_project)
+            for k in aggregate.group_keys]
+        spja.agg_calls = []
+        for call in aggregate.agg_calls:
+            if call.arg is None:
+                spja.agg_calls.append((call.func, None, call.distinct,
+                                       call.dtype))
+            else:
+                arg = leaf_expr(
+                    rex.RexInputRef(call.arg,
+                                    aggregate.input.schema[call.arg].dtype),
+                    pre_project)
+                digest = canonical_digest(arg, ordinal_names)
+                if digest is None:
+                    return None
+                spja.agg_calls.append((call.func, digest, call.distinct,
+                                       call.dtype))
+        if top_project is not None:
+            spja.output_exprs = list(top_project.exprs)
+            spja.output_names = list(top_project.names)
+        else:
+            spja.output_exprs = [
+                rex.RexInputRef(i, aggregate.schema[i].dtype)
+                for i in range(len(aggregate.schema))]
+            spja.output_names = [c.name for c in aggregate.schema]
+    else:
+        # SPJ: outputs over the leaf space
+        if pre_project is not None and top_project is not None:
+            return None
+        project = top_project or pre_project
+        if project is not None:
+            spja.output_exprs = list(project.exprs)
+            spja.output_names = list(project.names)
+        else:
+            width = sum(len(s.schema) for s in scans)
+            spja.output_exprs = [
+                rex.RexInputRef(i, _ordinal_type(spja, i))
+                for i in range(width)]
+            spja.output_names = [ordinal_names[i].split(".")[-1]
+                                 for i in range(width)]
+    return spja
+
+
+def _ordinal_type(spja: SPJA, ordinal: int):
+    for scan, offset in zip(spja.scans, spja.offsets):
+        if offset <= ordinal < offset + len(scan.schema):
+            return scan.schema[ordinal - offset].dtype
+    raise HiveError(f"ordinal {ordinal} out of range")
+
+
+def _inline(expr: rex.RexNode,
+            project_exprs: tuple[rex.RexNode, ...]) -> rex.RexNode:
+    if isinstance(expr, rex.RexInputRef):
+        return project_exprs[expr.index]
+    if isinstance(expr, rex.RexCall):
+        return rex.RexCall(expr.op,
+                           tuple(_inline(o, project_exprs)
+                                 for o in expr.operands), expr.dtype)
+    return expr
+
+
+# --------------------------------------------------------------------------- #
+# predicate implication
+
+@dataclass(frozen=True)
+class SimplePredicate:
+    column: str
+    op: str
+    value: object
+
+
+def parse_simple(conjunct: rex.RexNode,
+                 ordinal_names: dict[int, str]) -> Optional[SimplePredicate]:
+    if not isinstance(conjunct, rex.RexCall):
+        return None
+    if conjunct.op in ("=", "<", "<=", ">", ">="):
+        a, b = conjunct.operands
+        if isinstance(a, rex.RexInputRef) and isinstance(b, rex.RexLiteral):
+            column = ordinal_names.get(a.index)
+            if column is None:
+                return None
+            return SimplePredicate(column, conjunct.op,
+                                   a.dtype.to_storage(b.value))
+        if isinstance(b, rex.RexInputRef) and isinstance(a, rex.RexLiteral):
+            column = ordinal_names.get(b.index)
+            if column is None:
+                return None
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                       "=": "="}[conjunct.op]
+            return SimplePredicate(column, flipped,
+                                   b.dtype.to_storage(a.value))
+    return None
+
+
+def implies(query_pred: SimplePredicate, view_pred: SimplePredicate) -> bool:
+    """Does every row satisfying ``query_pred`` satisfy ``view_pred``?"""
+    if query_pred.column != view_pred.column:
+        return False
+    q, v = query_pred, view_pred
+    try:
+        if v.op == ">":
+            if q.op == ">":
+                return q.value >= v.value
+            if q.op == ">=":
+                return q.value > v.value
+            if q.op == "=":
+                return q.value > v.value
+        if v.op == ">=":
+            if q.op in (">", ">="):
+                return q.value >= v.value
+            if q.op == "=":
+                return q.value >= v.value
+        if v.op == "<":
+            if q.op == "<":
+                return q.value <= v.value
+            if q.op == "<=":
+                return q.value < v.value
+            if q.op == "=":
+                return q.value < v.value
+        if v.op == "<=":
+            if q.op in ("<", "<="):
+                return q.value <= v.value
+            if q.op == "=":
+                return q.value <= v.value
+        if v.op == "=" and q.op == "=":
+            return q.value == v.value
+    except TypeError:
+        return False
+    return False
+
+
+# --------------------------------------------------------------------------- #
+# view descriptors
+
+@dataclass
+class ViewDefinition:
+    """A materialized view's canonical SPJA plus its storage table."""
+
+    table: TableDescriptor
+    spja: SPJA
+    #: canonical digest -> MV table column ordinal (for group keys / SPJ
+    #: outputs); aggregates use "AGG:<func>:<arg digest>" keys
+    output_map: dict[str, int]
+
+
+def build_view_definition(table: TableDescriptor,
+                          plan: rel.RelNode) -> Optional[ViewDefinition]:
+    """Canonicalize an (already optimized) MV definition plan."""
+    spja = extract_spja(plan)
+    if spja is None:
+        return None
+    output_map: dict[str, int] = {}
+    if spja.is_aggregated:
+        aggregate = spja.aggregate_node
+        key_count = len(aggregate.group_keys)
+        # canonical names of the aggregate output positions
+        agg_out_digests: dict[int, str] = {}
+        for i, group_expr in enumerate(spja.group_exprs):
+            digest = canonical_digest(group_expr, spja.ordinal_names)
+            if digest is None:
+                return None
+            agg_out_digests[i] = digest
+        for i, (func, arg_digest, distinct, _)\
+                in enumerate(spja.agg_calls):
+            agg_out_digests[key_count + i] = _agg_key(func, arg_digest)
+        # map through the MV's final projection
+        for out_ordinal, expr in enumerate(spja.output_exprs):
+            if isinstance(expr, rex.RexInputRef):
+                digest = agg_out_digests.get(expr.index)
+                if digest is not None:
+                    output_map[digest] = out_ordinal
+    else:
+        for out_ordinal, expr in enumerate(spja.output_exprs):
+            digest = canonical_digest(expr, spja.ordinal_names)
+            if digest is not None:
+                output_map[digest] = out_ordinal
+    return ViewDefinition(table, spja, output_map)
+
+
+def _agg_key(func: str, arg_digest: Optional[str]) -> str:
+    return f"AGG:{func}:{arg_digest or '*'}"
+
+
+# --------------------------------------------------------------------------- #
+# the rewriter
+
+class MaterializedViewRewriter:
+    """Attempts view-based rewrites over an optimized plan.
+
+    ``pk_lookup`` resolves a table name to its declared primary key; it
+    enables rewrites where the view joins *more* tables than the query,
+    provided every extra table is joined on its full primary key — the
+    constraint-based transformations of Section 4.4 (a PK join to an
+    extra dimension neither adds nor removes fact rows when the foreign
+    key is declared).
+    """
+
+    def __init__(self, views: list[ViewDefinition],
+                 scan_id_source=itertools.count(10_000),
+                 pk_lookup=None):
+        self.views = views
+        self._scan_ids = scan_id_source
+        self.pk_lookup = pk_lookup
+        self.applied: list[str] = []
+
+    def rewrite(self, root: rel.RelNode) -> rel.RelNode:
+        if not self.views:
+            return root
+
+        def rule(node: rel.RelNode) -> Optional[rel.RelNode]:
+            spja = extract_spja(node)
+            if spja is None:
+                return None
+            for view in self.views:
+                rewritten = self._try_view(node, spja, view)
+                if rewritten is not None:
+                    self.applied.append(view.table.qualified_name)
+                    return rewritten
+            return None
+
+        return rel.transform_bottom_up(root, rule)
+
+    # -- matching --------------------------------------------------------------- #
+    def _try_view(self, node: rel.RelNode, query: SPJA,
+                  view: ViewDefinition) -> Optional[rel.RelNode]:
+        query_tables = set(query.tables)
+        view_tables = set(view.spja.tables)
+        if not query_tables <= view_tables:
+            return None
+        extras = view_tables - query_tables
+        if extras and not self._extras_are_pk_joined(view, extras):
+            return None
+        if query.is_aggregated != view.spja.is_aggregated:
+            # an aggregated query can still use an SPJ view
+            if not (query.is_aggregated and not view.spja.is_aggregated):
+                return None
+        match = self._match_predicates(query, view, extras)
+        if match is None:
+            return None
+        residual, violated = match
+        if not violated:
+            return self._full_rewrite(node, query, view, residual)
+        if len(violated) == 1 and query.is_aggregated:
+            return self._partial_rewrite(node, query, view, residual,
+                                         violated[0])
+        return None
+
+    def _extras_are_pk_joined(self, view: ViewDefinition,
+                              extras: set[str]) -> bool:
+        """Every extra view table must join on its full primary key."""
+        if self.pk_lookup is None:
+            return False
+        for table in extras:
+            pk = tuple(c.lower() for c in (self.pk_lookup(table) or ()))
+            if len(pk) != 1:
+                return False  # only single-column PKs are supported
+            if not any(self._is_pk_join(c, view.spja, table, pk[0])
+                       for c in view.spja.conjuncts):
+                return False
+        return True
+
+    def _is_pk_join(self, conjunct: rex.RexNode, spja: SPJA, table: str,
+                    pk_column: str) -> bool:
+        if not (isinstance(conjunct, rex.RexCall) and conjunct.op == "="
+                and len(conjunct.operands) == 2):
+            return False
+        a, b = conjunct.operands
+        if not (isinstance(a, rex.RexInputRef)
+                and isinstance(b, rex.RexInputRef)):
+            return False
+        names = {spja.ordinal_names.get(a.index),
+                 spja.ordinal_names.get(b.index)}
+        return f"{table}.{pk_column}" in names
+
+    def _tables_of_conjunct(self, spja: SPJA,
+                            conjunct: rex.RexNode) -> set[str]:
+        tables = set()
+        for ordinal in conjunct.input_refs():
+            name = spja.ordinal_names.get(ordinal)
+            if name is not None:
+                tables.add(name.rsplit(".", 1)[0])
+        return tables
+
+    def _match_predicates(self, query: SPJA, view: ViewDefinition,
+                          extras: set[str] = frozenset()):
+        """Classify view conjuncts as satisfied/violated; return
+
+        (residual query conjuncts, violated view conjuncts)."""
+        view_spja = view.spja
+        query_digests = {}
+        for conjunct in query.conjuncts:
+            digest = canonical_digest(conjunct, query.ordinal_names)
+            if digest is None:
+                return None
+            query_digests[digest] = conjunct
+        violated: list[rex.RexNode] = []
+        consumed: set[str] = set()
+        for view_conjunct in view_spja.conjuncts:
+            view_digest = canonical_digest(view_conjunct,
+                                           view_spja.ordinal_names)
+            if view_digest is None:
+                return None
+            touched_extras = self._tables_of_conjunct(
+                view_spja, view_conjunct) & extras
+            if touched_extras:
+                # PK joins to extra tables neither add nor drop rows;
+                # any *other* predicate on an extra table would, so bail
+                is_join = any(
+                    self._is_pk_join(
+                        view_conjunct, view_spja, t,
+                        (self.pk_lookup(t) or ("",))[0].lower())
+                    for t in touched_extras)
+                if not is_join:
+                    return None
+                consumed.add(view_digest)
+                continue
+            if view_digest in query_digests:
+                consumed.add(view_digest)
+                continue
+            view_simple = parse_simple(view_conjunct,
+                                       view_spja.ordinal_names)
+            implied = False
+            if view_simple is not None:
+                for q_digest, q_conjunct in query_digests.items():
+                    q_simple = parse_simple(q_conjunct,
+                                            query.ordinal_names)
+                    if q_simple is not None and implies(q_simple,
+                                                        view_simple):
+                        implied = True
+                        break
+            if not implied:
+                violated.append(view_conjunct)
+        residual = [c for d, c in query_digests.items()
+                    if d not in consumed]
+        return residual, violated
+
+    # -- full rewrite -------------------------------------------------------------- #
+    def _full_rewrite(self, node: rel.RelNode, query: SPJA,
+                      view: ViewDefinition,
+                      residual: list[rex.RexNode]
+                      ) -> Optional[rel.RelNode]:
+        plan = self._rewrite_to_aggregate(query, view, residual)
+        if plan is None:
+            return None
+        inner, out_digests = plan
+        # final projection: query outputs over the rewritten aggregate
+        exprs = []
+        if query.is_aggregated:
+            # layout: original Aggregate output position -> digest
+            layout = [canonical_digest(g, query.ordinal_names)
+                      for g in query.group_exprs]
+            layout += [_agg_key(func, arg)
+                       for func, arg, _, _ in query.agg_calls]
+            for expr in query.output_exprs:
+                mapped = self._map_over(expr, out_digests, inner.schema,
+                                        layout)
+                if mapped is None:
+                    return None
+                exprs.append(mapped)
+        else:
+            for expr in query.output_exprs:
+                digest = canonical_digest(expr, query.ordinal_names)
+                if digest is None or digest not in out_digests:
+                    mapped = self._rewrite_leaf_expr(expr, query,
+                                                     out_digests,
+                                                     inner.schema)
+                    if mapped is None:
+                        return None
+                    exprs.append(mapped)
+                else:
+                    ordinal = out_digests[digest]
+                    exprs.append(rex.RexInputRef(
+                        ordinal, inner.schema[ordinal].dtype))
+        return rel.Project(inner, tuple(exprs),
+                           tuple(c.name for c in node.schema))
+
+    def _rewrite_to_aggregate(self, query: SPJA, view: ViewDefinition,
+                              residual: list[rex.RexNode]):
+        """Scan(view) + residual filter [+ roll-up aggregate].
+
+        Returns (plan, digest -> output ordinal) where digests cover the
+        query's group keys and aggregate calls (or SPJ outputs).
+        """
+        mv_table = view.table
+        scan = rel.TableScan(mv_table.qualified_name,
+                             mv_table.full_schema(),
+                             scan_id=next(self._scan_ids))
+        plan: rel.RelNode = scan
+
+        residual_rex = []
+        for conjunct in residual:
+            mapped = self._rewrite_leaf_expr(conjunct, query,
+                                             view.output_map, scan.schema)
+            if mapped is None:
+                return None
+            residual_rex.append(mapped)
+        if residual_rex:
+            plan = rel.Filter(plan, rex.make_and(residual_rex))
+
+        if not query.is_aggregated:
+            return plan, dict(view.output_map)
+
+        # group keys must be expressible over the view output
+        key_refs: list[int] = []
+        key_digests: list[str] = []
+        for group_expr in query.group_exprs:
+            digest = canonical_digest(group_expr, query.ordinal_names)
+            if digest is None or digest not in view.output_map:
+                return None
+            key_refs.append(view.output_map[digest])
+            key_digests.append(digest)
+
+        same_grouping = (view.spja.is_aggregated
+                         and len(view.spja.group_exprs)
+                         == len(query.group_exprs)
+                         and set(key_digests) == {
+                             canonical_digest(g, view.spja.ordinal_names)
+                             for g in view.spja.group_exprs})
+
+        out_digests: dict[str, int] = {}
+        if same_grouping:
+            # no roll-up needed: map aggregates directly
+            for func, arg_digest, distinct, _ in query.agg_calls:
+                key = _agg_key(func, arg_digest)
+                if key not in view.output_map:
+                    return None
+                out_digests[key] = view.output_map[key]
+            for digest, ordinal in zip(key_digests, key_refs):
+                out_digests[digest] = ordinal
+            return plan, out_digests
+
+        # roll-up: re-aggregate the view
+        agg_calls = []
+        for func, arg_digest, distinct, dtype in query.agg_calls:
+            if distinct or func not in _MERGEABLE:
+                return None
+            if view.spja.is_aggregated:
+                source_key = _agg_key(func, arg_digest)
+                if source_key not in view.output_map:
+                    return None
+                source = view.output_map[source_key]
+                merge_func = "sum" if func in ("sum", "count") else func
+            else:
+                # SPJ view: aggregate raw columns
+                if arg_digest is None:
+                    source = None
+                    merge_func = func
+                else:
+                    if arg_digest not in view.output_map:
+                        return None
+                    source = view.output_map[arg_digest]
+                    merge_func = func
+            agg_calls.append(rex.AggregateCall(
+                merge_func, source, dtype, f"_m{len(agg_calls)}"))
+        aggregate = rel.Aggregate(plan, tuple(key_refs),
+                                  tuple(agg_calls),
+                                  tuple(f"_k{i}"
+                                        for i in range(len(key_refs))))
+        for i, digest in enumerate(key_digests):
+            out_digests[digest] = i
+        for i, (func, arg_digest, _, _) in enumerate(query.agg_calls):
+            out_digests[_agg_key(func, arg_digest)] = len(key_refs) + i
+        return aggregate, out_digests
+
+    # -- partial (union) rewrite ---------------------------------------------------- #
+    def _partial_rewrite(self, node: rel.RelNode, query: SPJA,
+                         view: ViewDefinition,
+                         residual: list[rex.RexNode],
+                         violated: rex.RexNode) -> Optional[rel.RelNode]:
+        """Figure 4c: union the view with the uncovered source delta."""
+        if not isinstance(node, (rel.Project, rel.Aggregate)):
+            return None
+        if isinstance(node, rel.Project) and not isinstance(
+                node.input, rel.Aggregate):
+            return None
+        aggregate = node if isinstance(node, rel.Aggregate) else node.input
+        if any(call.func not in _MERGEABLE or call.distinct
+               for call in aggregate.agg_calls):
+            return None
+        view_simple = parse_simple(violated, view.spja.ordinal_names)
+        if view_simple is None or view_simple.op not in (">", ">=",
+                                                         "<", "<="):
+            return None
+        # the query must have a wider range conjunct on the same column
+        query_range = None
+        for conjunct in query.conjuncts:
+            simple = parse_simple(conjunct, query.ordinal_names)
+            if (simple is not None and simple.column == view_simple.column
+                    and simple.op[0] == view_simple.op[0]):
+                query_range = (conjunct, simple)
+                break
+        if query_range is None:
+            return None
+        query_conjunct, _ = query_range
+
+        # branch 1: the view part — replace the query's wide range with
+        # the view's own range so containment holds trivially
+        residual_without = [c for c in residual
+                            if c.digest != query_conjunct.digest]
+        branch1 = self._rewrite_to_aggregate(query, view,
+                                             residual_without)
+        if branch1 is None:
+            return None
+        branch1_plan, out_digests = branch1
+
+        # branch 2: the delta from the source tables — original subtree
+        # with the complement predicate ANDed in (matched canonically:
+        # filters inside the tree use local ordinal spaces)
+        target_canonical = canonical_digest(query_conjunct,
+                                            query.ordinal_names)
+        if target_canonical is None:
+            return None
+        branch2_plan = _narrow_subtree(aggregate, target_canonical,
+                                       view_simple)
+        if branch2_plan is None:
+            return None
+
+        # align branch1 columns to the aggregate's output layout
+        key_count = len(aggregate.group_keys)
+        exprs = []
+        for i, group_expr in enumerate(query.group_exprs):
+            digest = canonical_digest(group_expr, query.ordinal_names)
+            ordinal = out_digests[digest]
+            exprs.append(rex.RexInputRef(
+                ordinal, branch1_plan.schema[ordinal].dtype))
+        for func, arg_digest, distinct, dtype in query.agg_calls:
+            ordinal = out_digests[_agg_key(func, arg_digest)]
+            exprs.append(rex.RexInputRef(
+                ordinal, branch1_plan.schema[ordinal].dtype))
+        branch1_aligned = rel.Project(
+            branch1_plan, tuple(exprs),
+            tuple(c.name for c in aggregate.schema))
+
+        union = rel.Union((branch1_aligned, branch2_plan), all=True)
+        merge_calls = []
+        for i, call in enumerate(aggregate.agg_calls):
+            merge_func = "sum" if call.func in ("sum", "count") \
+                else call.func
+            merge_calls.append(rex.AggregateCall(
+                merge_func, key_count + i, call.dtype, call.name))
+        merged = rel.Aggregate(
+            union, tuple(range(key_count)), tuple(merge_calls),
+            tuple(c.name for c in aggregate.schema.columns[:key_count]))
+        if isinstance(node, rel.Project):
+            return rel.Project(merged, node.exprs, node.names)
+        return merged
+
+
+    # -- expression mapping ----------------------------------------------------------- #
+    def _rewrite_leaf_expr(self, expr: rex.RexNode, query: SPJA,
+                           output_map: dict[str, int],
+                           schema: Schema) -> Optional[rex.RexNode]:
+        """Express a leaf-space expression over the view output columns."""
+        digest = canonical_digest(expr, query.ordinal_names)
+        if digest is not None and digest in output_map:
+            ordinal = output_map[digest]
+            return rex.RexInputRef(ordinal, schema[ordinal].dtype)
+        if isinstance(expr, rex.RexLiteral):
+            return expr
+        if isinstance(expr, rex.RexCall):
+            operands = []
+            for operand in expr.operands:
+                mapped = self._rewrite_leaf_expr(operand, query,
+                                                 output_map, schema)
+                if mapped is None:
+                    return None
+                operands.append(mapped)
+            return rex.RexCall(expr.op, tuple(operands), expr.dtype)
+        return None
+
+    def _map_over(self, expr: rex.RexNode, out_digests: dict[str, int],
+                  schema: Schema,
+                  layout: list[Optional[str]]) -> Optional[rex.RexNode]:
+        """Map a post-aggregate query expression onto the rewritten plan.
+
+        ``layout[i]`` is the canonical digest of position ``i`` of the
+        original Aggregate output (group keys then agg calls);
+        ``out_digests`` locates those digests in the rewritten plan.
+        """
+        if isinstance(expr, rex.RexInputRef):
+            if expr.index >= len(layout) or layout[expr.index] is None:
+                return None
+            ordinal = out_digests.get(layout[expr.index])
+            if ordinal is None:
+                return None
+            return rex.RexInputRef(ordinal, expr.dtype)
+        if isinstance(expr, rex.RexLiteral):
+            return expr
+        if isinstance(expr, rex.RexCall):
+            operands = []
+            for operand in expr.operands:
+                mapped = self._map_over(operand, out_digests, schema,
+                                        layout)
+                if mapped is None:
+                    return None
+                operands.append(mapped)
+            return rex.RexCall(expr.op, tuple(operands), expr.dtype)
+        return None
+
+
+def _ordinal_names_of(node: rel.RelNode) -> Optional[dict[int, str]]:
+    """table.column names of a node's output ordinals (None = opaque)."""
+    if isinstance(node, rel.TableScan):
+        if node.pushed_query is not None:
+            return None
+        return {i: f"{node.table_name}.{c.name.lower()}"
+                for i, c in enumerate(node.schema)}
+    if isinstance(node, (rel.Filter, rel.Sort, rel.Limit)):
+        return _ordinal_names_of(node.inputs[0])
+    if isinstance(node, rel.Join) and node.kind == "inner":
+        left = _ordinal_names_of(node.left)
+        right = _ordinal_names_of(node.right)
+        if left is None or right is None:
+            return None
+        width = len(node.left.schema)
+        combined = dict(left)
+        combined.update({width + i: name for i, name in right.items()})
+        return combined
+    if isinstance(node, rel.Project):
+        inner = _ordinal_names_of(node.input)
+        if inner is None:
+            return None
+        out = {}
+        for i, expr in enumerate(node.exprs):
+            if isinstance(expr, rex.RexInputRef) and expr.index in inner:
+                out[i] = inner[expr.index]
+        return out
+    return None
+
+
+def _narrow_subtree(node: rel.RelNode, target_canonical: str,
+                    view_simple: SimplePredicate
+                    ) -> Optional[rel.RelNode]:
+    """AND the complement of the view's range into every Filter that
+
+    carries the query's wide range conjunct (matched canonically)."""
+    complement_op = {">": "<=", ">=": "<", "<": ">=", "<=": ">"}[
+        view_simple.op]
+    applied = [False]
+
+    def rule(n: rel.RelNode) -> Optional[rel.RelNode]:
+        if not isinstance(n, rel.Filter):
+            return None
+        names = _ordinal_names_of(n.input)
+        if names is None:
+            return None
+        conjuncts = rex.conjunctions(n.condition)
+        target = None
+        for conjunct in conjuncts:
+            if canonical_digest(conjunct, names) == target_canonical:
+                target = conjunct
+                break
+        if target is None:
+            return None
+        a, b = target.operands
+        ref = a if isinstance(a, rex.RexInputRef) else b
+        if not isinstance(ref, rex.RexInputRef):
+            return None
+        bound = rex.RexLiteral(
+            ref.dtype.from_storage(view_simple.value), ref.dtype)
+        applied[0] = True
+        return rel.Filter(n.input, rex.make_and(
+            conjuncts + [rex.make_call(complement_op, ref, bound)]))
+
+    narrowed = rel.transform_bottom_up(node, rule)
+    return narrowed if applied[0] else None

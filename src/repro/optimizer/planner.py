@@ -1,0 +1,135 @@
+"""Multi-stage optimizer driver.
+
+Hive "implements multi-stage optimization similar to other query
+optimizers, where each optimization stage uses a planner and a set of
+rewriting rules" (Section 4.1).  The stages here:
+
+1. *exhaustive* rewrites: constant folding, predicate pushdown, column
+   pruning — applied unconditionally to a fixpoint,
+2. *cost-based* rewrites: materialized-view rewriting and join
+   reordering, driven by HMS statistics,
+3. *physical-ish* decisions: static partition pruning, dynamic semijoin
+   reduction placement, federation pushdown, shared-work detection.
+
+Every stage is gated by its :class:`~repro.config.HiveConf` flag so the
+legacy profile (rule-based only) and ablation benchmarks can disable
+individual rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..config import HiveConf
+from ..metastore.hms import HiveMetastore
+from ..plan import relnodes as rel
+from .join_reorder import choose_build_sides, reorder_joins
+from .mv_rewrite import MaterializedViewRewriter, ViewDefinition
+from .pruning import prune_columns
+from .rules_basic import (fold_constants, prune_partitions,
+                          push_down_predicates)
+from .semijoin import SemijoinReducer, plan_semijoin_reduction
+from .shared_work import find_shared_subtrees
+from .stats import StatsProvider
+
+
+@dataclass
+class OptimizedPlan:
+    """The planner's output: a tree plus execution annotations."""
+
+    root: rel.RelNode
+    semijoin_reducers: list[SemijoinReducer] = field(default_factory=list)
+    shared_digests: frozenset = frozenset()
+    views_used: list[str] = field(default_factory=list)
+    stages_applied: list[str] = field(default_factory=list)
+
+
+class Optimizer:
+    """One optimizer instance per query compilation."""
+
+    def __init__(self, hms: HiveMetastore, conf: HiveConf,
+                 stats_overrides: Optional[dict[str, int]] = None,
+                 view_provider: Optional[
+                     Callable[[], list[ViewDefinition]]] = None,
+                 federation_rule: Optional[
+                     Callable[[rel.RelNode], rel.RelNode]] = None):
+        self.hms = hms
+        self.conf = conf
+        self.stats = StatsProvider(hms, stats_overrides)
+        self.view_provider = view_provider
+        self.federation_rule = federation_rule
+
+    def optimize(self, root: rel.RelNode) -> OptimizedPlan:
+        conf = self.conf
+        stages: list[str] = []
+
+        if conf.constant_folding:
+            root = fold_constants(root)
+            stages.append("constant_folding")
+        if conf.filter_pushdown:
+            root = push_down_predicates(root)
+            stages.append("filter_pushdown")
+        if conf.project_pruning:
+            root = prune_columns(root)
+            stages.append("project_pruning")
+
+        views_used: list[str] = []
+        if conf.cbo_enabled and conf.mv_rewriting \
+                and self.view_provider is not None:
+            views = self.view_provider()
+            if views:
+                rewriter = MaterializedViewRewriter(
+                    views,
+                    pk_lookup=lambda t:
+                        self.hms.get_table(t).constraints.primary_key)
+                rewritten = rewriter.rewrite(root)
+                if rewriter.applied:
+                    root = fold_constants(rewritten)
+                    if conf.filter_pushdown:
+                        root = push_down_predicates(root)
+                    if conf.project_pruning:
+                        root = prune_columns(root)
+                    views_used = rewriter.applied
+                    stages.append("mv_rewriting")
+
+        if conf.cbo_enabled and conf.join_reordering:
+            root = reorder_joins(root, self.stats)
+            root = choose_build_sides(root, self.stats)
+            if conf.project_pruning:
+                root = prune_columns(root)
+            stages.append("join_reordering")
+
+        if conf.partition_pruning:
+            root = prune_partitions(root, self.hms)
+            stages.append("partition_pruning")
+
+        reducers: list[SemijoinReducer] = []
+        if conf.semijoin_reduction:
+            root, reducers = plan_semijoin_reduction(root, self.stats,
+                                                     conf)
+            if reducers and conf.shared_work_optimization:
+                # shared work wins over semijoins that break scan merging
+                from .semijoin import strip_sharing_breakers
+                root, reducers = strip_sharing_breakers(root, reducers)
+            if reducers:
+                stages.append("semijoin_reduction")
+
+        if conf.federation_pushdown and self.federation_rule is not None:
+            pushed = self.federation_rule(root)
+            if pushed.digest != root.digest:
+                root = pushed
+                stages.append("federation_pushdown")
+
+        shared: frozenset = frozenset()
+        if conf.shared_work_optimization:
+            shared = find_shared_subtrees(root)
+            if shared:
+                stages.append("shared_work")
+        # semijoin reducer sources always share results with the join
+        # branch they were lifted from (one producer, two consumers)
+        if reducers:
+            shared = frozenset(shared | {r.source.digest
+                                         for r in reducers})
+
+        return OptimizedPlan(root, reducers, shared, views_used, stages)

@@ -1,0 +1,216 @@
+"""Column (projection) pruning.
+
+Trims every operator — most importantly scans — down to the columns
+actually consumed upstream.  With the columnar file format, a pruned
+TableScan reads fewer column streams, which the cost model rewards with
+proportionally less IO (Section 4.1: "project unused columns" was one of
+the original rule-based optimizations; here it is schema-rewriting).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.rows import Schema
+from ..plan import relnodes as rel
+from ..plan import rexnodes as rex
+
+
+def prune_columns(root: rel.RelNode) -> rel.RelNode:
+    """Rewrite the tree reading only required columns everywhere."""
+    required = set(range(len(root.schema)))
+    pruned, mapping = _prune(root, required)
+    if len(pruned.schema) == len(root.schema) and all(
+            mapping.get(i) == i for i in range(len(root.schema))):
+        return pruned
+    # restore the original column order/width at the very top
+    exprs = tuple(rex.RexInputRef(mapping[i], root.schema[i].dtype)
+                  for i in range(len(root.schema)))
+    return rel.Project(pruned, exprs,
+                       tuple(c.name for c in root.schema))
+
+
+def _identity(node: rel.RelNode) -> tuple[rel.RelNode, dict[int, int]]:
+    return node, {i: i for i in range(len(node.schema))}
+
+
+def _prune(node: rel.RelNode,
+           required: set[int]) -> tuple[rel.RelNode, dict[int, int]]:
+    """Returns (new node, old ordinal -> new ordinal for kept columns)."""
+    if isinstance(node, rel.TableScan):
+        return _prune_scan(node, required)
+    if isinstance(node, rel.Values):
+        keep = sorted(required) or [0]
+        schema = Schema(node.schema[i] for i in keep)
+        rows = tuple(tuple(row[i] for i in keep) for row in node.rows)
+        return rel.Values(schema, rows), {o: n for n, o in enumerate(keep)}
+    if isinstance(node, rel.Filter):
+        child_required = required | node.condition.input_refs()
+        child, mapping = _prune(node.input, child_required)
+        condition = rex.remap_refs(node.condition, mapping.__getitem__)
+        return rel.Filter(child, condition), mapping
+    if isinstance(node, rel.Project):
+        keep = sorted(required) or [0]
+        child_required: set[int] = set()
+        for i in keep:
+            child_required |= node.exprs[i].input_refs()
+        child, child_map = _prune(node.input, child_required)
+        exprs = tuple(rex.remap_refs(node.exprs[i],
+                                     child_map.__getitem__)
+                      for i in keep)
+        names = tuple(node.names[i] for i in keep)
+        return (rel.Project(child, exprs, names),
+                {o: n for n, o in enumerate(keep)})
+    if isinstance(node, rel.Join):
+        return _prune_join(node, required)
+    if isinstance(node, rel.Aggregate):
+        return _prune_aggregate(node, required)
+    if isinstance(node, rel.Sort):
+        child_required = required | {k.index for k in node.keys}
+        child, mapping = _prune(node.input, child_required)
+        keys = tuple(rel.SortKey(mapping[k.index], k.ascending)
+                     for k in node.keys)
+        return rel.Sort(child, keys, node.fetch), mapping
+    if isinstance(node, rel.Limit):
+        child, mapping = _prune(node.input, required)
+        return rel.Limit(child, node.count), mapping
+    if isinstance(node, rel.Window):
+        return _prune_window(node, required)
+    if isinstance(node, rel.Union):
+        keep = sorted(required) or [0]
+        children = []
+        for branch in node.rels:
+            child, child_map = _prune(branch, set(keep))
+            # realign: children must share column order
+            exprs = tuple(
+                rex.RexInputRef(child_map[i], branch.schema[i].dtype)
+                for i in keep)
+            names = tuple(branch.schema[i].name for i in keep)
+            project = rel.Project(child, exprs, names)
+            children.append(project if not project.is_identity()
+                            else child)
+        return (rel.Union(tuple(children), node.all),
+                {o: n for n, o in enumerate(keep)})
+    if isinstance(node, rel.SetOp):
+        # row-equality semantics: never prune set-op inputs
+        left, _ = _identity(node.left)
+        right, _ = _identity(node.right)
+        return node, {i: i for i in range(len(node.schema))}
+    return _identity(node)
+
+
+def _prune_scan(node: rel.TableScan,
+                required: set[int]) -> tuple[rel.RelNode, dict[int, int]]:
+    if node.pushed_query is not None:
+        return _identity(node)
+    for sarg in node.sarg_conjuncts:
+        required = required | sarg.input_refs()
+    keep = sorted(required) or [0]
+    if len(keep) == len(node.schema):
+        return _identity(node)
+    mapping = {o: n for n, o in enumerate(keep)}
+    schema = Schema(node.schema[i] for i in keep)
+    sargs = tuple(rex.remap_refs(s, mapping.__getitem__)
+                  for s in node.sarg_conjuncts)
+    scan = rel.TableScan(node.table_name, schema, node.pruned_partitions,
+                         sargs, node.semijoin_sources, node.pushed_query,
+                         node.scan_id)
+    return scan, mapping
+
+
+def _prune_join(node: rel.Join,
+                required: set[int]) -> tuple[rel.RelNode, dict[int, int]]:
+    left_width = len(node.left.schema)
+    cond_refs = (node.condition.input_refs()
+                 if node.condition is not None else set())
+    needed = required | cond_refs
+    left_required = {i for i in needed if i < left_width}
+    right_required = {i - left_width for i in needed if i >= left_width}
+    left, left_map = _prune(node.left, left_required)
+    if node.kind in ("semi", "anti"):
+        right, right_map = _prune(node.right, right_required)
+    else:
+        right, right_map = _prune(node.right, right_required)
+    new_left_width = len(left.schema)
+
+    def remap(i: int) -> int:
+        if i < left_width:
+            return left_map[i]
+        return new_left_width + right_map[i - left_width]
+
+    condition = (rex.remap_refs(node.condition, remap)
+                 if node.condition is not None else None)
+    join = rel.Join(left, right, node.kind, condition)
+    mapping = {}
+    for i in sorted(required):
+        if node.kind in ("semi", "anti"):
+            mapping[i] = left_map[i]
+        else:
+            mapping[i] = remap(i)
+    return join, mapping
+
+
+def _prune_aggregate(node: rel.Aggregate, required: set[int]
+                     ) -> tuple[rel.RelNode, dict[int, int]]:
+    key_count = len(node.group_keys)
+    keep_calls = sorted(i - key_count for i in required
+                        if key_count <= i < key_count + len(node.agg_calls))
+    child_required = set(node.group_keys)
+    for i in keep_calls:
+        call = node.agg_calls[i]
+        if call.arg is not None:
+            child_required.add(call.arg)
+    child, child_map = _prune(node.input, child_required)
+    group_keys = tuple(child_map[k] for k in node.group_keys)
+    agg_calls = tuple(
+        rex.AggregateCall(
+            node.agg_calls[i].func,
+            None if node.agg_calls[i].arg is None
+            else child_map[node.agg_calls[i].arg],
+            node.agg_calls[i].dtype, node.agg_calls[i].name,
+            node.agg_calls[i].distinct)
+        for i in keep_calls)
+    aggregate = rel.Aggregate(child, group_keys, agg_calls,
+                              node.group_names, node.grouping_sets)
+    mapping = {i: i for i in range(key_count)}
+    for n, old_call in enumerate(keep_calls):
+        mapping[key_count + old_call] = key_count + n
+    if node.grouping_sets is not None:
+        # trailing grouping_id column keeps its (shifted) position
+        mapping[key_count + len(node.agg_calls)] = key_count + len(
+            keep_calls)
+    return aggregate, mapping
+
+
+def _prune_window(node: rel.Window, required: set[int]
+                  ) -> tuple[rel.RelNode, dict[int, int]]:
+    input_width = len(node.input.schema)
+    keep_calls = sorted(i - input_width for i in required
+                        if i >= input_width)
+    child_required = {i for i in required if i < input_width}
+    for call_index in keep_calls:
+        call = node.calls[call_index]
+        child_required |= set(call.partition_keys)
+        child_required |= {k.index for k in call.order_keys}
+        if call.arg is not None:
+            child_required.add(call.arg)
+    child, child_map = _prune(node.input, child_required)
+    calls = []
+    for call_index in keep_calls:
+        call = node.calls[call_index]
+        calls.append(rel.WindowCall(
+            call.func,
+            None if call.arg is None else child_map[call.arg],
+            tuple(child_map[k] for k in call.partition_keys),
+            tuple(rel.SortKey(child_map[k.index], k.ascending)
+                  for k in call.order_keys),
+            call.dtype, call.name))
+    window = rel.Window(child, tuple(calls))
+    new_input_width = len(child.schema)
+    mapping = {}
+    for i in sorted(required):
+        if i < input_width:
+            mapping[i] = child_map[i]
+        else:
+            mapping[i] = new_input_width + keep_calls.index(i - input_width)
+    return window, mapping

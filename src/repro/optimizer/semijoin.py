@@ -1,0 +1,210 @@
+"""Dynamic semijoin reduction (Section 4.6).
+
+For star joins where a dimension side carries a selective filter, the
+optimizer plants a *semijoin reducer*: at run time the filtered dimension
+subexpression is evaluated first, and the values it produces build
+
+* a min/max **range filter** — pushed to the fact scan as a sarg, pruning
+  row groups (and, when the fact table is partitioned by the join column,
+  pruning partitions — *dynamic partition pruning*),
+* a **Bloom filter** — applied per row to skip fact rows early.
+
+The reducer is recorded in the plan annotations; the Tez-style runtime
+executes the source subplan before the target scan vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import HiveConf
+from ..plan import relnodes as rel
+from ..plan import rexnodes as rex
+from .stats import StatsProvider
+
+#: a dimension side qualifies when it is this much smaller than the fact
+SIZE_RATIO = 0.5
+#: and absolutely small enough to materialize a filter from
+MAX_BUILD_ROWS = 200_000
+
+
+@dataclass
+class SemijoinReducer:
+    """One planned reducer: evaluate ``source`` , take column ``key_ordinal``,
+
+    filter the scan ``target_scan_id`` on ``target_column``."""
+
+    reducer_id: str
+    source: rel.RelNode
+    key_ordinal: int
+    target_scan_id: int
+    target_table: str
+    target_column: str
+
+
+def plan_semijoin_reduction(root: rel.RelNode, stats: StatsProvider,
+                            conf: HiveConf
+                            ) -> tuple[rel.RelNode, list[SemijoinReducer]]:
+    reducers: list[SemijoinReducer] = []
+    counter = [0]
+    #: (source digest, key ordinal, target column) -> reducer, so that
+    #: identical dimension subexpressions reuse one reducer — keeping
+    #: equal fact scans equal for the shared-work optimizer
+    dedup: dict[tuple, SemijoinReducer] = {}
+
+    def rule(node: rel.RelNode) -> Optional[rel.RelNode]:
+        if not (isinstance(node, rel.Join) and node.kind in (
+                "inner", "semi")):
+            return None
+        pairs, _ = rex.split_equi_condition(node.condition,
+                                            len(node.left.schema))
+        if not pairs:
+            return None
+        left_rows = stats.row_count(node.left)
+        right_rows = stats.row_count(node.right)
+        changed = False
+        new_left, new_right = node.left, node.right
+        for left_key, right_key in pairs:
+            # big side gets the reducer, small filtered side feeds it
+            if (right_rows <= left_rows * SIZE_RATIO
+                    and right_rows <= MAX_BUILD_ROWS
+                    and _has_selective_filter(node.right)):
+                target = _resolve_scan_column(new_left, left_key)
+                if target is None:
+                    continue
+                reducer = _get_or_create(dedup, reducers, counter,
+                                         node.right, right_key, target)
+                new_left = _attach_reducer(new_left, target[0],
+                                           reducer.reducer_id)
+                changed = True
+            elif (left_rows <= right_rows * SIZE_RATIO
+                    and left_rows <= MAX_BUILD_ROWS
+                    and _has_selective_filter(node.left)
+                    and node.kind == "inner"):
+                target = _resolve_scan_column(new_right, right_key)
+                if target is None:
+                    continue
+                reducer = _get_or_create(dedup, reducers, counter,
+                                         node.left, left_key, target)
+                new_right = _attach_reducer(new_right, target[0],
+                                            reducer.reducer_id)
+                changed = True
+        if not changed:
+            return None
+        return rel.Join(new_left, new_right, node.kind, node.condition)
+
+    new_root = rel.transform_bottom_up(root, rule)
+    return new_root, reducers
+
+
+def _get_or_create(dedup: dict, reducers: list, counter: list,
+                   source: rel.RelNode, key_ordinal: int,
+                   target: tuple) -> SemijoinReducer:
+    dedup_key = (source.digest, key_ordinal, target[1], target[2])
+    reducer = dedup.get(dedup_key)
+    if reducer is None:
+        counter[0] += 1
+        reducer = SemijoinReducer(f"sj{counter[0]}", source, key_ordinal,
+                                  target[0], target[1], target[2])
+        dedup[dedup_key] = reducer
+        reducers.append(reducer)
+    return reducer
+
+
+def strip_sharing_breakers(root: rel.RelNode,
+                           reducers: list[SemijoinReducer]
+                           ) -> tuple[rel.RelNode, list[SemijoinReducer]]:
+    """Remove semijoin reducers that prevent shared-work merging.
+
+    When the same table scan (same columns, sargs) appears several times
+    but the occurrences carry *different* reducer sets, the scans are no
+    longer equal plans and cannot merge (Section 4.5).  Hive resolves
+    this conflict in favour of shared work; we do the same by stripping
+    the semijoin sources from those scans.
+    """
+    from collections import defaultdict
+    groups: dict[str, set] = defaultdict(set)
+    for node in rel.walk(root):
+        if isinstance(node, rel.TableScan):
+            base = rel.TableScan(node.table_name, node.schema,
+                                 node.pruned_partitions,
+                                 node.sarg_conjuncts)
+            groups[base.digest].add(node.semijoin_sources)
+    conflicted: set[str] = {digest for digest, variants in groups.items()
+                            if len(variants) > 1}
+    if not conflicted:
+        return root, reducers
+
+    def rule(node: rel.RelNode):
+        if not isinstance(node, rel.TableScan) or not node.semijoin_sources:
+            return None
+        base = rel.TableScan(node.table_name, node.schema,
+                             node.pruned_partitions, node.sarg_conjuncts)
+        if base.digest in conflicted:
+            return rel.TableScan(node.table_name, node.schema,
+                                 node.pruned_partitions,
+                                 node.sarg_conjuncts,
+                                 scan_id=node.scan_id)
+        return None
+
+    stripped = rel.transform_bottom_up(root, rule)
+    live = {reducer_id
+            for node in rel.walk(stripped)
+            if isinstance(node, rel.TableScan)
+            for reducer_id in node.semijoin_sources}
+    return stripped, [r for r in reducers if r.reducer_id in live]
+
+
+def _has_selective_filter(node: rel.RelNode) -> bool:
+    """The dimension side must actually be filtered, otherwise the
+
+    reducer would not reduce anything (Section 4.6's motivating case is
+    a dimension filtered on non-join columns)."""
+    for descendant in rel.walk(node):
+        if isinstance(descendant, rel.Filter):
+            return True
+        if isinstance(descendant, rel.TableScan) and \
+                descendant.sarg_conjuncts:
+            return True
+        if isinstance(descendant, rel.Aggregate):
+            return True
+    return False
+
+
+def _resolve_scan_column(node: rel.RelNode, ordinal: int
+                         ) -> Optional[tuple[int, str, str]]:
+    """Trace an output ordinal down to (scan_id, table, column)."""
+    if isinstance(node, rel.TableScan):
+        if node.pushed_query is not None:
+            return None
+        return (node.scan_id, node.table_name, node.schema[ordinal].name)
+    if isinstance(node, (rel.Filter, rel.Limit, rel.Sort)):
+        return _resolve_scan_column(node.inputs[0], ordinal)
+    if isinstance(node, rel.Project):
+        expr = node.exprs[ordinal]
+        if isinstance(expr, rex.RexInputRef):
+            return _resolve_scan_column(node.input, expr.index)
+        return None
+    if isinstance(node, rel.Join):
+        left_width = len(node.left.schema)
+        if node.kind in ("semi", "anti") or ordinal < left_width:
+            return _resolve_scan_column(node.left, ordinal)
+        if node.kind == "inner":
+            return _resolve_scan_column(node.right, ordinal - left_width)
+        return None
+    return None
+
+
+def _attach_reducer(node: rel.RelNode, scan_id: int,
+                    reducer_id: str) -> rel.RelNode:
+    def rule(n: rel.RelNode) -> Optional[rel.RelNode]:
+        if isinstance(n, rel.TableScan) and n.scan_id == scan_id:
+            return rel.TableScan(
+                n.table_name, n.schema, n.pruned_partitions,
+                n.sarg_conjuncts,
+                n.semijoin_sources + (reducer_id,), n.pushed_query,
+                n.scan_id)
+        return None
+
+    return rel.transform_bottom_up(node, rule)

@@ -1,0 +1,34 @@
+"""Shared work optimization (Section 4.5).
+
+"Hive is capable of identifying overlapping subexpressions within the
+execution plan of a given query, computing them only once and reusing
+their results.  Instead of triggering transformations to find equivalent
+subexpressions ... the shared work optimizer only merges equal parts of a
+plan."
+
+The detector walks the plan and collects the digests of subtrees that
+appear more than once; the runtime memoizes exactly those digests, so
+each shared subexpression executes (and is charged) once.  Because only
+*equal* plan parts merge, reuse opportunities that would need rewriting
+are missed — the very limitation the paper acknowledges.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..plan import relnodes as rel
+
+
+def find_shared_subtrees(root: rel.RelNode) -> frozenset[str]:
+    """Digests of repeated, non-trivial subtrees (deepest first)."""
+    counts: Counter[str] = Counter()
+    for node in rel.walk(root):
+        if isinstance(node, rel.Values):
+            continue
+        counts[node.digest] += 1
+    # memoizing an outer shared subtree covers its children, but a child
+    # may recur *more* often than its parent (three scans, two identical
+    # joins), so every repeated digest is kept.
+    return frozenset(digest for digest, count in counts.items()
+                     if count > 1)

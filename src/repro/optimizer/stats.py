@@ -1,0 +1,263 @@
+"""Cardinality estimation from HMS statistics (Section 4.1).
+
+The provider walks a logical plan and estimates output row counts using
+the additive table statistics stored in the Metastore: row counts,
+min/max ranges and HyperLogLog-backed NDV.  Estimates drive join
+reordering, semijoin-reduction placement, and the reoptimizer's
+comparison against captured runtime statistics (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..metastore.hms import HiveMetastore
+from ..metastore.stats import ColumnStatistics, TableStatistics
+from ..plan import relnodes as rel
+from ..plan import rexnodes as rex
+
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_LIKE_SELECTIVITY = 0.25
+DEFAULT_TABLE_ROWS = 1000
+
+
+@dataclass
+class ColumnEstimate:
+    ndv: float
+    min_value: object = None
+    max_value: object = None
+
+
+class StatsProvider:
+    """Estimates row counts for RelNode trees.
+
+    ``overrides`` maps node digests to observed row counts — the
+    reoptimizer injects captured runtime statistics through it so a
+    re-planned query uses real cardinalities (Section 4.2).
+    """
+
+    def __init__(self, hms: HiveMetastore,
+                 overrides: Optional[dict[str, int]] = None):
+        self.hms = hms
+        self.overrides = overrides or {}
+
+    # -- public API --------------------------------------------------------- #
+    def row_count(self, node: rel.RelNode) -> float:
+        override = self.overrides.get(node.digest)
+        if override is not None:
+            return max(1.0, float(override))
+        return max(1.0, self._estimate(node))
+
+    def column_stats(self, node: rel.RelNode,
+                     ordinal: int) -> Optional[ColumnEstimate]:
+        """Column statistics propagated (approximately) through the plan."""
+        if isinstance(node, rel.TableScan):
+            stats = self._table_stats(node)
+            name = node.schema[ordinal].name
+            column = stats.column(name)
+            if column is None:
+                return None
+            return ColumnEstimate(column.ndv, column.min_value,
+                                  column.max_value)
+        if isinstance(node, (rel.Filter, rel.Sort, rel.Limit)):
+            return self.column_stats(node.inputs[0], ordinal)
+        if isinstance(node, rel.Project):
+            expr = node.exprs[ordinal]
+            if isinstance(expr, rex.RexInputRef):
+                return self.column_stats(node.input, expr.index)
+            return None
+        if isinstance(node, rel.Join):
+            left_width = len(node.left.schema)
+            if node.kind in ("semi", "anti") or ordinal < left_width:
+                return self.column_stats(node.left, ordinal)
+            return self.column_stats(node.right, ordinal - left_width)
+        if isinstance(node, rel.Aggregate):
+            if ordinal < len(node.group_keys):
+                return self.column_stats(node.input,
+                                         node.group_keys[ordinal])
+            return None
+        return None
+
+    # -- estimation --------------------------------------------------------- #
+    def _estimate(self, node: rel.RelNode) -> float:
+        if isinstance(node, rel.TableScan):
+            return self._scan_rows(node)
+        if isinstance(node, rel.Values):
+            return float(len(node.rows))
+        if isinstance(node, rel.Filter):
+            input_rows = self.row_count(node.input)
+            return input_rows * self.selectivity(node.input, node.condition)
+        if isinstance(node, rel.Project):
+            return self.row_count(node.input)
+        if isinstance(node, rel.Window):
+            return self.row_count(node.input)
+        if isinstance(node, rel.Limit):
+            return min(self.row_count(node.input), float(node.count))
+        if isinstance(node, rel.Sort):
+            rows = self.row_count(node.input)
+            if node.fetch is not None:
+                rows = min(rows, float(node.fetch))
+            return rows
+        if isinstance(node, rel.Aggregate):
+            return self._aggregate_rows(node)
+        if isinstance(node, rel.Join):
+            return self._join_rows(node)
+        if isinstance(node, rel.Union):
+            return sum(self.row_count(child) for child in node.rels)
+        if isinstance(node, rel.SetOp):
+            left = self.row_count(node.left)
+            if node.kind == "intersect":
+                return min(left, self.row_count(node.right)) * 0.5
+            return left * 0.5
+        return DEFAULT_TABLE_ROWS
+
+    def _scan_rows(self, node: rel.TableScan) -> float:
+        stats = self._table_stats(node)
+        rows = float(stats.row_count or DEFAULT_TABLE_ROWS)
+        if node.pruned_partitions is not None:
+            table = self.hms.get_table(node.table_name)
+            total = max(1, len(table.partitions))
+            rows *= len(node.pruned_partitions) / total
+        for sarg in node.sarg_conjuncts:
+            rows *= self.selectivity(node, sarg, raw_schema=True)
+        return rows
+
+    def _table_stats(self, node: rel.TableScan) -> TableStatistics:
+        table = self.hms.get_table(node.table_name)
+        return self.hms.get_statistics(table)
+
+    def _aggregate_rows(self, node: rel.Aggregate) -> float:
+        input_rows = self.row_count(node.input)
+        if not node.group_keys:
+            return 1.0
+        ndv_product = 1.0
+        for key in node.group_keys:
+            stats = self.column_stats(node.input, key)
+            ndv_product *= stats.ndv if stats else 10.0
+        result = min(input_rows, ndv_product)
+        if node.grouping_sets is not None:
+            result *= len(node.grouping_sets)
+        return result
+
+    def _join_rows(self, node: rel.Join) -> float:
+        left_rows = self.row_count(node.left)
+        right_rows = self.row_count(node.right)
+        if node.kind == "anti":
+            return max(1.0, left_rows * 0.5)
+        pairs, residual = rex.split_equi_condition(
+            node.condition, len(node.left.schema))
+        if not pairs:
+            cross = left_rows * right_rows
+            if node.condition is not None:
+                cross *= DEFAULT_RANGE_SELECTIVITY
+            return max(1.0, min(cross, 1e15))
+        selectivity = 1.0
+        for left_key, right_key in pairs:
+            left_stats = self.column_stats(node.left, left_key)
+            right_stats = self.column_stats(node.right, right_key)
+            left_ndv = left_stats.ndv if left_stats else 10.0
+            right_ndv = right_stats.ndv if right_stats else 10.0
+            selectivity /= max(left_ndv, right_ndv, 1.0)
+        rows = left_rows * right_rows * selectivity
+        for conjunct in residual:
+            rows *= DEFAULT_RANGE_SELECTIVITY
+        if node.kind == "semi":
+            rows = min(rows, left_rows)
+        if node.kind in ("left", "full"):
+            rows = max(rows, left_rows)
+        if node.kind in ("right", "full"):
+            rows = max(rows, right_rows)
+        return max(1.0, rows)
+
+    # -- predicate selectivity ------------------------------------------------ #
+    def selectivity(self, input_node: rel.RelNode, predicate: rex.RexNode,
+                    raw_schema: bool = False) -> float:
+        """Fraction of rows satisfying ``predicate`` over ``input_node``."""
+        if isinstance(predicate, rex.RexLiteral):
+            return 1.0 if predicate.value else 0.0
+        if not isinstance(predicate, rex.RexCall):
+            return 1.0
+        op = predicate.op
+        if op == "AND":
+            result = 1.0
+            for operand in predicate.operands:
+                result *= self.selectivity(input_node, operand, raw_schema)
+            return result
+        if op == "OR":
+            result = 0.0
+            for operand in predicate.operands:
+                result += self.selectivity(input_node, operand, raw_schema)
+            return min(1.0, result)
+        if op == "NOT":
+            return max(0.0, 1.0 - self.selectivity(
+                input_node, predicate.operands[0], raw_schema))
+        if op == "=":
+            ndv = self._operand_ndv(input_node, predicate.operands[0],
+                                    raw_schema)
+            return 1.0 / ndv if ndv else DEFAULT_EQ_SELECTIVITY
+        if op == "IN":
+            ndv = self._operand_ndv(input_node, predicate.operands[0],
+                                    raw_schema)
+            count = len(predicate.operands) - 1
+            if ndv:
+                return min(1.0, count / ndv)
+            return min(1.0, count * DEFAULT_EQ_SELECTIVITY)
+        if op in ("<", "<=", ">", ">="):
+            return self._range_selectivity(input_node, predicate,
+                                           raw_schema)
+        if op in ("LIKE",):
+            return DEFAULT_LIKE_SELECTIVITY
+        if op in ("IS_NULL",):
+            return 0.05
+        if op in ("IS_NOT_NULL",):
+            return 0.95
+        if op == "<>":
+            ndv = self._operand_ndv(input_node, predicate.operands[0],
+                                    raw_schema)
+            return 1.0 - (1.0 / ndv if ndv else DEFAULT_EQ_SELECTIVITY)
+        return DEFAULT_RANGE_SELECTIVITY
+
+    def _operand_ndv(self, input_node, operand: rex.RexNode,
+                     raw_schema: bool) -> Optional[float]:
+        if isinstance(operand, rex.RexInputRef):
+            stats = self.column_stats(input_node, operand.index)
+            if stats is not None:
+                return max(1.0, stats.ndv)
+        return None
+
+    def _range_selectivity(self, input_node, predicate: rex.RexCall,
+                           raw_schema: bool) -> float:
+        ref, literal = predicate.operands[0], predicate.operands[1]
+        flipped = False
+        if isinstance(literal, rex.RexInputRef) and isinstance(
+                ref, rex.RexLiteral):
+            ref, literal = literal, ref
+            flipped = True
+        if not (isinstance(ref, rex.RexInputRef)
+                and isinstance(literal, rex.RexLiteral)):
+            return DEFAULT_RANGE_SELECTIVITY
+        stats = self.column_stats(input_node, ref.index)
+        if stats is None or stats.min_value is None:
+            return DEFAULT_RANGE_SELECTIVITY
+        value = ref.dtype.to_storage(literal.value) \
+            if literal.value is not None else None
+        lo = ref.dtype.to_storage(stats.min_value) if not isinstance(
+            stats.min_value, (int, float)) else stats.min_value
+        hi = ref.dtype.to_storage(stats.max_value) if not isinstance(
+            stats.max_value, (int, float)) else stats.max_value
+        try:
+            width = float(hi) - float(lo)
+            if width <= 0 or value is None:
+                return DEFAULT_RANGE_SELECTIVITY
+            fraction = (float(value) - float(lo)) / width
+        except (TypeError, ValueError):
+            return DEFAULT_RANGE_SELECTIVITY
+        fraction = min(1.0, max(0.0, fraction))
+        op = predicate.op
+        if flipped:
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+        if op in ("<", "<="):
+            return max(0.01, fraction)
+        return max(0.01, 1.0 - fraction)

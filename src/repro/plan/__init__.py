@@ -1,0 +1,14 @@
+"""Logical query algebra (Calcite-style RelNodes and RexNodes)."""
+
+from .rexnodes import (AggregateCall, RexCall, RexInputRef, RexLiteral,
+                       RexNode)
+from .relnodes import (Aggregate, Filter, Join, Limit, Project, RelNode,
+                       SetOp, Sort, SortKey, TableScan, Union, Values,
+                       Window, WindowCall)
+
+__all__ = [
+    "AggregateCall", "RexCall", "RexInputRef", "RexLiteral", "RexNode",
+    "Aggregate", "Filter", "Join", "Limit", "Project", "RelNode", "SetOp",
+    "Sort", "SortKey", "TableScan", "Union", "Values", "Window",
+    "WindowCall",
+]

@@ -1,0 +1,7 @@
+"""Tez-style DAG runtime, cluster cost model, scan execution."""
+
+from .scan import ScanExecutor, ScanMetrics, SemijoinFilter
+from .tez import Dag, QueryMetrics, TezRunner, Vertex, build_dag
+
+__all__ = ["ScanExecutor", "ScanMetrics", "SemijoinFilter", "Dag",
+           "QueryMetrics", "TezRunner", "Vertex", "build_dag"]

@@ -1,0 +1,347 @@
+"""Scan execution: the bridge between plans and storage.
+
+Routes a :class:`~repro.plan.relnodes.TableScan` to the right data path:
+
+* **federated** scans go to the registered storage handler — either a
+  fully pushed-down query (Section 6.2) or a plain handler read,
+* **ACID** tables go through the snapshot reader bound to the query's
+  ValidWriteIdList (Section 3.2),
+* **plain** tables read their files directly,
+
+always through the active reader factory (direct or LLAP I/O elevator),
+applying pushed sargs for row-group pruning, appending partition-column
+constants, and applying dynamic semijoin filters (range + Bloom,
+Section 4.6) as data streams out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..acid.reader import AcidReader
+from ..common.bloom import BloomFilter
+from ..common.vector import ColumnVector, VectorBatch
+from ..errors import ExecutionError, FederationError
+from ..formats.orc import SargPredicate
+from ..fs import SimFileSystem
+from ..metastore.catalog import TableDescriptor
+from ..metastore.hms import HiveMetastore
+from ..metastore.txn import ValidWriteIdList
+from ..plan import relnodes as rel
+from ..plan import rexnodes as rex
+
+
+@dataclass
+class SemijoinFilter:
+    """Runtime artifact of a semijoin reducer: range + Bloom filter."""
+
+    column: str
+    min_value: object
+    max_value: object
+    bloom: BloomFilter
+    build_rows: int = 0
+
+    @classmethod
+    def from_vector(cls, column_name: str, vector: ColumnVector,
+                    fpp: float) -> "SemijoinFilter":
+        values = {vector.data[i].item()
+                  if hasattr(vector.data[i], "item") else vector.data[i]
+                  for i in range(len(vector)) if not vector.nulls[i]}
+        bloom = BloomFilter(max(len(values), 8), fpp)
+        bloom.add_all(values)
+        lo = min(values) if values else None
+        hi = max(values) if values else None
+        return cls(column_name, lo, hi, bloom, len(values))
+
+
+@dataclass
+class ScanMetrics:
+    """Per-scan IO accounting consumed by the cost model."""
+
+    table: str = ""
+    rows: int = 0
+    raw_rows: int = 0                 # before semijoin filtering
+    disk_bytes: int = 0
+    cache_bytes: int = 0
+    metadata_bytes: int = 0
+    files_opened: int = 0
+    row_groups_total: int = 0
+    row_groups_read: int = 0
+    partitions_total: int = 0
+    partitions_read: int = 0
+    delete_keys: int = 0
+    external_time_s: float = 0.0
+    semijoin_filtered_rows: int = 0
+
+    def merge(self, other: "ScanMetrics") -> None:
+        self.rows += other.rows
+        self.raw_rows += other.raw_rows
+        self.disk_bytes += other.disk_bytes
+        self.cache_bytes += other.cache_bytes
+        self.metadata_bytes += other.metadata_bytes
+        self.files_opened += other.files_opened
+        self.row_groups_total += other.row_groups_total
+        self.row_groups_read += other.row_groups_read
+        self.partitions_total += other.partitions_total
+        self.partitions_read += other.partitions_read
+        self.delete_keys += other.delete_keys
+        self.external_time_s += other.external_time_s
+        self.semijoin_filtered_rows += other.semijoin_filtered_rows
+
+
+class ScanExecutor:
+    """Callable plugged into the ExecutionContext as ``scan_executor``."""
+
+    def __init__(self, hms: HiveMetastore, fs: SimFileSystem,
+                 reader_factory,
+                 valid_write_ids: dict[str, ValidWriteIdList],
+                 semijoin_filters: dict[str, SemijoinFilter],
+                 storage_handlers: Optional[dict] = None,
+                 bloom_fpp: float = 0.05):
+        self.hms = hms
+        self.fs = fs
+        self.reader_factory = reader_factory
+        self.valid_write_ids = valid_write_ids
+        self.semijoin_filters = semijoin_filters
+        self.storage_handlers = storage_handlers or {}
+        self.bloom_fpp = bloom_fpp
+        #: scan digest -> metrics, read by the DAG cost model
+        self.metrics: dict[str, ScanMetrics] = {}
+
+    # ------------------------------------------------------------------ #
+    def __call__(self, node: rel.TableScan) -> VectorBatch:
+        metrics = ScanMetrics(table=node.table_name)
+        table = self.hms.get_table(node.table_name)
+        if node.pushed_query is not None:
+            batch = self._pushed(node, table, metrics)
+        elif table.storage_handler is not None:
+            batch = self._federated(node, table, metrics)
+        else:
+            batch = self._native(node, table, metrics)
+        metrics.raw_rows = batch.num_rows
+        batch = self._apply_semijoin_filters(node, batch, metrics)
+        metrics.rows = batch.num_rows
+        existing = self.metrics.get(node.digest)
+        if existing is None:
+            self.metrics[node.digest] = metrics
+        else:
+            existing.merge(metrics)
+        return batch
+
+    # -- federated paths ----------------------------------------------------- #
+    def _handler(self, table: TableDescriptor):
+        handler = self.storage_handlers.get(table.storage_handler)
+        if handler is None:
+            raise FederationError(
+                f"no storage handler registered for "
+                f"{table.storage_handler!r}")
+        return handler
+
+    def _pushed(self, node: rel.TableScan, table: TableDescriptor,
+                metrics: ScanMetrics) -> VectorBatch:
+        handler = self._handler(table)
+        rows, external_s = handler.execute_pushed(table, node.pushed_query)
+        metrics.external_time_s += external_s
+        return VectorBatch.from_rows(node.schema, rows)
+
+    def _federated(self, node: rel.TableScan, table: TableDescriptor,
+                   metrics: ScanMetrics) -> VectorBatch:
+        handler = self._handler(table)
+        columns = [c.name for c in node.schema]
+        rows, external_s = handler.scan_table(table, columns)
+        metrics.external_time_s += external_s
+        return VectorBatch.from_rows(node.schema, rows)
+
+    # -- native path ------------------------------------------------------------ #
+    def _native(self, node: rel.TableScan, table: TableDescriptor,
+                metrics: ScanMetrics) -> VectorBatch:
+        reader = AcidReader(self.fs, self.reader_factory)
+        data_names = [c.name for c in node.schema
+                      if c.name in table.schema]
+        part_names = [c.name for c in node.schema
+                      if c.name not in table.schema]
+        sargs = self._convert_sargs(node)
+        sargs += self._semijoin_sargs(node)
+
+        if table.is_partitioned:
+            descriptors = table.list_partitions()
+            metrics.partitions_total = len(descriptors)
+            if node.pruned_partitions is not None:
+                wanted = set(node.pruned_partitions)
+                descriptors = [d for d in descriptors
+                               if d.values in wanted]
+            metrics.partitions_read = len(descriptors)
+            locations = [(d.values, d.location) for d in descriptors]
+        else:
+            locations = [((), table.location)]
+            metrics.partitions_total = metrics.partitions_read = 1
+
+        batches: list[VectorBatch] = []
+        for values, location in locations:
+            if not self.fs.exists(location):
+                continue
+            io_before = self._io_snapshot()
+            if table.is_acid:
+                valid = self.valid_write_ids.get(table.qualified_name)
+                if valid is None:
+                    raise ExecutionError(
+                        f"no snapshot bound for ACID table "
+                        f"{table.qualified_name}")
+                batch, read_metrics = reader.read(
+                    location, valid, columns=data_names or None,
+                    sargs=sargs)
+                metrics.delete_keys += read_metrics.delete_keys
+            else:
+                batch, read_metrics = reader.read_plain(
+                    location, table.schema, columns=data_names or None,
+                    sargs=sargs, file_format=table.file_format)
+            self._account_io(io_before, read_metrics, metrics)
+            if batch.num_rows == 0 and len(batch.schema) == 0:
+                continue
+            batch = self._with_partition_columns(
+                node, table, batch, values, part_names)
+            batches.append(batch)
+        if not batches:
+            return VectorBatch.empty(node.schema)
+        # align column order to the scan schema
+        aligned = []
+        for batch in batches:
+            idx = [batch.schema.index_of(c.name) for c in node.schema]
+            aligned.append(batch.project(idx, node.schema))
+        return VectorBatch.concat(node.schema, aligned)
+
+    def _io_snapshot(self):
+        factory = self.reader_factory
+        if factory is not None and hasattr(factory, "io"):
+            io = factory.io
+            return (io.disk_bytes, io.cache_bytes, io.metadata_bytes,
+                    io.files_opened)
+        return self.fs.stats.bytes_read, 0, 0, self.fs.stats.files_opened
+
+    def _account_io(self, before, read_metrics, metrics: ScanMetrics):
+        factory = self.reader_factory
+        if factory is not None and hasattr(factory, "io"):
+            io = factory.io
+            metrics.disk_bytes += io.disk_bytes - before[0]
+            metrics.cache_bytes += io.cache_bytes - before[1]
+            metrics.metadata_bytes += io.metadata_bytes - before[2]
+            metrics.files_opened += io.files_opened - before[3]
+        else:
+            metrics.disk_bytes += self.fs.stats.bytes_read - before[0]
+            metrics.files_opened += (self.fs.stats.files_opened
+                                     - before[3])
+            metrics.metadata_bytes += read_metrics.metadata_bytes
+        metrics.row_groups_total += read_metrics.row_groups_total
+        metrics.row_groups_read += read_metrics.row_groups_read
+
+    def _with_partition_columns(self, node: rel.TableScan,
+                                table: TableDescriptor,
+                                batch: VectorBatch, values: tuple,
+                                part_names: list[str]) -> VectorBatch:
+        if not part_names:
+            return batch
+        value_of = {c.name.lower(): v for c, v in
+                    zip(table.partition_columns, values)}
+        vectors = list(batch.vectors)
+        columns = list(batch.schema.columns)
+        n = batch.num_rows
+        for name in part_names:
+            column = table.partition_schema().field(name)
+            value = value_of[name.lower()]
+            storage = column.dtype.to_storage(value)
+            np_dtype = column.dtype.numpy_dtype
+            if np_dtype == np.dtype(object):
+                data = np.empty(n, dtype=object)
+                data[:] = storage
+            else:
+                data = np.full(n, storage, dtype=np_dtype)
+            vectors.append(ColumnVector(column.dtype, data,
+                                        np.zeros(n, dtype=bool)))
+            columns.append(column)
+        from ..common.rows import Schema
+        return VectorBatch(Schema(columns), vectors)
+
+    # -- sargs --------------------------------------------------------------- #
+    def _convert_sargs(self, node: rel.TableScan) -> list[SargPredicate]:
+        out: list[SargPredicate] = []
+        for conjunct in node.sarg_conjuncts:
+            sarg = _rex_to_sarg(conjunct, node.schema)
+            if sarg is not None:
+                out.append(sarg)
+        return out
+
+    def _semijoin_sargs(self, node: rel.TableScan) -> list[SargPredicate]:
+        out = []
+        for reducer_id in node.semijoin_sources:
+            sj = self.semijoin_filters.get(reducer_id)
+            if sj is None or sj.min_value is None:
+                continue
+            out.append(SargPredicate(sj.column, "between",
+                                     (sj.min_value, sj.max_value)))
+        return out
+
+    def _apply_semijoin_filters(self, node: rel.TableScan,
+                                batch: VectorBatch,
+                                metrics: ScanMetrics) -> VectorBatch:
+        for reducer_id in node.semijoin_sources:
+            sj = self.semijoin_filters.get(reducer_id)
+            if sj is None or sj.column not in batch.schema:
+                continue
+            if sj.min_value is None:
+                # empty build side: nothing can join
+                metrics.semijoin_filtered_rows += batch.num_rows
+                return VectorBatch.empty(batch.schema)
+            vector = batch.column(sj.column)
+            mask = np.ones(batch.num_rows, dtype=bool)
+            if vector.data.dtype != np.dtype(object):
+                mask &= (vector.data >= sj.min_value) & (
+                    vector.data <= sj.max_value)
+            mask &= ~vector.nulls
+            survivors = np.nonzero(mask)[0]
+            for i in survivors:
+                value = vector.data[i]
+                if hasattr(value, "item"):
+                    value = value.item()
+                if not sj.bloom.might_contain(value):
+                    mask[i] = False
+            metrics.semijoin_filtered_rows += int(
+                batch.num_rows - mask.sum())
+            batch = batch.filter(mask)
+        return batch
+
+
+def _rex_to_sarg(conjunct: rex.RexNode,
+                 schema) -> Optional[SargPredicate]:
+    """Rex conjunct → file-format sarg (storage-value space)."""
+    if not isinstance(conjunct, rex.RexCall):
+        return None
+    if conjunct.op in ("=", "<", "<=", ">", ">="):
+        a, b = conjunct.operands
+        if isinstance(a, rex.RexInputRef) and isinstance(b, rex.RexLiteral):
+            ref, literal, op = a, b, conjunct.op
+        elif isinstance(b, rex.RexInputRef) and isinstance(
+                a, rex.RexLiteral):
+            ref, literal = b, a
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                  "=": "="}[conjunct.op]
+        else:
+            return None
+        if literal.value is None:
+            return None
+        return SargPredicate(schema[ref.index].name, op,
+                             ref.dtype.to_storage(literal.value))
+    if conjunct.op == "IN":
+        ref = conjunct.operands[0]
+        if not isinstance(ref, rex.RexInputRef):
+            return None
+        values = []
+        for operand in conjunct.operands[1:]:
+            if not isinstance(operand, rex.RexLiteral) \
+                    or operand.value is None:
+                return None
+            values.append(ref.dtype.to_storage(operand.value))
+        return SargPredicate(schema[ref.index].name, "in", tuple(values))
+    return None

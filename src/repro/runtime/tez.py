@@ -1,0 +1,406 @@
+"""Tez-style DAG runtime with a calibrated virtual-time cost model.
+
+The logical plan is carved into a DAG of **vertices** at exchange
+boundaries (joins, aggregations, sorts...), exactly how Hive's task
+compiler produces Tez work (Section 2).  Fragments execute for real via
+:mod:`repro.exec.operators`; the *latency* reported for the query is
+virtual, computed from what actually happened (bytes read from disk vs
+LLAP cache, rows processed, shuffle volumes) and the configured cluster
+shape.  This is the substitution DESIGN.md documents: relative effects —
+container start-up vs LLAP dispatch, cold vs warm JIT, vectorized vs
+row-at-a-time CPU, cache hits vs disk — are charged explicitly, so the
+experiment *shapes* survive even though absolute numbers are synthetic.
+
+Dynamic semijoin reducers run before their target scans; shared-work
+merging collapses vertices with identical digests so repeated
+subexpressions are charged once (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import HiveConf
+from ..errors import ExecutionError
+from ..exec.operators import ExecutionContext, execute
+from ..llap.workload import QueryAdmission, WorkloadManager
+from ..optimizer.planner import OptimizedPlan
+from ..plan import relnodes as rel
+from .scan import ScanExecutor, SemijoinFilter
+
+_BREAKING = (rel.Join, rel.Aggregate, rel.Sort, rel.Limit, rel.Union,
+             rel.SetOp, rel.Window)
+
+#: split size for map-task parallelism (bytes per task)
+SPLIT_BYTES = 64 << 20
+#: rows per reducer task
+ROWS_PER_REDUCER = 50_000
+
+
+@dataclass
+class Vertex:
+    vertex_id: int
+    name: str
+    nodes: list[rel.RelNode]
+    inputs: list[int] = field(default_factory=list)
+
+    @property
+    def root(self) -> rel.RelNode:
+        return self.nodes[-1]
+
+    @property
+    def is_map(self) -> bool:
+        return any(isinstance(n, (rel.TableScan, rel.Values))
+                   for n in self.nodes)
+
+
+@dataclass
+class Dag:
+    vertices: list[Vertex] = field(default_factory=list)
+
+    def topological(self) -> list[Vertex]:
+        order: list[Vertex] = []
+        seen: set[int] = set()
+        by_id = {v.vertex_id: v for v in self.vertices}
+
+        def visit(v: Vertex):
+            if v.vertex_id in seen:
+                return
+            seen.add(v.vertex_id)
+            for i in v.inputs:
+                visit(by_id[i])
+            order.append(v)
+
+        for v in self.vertices:
+            visit(v)
+        return order
+
+
+def build_dag(root: rel.RelNode) -> Dag:
+    """Carve the plan into vertices at exchange boundaries."""
+    dag = Dag()
+    counter = {"map": 0, "reducer": 0}
+
+    def assign(node: rel.RelNode) -> int:
+        if isinstance(node, (rel.Filter, rel.Project)):
+            vid = assign(node.inputs[0])
+            vertex = dag.vertices[vid]
+            vertex.nodes.append(node)
+            return vid
+        if isinstance(node, (rel.TableScan, rel.Values)):
+            counter["map"] += 1
+            vertex = Vertex(len(dag.vertices),
+                            f"Map {counter['map']}", [node])
+            dag.vertices.append(vertex)
+            return vertex.vertex_id
+        if isinstance(node, _BREAKING):
+            input_ids = [assign(child) for child in node.inputs]
+            counter["reducer"] += 1
+            vertex = Vertex(len(dag.vertices),
+                            f"Reducer {counter['reducer']}", [node],
+                            inputs=input_ids)
+            dag.vertices.append(vertex)
+            return vertex.vertex_id
+        raise ExecutionError(
+            f"cannot place node {type(node).__name__} in a DAG")
+
+    assign(root)
+    return dag
+
+
+def merge_shared_vertices(dag: Dag, shared_digests: frozenset) -> Dag:
+    """Collapse vertices whose fragments are identical (Section 4.5).
+
+    Two vertices merge when their root digests are equal and that digest
+    was flagged shared; consumers are repointed to the surviving vertex,
+    so the work is executed — and charged — once.
+    """
+    if not shared_digests:
+        return dag
+    canonical: dict[str, int] = {}
+    replacement: dict[int, int] = {}
+    for vertex in dag.vertices:
+        digest = vertex.root.digest
+        if digest in shared_digests:
+            if digest in canonical:
+                replacement[vertex.vertex_id] = canonical[digest]
+            else:
+                canonical[digest] = vertex.vertex_id
+    if not replacement:
+        return dag
+    survivors = [v for v in dag.vertices
+                 if v.vertex_id not in replacement]
+    for vertex in survivors:
+        vertex.inputs = [replacement.get(i, i) for i in vertex.inputs]
+    return Dag(survivors)
+
+
+# --------------------------------------------------------------------------- #
+# metrics
+
+@dataclass
+class VertexMetrics:
+    name: str
+    tasks: int = 0
+    rows: int = 0
+    startup_s: float = 0.0
+    io_s: float = 0.0
+    cpu_s: float = 0.0
+    shuffle_s: float = 0.0
+    external_s: float = 0.0
+    start_s: float = 0.0
+    finish_s: float = 0.0
+
+    @property
+    def duration_s(self) -> float:
+        return (self.startup_s + self.io_s + self.cpu_s
+                + self.shuffle_s + self.external_s)
+
+
+@dataclass
+class QueryMetrics:
+    """Virtual-time breakdown for one query execution."""
+
+    total_s: float = 0.0
+    compile_s: float = 0.0
+    queue_s: float = 0.0
+    startup_s: float = 0.0
+    io_s: float = 0.0
+    cpu_s: float = 0.0
+    shuffle_s: float = 0.0
+    external_s: float = 0.0
+    rows_produced: int = 0
+    disk_bytes: int = 0
+    cache_bytes: int = 0
+    cache_hit_fraction: float = 0.0
+    vertices: list[VertexMetrics] = field(default_factory=list)
+    pool: str = ""
+    moved_to_pool: Optional[str] = None
+
+
+# --------------------------------------------------------------------------- #
+# the runner
+
+class TezRunner:
+    """Executes an optimized plan and accounts virtual time."""
+
+    def __init__(self, conf: HiveConf,
+                 workload_manager: Optional[WorkloadManager] = None):
+        self.conf = conf
+        self.workload_manager = workload_manager
+
+    # -- public ------------------------------------------------------------- #
+    def run(self, plan: OptimizedPlan, scan_executor: ScanExecutor,
+            application: Optional[str] = None,
+            arrival_s: float = 0.0,
+            hash_join_memory_rows: Optional[int] = None):
+        """Execute and return ``(VectorBatch, QueryMetrics)``."""
+        ctx = ExecutionContext(
+            scan_executor=scan_executor,
+            semijoin_filters=scan_executor.semijoin_filters,
+            hash_join_memory_rows=hash_join_memory_rows,
+            memo_digests=self._memo_digests(plan))
+
+        # admission control (Section 5.2)
+        admission = QueryAdmission(pool="", capacity_fraction=1.0)
+        if self.workload_manager is not None \
+                and self.workload_manager.active and self.conf.llap_enabled:
+            admission = self.workload_manager.admit(application, arrival_s)
+
+        try:
+            # run dynamic semijoin reducers first (Section 4.6)
+            for reducer in plan.semijoin_reducers:
+                source = execute(reducer.source, ctx)
+                vector = source.vectors[reducer.key_ordinal]
+                scan_executor.semijoin_filters[reducer.reducer_id] = \
+                    SemijoinFilter.from_vector(
+                        reducer.target_column, vector,
+                        self.conf.semijoin_bloom_fpp)
+
+            result = execute(plan.root, ctx)
+        except ExecutionError as failure:
+            # expose runtime statistics captured so far — Section 4.2's
+            # reoptimize strategy re-plans with these
+            failure.runtime_stats = dict(ctx.runtime_stats)
+            raise
+
+        metrics = self._account(plan, ctx, scan_executor, admission)
+        metrics.rows_produced = result.num_rows
+        metrics.queue_s = admission.queue_delay_s
+        metrics.pool = admission.pool
+        metrics.total_s += admission.queue_delay_s
+
+        if self.workload_manager is not None \
+                and self.workload_manager.active:
+            self._apply_triggers(admission, metrics)
+            self.workload_manager.complete(
+                admission, arrival_s + metrics.total_s)
+        return result, metrics, ctx
+
+    def _memo_digests(self, plan: OptimizedPlan) -> frozenset:
+        """Always memoize repeated digests for execution efficiency; the
+
+        *charging* of shared work is controlled in vertex merging."""
+        from collections import Counter
+        counts = Counter(n.digest for n in rel.walk(plan.root))
+        repeated = {d for d, c in counts.items() if c > 1}
+        repeated |= {r.source.digest for r in plan.semijoin_reducers}
+        return frozenset(repeated)
+
+    # -- accounting ---------------------------------------------------------- #
+    def _account(self, plan: OptimizedPlan, ctx: ExecutionContext,
+                 scan_executor: ScanExecutor,
+                 admission: QueryAdmission) -> QueryMetrics:
+        conf = self.conf
+        cost = conf.cost
+        dag = build_dag(plan.root)
+        if conf.shared_work_optimization:
+            dag = merge_shared_vertices(dag, plan.shared_digests)
+        # reducer source subtrees always merge with their join branch
+        dag = merge_shared_vertices(
+            dag, frozenset(r.source.digest
+                           for r in plan.semijoin_reducers))
+
+        llap = conf.llap_enabled
+        slots_total = conf.num_nodes * (
+            conf.llap_executors_per_daemon if llap else conf.cores_per_node)
+        slots = max(1, int(slots_total * admission.capacity_fraction))
+        cpu_per_row = (cost.vector_cpu_s if conf.vectorized_execution
+                       else cost.row_cpu_s)
+        jit = 1.0 if llap or conf.container_reuse \
+            else cost.jit_cold_multiplier
+
+        metrics = QueryMetrics(compile_s=cost.compile_overhead_s)
+        finish: dict[int, float] = {}
+        by_id = {v.vertex_id: v for v in dag.vertices}
+        containers_started = False
+        total_work_s = 0.0
+
+        scale = cost.data_scale
+        for vertex in dag.topological():
+            vm = VertexMetrics(name=vertex.name)
+            rows = 0
+            disk = cache = 0
+            files = 0
+            merge_rows = 0
+            for node in vertex.nodes:
+                if isinstance(node, rel.TableScan):
+                    # decode work is the raw (pre-filter) row count
+                    scan_metrics = scan_executor.metrics.get(node.digest)
+                    if scan_metrics is not None:
+                        disk += scan_metrics.disk_bytes
+                        cache += scan_metrics.cache_bytes
+                        rows += scan_metrics.raw_rows
+                        files += scan_metrics.files_opened
+                        vm.external_s += scan_metrics.external_time_s
+                        if scan_metrics.delete_keys > 0:
+                            # merge-on-read anti-join work (Section 3.2)
+                            merge_rows += scan_metrics.raw_rows
+                else:
+                    rows += ctx.runtime_stats.get(node.digest, 0)
+            if not vertex.is_map:
+                # reducers also process every row their inputs emit
+                # (join probes, aggregation input, sort input)
+                for input_id in vertex.inputs:
+                    source = by_id[input_id]
+                    rows += ctx.runtime_stats.get(source.root.digest, 0)
+            rows = int(rows * scale)
+            disk = int(disk * scale)
+            cache = int(cache * scale)
+            vm.rows = rows
+
+            # task parallelism: maps get one task per split, with at
+            # least one per input file (partition directories split
+            # naturally); reducers scale with row volume
+            if vertex.is_map:
+                tasks = max(1, (disk + cache) // SPLIT_BYTES + 1, files)
+            else:
+                tasks = max(1, rows // ROWS_PER_REDUCER + 1)
+            tasks = min(tasks, slots)
+            vm.tasks = int(tasks)
+            waves = 1  # tasks are clamped to available slots
+
+            # startup: a query's containers are allocated from YARN once,
+            # up front (the Section 5 latency bottleneck); LLAP dispatches
+            # fragments to long-running executors instead
+            if llap:
+                vm.startup_s = waves * cost.llap_dispatch_s
+            elif not containers_started:
+                vm.startup_s = waves * (cost.container_startup_s
+                                        + cost.task_setup_s)
+                containers_started = True
+            else:
+                vm.startup_s = waves * cost.task_setup_s
+
+            # IO: disk vs cache throughput, spread over this vertex's
+            # tasks, plus per-file open overhead (delta pile-ups hurt)
+            parallel = max(1, vm.tasks)
+            vm.io_s = (disk / cost.disk_bytes_per_s
+                       + cache / cost.cache_bytes_per_s) / parallel \
+                + files * cost.file_open_s / parallel
+            # CPU, plus row-at-a-time merge-on-read work where delete
+            # deltas had to be anti-joined
+            vm.cpu_s = (rows * cpu_per_row * jit
+                        + merge_rows * scale * cost.merge_row_s) \
+                / parallel
+            # shuffle: bytes crossing edges into this vertex
+            shuffle_bytes = 0
+            for input_id in vertex.inputs:
+                source = by_id[input_id]
+                out_rows = ctx.runtime_stats.get(source.root.digest, 0)
+                shuffle_bytes += out_rows * \
+                    source.root.schema.row_width_bytes()
+            vm.shuffle_s = shuffle_bytes * scale \
+                / cost.network_bytes_per_s / max(1, parallel)
+
+            start = max((finish[i] for i in vertex.inputs), default=0.0)
+            vm.start_s = start
+            vm.finish_s = start + vm.duration_s
+            finish[vertex.vertex_id] = vm.finish_s
+
+            total_work_s += (vm.io_s + vm.cpu_s + vm.shuffle_s) \
+                * max(1, vm.tasks)
+            metrics.vertices.append(vm)
+            metrics.startup_s += vm.startup_s
+            metrics.io_s += vm.io_s
+            metrics.cpu_s += vm.cpu_s
+            metrics.shuffle_s += vm.shuffle_s
+            metrics.external_s += vm.external_s
+            metrics.disk_bytes += disk
+            metrics.cache_bytes += cache
+
+        critical_path = max(finish.values(), default=0.0)
+        # cluster capacity floor: concurrent vertices contend for slots,
+        # so the query can never finish faster than total work / slots
+        # (this is what makes recomputing shared subexpressions — q88
+        # without the shared-work optimizer — visibly expensive)
+        busy_floor = total_work_s / slots + metrics.startup_s
+        metrics.total_s = metrics.compile_s + max(critical_path,
+                                                  busy_floor)
+        total_bytes = metrics.disk_bytes + metrics.cache_bytes
+        metrics.cache_hit_fraction = (metrics.cache_bytes / total_bytes
+                                      if total_bytes else 0.0)
+        return metrics
+
+    def _apply_triggers(self, admission: QueryAdmission,
+                        metrics: QueryMetrics) -> None:
+        """Evaluate WM triggers post-hoc over the virtual runtime.
+
+        A MOVE re-prices the time spent beyond the trigger threshold at
+        the target pool's capacity; a KILL raises.
+        """
+        wm = self.workload_manager
+        old_fraction = admission.capacity_fraction
+        wm.check_triggers(admission,
+                          {"total_runtime": metrics.total_s,
+                           "elapsed": metrics.total_s,
+                           "rows_produced": float(metrics.rows_produced)})
+        if admission.moved_to is not None:
+            metrics.moved_to_pool = admission.moved_to
+            new_fraction = max(admission.capacity_fraction, 1e-3)
+            threshold = min(metrics.total_s, admission.fired_threshold)
+            overflow = metrics.total_s - threshold
+            if overflow > 0 and new_fraction < old_fraction:
+                metrics.total_s = threshold + overflow * (
+                    old_fraction / new_fraction)

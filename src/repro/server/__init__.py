@@ -1,0 +1,5 @@
+"""HiveServer2: sessions, driver pipeline, result cache, reoptimization."""
+
+from .driver import HiveServer2, QueryResult, Session
+
+__all__ = ["HiveServer2", "QueryResult", "Session"]

@@ -1,0 +1,1204 @@
+"""HiveServer2 and the query driver (Figure 2).
+
+``HiveServer2`` owns cluster-lifetime state: the simulated file system,
+HMS, the LLAP cache + I/O elevator, storage handlers, the query results
+cache and the workload manager.  ``Session`` executes SQL through the
+full pipeline: parse → analyze → optimize (Calcite-style stages) →
+physical DAG → vectorized execution — with result caching (Section 4.3)
+and failure-driven re-execution (Section 4.2) wrapped around it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..common.rows import Column, Schema
+from ..common.types import type_from_name
+from ..config import HiveConf
+from ..errors import (AnalysisError, CatalogError, ExecutionError,
+                      HiveError, TransactionError, VertexFailureError)
+from ..exec.operators import ExecutionContext, execute
+from ..fs import SimFileSystem
+from ..llap.cache import LlapCache
+from ..llap.elevator import DirectReaderFactory, LlapReaderFactory
+from ..llap.workload import (Pool, ResourcePlan, Trigger, TriggerAction,
+                             WorkloadManager)
+from ..metastore.catalog import (Constraints, ForeignKey,
+                                 MaterializedViewInfo, TableDescriptor,
+                                 TableKind)
+from ..metastore.hms import HiveMetastore
+from ..metastore.stats import TableStatistics
+from ..metastore.txn import DeltaWriteIdList, ValidWriteIdList
+from ..optimizer import OptimizedPlan, Optimizer
+from ..optimizer.mv_rewrite import (ViewDefinition, build_view_definition,
+                                    extract_spja)
+from ..optimizer.rules_basic import fold_constants, push_down_predicates
+from ..plan import relnodes as rel
+from ..runtime.scan import ScanExecutor
+from ..runtime.tez import QueryMetrics, TezRunner
+from ..sql import ast_nodes as ast
+from ..sql.analyzer import Analyzer, Scope, ScopeEntry, _ExprConverter
+from ..sql.functions import NON_CACHEABLE_FUNCTIONS
+from ..sql.parser import parse_statement
+from .dml import DmlResult, TableWriter
+from .mv import (RebuildReport, changed_sources, classify_changes,
+                 snapshot_write_ids, source_tables_of)
+from .results_cache import QueryResultsCache
+
+#: virtual time of a query answered straight from the results cache: a
+#: single task fetching from the cached location (Section 4.3)
+CACHED_FETCH_S = 0.05
+
+
+@dataclass
+class QueryResult:
+    """What a statement returned."""
+
+    rows: list = field(default_factory=list)
+    column_names: list = field(default_factory=list)
+    rows_affected: int = 0
+    operation: str = "select"
+    metrics: Optional[QueryMetrics] = None
+    from_cache: bool = False
+    reexecuted: bool = False
+    views_used: list = field(default_factory=list)
+    optimized: Optional[OptimizedPlan] = None
+    message: str = ""
+
+    @property
+    def virtual_time_s(self) -> float:
+        return self.metrics.total_s if self.metrics else 0.0
+
+
+class HiveServer2:
+    """One warehouse deployment (cluster-lifetime state)."""
+
+    def __init__(self, conf: Optional[HiveConf] = None):
+        self.conf = conf or HiveConf.v3_profile()
+        self.conf.validate()
+        self.fs = SimFileSystem()
+        self.hms = HiveMetastore(self.fs)
+        self.llap_cache = LlapCache(self.conf.llap_cache_capacity_bytes)
+        self.llap_factory = LlapReaderFactory(self.fs, self.llap_cache)
+        self.storage_handlers: dict[str, object] = {}
+        self.results_cache = QueryResultsCache(
+            self.conf.results_cache_max_entries,
+            self.conf.results_cache_wait_pending)
+        self.workload_manager = WorkloadManager()
+        self._view_plans: dict[tuple[str, str], rel.RelNode] = {}
+        self._mv_scan_ids = itertools.count(100_000)
+
+    # -- public API -------------------------------------------------------------- #
+    def connect(self, database: str = "default",
+                application: Optional[str] = None) -> "Session":
+        return Session(self, database, application)
+
+    def register_storage_handler(self, name: str, handler) -> None:
+        """Plug in an external engine (Section 6.1)."""
+        self.storage_handlers[name.lower()] = handler
+
+    def run_compaction(self) -> int:
+        """Drain the compaction queue and clean (returns jobs run)."""
+        from ..acid.compactor import CompactionCleaner, CompactionWorker
+        worker = CompactionWorker(self.hms)
+        count = 0
+        while worker.run_one() is not None:
+            count += 1
+        CompactionCleaner(self.hms).run()
+        return count
+
+    # -- internals shared by sessions ------------------------------------------------ #
+    def view_definitions(self, now_s: float) -> list[ViewDefinition]:
+        views = []
+        for view in self.hms.views_enabled_for_rewrite():
+            if not self.hms.is_view_fresh(view, now_s):
+                continue
+            plan = self._view_plan(view)
+            if plan is None:
+                continue
+            definition = build_view_definition(view, plan)
+            if definition is not None:
+                views.append(definition)
+        return views
+
+    def _view_plan(self, view: TableDescriptor) -> Optional[rel.RelNode]:
+        info = view.mv_info
+        if info is None:
+            return None
+        key = (view.qualified_name, info.definition_sql)
+        plan = self._view_plans.get(key)
+        if plan is None:
+            try:
+                statement = parse_statement(info.definition_sql, self.conf)
+                analyzer = Analyzer(self.hms, self.conf, view.database)
+                plan = analyzer.analyze_query(statement.query)
+                plan = push_down_predicates(fold_constants(plan))
+            except HiveError:
+                return None
+            self._view_plans[key] = plan
+        return plan
+
+    def federation_rule(self):
+        if not self.storage_handlers:
+            return None
+        from ..federation.pushdown import make_pushdown_rule
+        return make_pushdown_rule(self.hms, self.storage_handlers)
+
+
+class Session:
+    """One client connection; carries its own mutable configuration."""
+
+    def __init__(self, server: HiveServer2, database: str,
+                 application: Optional[str]):
+        self.server = server
+        self.database = database
+        self.application = application
+        self.conf = server.conf.copy()
+        self.now_s = 0.0           # virtual clock across this session
+        # multi-statement transaction state (§9 roadmap)
+        self._active_txn: Optional[int] = None
+        self._txn_snapshot = None
+        self._txn_pending_stats: list = []
+        self._txn_tables: set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    def execute(self, sql: str) -> QueryResult:
+        """Execute one SQL statement and return its result."""
+        statement = parse_statement(sql, self.conf)
+        result = self._dispatch(statement)
+        if result.metrics is not None:
+            self.now_s += result.metrics.total_s
+        return result
+
+    def _dispatch(self, statement: ast.Statement) -> QueryResult:
+        if isinstance(statement, ast.SelectStatement):
+            return self._run_select(statement.query)
+        if isinstance(statement, ast.Explain):
+            return self._explain(statement.statement)
+        if isinstance(statement, ast.CreateDatabase):
+            self.hms.create_database(statement.name,
+                                     statement.if_not_exists)
+            return QueryResult(operation="create_database")
+        if isinstance(statement, ast.CreateTable):
+            return self._create_table(statement)
+        if isinstance(statement, ast.CreateMaterializedView):
+            return self._create_materialized_view(statement)
+        if isinstance(statement, ast.AlterMaterializedViewRebuild):
+            return self._rebuild_materialized_view(statement)
+        if isinstance(statement, ast.DropTable):
+            return self._drop_table(statement)
+        if isinstance(statement, ast.Insert):
+            return self._insert(statement)
+        if isinstance(statement, ast.MultiInsert):
+            return self._multi_insert(statement)
+        if isinstance(statement, ast.Update):
+            return self._update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._delete(statement)
+        if isinstance(statement, ast.Merge):
+            return self._merge(statement)
+        if isinstance(statement, ast.AnalyzeTable):
+            return self._analyze_table(statement)
+        if isinstance(statement, ast.SetConfig):
+            return self._set_config(statement)
+        if isinstance(statement, ast.ShowTables):
+            rows = [(t,) for t in self.hms.list_tables(self.database)]
+            return QueryResult(rows=rows, column_names=["tab_name"])
+        if isinstance(statement, ast.ShowDatabases):
+            rows = [(d,) for d in self.hms.list_databases()]
+            return QueryResult(rows=rows, column_names=["database_name"])
+        if isinstance(statement, ast.ShowMaterializedViews):
+            rows = []
+            for view in self.hms.list_materialized_views():
+                info = view.mv_info
+                rows.append((view.qualified_name,
+                             "yes" if info and info.enabled_for_rewrite
+                             else "no",
+                             "fresh" if self.hms.is_view_fresh(
+                                 view, self.now_s) else "stale"))
+            return QueryResult(rows=rows,
+                               column_names=["mv_name",
+                                             "rewrite_enabled",
+                                             "freshness"])
+        if isinstance(statement, ast.ShowPartitions):
+            table = self.hms.get_table(statement.table, self.database)
+            rows = [(descriptor.spec_string(table.partition_columns),)
+                    for descriptor in table.list_partitions()]
+            return QueryResult(rows=rows, column_names=["partition"])
+        if isinstance(statement, ast.DescribeTable):
+            table = self.hms.get_table(statement.table, self.database)
+            rows = [(c.name, str(c.dtype).lower(), c.comment)
+                    for c in table.full_schema()]
+            return QueryResult(rows=rows,
+                               column_names=["col_name", "data_type",
+                                             "comment"])
+        if isinstance(statement, ast.StartTransaction):
+            return self._begin_transaction()
+        if isinstance(statement, ast.Commit):
+            return self._commit_transaction()
+        if isinstance(statement, ast.Rollback):
+            return self._rollback_transaction()
+        if isinstance(statement, (ast.CreateResourcePlan, ast.CreatePool,
+                                  ast.CreateTriggerRule,
+                                  ast.AddRuleToPool,
+                                  ast.CreateApplicationMapping,
+                                  ast.AlterPlan)):
+            return self._workload_ddl(statement)
+        raise AnalysisError(
+            f"unsupported statement {type(statement).__name__}")
+
+    # -- shortcuts --------------------------------------------------------------- #
+    @property
+    def hms(self) -> HiveMetastore:
+        return self.server.hms
+
+    @property
+    def fs(self) -> SimFileSystem:
+        return self.server.fs
+
+    def _analyzer(self) -> Analyzer:
+        return Analyzer(self.hms, self.conf, self.database)
+
+    def _writer(self) -> TableWriter:
+        return TableWriter(self.hms, self.conf)
+
+    def _reader_factory(self):
+        if self.conf.llap_enabled and self.conf.llap_cache_enabled:
+            return self.server.llap_factory
+        return DirectReaderFactory(self.fs)
+
+    # ------------------------------------------------------------------ #
+    # SELECT path
+    def _run_select(self, query: ast.Query,
+                    use_cache: bool = True) -> QueryResult:
+        analyzer = self._analyzer()
+        plan = analyzer.analyze_query(query)
+        tables = sorted({s.table_name for s in rel.find_scans(plan)})
+        current_wids = {t: self.hms.txn_manager.current_write_id(t)
+                        for t in tables}
+
+        cacheable = (use_cache and self.conf.results_cache_enabled
+                     and self._active_txn is None
+                     and _is_cacheable(query))
+        entry = None
+        if cacheable:
+            key = f"{self.database}::{query.unparse()}"
+            entry, must_compute = self.server.results_cache.lookup(
+                key, current_wids)
+            if not must_compute:
+                metrics = QueryMetrics(total_s=CACHED_FETCH_S,
+                                       compile_s=CACHED_FETCH_S)
+                return QueryResult(rows=list(entry.rows),
+                                   column_names=list(entry.column_names),
+                                   metrics=metrics, from_cache=True)
+        try:
+            result = self._compile_and_run(plan)
+        except Exception:
+            if entry is not None:
+                self.server.results_cache.abandon(entry)
+            raise
+        if entry is not None:
+            self.server.results_cache.publish(
+                entry, result.rows, result.column_names, current_wids)
+        return result
+
+    def _compile_and_run(self, plan: rel.RelNode,
+                         conf: Optional[HiveConf] = None,
+                         stats_overrides: Optional[dict] = None,
+                         ) -> QueryResult:
+        conf = conf or self.conf
+        if conf.runtime_stats_feedback:
+            merged = self.hms.runtime_stats()
+            merged.update(stats_overrides or {})
+            stats_overrides = merged
+        optimizer = Optimizer(
+            self.hms, conf, stats_overrides=stats_overrides,
+            view_provider=lambda: self.server.view_definitions(self.now_s),
+            federation_rule=self.server.federation_rule())
+        optimized = optimizer.optimize(plan)
+        attempts = 0
+        reexecuted = False
+        while True:
+            try:
+                batch, metrics, ctx = self._run_optimized(optimized, conf)
+                break
+            except VertexFailureError as failure:
+                attempts += 1
+                if (conf.reexecution_strategy == "off"
+                        or attempts > conf.max_reexecutions
+                        or not failure.retriable):
+                    raise
+                reexecuted = True
+                if conf.reexecution_strategy == "overlay":
+                    conf = conf.copy(**conf.reexecution_overlay)
+                else:  # reoptimize using captured runtime statistics
+                    runtime_stats = getattr(failure, "runtime_stats", {})
+                    optimizer = Optimizer(
+                        self.hms, conf, stats_overrides=runtime_stats,
+                        view_provider=lambda: self.server.view_definitions(
+                            self.now_s),
+                        federation_rule=self.server.federation_rule())
+                    optimized = optimizer.optimize(plan)
+        if conf.runtime_stats_feedback:
+            self.hms.record_runtime_stats(ctx.runtime_stats)
+        result = QueryResult(
+            rows=batch.to_rows(),
+            column_names=[c.name for c in batch.schema],
+            metrics=metrics, reexecuted=reexecuted,
+            views_used=list(optimized.views_used), optimized=optimized)
+        return result
+
+    def _run_optimized(self, optimized: OptimizedPlan, conf: HiveConf):
+        in_txn = self._active_txn is not None
+        snapshot = (self._txn_snapshot if in_txn
+                    else self.hms.txn_manager.get_snapshot())
+        valid: dict[str, ValidWriteIdList] = {}
+        for scan in rel.find_scans(optimized.root):
+            try:
+                table = self.hms.get_table(scan.table_name)
+            except CatalogError:
+                continue
+            if table.is_acid:
+                if in_txn:
+                    valid[table.qualified_name] = self._txn_valid_list(
+                        table.qualified_name)
+                else:
+                    valid[table.qualified_name] = \
+                        self.hms.txn_manager.valid_write_ids(
+                            snapshot, table.qualified_name)
+        scan_executor = ScanExecutor(
+            self.hms, self.fs, self._reader_factory(), valid, {},
+            self.server.storage_handlers, conf.semijoin_bloom_fpp)
+        runner = TezRunner(conf, self.server.workload_manager)
+        return runner.run(
+            optimized, scan_executor, self.application,
+            arrival_s=self.now_s,
+            hash_join_memory_rows=conf.hash_join_memory_rows)
+
+    # ------------------------------------------------------------------ #
+    # EXPLAIN
+    def _explain(self, statement: ast.Statement) -> QueryResult:
+        if not isinstance(statement, ast.SelectStatement):
+            raise AnalysisError("EXPLAIN supports queries only")
+        plan = self._analyzer().analyze_query(statement.query)
+        optimizer = Optimizer(
+            self.hms, self.conf,
+            view_provider=lambda: self.server.view_definitions(self.now_s),
+            federation_rule=self.server.federation_rule())
+        optimized = optimizer.optimize(plan)
+        lines = optimized.root.explain().splitlines()
+        lines.append(f"-- stages: {', '.join(optimized.stages_applied)}")
+        # the Tez DAG the task compiler would submit (Figure 2)
+        from ..runtime.tez import build_dag, merge_shared_vertices
+        dag = build_dag(optimized.root)
+        if self.conf.shared_work_optimization:
+            dag = merge_shared_vertices(dag, optimized.shared_digests)
+        lines.append("-- DAG:")
+        by_id = {v.vertex_id: v for v in dag.vertices}
+        for vertex in dag.topological():
+            inputs = ", ".join(by_id[i].name for i in vertex.inputs)
+            arrow = f" <- {inputs}" if inputs else ""
+            top = vertex.root._explain_label()
+            lines.append(f"--   {vertex.name}{arrow}: {top}")
+        if optimized.views_used:
+            lines.append(
+                f"-- materialized views: "
+                f"{', '.join(optimized.views_used)}")
+        for reducer in optimized.semijoin_reducers:
+            lines.append(
+                f"-- semijoin reducer {reducer.reducer_id} -> "
+                f"{reducer.target_table}.{reducer.target_column}")
+        return QueryResult(rows=[(line,) for line in lines],
+                           column_names=["plan"], operation="explain",
+                           optimized=optimized)
+
+    # ------------------------------------------------------------------ #
+    # DDL
+    def _create_table(self, statement: ast.CreateTable) -> QueryResult:
+        if statement.if_not_exists and self.hms.table_exists(
+                statement.name, self.database):
+            return QueryResult(operation="create_table",
+                               message="table exists, skipped")
+        if statement.as_query is not None and not statement.columns:
+            # CTAS: derive schema from the query
+            select = self._run_select(statement.as_query, use_cache=False)
+            analyzer = self._analyzer()
+            plan = analyzer.analyze_query(statement.as_query)
+            schema = plan.schema
+            table = self._register_table(statement, schema)
+            self._writer().insert_rows(table, select.rows)
+            return QueryResult(operation="create_table",
+                               rows_affected=len(select.rows),
+                               metrics=select.metrics)
+        schema = Schema([_column_from_def(c) for c in statement.columns])
+        table = self._register_table(statement, schema)
+        if statement.as_query is not None:
+            select = self._run_select(statement.as_query, use_cache=False)
+            self._writer().insert_rows(table, select.rows)
+            return QueryResult(operation="create_table",
+                               rows_affected=len(select.rows),
+                               metrics=select.metrics)
+        return QueryResult(operation="create_table")
+
+    def _register_table(self, statement: ast.CreateTable,
+                        schema: Schema) -> TableDescriptor:
+        properties = dict(statement.properties)
+        handler_name = _normalize_handler(statement.storage_handler)
+        transactional = properties.get("transactional", "").lower()
+        if transactional == "true":
+            is_acid = True
+        elif transactional == "false":
+            is_acid = False
+        else:
+            is_acid = (self.conf.acid_enabled and not statement.external
+                       and handler_name is None
+                       and statement.file_format == "orc")
+        if is_acid and statement.file_format != "orc":
+            raise AnalysisError(
+                "transactional tables require the ORC format "
+                "(Section 3.2's delta layout lives in ORC files)")
+        constraints = Constraints(
+            primary_key=tuple(c.lower() for c in statement.primary_key),
+            foreign_keys=[ForeignKey(tuple(c.lower() for c in fk.columns),
+                                     fk.ref_table.lower(),
+                                     tuple(c.lower()
+                                           for c in fk.ref_columns))
+                          for fk in statement.foreign_keys],
+            unique_keys=[tuple(c.lower() for c in uk)
+                         for uk in statement.unique_keys],
+            not_null=frozenset(c.name.lower() for c in statement.columns
+                               if c.not_null))
+        bloom_columns = tuple(
+            c.strip() for c in properties.get(
+                "orc.bloom.filter.columns", "").split(",") if c.strip())
+        database, name = _split_table_name(statement.name, self.database)
+        table = self.hms.create_table(
+            database, name, schema,
+            partition_columns=[_column_from_def(c)
+                               for c in statement.partition_columns],
+            kind=(TableKind.EXTERNAL if statement.external
+                  else TableKind.MANAGED),
+            file_format=statement.file_format,
+            is_acid=is_acid, storage_handler=handler_name,
+            properties=properties, constraints=constraints,
+            bloom_filter_columns=bloom_columns)
+        if handler_name is not None:
+            handler = self.server.storage_handlers.get(handler_name)
+            if handler is None:
+                raise CatalogError(
+                    f"storage handler {handler_name!r} is not registered")
+            handler.on_create_table(table)
+            # external sources may define their own schema
+            inferred = handler.infer_schema(table)
+            if inferred is not None and not len(schema):
+                table.schema = inferred
+        return table
+
+    def _drop_table(self, statement: ast.DropTable) -> QueryResult:
+        try:
+            table = self.hms.get_table(statement.name, self.database)
+        except CatalogError:
+            if statement.if_exists:
+                return QueryResult(operation="drop_table",
+                                   message="no such table, skipped")
+            raise
+        if statement.is_materialized_view and not \
+                table.is_materialized_view:
+            raise CatalogError(f"{statement.name} is not a "
+                               "materialized view")
+        if table.storage_handler is not None:
+            handler = self.server.storage_handlers.get(
+                table.storage_handler)
+            if handler is not None:
+                handler.on_drop_table(table)
+        # DROP takes an exclusive lock (Section 3.2)
+        txn = self.hms.txn_manager.open_transaction()
+        try:
+            from ..metastore.locks import LockType
+            self.hms.lock_manager.acquire(
+                txn, table.qualified_name, None, LockType.EXCLUSIVE,
+                self.conf.txn_lock_timeout_s)
+            self.hms.drop_table(statement.name, self.database)
+            self.hms.txn_manager.commit(txn)
+        finally:
+            self.hms.lock_manager.release_all(txn)
+        return QueryResult(operation="drop_table")
+
+    # ------------------------------------------------------------------ #
+    # materialized views
+    def _create_materialized_view(
+            self, statement: ast.CreateMaterializedView) -> QueryResult:
+        select = self._run_select(statement.query, use_cache=False)
+        analyzer = self._analyzer()
+        plan = analyzer.analyze_query(statement.query)
+        sources = source_tables_of(plan)
+        properties = dict(statement.properties)
+        staleness = float(properties.get("rewriting.time.window", "0"))
+        info = MaterializedViewInfo(
+            definition_sql=statement.query.unparse(),
+            source_tables=sources,
+            snapshot_write_ids=snapshot_write_ids(self.hms, sources),
+            rebuild_time=self.now_s,
+            allowed_staleness_s=staleness,
+            enabled_for_rewrite=not statement.disable_rewrite)
+        handler_name = _normalize_handler(statement.stored_by)
+        schema = Schema([Column(name, dtype) for name, dtype in zip(
+            select.column_names, plan.schema.types())])
+        database, name = _split_table_name(statement.name,
+                                          self.database)
+        view = self.hms.create_table(
+            database, name, schema,
+            kind=TableKind.MATERIALIZED_VIEW,
+            is_acid=False, storage_handler=handler_name,
+            properties=properties, mv_info=info)
+        self._store_view_contents(view, select.rows)
+        return QueryResult(operation="create_materialized_view",
+                           rows_affected=len(select.rows),
+                           metrics=select.metrics)
+
+    def _store_view_contents(self, view: TableDescriptor,
+                             rows: list) -> None:
+        if view.storage_handler is not None:
+            handler = self.server.storage_handlers.get(
+                view.storage_handler)
+            if handler is None:
+                raise CatalogError(
+                    f"storage handler {view.storage_handler!r} is not "
+                    "registered")
+            handler.on_create_table(view)
+            handler.insert_rows(view, rows)
+        else:
+            location = view.location
+            if self.fs.exists(location):
+                self.fs.delete(location, recursive=True)
+            self.fs.mkdirs(location)
+            self._writer().insert_rows(view, rows)
+        stats = TableStatistics.from_rows(view.schema, rows)
+        self.hms.set_statistics(view, stats)
+
+    def _rebuild_materialized_view(
+            self, statement: ast.AlterMaterializedViewRebuild
+            ) -> QueryResult:
+        view = self.hms.get_table(statement.name, self.database)
+        if not view.is_materialized_view or view.mv_info is None:
+            raise CatalogError(f"{statement.name} is not a materialized "
+                               "view")
+        info = view.mv_info
+        change = classify_changes(self.hms, info)
+        if change is None:
+            return QueryResult(operation="rebuild",
+                               message="view is fresh, nothing to do")
+        changed = changed_sources(self.hms, info)
+        definition = parse_statement(info.definition_sql, self.conf)
+        report = None
+        if change == "inserts-only" and len(changed) == 1:
+            report = self._incremental_rebuild(view, definition.query,
+                                               changed[0])
+        if report is None:
+            select = self._run_select(definition.query, use_cache=False)
+            self._store_view_contents(view, select.rows)
+            report = RebuildReport(view.qualified_name, "full",
+                                   len(select.rows))
+        info.snapshot_write_ids = snapshot_write_ids(
+            self.hms, info.source_tables)
+        info.rebuild_time = self.now_s
+        return QueryResult(operation="rebuild",
+                           rows_affected=report.rows,
+                           message=f"{report.mode} rebuild "
+                                   f"({report.delta_rows} delta rows)")
+
+    def _incremental_rebuild(self, view: TableDescriptor,
+                             query: ast.Query,
+                             changed_table: str
+                             ) -> Optional[RebuildReport]:
+        """Insert-only incremental maintenance via the rewrite machinery.
+
+        Computes the definition over the *delta* of the changed source
+        (rows above the snapshot WriteId) and merges it into the view.
+        """
+        info = view.mv_info
+        plan = self._analyzer().analyze_query(query)
+        plan = push_down_predicates(fold_constants(plan))
+        spja = extract_spja(plan)
+        if spja is None:
+            return None
+        table = self.hms.get_table(changed_table)
+        if not table.is_acid:
+            return None
+        snapshot = self.hms.txn_manager.get_snapshot()
+        base_valid = self.hms.txn_manager.valid_write_ids(
+            snapshot, changed_table)
+        delta_valid = DeltaWriteIdList(
+            base_valid.table, base_valid.high_watermark,
+            base_valid.invalid_ids,
+            min_write_id=info.snapshot_write_ids.get(changed_table, 0))
+        valid = {changed_table: delta_valid}
+        for source in info.source_tables:
+            if source == changed_table:
+                continue
+            source_table = self.hms.get_table(source)
+            if source_table.is_acid:
+                valid[source] = self.hms.txn_manager.valid_write_ids(
+                    snapshot, source)
+        scan_executor = ScanExecutor(
+            self.hms, self.fs, self._reader_factory(), valid, {},
+            self.server.storage_handlers)
+        ctx = ExecutionContext(scan_executor=scan_executor)
+        delta_batch = execute(plan, ctx)
+        delta_rows = delta_batch.to_rows()
+
+        if spja.is_aggregated:
+            # MERGE semantics: combine old contents with delta partials
+            current = self._read_view_rows(view)
+            key_count = len(spja.group_exprs)
+            merged: dict[tuple, list] = {}
+            funcs = [f for f, _, _, _ in spja.agg_calls]
+            for row in current + delta_rows:
+                key = tuple(row[:key_count])
+                state = merged.get(key)
+                if state is None:
+                    merged[key] = list(row[key_count:])
+                    continue
+                for i, func in enumerate(funcs):
+                    state[i] = _merge_agg(func, state[i],
+                                          row[key_count + i])
+            rows = [key + tuple(state) for key, state in merged.items()]
+            mode = "incremental"
+        else:
+            current = self._read_view_rows(view)
+            rows = current + delta_rows
+            mode = "incremental"
+        self._store_view_contents(view, rows)
+        return RebuildReport(view.qualified_name, mode, len(rows),
+                             delta_rows=len(delta_rows))
+
+    def _read_view_rows(self, view: TableDescriptor) -> list:
+        if view.storage_handler is not None:
+            handler = self.server.storage_handlers[view.storage_handler]
+            rows, _ = handler.scan_table(view,
+                                         [c.name for c in view.schema])
+            return list(rows)
+        from ..acid.reader import AcidReader
+        reader = AcidReader(self.fs)
+        batch, _ = reader.read_plain(view.location, view.schema)
+        return batch.to_rows()
+
+    # ------------------------------------------------------------------ #
+    # DML
+    def _insert(self, statement: ast.Insert) -> QueryResult:
+        table = self.hms.get_table(statement.table, self.database)
+        partition_spec = dict(statement.partition_spec)
+        if table.storage_handler is not None:
+            rows = self._insert_source_rows(statement, table)
+            handler = self.server.storage_handlers[table.storage_handler]
+            handler.insert_rows(table, rows)
+            self.hms.emit_event("INSERT", table.qualified_name,
+                                {"rows": len(rows)})
+            # handlers may expose extra metadata columns (e.g. Kafka's
+            # __offset); compute stats over the columns actually written
+            width = len(rows[0]) if rows else len(table.schema)
+            stats_schema = Schema(table.schema.columns[:width])
+            stats = TableStatistics.from_rows(stats_schema, rows)
+            self.hms.update_statistics(table, stats)
+            return QueryResult(rows_affected=len(rows),
+                               operation="insert")
+        rows = self._insert_source_rows(statement, table)
+        if self._active_txn is not None and statement.overwrite:
+            raise TransactionError(
+                "INSERT OVERWRITE is not allowed inside a "
+                "multi-statement transaction")
+        result = self._writer().insert_rows(
+            table, rows, partition_spec, overwrite=statement.overwrite,
+            txn=self._active_txn,
+            stats_sink=(self._txn_pending_stats
+                        if self._active_txn is not None else None))
+        if self._active_txn is not None:
+            self._txn_tables.add(table.qualified_name)
+        return QueryResult(rows_affected=result.rows_affected,
+                           operation="insert")
+
+    def _insert_source_rows(self, statement: ast.Insert,
+                            table: TableDescriptor) -> list[tuple]:
+        if statement.query is not None:
+            select = self._run_select(statement.query, use_cache=False)
+            rows = select.rows
+        else:
+            rows = []
+            empty = Schema([])
+            converter = _ExprConverter(
+                self._analyzer(), Scope([ScopeEntry(None, empty, 0)]),
+                None, {})
+            from ..optimizer.rules_basic import fold_rex
+            for value_row in statement.values:
+                row = []
+                for expr in value_row:
+                    folded = fold_rex(converter.convert(expr))
+                    from ..plan.rexnodes import RexLiteral
+                    if not isinstance(folded, RexLiteral):
+                        raise AnalysisError(
+                            "INSERT VALUES must be constant expressions")
+                    row.append(folded.value)
+                rows.append(tuple(row))
+        if statement.columns:
+            # reorder/missing columns default to NULL
+            names = [c.lower() for c in statement.columns]
+            width = len(table.schema)
+            reordered = []
+            for row in rows:
+                full = [None] * width
+                for name, value in zip(names, row):
+                    full[table.schema.index_of(name)] = value
+                reordered.append(tuple(full))
+            rows = reordered
+        return rows
+
+    def _multi_insert(self, statement: ast.MultiInsert) -> QueryResult:
+        """FROM src INSERT ... INSERT ... — the source is evaluated once
+
+        and every branch writes within a single transaction (§3.2)."""
+        # evaluate the shared source exactly once
+        if isinstance(statement.source, ast.NamedTable):
+            source_sql = f"SELECT * FROM {statement.source.name}"
+            alias = (statement.source.alias
+                     or statement.source.name.split(".")[-1])
+        elif isinstance(statement.source, ast.SubqueryRef):
+            source_sql = statement.source.query.unparse()
+            alias = statement.source.alias
+        else:
+            raise AnalysisError("unsupported multi-insert source")
+        from ..sql.parser import parse_query
+        analyzer = self._analyzer()
+        source_plan = analyzer.analyze_query(
+            parse_query(source_sql, self.conf))
+        source_result = self._compile_and_run(source_plan)
+        from ..common.vector import VectorBatch
+        source_schema = Schema([
+            Column(name, dtype) for name, dtype in
+            zip(source_result.column_names, source_plan.schema.types())])
+        source_batch = VectorBatch.from_rows(source_schema,
+                                             source_result.rows)
+        scope = Scope([ScopeEntry(alias.lower(), source_schema, 0)])
+
+        # branch evaluation + single-transaction writes
+        from ..exec import expr_eval
+        writer = self._writer()
+        own_txn = self._active_txn is None
+        txn = (self.hms.txn_manager.open_transaction() if own_txn
+               else self._active_txn)
+        pending_stats: list = ([] if own_txn
+                               else self._txn_pending_stats)
+        total = 0
+        touched: list = []
+        try:
+            for branch in statement.branches:
+                if branch.overwrite:
+                    raise TransactionError(
+                        "INSERT OVERWRITE is not supported in "
+                        "multi-insert statements")
+                table = self.hms.get_table(branch.table, self.database)
+                if table.storage_handler is not None:
+                    raise AnalysisError(
+                        "multi-insert into handler-backed tables is not "
+                        "supported")
+                spec = branch.query.body
+                batch = source_batch
+                converter = _ExprConverter(analyzer, scope, None, {})
+                if spec.where is not None:
+                    condition = converter.convert(spec.where)
+                    mask = expr_eval.evaluate_predicate(condition, batch)
+                    batch = batch.filter(mask)
+                columns = []
+                for item in spec.select_items:
+                    if isinstance(item.expr, ast.Star):
+                        columns.extend(batch.vectors)
+                        continue
+                    expr = converter.convert(item.expr)
+                    columns.append(expr_eval.evaluate(expr, batch))
+                rows = [tuple(col.value(i) for col in columns)
+                        for i in range(batch.num_rows)]
+                result = writer.insert_rows(
+                    table, rows, dict(branch.partition_spec),
+                    txn=txn, stats_sink=pending_stats)
+                total += result.rows_affected
+                touched.append(table)
+                if not own_txn:
+                    self._txn_tables.add(table.qualified_name)
+            if own_txn:
+                self.hms.txn_manager.commit(txn)
+        except Exception:
+            if own_txn:
+                try:
+                    self.hms.txn_manager.abort(txn)
+                except Exception:
+                    pass
+            raise
+        finally:
+            if own_txn:
+                self.hms.lock_manager.release_all(txn)
+        if own_txn:
+            for table, rows, partition, replace in pending_stats:
+                writer._merge_stats(table, rows, partition, replace)
+            for table in touched:
+                writer.initiator.check_table(table)
+        return QueryResult(rows_affected=total, operation="multi_insert",
+                           metrics=source_result.metrics)
+
+    def _update(self, statement: ast.Update) -> QueryResult:
+        table = self.hms.get_table(statement.table, self.database)
+        analyzer = self._analyzer()
+        schema = table.full_schema()
+        predicate = (analyzer.convert_predicate(statement.where, schema)
+                     if statement.where is not None else None)
+        assignments = {}
+        for column, expr in statement.assignments:
+            ordinal = table.schema.index_of(column)
+            assignments[ordinal] = analyzer.convert_scalar(expr, schema)
+        result = self._writer().update_where(
+            table, predicate, assignments, txn=self._active_txn,
+            valid=(self._txn_valid_list(table.qualified_name)
+                   if self._active_txn is not None else None))
+        if self._active_txn is not None:
+            self._txn_tables.add(table.qualified_name)
+        return QueryResult(rows_affected=result.rows_affected,
+                           operation="update")
+
+    def _delete(self, statement: ast.Delete) -> QueryResult:
+        table = self.hms.get_table(statement.table, self.database)
+        analyzer = self._analyzer()
+        predicate = (analyzer.convert_predicate(
+            statement.where, table.full_schema())
+            if statement.where is not None else None)
+        result = self._writer().delete_where(
+            table, predicate, txn=self._active_txn,
+            valid=(self._txn_valid_list(table.qualified_name)
+                   if self._active_txn is not None else None))
+        if self._active_txn is not None:
+            self._txn_tables.add(table.qualified_name)
+        return QueryResult(rows_affected=result.rows_affected,
+                           operation="delete")
+
+    def _merge(self, statement: ast.Merge) -> QueryResult:
+        if self._active_txn is not None:
+            raise TransactionError(
+                "MERGE is not supported inside a multi-statement "
+                "transaction yet")
+        table = self.hms.get_table(statement.target, self.database)
+        analyzer = self._analyzer()
+        # source rows
+        if isinstance(statement.source, ast.NamedTable):
+            source_sql = f"SELECT * FROM {statement.source.name}"
+            source_alias = (statement.source.alias
+                            or statement.source.name.split(".")[-1])
+        elif isinstance(statement.source, ast.SubqueryRef):
+            source_sql = statement.source.query.unparse()
+            source_alias = statement.source.alias
+        else:
+            raise AnalysisError("unsupported MERGE source")
+        from ..sql.parser import parse_query
+        source_plan = analyzer.analyze_query(
+            parse_query(source_sql, self.conf))
+        source_result = self._compile_and_run(source_plan)
+        from ..common.vector import VectorBatch
+        source_schema = Schema([
+            Column(name, dtype) for name, dtype in
+            zip(source_result.column_names, source_plan.schema.types())])
+        source_batch = VectorBatch.from_rows(source_schema,
+                                             source_result.rows)
+
+        target_alias = (statement.target_alias
+                        or statement.target.split(".")[-1]).lower()
+        scope = Scope([
+            ScopeEntry(target_alias, table.full_schema(), 0),
+            ScopeEntry(source_alias.lower(), source_schema,
+                       len(table.full_schema()))])
+        converter = _ExprConverter(analyzer, scope, None, {})
+        condition = converter.convert(statement.condition)
+
+        source_scope = Scope([ScopeEntry(source_alias.lower(),
+                                         source_schema, 0)])
+        source_converter = _ExprConverter(analyzer, source_scope, None, {})
+
+        clauses = []
+        for clause in statement.when_clauses:
+            executable = _ExecutableMergeClause(
+                matched=clause.matched, action=clause.action)
+            if clause.condition is not None:
+                ctx_converter = (converter if clause.matched
+                                 else source_converter)
+                executable.condition = ctx_converter.convert(
+                    clause.condition)
+            if clause.action == "update":
+                executable.assignments = {
+                    table.schema.index_of(col):
+                        converter.convert(expr)
+                    for col, expr in clause.assignments}
+            if clause.action == "insert":
+                executable.insert_values = [
+                    source_converter.convert(e)
+                    for e in clause.insert_values]
+            clauses.append(executable)
+
+        result = self._writer().merge(table, source_batch, target_alias,
+                                      source_schema, condition, clauses)
+        return QueryResult(rows_affected=result.rows_affected,
+                           operation="merge",
+                           metrics=source_result.metrics)
+
+    # ------------------------------------------------------------------ #
+    # multi-statement transactions (§9 roadmap: "we plan to implement
+    # multi-statement transactions")
+    def _begin_transaction(self) -> QueryResult:
+        if self._active_txn is not None:
+            raise TransactionError("a transaction is already open")
+        self._active_txn = self.hms.txn_manager.open_transaction()
+        self._txn_snapshot = self.hms.txn_manager.get_snapshot()
+        self._txn_pending_stats = []
+        self._txn_tables = set()
+        return QueryResult(operation="start_transaction",
+                           message=f"txn {self._active_txn} open")
+
+    def _commit_transaction(self) -> QueryResult:
+        if self._active_txn is None:
+            raise TransactionError("no open transaction to commit")
+        txn = self._active_txn
+        writer = self._writer()
+        try:
+            self.hms.txn_manager.commit(txn)
+        except Exception:
+            self._clear_transaction()
+            raise
+        # apply the deferred statistics only once the commit stuck
+        for table, rows, partition, replace in self._txn_pending_stats:
+            writer._merge_stats(table, rows, partition, replace)
+        touched = set(self._txn_tables)
+        self._clear_transaction()
+        for table_name in touched:
+            writer.initiator.check_table(self.hms.get_table(table_name))
+        return QueryResult(operation="commit",
+                           message=f"txn {txn} committed")
+
+    def _rollback_transaction(self) -> QueryResult:
+        if self._active_txn is None:
+            raise TransactionError("no open transaction to roll back")
+        txn = self._active_txn
+        self.hms.txn_manager.abort(txn)
+        self._clear_transaction()
+        return QueryResult(operation="rollback",
+                           message=f"txn {txn} rolled back")
+
+    def _clear_transaction(self) -> None:
+        if self._active_txn is not None:
+            self.hms.lock_manager.release_all(self._active_txn)
+        self._active_txn = None
+        self._txn_snapshot = None
+        self._txn_pending_stats = []
+        self._txn_tables = set()
+
+    def _txn_valid_list(self, table_name: str):
+        """ValidWriteIdList for reads inside the open transaction:
+
+        the BEGIN snapshot plus this transaction's own writes."""
+        from ..metastore.txn import OwnWriteIdList
+        base = self.hms.txn_manager.valid_write_ids(
+            self._txn_snapshot, table_name)
+        own = self.hms.txn_manager.write_ids_of(self._active_txn)
+        return OwnWriteIdList(base.table, base.high_watermark,
+                              base.invalid_ids,
+                              own_write_id=own.get(table_name.lower(), 0))
+
+    # ------------------------------------------------------------------ #
+    # ANALYZE / SET / workload DDL
+    def _analyze_table(self, statement: ast.AnalyzeTable) -> QueryResult:
+        table = self.hms.get_table(statement.table, self.database)
+        result = self._run_select(_select_star(table), use_cache=False)
+        stats = TableStatistics.from_rows(table.full_schema(),
+                                          result.rows)
+        # keep only data-column stats at table level
+        self.hms.set_statistics(table, stats)
+        return QueryResult(operation="analyze",
+                           rows_affected=stats.row_count,
+                           metrics=result.metrics)
+
+    def _set_config(self, statement: ast.SetConfig) -> QueryResult:
+        key = statement.key.lower()
+        attr = _CONFIG_ALIASES.get(key, key)
+        if not hasattr(self.conf, attr):
+            raise AnalysisError(f"unknown configuration key {key!r}")
+        current = getattr(self.conf, attr)
+        value: object = statement.value
+        if isinstance(current, bool):
+            value = statement.value.lower() in ("true", "1", "yes")
+        elif isinstance(current, int):
+            value = int(statement.value)
+        elif isinstance(current, float):
+            value = float(statement.value)
+        setattr(self.conf, attr, value)
+        self.conf.validate()
+        return QueryResult(operation="set",
+                           message=f"{attr}={value}")
+
+    def _workload_ddl(self, statement: ast.Statement) -> QueryResult:
+        hms = self.hms
+        if isinstance(statement, ast.CreateResourcePlan):
+            hms.save_resource_plan(statement.name,
+                                   ResourcePlan(statement.name.lower()))
+            self._active_plan_name = statement.name
+            return QueryResult(operation="create_resource_plan")
+        if isinstance(statement, ast.CreatePool):
+            plan = hms.get_resource_plan(statement.plan)
+            plan.add_pool(Pool(statement.pool.lower(),
+                               statement.alloc_fraction,
+                               statement.query_parallelism))
+            return QueryResult(operation="create_pool")
+        if isinstance(statement, ast.CreateTriggerRule):
+            plan = hms.get_resource_plan(statement.plan)
+            plan.unattached_triggers[statement.name.lower()] = Trigger(
+                statement.name.lower(), statement.metric,
+                statement.threshold,
+                TriggerAction(statement.action.lower()),
+                statement.action_arg.lower()
+                if statement.action_arg else None)
+            return QueryResult(operation="create_rule")
+        if isinstance(statement, ast.AddRuleToPool):
+            plan = self._find_plan_with_rule(statement.rule)
+            plan.attach_rule(statement.rule.lower(), statement.pool.lower())
+            return QueryResult(operation="add_rule")
+        if isinstance(statement, ast.CreateApplicationMapping):
+            plan = hms.get_resource_plan(statement.plan)
+            plan.mappings[statement.application.lower()] = \
+                statement.pool.lower()
+            return QueryResult(operation="create_mapping")
+        if isinstance(statement, ast.AlterPlan):
+            plan = hms.get_resource_plan(statement.plan)
+            if statement.default_pool is not None:
+                if statement.default_pool.lower() not in plan.pools:
+                    raise CatalogError(
+                        f"no such pool: {statement.default_pool}")
+                plan.default_pool = statement.default_pool.lower()
+            if statement.enable_activate:
+                plan.enabled = True
+                hms.activate_resource_plan(statement.plan)
+                self.server.workload_manager.plan = plan
+            return QueryResult(operation="alter_plan")
+        raise AnalysisError("unhandled workload statement")
+
+    def _find_plan_with_rule(self, rule: str) -> ResourcePlan:
+        for plan_name, plan in self.hms._resource_plans.items():
+            if rule.lower() in plan.unattached_triggers:
+                return plan
+        raise CatalogError(f"no resource plan defines rule {rule!r}")
+
+
+# --------------------------------------------------------------------------- #
+# helpers
+
+@dataclass
+class _ExecutableMergeClause:
+    matched: bool
+    action: str
+    condition: Optional[object] = None
+    assignments: dict = field(default_factory=dict)
+    insert_values: list = field(default_factory=list)
+
+
+def _split_table_name(name: str, default_db: str) -> tuple[str, str]:
+    """Resolve an optionally db-qualified table name."""
+    if "." in name:
+        database, bare = name.split(".", 1)
+        return database, bare
+    return default_db, name
+
+
+def _merge_agg(func: str, state, value):
+    """Merge a partial aggregate into the view's stored value."""
+    if value is None:
+        return state
+    if state is None:
+        return value
+    if func in ("sum", "count"):
+        return state + value
+    if func == "min":
+        return min(state, value)
+    if func == "max":
+        return max(state, value)
+    raise ExecutionError(
+        f"aggregate {func} is not incrementally mergeable")
+
+
+def _column_from_def(definition: ast.ColumnDef) -> Column:
+    dtype = type_from_name(definition.type_name, *definition.type_params)
+    return Column(definition.name.lower(), dtype,
+                  nullable=not definition.not_null)
+
+
+def _normalize_handler(name: Optional[str]) -> Optional[str]:
+    if name is None:
+        return None
+    lowered = name.lower()
+    if "druid" in lowered:
+        return "druid"
+    if "jdbc" in lowered:
+        return "jdbc"
+    if "kafka" in lowered:
+        return "kafka"
+    return lowered
+
+
+def _is_cacheable(query: ast.Query) -> bool:
+    """Deterministic queries only (Section 4.3)."""
+    return not _query_calls(query, NON_CACHEABLE_FUNCTIONS)
+
+
+def _query_calls(query: ast.Query, names: frozenset) -> bool:
+    def expr_has(expr: ast.Expr) -> bool:
+        return any(isinstance(e, ast.FuncCall) and e.name in names
+                   for e in ast.walk_expr(expr))
+
+    def spec_has(spec) -> bool:
+        if isinstance(spec, ast.SetOperation):
+            return spec_has(spec.left) or spec_has(spec.right)
+        for item in spec.select_items:
+            if not isinstance(item.expr, ast.Star) and expr_has(item.expr):
+                return True
+        if spec.where is not None and expr_has(spec.where):
+            return True
+        if spec.having is not None and expr_has(spec.having):
+            return True
+        for ref in spec.from_refs:
+            if _ref_has(ref):
+                return True
+        return False
+
+    def _ref_has(ref) -> bool:
+        if isinstance(ref, ast.SubqueryRef):
+            return _query_calls(ref.query, names)
+        if isinstance(ref, ast.JoinRef):
+            return _ref_has(ref.left) or _ref_has(ref.right)
+        return False
+
+    for cte in query.ctes:
+        if _query_calls(cte.query, names):
+            return True
+    return spec_has(query.body)
+
+
+def _select_star(table: TableDescriptor) -> ast.Query:
+    from ..sql.parser import parse_query
+    return parse_query(f"SELECT * FROM {table.qualified_name}")
+
+
+_CONFIG_ALIASES = {
+    "hive.llap.execution.mode": "llap_enabled",
+    "hive.llap.enabled": "llap_enabled",
+    "hive.llap.io.enabled": "llap_cache_enabled",
+    "hive.vectorized.execution.enabled": "vectorized_execution",
+    "hive.cbo.enable": "cbo_enabled",
+    "hive.optimize.shared.work": "shared_work_optimization",
+    "hive.optimize.semijoin.reduction": "semijoin_reduction",
+    "hive.materializedview.rewriting": "mv_rewriting",
+    "hive.query.results.cache.enabled": "results_cache_enabled",
+    "hive.query.reexecution.strategy": "reexecution_strategy",
+    "hive.auto.convert.join": "join_reordering",
+}

@@ -1,0 +1,72 @@
+"""Materialized view lifecycle: creation, rebuild, freshness (Section 4.4).
+
+* CREATE MATERIALIZED VIEW executes the definition, stores the result —
+  natively (an ORC table in the warehouse) or in an external system via a
+  storage handler (``STORED BY``), which is how Figure 8 places the SSB
+  denormalized view in Druid — and records the snapshot WriteIds of every
+  source table.
+* ALTER MATERIALIZED VIEW ... REBUILD refreshes the contents.  When the
+  only changes since the last snapshot are INSERTs, the rebuild is
+  **incremental**: only rows with WriteIds above the snapshot are read
+  from the changed sources, their contribution is computed with the same
+  plan, and it is merged into the view (a MERGE for SPJA views, an INSERT
+  for SPJ views).  UPDATE/DELETE on any source forces a full rebuild.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import CatalogError, ExecutionError
+from ..metastore.catalog import (MaterializedViewInfo, TableDescriptor,
+                                 TableKind)
+from ..metastore.hms import HiveMetastore
+from ..plan import relnodes as rel
+
+
+@dataclass
+class RebuildReport:
+    view: str
+    mode: str                 # "full" | "incremental" | "noop"
+    rows: int
+    delta_rows: int = 0
+
+
+def source_tables_of(plan: rel.RelNode) -> tuple[str, ...]:
+    return tuple(sorted({s.table_name for s in rel.find_scans(plan)}))
+
+
+def snapshot_write_ids(hms: HiveMetastore,
+                       tables: tuple[str, ...]) -> dict[str, int]:
+    return {t: hms.txn_manager.current_write_id(t) for t in tables}
+
+
+def classify_changes(hms: HiveMetastore, info: MaterializedViewInfo,
+                     since_event: int = 0) -> Optional[str]:
+    """What happened to the sources since the view snapshot?
+
+    Returns None (no changes), "inserts-only", or "mutations".
+    """
+    changed = False
+    mutated = False
+    for table in info.source_tables:
+        current = hms.txn_manager.current_write_id(table)
+        if current > info.snapshot_write_ids.get(table, 0):
+            changed = True
+    if not changed:
+        return None
+    for event in hms.events_since(since_event):
+        if event.table not in info.source_tables:
+            continue
+        if event.event_type in ("UPDATE", "DELETE", "MERGE",
+                                "DROP_PARTITION"):
+            mutated = True
+    return "mutations" if mutated else "inserts-only"
+
+
+def changed_sources(hms: HiveMetastore,
+                    info: MaterializedViewInfo) -> list[str]:
+    return [t for t in info.source_tables
+            if hms.txn_manager.current_write_id(t)
+            > info.snapshot_write_ids.get(t, 0)]

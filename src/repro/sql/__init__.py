@@ -1,0 +1,7 @@
+"""SQL frontend: lexer, parser, AST, semantic analyzer, functions."""
+
+from .lexer import Token, TokenType, tokenize
+from .parser import parse_statement, parse_query
+
+__all__ = ["Token", "TokenType", "tokenize", "parse_statement",
+           "parse_query"]

@@ -1,0 +1,175 @@
+"""SQL tokenizer.
+
+Produces a flat token stream for the recursive-descent parser.  Supports
+line (``--``) and block (``/* */``) comments, single-quoted string
+literals with ``''`` escaping, back-quoted identifiers, numeric literals
+(integer / decimal / scientific) and all multi-character operators used
+by the dialect.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ParseError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AS", "ON", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE", "BETWEEN",
+    "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "DISTINCT", "ALL",
+    "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS", "SEMI",
+    "UNION", "INTERSECT", "EXCEPT", "EXISTS", "ASC", "DESC", "WITH",
+    "OVER", "PARTITION", "ROWS", "ROW", "UNBOUNDED", "PRECEDING",
+    "FOLLOWING", "CURRENT", "RANGE", "EXTRACT", "INTERVAL", "DATE",
+    "TIMESTAMP", "TRUE", "FALSE", "CREATE", "TABLE", "EXTERNAL", "DROP",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "MERGE",
+    "USING", "MATCHED", "PARTITIONED", "STORED", "TBLPROPERTIES",
+    "MATERIALIZED", "VIEW", "REBUILD", "ALTER", "EXPLAIN", "ANALYZE",
+    "COMPUTE", "STATISTICS", "FOR", "COLUMNS", "PRIMARY", "KEY", "FOREIGN",
+    "REFERENCES", "UNIQUE", "CONSTRAINT", "SHOW", "TABLES", "DESCRIBE",
+    "DATABASE", "DATABASES", "SCHEMA", "IF", "RESOURCE", "PLAN", "POOL",
+    "RULE", "MOVE", "KILL", "TO", "ADD", "APPLICATION", "MAPPING",
+    "DEFAULT", "ENABLE", "ACTIVATE", "GROUPING", "SETS", "ROLLUP", "CUBE",
+    "DAY", "MONTH", "YEAR", "HOUR", "MINUTE", "SECOND", "QUARTER", "WEEK",
+    "BY", "NULLS", "FIRST", "LAST", "HAVING", "DISABLE", "REWRITE",
+    "START", "TRANSACTION", "BEGIN", "COMMIT", "ROLLBACK",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+    line: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def is_op(self, *ops: str) -> bool:
+        return self.type is TokenType.OP and self.value in ops
+
+    def __repr__(self) -> str:
+        return f"<{self.type.value}:{self.value}>"
+
+
+_MULTI_OPS = ("<>", "!=", ">=", "<=", "||", "==")
+_SINGLE_OPS = "+-*/%(),.;<>=!"
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        # comments
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise ParseError("unterminated block comment", i, line)
+            line += text.count("\n", i, end)
+            i = end + 2
+            continue
+        # string literal
+        if ch == "'":
+            j = i + 1
+            parts = []
+            while True:
+                if j >= n:
+                    raise ParseError("unterminated string literal", i, line)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), i, line))
+            i = j + 1
+            continue
+        # back-quoted identifier
+        if ch == "`":
+            j = text.find("`", i + 1)
+            if j < 0:
+                raise ParseError("unterminated quoted identifier", i, line)
+            tokens.append(Token(TokenType.IDENT, text[i + 1:j], i, line))
+            i = j + 1
+            continue
+        # number
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    if j + 1 < n and (text[j + 1].isdigit()
+                                      or text[j + 1] in "+-"):
+                        seen_exp = True
+                        j += 2 if text[j + 1] in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, text[i:j], i, line))
+            i = j
+            continue
+        # identifier / keyword
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i, line))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i, line))
+            i = j
+            continue
+        # operators
+        matched = False
+        for op in _MULTI_OPS:
+            if text.startswith(op, i):
+                tokens.append(Token(TokenType.OP, op, i, line))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token(TokenType.OP, ch, i, line))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", i, line)
+    tokens.append(Token(TokenType.EOF, "", n, line))
+    return tokens

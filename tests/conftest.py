@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+import repro
+from repro.common.rows import Column, Schema
+from repro.common.types import DATE, DOUBLE, INT, STRING
+from repro.config import HiveConf
+
+
+@pytest.fixture
+def conf():
+    """Fast default configuration for unit tests."""
+    return HiveConf.v3_profile()
+
+
+@pytest.fixture
+def server(conf):
+    return repro.HiveServer2(conf)
+
+
+@pytest.fixture
+def session(server):
+    return server.connect()
+
+
+@pytest.fixture
+def loaded_session(session):
+    """A session with two small, loaded tables ``t`` and ``u``."""
+    session.execute("CREATE TABLE t (a INT, b STRING, c DOUBLE, d DATE)")
+    session.execute("CREATE TABLE u (k INT, x INT, y STRING)")
+    session.execute("""
+        INSERT INTO t VALUES
+          (1, 'one',   1.5, DATE '2020-01-01'),
+          (2, 'two',   2.5, DATE '2020-01-02'),
+          (3, 'three', 3.5, DATE '2020-01-03'),
+          (4, 'four',  4.5, DATE '2020-02-01'),
+          (5, NULL,    NULL, DATE '2020-02-02')""")
+    session.execute("""
+        INSERT INTO u VALUES
+          (1, 10, 'ux1'), (2, 20, 'ux2'), (2, 25, 'ux2b'),
+          (3, 30, 'ux3'), (9, 90, 'ux9')""")
+    return session
+
+
+@pytest.fixture
+def simple_schema():
+    return Schema([Column("a", INT), Column("b", STRING),
+                   Column("c", DOUBLE), Column("d", DATE)])

@@ -1,0 +1,241 @@
+"""Semantic analysis: name resolution, plans, subqueries, gating."""
+
+import pytest
+
+from repro.common.rows import Column, Schema
+from repro.common.types import BOOLEAN, DATE, DOUBLE, INT, STRING
+from repro.config import HiveConf
+from repro.errors import AnalysisError, UnsupportedFeatureError
+from repro.fs import SimFileSystem
+from repro.metastore.hms import HiveMetastore
+from repro.plan import relnodes as rel
+from repro.sql.analyzer import Analyzer
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture
+def hms():
+    store = HiveMetastore(SimFileSystem())
+    store.create_table("default", "t", Schema(
+        [Column("a", INT), Column("b", STRING), Column("c", DOUBLE),
+         Column("d", DATE)]))
+    store.create_table("default", "u", Schema(
+        [Column("k", INT), Column("x", INT), Column("y", STRING)]))
+    store.create_table("default", "p", Schema(
+        [Column("v", INT)]), partition_columns=[Column("ds", INT)])
+    return store
+
+
+@pytest.fixture
+def analyzer(hms):
+    return Analyzer(hms, HiveConf())
+
+
+def plan_for(analyzer, sql) -> rel.RelNode:
+    return analyzer.analyze_query(parse_query(sql))
+
+
+class TestResolution:
+    def test_output_schema(self, analyzer):
+        plan = plan_for(analyzer, "SELECT a, b AS name, c * 2 dbl FROM t")
+        assert plan.schema.names() == ["a", "name", "dbl"]
+        assert plan.schema.types() == [INT, STRING, DOUBLE]
+
+    def test_star_expansion(self, analyzer):
+        plan = plan_for(analyzer, "SELECT * FROM t")
+        assert plan.schema.names() == ["a", "b", "c", "d"]
+
+    def test_qualified_star(self, analyzer):
+        plan = plan_for(analyzer,
+                        "SELECT u.* FROM t JOIN u ON t.a = u.k")
+        assert plan.schema.names() == ["k", "x", "y"]
+
+    def test_partition_columns_visible(self, analyzer):
+        plan = plan_for(analyzer, "SELECT ds, v FROM p")
+        assert plan.schema.names() == ["ds", "v"]
+
+    def test_unknown_column(self, analyzer):
+        with pytest.raises(AnalysisError, match="unknown column"):
+            plan_for(analyzer, "SELECT zz FROM t")
+
+    def test_unknown_table(self, analyzer):
+        with pytest.raises(Exception):
+            plan_for(analyzer, "SELECT 1 FROM missing")
+
+    def test_ambiguous_column(self, analyzer):
+        with pytest.raises(AnalysisError, match="ambiguous"):
+            plan_for(analyzer,
+                     "SELECT a FROM t t1 JOIN t t2 ON t1.a = t2.a")
+
+    def test_alias_scoping(self, analyzer):
+        plan = plan_for(analyzer,
+                        "SELECT t1.a, t2.a FROM t t1, t t2")
+        assert len(plan.schema) == 2
+
+    def test_select_without_from(self, analyzer):
+        plan = plan_for(analyzer, "SELECT 1 one, 'x' s")
+        assert plan.schema.names() == ["one", "s"]
+
+
+class TestTypes:
+    def test_comparison_is_boolean(self, analyzer):
+        plan = plan_for(analyzer, "SELECT a > 1 FROM t")
+        assert plan.schema[0].dtype == BOOLEAN
+
+    def test_division_is_double(self, analyzer):
+        plan = plan_for(analyzer, "SELECT a / 2 FROM t")
+        assert plan.schema[0].dtype == DOUBLE
+
+    def test_boolean_required_in_where(self, analyzer):
+        with pytest.raises(AnalysisError):
+            plan_for(analyzer, "SELECT a FROM t WHERE a + 1")
+
+    def test_join_condition_must_be_boolean(self, analyzer):
+        with pytest.raises(AnalysisError):
+            plan_for(analyzer, "SELECT 1 FROM t JOIN u ON t.a + u.k")
+
+    def test_string_date_comparison_coerces(self, analyzer):
+        plan = plan_for(analyzer, "SELECT a FROM t WHERE d > '2020-01-01'")
+        assert isinstance(plan, rel.RelNode)  # no error
+
+
+class TestAggregation:
+    def test_group_by_shape(self, analyzer):
+        plan = plan_for(analyzer,
+                        "SELECT b, COUNT(*), SUM(a) FROM t GROUP BY b")
+        aggregates = [n for n in rel.walk(plan)
+                      if isinstance(n, rel.Aggregate)]
+        assert len(aggregates) == 1
+        assert len(aggregates[0].agg_calls) == 2
+
+    def test_ungrouped_column_rejected(self, analyzer):
+        with pytest.raises(AnalysisError, match="neither grouped"):
+            plan_for(analyzer, "SELECT a, COUNT(*) FROM t GROUP BY b")
+
+    def test_group_expr_reuse(self, analyzer):
+        plan = plan_for(analyzer,
+                        "SELECT a + 1, COUNT(*) FROM t GROUP BY a + 1")
+        assert plan.schema.names()[0] == "_c0"
+
+    def test_positional_group_by(self, analyzer):
+        plan = plan_for(analyzer, "SELECT b, COUNT(*) FROM t GROUP BY 1")
+        assert plan.schema.names() == ["b", "count"]
+
+    def test_having_without_group(self, analyzer):
+        plan = plan_for(analyzer,
+                        "SELECT SUM(a) FROM t HAVING SUM(a) > 10")
+        assert any(isinstance(n, rel.Filter) for n in rel.walk(plan))
+
+    def test_grouping_sets_plan(self, analyzer):
+        plan = plan_for(
+            analyzer, "SELECT b, d, COUNT(*) FROM t "
+            "GROUP BY GROUPING SETS ((b, d), (b), ())")
+        aggregate = next(n for n in rel.walk(plan)
+                         if isinstance(n, rel.Aggregate))
+        assert aggregate.grouping_sets == ((0, 1), (0,), ())
+
+    def test_aggregate_in_where_rejected(self, analyzer):
+        with pytest.raises(AnalysisError):
+            plan_for(analyzer, "SELECT a FROM t WHERE SUM(a) > 1")
+
+
+class TestSubqueries:
+    def test_in_becomes_semi_join(self, analyzer):
+        plan = plan_for(analyzer,
+                        "SELECT a FROM t WHERE a IN (SELECT k FROM u)")
+        joins = [n for n in rel.walk(plan) if isinstance(n, rel.Join)]
+        assert joins[0].kind == "semi"
+
+    def test_not_in_becomes_anti_join(self, analyzer):
+        plan = plan_for(
+            analyzer, "SELECT a FROM t WHERE a NOT IN (SELECT k FROM u)")
+        joins = [n for n in rel.walk(plan) if isinstance(n, rel.Join)]
+        assert joins[0].kind == "anti"
+
+    def test_correlated_exists(self, analyzer):
+        plan = plan_for(
+            analyzer,
+            "SELECT a FROM t WHERE EXISTS "
+            "(SELECT 1 FROM u WHERE u.k = t.a AND u.x > 5)")
+        join = next(n for n in rel.walk(plan) if isinstance(n, rel.Join))
+        assert join.kind == "semi"
+        assert join.condition is not None
+
+    def test_scalar_subquery_uncorrelated(self, analyzer):
+        plan = plan_for(analyzer,
+                        "SELECT a, (SELECT MAX(x) FROM u) m FROM t")
+        join = next(n for n in rel.walk(plan) if isinstance(n, rel.Join))
+        assert join.kind == "left"
+
+    def test_scalar_subquery_correlated_groups_inner(self, analyzer):
+        plan = plan_for(
+            analyzer,
+            "SELECT a, (SELECT SUM(x) FROM u WHERE u.k = t.a) s FROM t")
+        aggregates = [n for n in rel.walk(plan)
+                      if isinstance(n, rel.Aggregate)]
+        assert any(len(agg.group_keys) == 1 for agg in aggregates)
+
+    def test_scalar_subquery_must_be_single_column(self, analyzer):
+        with pytest.raises(AnalysisError):
+            plan_for(analyzer, "SELECT (SELECT k, x FROM u) FROM t")
+
+
+class TestOrdering:
+    def test_order_by_alias(self, analyzer):
+        plan = plan_for(analyzer, "SELECT a AS z FROM t ORDER BY z")
+        assert isinstance(plan, rel.Sort)
+
+    def test_order_by_position(self, analyzer):
+        plan = plan_for(analyzer, "SELECT b, a FROM t ORDER BY 2")
+        assert isinstance(plan, rel.Sort)
+        assert plan.keys[0].index == 1
+
+    def test_order_by_unselected_projects_away(self, analyzer):
+        plan = plan_for(analyzer, "SELECT a FROM t ORDER BY c DESC")
+        assert plan.schema.names() == ["a"]
+
+    def test_limit_fuses_into_sort(self, analyzer):
+        plan = plan_for(analyzer, "SELECT a FROM t ORDER BY a LIMIT 5")
+        sorts = [n for n in rel.walk(plan) if isinstance(n, rel.Sort)]
+        assert sorts[0].fetch == 5
+        assert not any(isinstance(n, rel.Limit) for n in rel.walk(plan))
+
+    def test_bare_limit(self, analyzer):
+        plan = plan_for(analyzer, "SELECT a FROM t LIMIT 3")
+        assert isinstance(plan, rel.Limit)
+
+
+class TestSetOps:
+    def test_type_alignment_casts(self, analyzer):
+        plan = plan_for(analyzer,
+                        "SELECT a FROM t UNION ALL SELECT c FROM t")
+        assert plan.schema[0].dtype == DOUBLE
+
+    def test_width_mismatch(self, analyzer):
+        with pytest.raises(AnalysisError):
+            plan_for(analyzer, "SELECT a, b FROM t UNION SELECT a FROM t")
+
+    def test_union_distinct_adds_aggregate(self, analyzer):
+        plan = plan_for(analyzer, "SELECT a FROM t UNION SELECT k FROM u")
+        assert isinstance(plan, rel.Aggregate)
+
+
+class TestLegacyGating:
+    @pytest.fixture
+    def legacy(self, hms):
+        return Analyzer(hms, HiveConf.legacy_profile())
+
+    def test_order_by_unselected_gated(self, legacy):
+        with pytest.raises(UnsupportedFeatureError):
+            legacy.analyze_query(parse_query("SELECT a FROM t ORDER BY c"))
+
+    def test_nonequi_correlation_gated(self, legacy):
+        with pytest.raises(UnsupportedFeatureError):
+            legacy.analyze_query(parse_query(
+                "SELECT a FROM t WHERE EXISTS "
+                "(SELECT 1 FROM u WHERE u.x > t.a)"))
+
+    def test_equi_correlation_allowed(self, legacy):
+        legacy.analyze_query(parse_query(
+            "SELECT a FROM t WHERE EXISTS "
+            "(SELECT 1 FROM u WHERE u.k = t.a)"))

@@ -1,0 +1,154 @@
+"""Benchmark substrate: generators produce coherent data, every query
+
+parses/analyzes/executes on the v3 profile, and the harness reports
+sensible numbers.
+"""
+
+import pytest
+
+import repro
+from repro.bench import (SSB_QUERIES, TPCDS_QUERIES, SsbScale, TpcdsScale,
+                         create_ssb_warehouse, create_tpcds_warehouse,
+                         run_query_set)
+from repro.bench.harness import (average_speedup, geometric_mean_speedup,
+                                 BenchmarkRun, QueryTiming,
+                                 render_comparison)
+from repro.bench.ssb import SSB_FLAT_MV_SELECT, generate_ssb_data
+from repro.bench.tpcds import generate_tpcds_data, legacy_supported_queries
+from repro.config import HiveConf
+
+
+class TestTpcdsGenerator:
+    def test_row_counts_match_scale(self):
+        scale = TpcdsScale.tiny()
+        data = generate_tpcds_data(scale)
+        assert len(data["store_sales"]) == scale.store_sales
+        assert len(data["date_dim"]) == scale.days
+        assert len(data["item"]) == scale.items
+
+    def test_referential_integrity(self):
+        scale = TpcdsScale.tiny()
+        data = generate_tpcds_data(scale)
+        item_keys = {r[0] for r in data["item"]}
+        date_keys = {r[0] for r in data["date_dim"]}
+        for row in data["store_sales"]:
+            assert row[1] in item_keys          # ss_item_sk
+            assert row[11] in date_keys         # partition column
+        sale_tickets = {r[5] for r in data["store_sales"]}
+        for row in data["store_returns"]:
+            assert row[2] in sale_tickets       # returns reference sales
+
+    def test_deterministic(self):
+        a = generate_tpcds_data(TpcdsScale.tiny())
+        b = generate_tpcds_data(TpcdsScale.tiny())
+        assert a == b
+
+    def test_half_of_queries_require_v3(self):
+        gated = [q for q in TPCDS_QUERIES if q.requires_v3]
+        assert len(gated) >= len(TPCDS_QUERIES) // 3
+        assert len(legacy_supported_queries()) + len(gated) == len(
+            TPCDS_QUERIES)
+
+
+class TestSsbGenerator:
+    def test_shapes(self):
+        scale = SsbScale.tiny()
+        data = generate_ssb_data(scale)
+        assert len(data["lineorder"]) == scale.lineorders
+        assert len(data["ssb_customer"]) == scale.customers
+        date_keys = {r[0] for r in data["ssb_date"]}
+        for row in data["lineorder"]:
+            assert row[4] in date_keys
+
+    def test_thirteen_queries(self):
+        assert len(SSB_QUERIES) == 13
+        names = [name for name, _ in SSB_QUERIES]
+        assert names[0] == "q1.1" and names[-1] == "q4.3"
+
+
+@pytest.fixture(scope="module")
+def tpcds_session():
+    server = repro.HiveServer2(HiveConf.v3_profile())
+    return create_tpcds_warehouse(server, TpcdsScale.tiny())
+
+
+class TestWorkloadExecution:
+    def test_every_tpcds_query_runs_on_v3(self, tpcds_session):
+        run = run_query_set(tpcds_session, TPCDS_QUERIES, "v3",
+                            warm_runs=0)
+        failures = [t for t in run.timings if not t.succeeded]
+        assert failures == []
+
+    def test_legacy_failures_match_annotations(self):
+        server = repro.HiveServer2(HiveConf.legacy_profile())
+        session = create_tpcds_warehouse(server, TpcdsScale.tiny())
+        run = run_query_set(session, TPCDS_QUERIES, "legacy", warm_runs=0)
+        by_name = {q.name: q.requires_v3 for q in TPCDS_QUERIES}
+        for timing in run.timings:
+            assert timing.succeeded == (not by_name[timing.name]), \
+                timing.name
+
+    def test_ssb_queries_and_mv(self):
+        server = repro.HiveServer2(HiveConf.v3_profile())
+        session = create_ssb_warehouse(server, SsbScale.tiny())
+        session.execute(
+            f"CREATE MATERIALIZED VIEW ssb_flat AS {SSB_FLAT_MV_SELECT}")
+        run = run_query_set(session, SSB_QUERIES, "ssb", warm_runs=0)
+        assert all(t.succeeded for t in run.timings)
+        # every query was answered from the flat view
+        session.conf.results_cache_enabled = False
+        for name, sql in SSB_QUERIES:
+            result = session.execute(sql)
+            assert result.views_used == ["default.ssb_flat"], name
+
+    def test_ssb_mv_rewrites_are_correct(self):
+        """Ground truth: same answers with rewriting disabled."""
+        server = repro.HiveServer2(HiveConf.v3_profile())
+        session = create_ssb_warehouse(server, SsbScale.tiny())
+        session.conf.results_cache_enabled = False
+        expected = {}
+        for name, sql in SSB_QUERIES:
+            expected[name] = session.execute(sql).rows
+        session.execute(
+            f"CREATE MATERIALIZED VIEW ssb_flat AS {SSB_FLAT_MV_SELECT}")
+        for name, sql in SSB_QUERIES:
+            result = session.execute(sql)
+            assert result.views_used, name
+            assert _approx(result.rows, expected[name]), name
+
+
+def _approx(left, right) -> bool:
+    if len(left) != len(right):
+        return False
+    for l, r in zip(left, right):
+        if len(l) != len(r):
+            return False
+        for a, b in zip(l, r):
+            if isinstance(a, float) and isinstance(b, float):
+                if abs(a - b) > 1e-6 * max(1.0, abs(a), abs(b)):
+                    return False
+            elif a != b:
+                return False
+    return True
+
+
+class TestHarness:
+    def test_render_and_speedups(self):
+        base = BenchmarkRun("slow", [QueryTiming("q1", 10.0),
+                                     QueryTiming("q2", 4.0),
+                                     QueryTiming("q3", None, error="X")])
+        fast = BenchmarkRun("fast", [QueryTiming("q1", 2.0),
+                                     QueryTiming("q2", 2.0),
+                                     QueryTiming("q3", 1.0)])
+        assert average_speedup(base, fast) == pytest.approx(3.5)
+        assert geometric_mean_speedup(base, fast) == pytest.approx(
+            (5 * 2) ** 0.5)
+        text = render_comparison([base, fast], "demo")
+        assert "FAIL(X)" in text
+        assert "q1" in text and "TOTAL" in text
+
+    def test_totals_skip_failures(self):
+        run = BenchmarkRun("x", [QueryTiming("a", 1.0),
+                                 QueryTiming("b", None, error="E")])
+        assert run.total_seconds() == 1.0
+        assert run.succeeded_count() == 1

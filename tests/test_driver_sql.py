@@ -1,0 +1,244 @@
+"""End-to-end SQL through HiveServer2: DDL, DML, query correctness."""
+
+import datetime
+
+import pytest
+
+import repro
+from repro.config import HiveConf
+from repro.errors import (AnalysisError, CatalogError, ExecutionError,
+                          ParseError)
+
+
+class TestDdl:
+    def test_create_show_describe_drop(self, session):
+        session.execute("CREATE TABLE t (a INT, b STRING)")
+        assert session.execute("SHOW TABLES").rows == [("t",)]
+        described = session.execute("DESCRIBE t").rows
+        assert [(r[0], r[1]) for r in described] == [
+            ("a", "int"), ("b", "string")]
+        session.execute("DROP TABLE t")
+        assert session.execute("SHOW TABLES").rows == []
+
+    def test_if_not_exists_and_if_exists(self, session):
+        session.execute("CREATE TABLE t (a INT)")
+        session.execute("CREATE TABLE IF NOT EXISTS t (a INT)")
+        with pytest.raises(CatalogError):
+            session.execute("CREATE TABLE t (a INT)")
+        session.execute("DROP TABLE t")
+        session.execute("DROP TABLE IF EXISTS t")
+        with pytest.raises(CatalogError):
+            session.execute("DROP TABLE t")
+
+    def test_ctas(self, session):
+        session.execute("CREATE TABLE src (a INT, b STRING)")
+        session.execute("INSERT INTO src VALUES (1,'x'), (2,'y')")
+        session.execute("CREATE TABLE dst AS "
+                        "SELECT a * 10 big, b FROM src WHERE a > 1")
+        assert session.execute("SELECT * FROM dst").rows == [(20, "y")]
+
+    def test_transactional_property_respected(self, session):
+        session.execute("CREATE TABLE nta (a INT) "
+                        "TBLPROPERTIES ('transactional'='false')")
+        table = session.hms.get_table("nta")
+        assert not table.is_acid
+        session.execute("CREATE TABLE ta (a INT)")
+        assert session.hms.get_table("ta").is_acid
+
+    def test_create_database_and_qualified_use(self, session):
+        session.execute("CREATE DATABASE mart")
+        session.execute("CREATE TABLE mart.facts (v INT)")
+        session.execute("INSERT INTO mart.facts VALUES (5)")
+        assert session.execute(
+            "SELECT v FROM mart.facts").rows == [(5,)]
+
+
+class TestInsert:
+    def test_values_with_column_list(self, session):
+        session.execute("CREATE TABLE t (a INT, b STRING, c DOUBLE)")
+        session.execute("INSERT INTO t (c, a) VALUES (1.5, 7)")
+        assert session.execute("SELECT a, b, c FROM t").rows == [
+            (7, None, 1.5)]
+
+    def test_insert_select(self, session):
+        session.execute("CREATE TABLE src (a INT)")
+        session.execute("CREATE TABLE dst (a INT)")
+        session.execute("INSERT INTO src VALUES (1), (2), (3)")
+        result = session.execute(
+            "INSERT INTO dst SELECT a * 2 FROM src WHERE a < 3")
+        assert result.rows_affected == 2
+        assert sorted(session.execute("SELECT a FROM dst").rows) == [
+            (2,), (4,)]
+
+    def test_static_partition_insert(self, session):
+        session.execute("CREATE TABLE p (v INT) PARTITIONED BY (ds INT)")
+        session.execute("INSERT INTO p PARTITION (ds=7) VALUES (1), (2)")
+        table = session.hms.get_table("p")
+        assert (7,) in table.partitions
+        assert session.execute(
+            "SELECT v, ds FROM p ORDER BY v").rows == [(1, 7), (2, 7)]
+
+    def test_dynamic_partition_insert(self, session):
+        session.execute("CREATE TABLE p (v INT) PARTITIONED BY (ds INT)")
+        session.execute("INSERT INTO p VALUES (1, 10), (2, 20), (3, 10)")
+        table = session.hms.get_table("p")
+        assert set(table.partitions) == {(10,), (20,)}
+        rows = session.execute("SELECT ds, COUNT(*) FROM p GROUP BY ds "
+                               "ORDER BY ds").rows
+        assert rows == [(10, 2), (20, 1)]
+
+    def test_insert_overwrite(self, session):
+        session.execute("CREATE TABLE t (a INT)")
+        session.execute("INSERT INTO t VALUES (1), (2)")
+        session.execute("INSERT OVERWRITE TABLE t SELECT 99")
+        assert session.execute("SELECT a FROM t").rows == [(99,)]
+
+    def test_values_must_be_constant(self, session):
+        session.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(AnalysisError):
+            session.execute("INSERT INTO t VALUES (a + 1)")
+
+
+class TestUpdateDelete:
+    @pytest.fixture
+    def table(self, session):
+        session.execute("CREATE TABLE t (a INT, b STRING, c DOUBLE)")
+        session.execute("INSERT INTO t VALUES "
+                        "(1,'x',1.0), (2,'y',2.0), (3,'x',3.0)")
+        return session
+
+    def test_update_with_expression(self, table):
+        result = table.execute("UPDATE t SET c = c * 10, b = upper(b) "
+                               "WHERE a >= 2")
+        assert result.rows_affected == 2
+        rows = table.execute("SELECT a, b, c FROM t ORDER BY a").rows
+        assert rows == [(1, "x", 1.0), (2, "Y", 20.0), (3, "X", 30.0)]
+
+    def test_delete_all(self, table):
+        assert table.execute("DELETE FROM t").rows_affected == 3
+        assert table.execute("SELECT COUNT(*) FROM t").rows == [(0,)]
+
+    def test_update_non_acid_rejected(self, session):
+        session.execute("CREATE TABLE nta (a INT) "
+                        "TBLPROPERTIES ('transactional'='false')")
+        session.execute("INSERT INTO nta VALUES (1)")
+        with pytest.raises(ExecutionError):
+            session.execute("UPDATE nta SET a = 2")
+        with pytest.raises(ExecutionError):
+            session.execute("DELETE FROM nta")
+
+    def test_update_partitioned_table(self, session):
+        session.execute("CREATE TABLE p (v INT) PARTITIONED BY (ds INT)")
+        session.execute("INSERT INTO p VALUES (1, 10), (2, 20)")
+        result = session.execute("UPDATE p SET v = v + 100 WHERE ds = 20")
+        assert result.rows_affected == 1
+        assert sorted(session.execute("SELECT v FROM p").rows) == [
+            (1,), (102,)]
+
+    def test_delete_with_predicate_on_partition_column(self, session):
+        session.execute("CREATE TABLE p (v INT) PARTITIONED BY (ds INT)")
+        session.execute("INSERT INTO p VALUES (1, 10), (2, 20), (3, 20)")
+        assert session.execute(
+            "DELETE FROM p WHERE ds = 20").rows_affected == 2
+
+
+class TestMerge:
+    def test_full_merge(self, session):
+        session.execute("CREATE TABLE t (id INT, v DOUBLE, note STRING)")
+        session.execute("INSERT INTO t VALUES "
+                        "(1, 1.0, 'keep'), (2, 2.0, 'upd'), "
+                        "(3, 3.0, 'del')")
+        session.execute("CREATE TABLE s (id INT, v DOUBLE, del INT)")
+        session.execute("INSERT INTO s VALUES "
+                        "(2, 20.0, 0), (3, 0.0, 1), (4, 40.0, 0)")
+        result = session.execute("""
+            MERGE INTO t USING s ON t.id = s.id
+            WHEN MATCHED AND s.del = 1 THEN DELETE
+            WHEN MATCHED THEN UPDATE SET v = s.v
+            WHEN NOT MATCHED THEN INSERT VALUES (s.id, s.v, 'new')""")
+        assert result.rows_affected == 3
+        rows = session.execute("SELECT id, v, note FROM t ORDER BY id").rows
+        assert rows == [(1, 1.0, "keep"), (2, 20.0, "upd"),
+                        (4, 40.0, "new")]
+
+    def test_merge_duplicate_match_rejected(self, session):
+        session.execute("CREATE TABLE t (id INT, v INT)")
+        session.execute("INSERT INTO t VALUES (1, 0)")
+        session.execute("CREATE TABLE s (id INT, v INT)")
+        session.execute("INSERT INTO s VALUES (1, 1), (1, 2)")
+        with pytest.raises(ExecutionError, match="multiple source rows"):
+            session.execute("MERGE INTO t USING s ON t.id = s.id "
+                            "WHEN MATCHED THEN UPDATE SET v = s.v")
+
+
+class TestQueries:
+    @pytest.fixture
+    def data(self, loaded_session):
+        return loaded_session
+
+    def test_projection_and_filter(self, data):
+        rows = data.execute(
+            "SELECT a, upper(b) FROM t WHERE c > 2 ORDER BY a").rows
+        assert rows == [(2, "TWO"), (3, "THREE"), (4, "FOUR")]
+
+    def test_aggregate_with_nulls(self, data):
+        rows = data.execute(
+            "SELECT COUNT(*), COUNT(b), SUM(c), AVG(c) FROM t").rows
+        assert rows == [(5, 4, 12.0, 3.0)]
+
+    def test_join_inner_and_outer(self, data):
+        inner = data.execute(
+            "SELECT t.a, u.x FROM t JOIN u ON t.a = u.k ORDER BY 1, 2"
+        ).rows
+        assert inner == [(1, 10), (2, 20), (2, 25), (3, 30)]
+        left = data.execute(
+            "SELECT t.a, u.x FROM t LEFT JOIN u ON t.a = u.k "
+            "WHERE t.a >= 4 ORDER BY t.a").rows
+        assert left == [(4, None), (5, None)]
+
+    def test_date_functions(self, data):
+        rows = data.execute(
+            "SELECT EXTRACT(month FROM d) m, COUNT(*) FROM t "
+            "GROUP BY EXTRACT(month FROM d) ORDER BY m").rows
+        assert rows == [(1, 3), (2, 2)]
+
+    def test_case_and_in(self, data):
+        rows = data.execute(
+            "SELECT a, CASE WHEN a IN (1, 3, 5) THEN 'odd' ELSE 'even' "
+            "END FROM t ORDER BY a").rows
+        assert [r[1] for r in rows] == ["odd", "even", "odd", "even",
+                                        "odd"]
+
+    def test_cte_and_subquery(self, data):
+        rows = data.execute(
+            "WITH big AS (SELECT * FROM t WHERE a > 2) "
+            "SELECT COUNT(*) FROM big WHERE a IN "
+            "(SELECT k FROM u)").rows
+        assert rows == [(1,)]
+
+    def test_window_over_aggregate(self, data):
+        rows = data.execute(
+            "SELECT b, cnt, RANK() OVER (ORDER BY cnt DESC) r FROM "
+            "(SELECT b, COUNT(*) cnt FROM t WHERE b IS NOT NULL "
+            "GROUP BY b) x ORDER BY r, b").rows
+        assert all(r[2] == 1 for r in rows)      # all counts equal: tie
+
+    def test_explain_runs(self, data):
+        rows = data.execute(
+            "EXPLAIN SELECT b, COUNT(*) FROM t GROUP BY b").rows
+        assert any("Aggregate" in r[0] for r in rows)
+        assert any("TableScan" in r[0] for r in rows)
+
+    def test_set_config_changes_behaviour(self, data):
+        data.execute("SET hive.vectorized.execution.enabled=false")
+        assert data.conf.vectorized_execution is False
+        with pytest.raises(AnalysisError):
+            data.execute("SET no.such.key=1")
+
+    def test_parse_error_surfaces(self, data):
+        with pytest.raises(ParseError):
+            data.execute("SELEKT 1")
+
+    def test_order_by_date_column(self, data):
+        rows = data.execute("SELECT d FROM t ORDER BY d DESC LIMIT 1").rows
+        assert rows == [(datetime.date(2020, 2, 2),)]

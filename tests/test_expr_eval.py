@@ -1,0 +1,202 @@
+"""Vectorized expression evaluation, including NULL semantics."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.common.rows import Column, Schema
+from repro.common.types import (BIGINT, BOOLEAN, DATE, DOUBLE, INT,
+                                STRING)
+from repro.common.vector import VectorBatch
+from repro.exec.expr_eval import evaluate, evaluate_predicate
+from repro.plan.rexnodes import RexCall, RexInputRef, RexLiteral, make_call
+
+
+@pytest.fixture
+def batch():
+    schema = Schema([Column("i", INT), Column("f", DOUBLE),
+                     Column("s", STRING), Column("d", DATE),
+                     Column("flag", BOOLEAN)])
+    rows = [
+        (1, 1.5, "apple", datetime.date(2020, 1, 15), True),
+        (2, 2.5, "banana", datetime.date(2020, 6, 30), False),
+        (None, None, None, None, None),
+        (-4, 0.25, "apricot", datetime.date(2021, 12, 1), True),
+    ]
+    return VectorBatch.from_rows(schema, rows)
+
+
+def col(i, dtype):
+    return RexInputRef(i, dtype)
+
+
+def lit(value, dtype):
+    return RexLiteral(value, dtype)
+
+
+class TestArithmetic:
+    def test_add_mul(self, batch):
+        out = evaluate(RexCall("+", (col(0, INT), lit(10, INT)), INT),
+                       batch)
+        assert out.to_values() == [11, 12, None, 6]
+        out = evaluate(RexCall("*", (col(1, DOUBLE), lit(2, INT)),
+                               DOUBLE), batch)
+        assert out.to_values() == [3.0, 5.0, None, 0.5]
+
+    def test_divide_by_zero_is_null(self, batch):
+        out = evaluate(RexCall("/", (col(0, INT), lit(0, INT)), DOUBLE),
+                       batch)
+        assert out.to_values() == [None, None, None, None]
+
+    def test_modulo(self, batch):
+        out = evaluate(RexCall("%", (col(0, INT), lit(2, INT)), INT),
+                       batch)
+        assert out.to_values() == [1, 0, None, 0]
+
+    def test_negate(self, batch):
+        out = evaluate(RexCall("NEGATE", (col(0, INT),), INT), batch)
+        assert out.to_values() == [-1, -2, None, 4]
+
+
+class TestComparisonAndLogic:
+    def test_comparison_null_propagates(self, batch):
+        out = evaluate(make_call(">", col(0, INT), lit(1, INT)), batch)
+        assert out.to_values() == [False, True, None, False]
+
+    def test_string_compare(self, batch):
+        out = evaluate(make_call("=", col(2, STRING),
+                                 lit("banana", STRING)), batch)
+        assert out.to_values() == [False, True, None, False]
+
+    def test_three_valued_and(self, batch):
+        # flag AND (i > 0): null AND false must be false-ish in filters
+        expr = make_call("AND", col(4, BOOLEAN),
+                         make_call(">", col(0, INT), lit(0, INT)))
+        mask = evaluate_predicate(expr, batch)
+        assert mask.tolist() == [True, False, False, False]
+
+    def test_false_and_null_is_false(self, batch):
+        expr = make_call("AND", lit(False, BOOLEAN), col(4, BOOLEAN))
+        out = evaluate(expr, batch)
+        assert out.to_values() == [False, False, False, False]
+
+    def test_true_or_null_is_true(self, batch):
+        expr = make_call("OR", lit(True, BOOLEAN), col(4, BOOLEAN))
+        out = evaluate(expr, batch)
+        assert out.to_values() == [True, True, True, True]
+
+    def test_is_null(self, batch):
+        out = evaluate(make_call("IS_NULL", col(0, INT)), batch)
+        assert out.to_values() == [False, False, True, False]
+        out = evaluate(make_call("IS_NOT_NULL", col(0, INT)), batch)
+        assert out.to_values() == [True, True, False, True]
+
+
+class TestPredicates:
+    def test_in_list(self, batch):
+        out = evaluate(make_call("IN", col(0, INT), lit(1, INT),
+                                 lit(-4, INT)), batch)
+        assert out.to_values() == [True, False, None, True]
+
+    def test_like(self, batch):
+        out = evaluate(make_call("LIKE", col(2, STRING),
+                                 lit("ap%", STRING)), batch)
+        assert out.to_values() == [True, False, None, True]
+        out = evaluate(make_call("LIKE", col(2, STRING),
+                                 lit("_anana", STRING)), batch)
+        assert out.to_values() == [False, True, None, False]
+
+    def test_like_anchored(self, batch):
+        out = evaluate(make_call("LIKE", col(2, STRING),
+                                 lit("pple", STRING)), batch)
+        assert out.to_values()[0] is False     # no implicit wildcards
+
+
+class TestConditionals:
+    def test_case(self, batch):
+        expr = RexCall("CASE", (
+            make_call(">", col(0, INT), lit(1, INT)),
+            lit("big", STRING),
+            make_call("=", col(0, INT), lit(1, INT)),
+            lit("one", STRING),
+            lit("small", STRING)), STRING)
+        out = evaluate(expr, batch)
+        assert out.to_values() == ["one", "big", "small", "small"]
+
+    def test_coalesce(self, batch):
+        expr = RexCall("COALESCE", (col(0, INT), lit(99, INT)), INT)
+        out = evaluate(expr, batch)
+        assert out.to_values() == [1, 2, 99, -4]
+
+    def test_if(self, batch):
+        expr = RexCall("IF", (col(4, BOOLEAN), lit(1, INT),
+                              lit(0, INT)), INT)
+        assert evaluate(expr, batch).to_values() == [1, 0, 0, 1]
+
+    def test_nullif(self, batch):
+        expr = RexCall("NULLIF", (col(0, INT), lit(2, INT)), INT)
+        assert evaluate(expr, batch).to_values() == [1, None, None, -4]
+
+
+class TestCastsAndTemporal:
+    def test_cast_int_to_string(self, batch):
+        out = evaluate(RexCall("CAST", (col(0, INT),), STRING), batch)
+        assert out.to_values() == ["1", "2", None, "-4"]
+
+    def test_cast_string_to_int_bad_values_null(self, batch):
+        out = evaluate(RexCall("CAST", (col(2, STRING),), INT), batch)
+        assert out.to_values() == [None, None, None, None]
+
+    def test_cast_int_to_double(self, batch):
+        out = evaluate(RexCall("CAST", (col(0, INT),), DOUBLE), batch)
+        assert out.to_values() == [1.0, 2.0, None, -4.0]
+
+    def test_extract_units(self, batch):
+        year = evaluate(RexCall("EXTRACT_YEAR", (col(3, DATE),), INT),
+                        batch)
+        assert year.to_values() == [2020, 2020, None, 2021]
+        month = evaluate(RexCall("EXTRACT_MONTH", (col(3, DATE),), INT),
+                         batch)
+        assert month.to_values() == [1, 6, None, 12]
+        day = evaluate(RexCall("EXTRACT_DAY", (col(3, DATE),), INT),
+                       batch)
+        assert day.to_values() == [15, 30, None, 1]
+        quarter = evaluate(RexCall("EXTRACT_QUARTER", (col(3, DATE),),
+                                   INT), batch)
+        assert quarter.to_values() == [1, 2, None, 4]
+
+    def test_date_add_days(self, batch):
+        expr = RexCall("DATE_ADD_DAYS", (col(3, DATE), lit(10, INT)),
+                       DATE)
+        out = evaluate(expr, batch)
+        assert out.value(0) == datetime.date(2020, 1, 25)
+
+    def test_date_add_months_clamps_day(self):
+        schema = Schema([Column("d", DATE)])
+        batch = VectorBatch.from_rows(schema,
+                                      [(datetime.date(2020, 1, 31),)])
+        expr = RexCall("DATE_ADD_MONTHS", (col(0, DATE), lit(1, INT)),
+                       DATE)
+        assert evaluate(expr, batch).value(0) == datetime.date(2020, 2, 29)
+
+
+class TestStringFunctions:
+    def test_upper_lower_length_trim(self, batch):
+        assert evaluate(RexCall("UPPER", (col(2, STRING),), STRING),
+                        batch).to_values() == [
+            "APPLE", "BANANA", None, "APRICOT"]
+        assert evaluate(RexCall("LENGTH", (col(2, STRING),), INT),
+                        batch).to_values() == [5, 6, None, 7]
+
+    def test_substr(self, batch):
+        expr = RexCall("SUBSTR", (col(2, STRING), lit(2, INT),
+                                  lit(3, INT)), STRING)
+        assert evaluate(expr, batch).to_values() == [
+            "ppl", "ana", None, "pri"]
+
+    def test_concat(self, batch):
+        expr = RexCall("CONCAT", (col(2, STRING), lit("!", STRING)),
+                       STRING)
+        assert evaluate(expr, batch).to_values() == [
+            "apple!", "banana!", None, "apricot!"]

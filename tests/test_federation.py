@@ -1,0 +1,219 @@
+"""Federation: mini-Druid engine, storage handlers, pushdown (Section 6)."""
+
+import datetime
+
+import pytest
+
+import repro
+from repro.common.rows import Column, Schema
+from repro.common.types import DATE, DOUBLE, INT, STRING
+from repro.config import HiveConf
+from repro.errors import FederationError
+from repro.federation.druid import (DruidEngine, DruidQuery,
+                                    DruidStorageHandler)
+from repro.federation.jdbc import JdbcStorageHandler
+
+
+@pytest.fixture
+def engine():
+    engine = DruidEngine()
+    schema = Schema([Column("__t", DATE), Column("dim1", STRING),
+                     Column("dim2", INT), Column("m1", DOUBLE)])
+    ds = engine.create_datasource("src", schema, "__t",
+                                  ["dim1", "dim2"], ["m1"])
+    rows = []
+    for i in range(200):
+        rows.append((datetime.date(2018, 1 + i % 12, 1 + i % 28),
+                     f"d{i % 4}", i % 10, float(i)))
+    ds.ingest(rows)
+    return engine
+
+
+class TestDruidEngine:
+    def test_segments_partitioned_by_time(self, engine):
+        ds = engine.get("src")
+        assert len(ds.segments) > 1
+        assert ds.num_rows == 200
+
+    def test_scan_query(self, engine):
+        query = DruidQuery("scan", "src", columns=["dim1", "m1"])
+        rows, cost = engine.execute(query)
+        assert len(rows) == 200
+        assert cost > 0
+
+    def test_selector_filter_uses_index(self, engine):
+        query = DruidQuery("groupBy", "src", dimensions=["dim1"],
+                           aggregations=[{"type": "doubleSum",
+                                          "name": "s",
+                                          "fieldName": "m1"}],
+                           filter={"type": "selector",
+                                   "dimension": "dim1", "value": "d1"})
+        rows, _ = engine.execute(query)
+        assert len(rows) == 1 and rows[0][0] == "d1"
+
+    def test_in_and_bound_filters(self, engine):
+        query = DruidQuery(
+            "groupBy", "src", dimensions=["dim1"],
+            aggregations=[{"type": "count", "name": "n"}],
+            filter={"type": "and", "fields": [
+                {"type": "in", "dimension": "dim2", "values": [1, 2]},
+                {"type": "bound", "dimension": "m1", "lower": 50.0},
+            ]})
+        rows, _ = engine.execute(query)
+        assert all(n > 0 for _, n in rows)
+
+    def test_interval_pruning(self, engine):
+        everything, cost_all = engine.execute(
+            DruidQuery("scan", "src", columns=["m1"]))
+        lo = int(datetime.datetime(2018, 1, 1).timestamp() * 1000)
+        hi = int(datetime.datetime(2018, 2, 1).timestamp() * 1000)
+        some, cost_some = engine.execute(
+            DruidQuery("scan", "src", columns=["m1"],
+                       intervals=[(lo, hi)]))
+        assert len(some) < len(everything)
+
+    def test_limit_spec_ordering(self, engine):
+        query = DruidQuery(
+            "topN", "src", dimensions=["dim1"],
+            aggregations=[{"type": "doubleSum", "name": "s",
+                           "fieldName": "m1"}],
+            limit_spec={"limit": 2, "columns": [
+                {"dimension": "s", "direction": "descending"}]})
+        rows, _ = engine.execute(query)
+        assert len(rows) == 2
+        assert rows[0][1] >= rows[1][1]
+
+    def test_to_json_shape(self, engine):
+        query = DruidQuery(
+            "groupBy", "src", dimensions=["dim1"],
+            aggregations=[{"type": "floatSum", "name": "s",
+                           "fieldName": "m1"}],
+            limit_spec={"limit": 10, "columns": []})
+        text = query.to_json()
+        assert '"queryType": "groupBy"' in text
+        assert '"dataSource": "src"' in text
+
+    def test_unknown_datasource(self, engine):
+        with pytest.raises(FederationError):
+            engine.get("missing")
+
+
+@pytest.fixture
+def druid_session():
+    server = repro.HiveServer2(HiveConf.v3_profile())
+    server.register_storage_handler("druid",
+                                    DruidStorageHandler(DruidEngine()))
+    session = server.connect()
+    session.execute(
+        "CREATE EXTERNAL TABLE dt (d DATE, dim STRING, m DOUBLE) "
+        "STORED BY 'druid'")
+    session.execute(
+        "INSERT INTO dt VALUES "
+        "(DATE '2018-01-05', 'a', 1.0), (DATE '2018-01-06', 'b', 2.0), "
+        "(DATE '2018-02-01', 'a', 4.0), (DATE '2018-03-01', 'c', 8.0)")
+    session.conf.results_cache_enabled = False
+    return server, session
+
+
+class TestDruidHandler:
+    def test_scan_through_hive(self, druid_session):
+        _, session = druid_session
+        rows = session.execute("SELECT dim, m FROM dt ORDER BY m").rows
+        assert rows == [("a", 1.0), ("b", 2.0), ("a", 4.0), ("c", 8.0)]
+
+    def test_aggregate_pushdown_correctness(self, druid_session):
+        server, session = druid_session
+        sql = ("SELECT dim, SUM(m) s FROM dt WHERE d >= DATE '2018-01-06'"
+               " GROUP BY dim ORDER BY s DESC LIMIT 10")
+        pushed = session.execute(sql)
+        session.conf.federation_pushdown = False
+        local = session.execute(sql)
+        assert pushed.rows == local.rows == [
+            ("c", 8.0), ("a", 4.0), ("b", 2.0)]
+        # the pushed plan contains an engine query, the local one doesn't
+        from repro.plan.relnodes import find_scans
+        assert any(s.pushed_query is not None
+                   for s in find_scans(pushed.optimized.root))
+        assert all(s.pushed_query is None
+                   for s in find_scans(local.optimized.root))
+
+    def test_count_star_pushdown(self, druid_session):
+        _, session = druid_session
+        result = session.execute("SELECT COUNT(*) FROM dt WHERE dim = 'a'")
+        assert result.rows == [(2,)]
+
+    def test_unpushable_stays_in_hive(self, druid_session):
+        _, session = druid_session
+        # LIKE is not translatable: Hive filters locally, result correct
+        result = session.execute(
+            "SELECT COUNT(*) FROM dt WHERE dim LIKE 'a%'")
+        assert result.rows == [(2,)]
+
+    def test_schema_inference_from_datasource(self, druid_session):
+        server, session = druid_session
+        session.execute(
+            "CREATE EXTERNAL TABLE dt2 STORED BY 'druid' "
+            "TBLPROPERTIES ('druid.datasource'='dt')")
+        rows = session.execute("SELECT COUNT(*) FROM dt2").rows
+        assert rows == [(4,)]
+
+    def test_join_druid_with_native(self, druid_session):
+        _, session = druid_session
+        session.execute("CREATE TABLE names (dim STRING, fullname STRING)")
+        session.execute(
+            "INSERT INTO names VALUES ('a', 'alpha'), ('b', 'beta')")
+        rows = session.execute(
+            "SELECT n.fullname, SUM(dt.m) FROM dt JOIN names n "
+            "ON dt.dim = n.dim GROUP BY n.fullname ORDER BY 1").rows
+        assert rows == [("alpha", 5.0), ("beta", 2.0)]
+
+    def test_drop_external_table_drops_datasource(self, druid_session):
+        server, session = druid_session
+        handler = server.storage_handlers["druid"]
+        assert "dt" in handler.engine.datasources
+        session.execute("DROP TABLE dt")
+        assert "dt" not in handler.engine.datasources
+
+
+class TestJdbcHandler:
+    @pytest.fixture
+    def jdbc_session(self):
+        server = repro.HiveServer2(HiveConf.v3_profile())
+        server.register_storage_handler("jdbc", JdbcStorageHandler())
+        session = server.connect()
+        session.execute("CREATE EXTERNAL TABLE jt (k INT, v STRING, "
+                        "amt DOUBLE) STORED BY 'jdbc'")
+        session.execute("INSERT INTO jt VALUES (1, 'x', 5.0), "
+                        "(2, 'y', 6.0), (3, 'x', 7.5)")
+        session.conf.results_cache_enabled = False
+        return server, session
+
+    def test_scan(self, jdbc_session):
+        _, session = jdbc_session
+        rows = session.execute("SELECT k, v FROM jt ORDER BY k").rows
+        assert rows == [(1, "x"), (2, "y"), (3, "x")]
+
+    def test_sql_generation_pushdown(self, jdbc_session):
+        _, session = jdbc_session
+        result = session.execute(
+            "SELECT v, SUM(amt) s FROM jt WHERE k > 1 GROUP BY v "
+            "ORDER BY v")
+        assert result.rows == [("x", 7.5), ("y", 6.0)]
+        from repro.plan.relnodes import find_scans
+        pushed = [s.pushed_query for s in
+                  find_scans(result.optimized.root)
+                  if s.pushed_query is not None]
+        assert pushed and "GROUP BY" in pushed[0]
+
+    def test_like_pushdown(self, jdbc_session):
+        _, session = jdbc_session
+        rows = session.execute(
+            "SELECT COUNT(*) FROM jt WHERE v LIKE 'x%'").rows
+        assert rows == [(2,)]
+
+    def test_rows_visible_in_sqlite(self, jdbc_session):
+        server, _ = jdbc_session
+        handler = server.storage_handlers["jdbc"]
+        count = handler.connection.execute(
+            "SELECT COUNT(*) FROM jt").fetchone()[0]
+        assert count == 3

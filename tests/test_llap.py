@@ -1,0 +1,132 @@
+"""LLAP cache (LRFU, validity), I/O elevator, metadata cache."""
+
+import pytest
+
+from repro.common.rows import Column, Schema
+from repro.common.types import INT, STRING
+from repro.formats.orc import OrcWriter
+from repro.fs import SimFileSystem
+from repro.llap.cache import ChunkKey, LlapCache
+from repro.llap.elevator import DirectReaderFactory, LlapReaderFactory
+
+
+def key(file_id=1, group=0, column="a", length=100):
+    return ChunkKey(file_id, length, group, column)
+
+
+class TestLlapCacheBasics:
+    def test_miss_then_hit(self):
+        cache = LlapCache(1000)
+        assert cache.get(key()) is None
+        cache.put(key(), "payload", 100)
+        assert cache.get(key()) == "payload"
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_capacity_enforced(self):
+        cache = LlapCache(250)
+        for i in range(5):
+            cache.put(key(file_id=i), f"p{i}", 100)
+        assert cache.used_bytes <= 250
+        assert len(cache) == 2
+        assert cache.stats.evictions == 3
+
+    def test_oversized_chunk_never_admitted(self):
+        cache = LlapCache(50)
+        assert not cache.put(key(), "big", 100)
+        assert len(cache) == 0
+
+    def test_file_identity_in_key(self):
+        cache = LlapCache(1000)
+        cache.put(key(file_id=1, length=100), "old", 10)
+        # a rewritten file has a new id/length: old chunk unreachable
+        assert cache.get(key(file_id=2, length=120)) is None
+
+    def test_invalidate_file(self):
+        cache = LlapCache(1000)
+        cache.put(key(file_id=7, group=0), "a", 10)
+        cache.put(key(file_id=7, group=1), "b", 10)
+        cache.put(key(file_id=8), "c", 10)
+        assert cache.invalidate_file(7) == 2
+        assert cache.get(key(file_id=8)) == "c"
+
+
+class TestLrfuEviction:
+    def test_frequent_chunk_survives(self):
+        cache = LlapCache(300, lrfu_lambda=0.1)
+        cache.put(key(file_id=1), "hot", 100)
+        cache.put(key(file_id=2), "cold", 100)
+        for _ in range(10):
+            cache.get(key(file_id=1))
+        cache.put(key(file_id=3), "new", 100)
+        cache.put(key(file_id=4), "newer", 100)
+        assert key(file_id=1) in cache        # frequency protected it
+        assert key(file_id=2) not in cache
+
+    def test_pure_lru_behaviour_at_high_lambda(self):
+        cache = LlapCache(200, lrfu_lambda=1.0)
+        cache.put(key(file_id=1), "a", 100)
+        cache.put(key(file_id=2), "b", 100)
+        cache.get(key(file_id=1))             # 1 is now most recent
+        cache.put(key(file_id=3), "c", 100)
+        assert key(file_id=1) in cache
+        assert key(file_id=2) not in cache
+
+
+@pytest.fixture
+def orc_file():
+    fs = SimFileSystem()
+    schema = Schema([Column("a", INT), Column("b", STRING)])
+    writer = OrcWriter(schema, row_group_size=10)
+    writer.write_rows([(i, f"s{i}") for i in range(50)])
+    fs.create("/data/f1", writer.finish())
+    return fs, schema
+
+
+class TestElevator:
+    def test_direct_factory_charges_disk(self, orc_file):
+        fs, schema = orc_file
+        factory = DirectReaderFactory(fs)
+        reader = factory.open("/data/f1")
+        reader.read_row_group(0, ["a"])
+        assert factory.io.disk_bytes > 0
+        assert factory.io.cache_bytes == 0
+
+    def test_llap_factory_caches_chunks(self, orc_file):
+        fs, schema = orc_file
+        factory = LlapReaderFactory(fs, LlapCache(1 << 20))
+        reader = factory.open("/data/f1")
+        reader.read_row_group(0, ["a", "b"])
+        cold_disk = factory.io.disk_bytes
+        reader2 = factory.open("/data/f1")
+        batch = reader2.read_row_group(0, ["a", "b"])
+        assert batch.num_rows == 10
+        assert factory.io.disk_bytes == cold_disk     # no new disk IO
+        assert factory.io.cache_bytes > 0
+
+    def test_chunk_granularity(self, orc_file):
+        """Caching column 'a' must not mark column 'b' cached."""
+        fs, schema = orc_file
+        factory = LlapReaderFactory(fs, LlapCache(1 << 20))
+        factory.open("/data/f1").read_row_group(0, ["a"])
+        disk_after_a = factory.io.disk_bytes
+        factory.open("/data/f1").read_row_group(0, ["b"])
+        assert factory.io.disk_bytes > disk_after_a
+
+    def test_metadata_cached_separately(self, orc_file):
+        fs, schema = orc_file
+        factory = LlapReaderFactory(fs, LlapCache(1 << 20))
+        factory.open("/data/f1")
+        opens_before = fs.stats.files_opened
+        factory.open("/data/f1")     # footer from metadata cache
+        assert fs.stats.files_opened == opens_before
+
+    def test_new_file_version_not_served_stale(self, orc_file):
+        fs, schema = orc_file
+        factory = LlapReaderFactory(fs, LlapCache(1 << 20))
+        factory.open("/data/f1").read_row_group(0, ["a"])
+        fs.delete("/data/f1")
+        writer = OrcWriter(schema, row_group_size=10)
+        writer.write_rows([(i + 1000, "zz") for i in range(10)])
+        fs.create("/data/f1", writer.finish())
+        batch = factory.open("/data/f1").read_row_group(0, ["a"])
+        assert batch.column("a").value(0) == 1000

@@ -1,0 +1,88 @@
+"""Hive multi-insert: FROM src INSERT INTO t1 ... INSERT INTO t2 ...
+
+(§3.2: "it is possible to write to multiple tables within a single
+transaction using Hive multi-insert statements").
+"""
+
+import pytest
+
+import repro
+from repro.errors import AnalysisError, TransactionError
+
+
+@pytest.fixture
+def session():
+    s = repro.connect()
+    s.conf.results_cache_enabled = False
+    s.execute("CREATE TABLE src (a INT, b STRING)")
+    s.execute("INSERT INTO src VALUES (1,'x'), (2,'y'), (3,'z')")
+    s.execute("CREATE TABLE t1 (a INT, b STRING)")
+    s.execute("CREATE TABLE t2 (b STRING)")
+    return s
+
+
+def test_branches_with_filters_and_expressions(session):
+    result = session.execute(
+        "FROM src INSERT INTO t1 SELECT a, b WHERE a > 1 "
+        "INSERT INTO t2 SELECT upper(b)")
+    assert result.rows_affected == 5
+    assert sorted(session.execute("SELECT * FROM t1").rows) == [
+        (2, "y"), (3, "z")]
+    assert sorted(session.execute("SELECT * FROM t2").rows) == [
+        ("X",), ("Y",), ("Z",)]
+
+
+def test_single_transaction_spans_targets(session):
+    session.execute("FROM src INSERT INTO t1 SELECT a, b "
+                    "INSERT INTO t2 SELECT b")
+    tm = session.server.hms.txn_manager
+    # one transaction allocated one WriteId per table — and both landed
+    assert tm.current_write_id("default.t1") == 1
+    assert tm.current_write_id("default.t2") == 1
+
+
+def test_atomicity_on_failure(session):
+    # second branch targets a missing table: nothing commits anywhere
+    with pytest.raises(Exception):
+        session.execute("FROM src INSERT INTO t1 SELECT a, b "
+                        "INSERT INTO missing SELECT b")
+    assert session.execute("SELECT COUNT(*) FROM t1").rows == [(0,)]
+
+
+def test_partitioned_target(session):
+    session.execute("CREATE TABLE p (v STRING) PARTITIONED BY (ds INT)")
+    session.execute("FROM src INSERT INTO p PARTITION (ds=7) SELECT b")
+    assert session.execute(
+        "SELECT COUNT(*) FROM p WHERE ds = 7").rows == [(3,)]
+
+
+def test_subquery_source(session):
+    result = session.execute(
+        "FROM (SELECT a * 10 big, b FROM src) s "
+        "INSERT INTO t1 SELECT big, b WHERE big >= 20")
+    assert result.rows_affected == 2
+    assert sorted(session.execute("SELECT a FROM t1").rows) == [
+        (20,), (30,)]
+
+
+def test_star_branch(session):
+    session.execute("FROM src INSERT INTO t1 SELECT *")
+    assert session.execute("SELECT COUNT(*) FROM t1").rows == [(3,)]
+
+
+def test_inside_multi_statement_transaction(session):
+    session.execute("BEGIN")
+    session.execute("FROM src INSERT INTO t1 SELECT a, b "
+                    "INSERT INTO t2 SELECT b")
+    # own writes visible, others isolated until COMMIT
+    assert session.execute("SELECT COUNT(*) FROM t1").rows == [(3,)]
+    other = session.server.connect()
+    other.conf.results_cache_enabled = False
+    assert other.execute("SELECT COUNT(*) FROM t1").rows == [(0,)]
+    session.execute("COMMIT")
+    assert other.execute("SELECT COUNT(*) FROM t2").rows == [(3,)]
+
+
+def test_overwrite_rejected(session):
+    with pytest.raises(TransactionError):
+        session.execute("FROM src INSERT OVERWRITE TABLE t1 SELECT a, b")

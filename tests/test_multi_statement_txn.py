@@ -1,0 +1,169 @@
+"""Multi-statement transactions (the §9 roadmap item, implemented).
+
+BEGIN/START TRANSACTION ... COMMIT/ROLLBACK spanning several DML
+statements, with read-your-own-writes, snapshot-stable reads, deferred
+statistics, per-statement delta directories (stmtId), and
+first-commit-wins conflicts at COMMIT.
+"""
+
+import pytest
+
+import repro
+from repro.errors import TransactionError, WriteConflictError
+
+
+@pytest.fixture
+def env():
+    server = repro.HiveServer2()
+    session = server.connect()
+    session.conf.results_cache_enabled = False
+    session.execute("CREATE TABLE t (a INT, b STRING)")
+    session.execute("INSERT INTO t VALUES (1, 'base'), (2, 'base')")
+    other = server.connect()
+    other.conf.results_cache_enabled = False
+    return server, session, other
+
+
+class TestLifecycle:
+    def test_read_your_own_writes(self, env):
+        _, session, _ = env
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (3, 'new')")
+        rows = session.execute("SELECT a FROM t ORDER BY a").rows
+        assert rows == [(1,), (2,), (3,)]
+        session.execute("COMMIT")
+
+    def test_isolation_until_commit(self, env):
+        _, session, other = env
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (3, 'new')")
+        session.execute("UPDATE t SET b = 'upd' WHERE a = 1")
+        assert other.execute("SELECT COUNT(*) FROM t").rows == [(2,)]
+        assert other.execute(
+            "SELECT b FROM t WHERE a = 1").rows == [("base",)]
+        session.execute("COMMIT")
+        assert other.execute("SELECT COUNT(*) FROM t").rows == [(3,)]
+        assert other.execute(
+            "SELECT b FROM t WHERE a = 1").rows == [("upd",)]
+
+    def test_rollback_discards_everything(self, env):
+        _, session, _ = env
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (3, 'x')")
+        session.execute("DELETE FROM t WHERE a = 1")
+        session.execute("ROLLBACK")
+        rows = session.execute("SELECT a, b FROM t ORDER BY a").rows
+        assert rows == [(1, "base"), (2, "base")]
+
+    def test_update_own_insert(self, env):
+        _, session, _ = env
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (9, 'fresh')")
+        updated = session.execute(
+            "UPDATE t SET b = 'patched' WHERE a = 9")
+        assert updated.rows_affected == 1
+        session.execute("COMMIT")
+        assert session.execute(
+            "SELECT b FROM t WHERE a = 9").rows == [("patched",)]
+
+    def test_snapshot_stable_for_reads(self, env):
+        _, session, other = env
+        session.execute("BEGIN")
+        before = session.execute("SELECT COUNT(*) FROM t").rows
+        other.execute("INSERT INTO t VALUES (50, 'concurrent')")
+        after = session.execute("SELECT COUNT(*) FROM t").rows
+        assert before == after == [(2,)]   # repeatable reads
+        session.execute("COMMIT")
+        assert session.execute("SELECT COUNT(*) FROM t").rows == [(3,)]
+
+
+class TestErrors:
+    def test_nested_begin_rejected(self, env):
+        _, session, _ = env
+        session.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            session.execute("BEGIN")
+        session.execute("ROLLBACK")
+
+    def test_commit_without_begin(self, env):
+        _, session, _ = env
+        with pytest.raises(TransactionError):
+            session.execute("COMMIT")
+        with pytest.raises(TransactionError):
+            session.execute("ROLLBACK")
+
+    def test_conflict_at_commit(self, env):
+        _, session, other = env
+        session.execute("BEGIN")
+        session.execute("UPDATE t SET b = 'mine' WHERE a = 1")
+        other.execute("UPDATE t SET b = 'theirs' WHERE a = 1")
+        with pytest.raises(WriteConflictError):
+            session.execute("COMMIT")
+        # the transaction state is cleared; the winner's write survives
+        assert session.execute(
+            "SELECT b FROM t WHERE a = 1").rows == [("theirs",)]
+
+    def test_insert_overwrite_rejected_in_txn(self, env):
+        _, session, _ = env
+        session.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            session.execute("INSERT OVERWRITE TABLE t SELECT 1, 'x'")
+        session.execute("ROLLBACK")
+
+
+class TestStatementIds:
+    def test_per_statement_delta_dirs(self, env):
+        server, session, _ = env
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (10, 'a')")
+        session.execute("INSERT INTO t VALUES (11, 'b')")
+        session.execute("COMMIT")
+        table = server.hms.get_table("t")
+        names = sorted(d.rsplit("/", 1)[-1]
+                       for d in server.fs.list_dirs(table.location))
+        # both statements share WriteId 2 but use distinct stmtIds
+        assert "delta_2_2" in names
+        assert "delta_2_2_1" in names
+
+    def test_row_ids_unique_across_statements(self, env):
+        server, session, _ = env
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (10, 'a')")
+        session.execute("INSERT INTO t VALUES (11, 'b')")
+        session.execute("COMMIT")
+        # deleting one row written by stmt 0 must not touch stmt 1's row
+        session.execute("DELETE FROM t WHERE a = 10")
+        rows = session.execute("SELECT a FROM t ORDER BY a").rows
+        assert rows == [(1,), (2,), (11,)]
+
+    def test_compaction_folds_statement_deltas(self, env):
+        server, session, _ = env
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (10, 'a')")
+        session.execute("INSERT INTO t VALUES (11, 'b')")
+        session.execute("COMMIT")
+        from repro.metastore.compaction import CompactionType
+        server.hms.compaction_queue.enqueue("default.t", None,
+                                            CompactionType.MAJOR)
+        server.run_compaction()
+        rows = session.execute("SELECT COUNT(*) FROM t").rows
+        assert rows == [(4,)]
+        table = server.hms.get_table("t")
+        assert len(server.fs.list_dirs(table.location)) == 1
+
+    def test_stats_deferred_until_commit(self, env):
+        server, session, _ = env
+        table = server.hms.get_table("t")
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (10, 'a'), (11, 'b')")
+        assert server.hms.get_statistics(table).row_count == 2
+        session.execute("COMMIT")
+        assert server.hms.get_statistics(table).row_count == 4
+
+    def test_stats_dropped_on_rollback(self, env):
+        server, session, _ = env
+        table = server.hms.get_table("t")
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (10, 'a')")
+        session.execute("ROLLBACK")
+        assert server.hms.get_statistics(table).row_count == 2

@@ -1,0 +1,196 @@
+"""Materialized-view rewriting: full/partial containment, PK-joined
+
+extra tables, freshness — exercised through the SQL driver so the whole
+Section 4.4 path (registry → rewrite → execution) is covered.
+"""
+
+import pytest
+
+import repro
+from repro.config import HiveConf
+
+
+@pytest.fixture
+def session():
+    server = repro.HiveServer2(HiveConf.v3_profile())
+    s = server.connect()
+    s.execute("""CREATE TABLE store_sales (
+        ss_sold_date_sk INT, ss_item_sk INT, ss_sales_price DOUBLE)""")
+    s.execute("""CREATE TABLE date_dim (
+        d_date_sk INT, d_year INT, d_moy INT, d_dom INT,
+        PRIMARY KEY (d_date_sk) DISABLE NOVALIDATE)""")
+    dates = ", ".join(f"({sk}, {2016 + sk // 12}, {sk % 12 + 1}, 1)"
+                      for sk in range(36))
+    s.execute(f"INSERT INTO date_dim VALUES {dates}")
+    sales = ", ".join(f"({i % 36}, {i % 7}, {float(i % 50) + 0.5})"
+                      for i in range(500))
+    s.execute(f"INSERT INTO store_sales VALUES {sales}")
+    s.conf.results_cache_enabled = False
+    return s
+
+
+MV = """CREATE MATERIALIZED VIEW mat_view AS
+    SELECT d_year, d_moy, d_dom, SUM(ss_sales_price) AS sum_sales
+    FROM store_sales, date_dim
+    WHERE ss_sold_date_sk = d_date_sk AND d_year > 2017
+    GROUP BY d_year, d_moy, d_dom"""
+
+
+def reference(session, sql):
+    """Run with rewriting off to get the ground truth."""
+    session.conf.mv_rewriting = False
+    rows = session.execute(sql).rows
+    session.conf.mv_rewriting = True
+    return rows
+
+
+class TestFullContainment:
+    def test_figure4b_full_rewrite(self, session):
+        session.execute(MV)
+        sql = ("SELECT SUM(ss_sales_price) AS sum_sales "
+               "FROM store_sales, date_dim "
+               "WHERE ss_sold_date_sk = d_date_sk AND d_year = 2018 "
+               "AND d_moy IN (1, 2, 3)")
+        expected = reference(session, sql)
+        result = session.execute(sql)
+        assert result.views_used == ["default.mat_view"]
+        assert result.rows == expected
+        # the rewritten plan no longer touches the fact table
+        from repro.plan.relnodes import find_scans
+        tables = {s.table_name for s in find_scans(result.optimized.root)}
+        assert tables == {"default.mat_view"}
+
+    def test_rollup_to_coarser_grouping(self, session):
+        session.execute(MV)
+        sql = ("SELECT d_year, SUM(ss_sales_price) s "
+               "FROM store_sales, date_dim "
+               "WHERE ss_sold_date_sk = d_date_sk AND d_year > 2017 "
+               "GROUP BY d_year ORDER BY d_year")
+        expected = reference(session, sql)
+        result = session.execute(sql)
+        assert result.views_used
+        assert result.rows == expected
+
+    def test_same_grouping_no_reaggregation(self, session):
+        session.execute(MV)
+        sql = ("SELECT d_year, d_moy, d_dom, SUM(ss_sales_price) s "
+               "FROM store_sales, date_dim "
+               "WHERE ss_sold_date_sk = d_date_sk AND d_year > 2017 "
+               "GROUP BY d_year, d_moy, d_dom ORDER BY 1, 2, 3")
+        expected = reference(session, sql)
+        result = session.execute(sql)
+        assert result.views_used
+        assert result.rows == expected
+
+    def test_not_contained_query_untouched(self, session):
+        session.execute(MV)
+        # d_year > 2016 is wider than the view's d_year > 2017 on BOTH
+        # sides and not aggregable -> partial rewrite handles it; but a
+        # filter on a column missing from the view cannot be answered
+        sql = ("SELECT SUM(ss_sales_price) FROM store_sales, date_dim "
+               "WHERE ss_sold_date_sk = d_date_sk AND d_dom > 0 "
+               "AND ss_item_sk = 3")
+        result = session.execute(sql)
+        assert result.views_used == []
+
+    def test_disabled_rewrite_flag(self, session):
+        session.execute("DROP TABLE IF EXISTS mat_view")
+        session.execute(MV.replace(
+            "mat_view AS", "mat_view DISABLE REWRITE AS"))
+        sql = ("SELECT SUM(ss_sales_price) FROM store_sales, date_dim "
+               "WHERE ss_sold_date_sk = d_date_sk AND d_year = 2018")
+        result = session.execute(sql)
+        assert result.views_used == []
+
+
+class TestPartialContainment:
+    def test_figure4c_union_rewrite(self, session):
+        session.execute(MV)
+        sql = ("SELECT d_year, d_moy, SUM(ss_sales_price) AS sum_sales "
+               "FROM store_sales, date_dim "
+               "WHERE ss_sold_date_sk = d_date_sk AND d_year > 2016 "
+               "GROUP BY d_year, d_moy ORDER BY d_year, d_moy")
+        expected = reference(session, sql)
+        result = session.execute(sql)
+        assert result.views_used == ["default.mat_view"]
+        assert result.rows == expected
+        # the plan unions the view with the uncovered source delta
+        from repro.plan.relnodes import Union, find_scans, walk
+        assert any(isinstance(n, Union)
+                   for n in walk(result.optimized.root))
+        tables = {s.table_name for s in find_scans(result.optimized.root)}
+        assert "default.mat_view" in tables
+        assert "default.store_sales" in tables
+
+
+class TestFreshness:
+    def test_stale_view_skipped_then_rebuilt(self, session):
+        session.execute(MV)
+        sql = ("SELECT SUM(ss_sales_price) FROM store_sales, date_dim "
+               "WHERE ss_sold_date_sk = d_date_sk AND d_year = 2018")
+        assert session.execute(sql).views_used
+        session.execute("INSERT INTO store_sales VALUES (20, 1, 5.0)")
+        stale = session.execute(sql)
+        assert stale.views_used == []
+        session.execute("ALTER MATERIALIZED VIEW mat_view REBUILD")
+        fresh = session.execute(sql)
+        assert fresh.views_used
+        assert fresh.rows == stale.rows
+
+    def test_incremental_rebuild_used_for_inserts(self, session):
+        session.execute(MV)
+        session.execute("INSERT INTO store_sales VALUES (30, 2, 7.5)")
+        result = session.execute("ALTER MATERIALIZED VIEW mat_view REBUILD")
+        assert "incremental" in result.message
+
+    def test_update_forces_full_rebuild(self, session):
+        session.execute(MV)
+        session.execute(
+            "UPDATE store_sales SET ss_sales_price = 1.0 "
+            "WHERE ss_item_sk = 0")
+        result = session.execute("ALTER MATERIALIZED VIEW mat_view REBUILD")
+        assert "full" in result.message
+
+    def test_rebuild_noop_when_fresh(self, session):
+        session.execute(MV)
+        result = session.execute("ALTER MATERIALIZED VIEW mat_view REBUILD")
+        assert "nothing to do" in result.message
+
+
+class TestPkExtraTables:
+    def test_query_on_subset_of_view_tables(self, session):
+        """A denormalized view joining extra PK-bound dimensions still
+
+        answers queries that touch only some tables (the SSB case)."""
+        session.execute("""CREATE TABLE item (
+            i_item_sk INT, i_cat STRING,
+            PRIMARY KEY (i_item_sk) DISABLE NOVALIDATE)""")
+        session.execute("INSERT INTO item VALUES (0,'a'),(1,'a'),(2,'b'),"
+                        "(3,'b'),(4,'c'),(5,'c'),(6,'d')")
+        session.execute("""CREATE MATERIALIZED VIEW flat AS
+            SELECT d_year, d_moy, i_cat, ss_sales_price
+            FROM store_sales, date_dim, item
+            WHERE ss_sold_date_sk = d_date_sk
+              AND ss_item_sk = i_item_sk""")
+        sql = ("SELECT d_year, SUM(ss_sales_price) s "
+               "FROM store_sales, date_dim "
+               "WHERE ss_sold_date_sk = d_date_sk AND d_year = 2017 "
+               "GROUP BY d_year")
+        expected = reference(session, sql)
+        result = session.execute(sql)
+        assert result.views_used == ["default.flat"]
+        assert result.rows == expected
+
+    def test_no_rewrite_without_pk(self, session):
+        session.execute("CREATE TABLE nopk (n_item_sk INT, n_cat STRING)")
+        session.execute("INSERT INTO nopk VALUES (0,'a'),(1,'b')")
+        session.execute("""CREATE MATERIALIZED VIEW flat2 AS
+            SELECT d_year, n_cat, ss_sales_price
+            FROM store_sales, date_dim, nopk
+            WHERE ss_sold_date_sk = d_date_sk
+              AND ss_item_sk = n_item_sk""")
+        sql = ("SELECT d_year, SUM(ss_sales_price) FROM "
+               "store_sales, date_dim "
+               "WHERE ss_sold_date_sk = d_date_sk GROUP BY d_year")
+        result = session.execute(sql)
+        assert result.views_used == []

@@ -1,0 +1,247 @@
+"""Relational operator execution: joins, aggregates, sorts, set ops,
+
+windows — directly against the interpreter with hand-built plans.
+"""
+
+import pytest
+
+from repro.common.rows import Column, Schema
+from repro.common.types import BIGINT, DOUBLE, INT, STRING
+from repro.common.vector import VectorBatch
+from repro.errors import ExecutionError, OutOfMemoryError
+from repro.exec.operators import ExecutionContext, execute
+from repro.plan import relnodes as rel
+from repro.plan.rexnodes import (AggregateCall, RexInputRef, RexLiteral,
+                                 make_call)
+
+LEFT = Schema([Column("id", INT), Column("tag", STRING)])
+RIGHT = Schema([Column("rid", INT), Column("val", DOUBLE)])
+
+LEFT_ROWS = [(1, "a"), (2, "b"), (3, "c"), (None, "n"), (2, "b2")]
+RIGHT_ROWS = [(2, 20.0), (3, 30.0), (3, 33.0), (None, 0.0), (9, 90.0)]
+
+
+def make_ctx():
+    data = {"l": VectorBatch.from_rows(LEFT, LEFT_ROWS),
+            "r": VectorBatch.from_rows(RIGHT, RIGHT_ROWS)}
+    return ExecutionContext(scan_executor=lambda n: data[n.table_name])
+
+
+def scan(name, schema):
+    return rel.TableScan(name, schema)
+
+
+def join(kind, condition=None):
+    if condition is None:
+        condition = make_call("=", RexInputRef(0, INT),
+                              RexInputRef(2, INT))
+    return rel.Join(scan("l", LEFT), scan("r", RIGHT), kind, condition)
+
+
+class TestJoins:
+    def test_inner(self):
+        rows = execute(join("inner"), make_ctx()).to_rows()
+        assert sorted(rows) == [(2, "b", 2, 20.0), (2, "b2", 2, 20.0),
+                                (3, "c", 3, 30.0), (3, "c", 3, 33.0)]
+
+    def test_null_keys_never_match(self):
+        rows = execute(join("inner"), make_ctx()).to_rows()
+        assert not any(r[0] is None for r in rows)
+
+    def test_left_outer(self):
+        rows = execute(join("left"), make_ctx()).to_rows()
+        unmatched = [r for r in rows if r[2] is None]
+        assert sorted(r[0] is None or r[0] for r in unmatched) == [
+            1, True]  # id=1 and the NULL-key row pad with NULLs
+
+    def test_right_outer(self):
+        rows = execute(join("right"), make_ctx()).to_rows()
+        unmatched = [r for r in rows if r[0] is None]
+        assert len(unmatched) == 2   # rid NULL and rid 9
+
+    def test_full_outer(self):
+        rows = execute(join("full"), make_ctx()).to_rows()
+        assert len(rows) == 4 + 2 + 2
+
+    def test_semi_and_anti(self):
+        semi = execute(join("semi"), make_ctx()).to_rows()
+        assert sorted(semi) == [(2, "b"), (2, "b2"), (3, "c")]
+        anti = execute(join("anti"), make_ctx()).to_rows()
+        assert sorted(anti, key=repr) == sorted(
+            [(1, "a"), (None, "n")], key=repr)
+
+    def test_cross_join(self):
+        node = rel.Join(scan("l", LEFT), scan("r", RIGHT), "inner", None)
+        rows = execute(node, make_ctx()).to_rows()
+        assert len(rows) == len(LEFT_ROWS) * len(RIGHT_ROWS)
+
+    def test_non_equi_residual(self):
+        condition = make_call(
+            "AND",
+            make_call("=", RexInputRef(0, INT), RexInputRef(2, INT)),
+            make_call(">", RexInputRef(3, DOUBLE),
+                      RexLiteral(25.0, DOUBLE)))
+        rows = execute(rel.Join(scan("l", LEFT), scan("r", RIGHT),
+                                "inner", condition), make_ctx()).to_rows()
+        assert sorted(rows) == [(3, "c", 3, 30.0), (3, "c", 3, 33.0)]
+
+    def test_pure_theta_join(self):
+        condition = make_call("<", RexInputRef(0, INT),
+                              RexInputRef(2, INT))
+        rows = execute(rel.Join(scan("l", LEFT), scan("r", RIGHT),
+                                "inner", condition), make_ctx()).to_rows()
+        assert all(r[0] < r[2] for r in rows)
+
+    def test_oom_trigger(self):
+        ctx = make_ctx()
+        ctx.hash_join_memory_rows = 2
+        with pytest.raises(OutOfMemoryError):
+            execute(join("inner"), ctx)
+
+
+class TestAggregates:
+    def agg(self, calls, keys=()):
+        return rel.Aggregate(scan("r", RIGHT), keys, tuple(calls))
+
+    def test_global_aggregate(self):
+        node = self.agg([AggregateCall("count", None, BIGINT, "n"),
+                         AggregateCall("sum", 1, DOUBLE, "s"),
+                         AggregateCall("min", 1, DOUBLE, "lo"),
+                         AggregateCall("max", 1, DOUBLE, "hi"),
+                         AggregateCall("avg", 1, DOUBLE, "av")])
+        rows = execute(node, make_ctx()).to_rows()
+        assert rows == [(5, 173.0, 0.0, 90.0, 173.0 / 5)]
+
+    def test_count_skips_nulls_count_star_does_not(self):
+        node = self.agg([AggregateCall("count", 0, BIGINT, "c"),
+                         AggregateCall("count", None, BIGINT, "n")])
+        assert execute(node, make_ctx()).to_rows() == [(4, 5)]
+
+    def test_group_by_with_null_group(self):
+        node = self.agg([AggregateCall("count", None, BIGINT, "n")],
+                        keys=(0,))
+        rows = dict(execute(node, make_ctx()).to_rows())
+        assert rows[3] == 2 and rows[None] == 1
+
+    def test_empty_input_global(self):
+        empty = Schema([Column("x", INT)])
+        ctx = ExecutionContext(
+            scan_executor=lambda n: VectorBatch.empty(empty))
+        node = rel.Aggregate(scan("e", empty), (),
+                             (AggregateCall("count", None, BIGINT, "n"),
+                              AggregateCall("sum", 0, BIGINT, "s")))
+        assert execute(node, ctx).to_rows() == [(0, None)]
+
+    def test_count_distinct(self):
+        node = self.agg([AggregateCall("count", 0, BIGINT, "d",
+                                       distinct=True)])
+        assert execute(node, make_ctx()).to_rows() == [(3,)]
+
+    def test_stddev(self):
+        node = self.agg([AggregateCall("stddev", 1, DOUBLE, "sd")])
+        (row,) = execute(node, make_ctx()).to_rows()
+        assert row[0] == pytest.approx(30.016, abs=0.01)
+
+
+class TestSortLimit:
+    def test_sort_desc_nulls_last(self):
+        node = rel.Sort(scan("l", LEFT), (rel.SortKey(0, False),))
+        rows = execute(node, make_ctx()).to_rows()
+        assert [r[0] for r in rows] == [3, 2, 2, 1, None]
+
+    def test_multi_key(self):
+        node = rel.Sort(scan("r", RIGHT),
+                        (rel.SortKey(0, True), rel.SortKey(1, False)))
+        rows = execute(node, make_ctx()).to_rows()
+        assert [r[1] for r in rows if r[0] == 3] == [33.0, 30.0]
+
+    def test_topn(self):
+        node = rel.Sort(scan("r", RIGHT), (rel.SortKey(1, False),),
+                        fetch=2)
+        rows = execute(node, make_ctx()).to_rows()
+        assert [r[1] for r in rows] == [90.0, 33.0]
+
+    def test_limit(self):
+        node = rel.Limit(scan("l", LEFT), 3)
+        assert execute(node, make_ctx()).num_rows == 3
+
+    def test_sort_stability(self):
+        node = rel.Sort(scan("l", LEFT), (rel.SortKey(0, True),))
+        rows = execute(node, make_ctx()).to_rows()
+        twos = [r[1] for r in rows if r[0] == 2]
+        assert twos == ["b", "b2"]     # input order preserved on ties
+
+
+class TestSetOps:
+    def both(self, kind, all=False):
+        left = rel.Project(scan("l", LEFT),
+                           (RexInputRef(0, INT),), ("id",))
+        right = rel.Project(scan("r", RIGHT),
+                            (RexInputRef(0, INT),), ("id",))
+        return rel.SetOp(kind, left, right, all)
+
+    def test_intersect(self):
+        rows = execute(self.both("intersect"), make_ctx()).to_rows()
+        assert {r[0] for r in rows} == {2, 3, None}
+        assert len(rows) == 3      # set semantics: duplicates collapse
+
+    def test_except(self):
+        rows = execute(self.both("except"), make_ctx()).to_rows()
+        assert [r[0] for r in rows] == [1]
+
+    def test_union_all(self):
+        left = rel.Project(scan("l", LEFT), (RexInputRef(0, INT),),
+                           ("id",))
+        right = rel.Project(scan("r", RIGHT), (RexInputRef(0, INT),),
+                            ("id",))
+        node = rel.Union((left, right), all=True)
+        assert execute(node, make_ctx()).num_rows == 10
+
+
+class TestWindow:
+    def test_rank_and_row_number(self):
+        calls = (
+            rel.WindowCall("rank", None, (), (rel.SortKey(1, False),),
+                           BIGINT, "rnk"),
+            rel.WindowCall("row_number", None, (),
+                           (rel.SortKey(1, False),), BIGINT, "rn"),
+        )
+        node = rel.Window(scan("r", RIGHT), calls)
+        rows = execute(node, make_ctx()).to_rows()
+        by_val = {r[1]: (r[2], r[3]) for r in rows}
+        assert by_val[90.0] == (1, 1)
+        assert by_val[33.0] == (2, 2)
+        assert by_val[30.0] == (3, 3)
+
+    def test_partitioned_running_sum(self):
+        calls = (rel.WindowCall("sum", 1, (0,), (rel.SortKey(1, True),),
+                                DOUBLE, "rs"),)
+        node = rel.Window(scan("r", RIGHT), calls)
+        rows = execute(node, make_ctx()).to_rows()
+        threes = sorted((r[1], r[2]) for r in rows if r[0] == 3)
+        assert threes == [(30.0, 30.0), (33.0, 63.0)]
+
+    def test_whole_partition_agg_without_order(self):
+        calls = (rel.WindowCall("max", 1, (), (), DOUBLE, "m"),)
+        node = rel.Window(scan("r", RIGHT), calls)
+        rows = execute(node, make_ctx()).to_rows()
+        assert all(r[2] == 90.0 for r in rows)
+
+
+class TestMemoization:
+    def test_shared_digest_executes_once(self):
+        calls = {"count": 0}
+        batch = VectorBatch.from_rows(LEFT, LEFT_ROWS)
+
+        def counting_scan(node):
+            calls["count"] += 1
+            return batch
+
+        left = scan("l", LEFT)
+        right = scan("l", LEFT)
+        node = rel.Union((left, right), all=True)
+        ctx = ExecutionContext(scan_executor=counting_scan,
+                               memo_digests=frozenset({left.digest}))
+        result = execute(node, ctx)
+        assert result.num_rows == 10
+        assert calls["count"] == 1

@@ -1,0 +1,257 @@
+"""Optimizer rules: folding, pushdown, pruning, reordering, semijoin,
+
+shared work — each rule checked for both its structural effect and for
+result equivalence with the unoptimized plan.
+"""
+
+import random
+
+import pytest
+
+from repro.common.rows import Column, Schema
+from repro.common.types import DATE, DOUBLE, INT, STRING
+from repro.common.vector import VectorBatch
+from repro.config import HiveConf
+from repro.exec.operators import ExecutionContext, execute
+from repro.fs import SimFileSystem
+from repro.metastore.hms import HiveMetastore
+from repro.metastore.stats import TableStatistics
+from repro.optimizer import Optimizer
+from repro.optimizer.rules_basic import fold_rex
+from repro.optimizer.shared_work import find_shared_subtrees
+from repro.plan import relnodes as rel
+from repro.plan.rexnodes import RexCall, RexLiteral, make_call
+from repro.common.types import BOOLEAN
+from repro.sql.analyzer import Analyzer
+from repro.sql.parser import parse_query
+
+FACT = Schema([Column("f_key", INT), Column("f_dim", INT),
+               Column("f_amt", DOUBLE)])
+DIM = Schema([Column("d_key", INT), Column("d_cat", STRING)])
+
+
+@pytest.fixture
+def env():
+    fs = SimFileSystem()
+    hms = HiveMetastore(fs)
+    fact = hms.create_table("default", "fact", FACT)
+    dim = hms.create_table("default", "dim", DIM)
+    rng = random.Random(3)
+    fact_rows = [(rng.randint(0, 199), rng.randint(0, 19),
+                  round(rng.uniform(1, 100), 2)) for _ in range(3000)]
+    dim_rows = [(i, random.Random(i).choice(["a", "b", "c", "d"]))
+                for i in range(20)]
+    hms.set_statistics(fact, TableStatistics.from_rows(FACT, fact_rows))
+    hms.set_statistics(dim, TableStatistics.from_rows(DIM, dim_rows))
+    data = {"default.fact": VectorBatch.from_rows(FACT, fact_rows),
+            "default.dim": VectorBatch.from_rows(DIM, dim_rows)}
+
+    def scan_executor(node):
+        batch = data[node.table_name]
+        names = [c.name for c in node.schema]
+        idx = [batch.schema.index_of(n) for n in names]
+        return batch.project(idx, batch.schema.select(names))
+
+    return hms, scan_executor
+
+
+def analyze(hms, sql):
+    return Analyzer(hms, HiveConf()).analyze_query(parse_query(sql))
+
+
+def run(plan, scan_executor):
+    return execute(plan, ExecutionContext(scan_executor=scan_executor)
+                   ).to_rows()
+
+
+class TestConstantFolding:
+    def test_arith_folds(self):
+        expr = RexCall("+", (RexLiteral(2, INT), RexLiteral(3, INT)), INT)
+        folded = fold_rex(expr)
+        assert isinstance(folded, RexLiteral) and folded.value == 5
+
+    def test_and_true_elides(self):
+        keep = make_call(">", RexLiteral(1, INT), RexLiteral(0, INT))
+        expr = make_call("AND", RexLiteral(True, BOOLEAN), keep)
+        assert fold_rex(expr).digest == fold_rex(keep).digest
+
+    def test_and_false_short_circuits(self):
+        expr = make_call("AND", RexLiteral(False, BOOLEAN),
+                         make_call("=", RexLiteral(1, INT),
+                                   RexLiteral(1, INT)))
+        folded = fold_rex(expr)
+        assert isinstance(folded, RexLiteral) and folded.value is False
+
+    def test_or_true_short_circuits(self):
+        expr = make_call("OR", RexLiteral(True, BOOLEAN),
+                         RexLiteral(False, BOOLEAN))
+        assert fold_rex(expr).value is True
+
+
+class TestPushdownAndPruning:
+    SQL = ("SELECT d_cat, SUM(f_amt) s FROM fact, dim "
+           "WHERE f_dim = d_key AND d_cat = 'a' AND f_amt > 50 "
+           "GROUP BY d_cat")
+
+    def test_filters_reach_scans(self, env):
+        hms, _ = env
+        plan = analyze(hms, self.SQL)
+        optimized = Optimizer(hms, HiveConf()).optimize(plan)
+        scans = rel.find_scans(optimized.root)
+        by_table = {s.table_name: s for s in scans}
+        assert any("f_amt" not in "" and s.sarg_conjuncts
+                   for s in scans)
+        assert by_table["default.dim"].sarg_conjuncts
+
+    def test_column_pruning_narrows_scans(self, env):
+        hms, _ = env
+        plan = analyze(hms, self.SQL)
+        optimized = Optimizer(hms, HiveConf()).optimize(plan)
+        fact_scan = next(s for s in rel.find_scans(optimized.root)
+                         if s.table_name == "default.fact")
+        assert "f_key" not in fact_scan.schema
+        assert len(fact_scan.schema) == 2
+
+    def test_equivalence(self, env):
+        hms, scan_executor = env
+        plan = analyze(hms, self.SQL)
+        optimized = Optimizer(hms, HiveConf()).optimize(plan)
+        assert sorted(run(plan, scan_executor)) == sorted(
+            run(optimized.root, scan_executor))
+
+    @pytest.mark.parametrize("sql", [
+        "SELECT f_key FROM fact WHERE f_amt > 20 AND f_dim IN (1,2,3)",
+        "SELECT d_cat, COUNT(*) FROM dim GROUP BY d_cat HAVING COUNT(*) > 2",
+        "SELECT f_dim, SUM(f_amt) FROM fact GROUP BY f_dim ORDER BY 2 DESC LIMIT 4",
+        "SELECT f.f_key FROM fact f LEFT JOIN dim d ON f.f_dim = d.d_key WHERE f.f_amt > 90",
+        "SELECT f_key FROM fact WHERE f_dim IN (SELECT d_key FROM dim WHERE d_cat = 'b')",
+        "SELECT d_cat, (SELECT MAX(f_amt) FROM fact WHERE f_dim = d_key) m FROM dim",
+        "SELECT f_dim FROM fact WHERE f_amt > 95 UNION SELECT d_key FROM dim",
+    ])
+    def test_optimizer_preserves_semantics(self, env, sql):
+        hms, scan_executor = env
+        plan = analyze(hms, sql)
+        optimized = Optimizer(hms, HiveConf()).optimize(plan)
+        assert sorted(map(repr, run(plan, scan_executor))) == sorted(
+            map(repr, run(optimized.root, scan_executor)))
+
+
+class TestJoinReorder:
+    SQL = ("SELECT COUNT(*) FROM dim, fact "
+           "WHERE f_dim = d_key AND d_cat = 'a'")
+
+    def test_small_side_becomes_build(self, env):
+        hms, _ = env
+        plan = analyze(hms, "SELECT COUNT(*) c FROM fact f1, fact f2, dim "
+                            "WHERE f1.f_key = f2.f_key "
+                            "AND f1.f_dim = d_key AND d_cat = 'a'")
+        optimized = Optimizer(hms, HiveConf()).optimize(plan)
+        joins = [n for n in rel.walk(optimized.root)
+                 if isinstance(n, rel.Join)]
+        assert joins, "expected joins to survive"
+
+    def test_reorder_equivalence(self, env):
+        hms, scan_executor = env
+        plan = analyze(hms, self.SQL)
+        on = Optimizer(hms, HiveConf()).optimize(plan)
+        off = Optimizer(hms, HiveConf(
+            join_reordering=False)).optimize(plan)
+        assert run(on.root, scan_executor) == run(off.root, scan_executor)
+
+
+class TestSemijoinPlanning:
+    SQL = ("SELECT SUM(f_amt) FROM fact, dim "
+           "WHERE f_dim = d_key AND d_cat = 'a'")
+
+    def test_reducer_planted_on_fact(self, env):
+        hms, _ = env
+        plan = analyze(hms, self.SQL)
+        optimized = Optimizer(hms, HiveConf()).optimize(plan)
+        assert len(optimized.semijoin_reducers) == 1
+        reducer = optimized.semijoin_reducers[0]
+        assert reducer.target_table == "default.fact"
+        assert reducer.target_column == "f_dim"
+        fact_scan = next(s for s in rel.find_scans(optimized.root)
+                         if s.table_name == "default.fact")
+        assert reducer.reducer_id in fact_scan.semijoin_sources
+
+    def test_disabled_by_flag(self, env):
+        hms, _ = env
+        plan = analyze(hms, self.SQL)
+        optimized = Optimizer(hms, HiveConf(
+            semijoin_reduction=False)).optimize(plan)
+        assert not optimized.semijoin_reducers
+
+    def test_no_reducer_without_dim_filter(self, env):
+        hms, _ = env
+        plan = analyze(hms, "SELECT SUM(f_amt) FROM fact, dim "
+                            "WHERE f_dim = d_key")
+        optimized = Optimizer(hms, HiveConf()).optimize(plan)
+        assert not optimized.semijoin_reducers
+
+
+class TestSharedWork:
+    def test_repeated_subtree_detected(self, env):
+        hms, _ = env
+        sql = ("SELECT a.c1, b.c1 FROM "
+               "(SELECT COUNT(*) c1 FROM fact WHERE f_amt > 50) a, "
+               "(SELECT COUNT(*) c1 FROM fact WHERE f_amt > 50) b")
+        plan = analyze(hms, sql)
+        optimized = Optimizer(hms, HiveConf()).optimize(plan)
+        assert optimized.shared_digests
+
+    def test_different_subtrees_not_shared(self, env):
+        hms, _ = env
+        sql = ("SELECT a.c1, b.c1 FROM "
+               "(SELECT COUNT(*) c1 FROM fact WHERE f_amt > 50) a, "
+               "(SELECT COUNT(*) c1 FROM fact WHERE f_amt > 60) b")
+        plan = analyze(hms, sql)
+        shared = find_shared_subtrees(
+            Optimizer(hms, HiveConf(
+                shared_work_optimization=False,
+                semijoin_reduction=False)).optimize(plan).root)
+        # the two aggregates differ, but the bare fact scan may still
+        # be shared if sargs match — with different filters they don't
+        aggregate_digests = {n.digest for n in rel.walk(plan)
+                             if isinstance(n, rel.Aggregate)}
+        assert not (shared & aggregate_digests)
+
+
+class TestPartitionPruning:
+    def test_partitions_filtered_statically(self):
+        fs = SimFileSystem()
+        hms = HiveMetastore(fs)
+        table = hms.create_table(
+            "default", "events", Schema([Column("v", INT)]),
+            partition_columns=[Column("ds", INT)])
+        for ds in range(10):
+            hms.add_partition(table, (ds,))
+        plan = analyze(hms, "SELECT v FROM events WHERE ds >= 7")
+        optimized = Optimizer(hms, HiveConf()).optimize(plan)
+        scan = rel.find_scans(optimized.root)[0]
+        assert scan.pruned_partitions is not None
+        assert sorted(scan.pruned_partitions) == [(7,), (8,), (9,)]
+
+    def test_in_predicate_prunes(self):
+        fs = SimFileSystem()
+        hms = HiveMetastore(fs)
+        table = hms.create_table(
+            "default", "events", Schema([Column("v", INT)]),
+            partition_columns=[Column("ds", INT)])
+        for ds in range(5):
+            hms.add_partition(table, (ds,))
+        plan = analyze(hms, "SELECT v FROM events WHERE ds IN (1, 3)")
+        optimized = Optimizer(hms, HiveConf()).optimize(plan)
+        scan = rel.find_scans(optimized.root)[0]
+        assert sorted(scan.pruned_partitions) == [(1,), (3,)]
+
+
+class TestStages:
+    def test_legacy_profile_skips_cbo_stages(self, env):
+        hms, _ = env
+        plan = analyze(hms, TestPushdownAndPruning.SQL)
+        optimized = Optimizer(hms, HiveConf.legacy_profile()).optimize(
+            plan)
+        assert "join_reordering" not in optimized.stages_applied
+        assert "semijoin_reduction" not in optimized.stages_applied
+        assert "filter_pushdown" in optimized.stages_applied

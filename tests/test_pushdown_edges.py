@@ -1,0 +1,148 @@
+"""Federation pushdown edge cases: partial consumption, residual
+
+operators, pushdown flag, and ANALYZE/DDL corners of the driver.
+"""
+
+import pytest
+
+import repro
+from repro.config import HiveConf
+from repro.errors import AnalysisError, CatalogError
+from repro.federation import (DruidEngine, DruidStorageHandler,
+                              JdbcStorageHandler)
+from repro.plan.relnodes import Filter, Project, Sort, find_scans, walk
+
+
+@pytest.fixture
+def druid_session():
+    server = repro.HiveServer2(HiveConf.v3_profile())
+    server.register_storage_handler("druid",
+                                    DruidStorageHandler(DruidEngine()))
+    session = server.connect()
+    session.conf.results_cache_enabled = False
+    session.execute(
+        "CREATE EXTERNAL TABLE dt (d DATE, dim STRING, m DOUBLE) "
+        "STORED BY 'druid'")
+    session.execute(
+        "INSERT INTO dt VALUES (DATE '2018-01-05', 'a', 1.0), "
+        "(DATE '2018-01-06', 'bb', 2.0), (DATE '2018-02-01', 'a', 4.0)")
+    return session
+
+
+class TestPartialConsumption:
+    def test_filter_pushed_projection_stays(self, druid_session):
+        """An expression projection cannot push: it stays above the
+
+        pushed scan and still computes correctly."""
+        result = druid_session.execute(
+            "SELECT m * 2 FROM dt WHERE dim = 'a' ORDER BY 1")
+        assert result.rows == [(2.0,), (8.0,)]
+        scans = find_scans(result.optimized.root)
+        assert scans[0].pushed_query is not None
+        assert any(isinstance(n, Project)
+                   for n in walk(result.optimized.root))
+
+    def test_unpushable_filter_splits(self, druid_session):
+        """LIKE cannot translate: the whole filter stays in Hive but the
+
+        scan itself is still pushed as a Druid scan query."""
+        result = druid_session.execute(
+            "SELECT COUNT(*) FROM dt WHERE dim LIKE 'b%'")
+        assert result.rows == [(1,)]
+        assert any(isinstance(n, Filter)
+                   for n in walk(result.optimized.root))
+
+    def test_sort_without_aggregate_not_pushed(self, druid_session):
+        result = druid_session.execute(
+            "SELECT dim FROM dt ORDER BY m DESC LIMIT 2")
+        assert result.rows == [("a",), ("bb",)]
+        assert any(isinstance(n, Sort)
+                   for n in walk(result.optimized.root))
+
+    def test_flag_disables_pushdown(self, druid_session):
+        druid_session.conf.federation_pushdown = False
+        result = druid_session.execute(
+            "SELECT dim, SUM(m) FROM dt GROUP BY dim ORDER BY dim")
+        assert result.rows == [("a", 5.0), ("bb", 2.0)]
+        assert all(s.pushed_query is None
+                   for s in find_scans(result.optimized.root))
+
+    def test_avg_not_pushed_but_correct(self, druid_session):
+        result = druid_session.execute(
+            "SELECT dim, AVG(m) FROM dt GROUP BY dim ORDER BY dim")
+        assert result.rows == [("a", 2.5), ("bb", 2.0)]
+
+
+class TestJdbcEdges:
+    @pytest.fixture
+    def session(self):
+        server = repro.HiveServer2(HiveConf.v3_profile())
+        server.register_storage_handler("jdbc", JdbcStorageHandler())
+        s = server.connect()
+        s.conf.results_cache_enabled = False
+        s.execute("CREATE EXTERNAL TABLE jt (k INT, v STRING) "
+                  "STORED BY 'jdbc'")
+        s.execute("INSERT INTO jt VALUES (1, 'x'), (2, 'y''z')")
+        return s
+
+    def test_quote_escaping_in_generated_sql(self, session):
+        result = session.execute("SELECT k FROM jt WHERE v = 'y''z'")
+        assert result.rows == [(2,)]
+
+    def test_join_between_two_jdbc_tables(self, session):
+        session.execute("CREATE EXTERNAL TABLE jt2 (k INT, w DOUBLE) "
+                        "STORED BY 'jdbc'")
+        session.execute("INSERT INTO jt2 VALUES (1, 0.5), (2, 0.7)")
+        rows = session.execute(
+            "SELECT jt.v, jt2.w FROM jt, jt2 WHERE jt.k = jt2.k "
+            "ORDER BY jt.k").rows
+        assert rows == [("x", 0.5), ("y'z", 0.7)]
+
+    def test_missing_handler_errors(self):
+        server = repro.HiveServer2(HiveConf.v3_profile())
+        session = server.connect()
+        with pytest.raises(CatalogError):
+            session.execute("CREATE EXTERNAL TABLE z (a INT) "
+                            "STORED BY 'jdbc'")
+
+
+class TestDriverCorners:
+    def test_analyze_table_recomputes_stats(self, loaded_session):
+        server = loaded_session.server
+        table = server.hms.get_table("t")
+        # wipe stats, then ANALYZE restores them
+        from repro.metastore.stats import TableStatistics
+        server.hms.set_statistics(table, TableStatistics())
+        result = loaded_session.execute(
+            "ANALYZE TABLE t COMPUTE STATISTICS FOR COLUMNS")
+        assert result.rows_affected == 5
+        stats = server.hms.get_statistics(table)
+        assert stats.row_count == 5
+        assert stats.column("a").max_value == 5
+
+    def test_describe_materialized_view(self, loaded_session):
+        loaded_session.execute(
+            "CREATE MATERIALIZED VIEW mv AS SELECT b, COUNT(*) c "
+            "FROM t GROUP BY b")
+        rows = loaded_session.execute("DESCRIBE mv").rows
+        assert [r[0] for r in rows] == ["b", "c"]
+
+    def test_drop_table_on_mv_guard(self, loaded_session):
+        loaded_session.execute(
+            "CREATE MATERIALIZED VIEW mv AS SELECT b FROM t")
+        with pytest.raises(CatalogError):
+            loaded_session.execute("DROP MATERIALIZED VIEW t")
+        loaded_session.execute("DROP MATERIALIZED VIEW mv")
+        assert "mv" not in loaded_session.execute("SHOW TABLES").rows
+
+    def test_explain_non_select_rejected(self, loaded_session):
+        with pytest.raises(AnalysisError):
+            loaded_session.execute("EXPLAIN INSERT INTO t VALUES "
+                                   "(1,'x',1.0,DATE '2020-01-01')")
+
+    def test_explain_includes_dag(self, loaded_session):
+        rows = loaded_session.execute(
+            "EXPLAIN SELECT b, COUNT(*) FROM t GROUP BY b").rows
+        text = "\n".join(r[0] for r in rows)
+        assert "-- DAG:" in text
+        assert "Map 1" in text and "Reducer 1" in text

@@ -1,0 +1,128 @@
+"""Query results cache: hits, invalidation, pending-entry mode."""
+
+import threading
+
+import pytest
+
+import repro
+from repro.config import HiveConf
+from repro.server.results_cache import QueryResultsCache
+
+
+class TestCacheUnit:
+    def test_miss_install_publish_hit(self):
+        cache = QueryResultsCache()
+        entry, must_compute = cache.lookup("q1", {"t": 1})
+        assert must_compute
+        cache.publish(entry, [(1,)], ["a"], {"t": 1})
+        hit, must_compute = cache.lookup("q1", {"t": 1})
+        assert not must_compute
+        assert hit.rows == [(1,)]
+
+    def test_stale_snapshot_invalidates(self):
+        cache = QueryResultsCache()
+        entry, _ = cache.lookup("q1", {"t": 1})
+        cache.publish(entry, [(1,)], ["a"], {"t": 1})
+        fresh, must_compute = cache.lookup("q1", {"t": 2})
+        assert must_compute
+        assert cache.stats.invalidations == 1
+
+    def test_abandon_clears_pending(self):
+        cache = QueryResultsCache()
+        entry, _ = cache.lookup("q1", {})
+        cache.abandon(entry)
+        again, must_compute = cache.lookup("q1", {})
+        assert must_compute
+
+    def test_eviction_by_lru(self):
+        cache = QueryResultsCache(max_entries=2)
+        for name in ("a", "b", "c"):
+            entry, _ = cache.lookup(name, {})
+            cache.publish(entry, [], [], {})
+        assert len(cache) <= 3  # pending slots may briefly exceed
+
+    def test_pending_entry_thundering_herd(self):
+        """Concurrent identical queries: one computes, others wait."""
+        cache = QueryResultsCache(wait_for_pending=True)
+        computed = []
+        served = []
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait()
+            entry, must_compute = cache.lookup("q", {"t": 1})
+            if must_compute:
+                computed.append(1)
+                cache.publish(entry, [(42,)], ["x"], {"t": 1})
+            else:
+                served.append(entry.rows)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(computed) == 1
+        assert served == [[(42,)]] * 3
+
+
+class TestCacheEndToEnd:
+    @pytest.fixture
+    def session(self):
+        session = repro.HiveServer2(HiveConf.v3_profile()).connect()
+        session.execute("CREATE TABLE t (a INT, b STRING)")
+        session.execute("INSERT INTO t VALUES (1,'x'), (2,'y'), (3,'x')")
+        return session
+
+    def test_hit_after_identical_query(self, session):
+        first = session.execute("SELECT b, COUNT(*) FROM t GROUP BY b")
+        second = session.execute("SELECT b, COUNT(*) FROM t GROUP BY b")
+        assert not first.from_cache and second.from_cache
+        assert second.rows == first.rows
+        assert second.metrics.total_s < first.metrics.total_s
+
+    def test_write_invalidates(self, session):
+        session.execute("SELECT COUNT(*) FROM t")
+        session.execute("INSERT INTO t VALUES (4, 'z')")
+        result = session.execute("SELECT COUNT(*) FROM t")
+        assert not result.from_cache
+        assert result.rows == [(4,)]
+
+    def test_delete_invalidates(self, session):
+        session.execute("SELECT COUNT(*) FROM t")
+        session.execute("DELETE FROM t WHERE a = 1")
+        result = session.execute("SELECT COUNT(*) FROM t")
+        assert not result.from_cache
+        assert result.rows == [(2,)]
+
+    def test_nondeterministic_not_cached(self, session):
+        session.execute("SELECT a, rand() FROM t")
+        second = session.execute("SELECT a, rand() FROM t")
+        assert not second.from_cache
+
+    def test_current_date_not_cached(self, session):
+        session.execute("SELECT current_date() FROM t LIMIT 1")
+        again = session.execute("SELECT current_date() FROM t LIMIT 1")
+        assert not again.from_cache
+
+    def test_different_database_distinct_keys(self):
+        server = repro.HiveServer2(HiveConf.v3_profile())
+        first = server.connect()
+        first.execute("CREATE DATABASE db2")
+        first.execute("CREATE TABLE t (a INT)")
+        first.execute("INSERT INTO t VALUES (1)")
+        second = server.connect(database="db2")
+        second.execute("CREATE TABLE db2.t (a INT)")
+        second.execute("INSERT INTO db2.t VALUES (1), (2)")
+        assert first.execute("SELECT COUNT(*) FROM t").rows == [(1,)]
+        # same query text from the other session's database must not hit
+        # the first session's entry (unqualified names are resolved)
+        result = second.execute("SELECT COUNT(*) FROM t")
+        assert result.rows == [(2,)]
+        assert not result.from_cache
+
+    def test_disabled_by_conf(self, session):
+        session.conf.results_cache_enabled = False
+        session.execute("SELECT COUNT(*) FROM t")
+        again = session.execute("SELECT COUNT(*) FROM t")
+        assert not again.from_cache

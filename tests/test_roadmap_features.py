@@ -1,0 +1,238 @@
+"""The §9 roadmap items implemented as extensions: the Kafka connector,
+
+runtime-statistics feedback into the optimizer, and the materialized-
+view advisor.  (Multi-statement transactions have their own test file.)
+"""
+
+import pytest
+
+import repro
+from repro.advisor import MaterializedViewAdvisor
+from repro.config import HiveConf
+from repro.errors import FederationError
+from repro.federation import KafkaBroker, KafkaStorageHandler
+from repro.metastore.stats import TableStatistics
+from repro.plan.relnodes import Join, find_scans, walk
+
+
+# --------------------------------------------------------------------------- #
+# Kafka connector
+
+@pytest.fixture
+def kafka_session():
+    server = repro.HiveServer2(HiveConf.v3_profile())
+    broker = KafkaBroker()
+    server.register_storage_handler("kafka", KafkaStorageHandler(broker))
+    session = server.connect()
+    session.conf.results_cache_enabled = False
+    session.execute(
+        "CREATE EXTERNAL TABLE events (user_id INT, action STRING) "
+        "STORED BY 'kafka' TBLPROPERTIES ('kafka.partitions'='3')")
+    session.execute(
+        "INSERT INTO events VALUES (1,'click'), (2,'view'), (1,'buy'), "
+        "(3,'click'), (2,'buy'), (1,'view')")
+    return server, broker, session
+
+
+class TestKafkaBroker:
+    def test_round_robin_production(self):
+        broker = KafkaBroker()
+        topic = broker.create_topic("t", 3)
+        placements = [topic.produce((i,)) for i in range(6)]
+        assert [p for p, _ in placements] == [0, 1, 2, 0, 1, 2]
+        assert [o for _, o in placements] == [0, 0, 0, 1, 1, 1]
+        assert topic.total_records == 6
+
+    def test_offset_seek(self):
+        broker = KafkaBroker()
+        topic = broker.create_topic("t", 1)
+        for i in range(10):
+            topic.produce((i,))
+        records = topic.consume(0, start_offset=7)
+        assert [r.payload[0] for r in records] == [7, 8, 9]
+
+    def test_duplicate_topic(self):
+        broker = KafkaBroker()
+        broker.create_topic("t")
+        with pytest.raises(FederationError):
+            broker.create_topic("t")
+
+
+class TestKafkaHandler:
+    def test_metadata_columns_exposed(self, kafka_session):
+        server, _, session = kafka_session
+        table = server.hms.get_table("events")
+        assert [c.name for c in table.schema] == [
+            "user_id", "action", "__partition", "__offset",
+            "__timestamp"]
+
+    def test_scan_and_aggregate(self, kafka_session):
+        _, _, session = kafka_session
+        rows = session.execute(
+            "SELECT action, COUNT(*) FROM events GROUP BY action "
+            "ORDER BY action").rows
+        assert rows == [("buy", 2), ("click", 2), ("view", 2)]
+
+    def test_offset_predicate_pushdown(self, kafka_session):
+        _, _, session = kafka_session
+        result = session.execute(
+            "SELECT COUNT(*) FROM events WHERE __offset >= 1")
+        assert result.rows == [(3,)]   # second record of each partition
+        pushed = [s.pushed_query
+                  for s in find_scans(result.optimized.root)
+                  if s.pushed_query is not None]
+        assert pushed and pushed[0].min_offset == 1
+
+    def test_join_stream_with_table(self, kafka_session):
+        _, _, session = kafka_session
+        session.execute("CREATE TABLE users (user_id INT, name STRING)")
+        session.execute(
+            "INSERT INTO users VALUES (1,'ada'), (2,'bob'), (3,'eve')")
+        rows = session.execute(
+            "SELECT name, COUNT(*) c FROM events, users "
+            "WHERE events.user_id = users.user_id "
+            "GROUP BY name ORDER BY c DESC, name").rows
+        assert rows == [("ada", 3), ("bob", 2), ("eve", 1)]
+
+    def test_streaming_appends_visible(self, kafka_session):
+        _, broker, session = kafka_session
+        broker.get("events").produce((9, "late"))
+        rows = session.execute("SELECT COUNT(*) FROM events").rows
+        assert rows == [(7,)]
+
+    def test_drop_removes_topic(self, kafka_session):
+        _, broker, session = kafka_session
+        session.execute("DROP TABLE events")
+        assert "events" not in broker.topics
+
+
+# --------------------------------------------------------------------------- #
+# runtime statistics feedback
+
+class TestRuntimeStatsFeedback:
+    @pytest.fixture
+    def session(self):
+        server = repro.HiveServer2(HiveConf.v3_profile())
+        s = server.connect()
+        s.conf.results_cache_enabled = False
+        s.execute("CREATE TABLE fact (k INT)")
+        s.execute("CREATE TABLE dim (k INT)")
+        s.execute("INSERT INTO fact VALUES "
+                  + ", ".join(f"({i % 10})" for i in range(300)))
+        s.execute("INSERT INTO dim VALUES "
+                  + ", ".join(f"({i})" for i in range(10)))
+        # poison the catalog statistics so the first plan is wrong
+        server.hms.set_statistics(server.hms.get_table("dim"),
+                                  TableStatistics(row_count=1_000_000))
+        return server, s
+
+    SQL = "SELECT COUNT(*) FROM dim, fact WHERE dim.k = fact.k"
+
+    def build_table(self, result) -> str:
+        join = next(n for n in walk(result.optimized.root)
+                    if isinstance(n, Join))
+        return join.right.digest
+
+    def test_second_compilation_adapts(self, session):
+        server, s = session
+        s.conf.runtime_stats_feedback = True
+        first = s.execute(self.SQL)
+        second = s.execute(self.SQL)
+        assert "fact" in self.build_table(first)
+        assert "dim" in self.build_table(second)
+        assert first.rows == second.rows == [(300,)]
+        assert server.hms.runtime_stats()        # persisted in HMS
+
+    def test_disabled_by_default(self, session):
+        _, s = session
+        first = s.execute(self.SQL)
+        second = s.execute(self.SQL)
+        assert self.build_table(first) == self.build_table(second)
+
+    def test_clear(self, session):
+        server, s = session
+        s.conf.runtime_stats_feedback = True
+        s.execute(self.SQL)
+        server.hms.clear_runtime_stats()
+        assert server.hms.runtime_stats() == {}
+
+
+# --------------------------------------------------------------------------- #
+# materialized view advisor
+
+class TestAdvisor:
+    @pytest.fixture
+    def warehouse(self):
+        server = repro.HiveServer2(HiveConf.v3_profile())
+        session = server.connect()
+        session.conf.results_cache_enabled = False
+        session.execute("""CREATE TABLE sales (
+            item_sk INT, amount DOUBLE, day_sk INT)""")
+        session.execute("""CREATE TABLE days (
+            day_sk INT, year INT, month INT,
+            PRIMARY KEY (day_sk) DISABLE NOVALIDATE)""")
+        days = ", ".join(f"({d}, {2020 + d // 12}, {d % 12 + 1})"
+                         for d in range(24))
+        session.execute(f"INSERT INTO days VALUES {days}")
+        sales = ", ".join(f"({i % 9}, {float(i % 30)}, {i % 24})"
+                          for i in range(400))
+        session.execute(f"INSERT INTO sales VALUES {sales}")
+        return server, session
+
+    WORKLOAD = [
+        "SELECT year, SUM(amount) FROM sales, days "
+        "WHERE sales.day_sk = days.day_sk GROUP BY year",
+        "SELECT month, SUM(amount) FROM sales, days "
+        "WHERE sales.day_sk = days.day_sk AND year = 2020 "
+        "GROUP BY month",
+        "SELECT year, month, COUNT(*) FROM sales, days "
+        "WHERE sales.day_sk = days.day_sk GROUP BY year, month",
+        # a different signature, seen only once: below min_support
+        "SELECT COUNT(*) FROM sales",
+    ]
+
+    def test_recommends_common_signature(self, warehouse):
+        server, _ = warehouse
+        advisor = MaterializedViewAdvisor(server, min_support=2)
+        for sql in self.WORKLOAD:
+            advisor.record(sql)
+        assert advisor.workload_size == 4
+        recommendations = advisor.recommend()
+        assert len(recommendations) == 1
+        rec = recommendations[0]
+        assert rec.supporting_queries == 3
+        assert rec.tables == ("days", "sales")
+        assert "GROUP BY" in rec.create_statement
+        assert rec.benefit_score > 0
+
+    def test_recommended_view_serves_the_workload(self, warehouse):
+        """Closing the loop: create the advised view; the rewriter then
+
+        answers every clustered query from it with identical results."""
+        server, session = warehouse
+        advisor = MaterializedViewAdvisor(server, min_support=2)
+        for sql in self.WORKLOAD[:3]:
+            advisor.record(sql)
+        expected = [session.execute(sql).rows
+                    for sql in self.WORKLOAD[:3]]
+        (rec,) = advisor.recommend(top_k=1)
+        session.execute(rec.create_statement)
+        for sql, rows in zip(self.WORKLOAD[:3], expected):
+            result = session.execute(sql)
+            assert result.views_used == [f"default.{rec.name}"], sql
+            assert sorted(result.rows) == sorted(rows)
+
+    def test_out_of_scope_statements_skipped(self, warehouse):
+        server, _ = warehouse
+        advisor = MaterializedViewAdvisor(server)
+        assert not advisor.record("INSERT INTO sales VALUES (1, 1.0, 1)")
+        assert not advisor.record("SELECT * FROM sales")
+        assert not advisor.record("not even sql")
+        assert advisor.workload_size == 0
+
+    def test_min_support_respected(self, warehouse):
+        server, _ = warehouse
+        advisor = MaterializedViewAdvisor(server, min_support=5)
+        for sql in self.WORKLOAD:
+            advisor.record(sql)
+        assert advisor.recommend() == []

@@ -1,0 +1,164 @@
+"""Tez-style runtime: DAG construction, vertex merging, cost accounting,
+
+dynamic semijoin execution, re-optimization (Section 4.2).
+"""
+
+import pytest
+
+import repro
+from repro.config import HiveConf
+from repro.errors import OutOfMemoryError
+from repro.plan import relnodes as rel
+from repro.runtime.tez import build_dag, merge_shared_vertices
+
+
+@pytest.fixture
+def session():
+    server = repro.HiveServer2(HiveConf.v3_profile())
+    s = server.connect()
+    s.execute("CREATE TABLE fact (k INT, d INT, amt DOUBLE)")
+    s.execute("CREATE TABLE dim (d INT, cat STRING)")
+    rows = ", ".join(f"({i % 50}, {i % 8}, {float(i)})"
+                     for i in range(400))
+    s.execute(f"INSERT INTO fact VALUES {rows}")
+    s.execute("INSERT INTO dim VALUES (0,'a'),(1,'a'),(2,'b'),(3,'b'),"
+              "(4,'c'),(5,'c'),(6,'d'),(7,'d')")
+    s.conf.results_cache_enabled = False
+    return s
+
+
+class TestDagConstruction:
+    def test_filter_project_fuse_into_scan_vertex(self, session):
+        result = session.execute(
+            "EXPLAIN SELECT amt * 2 FROM fact WHERE k > 10")
+        dag = build_dag(result.optimized.root)
+        assert len(dag.vertices) == 1
+        assert dag.vertices[0].is_map
+
+    def test_join_creates_reducer(self, session):
+        result = session.execute(
+            "EXPLAIN SELECT cat, SUM(amt) FROM fact, dim "
+            "WHERE fact.d = dim.d GROUP BY cat")
+        dag = build_dag(result.optimized.root)
+        maps = [v for v in dag.vertices if v.is_map]
+        reducers = [v for v in dag.vertices if not v.is_map]
+        assert len(maps) == 2
+        assert len(reducers) >= 2     # join + aggregate
+
+    def test_topological_order(self, session):
+        result = session.execute(
+            "EXPLAIN SELECT cat, SUM(amt) FROM fact, dim "
+            "WHERE fact.d = dim.d GROUP BY cat ORDER BY 2 DESC LIMIT 3")
+        dag = build_dag(result.optimized.root)
+        seen = set()
+        for vertex in dag.topological():
+            assert all(i in seen for i in vertex.inputs)
+            seen.add(vertex.vertex_id)
+
+    def test_merge_shared_vertices(self, session):
+        sql = ("SELECT a.c, b.c FROM "
+               "(SELECT COUNT(*) c FROM fact WHERE k > 5) a, "
+               "(SELECT COUNT(*) c FROM fact WHERE k > 5) b")
+        result = session.execute("EXPLAIN " + sql)
+        dag = build_dag(result.optimized.root)
+        merged = merge_shared_vertices(dag,
+                                       result.optimized.shared_digests)
+        assert len(merged.vertices) < len(dag.vertices)
+
+
+class TestMetrics:
+    def test_breakdown_populated(self, session):
+        result = session.execute(
+            "SELECT cat, SUM(amt) FROM fact, dim WHERE fact.d = dim.d "
+            "GROUP BY cat")
+        metrics = result.metrics
+        assert metrics.total_s > 0
+        assert metrics.compile_s > 0
+        assert metrics.cpu_s > 0
+        assert metrics.vertices
+        assert metrics.rows_produced == 4
+
+    def test_llap_vs_container_startup(self, session):
+        query = "SELECT COUNT(*) FROM fact"
+        llap_result = session.execute(query)
+        session.conf.llap_enabled = False
+        session.conf.llap_cache_enabled = False
+        container_result = session.execute(query)
+        assert (container_result.metrics.startup_s
+                > llap_result.metrics.startup_s)
+        assert (container_result.metrics.total_s
+                > llap_result.metrics.total_s)
+
+    def test_vectorization_lowers_cpu(self, session):
+        query = "SELECT SUM(amt) FROM fact WHERE k > 0"
+        fast = session.execute(query)
+        session.conf.vectorized_execution = False
+        slow = session.execute(query)
+        assert slow.metrics.cpu_s > fast.metrics.cpu_s
+        assert slow.rows == fast.rows
+
+    def test_data_scale_magnifies_work(self, session):
+        small = session.execute("SELECT SUM(amt) FROM fact")
+        session.conf.cost.data_scale = 1000
+        big = session.execute("SELECT SUM(amt) FROM fact")
+        assert big.metrics.cpu_s > small.metrics.cpu_s * 100
+
+
+class TestSemijoinRuntime:
+    def test_filter_skips_fact_rows(self, session):
+        result = session.execute(
+            "SELECT SUM(amt) FROM fact, dim "
+            "WHERE fact.d = dim.d AND cat = 'a'")
+        assert result.optimized.semijoin_reducers
+        # runtime filtered fact rows before the join
+        reducers = result.optimized.semijoin_reducers
+        assert reducers[0].target_column == "d"
+
+    def test_results_match_without_semijoin(self, session):
+        sql = ("SELECT SUM(amt) FROM fact, dim "
+               "WHERE fact.d = dim.d AND cat = 'b'")
+        with_sj = session.execute(sql)
+        session.conf.semijoin_reduction = False
+        without = session.execute(sql)
+        assert with_sj.rows == without.rows
+
+
+class TestReexecution:
+    def test_oom_triggers_reoptimize(self, session):
+        """A hash join whose build side exceeds the memory budget fails,
+
+        is re-planned with the *captured runtime statistics* (which show
+        the dimension is actually tiny), and succeeds — Section 4.2's
+        reoptimize strategy."""
+        from repro.metastore.stats import TableStatistics
+        # poison HMS statistics: dim looks enormous, so the optimizer
+        # puts the fact table on the (memory-bound) build side
+        dim = session.hms.get_table("dim")
+        fake = TableStatistics(row_count=1_000_000, total_bytes=1 << 30)
+        session.hms.set_statistics(dim, fake)
+        session.conf.hash_join_memory_rows = 150
+        session.conf.semijoin_reduction = False
+        sql = ("SELECT COUNT(*) FROM dim, fact WHERE dim.d = fact.d "
+               "AND cat = 'a'")
+        result = session.execute(sql)
+        assert result.reexecuted
+        assert result.rows == [(100,)]
+
+    def test_reexecution_off_propagates(self, session):
+        session.conf.hash_join_memory_rows = 50
+        session.conf.join_reordering = False
+        session.conf.reexecution_strategy = "off"
+        with pytest.raises(OutOfMemoryError):
+            session.execute("SELECT COUNT(*) FROM dim, fact "
+                            "WHERE dim.d = fact.d AND cat = 'a'")
+
+    def test_overlay_strategy(self, session):
+        session.conf.hash_join_memory_rows = 50
+        session.conf.join_reordering = False
+        session.conf.reexecution_strategy = "overlay"
+        session.conf.reexecution_overlay = {
+            "hash_join_memory_rows": None}
+        result = session.execute("SELECT COUNT(*) FROM dim, fact "
+                                 "WHERE dim.d = fact.d AND cat = 'a'")
+        assert result.reexecuted
+        assert result.rows == [(100,)]

@@ -1,0 +1,155 @@
+"""Scan executor runtime behaviour: partition handling, sargs, semijoin
+
+filters, and IO attribution.
+"""
+
+import pytest
+
+import repro
+from repro.common.bloom import BloomFilter
+from repro.config import HiveConf
+from repro.plan import relnodes as rel
+from repro.runtime.scan import ScanMetrics, SemijoinFilter, _rex_to_sarg
+from repro.plan.rexnodes import RexCall, RexInputRef, RexLiteral, make_call
+from repro.common.types import DATE, INT, STRING
+from repro.common.rows import Column, Schema
+import datetime
+
+
+@pytest.fixture
+def session():
+    server = repro.HiveServer2(HiveConf.v3_profile())
+    s = server.connect()
+    s.conf.results_cache_enabled = False
+    s.execute("CREATE TABLE p (v INT, w STRING) PARTITIONED BY (ds INT)")
+    rows = ", ".join(f"({i}, 'w{i}', {i % 5})" for i in range(100))
+    s.execute(f"INSERT INTO p VALUES {rows}")
+    return s
+
+
+class TestPartitionedScans:
+    def test_partition_values_materialize_as_columns(self, session):
+        rows = session.execute(
+            "SELECT ds, COUNT(*) FROM p GROUP BY ds ORDER BY ds").rows
+        assert rows == [(d, 20) for d in range(5)]
+
+    def test_static_pruning_reads_fewer_partitions(self, session):
+        result = session.execute("SELECT COUNT(*) FROM p WHERE ds = 3")
+        assert result.rows == [(20,)]
+        scan = rel.find_scans(result.optimized.root)[0]
+        assert scan.pruned_partitions == ((3,),)
+
+    def test_pruning_reduces_io(self, session):
+        session.server.llap_cache.clear()
+        session.server.llap_factory.io.reset()
+        session.server.llap_factory._metadata.clear()
+        full = session.execute("SELECT SUM(v) FROM p")
+        session.server.llap_cache.clear()
+        session.server.llap_factory._metadata.clear()
+        pruned = session.execute("SELECT SUM(v) FROM p WHERE ds = 0")
+        assert pruned.metrics.disk_bytes < full.metrics.disk_bytes
+
+    def test_filter_on_partition_and_data_column(self, session):
+        rows = session.execute(
+            "SELECT v FROM p WHERE ds = 1 AND v < 10 ORDER BY v").rows
+        assert rows == [(1,), (6,)]
+
+    def test_empty_partition_set(self, session):
+        assert session.execute(
+            "SELECT COUNT(*) FROM p WHERE ds = 99").rows == [(0,)]
+
+
+class TestSargConversion:
+    SCHEMA = Schema([Column("a", INT), Column("b", STRING),
+                     Column("d", DATE)])
+
+    def test_comparison_forms(self):
+        sarg = _rex_to_sarg(make_call(">", RexInputRef(0, INT),
+                                      RexLiteral(5, INT)), self.SCHEMA)
+        assert (sarg.column, sarg.op, sarg.value) == ("a", ">", 5)
+        flipped = _rex_to_sarg(make_call("<", RexLiteral(5, INT),
+                                         RexInputRef(0, INT)), self.SCHEMA)
+        assert (flipped.column, flipped.op) == ("a", ">")
+
+    def test_date_literal_converted_to_storage(self):
+        day = datetime.date(2020, 1, 10)
+        sarg = _rex_to_sarg(
+            make_call("=", RexInputRef(2, DATE),
+                      RexLiteral(day, DATE)), self.SCHEMA)
+        assert sarg.value == DATE.to_storage(day)
+
+    def test_in_list(self):
+        sarg = _rex_to_sarg(
+            make_call("IN", RexInputRef(1, STRING),
+                      RexLiteral("x", STRING), RexLiteral("y", STRING)),
+            self.SCHEMA)
+        assert sarg.op == "in" and sarg.value == ("x", "y")
+
+    def test_null_literal_not_sargable(self):
+        assert _rex_to_sarg(
+            make_call("=", RexInputRef(0, INT), RexLiteral(None, INT)),
+            self.SCHEMA) is None
+
+    def test_non_ref_not_sargable(self):
+        expr = make_call("=", RexCall("+", (RexInputRef(0, INT),
+                                            RexLiteral(1, INT)), INT),
+                         RexLiteral(5, INT))
+        assert _rex_to_sarg(expr, self.SCHEMA) is None
+
+
+class TestSemijoinFilter:
+    def test_from_vector(self):
+        from repro.common.vector import ColumnVector
+        vector = ColumnVector.from_values(INT, [5, 1, 9, None, 5])
+        sj = SemijoinFilter.from_vector("k", vector, 0.05)
+        assert (sj.min_value, sj.max_value) == (1, 9)
+        assert sj.build_rows == 3
+        assert sj.bloom.might_contain(5)
+        assert sj.bloom.might_contain(9)
+
+    def test_empty_build_side_filters_everything(self, session):
+        # a dimension filter matching nothing: the fact scan must return
+        # zero rows without error
+        session.execute("CREATE TABLE d (ds INT, tag STRING)")
+        session.execute("INSERT INTO d VALUES (1, 'only')")
+        result = session.execute(
+            "SELECT COUNT(*) FROM p, d WHERE p.ds = d.ds "
+            "AND d.tag = 'no-such-tag'")
+        assert result.rows == [(0,)]
+
+    def test_metrics_report_filtered_rows(self, session):
+        session.execute("CREATE TABLE dim2 (ds INT, keep STRING)")
+        session.execute("INSERT INTO dim2 VALUES (2, 'y')")
+        result = session.execute(
+            "SELECT COUNT(*) FROM p, dim2 WHERE p.ds = dim2.ds "
+            "AND keep = 'y'")
+        assert result.rows == [(20,)]
+        assert result.optimized.semijoin_reducers
+
+
+class TestScanMetrics:
+    def test_merge(self):
+        a = ScanMetrics(rows=10, disk_bytes=100, cache_bytes=5,
+                        files_opened=2)
+        b = ScanMetrics(rows=4, disk_bytes=50, cache_bytes=0,
+                        files_opened=1, external_time_s=0.5)
+        a.merge(b)
+        assert a.rows == 14 and a.disk_bytes == 150
+        assert a.files_opened == 3 and a.external_time_s == 0.5
+
+    def test_cache_attribution_llap_vs_direct(self, session):
+        server = session.server
+        server.llap_cache.clear()
+        server.llap_factory._metadata.clear()
+        server.llap_factory.io.reset()
+        cold = session.execute("SELECT SUM(v) FROM p")
+        warm = session.execute("SELECT SUM(v) FROM p")
+        assert cold.metrics.disk_bytes > 0
+        assert warm.metrics.cache_bytes > 0
+        assert warm.metrics.disk_bytes == 0
+        # container mode attributes everything to disk, every time
+        session.conf.llap_enabled = False
+        session.conf.llap_cache_enabled = False
+        direct = session.execute("SELECT SUM(v) FROM p")
+        assert direct.metrics.cache_bytes == 0
+        assert direct.metrics.disk_bytes > 0

@@ -1,0 +1,48 @@
+"""SHOW DATABASES / PARTITIONS / MATERIALIZED VIEWS utility statements."""
+
+import pytest
+
+import repro
+
+
+@pytest.fixture
+def session():
+    s = repro.connect()
+    s.execute("CREATE DATABASE extra")
+    s.execute("CREATE TABLE p (v INT) PARTITIONED BY (ds INT, r STRING)")
+    s.execute("INSERT INTO p VALUES (1, 5, 'us'), (2, 6, 'eu')")
+    s.execute("CREATE TABLE src (a INT)")
+    s.execute("INSERT INTO src VALUES (1), (2)")
+    s.execute("CREATE MATERIALIZED VIEW mv AS "
+              "SELECT a, COUNT(*) c FROM src GROUP BY a")
+    return s
+
+
+def test_show_databases(session):
+    assert session.execute("SHOW DATABASES").rows == [
+        ("default",), ("extra",)]
+
+
+def test_show_partitions(session):
+    rows = session.execute("SHOW PARTITIONS p").rows
+    assert rows == [("ds=5/r=us",), ("ds=6/r=eu",)]
+
+
+def test_show_partitions_unpartitioned(session):
+    assert session.execute("SHOW PARTITIONS src").rows == []
+
+
+def test_show_materialized_views_freshness(session):
+    assert session.execute("SHOW MATERIALIZED VIEWS").rows == [
+        ("default.mv", "yes", "fresh")]
+    session.execute("INSERT INTO src VALUES (3)")
+    assert session.execute("SHOW MATERIALIZED VIEWS").rows == [
+        ("default.mv", "yes", "stale")]
+    session.execute("ALTER MATERIALIZED VIEW mv REBUILD")
+    assert session.execute("SHOW MATERIALIZED VIEWS").rows == [
+        ("default.mv", "yes", "fresh")]
+
+
+def test_show_tables_excludes_other_databases(session):
+    assert session.execute("SHOW TABLES").rows == [
+        ("mv",), ("p",), ("src",)]

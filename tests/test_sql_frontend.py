@@ -1,0 +1,258 @@
+"""Lexer and parser: token streams, AST shapes, unparse, profile gating."""
+
+import datetime
+
+import pytest
+
+from repro.config import HiveConf
+from repro.errors import ParseError, UnsupportedFeatureError
+from repro.sql import ast_nodes as ast
+from repro.sql.lexer import TokenType, tokenize
+from repro.sql.parser import parse_query, parse_statement
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("SELECT foo FROM Bar")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.KEYWORD, TokenType.IDENT, TokenType.KEYWORD,
+            TokenType.IDENT]
+        assert tokens[0].value == "SELECT"
+        assert tokens[3].value == "Bar"
+
+    def test_string_escapes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 2.5E-2")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["1", "2.5", "1e3", "2.5E-2"]
+
+    def test_comments_stripped(self):
+        tokens = tokenize("SELECT 1 -- trailing\n/* block\n*/ FROM t")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "1", "FROM",
+                                                  "t"]
+
+    def test_multichar_operators(self):
+        tokens = tokenize("a <> b >= c || d")
+        ops = [t.value for t in tokens if t.type is TokenType.OP]
+        assert ops == ["<>", ">=", "||"]
+
+    def test_backquoted_identifier(self):
+        tokens = tokenize("`select`")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "select"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT @")
+
+    def test_line_tracking(self):
+        tokens = tokenize("SELECT\n\nx")
+        assert tokens[1].line == 3
+
+
+class TestQueryParsing:
+    def test_basic_shape(self):
+        query = parse_query(
+            "SELECT a, b AS bee FROM t WHERE a > 1 GROUP BY a, b "
+            "HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 7")
+        spec = query.body
+        assert [i.alias for i in spec.select_items] == [None, "bee"]
+        assert spec.where is not None
+        assert len(spec.group_by) == 2
+        assert spec.having is not None
+        assert query.order_by[0].ascending is False
+        assert query.limit == 7
+
+    def test_join_kinds(self):
+        query = parse_query(
+            "SELECT 1 FROM a LEFT OUTER JOIN b ON a.x = b.x "
+            "RIGHT JOIN c ON b.y = c.y CROSS JOIN d")
+        ref = query.body.from_refs[0]
+        assert isinstance(ref, ast.JoinRef) and ref.kind == "cross"
+        assert ref.left.kind == "right"
+        assert ref.left.left.kind == "left"
+
+    def test_operator_precedence(self):
+        expr = parse_query("SELECT 1 FROM t WHERE a OR b AND NOT c").body.where
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+        assert expr.right.right.op == "NOT"
+
+    def test_arithmetic_precedence(self):
+        expr = parse_query("SELECT a + b * c FROM t").body.select_items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_date_literal(self):
+        expr = parse_query("SELECT DATE '2020-02-03' FROM t"
+                           ).body.select_items[0].expr
+        assert expr.value == datetime.date(2020, 2, 3)
+
+    def test_between_not_in_like(self):
+        where = parse_query(
+            "SELECT 1 FROM t WHERE a BETWEEN 1 AND 2 AND b NOT IN (1,2) "
+            "AND c NOT LIKE 'x%' AND d IS NOT NULL").body.where
+        parts = []
+
+        def flatten(e):
+            if isinstance(e, ast.BinaryOp) and e.op == "AND":
+                flatten(e.left)
+                flatten(e.right)
+            else:
+                parts.append(e)
+
+        flatten(where)
+        assert isinstance(parts[0], ast.Between)
+        assert isinstance(parts[1], ast.InList) and parts[1].negated
+        assert isinstance(parts[2], ast.Like) and parts[2].negated
+        assert isinstance(parts[3], ast.IsNull) and parts[3].negated
+
+    def test_case_simple_form_desugars(self):
+        expr = parse_query(
+            "SELECT CASE a WHEN 1 THEN 'x' ELSE 'y' END FROM t"
+        ).body.select_items[0].expr
+        assert isinstance(expr, ast.CaseExpr)
+        assert expr.whens[0][0].op == "="
+
+    def test_count_star(self):
+        expr = parse_query("SELECT COUNT(*) FROM t").body.select_items[0].expr
+        assert expr.name == "count" and expr.args == ()
+
+    def test_distinct_aggregate(self):
+        expr = parse_query("SELECT SUM(DISTINCT a) FROM t"
+                           ).body.select_items[0].expr
+        assert expr.distinct
+
+    def test_window_spec(self):
+        expr = parse_query(
+            "SELECT RANK() OVER (PARTITION BY a ORDER BY b DESC) FROM t"
+        ).body.select_items[0].expr
+        assert len(expr.window.partition_by) == 1
+        assert not expr.window.order_by[0].ascending
+
+    def test_union_precedence(self):
+        body = parse_query(
+            "SELECT 1 FROM a UNION ALL SELECT 2 FROM b "
+            "INTERSECT SELECT 3 FROM c").body
+        assert body.op == "union"
+        assert body.right.op == "intersect"
+
+    def test_cte(self):
+        query = parse_query("WITH x AS (SELECT 1 a FROM t), "
+                            "y AS (SELECT 2 b FROM u) SELECT * FROM x")
+        assert [c.name for c in query.ctes] == ["x", "y"]
+
+    def test_qualified_star(self):
+        item = parse_query("SELECT t.* FROM t").body.select_items[0]
+        assert isinstance(item.expr, ast.Star)
+        assert item.expr.qualifier == "t"
+
+    def test_unparse_stable(self):
+        sql = ("SELECT a, SUM(b) AS s FROM t WHERE a IN (1, 2) "
+               "GROUP BY a ORDER BY s DESC LIMIT 3")
+        once = parse_query(sql).unparse()
+        twice = parse_query(once).unparse()
+        assert once == twice
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT 1 FROM t extra garbage ,")
+
+
+class TestStatementParsing:
+    def test_create_table_full(self):
+        statement = parse_statement("""
+            CREATE TABLE db.t (
+                a INT NOT NULL, b DECIMAL(7,2), c STRING,
+                PRIMARY KEY (a) DISABLE NOVALIDATE,
+                FOREIGN KEY (c) REFERENCES dim (d) DISABLE)
+            PARTITIONED BY (ds INT) STORED AS ORC
+            TBLPROPERTIES ('transactional'='true', 'k'='v')""")
+        assert statement.name == "db.t"
+        assert statement.columns[0].not_null
+        assert statement.columns[1].type_params == (7, 2)
+        assert statement.primary_key == ("a",)
+        assert statement.foreign_keys[0].ref_table == "dim"
+        assert statement.partition_columns[0].name == "ds"
+        assert dict(statement.properties)["transactional"] == "true"
+
+    def test_create_external_stored_by(self):
+        statement = parse_statement(
+            "CREATE EXTERNAL TABLE d STORED BY 'druid' "
+            "TBLPROPERTIES ('druid.datasource'='x')")
+        assert statement.external
+        assert statement.storage_handler == "druid"
+        assert statement.columns == ()
+
+    def test_insert_variants(self):
+        values = parse_statement(
+            "INSERT INTO t PARTITION (ds=3) (a, b) VALUES (1, 'x')")
+        assert values.partition_spec == (("ds", 3),)
+        assert values.columns == ("a", "b")
+        select = parse_statement("INSERT OVERWRITE TABLE t SELECT * FROM u")
+        assert select.overwrite and select.query is not None
+
+    def test_merge_clauses(self):
+        statement = parse_statement("""
+            MERGE INTO t dst USING (SELECT * FROM s) src
+            ON dst.k = src.k
+            WHEN MATCHED AND src.flag = 1 THEN DELETE
+            WHEN MATCHED THEN UPDATE SET v = src.v
+            WHEN NOT MATCHED THEN INSERT VALUES (src.k, src.v)""")
+        actions = [(c.matched, c.action) for c in statement.when_clauses]
+        assert actions == [(True, "delete"), (True, "update"),
+                           (False, "insert")]
+
+    def test_workload_ddl_roundtrip(self):
+        for sql, kind in [
+            ("CREATE RESOURCE PLAN daytime", ast.CreateResourcePlan),
+            ("CREATE POOL daytime.bi WITH alloc_fraction=0.8, "
+             "query_parallelism=5", ast.CreatePool),
+            ("CREATE RULE dg IN daytime WHEN total_runtime > 3000 "
+             "THEN MOVE etl", ast.CreateTriggerRule),
+            ("ADD RULE dg TO bi", ast.AddRuleToPool),
+            ("CREATE APPLICATION MAPPING app IN daytime TO bi",
+             ast.CreateApplicationMapping),
+            ("ALTER PLAN daytime SET DEFAULT POOL = etl", ast.AlterPlan),
+            ("ALTER RESOURCE PLAN daytime ENABLE ACTIVATE",
+             ast.AlterPlan),
+        ]:
+            assert isinstance(parse_statement(sql), kind)
+
+    def test_explain_wraps(self):
+        statement = parse_statement("EXPLAIN SELECT 1 FROM t")
+        assert isinstance(statement, ast.Explain)
+        assert isinstance(statement.statement, ast.SelectStatement)
+
+
+class TestProfileGating:
+    @pytest.fixture
+    def legacy(self):
+        return HiveConf.legacy_profile()
+
+    @pytest.mark.parametrize("sql", [
+        "SELECT a FROM t INTERSECT SELECT a FROM u",
+        "SELECT a FROM t EXCEPT SELECT a FROM u",
+        "SELECT d + INTERVAL '3' DAY FROM t",
+        "SELECT a FROM t GROUP BY GROUPING SETS ((a), ())",
+        "SELECT a FROM t GROUP BY ROLLUP (a)",
+    ])
+    def test_legacy_rejects(self, legacy, sql):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_query(sql, legacy)
+
+    def test_v3_accepts_everything(self, sql_list=None):
+        v3 = HiveConf.v3_profile()
+        for sql in ["SELECT a FROM t INTERSECT SELECT a FROM u",
+                    "SELECT d + INTERVAL '3' DAY FROM t"]:
+            parse_query(sql, v3)
+
+    def test_union_allowed_on_legacy(self, legacy):
+        parse_query("SELECT a FROM t UNION ALL SELECT a FROM u", legacy)

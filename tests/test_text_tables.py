@@ -1,0 +1,78 @@
+"""STORED AS TEXTFILE tables: real delimited bytes on disk, full query
+
+path, and the ACID-requires-ORC guard.
+"""
+
+import datetime
+
+import pytest
+
+import repro
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def session():
+    s = repro.connect()
+    s.conf.results_cache_enabled = False
+    return s
+
+
+def test_text_table_round_trip(session):
+    session.execute("CREATE TABLE tt (a INT, b STRING, d DATE) "
+                    "STORED AS TEXTFILE")
+    table = session.server.hms.get_table("tt")
+    assert table.file_format == "text"
+    assert not table.is_acid
+    session.execute("INSERT INTO tt VALUES "
+                    "(1, 'x', DATE '2020-01-01'), (2, NULL, NULL)")
+    rows = session.execute("SELECT a, b, d FROM tt ORDER BY a").rows
+    assert rows == [(1, "x", datetime.date(2020, 1, 1)),
+                    (2, None, None)]
+
+
+def test_bytes_on_disk_are_delimited_text(session):
+    session.execute("CREATE TABLE tt (a INT, b STRING) "
+                    "STORED AS TEXTFILE")
+    session.execute("INSERT INTO tt VALUES (7, 'seven')")
+    table = session.server.hms.get_table("tt")
+    (status,) = session.server.fs.list_files(table.location)
+    assert session.server.fs.read(status.path) == b"7\x01seven\n"
+
+
+def test_text_queries_full_pipeline(session):
+    session.execute("CREATE TABLE tt (g INT, v DOUBLE) "
+                    "STORED AS TEXTFILE")
+    values = ", ".join(f"({i % 3}, {float(i)})" for i in range(30))
+    session.execute(f"INSERT INTO tt VALUES {values}")
+    rows = session.execute("SELECT g, SUM(v) FROM tt WHERE v >= 10 "
+                           "GROUP BY g ORDER BY g").rows
+    expected = {}
+    for i in range(30):
+        if i >= 10:
+            expected[i % 3] = expected.get(i % 3, 0.0) + float(i)
+    assert rows == sorted(expected.items())
+
+
+def test_text_partitioned(session):
+    session.execute("CREATE TABLE tp (v INT) PARTITIONED BY (ds INT) "
+                    "STORED AS TEXTFILE")
+    session.execute("INSERT INTO tp VALUES (1, 10), (2, 20)")
+    assert session.execute(
+        "SELECT v FROM tp WHERE ds = 20").rows == [(2,)]
+
+
+def test_transactional_text_rejected(session):
+    with pytest.raises(AnalysisError, match="ORC"):
+        session.execute("CREATE TABLE bad (a INT) STORED AS TEXTFILE "
+                        "TBLPROPERTIES ('transactional'='true')")
+
+
+def test_text_join_with_orc(session):
+    session.execute("CREATE TABLE t1 (k INT, s STRING) STORED AS TEXTFILE")
+    session.execute("CREATE TABLE t2 (k INT, n DOUBLE)")
+    session.execute("INSERT INTO t1 VALUES (1, 'one'), (2, 'two')")
+    session.execute("INSERT INTO t2 VALUES (1, 0.5), (2, 0.9)")
+    rows = session.execute(
+        "SELECT s, n FROM t1, t2 WHERE t1.k = t2.k ORDER BY s").rows
+    assert rows == [("one", 0.5), ("two", 0.9)]

@@ -1,0 +1,233 @@
+"""Transaction manager: TxnIds, WriteIds, snapshots, conflicts, locks."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (LockTimeoutError, TransactionError,
+                          WriteConflictError)
+from repro.metastore.locks import LockManager, LockType
+from repro.metastore.txn import (DeltaWriteIdList, TransactionManager,
+                                 TxnState, ValidWriteIdList)
+
+
+@pytest.fixture
+def tm():
+    return TransactionManager()
+
+
+class TestTxnLifecycle:
+    def test_monotonic_ids(self, tm):
+        ids = [tm.open_transaction() for _ in range(5)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+    def test_commit_and_state(self, tm):
+        txn = tm.open_transaction()
+        tm.commit(txn)
+        assert tm.state_of(txn) is TxnState.COMMITTED
+        with pytest.raises(TransactionError):
+            tm.commit(txn)
+
+    def test_abort(self, tm):
+        txn = tm.open_transaction()
+        tm.abort(txn)
+        assert tm.state_of(txn) is TxnState.ABORTED
+
+    def test_unknown_txn(self, tm):
+        with pytest.raises(TransactionError):
+            tm.commit(12345)
+
+    def test_min_open(self, tm):
+        assert tm.min_open_txn() is None
+        first = tm.open_transaction()
+        second = tm.open_transaction()
+        assert tm.min_open_txn() == first
+        tm.commit(first)
+        assert tm.min_open_txn() == second
+
+
+class TestWriteIds:
+    def test_per_table_monotonic(self, tm):
+        t1 = tm.open_transaction()
+        t2 = tm.open_transaction()
+        assert tm.allocate_write_id(t1, "db.a") == 1
+        assert tm.allocate_write_id(t2, "db.a") == 2
+        assert tm.allocate_write_id(t2, "db.b") == 1
+
+    def test_same_txn_same_table_reuses(self, tm):
+        txn = tm.open_transaction()
+        first = tm.allocate_write_id(txn, "db.a")
+        assert tm.allocate_write_id(txn, "db.a") == first
+
+    def test_current_write_id(self, tm):
+        assert tm.current_write_id("db.a") == 0
+        txn = tm.open_transaction()
+        tm.allocate_write_id(txn, "db.a")
+        assert tm.current_write_id("db.a") == 1
+
+
+class TestSnapshots:
+    def test_visibility_rules(self, tm):
+        committed = tm.open_transaction()
+        tm.commit(committed)
+        open_txn = tm.open_transaction()
+        aborted = tm.open_transaction()
+        tm.abort(aborted)
+        snapshot = tm.get_snapshot()
+        assert snapshot.is_visible(committed)
+        assert not snapshot.is_visible(open_txn)
+        assert not snapshot.is_visible(aborted)
+        # future transactions are invisible
+        future = tm.open_transaction()
+        tm.commit(future)
+        assert not snapshot.is_visible(future)
+
+    def test_valid_write_ids_projection(self, tm):
+        t1 = tm.open_transaction()
+        w1 = tm.allocate_write_id(t1, "db.t")
+        tm.commit(t1)
+        t2 = tm.open_transaction()          # stays open
+        w2 = tm.allocate_write_id(t2, "db.t")
+        t3 = tm.open_transaction()
+        w3 = tm.allocate_write_id(t3, "db.t")
+        tm.abort(t3)
+        valid = tm.valid_write_ids(tm.get_snapshot(), "db.t")
+        assert valid.is_valid(w1)
+        assert not valid.is_valid(w2)       # open
+        assert not valid.is_valid(w3)       # aborted
+        assert not valid.is_valid(w3 + 10)  # above high watermark
+
+    def test_range_fully_valid(self, tm):
+        for _ in range(3):
+            txn = tm.open_transaction()
+            tm.allocate_write_id(txn, "db.t")
+            tm.commit(txn)
+        valid = tm.valid_write_ids(tm.get_snapshot(), "db.t")
+        assert valid.range_fully_valid(1, 3)
+        assert not valid.range_fully_valid(1, 4)
+
+    def test_delta_write_id_list(self):
+        base = ValidWriteIdList("db.t", 10, frozenset({4}))
+        delta = DeltaWriteIdList("db.t", 10, frozenset({4}),
+                                 min_write_id=5)
+        assert base.is_valid(3) and not delta.is_valid(3)
+        assert delta.is_valid(6)
+        assert not delta.is_valid(4)
+        assert not delta.range_fully_valid(6, 7)
+
+
+class TestConflicts:
+    def test_first_commit_wins(self, tm):
+        first = tm.open_transaction()
+        second = tm.open_transaction()
+        tm.record_write_set(first, "db.t", (1,), "update")
+        tm.record_write_set(second, "db.t", (1,), "update")
+        tm.commit(second)            # second commits first: it wins
+        with pytest.raises(WriteConflictError):
+            tm.commit(first)
+        assert tm.state_of(first) is TxnState.ABORTED
+
+    def test_disjoint_partitions_no_conflict(self, tm):
+        first = tm.open_transaction()
+        second = tm.open_transaction()
+        tm.record_write_set(first, "db.t", (1,), "update")
+        tm.record_write_set(second, "db.t", (2,), "update")
+        tm.commit(second)
+        tm.commit(first)             # no overlap
+
+    def test_inserts_never_conflict(self, tm):
+        first = tm.open_transaction()
+        second = tm.open_transaction()
+        tm.record_write_set(first, "db.t", (), "insert")
+        tm.record_write_set(second, "db.t", (), "insert")
+        tm.commit(second)
+        tm.commit(first)
+
+    def test_earlier_commit_does_not_conflict(self, tm):
+        writer = tm.open_transaction()
+        tm.record_write_set(writer, "db.t", (), "delete")
+        tm.commit(writer)
+        later = tm.open_transaction()   # opened after the commit
+        tm.record_write_set(later, "db.t", (), "delete")
+        tm.commit(later)                # sees the earlier write: fine
+
+    def test_bad_operation_rejected(self, tm):
+        txn = tm.open_transaction()
+        with pytest.raises(TransactionError):
+            tm.record_write_set(txn, "db.t", (), "upsert")
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.booleans()),
+                    min_size=2, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_at_most_one_winner_per_partition(self, ops):
+        """Among concurrent updaters of one partition, exactly one of any
+
+        conflicting pair survives (first committer wins)."""
+        tm = TransactionManager()
+        txns = []
+        for partition, _ in ops:
+            txn = tm.open_transaction()
+            tm.record_write_set(txn, "db.t", (partition,), "update")
+            txns.append((txn, partition))
+        outcomes = {}
+        for txn, partition in txns:
+            try:
+                tm.commit(txn)
+                outcomes.setdefault(partition, []).append(txn)
+            except WriteConflictError:
+                pass
+        # exactly one winner per partition: whoever committed first
+        for partition, winners in outcomes.items():
+            assert len(winners) == 1
+
+
+class TestLockManager:
+    def test_shared_locks_coexist(self):
+        locks = LockManager(default_timeout_s=0.1)
+        locks.acquire(1, "t", None, LockType.SHARED)
+        locks.acquire(2, "t", None, LockType.SHARED)
+        assert len(locks.locks_held()) == 2
+
+    def test_exclusive_blocks(self):
+        locks = LockManager(default_timeout_s=0.05)
+        locks.acquire(1, "t", None, LockType.SHARED)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire(2, "t", None, LockType.EXCLUSIVE)
+
+    def test_partition_granularity(self):
+        locks = LockManager(default_timeout_s=0.05)
+        locks.acquire(1, "t", (1,), LockType.EXCLUSIVE)
+        locks.acquire(2, "t", (2,), LockType.EXCLUSIVE)  # disjoint: OK
+        with pytest.raises(LockTimeoutError):
+            locks.acquire(3, "t", (1,), LockType.SHARED)
+
+    def test_table_lock_covers_partitions(self):
+        locks = LockManager(default_timeout_s=0.05)
+        locks.acquire(1, "t", None, LockType.EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire(2, "t", (7,), LockType.SHARED)
+
+    def test_reentrant_within_txn(self):
+        locks = LockManager(default_timeout_s=0.05)
+        locks.acquire(1, "t", None, LockType.EXCLUSIVE)
+        locks.acquire(1, "t", (1,), LockType.SHARED)  # same txn
+
+    def test_release_unblocks_waiter(self):
+        locks = LockManager(default_timeout_s=2.0)
+        locks.acquire(1, "t", None, LockType.EXCLUSIVE)
+        acquired = []
+
+        def waiter():
+            locks.acquire(2, "t", None, LockType.SHARED)
+            acquired.append(True)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        locks.release_all(1)
+        thread.join(timeout=2)
+        assert acquired == [True]
+        locks.release_all(2)
+        locks.assert_no_locks()

@@ -1,0 +1,145 @@
+"""Type system: conversions, coercion lattice, literal inference."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.common.types import (BIGINT, BOOLEAN, DATE, DOUBLE, INT, STRING,
+                                TIMESTAMP, common_type, decimal,
+                                infer_literal_type, type_from_name,
+                                varchar)
+from repro.errors import AnalysisError
+
+
+class TestStorageConversion:
+    def test_int_roundtrip(self):
+        assert INT.to_storage(42) == 42
+        assert INT.from_storage(42) == 42
+
+    def test_double_roundtrip(self):
+        assert DOUBLE.to_storage(1.5) == 1.5
+        assert DOUBLE.from_storage(np.float64(1.5)) == 1.5
+
+    def test_date_stored_as_days(self):
+        day = datetime.date(2020, 1, 2)
+        stored = DATE.to_storage(day)
+        assert stored == (day - datetime.date(1970, 1, 1)).days
+        assert DATE.from_storage(stored) == day
+
+    def test_date_from_iso_string(self):
+        assert DATE.to_storage("2020-01-02") == DATE.to_storage(
+            datetime.date(2020, 1, 2))
+
+    def test_timestamp_millis(self):
+        moment = datetime.datetime(2020, 5, 1, 12, 30, 15)
+        stored = TIMESTAMP.to_storage(moment)
+        assert TIMESTAMP.from_storage(stored) == moment
+
+    def test_null_passthrough(self):
+        for dtype in (INT, DOUBLE, STRING, DATE, BOOLEAN):
+            assert dtype.to_storage(None) is None
+            assert dtype.from_storage(None) is None
+
+    def test_boolean(self):
+        assert BOOLEAN.to_storage(1) is True
+        assert BOOLEAN.from_storage(np.bool_(False)) is False
+
+    def test_decimal_stored_as_float(self):
+        money = decimal(7, 2)
+        assert money.to_storage(12) == 12.0
+        assert money.numpy_dtype == np.dtype(np.float64)
+
+
+class TestTypeProperties:
+    def test_numeric_classification(self):
+        assert INT.is_numeric and DOUBLE.is_numeric
+        assert decimal(10, 2).is_numeric
+        assert not STRING.is_numeric
+
+    def test_integral(self):
+        assert INT.is_integral and BIGINT.is_integral
+        assert not DOUBLE.is_integral
+
+    def test_string_classification(self):
+        assert STRING.is_string
+        assert varchar(20).is_string
+
+    def test_temporal(self):
+        assert DATE.is_temporal and TIMESTAMP.is_temporal
+
+    def test_widths_positive(self):
+        for dtype in (INT, BIGINT, DOUBLE, STRING, DATE, TIMESTAMP,
+                      BOOLEAN):
+            assert dtype.width_bytes > 0
+
+    def test_str_rendering(self):
+        assert str(decimal(7, 2)) == "DECIMAL(7,2)"
+        assert str(varchar(30)) == "VARCHAR(30)"
+        assert str(INT) == "INT"
+
+
+class TestCoercion:
+    def test_numeric_widening(self):
+        assert common_type(INT, BIGINT) == BIGINT
+        assert common_type(BIGINT, DOUBLE) == DOUBLE
+        assert common_type(INT, decimal(10, 2)) == DOUBLE
+
+    def test_same_type(self):
+        assert common_type(STRING, STRING) == STRING
+        assert common_type(DATE, DATE) == DATE
+
+    def test_varchar_absorbed_by_string(self):
+        assert common_type(varchar(10), STRING).is_string
+
+    def test_string_date_compat(self):
+        assert common_type(STRING, DATE) == DATE
+        assert common_type(TIMESTAMP, STRING) == TIMESTAMP
+
+    def test_incompatible_raises(self):
+        with pytest.raises(AnalysisError):
+            common_type(INT, DATE)
+        with pytest.raises(AnalysisError):
+            common_type(BOOLEAN, STRING)
+
+
+class TestNameResolution:
+    def test_aliases(self):
+        assert type_from_name("integer") == INT
+        assert type_from_name("LONG") == BIGINT
+        assert type_from_name("float") == DOUBLE
+        assert type_from_name("text") == STRING
+        assert type_from_name("datetime") == TIMESTAMP
+
+    def test_parameterized(self):
+        dec = type_from_name("DECIMAL", 7, 2)
+        assert dec.precision == 7 and dec.scale == 2
+        vc = type_from_name("VARCHAR", 99)
+        assert vc.length == 99
+
+    def test_defaults(self):
+        assert type_from_name("DECIMAL").precision == 10
+        assert type_from_name("NUMERIC").scale == 0
+
+    def test_unknown_raises(self):
+        with pytest.raises(AnalysisError):
+            type_from_name("BLOB")
+
+
+class TestLiteralInference:
+    def test_basic(self):
+        assert infer_literal_type(True) == BOOLEAN
+        assert infer_literal_type(5) == INT
+        assert infer_literal_type(2**40) == BIGINT
+        assert infer_literal_type(1.5) == DOUBLE
+        assert infer_literal_type("x") == STRING
+        assert infer_literal_type(datetime.date(2020, 1, 1)) == DATE
+        assert infer_literal_type(
+            datetime.datetime(2020, 1, 1)) == TIMESTAMP
+
+    def test_bool_before_int(self):
+        # bool is a subclass of int; must classify as BOOLEAN
+        assert infer_literal_type(False) == BOOLEAN
+
+    def test_none_defaults_to_string(self):
+        assert infer_literal_type(None) == STRING

@@ -1,0 +1,162 @@
+"""Workload management: plans, pools, mappings, triggers (Section 5.2)."""
+
+import pytest
+
+import repro
+from repro.config import HiveConf
+from repro.errors import WorkloadManagementError
+from repro.llap.workload import (Pool, QueryAdmission, ResourcePlan,
+                                 Trigger, TriggerAction, WorkloadManager)
+
+
+def daytime_plan() -> ResourcePlan:
+    plan = ResourcePlan("daytime")
+    plan.add_pool(Pool("bi", 0.8, 5))
+    plan.add_pool(Pool("etl", 0.2, 20))
+    plan.mappings["visualization_app"] = "bi"
+    plan.default_pool = "etl"
+    plan.enabled = True
+    return plan
+
+
+class TestResourcePlan:
+    def test_allocation_fractions_bounded(self):
+        plan = ResourcePlan("p")
+        plan.add_pool(Pool("a", 0.8, 1))
+        with pytest.raises(WorkloadManagementError):
+            plan.add_pool(Pool("b", 0.3, 1))
+
+    def test_duplicate_pool(self):
+        plan = ResourcePlan("p")
+        plan.add_pool(Pool("a", 0.5, 1))
+        with pytest.raises(WorkloadManagementError):
+            plan.add_pool(Pool("a", 0.1, 1))
+
+    def test_routing(self):
+        plan = daytime_plan()
+        assert plan.route("visualization_app") == "bi"
+        assert plan.route("unknown") == "etl"
+        assert plan.route(None) == "etl"
+
+    def test_attach_rule(self):
+        plan = daytime_plan()
+        plan.unattached_triggers["downgrade"] = Trigger(
+            "downgrade", "total_runtime", 3.0, TriggerAction.MOVE, "etl")
+        plan.attach_rule("downgrade", "bi")
+        assert plan.pools["bi"].triggers[0].name == "downgrade"
+        with pytest.raises(WorkloadManagementError):
+            plan.attach_rule("nope", "bi")
+
+
+class TestAdmission:
+    def test_pool_capacity_fraction(self):
+        wm = WorkloadManager(daytime_plan())
+        admission = wm.admit("visualization_app", 0.0)
+        assert admission.pool == "bi"
+        # etl is idle, so bi borrows its capacity
+        assert admission.capacity_fraction == 1.0
+
+    def test_no_borrowing_when_other_pool_busy(self):
+        wm = WorkloadManager(daytime_plan())
+        etl = wm.admit(None, 0.0)
+        wm.complete(etl, 100.0)      # etl busy until t=100
+        bi = wm.admit("visualization_app", 1.0)
+        assert bi.capacity_fraction == pytest.approx(0.8)
+
+    def test_concurrency_queueing(self):
+        plan = ResourcePlan("p")
+        plan.add_pool(Pool("only", 1.0, 1))
+        plan.enabled = True
+        wm = WorkloadManager(plan)
+        first = wm.admit(None, 0.0)
+        wm.complete(first, 10.0)
+        second = wm.admit(None, 2.0)
+        assert second.queue_delay_s == pytest.approx(8.0)
+
+    def test_inactive_manager_passthrough(self):
+        wm = WorkloadManager(None)
+        admission = wm.admit("anything", 0.0)
+        assert admission.capacity_fraction == 1.0
+
+
+class TestTriggers:
+    def make_wm(self, action=TriggerAction.MOVE):
+        plan = daytime_plan()
+        plan.pools["bi"].triggers.append(
+            Trigger("downgrade", "total_runtime", 3.0, action, "etl"))
+        return WorkloadManager(plan)
+
+    def test_move_trigger(self):
+        wm = self.make_wm()
+        admission = QueryAdmission(pool="bi", capacity_fraction=0.8)
+        wm.check_triggers(admission, {"total_runtime": 5.0})
+        assert admission.moved_to == "etl"
+        assert admission.capacity_fraction == pytest.approx(0.2)
+
+    def test_below_threshold_no_move(self):
+        wm = self.make_wm()
+        admission = QueryAdmission(pool="bi", capacity_fraction=0.8)
+        wm.check_triggers(admission, {"total_runtime": 1.0})
+        assert admission.moved_to is None
+
+    def test_kill_trigger(self):
+        wm = self.make_wm(TriggerAction.KILL)
+        admission = QueryAdmission(pool="bi", capacity_fraction=0.8)
+        with pytest.raises(WorkloadManagementError):
+            wm.check_triggers(admission, {"total_runtime": 9.0})
+
+
+class TestWorkloadDdlEndToEnd:
+    """The paper's Section 5.2 example, verbatim, through the SQL layer."""
+
+    def test_paper_example(self):
+        server = repro.HiveServer2(HiveConf.v3_profile())
+        session = server.connect(application="visualization_app")
+        for sql in [
+            "CREATE RESOURCE PLAN daytime",
+            "CREATE POOL daytime.bi WITH alloc_fraction=0.8, "
+            "query_parallelism=5",
+            "CREATE POOL daytime.etl WITH alloc_fraction=0.2, "
+            "query_parallelism=20",
+            "CREATE RULE downgrade IN daytime WHEN total_runtime > 3000 "
+            "THEN MOVE etl",
+            "ADD RULE downgrade TO bi",
+            "CREATE APPLICATION MAPPING visualization_app IN daytime "
+            "TO bi",
+            "ALTER PLAN daytime SET DEFAULT POOL = etl",
+            "ALTER RESOURCE PLAN daytime ENABLE ACTIVATE",
+        ]:
+            session.execute(sql)
+        wm = server.workload_manager
+        assert wm.active
+        assert wm.plan.route("visualization_app") == "bi"
+        assert wm.plan.route(None) == "etl"
+        assert wm.plan.pools["bi"].triggers[0].threshold == 3000
+
+        # a query through the session lands in the mapped pool
+        session.execute("CREATE TABLE w (x INT)")
+        session.execute("INSERT INTO w VALUES (1), (2)")
+        result = session.execute("SELECT COUNT(*) FROM w")
+        assert result.metrics.pool == "bi"
+
+    def test_move_trigger_repricing(self):
+        server = repro.HiveServer2(HiveConf.v3_profile())
+        session = server.connect(application="slowapp")
+        for sql in [
+            "CREATE RESOURCE PLAN prod",
+            "CREATE POOL prod.fast WITH alloc_fraction=0.9, "
+            "query_parallelism=4",
+            "CREATE POOL prod.slow WITH alloc_fraction=0.1, "
+            "query_parallelism=4",
+            # tiny threshold: every query overruns it and gets moved
+            "CREATE RULE demote IN prod WHEN total_runtime > 0 "
+            "THEN MOVE slow",
+            "ADD RULE demote TO fast",
+            "CREATE APPLICATION MAPPING slowapp IN prod TO fast",
+            "ALTER RESOURCE PLAN prod ENABLE ACTIVATE",
+        ]:
+            session.execute(sql)
+        session.execute("CREATE TABLE w (x INT)")
+        session.execute("INSERT INTO w VALUES (1)")
+        result = session.execute("SELECT COUNT(*) FROM w")
+        assert result.metrics.moved_to_pool == "slow"
