@@ -28,3 +28,13 @@ def make_conf(profile: str):
 @pytest.fixture(scope="session")
 def data_scale():
     return DATA_SCALE
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush the observability collector to ``BENCH_obs.json``."""
+    import os
+    from repro.obs.export import BENCH_COLLECTOR
+    if not BENCH_COLLECTOR.records():
+        return
+    out = os.path.join(os.path.dirname(__file__), "BENCH_obs.json")
+    BENCH_COLLECTOR.write(out)

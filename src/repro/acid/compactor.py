@@ -92,10 +92,12 @@ class CompactionInitiator:
 class CompactionWorker:
     """Executes queued compactions."""
 
-    def __init__(self, hms: HiveMetastore, row_group_size: int = 4096):
+    def __init__(self, hms: HiveMetastore, row_group_size: int = 4096,
+                 registry=None):
         self.hms = hms
         self.reader = AcidReader(hms.fs)
         self.writer = AcidWriter(hms.fs, row_group_size)
+        self.registry = registry
 
     def run_one(self) -> CompactionReport | None:
         """Pop and execute the next queued request, if any."""
@@ -111,10 +113,17 @@ class CompactionWorker:
             report = self._major(request, table, location)
         else:
             report = self._minor(request, table, location)
+        request.merged_rows = report.merged_rows
+        request.output_dir = report.output_dir
         barrier = self.hms.txn_manager.get_snapshot().high_watermark
         self.hms.compaction_queue.mark_ready_for_cleaning(
             request.request_id,
             [f"{location}/{d}" for d in report.obsolete_dirs], barrier)
+        if self.registry is not None:
+            kind = request.compaction_type.value
+            self.registry.counter("compaction.runs", type=kind).inc()
+            self.registry.counter("compaction.merged_rows",
+                                  type=kind).inc(report.merged_rows)
         return report
 
     def _current_state(self, location: str):

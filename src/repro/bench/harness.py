@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..errors import HiveError
+from ..obs.export import BENCH_COLLECTOR, breakdown_of
 from ..server import HiveServer2, Session
 from .tpcds import BenchQuery
 
@@ -85,9 +86,16 @@ def run_query_set(session: Session,
             run.timings.append(QueryTiming(
                 name, result.metrics.total_s if result.metrics else 0.0,
                 rows=len(result.rows), from_cache=result.from_cache))
+            BENCH_COLLECTOR.record(
+                label, name,
+                seconds=result.metrics.total_s if result.metrics else 0.0,
+                rows=len(result.rows), from_cache=result.from_cache,
+                breakdown=breakdown_of(result.metrics))
         except HiveError as error:
             run.timings.append(QueryTiming(name, None,
                                            error=type(error).__name__))
+            BENCH_COLLECTOR.record(label, name, seconds=None,
+                                   error=type(error).__name__)
     return run
 
 

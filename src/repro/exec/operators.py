@@ -13,6 +13,7 @@ uses (Section 4.2).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
@@ -47,6 +48,9 @@ class ExecutionContext:
     #: results land in ``memo`` and re-executions are skipped
     memo_digests: frozenset = frozenset()
     memo: dict = field(default_factory=dict)
+    #: optional per-operator profile (repro.obs.ExecutionProfile): rows,
+    #: executions and wall time per digest, for EXPLAIN ANALYZE
+    profile: Optional[object] = None
 
     def record(self, node: rel.RelNode, rows: int) -> None:
         self.runtime_stats[node.digest] = rows
@@ -61,7 +65,13 @@ def execute(node: rel.RelNode, ctx: ExecutionContext) -> VectorBatch:
     handler = _DISPATCH.get(type(node))
     if handler is None:
         raise ExecutionError(f"no executor for {type(node).__name__}")
-    result = handler(node, ctx)
+    if ctx.profile is not None:
+        t0 = time.perf_counter()
+        result = handler(node, ctx)
+        ctx.profile.record(node.digest, result.num_rows,
+                           time.perf_counter() - t0)
+    else:
+        result = handler(node, ctx)
     ctx.record(node, result.num_rows)
     if digest is not None and digest in ctx.memo_digests:
         ctx.memo[digest] = result

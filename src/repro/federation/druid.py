@@ -477,6 +477,7 @@ class DruidStorageHandler(StorageHandler):
         ds = self.engine.get(self.datasource_name(table))
         query = DruidQuery("scan", ds.name, columns=list(columns))
         rows, seconds = self.engine.execute(query)
+        self.record_external_call(table, "scan", len(rows), seconds)
         return [self._deserialize(table, columns, row)
                 for row in rows], seconds
 
@@ -501,7 +502,9 @@ class DruidStorageHandler(StorageHandler):
 
     def execute_pushed(self, table: TableDescriptor,
                        query: DruidQuery) -> tuple[list[tuple], float]:
-        return self.engine.execute(query)
+        rows, seconds = self.engine.execute(query)
+        self.record_external_call(table, "pushdown", len(rows), seconds)
+        return rows, seconds
 
 
 class _DruidTranslator:

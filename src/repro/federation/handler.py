@@ -28,6 +28,22 @@ class StorageHandler(ABC):
     """Base class for all external-engine connectors."""
 
     name: str = "abstract"
+    #: metrics registry (repro.obs.MetricsRegistry), attached by
+    #: HiveServer2.register_storage_handler; None when standalone
+    obs_registry = None
+
+    # -- observability ---------------------------------------------------------- #
+    def record_external_call(self, table: TableDescriptor, kind: str,
+                             rows: int, seconds: float) -> None:
+        """Publish one external-engine round trip to the registry."""
+        registry = self.obs_registry
+        if registry is None:
+            return
+        labels = {"engine": self.name, "table": table.qualified_name,
+                  "kind": kind}
+        registry.counter("federation.calls", **labels).inc()
+        registry.counter("federation.rows", **labels).inc(rows)
+        registry.counter("federation.external_s", **labels).inc(seconds)
 
     # -- metastore hook -------------------------------------------------------- #
     def on_create_table(self, table: TableDescriptor) -> None:

@@ -76,6 +76,7 @@ class JdbcStorageHandler(StorageHandler):
                 for row in cursor.fetchall()]
         seconds = CONNECTION_OVERHEAD_S + len(rows) * (
             ROW_PROCESS_S + ROW_TRANSFER_S)
+        self.record_external_call(table, "scan", len(rows), seconds)
         return rows, seconds
 
     def insert_rows(self, table: TableDescriptor,
@@ -113,6 +114,7 @@ class JdbcStorageHandler(StorageHandler):
         # the remote engine did the heavy lifting; charge per result row
         seconds = CONNECTION_OVERHEAD_S + len(rows) * ROW_TRANSFER_S \
             + self._estimate_scan_cost(table)
+        self.record_external_call(table, "pushdown", len(rows), seconds)
         return [tuple(row) for row in rows], seconds
 
     def _estimate_scan_cost(self, table: TableDescriptor) -> float:

@@ -274,4 +274,5 @@ class KafkaStorageHandler(StorageHandler):
                 by_name["__timestamp"] = record.timestamp_ms
                 rows.append(tuple(by_name[n] for n in names))
         seconds = CONSUMER_SETUP_S + fetched * RECORD_FETCH_S
+        self.record_external_call(table, "consume", len(rows), seconds)
         return rows, seconds

@@ -107,10 +107,17 @@ class LlapCache:
         return True
 
     def invalidate_file(self, file_id: int) -> int:
-        """Drop every chunk of a file (e.g. after compaction cleanup)."""
+        """Drop every chunk of a file (e.g. after compaction cleanup).
+
+        Counts as eviction: capacity pressure and invalidation must move
+        the same ``evictions``/``evicted_bytes`` stats or the registry's
+        cache series drift from the actual resident set."""
         doomed = [k for k in self._entries if k.file_id == file_id]
         for key in doomed:
-            self._used -= self._entries.pop(key).nbytes
+            entry = self._entries.pop(key)
+            self._used -= entry.nbytes
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += entry.nbytes
         return len(doomed)
 
     def clear(self) -> None:

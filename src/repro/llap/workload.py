@@ -103,10 +103,17 @@ class WorkloadManager:
     Concurrency is modeled in virtual time: each pool keeps a heap of
     running-query finish times; when a pool is at its parallelism limit,
     an arriving query waits for the earliest finisher.
+
+    When a metrics registry (:class:`repro.obs.MetricsRegistry`) is
+    attached, admissions and queue delays are published per pool, and
+    triggers are evaluated against counters *read back from the
+    registry* rather than values threaded through by the runner.
     """
 
-    def __init__(self, plan: Optional[ResourcePlan] = None):
+    def __init__(self, plan: Optional[ResourcePlan] = None,
+                 registry=None):
         self.plan = plan
+        self.registry = registry
         self._running: dict[str, list[float]] = {}
 
     @property
@@ -136,6 +143,11 @@ class WorkloadManager:
             other_heap = self._running.get(other_name, [])
             if not any(f > arrival_s for f in other_heap):
                 fraction += other.alloc_fraction
+        if self.registry is not None:
+            self.registry.counter("wm.pool.admissions",
+                                  pool=pool_name).inc()
+            self.registry.histogram("wm.pool.queue_delay_s",
+                                    pool=pool_name).observe(delay)
         return QueryAdmission(pool=pool_name,
                               capacity_fraction=min(1.0, fraction),
                               queue_delay_s=delay)
@@ -147,6 +159,37 @@ class WorkloadManager:
                        finish_s)
 
     # -- triggers ----------------------------------------------------------------- #
+    def check_triggers_from_registry(self, registry,
+                                     admission: QueryAdmission,
+                                     query_id: int) -> QueryAdmission:
+        """Evaluate triggers against the obs registry's per-query series.
+
+        The runner publishes each runtime counter as
+        ``wm.query.<metric>{query=...}``; triggers read those series
+        back here — no private-field plumbing between runner and
+        manager.
+        """
+        if not self.active or not admission.pool:
+            return admission
+        pool = self.plan.pools[admission.pool]
+        values: dict[str, float] = {}
+        for trigger in pool.triggers:
+            value = registry.value(f"wm.query.{trigger.metric}",
+                                   query=str(query_id))
+            if value is not None:
+                values[trigger.metric] = value
+        try:
+            result = self.check_triggers(admission, values)
+        except WorkloadManagementError:
+            if self.registry is not None and admission.killed:
+                self.registry.counter("wm.trigger.kills",
+                                      pool=pool.name).inc()
+            raise
+        if self.registry is not None and admission.moved_to is not None:
+            self.registry.counter("wm.trigger.moves",
+                                  pool=pool.name).inc()
+        return result
+
     def check_triggers(self, admission: QueryAdmission,
                        metrics: dict[str, float]) -> QueryAdmission:
         """Evaluate the current pool's triggers against query metrics.

@@ -40,6 +40,9 @@ class CompactionRequest:
     obsolete_paths: list[str] = field(default_factory=list)
     #: smallest TxnId that must have no open readers before cleaning
     cleaner_barrier_txn: int | None = None
+    # filled in by the worker (surfaced in sys.compactions)
+    merged_rows: int = 0
+    output_dir: str = ""
 
 
 def should_compact(delta_count: int, delete_delta_count: int,

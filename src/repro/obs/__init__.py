@@ -1,0 +1,64 @@
+"""repro.obs — the unified observability subsystem.
+
+The paper's workload manager acts on *runtime counters* (Section 5.2)
+and its whole evaluation rests on fine-grained latency breakdowns
+(Figures 7/8, Table 1).  This package turns the repo's scattered stats
+fragments into one layer:
+
+* :class:`MetricsRegistry` — thread-safe counters, gauges and histograms
+  with labeled series, plus callback gauges that mirror pre-existing
+  stats objects (``CacheStats``, ``ResultsCacheStats``) without changing
+  them,
+* :class:`QueryTrace` — per-query span trees covering
+  parse → analyze → optimize → admission → DAG vertices → scans, with
+  both wall-clock and virtual-time durations,
+* :class:`QueryLog` — a ring buffer behind ``sys.query_log``,
+* :class:`SysTableHandler` — SQL-queryable system tables
+  (``sys.query_log``, ``sys.cache_stats``, ``sys.compactions``,
+  ``sys.pools``, ``sys.metrics``) served straight from server state,
+* :class:`Observability` — the per-server facade wiring it all together
+  and exporting JSON snapshots for the bench harness.
+
+The legacy stats classes remain importable from their home modules *and*
+from here, so code written against the fragments keeps working.
+"""
+
+from .profile import ExecutionProfile
+from .query_log import QueryLog, QueryLogEntry
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .service import Observability
+from .tracing import QueryTrace, Span
+
+__all__ = [
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "QueryTrace", "Span", "ExecutionProfile",
+    "QueryLog", "QueryLogEntry", "Observability",
+    "SysTableHandler", "render_explain_analyze",
+    # adapted legacy stats objects (lazy re-exports)
+    "CacheStats", "ResultsCacheStats", "QueryMetrics", "VertexMetrics",
+    "ScanMetrics",
+]
+
+_LAZY = {
+    "CacheStats": ("repro.llap.cache", "CacheStats"),
+    "ResultsCacheStats": ("repro.server.results_cache",
+                          "ResultsCacheStats"),
+    "QueryMetrics": ("repro.runtime.tez", "QueryMetrics"),
+    "VertexMetrics": ("repro.runtime.tez", "VertexMetrics"),
+    "ScanMetrics": ("repro.runtime.scan", "ScanMetrics"),
+    "SysTableHandler": ("repro.obs.systables", "SysTableHandler"),
+    "render_explain_analyze": ("repro.obs.explain_analyze",
+                               "render_explain_analyze"),
+}
+
+
+def __getattr__(name: str):
+    # lazy so importing repro.obs never drags in the runtime stack
+    # (runtime.tez imports exec.operators, which may import obs helpers)
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute "
+                             f"{name!r}")
+    import importlib
+    module = importlib.import_module(target[0])
+    return getattr(module, target[1])

@@ -1,0 +1,104 @@
+"""Rendering for ``EXPLAIN ANALYZE``: the executed plan, annotated.
+
+Walks the optimized plan tree and annotates every operator with what the
+execution actually observed — output rows, executions, wall time — and,
+for table scans, the IO detail (disk vs cache bytes, row-group and
+partition pruning, semijoin filtering).  A footer reports the
+virtual-time breakdown and the per-vertex schedule of the DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..plan import relnodes as rel
+from .profile import ExecutionProfile
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.1f}MB"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f}KB"
+    return f"{n}B"
+
+
+def _annotate(node: rel.RelNode, profile: ExecutionProfile) -> str:
+    digest = node.digest
+    bits = []
+    rows = profile.operator_rows.get(digest)
+    if rows is not None:
+        bits.append(f"rows={rows}")
+    calls = profile.operator_calls.get(digest, 0)
+    if calls > 1:
+        bits.append(f"executions={calls}")
+    wall = profile.operator_wall_s.get(digest)
+    if wall is not None:
+        bits.append(f"wall={wall * 1000:.2f}ms")
+    if isinstance(node, rel.TableScan):
+        scan = profile.scan_metrics.get(digest)
+        if scan is not None:
+            if scan.raw_rows != scan.rows:
+                bits.append(f"raw_rows={scan.raw_rows}")
+            bits.append(f"disk={_fmt_bytes(scan.disk_bytes)}")
+            bits.append(f"cache={_fmt_bytes(scan.cache_bytes)}")
+            if scan.row_groups_total:
+                bits.append(f"row-groups={scan.row_groups_read}"
+                            f"/{scan.row_groups_total}")
+            if scan.partitions_total:
+                bits.append(f"partitions={scan.partitions_read}"
+                            f"/{scan.partitions_total}")
+            if scan.semijoin_filtered_rows:
+                bits.append(
+                    f"semijoin-filtered={scan.semijoin_filtered_rows}")
+            if scan.external_time_s:
+                bits.append(f"external={scan.external_time_s:.3f}s")
+    return "  [" + ", ".join(bits) + "]" if bits else ""
+
+
+def _render_tree(node: rel.RelNode, profile: ExecutionProfile,
+                 indent: int = 0) -> list[str]:
+    line = "  " * indent + node._explain_label() \
+        + _annotate(node, profile)
+    lines = [line]
+    for child in node.inputs:
+        lines.extend(_render_tree(child, profile, indent + 1))
+    return lines
+
+
+def render_explain_analyze(optimized, profile: ExecutionProfile,
+                           reexecuted: bool = False,
+                           views_used: Optional[list] = None
+                           ) -> list[str]:
+    """Annotated-plan lines for one executed query."""
+    lines = _render_tree(optimized.root, profile)
+    metrics = profile.metrics
+    if metrics is not None:
+        lines.append(
+            "-- time: total={:.3f}s queue={:.3f}s compile={:.3f}s "
+            "startup={:.3f}s io={:.3f}s cpu={:.3f}s shuffle={:.3f}s "
+            "external={:.3f}s".format(
+                metrics.total_s, metrics.queue_s, metrics.compile_s,
+                metrics.startup_s, metrics.io_s, metrics.cpu_s,
+                metrics.shuffle_s, metrics.external_s))
+        lines.append(
+            f"-- io: disk={_fmt_bytes(metrics.disk_bytes)} "
+            f"cache={_fmt_bytes(metrics.cache_bytes)} "
+            f"(cache hit {metrics.cache_hit_fraction * 100:.1f}%)")
+        for vm in metrics.vertices:
+            lines.append(
+                f"-- vertex {vm.name}: tasks={vm.tasks} rows={vm.rows} "
+                f"start={vm.start_s:.3f}s finish={vm.finish_s:.3f}s "
+                f"(startup={vm.startup_s:.3f}s io={vm.io_s:.3f}s "
+                f"cpu={vm.cpu_s:.3f}s shuffle={vm.shuffle_s:.3f}s)")
+        if metrics.pool:
+            moved = (f" -> moved to {metrics.moved_to_pool}"
+                     if metrics.moved_to_pool else "")
+            lines.append(f"-- pool: {metrics.pool}{moved}")
+    lines.append(f"-- stages: {', '.join(optimized.stages_applied)}")
+    if views_used:
+        lines.append(
+            f"-- materialized views: {', '.join(views_used)}")
+    if reexecuted:
+        lines.append("-- reexecuted: yes")
+    return lines

@@ -1,0 +1,89 @@
+"""Machine-readable benchmark export (``BENCH_obs.json``).
+
+The benchmark harness records one record per executed benchmark query —
+scenario label, query name, and the full virtual-time latency breakdown
+from the observability layer — into a process-wide collector.  The
+``benchmarks/`` suite flushes the collector to ``BENCH_obs.json`` at
+session end, so the perf trajectory of every PR is tracked by a file a
+tool (or the next session) can diff.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Optional
+
+
+class BenchObsCollector:
+    """Accumulates per-query benchmark records for JSON export."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._records: list[dict] = []
+
+    def record(self, scenario: str, query: str, *,
+               seconds: Optional[float], rows: int = 0,
+               from_cache: bool = False, error: str = "",
+               breakdown: Optional[dict] = None) -> None:
+        entry = {"scenario": scenario, "query": query,
+                 "seconds": seconds, "rows": rows,
+                 "from_cache": from_cache}
+        if error:
+            entry["error"] = error
+        if breakdown:
+            entry["breakdown"] = {k: round(v, 6) if
+                                  isinstance(v, float) else v
+                                  for k, v in breakdown.items()}
+        with self._lock:
+            self._records.append(entry)
+
+    def records(self) -> list[dict]:
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def summary(self) -> dict:
+        """Per-scenario totals for the export header."""
+        scenarios: dict[str, dict] = {}
+        for record in self.records():
+            s = scenarios.setdefault(record["scenario"],
+                                     {"queries": 0, "failed": 0,
+                                      "total_s": 0.0})
+            s["queries"] += 1
+            if record["seconds"] is None:
+                s["failed"] += 1
+            else:
+                s["total_s"] += record["seconds"]
+        for s in scenarios.values():
+            s["total_s"] = round(s["total_s"], 6)
+        return scenarios
+
+    def write(self, path: str) -> dict:
+        payload = {"summary": self.summary(),
+                   "records": self.records()}
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        return payload
+
+
+#: process-wide collector the bench harness feeds (benchmarks/ flushes it)
+BENCH_COLLECTOR = BenchObsCollector()
+
+
+def breakdown_of(metrics) -> dict:
+    """Flatten a QueryMetrics into the export's breakdown dict."""
+    if metrics is None:
+        return {}
+    return {"total_s": metrics.total_s, "queue_s": metrics.queue_s,
+            "compile_s": metrics.compile_s,
+            "startup_s": metrics.startup_s, "io_s": metrics.io_s,
+            "cpu_s": metrics.cpu_s, "shuffle_s": metrics.shuffle_s,
+            "external_s": metrics.external_s,
+            "disk_bytes": metrics.disk_bytes,
+            "cache_bytes": metrics.cache_bytes,
+            "cache_hit_fraction": metrics.cache_hit_fraction,
+            "rows_produced": metrics.rows_produced}

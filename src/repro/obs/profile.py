@@ -1,0 +1,38 @@
+"""Per-operator execution profile backing ``EXPLAIN ANALYZE``.
+
+The interpreter (:mod:`repro.exec.operators`) records every operator
+invocation here when a profile is attached to the
+``ExecutionContext``; the Tez runner adds the scan-level IO metrics and
+the final :class:`~repro.runtime.tez.QueryMetrics`.  The profile is
+addressed by plan-node digest — the same key the runtime-statistics
+feedback loop uses — so the annotated plan can be rendered by walking
+the optimized tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class ExecutionProfile:
+    """What actually happened, keyed by plan-node digest."""
+
+    #: digest -> output rows of the last execution
+    operator_rows: dict = field(default_factory=dict)
+    #: digest -> number of executions (memoized re-uses excluded)
+    operator_calls: dict = field(default_factory=dict)
+    #: digest -> cumulative wall seconds (inclusive of children)
+    operator_wall_s: dict = field(default_factory=dict)
+    #: digest -> ScanMetrics for table scans
+    scan_metrics: dict = field(default_factory=dict)
+    #: the run's QueryMetrics (set by the runner)
+    metrics: Optional[object] = None
+
+    def record(self, digest: str, rows: int, wall_s: float) -> None:
+        self.operator_rows[digest] = rows
+        self.operator_calls[digest] = \
+            self.operator_calls.get(digest, 0) + 1
+        self.operator_wall_s[digest] = \
+            self.operator_wall_s.get(digest, 0.0) + wall_s

@@ -1,0 +1,82 @@
+"""Query log: the ring buffer behind ``sys.query_log``.
+
+One entry per statement executed through a session — successes and
+failures alike — with the full virtual-time latency breakdown the
+paper's evaluation methodology requires (per-query accounting, BigBench
+style).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class QueryLogEntry:
+    query_id: int
+    statement: str
+    database: str = "default"
+    application: Optional[str] = None
+    operation: str = ""
+    status: str = "ok"                 # ok | error
+    error: str = ""
+    pool: str = ""
+    from_cache: bool = False
+    reexecuted: bool = False
+    rows_produced: int = 0
+    rows_affected: int = 0
+    started_s: float = 0.0             # session virtual clock at start
+    total_s: float = 0.0
+    queue_s: float = 0.0
+    compile_s: float = 0.0
+    startup_s: float = 0.0
+    io_s: float = 0.0
+    cpu_s: float = 0.0
+    shuffle_s: float = 0.0
+    external_s: float = 0.0
+    disk_bytes: int = 0
+    cache_bytes: int = 0
+    cache_hit_fraction: float = 0.0
+    wall_ms: float = 0.0
+
+    def as_row(self) -> tuple:
+        """Row shape of ``sys.query_log`` (see obs.systables)."""
+        return (self.query_id, self.statement, self.database,
+                self.application, self.operation, self.status,
+                self.error, self.pool, self.from_cache, self.reexecuted,
+                self.rows_produced, self.rows_affected, self.started_s,
+                self.total_s, self.queue_s, self.compile_s,
+                self.startup_s, self.io_s, self.cpu_s, self.shuffle_s,
+                self.external_s, self.disk_bytes, self.cache_bytes,
+                self.cache_hit_fraction, self.wall_ms)
+
+
+class QueryLog:
+    """Bounded, thread-safe, append-only log of executed statements."""
+
+    def __init__(self, capacity: int = 1000):
+        self._lock = threading.Lock()
+        self._entries: deque[QueryLogEntry] = deque(maxlen=capacity)
+
+    def append(self, entry: QueryLogEntry) -> None:
+        with self._lock:
+            self._entries.append(entry)
+
+    def entries(self) -> list[QueryLogEntry]:
+        with self._lock:
+            return list(self._entries)
+
+    def last(self) -> Optional[QueryLogEntry]:
+        with self._lock:
+            return self._entries[-1] if self._entries else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

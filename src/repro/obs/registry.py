@@ -1,0 +1,248 @@
+"""Thread-safe metrics registry: counters, gauges, histograms.
+
+Metric instances are addressed by ``(name, labels)``; asking for the
+same address twice returns the same instance, so instrumented code can
+call ``registry.counter("scan.rows", table=t).inc(n)`` on every scan
+without holding references.  Histograms use fixed exponential bucket
+boundaries (Prometheus style) so memory stays bounded no matter how many
+observations arrive; percentiles are estimated from the cumulative
+bucket counts.
+
+Callback gauges (:meth:`MetricsRegistry.register_callback`) read their
+value lazily at snapshot time — this is how pre-existing stats objects
+(``CacheStats``, ``ResultsCacheStats``) are absorbed without rewriting
+the code that mutates them.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Callable, Optional, Sequence
+
+from ..errors import HiveError
+
+LabelKey = tuple[tuple[str, str], ...]
+
+#: default histogram boundaries: ~1 ms to ~17 min of (virtual) seconds
+DEFAULT_BUCKETS = tuple(0.001 * (4 ** i) for i in range(11))
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value (float increments allowed)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self):
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise HiveError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self):
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count / sum / min / max."""
+
+    __slots__ = ("buckets", "_counts", "count", "sum", "min", "max",
+                 "_lock")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.buckets = tuple(sorted(buckets))
+        self._counts = [0] * (len(self.buckets) + 1)  # +inf overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated p-quantile (upper bucket bound), p in [0, 100]."""
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = self.count * p / 100.0
+            cumulative = 0
+            for i, bound in enumerate(self.buckets):
+                cumulative += self._counts[i]
+                if cumulative >= rank:
+                    return bound
+            return self.max if self.max is not None else self.buckets[-1]
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "sum": self.sum,
+                "min": self.min, "max": self.max, "mean": self.mean,
+                "p50": self.percentile(50), "p95": self.percentile(95)}
+
+
+class MetricsRegistry:
+    """Labeled metric series, one namespace per server."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._kinds: dict[str, str] = {}
+        self._series: dict[str, dict[LabelKey, object]] = {}
+        self._callbacks: dict[str, dict[LabelKey, Callable[[], float]]] \
+            = {}
+
+    # -- instrument accessors ------------------------------------------- #
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(name, "counter", Counter, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(name, "gauge", Gauge, labels)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        return self._get(name, "histogram",
+                         lambda: Histogram(buckets), labels)
+
+    def register_callback(self, name: str, fn: Callable[[], float],
+                          **labels) -> None:
+        """A gauge whose value is computed at read time."""
+        with self._lock:
+            self._check_kind(name, "callback")
+            self._callbacks.setdefault(name, {})[_label_key(labels)] = fn
+
+    def _get(self, name, kind, factory, labels):
+        key = _label_key(labels)
+        with self._lock:
+            self._check_kind(name, kind)
+            series = self._series.setdefault(name, {})
+            metric = series.get(key)
+            if metric is None:
+                metric = factory()
+                series[key] = metric
+            return metric
+
+    def _check_kind(self, name: str, kind: str) -> None:
+        existing = self._kinds.setdefault(name, kind)
+        if existing != kind:
+            raise HiveError(
+                f"metric {name!r} is a {existing}, not a {kind}")
+
+    # -- reads ---------------------------------------------------------- #
+    def value(self, name: str, **labels) -> Optional[float]:
+        """Scalar value of one series (histograms report their count)."""
+        key = _label_key(labels)
+        with self._lock:
+            fn = self._callbacks.get(name, {}).get(key)
+            if fn is not None:
+                return float(fn())
+            metric = self._series.get(name, {}).get(key)
+        if metric is None:
+            return None
+        if isinstance(metric, Histogram):
+            return float(metric.count)
+        return metric.value
+
+    def total(self, name: str, **label_filter) -> float:
+        """Sum a metric across all label series matching the filter."""
+        wanted = set(_label_key(label_filter))
+        total = 0.0
+        with self._lock:
+            for key, metric in self._series.get(name, {}).items():
+                if wanted <= set(key):
+                    total += (metric.count
+                              if isinstance(metric, Histogram)
+                              else metric.value)
+            for key, fn in self._callbacks.get(name, {}).items():
+                if wanted <= set(key):
+                    total += float(fn())
+        return total
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(set(self._series) | set(self._callbacks))
+
+    def drop(self, name: str, **labels) -> None:
+        """Remove one series (e.g. a per-query gauge after evaluation)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._series.get(name, {}).pop(key, None)
+            self._callbacks.get(name, {}).pop(key, None)
+
+    # -- export --------------------------------------------------------- #
+    def snapshot(self) -> dict:
+        """``{name: [{labels, kind, value...}, ...]}`` over every series."""
+        out: dict[str, list] = {}
+        with self._lock:
+            items = [(name, dict(series))
+                     for name, series in self._series.items()]
+            callbacks = [(name, dict(series))
+                         for name, series in self._callbacks.items()]
+        for name, series in items:
+            rows = out.setdefault(name, [])
+            for key, metric in sorted(series.items()):
+                entry = {"labels": dict(key),
+                         "kind": self._kinds.get(name, "?")}
+                if isinstance(metric, Histogram):
+                    entry.update(metric.to_dict())
+                else:
+                    entry["value"] = metric.value
+                rows.append(entry)
+        for name, series in callbacks:
+            rows = out.setdefault(name, [])
+            for key, fn in sorted(series.items()):
+                rows.append({"labels": dict(key), "kind": "gauge",
+                             "value": float(fn())})
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._series.clear()
+            # callbacks mirror live objects; keep them registered
+            self._kinds = {name: "callback" for name in self._callbacks}

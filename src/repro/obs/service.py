@@ -1,0 +1,120 @@
+"""The per-server observability facade.
+
+``HiveServer2`` owns one :class:`Observability`; it wires the metrics
+registry, tracer and query log to the rest of the warehouse:
+
+* the pre-existing stats fragments (``LlapCache.stats``,
+  ``QueryResultsCache.stats``) are *absorbed* as callback gauges — the
+  fragments keep their types and call sites, the registry mirrors them,
+* each ``Session.execute`` opens a :class:`~repro.obs.tracing.QueryTrace`
+  and lands a :class:`~repro.obs.query_log.QueryLogEntry` here,
+* the ``sys`` virtual catalog is served from this facade's references,
+* :meth:`snapshot` / :meth:`to_json` export everything for the bench
+  harness (``BENCH_obs.json``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from collections import deque
+from typing import Optional
+
+from .query_log import QueryLog, QueryLogEntry
+from .registry import MetricsRegistry
+from .tracing import QueryTrace
+
+
+class Observability:
+    """Registry + tracer + query log + sys catalog for one server."""
+
+    def __init__(self, log_capacity: int = 1000,
+                 trace_capacity: int = 64):
+        self.registry = MetricsRegistry()
+        self.query_log = QueryLog(log_capacity)
+        self.traces: deque[QueryTrace] = deque(maxlen=trace_capacity)
+        self._query_ids = itertools.count(1)
+        self._lock = threading.Lock()
+        # server components the sys tables read (bound by HiveServer2)
+        self.hms = None
+        self.workload_manager = None
+        self._caches: list[tuple[str, object]] = []
+        from .systables import SysTableHandler
+        self.sys_handler = SysTableHandler(self)
+        self._sys_ready = False
+
+    # -- wiring --------------------------------------------------------- #
+    def bind_server(self, hms, workload_manager) -> None:
+        self.hms = hms
+        self.workload_manager = workload_manager
+
+    def bind_cache(self, component: str, stats, *,
+                   extra: Optional[dict] = None) -> None:
+        """Absorb an ad-hoc stats object as callback gauges.
+
+        Every numeric public field of ``stats`` becomes a registry
+        series ``cache.<field>{component=...}``; ``extra`` adds computed
+        values (e.g. ``used_bytes``) the stats object doesn't carry.
+        """
+        self._caches.append((component, stats))
+        for metric, value in vars(stats).items():
+            if metric.startswith("_") \
+                    or not isinstance(value, (int, float)):
+                continue
+            self.registry.register_callback(
+                f"cache.{metric}",
+                (lambda s=stats, m=metric: getattr(s, m)),
+                component=component)
+        for metric, fn in (extra or {}).items():
+            self.registry.register_callback(
+                f"cache.{metric}", fn, component=component)
+
+    def cache_components(self) -> list[tuple[str, object]]:
+        return list(self._caches)
+
+    def ensure_sys_tables(self, hms=None) -> None:
+        """Lazily create the ``sys`` database + virtual tables."""
+        target = hms or self.hms
+        if target is None:
+            return
+        with self._lock:
+            if not self._sys_ready:
+                self.sys_handler.ensure_tables(target)
+                self._sys_ready = True
+
+    # -- per-query recording -------------------------------------------- #
+    def next_query_id(self) -> int:
+        return next(self._query_ids)
+
+    def start_trace(self, sql: str) -> QueryTrace:
+        trace = QueryTrace(self.next_query_id(), sql)
+        self.traces.append(trace)
+        return trace
+
+    def record_query(self, entry: QueryLogEntry) -> None:
+        self.query_log.append(entry)
+        labels = {"operation": entry.operation or "unknown",
+                  "status": entry.status}
+        self.registry.counter("queries.total", **labels).inc()
+        if entry.status == "ok" and not entry.from_cache:
+            self.registry.histogram(
+                "query.latency_s",
+                pool=entry.pool or "unmanaged").observe(entry.total_s)
+        if entry.from_cache:
+            self.registry.counter("queries.results_cache_hits").inc()
+
+    # -- export --------------------------------------------------------- #
+    def snapshot(self) -> dict:
+        return {
+            "metrics": self.registry.snapshot(),
+            "queries": {
+                "logged": len(self.query_log),
+                "last_query_id": (self.query_log.last().query_id
+                                  if len(self.query_log) else 0),
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True,
+                          default=str)

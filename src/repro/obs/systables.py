@@ -1,0 +1,160 @@
+"""SQL-queryable system tables: the ``sys`` catalog.
+
+Hive 3 ships a ``sys`` database whose tables expose server state to
+plain SQL.  Here the tables are virtual: each is a handler-backed table
+(``storage_handler="sys"``) whose rows are generated from live server
+state at scan time — no metastore write path, no files, always current.
+Because they ride the federated-scan path, the full SQL surface works on
+them: ``SELECT status, COUNT(*) FROM sys.query_log GROUP BY status``.
+
+Tables:
+
+* ``sys.query_log``   — one row per executed statement (latency breakdown),
+* ``sys.cache_stats`` — LLAP cache + results cache counters,
+* ``sys.compactions`` — the compaction queue history,
+* ``sys.pools``       — active resource-plan pools,
+* ``sys.metrics``     — every series in the metrics registry.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..common.rows import Column, Schema
+from ..common.types import BIGINT, BOOLEAN, DOUBLE, STRING
+from ..errors import ExecutionError
+from ..federation.handler import StorageHandler
+from ..metastore.catalog import TableDescriptor, TableKind
+
+SYS_DATABASE = "sys"
+
+QUERY_LOG_SCHEMA = Schema([
+    Column("query_id", BIGINT), Column("statement", STRING),
+    Column("db", STRING), Column("application", STRING),
+    Column("operation", STRING), Column("status", STRING),
+    Column("error", STRING), Column("pool", STRING),
+    Column("from_cache", BOOLEAN), Column("reexecuted", BOOLEAN),
+    Column("rows_produced", BIGINT), Column("rows_affected", BIGINT),
+    Column("started_s", DOUBLE), Column("total_s", DOUBLE),
+    Column("queue_s", DOUBLE), Column("compile_s", DOUBLE),
+    Column("startup_s", DOUBLE), Column("io_s", DOUBLE),
+    Column("cpu_s", DOUBLE), Column("shuffle_s", DOUBLE),
+    Column("external_s", DOUBLE), Column("disk_bytes", BIGINT),
+    Column("cache_bytes", BIGINT), Column("cache_hit_fraction", DOUBLE),
+    Column("wall_ms", DOUBLE)])
+
+CACHE_STATS_SCHEMA = Schema([
+    Column("component", STRING), Column("metric", STRING),
+    Column("value", DOUBLE)])
+
+COMPACTIONS_SCHEMA = Schema([
+    Column("request_id", BIGINT), Column("table_name", STRING),
+    Column("partition", STRING), Column("type", STRING),
+    Column("state", STRING), Column("merged_rows", BIGINT),
+    Column("output_dir", STRING)])
+
+POOLS_SCHEMA = Schema([
+    Column("plan", STRING), Column("pool", STRING),
+    Column("alloc_fraction", DOUBLE), Column("query_parallelism", BIGINT),
+    Column("trigger_count", BIGINT), Column("is_default", BOOLEAN)])
+
+METRICS_SCHEMA = Schema([
+    Column("name", STRING), Column("labels", STRING),
+    Column("kind", STRING), Column("value", DOUBLE)])
+
+SYS_TABLES: dict[str, Schema] = {
+    "query_log": QUERY_LOG_SCHEMA,
+    "cache_stats": CACHE_STATS_SCHEMA,
+    "compactions": COMPACTIONS_SCHEMA,
+    "pools": POOLS_SCHEMA,
+    "metrics": METRICS_SCHEMA,
+}
+
+
+class SysTableHandler(StorageHandler):
+    """Serves the virtual ``sys`` tables from live server state."""
+
+    name = "sys"
+
+    def __init__(self, obs):
+        self.obs = obs        # the owning Observability facade
+
+    # -- catalog -------------------------------------------------------- #
+    def ensure_tables(self, hms) -> None:
+        """Create the ``sys`` database and table descriptors lazily."""
+        hms.create_database(SYS_DATABASE, if_not_exists=True)
+        db = hms.get_database(SYS_DATABASE)
+        for table_name, schema in SYS_TABLES.items():
+            if table_name not in db.tables:
+                hms.create_table(SYS_DATABASE, table_name, schema,
+                                 kind=TableKind.EXTERNAL,
+                                 is_acid=False, storage_handler=self.name)
+
+    # -- input format --------------------------------------------------- #
+    def scan_table(self, table: TableDescriptor,
+                   columns: Sequence[str]) -> tuple[list[tuple], float]:
+        builder = getattr(self, f"_rows_{table.name}", None)
+        if builder is None:
+            raise ExecutionError(f"unknown sys table {table.name!r}")
+        # handlers return rows projected to the requested columns
+        indexes = [table.schema.index_of(c) for c in columns]
+        rows = [tuple(row[i] for i in indexes) for row in builder()]
+        return rows, 0.0
+
+    def insert_rows(self, table: TableDescriptor,
+                    rows: Sequence[tuple]) -> None:
+        raise ExecutionError("sys tables are read-only")
+
+    def execute_pushed(self, table: TableDescriptor,
+                       query: object) -> tuple[list[tuple], float]:
+        raise ExecutionError("sys tables do not support pushdown")
+
+    # -- row builders --------------------------------------------------- #
+    def _rows_query_log(self) -> list[tuple]:
+        return [e.as_row() for e in self.obs.query_log.entries()]
+
+    def _rows_cache_stats(self) -> list[tuple]:
+        rows: list[tuple] = []
+        for component, stats in self.obs.cache_components():
+            for metric, value in sorted(vars(stats).items()):
+                if isinstance(value, (int, float)) \
+                        and not metric.startswith("_"):
+                    rows.append((component, metric, float(value)))
+        return rows
+
+    def _rows_compactions(self) -> list[tuple]:
+        hms = self.obs.hms
+        if hms is None:
+            return []
+        rows = []
+        for request in hms.compaction_queue.history():
+            partition = ("" if request.partition is None
+                         else "/".join(str(v) for v in request.partition))
+            rows.append((request.request_id, request.table, partition,
+                         request.compaction_type.value,
+                         request.state.value,
+                         getattr(request, "merged_rows", 0),
+                         getattr(request, "output_dir", "")))
+        return rows
+
+    def _rows_pools(self) -> list[tuple]:
+        wm = self.obs.workload_manager
+        if wm is None or wm.plan is None:
+            return []
+        plan = wm.plan
+        return [(plan.name, pool.name, pool.alloc_fraction,
+                 pool.query_parallelism, len(pool.triggers),
+                 pool.name == plan.default_pool)
+                for pool in plan.pools.values()]
+
+    def _rows_metrics(self) -> list[tuple]:
+        rows = []
+        for name, series in sorted(self.obs.registry.snapshot().items()):
+            for entry in series:
+                labels = ",".join(f"{k}={v}" for k, v in
+                                  sorted(entry["labels"].items()))
+                value = entry.get("value")
+                if value is None:           # histogram: expose the count
+                    value = entry.get("count", 0)
+                rows.append((name, labels, entry["kind"], float(value)))
+        return rows

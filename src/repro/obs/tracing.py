@@ -1,0 +1,116 @@
+"""Structured query tracing: span trees with wall and virtual time.
+
+A :class:`QueryTrace` is a tree of :class:`Span` objects covering one
+statement's life: parse → analyze → optimize → admission → execution
+(with one child span per DAG vertex and per table scan).  Each span
+carries two durations:
+
+* ``wall_s`` — real elapsed seconds in this process (profiling the
+  reproduction itself),
+* ``virtual_s`` — seconds under the calibrated cost model (the latency
+  the paper's experiments report; see DESIGN.md).
+
+Traces are cheap: spans are plain objects, and callers that have no
+trace (``trace=None``) pay only a ``None`` check.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Span:
+    name: str
+    wall_s: float = 0.0
+    virtual_s: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    def child(self, name: str, virtual_s: float = 0.0,
+              **attrs) -> "Span":
+        span = Span(name, virtual_s=virtual_s, attrs=dict(attrs))
+        self.children.append(span)
+        return span
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first lookup by span name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> dict:
+        return {"name": self.name,
+                "wall_s": round(self.wall_s, 6),
+                "virtual_s": round(self.virtual_s, 6),
+                "attrs": dict(self.attrs),
+                "children": [c.to_dict() for c in self.children]}
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        bits = [f"{pad}{self.name}"]
+        bits.append(f"virtual={self.virtual_s * 1000:.1f}ms")
+        bits.append(f"wall={self.wall_s * 1000:.2f}ms")
+        if self.attrs:
+            bits.append(" ".join(f"{k}={v}"
+                                 for k, v in sorted(self.attrs.items())))
+        lines = [" ".join(bits)]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+class QueryTrace:
+    """Span tree for one executed statement."""
+
+    def __init__(self, query_id: int, sql: str):
+        self.query_id = query_id
+        self.sql = sql
+        self.root = Span("query")
+        self.error: Optional[str] = None
+        self._stack = [self.root]
+        self._started = time.perf_counter()
+
+    # -- recording ------------------------------------------------------ #
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Context manager measuring wall time of the enclosed block."""
+        span = self._stack[-1].child(name, **attrs)
+        self._stack.append(span)
+        t0 = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.wall_s = time.perf_counter() - t0
+            self._stack.pop()
+
+    def add(self, name: str, virtual_s: float = 0.0, **attrs) -> Span:
+        """Append a leaf span under the currently open span."""
+        return self._stack[-1].child(name, virtual_s=virtual_s, **attrs)
+
+    @property
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    def finish(self, error: Optional[str] = None) -> None:
+        self.root.wall_s = time.perf_counter() - self._started
+        self.error = error
+
+    # -- reads ---------------------------------------------------------- #
+    def find(self, name: str) -> Optional[Span]:
+        return self.root.find(name)
+
+    def to_dict(self) -> dict:
+        return {"query_id": self.query_id, "sql": self.sql,
+                "error": self.error, "root": self.root.to_dict()}
+
+    def render(self) -> str:
+        header = f"trace #{self.query_id}: {self.sql}"
+        return header + "\n" + self.root.render(1)

@@ -100,7 +100,8 @@ class ScanExecutor:
                  valid_write_ids: dict[str, ValidWriteIdList],
                  semijoin_filters: dict[str, SemijoinFilter],
                  storage_handlers: Optional[dict] = None,
-                 bloom_fpp: float = 0.05):
+                 bloom_fpp: float = 0.05,
+                 registry=None, trace=None):
         self.hms = hms
         self.fs = fs
         self.reader_factory = reader_factory
@@ -108,6 +109,9 @@ class ScanExecutor:
         self.semijoin_filters = semijoin_filters
         self.storage_handlers = storage_handlers or {}
         self.bloom_fpp = bloom_fpp
+        #: optional observability hooks (repro.obs)
+        self.registry = registry
+        self.trace = trace
         #: scan digest -> metrics, read by the DAG cost model
         self.metrics: dict[str, ScanMetrics] = {}
 
@@ -129,7 +133,37 @@ class ScanExecutor:
             self.metrics[node.digest] = metrics
         else:
             existing.merge(metrics)
+        self._observe(node, metrics)
         return batch
+
+    def _observe(self, node: rel.TableScan,
+                 metrics: ScanMetrics) -> None:
+        """Publish one scan's IO accounting to the obs layer."""
+        if self.registry is not None:
+            reg = self.registry
+            labels = {"table": node.table_name}
+            reg.counter("scan.rows", **labels).inc(metrics.rows)
+            reg.counter("scan.disk_bytes",
+                        **labels).inc(metrics.disk_bytes)
+            reg.counter("scan.cache_bytes",
+                        **labels).inc(metrics.cache_bytes)
+            reg.counter("scan.row_groups_pruned", **labels).inc(
+                metrics.row_groups_total - metrics.row_groups_read)
+            reg.counter("scan.partitions_pruned", **labels).inc(
+                metrics.partitions_total - metrics.partitions_read)
+            if metrics.semijoin_filtered_rows:
+                reg.counter("scan.semijoin_filtered_rows", **labels).inc(
+                    metrics.semijoin_filtered_rows)
+        if self.trace is not None:
+            self.trace.add(
+                f"scan {node.table_name}",
+                virtual_s=metrics.external_time_s,
+                rows=metrics.rows, disk_bytes=metrics.disk_bytes,
+                cache_bytes=metrics.cache_bytes,
+                partitions=f"{metrics.partitions_read}"
+                           f"/{metrics.partitions_total}",
+                row_groups=f"{metrics.row_groups_read}"
+                           f"/{metrics.row_groups_total}")
 
     # -- federated paths ----------------------------------------------------- #
     def _handler(self, table: TableDescriptor):

@@ -183,24 +183,34 @@ class QueryMetrics:
 # the runner
 
 class TezRunner:
-    """Executes an optimized plan and accounts virtual time."""
+    """Executes an optimized plan and accounts virtual time.
+
+    When an observability registry (:class:`repro.obs.MetricsRegistry`)
+    is attached, the runner publishes per-query runtime counters into it
+    and the workload-manager triggers read them back from the registry —
+    the counters are the interface, not the runner's internals.
+    """
 
     def __init__(self, conf: HiveConf,
-                 workload_manager: Optional[WorkloadManager] = None):
+                 workload_manager: Optional[WorkloadManager] = None,
+                 registry=None):
         self.conf = conf
         self.workload_manager = workload_manager
+        self.registry = registry
 
     # -- public ------------------------------------------------------------- #
     def run(self, plan: OptimizedPlan, scan_executor: ScanExecutor,
             application: Optional[str] = None,
             arrival_s: float = 0.0,
-            hash_join_memory_rows: Optional[int] = None):
-        """Execute and return ``(VectorBatch, QueryMetrics)``."""
+            hash_join_memory_rows: Optional[int] = None,
+            profile=None, trace=None, query_id: int = 0):
+        """Execute and return ``(VectorBatch, QueryMetrics, ctx)``."""
         ctx = ExecutionContext(
             scan_executor=scan_executor,
             semijoin_filters=scan_executor.semijoin_filters,
             hash_join_memory_rows=hash_join_memory_rows,
-            memo_digests=self._memo_digests(plan))
+            memo_digests=self._memo_digests(plan),
+            profile=profile)
 
         # admission control (Section 5.2)
         admission = QueryAdmission(pool="", capacity_fraction=1.0)
@@ -233,9 +243,15 @@ class TezRunner:
 
         if self.workload_manager is not None \
                 and self.workload_manager.active:
-            self._apply_triggers(admission, metrics)
+            self._apply_triggers(admission, metrics, query_id)
             self.workload_manager.complete(
                 admission, arrival_s + metrics.total_s)
+        if profile is not None:
+            profile.scan_metrics.update(scan_executor.metrics)
+            profile.metrics = metrics
+        if trace is not None:
+            self._trace_vertices(trace, metrics, admission)
+        self._publish(metrics)
         return result, metrics, ctx
 
     def _memo_digests(self, plan: OptimizedPlan) -> frozenset:
@@ -383,19 +399,63 @@ class TezRunner:
                                       if total_bytes else 0.0)
         return metrics
 
+    def _trace_vertices(self, trace, metrics: QueryMetrics,
+                        admission: QueryAdmission) -> None:
+        """Attach the DAG schedule as child spans of the trace."""
+        if admission.queue_delay_s:
+            trace.add("admission", virtual_s=admission.queue_delay_s,
+                      pool=admission.pool)
+        for vm in metrics.vertices:
+            trace.add(f"vertex {vm.name}", virtual_s=vm.duration_s,
+                      tasks=vm.tasks, rows=vm.rows,
+                      start_s=round(vm.start_s, 4),
+                      finish_s=round(vm.finish_s, 4))
+
+    def _publish(self, metrics: QueryMetrics) -> None:
+        """Mirror the run's totals into the observability registry."""
+        if self.registry is None:
+            return
+        reg = self.registry
+        reg.counter("runtime.queries").inc()
+        reg.counter("runtime.rows_produced").inc(metrics.rows_produced)
+        reg.counter("runtime.disk_bytes").inc(metrics.disk_bytes)
+        reg.counter("runtime.cache_bytes").inc(metrics.cache_bytes)
+        for component in ("startup", "io", "cpu", "shuffle",
+                          "external", "queue"):
+            reg.counter(f"runtime.{component}_s").inc(
+                getattr(metrics, f"{component}_s"))
+
     def _apply_triggers(self, admission: QueryAdmission,
-                        metrics: QueryMetrics) -> None:
+                        metrics: QueryMetrics,
+                        query_id: int = 0) -> None:
         """Evaluate WM triggers post-hoc over the virtual runtime.
 
-        A MOVE re-prices the time spent beyond the trigger threshold at
-        the target pool's capacity; a KILL raises.
+        The runtime counters are published as per-query series in the
+        obs registry, and the workload manager reads them back from
+        there (Section 5.2: triggers act on runtime counters).  A MOVE
+        re-prices the time spent beyond the trigger threshold at the
+        target pool's capacity; a KILL raises.
         """
         wm = self.workload_manager
         old_fraction = admission.capacity_fraction
-        wm.check_triggers(admission,
-                          {"total_runtime": metrics.total_s,
-                           "elapsed": metrics.total_s,
-                           "rows_produced": float(metrics.rows_produced)})
+        registry = self.registry
+        if registry is None:
+            from ..obs.registry import MetricsRegistry
+            registry = MetricsRegistry()
+        labels = {"query": str(query_id)}
+        published = ("total_runtime", "elapsed", "rows_produced")
+        for metric, value in (
+                ("total_runtime", metrics.total_s),
+                ("elapsed", metrics.total_s),
+                ("rows_produced", float(metrics.rows_produced))):
+            registry.gauge(f"wm.query.{metric}", **labels).set(value)
+        try:
+            wm.check_triggers_from_registry(registry, admission,
+                                            query_id)
+        finally:
+            # per-query series are scratch space; don't accumulate them
+            for metric in published:
+                registry.drop(f"wm.query.{metric}", **labels)
         if admission.moved_to is not None:
             metrics.moved_to_pool = admission.moved_to
             new_fraction = max(admission.capacity_fraction, 1e-3)

@@ -10,6 +10,7 @@ and failure-driven re-execution (Section 4.2) wrapped around it.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -31,6 +32,9 @@ from ..metastore.catalog import (Constraints, ForeignKey,
 from ..metastore.hms import HiveMetastore
 from ..metastore.stats import TableStatistics
 from ..metastore.txn import DeltaWriteIdList, ValidWriteIdList
+from ..obs import Observability
+from ..obs.profile import ExecutionProfile
+from ..obs.query_log import QueryLogEntry
 from ..optimizer import OptimizedPlan, Optimizer
 from ..optimizer.mv_rewrite import (ViewDefinition, build_view_definition,
                                     extract_spja)
@@ -66,6 +70,11 @@ class QueryResult:
     views_used: list = field(default_factory=list)
     optimized: Optional[OptimizedPlan] = None
     message: str = ""
+    query_id: int = 0
+    #: per-operator execution profile (repro.obs.ExecutionProfile)
+    profile: Optional[ExecutionProfile] = None
+    #: span tree for this statement (repro.obs.QueryTrace)
+    trace: Optional[object] = None
 
     @property
     def virtual_time_s(self) -> float:
@@ -78,6 +87,7 @@ class HiveServer2:
     def __init__(self, conf: Optional[HiveConf] = None):
         self.conf = conf or HiveConf.v3_profile()
         self.conf.validate()
+        self.obs = Observability()
         self.fs = SimFileSystem()
         self.hms = HiveMetastore(self.fs)
         self.llap_cache = LlapCache(self.conf.llap_cache_capacity_bytes)
@@ -86,9 +96,19 @@ class HiveServer2:
         self.results_cache = QueryResultsCache(
             self.conf.results_cache_max_entries,
             self.conf.results_cache_wait_pending)
-        self.workload_manager = WorkloadManager()
+        self.workload_manager = WorkloadManager(
+            registry=self.obs.registry)
         self._view_plans: dict[tuple[str, str], rel.RelNode] = {}
         self._mv_scan_ids = itertools.count(100_000)
+        # absorb the pre-existing stats fragments into the registry
+        self.obs.bind_server(self.hms, self.workload_manager)
+        self.obs.bind_cache(
+            "llap", self.llap_cache.stats,
+            extra={"used_bytes": lambda: self.llap_cache.used_bytes,
+                   "entries": lambda: len(self.llap_cache)})
+        self.obs.bind_cache(
+            "results", self.results_cache.stats,
+            extra={"entries": lambda: len(self.results_cache)})
 
     # -- public API -------------------------------------------------------------- #
     def connect(self, database: str = "default",
@@ -97,12 +117,13 @@ class HiveServer2:
 
     def register_storage_handler(self, name: str, handler) -> None:
         """Plug in an external engine (Section 6.1)."""
+        handler.obs_registry = self.obs.registry
         self.storage_handlers[name.lower()] = handler
 
     def run_compaction(self) -> int:
         """Drain the compaction queue and clean (returns jobs run)."""
         from ..acid.compactor import CompactionCleaner, CompactionWorker
-        worker = CompactionWorker(self.hms)
+        worker = CompactionWorker(self.hms, registry=self.obs.registry)
         count = 0
         while worker.run_one() is not None:
             count += 1
@@ -157,6 +178,7 @@ class Session:
         self.application = application
         self.conf = server.conf.copy()
         self.now_s = 0.0           # virtual clock across this session
+        self._trace = None         # QueryTrace of the statement in flight
         # multi-statement transaction state (§9 roadmap)
         self._active_txn: Optional[int] = None
         self._txn_snapshot = None
@@ -166,16 +188,76 @@ class Session:
     # ------------------------------------------------------------------ #
     def execute(self, sql: str) -> QueryResult:
         """Execute one SQL statement and return its result."""
-        statement = parse_statement(sql, self.conf)
-        result = self._dispatch(statement)
+        obs = self.server.obs
+        if "sys." in sql.lower():
+            obs.ensure_sys_tables(self.hms)
+        trace = obs.start_trace(sql)
+        self._trace = trace
+        started_s = self.now_s
+        operation = ""
+        try:
+            with trace.span("parse"):
+                statement = parse_statement(sql, self.conf)
+            operation = type(statement).__name__.lower()
+            result = self._dispatch(statement)
+        except Exception as error:
+            trace.finish(error=str(error))
+            obs.record_query(QueryLogEntry(
+                query_id=trace.query_id, statement=sql,
+                database=self.database, application=self.application,
+                operation=operation, status="error", error=str(error),
+                started_s=started_s,
+                wall_ms=trace.root.wall_s * 1000.0))
+            raise
+        finally:
+            self._trace = None
         if result.metrics is not None:
             self.now_s += result.metrics.total_s
+        trace.finish()
+        result.query_id = trace.query_id
+        result.trace = trace
+        obs.record_query(self._log_entry(trace, sql, result, started_s))
         return result
+
+    def _log_entry(self, trace, sql: str, result: QueryResult,
+                   started_s: float) -> QueryLogEntry:
+        entry = QueryLogEntry(
+            query_id=trace.query_id, statement=sql,
+            database=self.database, application=self.application,
+            operation=result.operation, status="ok",
+            from_cache=result.from_cache, reexecuted=result.reexecuted,
+            rows_produced=len(result.rows),
+            rows_affected=result.rows_affected,
+            started_s=started_s,
+            wall_ms=trace.root.wall_s * 1000.0)
+        m = result.metrics
+        if m is not None:
+            entry.pool = m.pool
+            entry.total_s = m.total_s
+            entry.queue_s = m.queue_s
+            entry.compile_s = m.compile_s
+            entry.startup_s = m.startup_s
+            entry.io_s = m.io_s
+            entry.cpu_s = m.cpu_s
+            entry.shuffle_s = m.shuffle_s
+            entry.external_s = m.external_s
+            entry.disk_bytes = m.disk_bytes
+            entry.cache_bytes = m.cache_bytes
+            entry.cache_hit_fraction = m.cache_hit_fraction
+        return entry
+
+    def _span(self, name: str, **attrs):
+        """A trace span if a trace is open, else a no-op context."""
+        if self._trace is not None:
+            return self._trace.span(name, **attrs)
+        return contextlib.nullcontext()
 
     def _dispatch(self, statement: ast.Statement) -> QueryResult:
         if isinstance(statement, ast.SelectStatement):
             return self._run_select(statement.query)
         if isinstance(statement, ast.Explain):
+            if statement.analyze:
+                return self._explain_analyze(statement.statement)
             return self._explain(statement.statement)
         if isinstance(statement, ast.CreateDatabase):
             self.hms.create_database(statement.name,
@@ -274,13 +356,17 @@ class Session:
     def _run_select(self, query: ast.Query,
                     use_cache: bool = True) -> QueryResult:
         analyzer = self._analyzer()
-        plan = analyzer.analyze_query(query)
+        with self._span("analyze"):
+            plan = analyzer.analyze_query(query)
         tables = sorted({s.table_name for s in rel.find_scans(plan)})
         current_wids = {t: self.hms.txn_manager.current_write_id(t)
                         for t in tables}
 
+        # sys.* contents are generated from live server state; caching
+        # them by write-id would pin permanently stale snapshots
+        reads_sys = any(t.split(".", 1)[0] == "sys" for t in tables)
         cacheable = (use_cache and self.conf.results_cache_enabled
-                     and self._active_txn is None
+                     and self._active_txn is None and not reads_sys
                      and _is_cacheable(query))
         entry = None
         if cacheable:
@@ -317,12 +403,18 @@ class Session:
             self.hms, conf, stats_overrides=stats_overrides,
             view_provider=lambda: self.server.view_definitions(self.now_s),
             federation_rule=self.server.federation_rule())
-        optimized = optimizer.optimize(plan)
+        with self._span("optimize"):
+            optimized = optimizer.optimize(plan)
         attempts = 0
         reexecuted = False
         while True:
+            profile = ExecutionProfile()
             try:
-                batch, metrics, ctx = self._run_optimized(optimized, conf)
+                with self._span("execute") as span:
+                    batch, metrics, ctx = self._run_optimized(
+                        optimized, conf, profile)
+                    if span is not None:
+                        span.virtual_s = metrics.total_s
                 break
             except VertexFailureError as failure:
                 attempts += 1
@@ -340,17 +432,20 @@ class Session:
                         view_provider=lambda: self.server.view_definitions(
                             self.now_s),
                         federation_rule=self.server.federation_rule())
-                    optimized = optimizer.optimize(plan)
+                    with self._span("reoptimize"):
+                        optimized = optimizer.optimize(plan)
         if conf.runtime_stats_feedback:
             self.hms.record_runtime_stats(ctx.runtime_stats)
         result = QueryResult(
             rows=batch.to_rows(),
             column_names=[c.name for c in batch.schema],
             metrics=metrics, reexecuted=reexecuted,
-            views_used=list(optimized.views_used), optimized=optimized)
+            views_used=list(optimized.views_used), optimized=optimized,
+            profile=profile)
         return result
 
-    def _run_optimized(self, optimized: OptimizedPlan, conf: HiveConf):
+    def _run_optimized(self, optimized: OptimizedPlan, conf: HiveConf,
+                       profile: Optional[ExecutionProfile] = None):
         in_txn = self._active_txn is not None
         snapshot = (self._txn_snapshot if in_txn
                     else self.hms.txn_manager.get_snapshot())
@@ -368,14 +463,22 @@ class Session:
                     valid[table.qualified_name] = \
                         self.hms.txn_manager.valid_write_ids(
                             snapshot, table.qualified_name)
+        # the sys virtual catalog rides along as a storage handler, but
+        # only at scan time — it never participates in pushdown planning
+        handlers = dict(self.server.storage_handlers)
+        handlers["sys"] = self.server.obs.sys_handler
         scan_executor = ScanExecutor(
             self.hms, self.fs, self._reader_factory(), valid, {},
-            self.server.storage_handlers, conf.semijoin_bloom_fpp)
-        runner = TezRunner(conf, self.server.workload_manager)
+            handlers, conf.semijoin_bloom_fpp,
+            registry=self.server.obs.registry, trace=self._trace)
+        runner = TezRunner(conf, self.server.workload_manager,
+                           registry=self.server.obs.registry)
         return runner.run(
             optimized, scan_executor, self.application,
             arrival_s=self.now_s,
-            hash_join_memory_rows=conf.hash_join_memory_rows)
+            hash_join_memory_rows=conf.hash_join_memory_rows,
+            profile=profile, trace=self._trace,
+            query_id=self._trace.query_id if self._trace else 0)
 
     # ------------------------------------------------------------------ #
     # EXPLAIN
@@ -413,6 +516,25 @@ class Session:
         return QueryResult(rows=[(line,) for line in lines],
                            column_names=["plan"], operation="explain",
                            optimized=optimized)
+
+    def _explain_analyze(self, statement: ast.Statement) -> QueryResult:
+        """EXPLAIN ANALYZE: run the query, annotate the plan with the
+
+        per-operator profile (the results cache is bypassed so the plan
+        actually executes)."""
+        if not isinstance(statement, ast.SelectStatement):
+            raise AnalysisError("EXPLAIN ANALYZE supports queries only")
+        result = self._run_select(statement.query, use_cache=False)
+        from ..obs.explain_analyze import render_explain_analyze
+        lines = render_explain_analyze(
+            result.optimized, result.profile,
+            reexecuted=result.reexecuted, views_used=result.views_used)
+        return QueryResult(rows=[(line,) for line in lines],
+                           column_names=["plan"],
+                           operation="explain_analyze",
+                           metrics=result.metrics,
+                           optimized=result.optimized,
+                           profile=result.profile)
 
     # ------------------------------------------------------------------ #
     # DDL
@@ -691,6 +813,8 @@ class Session:
         table = self.hms.get_table(statement.table, self.database)
         partition_spec = dict(statement.partition_spec)
         if table.storage_handler is not None:
+            if table.storage_handler == "sys":
+                self.server.obs.sys_handler.insert_rows(table, ())
             rows = self._insert_source_rows(statement, table)
             handler = self.server.storage_handlers[table.storage_handler]
             handler.insert_rows(table, rows)

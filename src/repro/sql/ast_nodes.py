@@ -553,9 +553,13 @@ class Merge(Statement):
 @dataclass(frozen=True)
 class Explain(Statement):
     statement: Statement
+    #: EXPLAIN ANALYZE: execute, then annotate the plan with observed
+    #: per-operator rows, IO and the virtual-time breakdown
+    analyze: bool = False
 
     def unparse(self) -> str:
-        return f"EXPLAIN {self.statement.unparse()}"
+        keyword = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        return f"{keyword} {self.statement.unparse()}"
 
 
 @dataclass(frozen=True)

@@ -127,8 +127,15 @@ class Parser:
         token = self.peek()
         if token.is_keyword("EXPLAIN"):
             self.advance()
+            analyze = False
+            # EXPLAIN ANALYZE <query> (but EXPLAIN ANALYZE TABLE ... is
+            # an explain of the ANALYZE TABLE statement itself)
+            if self.peek().is_keyword("ANALYZE") \
+                    and not self.peek(1).is_keyword("TABLE"):
+                self.advance()
+                analyze = True
             inner = self.parse_statement()
-            return ast.Explain(inner)
+            return ast.Explain(inner, analyze=analyze)
         if token.is_keyword("SELECT", "WITH"):
             query = self.parse_query()
             self.expect_end()

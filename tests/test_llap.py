@@ -49,6 +49,26 @@ class TestLlapCacheBasics:
         assert cache.invalidate_file(7) == 2
         assert cache.get(key(file_id=8)) == "c"
 
+    def test_invalidation_counts_as_eviction(self):
+        """invalidate_file and capacity evictions move the same stats;
+        otherwise evicted_bytes drifts from the resident set."""
+        cache = LlapCache(1000)
+        cache.put(key(file_id=7, group=0), "a", 30)
+        cache.put(key(file_id=7, group=1), "b", 20)
+        cache.put(key(file_id=8), "c", 10)
+        cache.invalidate_file(7)
+        assert cache.stats.evictions == 2
+        assert cache.stats.evicted_bytes == 50
+        assert cache.used_bytes == 10
+        # capacity-pressure evictions accumulate into the same counters
+        small = LlapCache(100)
+        small.put(key(file_id=1), "x", 80)
+        small.put(key(file_id=2), "y", 80)   # evicts file 1
+        small.invalidate_file(2)
+        assert small.stats.evictions == 2
+        assert small.stats.evicted_bytes == 160
+        assert small.used_bytes == 0
+
 
 class TestLrfuEviction:
     def test_frequent_chunk_survives(self):

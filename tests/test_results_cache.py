@@ -65,6 +65,52 @@ class TestCacheUnit:
         assert len(computed) == 1
         assert served == [[(42,)]] * 3
 
+    def test_pending_computer_failure_releases_waiters(self):
+        """The elected computer fails: waiters must neither hang nor be
+
+        served the poisoned entry — one of them gets re-elected and
+        computes, the rest see its fresh result."""
+        import time
+
+        cache = QueryResultsCache(wait_for_pending=True)
+        doomed, must_compute = cache.lookup("q", {"t": 1})
+        assert must_compute
+        outcomes = []
+        started = threading.Barrier(3)
+
+        def waiter():
+            started.wait()
+            entry, compute = cache.lookup("q", {"t": 1})
+            if compute:
+                cache.publish(entry, [(7,)], ["x"], {"t": 1})
+                outcomes.append(("computed", None))
+            else:
+                outcomes.append(("served", entry.rows))
+
+        threads = [threading.Thread(target=waiter) for _ in range(2)]
+        for t in threads:
+            t.start()
+        started.wait()
+        time.sleep(0.05)       # let both waiters block on the pending entry
+        cache.abandon(doomed)  # the computer dies
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads), "waiters hung"
+        assert len(outcomes) == 2
+        # nobody was handed the failed entry's (empty) rows
+        assert all(rows == [(7,)]
+                   for kind, rows in outcomes if kind == "served")
+        assert any(kind == "computed" for kind, _ in outcomes)
+        assert cache.stats.pending_waits >= 1
+
+    def test_abandoned_entry_not_served_later(self):
+        cache = QueryResultsCache(wait_for_pending=True)
+        entry, _ = cache.lookup("q", {"t": 1})
+        cache.abandon(entry)
+        again, must_compute = cache.lookup("q", {"t": 1})
+        assert must_compute
+        assert again is not entry
+
 
 class TestCacheEndToEnd:
     @pytest.fixture
