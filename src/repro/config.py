@@ -17,10 +17,24 @@ Figure 7:
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
 from .errors import ConfigError
+
+#: accepted spellings of the ``check_plan`` mode, mapped to canon
+_CHECK_PLAN_MODES = {
+    "off": "off", "false": "off", "0": "off", "no": "off",
+    "on": "on", "true": "on", "1": "on", "yes": "on",
+    "paranoid": "paranoid",
+}
+
+
+def _default_check_plan() -> str:
+    """Default plan-check mode; the HIVE_CHECK_PLAN environment variable
+    lets a whole test run opt in (CI runs one pass with paranoid)."""
+    return os.environ.get("HIVE_CHECK_PLAN", "off")
 
 
 @dataclass
@@ -102,6 +116,12 @@ class HiveConf:
     semijoin_bloom_fpp: float = 0.05
     mv_rewriting: bool = True              # Section 4.4
     federation_pushdown: bool = True       # Section 6.2
+    #: plan-invariant validation (repro.lint.plan_check):
+    #: "off" | "on" (validate after every optimizer stage) |
+    #: "paranoid" (validate after every individual rule too)
+    check_plan: str = field(default_factory=_default_check_plan)
+    #: escalates ``check_plan`` to paranoid regardless of its value
+    check_plan_paranoid: bool = False
 
     # ------------------------------------------------------------------ #
     # re-optimization (Section 4.2): "overlay" | "reoptimize" | "off"
@@ -162,10 +182,27 @@ class HiveConf:
         clone.validate()
         return clone
 
+    @property
+    def plan_check_mode(self) -> str:
+        """Canonical plan-check mode: "off" | "on" | "paranoid"."""
+        mode = _CHECK_PLAN_MODES.get(str(self.check_plan).lower())
+        if mode is None:
+            raise ConfigError(
+                f"invalid check_plan value {self.check_plan!r}: expected "
+                "one of off/on/paranoid (or true/false synonyms)")
+        if self.check_plan_paranoid:
+            return "paranoid"
+        return mode
+
     def validate(self) -> None:
         if self.reexecution_strategy not in ("overlay", "reoptimize", "off"):
             raise ConfigError(
                 f"invalid reexecution_strategy {self.reexecution_strategy!r}")
+        self.plan_check_mode   # raises ConfigError on a bad check_plan
+        if not isinstance(self.check_plan_paranoid, bool):
+            raise ConfigError(
+                "check_plan_paranoid must be a boolean, got "
+                f"{self.check_plan_paranoid!r}")
         if not 0.0 < self.semijoin_bloom_fpp < 1.0:
             raise ConfigError("semijoin_bloom_fpp must be in (0, 1)")
         if self.num_nodes < 1 or self.cores_per_node < 1:

@@ -55,6 +55,24 @@ class LockTimeoutError(TransactionError):
     """A required lock could not be acquired in time."""
 
 
+class PlanInvariantError(HiveError):
+    """A plan rewrite broke a structural invariant of the RelNode tree.
+
+    Raised by the plan validator (repro.lint.plan_check) when
+    ``hive.check.plan`` is on: names the optimizer stage (or rule) that
+    produced the broken tree, lists every violated invariant, and —
+    when the pre-rewrite tree is available — carries a rendered
+    before/after plan diff.
+    """
+
+    def __init__(self, message: str, stage: str = "?",
+                 violations=(), diff: str = ""):
+        super().__init__(message)
+        self.stage = stage
+        self.violations = list(violations)
+        self.diff = diff
+
+
 class ExecutionError(HiveError):
     """A runtime failure while executing a query plan."""
 

@@ -1,0 +1,20 @@
+"""repro.lint — static analysis for the warehouse (two layers).
+
+* **Plan validator** (:mod:`repro.lint.plan_check`): structural
+  invariant checks on RelNode trees, run by the optimizer after every
+  rewrite stage when ``hive.check.plan`` is on (per-rule in paranoid
+  mode), and from SQL via ``EXPLAIN VALIDATE <query>``.
+* **Repo linter** (:mod:`repro.lint.reprolint`): an AST lint pass with
+  repo-specific rules (lock discipline, wall-clock bans in virtual-cost
+  modules, frozen plan-node mutation, bare except, mutable defaults),
+  runnable via ``tools/reprolint`` and wired into CI.
+"""
+
+from .plan_check import (check_plan, plan_violations,
+                         render_plan_diff)
+from .reprolint import RULES, Finding, lint_paths, lint_source
+
+__all__ = [
+    "check_plan", "plan_violations", "render_plan_diff",
+    "RULES", "Finding", "lint_paths", "lint_source",
+]

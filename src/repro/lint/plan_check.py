@@ -1,0 +1,320 @@
+"""Plan-invariant validator for the optimizer pipeline (Layer 1).
+
+Mirrors Calcite's ``RelValidityChecker``/litmus assertions around Hive's
+multi-stage optimizer (Section 4.1): every rewrite stage must hand the
+next stage a *structurally valid* RelNode tree.  A buggy rule then fails
+fast with a diagnostic naming the stage, instead of silently producing
+wrong results three stages later.
+
+Invariants checked on every node:
+
+* the tree is a tree — no node object shared between two parents, no
+  cycles,
+* the output schema is derivable (Project/Aggregate/... schema
+  properties neither raise nor produce duplicate-column row types),
+* every Rex input ref lands inside the child row type with a matching
+  declared type; boolean operators are typed BOOLEAN
+  (:func:`repro.plan.rexnodes.type_errors`),
+* predicates (Filter conditions, Join conditions) are boolean-typed,
+* ordinal annotations (Aggregate group keys and agg args, Sort keys,
+  Window partition/order/arg keys, grouping-set members) are in range,
+* Union/SetOp branches agree on arity and column types,
+* TableScan residue is sane: sarg conjuncts are boolean predicates over
+  the scan's own schema, pruned-partition specs are uniform-width value
+  tuples, ``fetch``/``count`` limits are non-negative,
+* the digest is deterministic — two computations agree and contain no
+  ``repr`` memory addresses (which would break shared-work detection and
+  the results cache).
+
+:func:`check_plan` raises :class:`repro.errors.PlanInvariantError`;
+:func:`plan_violations` returns the raw findings for tooling.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Optional
+
+from ..common.types import BOOLEAN
+from ..errors import HiveError, PlanInvariantError
+from ..plan import relnodes as rel
+from ..plan import rexnodes as rex
+
+#: join kinds the executor understands
+JOIN_KINDS = frozenset({"inner", "left", "right", "full", "semi", "anti"})
+
+#: set-op kinds
+SETOP_KINDS = frozenset({"intersect", "except"})
+
+
+def check_plan(root: rel.RelNode, stage: str = "?",
+               before: Optional[rel.RelNode] = None) -> None:
+    """Validate ``root``; raise :class:`PlanInvariantError` on violation.
+
+    ``stage`` names the optimizer stage (or rule) that produced the
+    tree; ``before`` is the pre-rewrite tree used to render a plan diff.
+    """
+    violations = plan_violations(root)
+    if not violations:
+        return
+    diff = render_plan_diff(before, root) if before is not None else ""
+    bullet = "\n".join(f"  - {v}" for v in violations)
+    message = (f"plan invariant violated after stage {stage!r}:\n{bullet}")
+    if diff:
+        message += f"\nplan diff (before -> after {stage}):\n{diff}"
+    raise PlanInvariantError(message, stage=stage, violations=violations,
+                             diff=diff)
+
+
+def plan_violations(root: rel.RelNode) -> list[str]:
+    """Every violated invariant in the tree, as human-readable strings."""
+    violations: list[str] = []
+    seen: set[int] = set()
+    on_stack: set[int] = set()
+    cyclic = False
+
+    # pass 1: tree-ness.  Runs before any per-node check because schema
+    # and digest derivation recurse through inputs — on a cyclic "tree"
+    # they would overflow the stack instead of reporting the violation.
+    def scan(node: rel.RelNode, path: str) -> None:
+        nonlocal cyclic
+        label = f"{path}{type(node).__name__}"
+        if id(node) in on_stack:
+            cyclic = True
+            violations.append(
+                f"{label}: node object appears twice in the tree "
+                "(cycle: the node is its own ancestor)")
+            return
+        if id(node) in seen:
+            violations.append(
+                f"{label}: node object appears twice in the tree "
+                "(plans must be trees; rebuild instead of aliasing)")
+            return
+        seen.add(id(node))
+        on_stack.add(id(node))
+        for i, child in enumerate(node.inputs):
+            scan(child, f"{label}.{i}/")
+        on_stack.discard(id(node))
+
+    scan(root, "")
+    if cyclic:
+        return violations
+
+    # pass 2: per-node invariants (safe now that the graph is acyclic)
+    checked: set[int] = set()
+
+    def visit(node: rel.RelNode, path: str) -> None:
+        label = f"{path}{type(node).__name__}"
+        if id(node) in checked:
+            return
+        checked.add(id(node))
+        _check_node(node, label, violations)
+        for i, child in enumerate(node.inputs):
+            visit(child, f"{label}.{i}/")
+
+    visit(root, "")
+    return violations
+
+
+# --------------------------------------------------------------------------- #
+# per-node checks
+
+def _check_node(node: rel.RelNode, label: str,
+                violations: list[str]) -> None:
+    schema = _derived_schema(node, label, violations)
+    if schema is None:
+        return
+    _check_digest(node, label, violations)
+    if isinstance(node, rel.TableScan):
+        _check_scan(node, label, violations)
+    elif isinstance(node, rel.Values):
+        width = len(schema)
+        for i, row in enumerate(node.rows):
+            if len(row) != width:
+                violations.append(
+                    f"{label}: row {i} has {len(row)} values for a "
+                    f"{width}-column schema")
+    elif isinstance(node, rel.Filter):
+        _check_predicate(node.condition, node.input.schema.columns,
+                         label, violations)
+    elif isinstance(node, rel.Project):
+        if len(node.exprs) != len(node.names):
+            violations.append(
+                f"{label}: {len(node.exprs)} exprs vs "
+                f"{len(node.names)} names")
+        for i, expr in enumerate(node.exprs):
+            for problem in rex.type_errors(expr,
+                                           node.input.schema.columns):
+                violations.append(f"{label}: expr #{i}: {problem}")
+    elif isinstance(node, rel.Aggregate):
+        _check_aggregate(node, label, violations)
+    elif isinstance(node, rel.Sort):
+        width = len(node.input.schema)
+        for key in node.keys:
+            if not 0 <= key.index < width:
+                violations.append(
+                    f"{label}: sort key ${key.index} out of range "
+                    f"(input width {width})")
+        if node.fetch is not None and node.fetch < 0:
+            violations.append(f"{label}: negative fetch {node.fetch}")
+    elif isinstance(node, rel.Limit):
+        if node.count < 0:
+            violations.append(f"{label}: negative limit {node.count}")
+    elif isinstance(node, rel.Window):
+        _check_window(node, label, violations)
+    elif isinstance(node, rel.Join):
+        _check_join(node, label, violations)
+    elif isinstance(node, rel.Union):
+        _check_branches(node.rels, schema, label, violations)
+    elif isinstance(node, rel.SetOp):
+        if node.kind not in SETOP_KINDS:
+            violations.append(f"{label}: unknown set-op kind "
+                              f"{node.kind!r}")
+        _check_branches((node.left, node.right), schema, label,
+                        violations)
+
+
+def _derived_schema(node, label, violations):
+    """The node's output schema, or None if deriving it already fails.
+
+    Catches any Exception, not just HiveError: a malformed tree fails
+    schema derivation with whatever the property happens to raise
+    (IndexError on a bad ordinal, KeyError on a bad name) and the
+    validator's whole purpose is reporting that instead of crashing.
+    """
+    try:
+        schema = node.schema
+    except Exception as error:
+        violations.append(
+            f"{label}: schema derivation failed: "
+            f"{type(error).__name__}: {error}")
+        return None
+    if len(schema) == 0 and not isinstance(node, rel.Values):
+        violations.append(f"{label}: empty output schema")
+    return schema
+
+
+def _check_digest(node, label, violations):
+    try:
+        first, second = node.digest, node.digest
+    except Exception as error:
+        violations.append(
+            f"{label}: digest computation failed: "
+            f"{type(error).__name__}: {error}")
+        return
+    if not isinstance(first, str):
+        violations.append(f"{label}: digest is {type(first).__name__}, "
+                          "not str")
+        return
+    if first != second:
+        violations.append(f"{label}: digest is not deterministic")
+    if " at 0x" in first:
+        violations.append(
+            f"{label}: digest embeds an object address (default repr) — "
+            "digests must be stable across processes")
+
+
+def _check_predicate(condition, columns, label, violations):
+    for problem in rex.type_errors(condition, columns):
+        violations.append(f"{label}: condition: {problem}")
+    if condition.dtype != BOOLEAN:
+        violations.append(
+            f"{label}: condition typed {condition.dtype}, expected "
+            "BOOLEAN")
+
+
+def _check_scan(node: rel.TableScan, label, violations):
+    for i, sarg in enumerate(node.sarg_conjuncts):
+        for problem in rex.type_errors(sarg, node.schema.columns):
+            violations.append(f"{label}: sarg #{i}: {problem}")
+        if sarg.dtype != BOOLEAN:
+            violations.append(
+                f"{label}: sarg #{i} typed {sarg.dtype}, expected "
+                "BOOLEAN")
+    if node.pruned_partitions is not None:
+        widths = {len(spec) for spec in node.pruned_partitions}
+        if len(widths) > 1:
+            violations.append(
+                f"{label}: pruned partition specs have mixed widths "
+                f"{sorted(widths)}")
+
+
+def _check_aggregate(node: rel.Aggregate, label, violations):
+    width = len(node.input.schema)
+    for key in node.group_keys:
+        if not 0 <= key < width:
+            violations.append(
+                f"{label}: group key ${key} out of range "
+                f"(input width {width})")
+    if node.group_names and len(node.group_names) != len(node.group_keys):
+        violations.append(
+            f"{label}: {len(node.group_names)} group names for "
+            f"{len(node.group_keys)} group keys")
+    for call in node.agg_calls:
+        if call.arg is not None and not 0 <= call.arg < width:
+            violations.append(
+                f"{label}: aggregate {call.func} arg ${call.arg} out of "
+                f"range (input width {width})")
+    if node.grouping_sets is not None:
+        positions = range(len(node.group_keys))
+        for gset in node.grouping_sets:
+            for member in gset:
+                if member not in positions:
+                    violations.append(
+                        f"{label}: grouping set member {member} is not a "
+                        f"group-key position (have "
+                        f"{len(node.group_keys)} keys)")
+
+
+def _check_window(node: rel.Window, label, violations):
+    width = len(node.input.schema)
+    for call in node.calls:
+        ordinals = list(call.partition_keys)
+        ordinals.extend(k.index for k in call.order_keys)
+        if call.arg is not None:
+            ordinals.append(call.arg)
+        for ordinal in ordinals:
+            if not 0 <= ordinal < width:
+                violations.append(
+                    f"{label}: window {call.func} ordinal ${ordinal} "
+                    f"out of range (input width {width})")
+
+
+def _check_join(node: rel.Join, label, violations):
+    if node.kind not in JOIN_KINDS:
+        violations.append(f"{label}: unknown join kind {node.kind!r}")
+    if node.condition is not None:
+        _check_predicate(node.condition, node.condition_columns(),
+                         label, violations)
+
+
+def _check_branches(branches, schema, label, violations):
+    types = [c.dtype for c in schema]
+    for i, branch in enumerate(branches):
+        branch_types = [c.dtype for c in branch.schema]
+        if len(branch_types) != len(types):
+            violations.append(
+                f"{label}: branch {i} has {len(branch_types)} columns, "
+                f"expected {len(types)}")
+        elif branch_types != types:
+            violations.append(
+                f"{label}: branch {i} column types {branch_types} differ "
+                f"from {types}")
+
+
+# --------------------------------------------------------------------------- #
+# diagnostics rendering
+
+def render_plan_diff(before: rel.RelNode, after: rel.RelNode) -> str:
+    """Unified diff of the two plans' EXPLAIN renderings."""
+    try:
+        old = before.explain().splitlines()
+    except HiveError:
+        old = ["<before-plan rendering failed>"]
+    try:
+        new = after.explain().splitlines()
+    except HiveError:
+        new = ["<after-plan rendering failed>"]
+    lines = difflib.unified_diff(old, new, fromfile="before",
+                                 tofile="after", lineterm="", n=2)
+    return "\n".join(lines)

@@ -1,0 +1,392 @@
+"""reprolint — AST-based repo linter with Hive-repro-specific rules.
+
+The rules encode conventions the codebase relies on for correctness
+under concurrent traffic and virtual-time benchmarking, which generic
+linters cannot know:
+
+========  ============================================================
+RL001     shared-attribute mutation outside ``with self._lock:`` in a
+          class that declares ``_lock`` (metastore, obs, caches) —
+          the lock discipline must be machine-checked, not convention
+RL002     wall-clock calls (``time.time``/``perf_counter``/...) inside
+          cost-model and optimizer modules, where only *virtual* cost
+          is allowed (wall time there corrupts the calibrated model)
+RL003     post-construction attribute mutation of frozen plan nodes:
+          any ``object.__setattr__(...)``, plus non-``self`` attribute
+          assignment inside ``repro/plan/`` — plan trees are rebuilt,
+          never mutated
+RL004     bare ``except:`` (swallows KeyboardInterrupt/SystemExit)
+RL005     mutable default argument (list/dict/set literal or call)
+========  ============================================================
+
+Suppression: append ``# reprolint: disable=RL001`` (comma-separated
+IDs, or ``all``) to the offending line, or put
+``# reprolint: disable-file=RL001`` in the first five lines of a file.
+Findings render as text or a machine-readable JSON report; the
+``tools/reprolint`` CLI exits non-zero when findings remain.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from dataclasses import asdict, dataclass
+from typing import Iterable, Optional
+
+#: rule id -> one-line description (the rule catalog)
+RULES = {
+    "RL001": "shared-attribute mutation outside 'with self._lock:' in a "
+             "lock-owning class",
+    "RL002": "wall-clock call in a virtual-cost module (optimizer/"
+             "runtime/config)",
+    "RL003": "frozen plan-node mutation (object.__setattr__ or non-self "
+             "attribute assignment in repro/plan)",
+    "RL004": "bare 'except:' clause",
+    "RL005": "mutable default argument",
+}
+
+#: module path fragments where RL002 applies (virtual cost only)
+WALL_CLOCK_SCOPES = ("repro/optimizer/", "repro/runtime/",
+                     "repro/config.py")
+
+#: calls RL002 flags: (module alias root, attribute) and bare names
+WALL_CLOCK_CALLS = {("time", "time"), ("time", "perf_counter"),
+                    ("time", "monotonic"), ("time", "process_time"),
+                    ("datetime", "now"), ("datetime", "utcnow"),
+                    ("datetime", "today")}
+
+#: method names that mutate built-in containers in place (RL001)
+MUTATORS = frozenset({
+    "append", "appendleft", "extend", "insert", "remove", "pop",
+    "popleft", "clear", "add", "discard", "update", "setdefault",
+    "sort", "reverse",
+})
+
+#: methods construction-time mutation is allowed in (RL001)
+CONSTRUCTORS = frozenset({"__init__", "__new__", "__post_init__"})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9, ]+)")
+_SUPPRESS_FILE_RE = re.compile(
+    r"#\s*reprolint:\s*disable-file=([A-Za-z0-9, ]+)")
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                f"{self.message}")
+
+
+# --------------------------------------------------------------------------- #
+# public API
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Optional[Iterable[str]] = None) -> list[Finding]:
+    """Lint one file's source text; returns unsuppressed findings."""
+    enabled = set(rules) if rules is not None else set(RULES)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding("RL000", path, error.lineno or 0, 0,
+                        f"syntax error: {error.msg}")]
+    lines = source.splitlines()
+    findings: list[Finding] = []
+    norm = path.replace(os.sep, "/")
+    if "RL001" in enabled:
+        _check_lock_discipline(tree, path, findings)
+    if "RL002" in enabled and any(s in norm for s in WALL_CLOCK_SCOPES):
+        _check_wall_clock(tree, path, findings)
+    if "RL003" in enabled:
+        _check_frozen_mutation(tree, path, norm, findings)
+    if "RL004" in enabled:
+        _check_bare_except(tree, path, findings)
+    if "RL005" in enabled:
+        _check_mutable_defaults(tree, path, findings)
+    for finding in findings:
+        if 0 < finding.line <= len(lines):
+            finding.snippet = lines[finding.line - 1].strip()
+    file_suppressed = _file_suppressions(lines)
+    return [f for f in findings
+            if f.rule not in file_suppressed
+            and not _line_suppressed(lines, f.line, f.rule)]
+
+
+def lint_paths(paths: Iterable[str],
+               rules: Optional[Iterable[str]] = None) -> list[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    findings: list[Finding] = []
+    for filename in sorted(_python_files(paths)):
+        with open(filename, encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(source, filename, rules))
+    return findings
+
+
+def report_json(findings: list[Finding]) -> str:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload = {"tool": "reprolint", "version": 1,
+               "rules": RULES,
+               "counts": counts,
+               "total": len(findings),
+               "findings": [asdict(f) for f in findings]}
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST linter with repro-specific rules (RL001-RL005)")
+    parser.add_argument("paths", nargs="+",
+                        help="files or directories to lint")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--rules",
+                        help="comma-separated rule ids (default: all)")
+    args = parser.parse_args(argv)
+    rules = (None if not args.rules
+             else [r.strip().upper() for r in args.rules.split(",")])
+    findings = lint_paths(args.paths, rules)
+    if args.format == "json":
+        print(report_json(findings))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(f"reprolint: {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+# --------------------------------------------------------------------------- #
+# helpers
+
+def _python_files(paths: Iterable[str]) -> list[str]:
+    out = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, files in os.walk(path):
+                out.extend(os.path.join(root, f) for f in files
+                           if f.endswith(".py"))
+        else:
+            out.append(path)
+    return out
+
+
+def _file_suppressions(lines: list[str]) -> set[str]:
+    suppressed: set[str] = set()
+    for line in lines[:5]:
+        match = _SUPPRESS_FILE_RE.search(line)
+        if match:
+            suppressed |= {r.strip().upper()
+                           for r in match.group(1).split(",")}
+    if "ALL" in suppressed:
+        return set(RULES)
+    return suppressed
+
+
+def _line_suppressed(lines: list[str], lineno: int, rule: str) -> bool:
+    if not 0 < lineno <= len(lines):
+        return False
+    match = _SUPPRESS_RE.search(lines[lineno - 1])
+    if not match:
+        return False
+    ids = {r.strip().upper() for r in match.group(1).split(",")}
+    return rule in ids or "ALL" in ids
+
+
+def _self_attr_root(node: ast.expr) -> Optional[str]:
+    """If ``node`` is an attribute/subscript chain rooted at ``self``,
+    return the first attribute name (``self.<root>...``)."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            return node.attr
+        node = node.value
+    return None
+
+
+def _is_lock_context(item: ast.expr) -> bool:
+    """True for ``with self._lock:`` (and lock-attribute variants)."""
+    if isinstance(item, ast.Call):
+        item = item.func            # e.g. self._lock.acquire_timeout()
+    root = _self_attr_root(item)
+    return root == "_lock"
+
+
+# --------------------------------------------------------------------------- #
+# RL001 — lock discipline
+
+def _check_lock_discipline(tree, path, findings):
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        if not _declares_lock(cls):
+            continue
+        for method in cls.body:
+            if not isinstance(method,
+                              (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in CONSTRUCTORS:
+                continue
+            _scan_method(method, cls.name, path, findings)
+
+
+def _declares_lock(cls: ast.ClassDef) -> bool:
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and target.attr == "_lock"
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    return True
+    return False
+
+
+def _scan_method(method, class_name, path, findings):
+    def walk(node, locked: bool) -> None:
+        if isinstance(node, ast.With):
+            inner = locked or any(_is_lock_context(i.context_expr)
+                                  for i in node.items)
+            for child in node.body:
+                walk(child, inner)
+            return
+        if not locked:
+            attr = _mutated_self_attr(node)
+            if attr is not None and attr != "_lock":
+                findings.append(Finding(
+                    "RL001", path, node.lineno, node.col_offset,
+                    f"{class_name}.{method.name} mutates shared "
+                    f"'self.{attr}' outside 'with self._lock:'"))
+        for child in ast.iter_child_nodes(node):
+            walk(child, locked)
+
+    for statement in method.body:
+        walk(statement, False)
+
+
+def _mutated_self_attr(node) -> Optional[str]:
+    """Attribute name if this statement mutates ``self.<attr>``."""
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        for target in targets:
+            if isinstance(target, ast.Tuple):
+                for element in target.elts:
+                    attr = _self_attr_root(element)
+                    if attr is not None:
+                        return attr
+            attr = _self_attr_root(target)
+            if attr is not None:
+                return attr
+    if isinstance(node, ast.Delete):
+        for target in node.targets:
+            attr = _self_attr_root(target)
+            if attr is not None:
+                return attr
+    if (isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr in MUTATORS):
+        return _self_attr_root(node.value.func.value)
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# RL002 — wall clock in virtual-cost modules
+
+def _check_wall_clock(tree, path, findings):
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name):
+            if (func.value.id, func.attr) in WALL_CLOCK_CALLS:
+                name = f"{func.value.id}.{func.attr}"
+        elif isinstance(func, ast.Name):
+            if any(func.id == attr for _, attr in WALL_CLOCK_CALLS
+                   if attr != "today"):
+                name = func.id
+        if name:
+            findings.append(Finding(
+                "RL002", path, node.lineno, node.col_offset,
+                f"wall-clock call {name}() in a virtual-cost module — "
+                "only the calibrated cost model may produce time here"))
+
+
+# --------------------------------------------------------------------------- #
+# RL003 — frozen plan-node mutation
+
+def _check_frozen_mutation(tree, path, norm, findings):
+    in_plan_pkg = "repro/plan/" in norm
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "__setattr__"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "object"):
+            findings.append(Finding(
+                "RL003", path, node.lineno, node.col_offset,
+                "object.__setattr__ bypasses frozen plan nodes — "
+                "rebuild the node instead of mutating it"))
+        elif in_plan_pkg and isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and not (isinstance(target.value, ast.Name)
+                                 and target.value.id == "self")):
+                    findings.append(Finding(
+                        "RL003", path, node.lineno, node.col_offset,
+                        f"attribute assignment '{ast.unparse(target)}' "
+                        "in repro/plan — plan trees are immutable"))
+
+
+# --------------------------------------------------------------------------- #
+# RL004 / RL005
+
+def _check_bare_except(tree, path, findings):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(Finding(
+                "RL004", path, node.lineno, node.col_offset,
+                "bare 'except:' also catches KeyboardInterrupt/"
+                "SystemExit — name the exception class"))
+
+
+def _check_mutable_defaults(tree, path, findings):
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(default,
+                                 (ast.List, ast.Dict, ast.Set))
+            if (isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in ("list", "dict", "set",
+                                            "bytearray")):
+                mutable = True
+            if mutable:
+                name = getattr(node, "name", "<lambda>")
+                findings.append(Finding(
+                    "RL005", path, default.lineno, default.col_offset,
+                    f"mutable default argument in {name}() is shared "
+                    "across calls — default to None and build inside"))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -294,7 +294,8 @@ class HiveMetastore:
     # ------------------------------------------------------------------ #
     # notification events (Section 6.1, metastore hooks)
     def _emit(self, event_type: str, table: str, payload: dict) -> None:
-        self._events.append(NotificationEvent(
+        # caller holds self._lock (see emit_event and the DDL methods)
+        self._events.append(NotificationEvent(  # reprolint: disable=RL001
             next(self._event_counter), event_type, table, payload))
 
     def emit_event(self, event_type: str, table: str, payload: dict) -> None:

@@ -46,8 +46,9 @@ class Observability:
 
     # -- wiring --------------------------------------------------------- #
     def bind_server(self, hms, workload_manager) -> None:
-        self.hms = hms
-        self.workload_manager = workload_manager
+        with self._lock:
+            self.hms = hms
+            self.workload_manager = workload_manager
 
     def bind_cache(self, component: str, stats, *,
                    extra: Optional[dict] = None) -> None:
@@ -57,7 +58,8 @@ class Observability:
         series ``cache.<field>{component=...}``; ``extra`` adds computed
         values (e.g. ``used_bytes``) the stats object doesn't carry.
         """
-        self._caches.append((component, stats))
+        with self._lock:
+            self._caches.append((component, stats))
         for metric, value in vars(stats).items():
             if metric.startswith("_") \
                     or not isinstance(value, (int, float)):
@@ -71,7 +73,8 @@ class Observability:
                 f"cache.{metric}", fn, component=component)
 
     def cache_components(self) -> list[tuple[str, object]]:
-        return list(self._caches)
+        with self._lock:
+            return list(self._caches)
 
     def ensure_sys_tables(self, hms=None) -> None:
         """Lazily create the ``sys`` database + virtual tables."""
@@ -89,11 +92,13 @@ class Observability:
 
     def start_trace(self, sql: str) -> QueryTrace:
         trace = QueryTrace(self.next_query_id(), sql)
-        self.traces.append(trace)
+        with self._lock:
+            self.traces.append(trace)
         return trace
 
     def record_query(self, entry: QueryLogEntry) -> None:
-        self.query_log.append(entry)
+        # QueryLog carries its own lock; appends are synchronized there
+        self.query_log.append(entry)  # reprolint: disable=RL001
         labels = {"operation": entry.operation or "unknown",
                   "status": entry.status}
         self.registry.counter("queries.total", **labels).inc()
@@ -118,3 +123,44 @@ class Observability:
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True,
                           default=str)
+
+    def to_chrome_trace(self, indent: Optional[int] = None) -> str:
+        """Export every retained query trace as Chrome trace-event JSON.
+
+        Load the result in ``chrome://tracing`` / Perfetto: one track
+        (tid) per query, complete events (``ph="X"``) per span, wall
+        durations in microseconds; the cost model's virtual seconds ride
+        along in each event's ``args``.  Traces are laid out on a common
+        timeline using their real start offsets, so concurrent sessions
+        interleave the way they actually ran.
+        """
+        with self._lock:
+            traces = list(self.traces)
+        events: list[dict] = []
+        if not traces:
+            return json.dumps({"traceEvents": [],
+                               "displayTimeUnit": "ms"}, indent=indent)
+        base = min(trace._started for trace in traces)
+        for trace in traces:
+            tid = trace.query_id
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                "args": {"name": f"query {tid}: {trace.sql[:80]}"}})
+            offset_us = (trace._started - base) * 1e6
+            self._span_events(trace.root, offset_us, tid, events)
+        return json.dumps({"traceEvents": events,
+                           "displayTimeUnit": "ms"}, indent=indent)
+
+    @staticmethod
+    def _span_events(span, offset_us: float, tid: int,
+                     events: list) -> None:
+        args = {"virtual_ms": round(span.virtual_s * 1000.0, 3)}
+        args.update({k: str(v) for k, v in sorted(span.attrs.items())})
+        events.append({
+            "name": span.name, "ph": "X", "cat": "query",
+            "pid": 1, "tid": tid,
+            "ts": round(offset_us + span.start_s * 1e6, 3),
+            "dur": round(span.wall_s * 1e6, 3),
+            "args": args})
+        for child in span.children:
+            Observability._span_events(child, offset_us, tid, events)

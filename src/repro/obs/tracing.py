@@ -27,6 +27,9 @@ class Span:
     name: str
     wall_s: float = 0.0
     virtual_s: float = 0.0
+    #: wall-clock offset of this span's start from its trace's start, in
+    #: seconds — what lays spans out on the Chrome-trace timeline
+    start_s: float = 0.0
     attrs: dict = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
 
@@ -50,6 +53,7 @@ class Span:
         return {"name": self.name,
                 "wall_s": round(self.wall_s, 6),
                 "virtual_s": round(self.virtual_s, 6),
+                "start_s": round(self.start_s, 6),
                 "attrs": dict(self.attrs),
                 "children": [c.to_dict() for c in self.children]}
 
@@ -85,6 +89,7 @@ class QueryTrace:
         span = self._stack[-1].child(name, **attrs)
         self._stack.append(span)
         t0 = time.perf_counter()
+        span.start_s = t0 - self._started
         try:
             yield span
         finally:
@@ -93,7 +98,9 @@ class QueryTrace:
 
     def add(self, name: str, virtual_s: float = 0.0, **attrs) -> Span:
         """Append a leaf span under the currently open span."""
-        return self._stack[-1].child(name, virtual_s=virtual_s, **attrs)
+        span = self._stack[-1].child(name, virtual_s=virtual_s, **attrs)
+        span.start_s = time.perf_counter() - self._started
+        return span
 
     @property
     def current(self) -> Span:

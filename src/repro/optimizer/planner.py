@@ -14,14 +14,24 @@ rewriting rules" (Section 4.1).  The stages here:
 Every stage is gated by its :class:`~repro.config.HiveConf` flag so the
 legacy profile (rule-based only) and ablation benchmarks can disable
 individual rules.
+
+When ``hive.check.plan`` is on, the plan validator
+(:mod:`repro.lint.plan_check`) runs after every stage — and after every
+individual rule in paranoid mode — so a rewrite that breaks a tree
+invariant raises :class:`~repro.errors.PlanInvariantError` naming the
+stage, instead of surfacing as wrong results at execution time.  With a
+:class:`~repro.obs.tracing.QueryTrace` attached, each stage also records
+an ``optimize.<stage>`` span (viewable via the Chrome-trace export).
 """
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..config import HiveConf
+from ..lint.plan_check import check_plan
 from ..metastore.hms import HiveMetastore
 from ..plan import relnodes as rel
 from .join_reorder import choose_build_sides, reorder_joins
@@ -43,6 +53,8 @@ class OptimizedPlan:
     shared_digests: frozenset = frozenset()
     views_used: list[str] = field(default_factory=list)
     stages_applied: list[str] = field(default_factory=list)
+    #: stages the plan validator checked (hive.check.plan on)
+    stages_checked: list[str] = field(default_factory=list)
 
 
 class Optimizer:
@@ -53,25 +65,64 @@ class Optimizer:
                  view_provider: Optional[
                      Callable[[], list[ViewDefinition]]] = None,
                  federation_rule: Optional[
-                     Callable[[rel.RelNode], rel.RelNode]] = None):
+                     Callable[[rel.RelNode], rel.RelNode]] = None,
+                 trace=None):
         self.hms = hms
         self.conf = conf
         self.stats = StatsProvider(hms, stats_overrides)
         self.view_provider = view_provider
         self.federation_rule = federation_rule
+        self.trace = trace
+        self.check_mode = conf.plan_check_mode
+        self._checked: list[str] = []
 
+    # -- validation / tracing plumbing ---------------------------------- #
+    def _stage_span(self, name: str):
+        if self.trace is not None:
+            return self.trace.span(f"optimize.{name}")
+        return contextlib.nullcontext()
+
+    def _validate(self, stage: str, before: rel.RelNode,
+                  after: rel.RelNode) -> None:
+        check_plan(after, stage=stage, before=before)
+        self._checked.append(stage)
+
+    def _apply(self, name: str, fn, root: rel.RelNode) -> rel.RelNode:
+        """Run one top-level stage; validate the result when checking."""
+        with self._stage_span(name):
+            new_root = fn(root)
+        if self.check_mode != "off":
+            self._validate(name, root, new_root)
+        return new_root
+
+    def _apply_rule(self, name: str, fn,
+                    root: rel.RelNode) -> rel.RelNode:
+        """Sub-rule of a composite stage; validated in paranoid mode."""
+        with self._stage_span(name):
+            new_root = fn(root)
+        if self.check_mode == "paranoid":
+            self._validate(name, root, new_root)
+        return new_root
+
+    # ------------------------------------------------------------------ #
     def optimize(self, root: rel.RelNode) -> OptimizedPlan:
         conf = self.conf
         stages: list[str] = []
 
+        if self.check_mode == "paranoid":
+            # the analyzer's output must be valid before any rewriting
+            check_plan(root, stage="analyzer_output")
+            self._checked.append("analyzer_output")
+
         if conf.constant_folding:
-            root = fold_constants(root)
+            root = self._apply("constant_folding", fold_constants, root)
             stages.append("constant_folding")
         if conf.filter_pushdown:
-            root = push_down_predicates(root)
+            root = self._apply("filter_pushdown", push_down_predicates,
+                               root)
             stages.append("filter_pushdown")
         if conf.project_pruning:
-            root = prune_columns(root)
+            root = self._apply("project_pruning", prune_columns, root)
             stages.append("project_pruning")
 
         views_used: list[str] = []
@@ -83,47 +134,75 @@ class Optimizer:
                     views,
                     pk_lookup=lambda t:
                         self.hms.get_table(t).constraints.primary_key)
-                rewritten = rewriter.rewrite(root)
+                before_mv = root
+                rewritten = self._apply_rule("mv_rewriting.rewrite",
+                                             rewriter.rewrite, root)
                 if rewriter.applied:
-                    root = fold_constants(rewritten)
+                    root = self._apply_rule("mv_rewriting.fold_constants",
+                                            fold_constants, rewritten)
                     if conf.filter_pushdown:
-                        root = push_down_predicates(root)
+                        root = self._apply_rule(
+                            "mv_rewriting.filter_pushdown",
+                            push_down_predicates, root)
                     if conf.project_pruning:
-                        root = prune_columns(root)
+                        root = self._apply_rule(
+                            "mv_rewriting.project_pruning",
+                            prune_columns, root)
                     views_used = rewriter.applied
                     stages.append("mv_rewriting")
+                    if self.check_mode != "off":
+                        self._validate("mv_rewriting", before_mv, root)
 
         if conf.cbo_enabled and conf.join_reordering:
-            root = reorder_joins(root, self.stats)
-            root = choose_build_sides(root, self.stats)
+            before_reorder = root
+            root = self._apply_rule("join_reordering.reorder",
+                                    lambda r: reorder_joins(r, self.stats),
+                                    root)
+            root = self._apply_rule(
+                "join_reordering.build_sides",
+                lambda r: choose_build_sides(r, self.stats), root)
             if conf.project_pruning:
-                root = prune_columns(root)
+                root = self._apply_rule("join_reordering.project_pruning",
+                                        prune_columns, root)
             stages.append("join_reordering")
+            if self.check_mode != "off":
+                self._validate("join_reordering", before_reorder, root)
 
         if conf.partition_pruning:
-            root = prune_partitions(root, self.hms)
+            root = self._apply("partition_pruning",
+                               lambda r: prune_partitions(r, self.hms),
+                               root)
             stages.append("partition_pruning")
 
         reducers: list[SemijoinReducer] = []
         if conf.semijoin_reduction:
-            root, reducers = plan_semijoin_reduction(root, self.stats,
-                                                     conf)
+            before_semijoin = root
+            with self._stage_span("semijoin_reduction"):
+                root, reducers = plan_semijoin_reduction(root, self.stats,
+                                                         conf)
             if reducers and conf.shared_work_optimization:
                 # shared work wins over semijoins that break scan merging
                 from .semijoin import strip_sharing_breakers
                 root, reducers = strip_sharing_breakers(root, reducers)
             if reducers:
                 stages.append("semijoin_reduction")
+            if self.check_mode != "off":
+                self._validate("semijoin_reduction", before_semijoin,
+                               root)
 
         if conf.federation_pushdown and self.federation_rule is not None:
-            pushed = self.federation_rule(root)
+            pushed = self._apply("federation_pushdown",
+                                 self.federation_rule, root)
             if pushed.digest != root.digest:
                 root = pushed
                 stages.append("federation_pushdown")
+            else:
+                root = pushed
 
         shared: frozenset = frozenset()
         if conf.shared_work_optimization:
-            shared = find_shared_subtrees(root)
+            with self._stage_span("shared_work"):
+                shared = find_shared_subtrees(root)
             if shared:
                 stages.append("shared_work")
         # semijoin reducer sources always share results with the join
@@ -132,4 +211,5 @@ class Optimizer:
             shared = frozenset(shared | {r.source.digest
                                          for r in reducers})
 
-        return OptimizedPlan(root, reducers, shared, views_used, stages)
+        return OptimizedPlan(root, reducers, shared, views_used, stages,
+                             list(self._checked))

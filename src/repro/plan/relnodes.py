@@ -404,6 +404,12 @@ class Join(RelNode):
         left, right = inputs
         return Join(left, right, self.kind, self.condition)
 
+    def condition_columns(self) -> tuple:
+        """Row type the join condition is resolved against: the raw
+        left ++ right concatenation (even for semi/anti joins, whose
+        *output* schema is the left side only)."""
+        return self.left.schema.columns + self.right.schema.columns
+
     @property
     def digest(self) -> str:
         cond = self.condition.digest if self.condition else "true"
@@ -491,3 +497,7 @@ def transform_bottom_up(rel: RelNode, fn) -> RelNode:
 
 def find_scans(rel: RelNode) -> list[TableScan]:
     return [n for n in walk(rel) if isinstance(n, TableScan)]
+
+
+def node_count(rel: RelNode) -> int:
+    return sum(1 for _ in walk(rel))

@@ -176,6 +176,39 @@ def is_literal(expr: RexNode) -> bool:
     return isinstance(expr, RexLiteral)
 
 
+def type_errors(expr: RexNode, columns) -> list[str]:
+    """Structural/type problems of ``expr`` against an input row type.
+
+    ``columns`` is any ordered sequence of Column (a Schema works).  Used
+    by the plan validator (repro.lint.plan_check): every input ref must
+    land inside the row type with a matching declared type, and boolean
+    operators must be typed BOOLEAN.
+    """
+    problems: list[str] = []
+    width = len(columns)
+
+    def visit(e: RexNode) -> None:
+        if isinstance(e, RexInputRef):
+            if not 0 <= e.index < width:
+                problems.append(
+                    f"input ref ${e.index} out of range "
+                    f"(input width {width})")
+            elif columns[e.index].dtype != e.dtype:
+                problems.append(
+                    f"input ref ${e.index} typed {e.dtype}, but input "
+                    f"column {columns[e.index].name!r} is "
+                    f"{columns[e.index].dtype}")
+        elif isinstance(e, RexCall):
+            if e.op in BOOLEAN_OPS and e.dtype != BOOLEAN:
+                problems.append(
+                    f"boolean operator {e.op} typed {e.dtype}")
+            for operand in e.operands:
+                visit(operand)
+
+    visit(expr)
+    return problems
+
+
 def references_only(expr: RexNode, allowed: set[int]) -> bool:
     """True if the expression touches no ordinal outside ``allowed``."""
     return expr.input_refs() <= allowed

@@ -19,7 +19,8 @@ from ..common.rows import Column, Schema
 from ..common.types import type_from_name
 from ..config import HiveConf
 from ..errors import (AnalysisError, CatalogError, ExecutionError,
-                      HiveError, TransactionError, VertexFailureError)
+                      HiveError, PlanInvariantError, TransactionError,
+                      VertexFailureError)
 from ..exec.operators import ExecutionContext, execute
 from ..fs import SimFileSystem
 from ..llap.cache import LlapCache
@@ -258,6 +259,8 @@ class Session:
         if isinstance(statement, ast.Explain):
             if statement.analyze:
                 return self._explain_analyze(statement.statement)
+            if statement.validate:
+                return self._explain_validate(statement.statement)
             return self._explain(statement.statement)
         if isinstance(statement, ast.CreateDatabase):
             self.hms.create_database(statement.name,
@@ -402,7 +405,8 @@ class Session:
         optimizer = Optimizer(
             self.hms, conf, stats_overrides=stats_overrides,
             view_provider=lambda: self.server.view_definitions(self.now_s),
-            federation_rule=self.server.federation_rule())
+            federation_rule=self.server.federation_rule(),
+            trace=self._trace)
         with self._span("optimize"):
             optimized = optimizer.optimize(plan)
         attempts = 0
@@ -431,7 +435,8 @@ class Session:
                         self.hms, conf, stats_overrides=runtime_stats,
                         view_provider=lambda: self.server.view_definitions(
                             self.now_s),
-                        federation_rule=self.server.federation_rule())
+                        federation_rule=self.server.federation_rule(),
+                        trace=self._trace)
                     with self._span("reoptimize"):
                         optimized = optimizer.optimize(plan)
         if conf.runtime_stats_feedback:
@@ -489,7 +494,8 @@ class Session:
         optimizer = Optimizer(
             self.hms, self.conf,
             view_provider=lambda: self.server.view_definitions(self.now_s),
-            federation_rule=self.server.federation_rule())
+            federation_rule=self.server.federation_rule(),
+            trace=self._trace)
         optimized = optimizer.optimize(plan)
         lines = optimized.root.explain().splitlines()
         lines.append(f"-- stages: {', '.join(optimized.stages_applied)}")
@@ -516,6 +522,47 @@ class Session:
         return QueryResult(rows=[(line,) for line in lines],
                            column_names=["plan"], operation="explain",
                            optimized=optimized)
+
+    def _explain_validate(self, statement: ast.Statement) -> QueryResult:
+        """EXPLAIN VALIDATE: compile with the plan-invariant checker
+
+        forced on (at least "on"; the session's paranoid setting is
+        honoured) and report a per-stage verdict instead of the plan.
+        Nothing executes."""
+        if not isinstance(statement, ast.SelectStatement):
+            raise AnalysisError("EXPLAIN VALIDATE supports queries only")
+        plan = self._analyzer().analyze_query(statement.query)
+        conf = self.conf
+        if conf.plan_check_mode == "off":
+            conf = conf.copy(check_plan="on")
+        optimizer = Optimizer(
+            self.hms, conf,
+            view_provider=lambda: self.server.view_definitions(self.now_s),
+            federation_rule=self.server.federation_rule(),
+            trace=self._trace)
+        lines: list[str] = []
+        error: Optional[PlanInvariantError] = None
+        try:
+            optimizer.optimize(plan)
+        except PlanInvariantError as exc:
+            error = exc
+        for stage in optimizer._checked:
+            lines.append(f"check: OK   stage={stage}")
+        if error is None:
+            lines.append(
+                f"result: OK ({len(optimizer._checked)} stages validated, "
+                f"mode={conf.plan_check_mode})")
+        else:
+            lines.append(f"check: FAIL stage={error.stage}")
+            for violation in error.violations:
+                lines.append(f"  - {violation}")
+            if error.diff:
+                lines.extend(f"  {line}"
+                             for line in error.diff.splitlines())
+            lines.append(f"result: FAIL (stage={error.stage})")
+        return QueryResult(rows=[(line,) for line in lines],
+                           column_names=["check"],
+                           operation="explain_validate")
 
     def _explain_analyze(self, statement: ast.Statement) -> QueryResult:
         """EXPLAIN ANALYZE: run the query, annotate the plan with the
@@ -1153,13 +1200,17 @@ class Session:
         current = getattr(self.conf, attr)
         value: object = statement.value
         if isinstance(current, bool):
-            value = statement.value.lower() in ("true", "1", "yes")
+            value = _parse_bool_config(key, statement.value)
         elif isinstance(current, int):
             value = int(statement.value)
         elif isinstance(current, float):
             value = float(statement.value)
         setattr(self.conf, attr, value)
-        self.conf.validate()
+        try:
+            self.conf.validate()
+        except HiveError:
+            setattr(self.conf, attr, current)  # keep the session usable
+            raise
         return QueryResult(operation="set",
                            message=f"{attr}={value}")
 
@@ -1313,6 +1364,21 @@ def _select_star(table: TableDescriptor) -> ast.Query:
     return parse_query(f"SELECT * FROM {table.qualified_name}")
 
 
+_BOOL_CONFIG_VALUES = {
+    "true": True, "1": True, "yes": True, "on": True,
+    "false": False, "0": False, "no": False, "off": False,
+}
+
+
+def _parse_bool_config(key: str, raw: str) -> bool:
+    try:
+        return _BOOL_CONFIG_VALUES[raw.lower()]
+    except KeyError:
+        raise AnalysisError(
+            f"invalid boolean value {raw!r} for {key}: expected "
+            "true/false (or 1/0, yes/no, on/off)") from None
+
+
 _CONFIG_ALIASES = {
     "hive.llap.execution.mode": "llap_enabled",
     "hive.llap.enabled": "llap_enabled",
@@ -1325,4 +1391,6 @@ _CONFIG_ALIASES = {
     "hive.query.results.cache.enabled": "results_cache_enabled",
     "hive.query.reexecution.strategy": "reexecution_strategy",
     "hive.auto.convert.join": "join_reordering",
+    "hive.check.plan": "check_plan",
+    "hive.check.plan.paranoid": "check_plan_paranoid",
 }

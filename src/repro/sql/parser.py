@@ -127,15 +127,18 @@ class Parser:
         token = self.peek()
         if token.is_keyword("EXPLAIN"):
             self.advance()
-            analyze = False
+            analyze = validate = False
             # EXPLAIN ANALYZE <query> (but EXPLAIN ANALYZE TABLE ... is
             # an explain of the ANALYZE TABLE statement itself)
             if self.peek().is_keyword("ANALYZE") \
                     and not self.peek(1).is_keyword("TABLE"):
                 self.advance()
                 analyze = True
+            elif self.peek().is_keyword("VALIDATE"):
+                self.advance()
+                validate = True
             inner = self.parse_statement()
-            return ast.Explain(inner, analyze=analyze)
+            return ast.Explain(inner, analyze=analyze, validate=validate)
         if token.is_keyword("SELECT", "WITH"):
             query = self.parse_query()
             self.expect_end()
@@ -708,15 +711,23 @@ class Parser:
 
     def _parse_set(self) -> ast.SetConfig:
         self.expect_keyword("SET")
-        parts = [self.expect_ident()]
+        parts = [self._set_key_part()]
         while self.accept_op("."):
-            parts.append(self.expect_ident())
+            parts.append(self._set_key_part())
         self.expect_op("=")
         token = self.advance()
         if token.type is TokenType.EOF:
             raise self._error("expected value")
         self.expect_end()
         return ast.SetConfig(".".join(parts), token.value)
+
+    def _set_key_part(self) -> str:
+        """A segment of a dotted config key; unlike ordinary identifiers
+        any keyword is legal here (hive.cbo.ENABLE, hive.check.PLAN)."""
+        token = self.peek()
+        if token.type in (TokenType.IDENT, TokenType.KEYWORD):
+            return self.advance().value.lower()
+        raise self._error("expected configuration key")
 
     # ------------------------------------------------------------------ #
     # queries

@@ -10,8 +10,17 @@ from repro.config import HiveConf
 
 @pytest.fixture
 def conf():
-    """Fast default configuration for unit tests."""
-    return HiveConf.v3_profile()
+    """Fast default configuration for unit tests.
+
+    Plan-invariant checking runs at least in "on" mode for every test
+    that goes through this fixture, so any optimizer rewrite that breaks
+    a tree invariant fails loudly here.  HIVE_CHECK_PLAN=paranoid (the
+    CI lint job) escalates to per-rule validation.
+    """
+    conf = HiveConf.v3_profile()
+    if conf.plan_check_mode == "off":
+        conf.check_plan = "on"
+    return conf
 
 
 @pytest.fixture

@@ -235,6 +235,31 @@ class TestQueries:
         with pytest.raises(AnalysisError):
             data.execute("SET no.such.key=1")
 
+    def test_set_rejects_invalid_boolean(self, data):
+        # booleans were silently coerced to False before; now any
+        # unrecognized spelling is an error naming the key
+        with pytest.raises(AnalysisError, match="hive.llap.enabled"):
+            data.execute("SET hive.llap.enabled=maybe")
+        assert data.conf.llap_enabled is True  # unchanged
+        data.execute("SET hive.llap.enabled=off")
+        assert data.conf.llap_enabled is False
+
+    def test_set_key_may_contain_keyword_segments(self, data):
+        # hive.cbo.ENABLE / hive.check.PLAN parse as config keys even
+        # though ENABLE and PLAN are SQL keywords
+        data.execute("SET hive.cbo.enable=false")
+        assert data.conf.cbo_enabled is False
+        data.execute("SET hive.check.plan=paranoid")
+        assert data.conf.plan_check_mode == "paranoid"
+
+    def test_set_check_plan_rejects_bad_mode(self, data):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError, match="check_plan"):
+            data.execute("SET hive.check.plan=sometimes")
+        # the rejected value is rolled back, the session stays usable
+        data.conf.plan_check_mode
+        assert data.execute("SELECT count(*) FROM t").rows
+
     def test_parse_error_surfaces(self, data):
         with pytest.raises(ParseError):
             data.execute("SELEKT 1")

@@ -442,3 +442,101 @@ class TestBenchObsExport:
         assert ok["breakdown"]["rows_produced"] == 1
         bad = next(r for r in records if r["query"] == "bad")
         assert bad["seconds"] is None and bad["error"]
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace-event export (chrome://tracing / Perfetto)
+
+class TestChromeTrace:
+    def test_empty_export(self):
+        doc = json.loads(Observability().to_chrome_trace())
+        assert doc == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_events_cover_pipeline_spans(self, loaded_session):
+        loaded_session.execute("SELECT a FROM t WHERE a > 1")
+        doc = json.loads(loaded_session.server.obs.to_chrome_trace())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in complete}
+        assert {"query", "parse", "optimize", "execute"} <= names
+        assert any(n.startswith("optimize.") for n in names)
+        for event in complete:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert "virtual_ms" in event["args"]
+
+    def test_one_track_per_query_with_metadata(self, loaded_session):
+        loaded_session.execute("SELECT count(*) FROM t")
+        loaded_session.execute("SELECT count(*) FROM u")
+        doc = json.loads(loaded_session.server.obs.to_chrome_trace())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        tids = {e["tid"] for e in meta}
+        assert len(meta) >= 2 and len(tids) == len(meta)
+        for event in meta:
+            assert event["args"]["name"].startswith("query ")
+
+    def test_child_spans_start_within_parent(self, loaded_session):
+        loaded_session.execute("SELECT a FROM t")
+        trace = loaded_session.server.obs.traces[-1]
+        optimize = trace.find("optimize")
+        for child in optimize.children:
+            assert child.start_s >= optimize.start_s
+
+    def test_span_start_offsets_recorded(self):
+        trace = QueryTrace(1, "SELECT 1")
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        leaf = trace.add("leaf")
+        outer, inner = trace.root.children[0], \
+            trace.root.children[0].children[0]
+        assert inner.start_s >= outer.start_s
+        assert leaf.start_s >= inner.start_s
+
+
+# --------------------------------------------------------------------------- #
+# concurrency regressions: these mutations raced before they were moved
+# under Observability._lock (found by reprolint RL001)
+
+class TestObservabilityThreadSafety:
+    def test_concurrent_bind_cache_registers_everything(self):
+        import threading
+
+        class Stats:
+            hits = 0
+
+        obs = Observability()
+        barrier = threading.Barrier(8)
+
+        def bind(i):
+            barrier.wait()
+            obs.bind_cache(f"component-{i}", Stats())
+
+        threads = [threading.Thread(target=bind, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(obs.cache_components()) == 8
+
+    def test_concurrent_start_trace_unique_ids(self):
+        import threading
+
+        obs = Observability(trace_capacity=512)
+        barrier = threading.Barrier(8)
+        ids = []
+        ids_lock = threading.Lock()
+
+        def go():
+            barrier.wait()
+            for _ in range(25):
+                trace = obs.start_trace("SELECT 1")
+                with ids_lock:
+                    ids.append(trace.query_id)
+
+        threads = [threading.Thread(target=go) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(ids) == len(set(ids)) == 200
+        assert len(obs.traces) == 200

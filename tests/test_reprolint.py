@@ -1,0 +1,279 @@
+"""repro.lint layer 2: the reprolint AST linter and its CLI.
+
+Each rule gets positive and negative cases, suppression syntax is
+exercised at line and file level, and — the merge gate — ``src/`` must
+lint clean.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.lint import Finding, RULES, lint_paths, lint_source
+from repro.lint.reprolint import main as reprolint_main
+from repro.lint.reprolint import report_json
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def lint(code, path="x.py", rules=None):
+    return lint_source(textwrap.dedent(code), path, rules)
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+# --------------------------------------------------------------------------- #
+class TestRL001LockDiscipline:
+    def test_unguarded_mutation_flagged(self):
+        findings = lint("""
+            import threading
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+                def add(self, item):
+                    self._items.append(item)
+            """)
+        assert rule_ids(findings) == ["RL001"]
+        assert "self._items" in findings[0].message
+        assert "Registry.add" in findings[0].message
+
+    def test_guarded_mutation_ok(self):
+        assert lint("""
+            import threading
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+                def add(self, item):
+                    with self._lock:
+                        self._items.append(item)
+            """) == []
+
+    def test_constructor_exempt(self):
+        assert lint("""
+            class Registry:
+                def __init__(self):
+                    self._lock = object()
+                    self._items = []
+                    self._items.append(1)
+            """) == []
+
+    def test_class_without_lock_not_checked(self):
+        assert lint("""
+            class Bag:
+                def __init__(self):
+                    self.items = []
+                def add(self, item):
+                    self.items.append(item)
+            """) == []
+
+    def test_assignment_and_del_and_augassign(self):
+        findings = lint("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                def a(self):
+                    self.x = 1
+                def b(self):
+                    self.n += 1
+                def c(self):
+                    del self.cache["k"]
+            """)
+        assert rule_ids(findings) == ["RL001"] * 3
+
+    def test_nested_with_keeps_lock_held(self):
+        assert lint("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                def a(self, fh):
+                    with self._lock:
+                        with open("f") as handle:
+                            self.x = 1
+            """) == []
+
+    def test_local_mutation_not_flagged(self):
+        assert lint("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                def a(self):
+                    items = []
+                    items.append(1)
+                    return items
+            """) == []
+
+
+class TestRL002WallClock:
+    CODE = """
+        import time
+        def cost():
+            return time.perf_counter()
+        """
+
+    def test_flagged_inside_scoped_modules(self):
+        findings = lint(self.CODE, path="src/repro/optimizer/foo.py")
+        assert rule_ids(findings) == ["RL002"]
+        assert "perf_counter" in findings[0].message
+
+    def test_not_flagged_elsewhere(self):
+        assert lint(self.CODE, path="src/repro/obs/tracing.py") == []
+
+    def test_datetime_now_flagged(self):
+        findings = lint("""
+            from datetime import datetime
+            def stamp():
+                return datetime.now()
+            """, path="src/repro/runtime/tez.py")
+        assert rule_ids(findings) == ["RL002"]
+
+
+class TestRL003FrozenMutation:
+    def test_object_setattr_flagged_anywhere(self):
+        findings = lint("""
+            def patch(node):
+                object.__setattr__(node, "schema", None)
+            """, path="src/repro/server/driver.py")
+        assert rule_ids(findings) == ["RL003"]
+
+    def test_non_self_attr_assign_in_plan_pkg(self):
+        findings = lint("""
+            def tweak(node):
+                node.count = 5
+            """, path="src/repro/plan/relnodes.py")
+        assert rule_ids(findings) == ["RL003"]
+
+    def test_non_self_attr_assign_outside_plan_pkg_ok(self):
+        assert lint("""
+            def tweak(obj):
+                obj.count = 5
+            """, path="src/repro/server/driver.py") == []
+
+
+class TestRL004BareExcept:
+    def test_flagged(self):
+        findings = lint("""
+            def risky():
+                try:
+                    pass
+                except:
+                    pass
+            """)
+        assert rule_ids(findings) == ["RL004"]
+
+    def test_typed_except_ok(self):
+        assert lint("""
+            def risky():
+                try:
+                    pass
+                except ValueError:
+                    pass
+            """) == []
+
+
+class TestRL005MutableDefaults:
+    def test_list_literal_flagged(self):
+        findings = lint("def f(items=[]):\n    return items\n")
+        assert rule_ids(findings) == ["RL005"]
+
+    def test_dict_call_flagged(self):
+        findings = lint("def f(opts=dict()):\n    return opts\n")
+        assert rule_ids(findings) == ["RL005"]
+
+    def test_none_default_ok(self):
+        assert lint("def f(items=None):\n    return items\n") == []
+
+    def test_tuple_default_ok(self):
+        assert lint("def f(items=()):\n    return items\n") == []
+
+
+# --------------------------------------------------------------------------- #
+class TestSuppression:
+    def test_line_suppression(self):
+        findings = lint(
+            "def f(xs=[]):  # reprolint: disable=RL005\n"
+            "    return xs\n")
+        assert findings == []
+
+    def test_line_suppression_wrong_rule_keeps_finding(self):
+        findings = lint(
+            "def f(xs=[]):  # reprolint: disable=RL001\n"
+            "    return xs\n")
+        assert rule_ids(findings) == ["RL005"]
+
+    def test_file_suppression(self):
+        findings = lint(
+            "# reprolint: disable-file=RL005\n"
+            "def f(xs=[]):\n"
+            "    return xs\n")
+        assert findings == []
+
+    def test_rules_filter(self):
+        code = ("def f(xs=[]):\n"
+                "    try:\n"
+                "        pass\n"
+                "    except:\n"
+                "        pass\n")
+        assert rule_ids(lint(code, rules=["RL004"])) == ["RL004"]
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint("def f(:\n")
+        assert rule_ids(findings) == ["RL000"]
+
+
+class TestReportingAndCli:
+    def test_json_report_shape(self):
+        findings = [Finding("RL004", "a.py", 3, 0, "bare except")]
+        doc = json.loads(report_json(findings))
+        assert doc["tool"] == "reprolint"
+        assert doc["total"] == 1
+        assert doc["counts"] == {"RL004": 1}
+        assert doc["findings"][0]["path"] == "a.py"
+        assert set(doc["rules"]) == set(RULES)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(x=None):\n    return x\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(x=[]):\n    return x\n")
+        assert reprolint_main([str(clean)]) == 0
+        assert reprolint_main([str(dirty)]) == 1
+        capsys.readouterr()
+        assert reprolint_main(["--format", "json", str(dirty)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["total"] == 1
+
+    def test_cli_script_runs(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(x=[]):\n    return x\n")
+        tool = os.path.join(REPO_ROOT, "tools", "reprolint")
+        proc = subprocess.run(
+            [sys.executable, tool, "--format", "json", str(dirty)],
+            capture_output=True, text=True)
+        assert proc.returncode == 1
+        assert json.loads(proc.stdout)["total"] == 1
+
+
+# --------------------------------------------------------------------------- #
+class TestRepoIsClean:
+    def test_src_has_zero_findings(self):
+        """The merge gate: the shipped source tree lints clean (real
+        fixes or documented suppressions, never silent findings)."""
+        findings = lint_paths([SRC])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_tools_reprolint_exists_and_is_executable(self):
+        tool = os.path.join(REPO_ROOT, "tools", "reprolint")
+        assert os.path.exists(tool)
+        assert os.access(tool, os.X_OK)
