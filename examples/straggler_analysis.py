@@ -1,0 +1,100 @@
+"""Straggler & skew analysis: the vertex/operator profiler end to end.
+
+A join key that dominates the fact table lands all of its work on one
+reduce task.  The profiler hashes execution-time key histograms onto
+the vertex's tasks, so the hot key shows up as a long max task —
+``skew_factor`` (max-task / median-task time) and the ``STRAGGLER``
+flag make it visible in ``sys.vertex_log``, ``EXPLAIN ANALYZE`` and
+the Chrome trace export.  A p95 latency trigger then sheds load off
+the hot pool — something a per-query gauge trigger cannot do, because
+each individual query stays under the threshold.
+
+Run with:  PYTHONPATH=src python examples/straggler_analysis.py
+"""
+
+import repro
+
+
+def show(title: str, result) -> None:
+    print(f"== {title} ==")
+    for row in result.rows:
+        print("  " + " | ".join(str(v) for v in row))
+    print()
+
+
+def main() -> None:
+    conf = repro.HiveConf.v3_profile()
+    conf.cost.data_scale = 2000.0       # amplify virtual task counts
+    server = repro.HiveServer2(conf)
+    session = server.connect(application="bi_app")
+
+    # -- a deliberately skewed join: key 0 owns 80% of the fact table
+    session.execute("CREATE TABLE dim (k INT, name STRING)")
+    session.execute("CREATE TABLE fact (k INT, v INT)")
+    session.execute("INSERT INTO dim VALUES " + ", ".join(
+        f"({i}, 'n{i}')" for i in range(20)))
+    values = [f"(0, {i})" for i in range(400)]
+    values += [f"({1 + i % 19}, {i})" for i in range(100)]
+    session.execute("INSERT INTO fact VALUES " + ", ".join(values))
+
+    skewed = ("SELECT d.name, COUNT(*) FROM fact f "
+              "JOIN dim d ON f.k = d.k GROUP BY d.name")
+
+    # -- EXPLAIN ANALYZE renders the vertex/operator tree with time bars
+    result = session.execute("EXPLAIN ANALYZE " + skewed)
+    print("== EXPLAIN ANALYZE (vertex tree) ==")
+    for (line,) in result.rows:
+        if line.startswith("--"):
+            print("  " + line)
+    print()
+
+    # -- the acceptance query: skew factor per vertex, joined to the log
+    show("per-vertex skew (sys.vertex_log ⋈ sys.query_log)",
+         session.execute("""
+        SELECT v.name, v.tasks, v.skew_factor, v.straggler
+        FROM sys.vertex_log v
+        JOIN sys.query_log q ON v.query_id = q.query_id"""))
+
+    # -- operator-level attribution of the same query
+    show("sys.operator_log", session.execute("""
+        SELECT vertex, operator, rows_in, rows_out, virtual_s
+        FROM sys.operator_log"""))
+
+    # -- percentile-triggered workload management: heat the bi pool,
+    #    then watch a *cheap* query get moved because the pool's p95 is
+    #    hot (its own runtime never crosses the threshold)
+    for ddl in (
+            "CREATE RESOURCE PLAN daytime",
+            "CREATE POOL daytime.bi WITH alloc_fraction=0.8, "
+            "query_parallelism=5",
+            "CREATE POOL daytime.etl WITH alloc_fraction=0.2, "
+            "query_parallelism=20",
+            "CREATE RULE shed IN daytime WHEN p95(query.latency_s) > 2 "
+            "THEN MOVE etl",
+            "ADD RULE shed TO bi",
+            "CREATE APPLICATION MAPPING bi_app IN daytime TO bi",
+            "ALTER RESOURCE PLAN daytime ENABLE ACTIVATE"):
+        session.execute(ddl)
+
+    for i in range(4):                   # heavy queries heat the p95
+        session.execute(f"SELECT k, COUNT(*) FROM fact "
+                        f"WHERE v > {i} GROUP BY k")
+    cheap = session.execute("SELECT COUNT(*) FROM fact WHERE k = 1")
+    print("== percentile trigger ==")
+    print(f"  cheap query runtime : {cheap.metrics.total_s:.3f}s")
+    print(f"  moved to pool       : {cheap.metrics.moved_to_pool}")
+    print()
+
+    show("sys.wm_events", session.execute("""
+        SELECT query_id, trigger_name, metric, action, target_pool
+        FROM sys.wm_events"""))
+
+    # -- nested vertex/operator spans in the Chrome trace export
+    trace_json = server.obs.to_chrome_trace()
+    print("== chrome trace ==")
+    print(f"  {len(trace_json)} bytes; load in chrome://tracing — "
+          "operator spans nest inside their vertex span")
+
+
+if __name__ == "__main__":
+    main()

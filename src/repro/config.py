@@ -156,6 +156,15 @@ class HiveConf:
     container_reuse: bool = False          # Tez container reuse w/o LLAP
 
     # ------------------------------------------------------------------ #
+    # observability (repro.obs)
+    #: ring-buffer capacity of the in-memory query log; evicted entries
+    #: spill to the overflow store so ``sys.query_log`` stays complete
+    obs_query_log_capacity: int = 1000
+    #: a vertex is flagged a straggler when its modeled
+    #: max-task/median-task duration ratio reaches this factor
+    straggler_skew_threshold: float = 2.0
+
+    # ------------------------------------------------------------------ #
     # ACID (Section 3.2)
     acid_enabled: bool = True
     compaction_delta_threshold: int = 10   # minor compaction trigger
@@ -209,6 +218,12 @@ class HiveConf:
             raise ConfigError("cluster must have >= 1 node and >= 1 core")
         if self.max_reexecutions < 0:
             raise ConfigError("max_reexecutions must be >= 0")
+        if self.obs_query_log_capacity < 1:
+            raise ConfigError("obs_query_log_capacity must be >= 1")
+        if self.straggler_skew_threshold <= 1.0:
+            raise ConfigError(
+                "straggler_skew_threshold must be > 1.0 (ratio of max "
+                "to median task duration)")
 
     # ------------------------------------------------------------------ #
     @classmethod

@@ -30,6 +30,10 @@ from . import expr_eval
 #: guard against runaway cross products in nested-loop joins
 MAX_CROSS_PRODUCT = 20_000_000
 
+#: beyond this many distinct keys a vertex is treated as skew-free and
+#: no per-key histogram is kept (bounds profiler memory)
+KEY_HISTOGRAM_MAX_KEYS = 65_536
+
 
 @dataclass
 class ExecutionContext:
@@ -51,9 +55,18 @@ class ExecutionContext:
     #: optional per-operator profile (repro.obs.ExecutionProfile): rows,
     #: executions and wall time per digest, for EXPLAIN ANALYZE
     profile: Optional[object] = None
+    #: per-key row distributions observed by shuffling operators
+    #: (digest -> {key: rows}); the runtime's skew analysis assigns the
+    #: keys to reducer tasks to model per-task duration spread
+    key_counts: dict = field(default_factory=dict)
 
     def record(self, node: rel.RelNode, rows: int) -> None:
         self.runtime_stats[node.digest] = rows
+
+    def record_keys(self, node: rel.RelNode, counts: dict) -> None:
+        """Keep the per-key distribution of a shuffling operator."""
+        if counts and len(counts) <= KEY_HISTOGRAM_MAX_KEYS:
+            self.key_counts[node.digest] = counts
 
 
 def execute(node: rel.RelNode, ctx: ExecutionContext) -> VectorBatch:
@@ -68,8 +81,13 @@ def execute(node: rel.RelNode, ctx: ExecutionContext) -> VectorBatch:
     if ctx.profile is not None:
         t0 = time.perf_counter()
         result = handler(node, ctx)
+        rows_in = sum(ctx.runtime_stats.get(child.digest, 0)
+                      for child in node.inputs)
         ctx.profile.record(node.digest, result.num_rows,
-                           time.perf_counter() - t0)
+                           time.perf_counter() - t0,
+                           rows_in=rows_in,
+                           batches=max(1, len(node.inputs)),
+                           operator=type(node).__name__)
     else:
         result = handler(node, ctx)
     ctx.record(node, result.num_rows)
@@ -170,7 +188,10 @@ def _exec_aggregate(node: rel.Aggregate, ctx: ExecutionContext) -> VectorBatch:
     child = execute(node.input, ctx)
     if node.grouping_sets is not None:
         return _aggregate_grouping_sets(node, child)
-    rows = _aggregate_once(node, child, node.group_keys)
+    sizes: dict[tuple, int] = {}
+    rows = _aggregate_once(node, child, node.group_keys,
+                           sizes_out=sizes)
+    ctx.record_keys(node, sizes)
     return VectorBatch.from_rows(node.schema, rows)
 
 
@@ -197,7 +218,8 @@ def _aggregate_grouping_sets(node: rel.Aggregate,
 
 
 def _aggregate_once(node: rel.Aggregate, child: VectorBatch,
-                    group_keys: tuple[int, ...]) -> list[tuple]:
+                    group_keys: tuple[int, ...],
+                    sizes_out: Optional[dict] = None) -> list[tuple]:
     key_columns = [child.vectors[k] for k in group_keys]
     n = child.num_rows
     groups: dict[tuple, list] = {}
@@ -226,6 +248,8 @@ def _aggregate_once(node: rel.Aggregate, child: VectorBatch,
                 states = new_states()
                 groups[key] = states
                 order.append(key)
+            if sizes_out is not None:
+                sizes_out[key] = sizes_out.get(key, 0) + 1
             _update_states(node.agg_calls, states, arg_columns, i)
 
     rows = []
@@ -344,7 +368,9 @@ def join_batches(node: rel.Join, left: VectorBatch, right: VectorBatch,
             f"budget is {ctx.hash_join_memory_rows}",
             vertex=node._explain_label())
 
-    li, ri = _candidate_pairs(left, right, pairs)
+    li, ri, key_counts = _candidate_pairs(left, right, pairs)
+    if key_counts is not None:
+        ctx.record_keys(node, key_counts)
     if residual:
         mask = _residual_mask(node, left, right, li, ri, residual)
         li, ri = li[mask], ri[mask]
@@ -380,7 +406,14 @@ def join_batches(node: rel.Join, left: VectorBatch, right: VectorBatch,
 
 def _candidate_pairs(left: VectorBatch, right: VectorBatch,
                      pairs: list[tuple[int, int]]
-                     ) -> tuple[np.ndarray, np.ndarray]:
+                     ) -> tuple[np.ndarray, np.ndarray, Optional[dict]]:
+    """Matching row pairs, plus the per-key distribution of matches.
+
+    The third element maps each equi-join key to the number of joined
+    rows it produced — the shuffle distribution a hash-partitioned
+    reducer would see, which the runtime's skew analysis consumes.
+    ``None`` for cross products (no shuffle key exists).
+    """
     if not pairs:
         total = left.num_rows * right.num_rows
         if total > MAX_CROSS_PRODUCT:
@@ -389,7 +422,7 @@ def _candidate_pairs(left: VectorBatch, right: VectorBatch,
                 "rows exceeds the nested-loop limit")
         li = np.repeat(np.arange(left.num_rows), right.num_rows)
         ri = np.tile(np.arange(right.num_rows), left.num_rows)
-        return li.astype(np.int64), ri.astype(np.int64)
+        return li.astype(np.int64), ri.astype(np.int64), None
     # hash join: build on right
     build: dict[tuple, list[int]] = {}
     right_keys = [right.vectors[r] for _, r in pairs]
@@ -401,6 +434,7 @@ def _candidate_pairs(left: VectorBatch, right: VectorBatch,
     left_keys = [left.vectors[l] for l, _ in pairs]
     li_out: list[int] = []
     ri_out: list[int] = []
+    key_counts: dict[tuple, int] = {}
     for i in range(left.num_rows):
         if any(kc.nulls[i] for kc in left_keys):
             continue
@@ -409,8 +443,9 @@ def _candidate_pairs(left: VectorBatch, right: VectorBatch,
         if matches:
             li_out.extend([i] * len(matches))
             ri_out.extend(matches)
+            key_counts[key] = key_counts.get(key, 0) + len(matches)
     return (np.asarray(li_out, dtype=np.int64),
-            np.asarray(ri_out, dtype=np.int64))
+            np.asarray(ri_out, dtype=np.int64), key_counts)
 
 
 def _residual_mask(node, left, right, li, ri, residual) -> np.ndarray:

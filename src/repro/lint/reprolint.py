@@ -17,6 +17,11 @@ RL003     post-construction attribute mutation of frozen plan nodes:
           never mutated
 RL004     bare ``except:`` (swallows KeyboardInterrupt/SystemExit)
 RL005     mutable default argument (list/dict/set literal or call)
+RL006     direct access to metric internals (``_value``/``_counts``/
+          ``_series``...) outside ``repro/obs/`` — instrumented code
+          must read through the registry's snapshot API
+          (``value()``/``total()``/``percentile()``/``snapshot()``),
+          so locking and kind checks cannot be bypassed
 ========  ============================================================
 
 Suppression: append ``# reprolint: disable=RL001`` (comma-separated
@@ -45,7 +50,14 @@ RULES = {
              "attribute assignment in repro/plan)",
     "RL004": "bare 'except:' clause",
     "RL005": "mutable default argument",
+    "RL006": "metric internals read outside repro/obs (use the "
+             "registry snapshot API)",
 }
+
+#: private metric-state attributes RL006 protects (Counter._value,
+#: Histogram._counts, MetricsRegistry._series/_kinds/_callbacks)
+OBS_INTERNAL_ATTRS = frozenset({"_value", "_values", "_counts",
+                                "_series", "_kinds", "_callbacks"})
 
 #: module path fragments where RL002 applies (virtual cost only)
 WALL_CLOCK_SCOPES = ("repro/optimizer/", "repro/runtime/",
@@ -112,6 +124,8 @@ def lint_source(source: str, path: str = "<string>",
         _check_bare_except(tree, path, findings)
     if "RL005" in enabled:
         _check_mutable_defaults(tree, path, findings)
+    if "RL006" in enabled and "repro/obs/" not in norm:
+        _check_obs_internals(tree, path, findings)
     for finding in findings:
         if 0 < finding.line <= len(lines):
             finding.snippet = lines[finding.line - 1].strip()
@@ -363,6 +377,30 @@ def _check_bare_except(tree, path, findings):
                 "RL004", path, node.lineno, node.col_offset,
                 "bare 'except:' also catches KeyboardInterrupt/"
                 "SystemExit — name the exception class"))
+
+
+def _check_obs_internals(tree, path, findings):
+    """RL006 — metric internals must not be read outside repro/obs.
+
+    ``Counter._value``, ``Histogram._counts`` and the registry's
+    ``_series``/``_kinds``/``_callbacks`` maps are guarded by locks
+    inside the obs package; any other module touching them races those
+    locks and skips the kind checks.  ``self.<attr>`` is exempt so
+    unrelated classes may keep private fields with these names.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        if node.attr not in OBS_INTERNAL_ATTRS:
+            continue
+        if isinstance(node.value, ast.Name) \
+                and node.value.id in ("self", "cls"):
+            continue
+        findings.append(Finding(
+            "RL006", path, node.lineno, node.col_offset,
+            f"direct metric-internals access "
+            f"'{ast.unparse(node)}' outside repro/obs — read through "
+            "registry.value()/total()/percentile()/snapshot()"))
 
 
 def _check_mutable_defaults(tree, path, findings):

@@ -7,6 +7,14 @@ reserve a fraction of cluster executors and a concurrency level;
 pool or *kill* it.  Idle pool capacity may be borrowed by queries mapped
 elsewhere until the owning pool claims it.
 
+Triggers come in two forms.  A plain metric name (``total_runtime``)
+compares the *current query's* counter against the threshold.  A
+percentile form — ``p95(query.latency_s)`` — compares a quantile of the
+query's *pool distribution* read from the obs registry's histograms, so
+MOVE/KILL fire on distribution shifts (adaptive admission) even when the
+triggering query itself is cheap.  Every firing is recorded in a
+:class:`WmEventLog`, which backs the ``sys.wm_events`` table.
+
 Plans are persisted in HMS; exactly one plan is active at a time.
 """
 
@@ -14,10 +22,16 @@ from __future__ import annotations
 
 import enum
 import heapq
+import re
+import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import WorkloadManagementError
+
+#: percentile-trigger metric syntax: ``p<number>(<histogram name>)``
+_PERCENTILE_METRIC = re.compile(r"^p(\d+(?:\.\d+)?)\((.+)\)$")
 
 
 class TriggerAction(enum.Enum):
@@ -32,6 +46,64 @@ class Trigger:
     threshold: float
     action: TriggerAction
     target_pool: Optional[str] = None
+
+    @property
+    def percentile(self) -> Optional[tuple[float, str]]:
+        """``(p, histogram_name)`` for percentile triggers, else None."""
+        match = _PERCENTILE_METRIC.match(self.metric)
+        if match is None:
+            return None
+        return float(match.group(1)), match.group(2)
+
+
+@dataclass
+class WmEvent:
+    """One trigger firing — a row of ``sys.wm_events``."""
+
+    event_id: int
+    query_id: int
+    pool: str
+    trigger_name: str
+    metric: str
+    value: float
+    threshold: float
+    action: str                  # "move" | "kill"
+    target_pool: Optional[str]
+
+    def as_row(self) -> tuple:
+        return (self.event_id, self.query_id, self.pool,
+                self.trigger_name, self.metric, self.value,
+                self.threshold, self.action, self.target_pool)
+
+
+class WmEventLog:
+    """Bounded, thread-safe log of workload-management trigger firings."""
+
+    def __init__(self, capacity: int = 1024):
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=capacity)
+        self._next_id = 1
+
+    def record(self, query_id: int, pool: str, trigger: Trigger,
+               value: float) -> WmEvent:
+        with self._lock:
+            event = WmEvent(
+                event_id=self._next_id, query_id=query_id, pool=pool,
+                trigger_name=trigger.name, metric=trigger.metric,
+                value=value, threshold=trigger.threshold,
+                action=trigger.action.value,
+                target_pool=trigger.target_pool)
+            self._next_id += 1
+            self._events.append(event)
+            return event
+
+    def entries(self) -> list[WmEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
 
 
 @dataclass
@@ -95,6 +167,8 @@ class QueryAdmission:
     killed: bool = False
     #: threshold of the trigger that fired (for post-hoc re-pricing)
     fired_threshold: float = 0.0
+    #: name of the trigger that fired (for the wm event log)
+    fired_trigger: Optional[str] = None
 
 
 class WorkloadManager:
@@ -111,9 +185,11 @@ class WorkloadManager:
     """
 
     def __init__(self, plan: Optional[ResourcePlan] = None,
-                 registry=None):
+                 registry=None,
+                 event_log: Optional[WmEventLog] = None):
         self.plan = plan
         self.registry = registry
+        self.event_log = event_log
         self._running: dict[str, list[float]] = {}
 
     @property
@@ -167,15 +243,23 @@ class WorkloadManager:
         The runner publishes each runtime counter as
         ``wm.query.<metric>{query=...}``; triggers read those series
         back here — no private-field plumbing between runner and
-        manager.
+        manager.  Percentile triggers (``p95(query.latency_s)``) read
+        the *pool's* histogram series instead, so they see the workload
+        distribution rather than the one query at hand.
         """
         if not self.active or not admission.pool:
             return admission
         pool = self.plan.pools[admission.pool]
         values: dict[str, float] = {}
         for trigger in pool.triggers:
-            value = registry.value(f"wm.query.{trigger.metric}",
-                                   query=str(query_id))
+            percentile = trigger.percentile
+            if percentile is not None:
+                p, histogram_name = percentile
+                value = registry.percentile(histogram_name, p,
+                                            pool=admission.pool)
+            else:
+                value = registry.value(f"wm.query.{trigger.metric}",
+                                       query=str(query_id))
             if value is not None:
                 values[trigger.metric] = value
         try:
@@ -184,11 +268,26 @@ class WorkloadManager:
             if self.registry is not None and admission.killed:
                 self.registry.counter("wm.trigger.kills",
                                       pool=pool.name).inc()
+            self._record_event(pool, admission, values, query_id)
             raise
-        if self.registry is not None and admission.moved_to is not None:
-            self.registry.counter("wm.trigger.moves",
-                                  pool=pool.name).inc()
+        if admission.moved_to is not None:
+            if self.registry is not None:
+                self.registry.counter("wm.trigger.moves",
+                                      pool=pool.name).inc()
+            self._record_event(pool, admission, values, query_id)
         return result
+
+    def _record_event(self, pool: Pool, admission: QueryAdmission,
+                      values: dict[str, float], query_id: int) -> None:
+        """Append the fired trigger (if any) to the wm event log."""
+        if self.event_log is None or admission.fired_trigger is None:
+            return
+        for trigger in pool.triggers:
+            if trigger.name == admission.fired_trigger:
+                self.event_log.record(
+                    query_id=query_id, pool=pool.name, trigger=trigger,
+                    value=values.get(trigger.metric, 0.0))
+                return
 
     def check_triggers(self, admission: QueryAdmission,
                        metrics: dict[str, float]) -> QueryAdmission:
@@ -206,6 +305,7 @@ class WorkloadManager:
                 continue
             if trigger.action is TriggerAction.KILL:
                 admission.killed = True
+                admission.fired_trigger = trigger.name
                 raise WorkloadManagementError(
                     f"query killed by trigger {trigger.name} "
                     f"({trigger.metric}={value:.2f} > "
@@ -219,5 +319,6 @@ class WorkloadManager:
             admission.pool = target.name
             admission.capacity_fraction = target.alloc_fraction
             admission.fired_threshold = trigger.threshold
+            admission.fired_trigger = trigger.name
             break
         return admission

@@ -4,7 +4,11 @@ Walks the optimized plan tree and annotates every operator with what the
 execution actually observed — output rows, executions, wall time — and,
 for table scans, the IO detail (disk vs cache bytes, row-group and
 partition pruning, semijoin filtering).  A footer reports the
-virtual-time breakdown and the per-vertex schedule of the DAG.
+virtual-time breakdown and the per-vertex schedule of the DAG: each
+vertex gets a time bar proportional to its share of the query's modeled
+time, its skew factor (max task / median task) when tasks are
+imbalanced, and a nested per-operator breakdown with the attributed
+virtual time.
 """
 
 from __future__ import annotations
@@ -13,6 +17,19 @@ from typing import Optional
 
 from ..plan import relnodes as rel
 from .profile import ExecutionProfile
+
+
+#: width of the EXPLAIN ANALYZE per-vertex/per-operator time bars
+_BAR_WIDTH = 12
+
+
+def _time_bar(value: float, longest: float) -> str:
+    """A fixed-width bar scaled against the longest sibling."""
+    if longest <= 0.0:
+        return "[" + " " * _BAR_WIDTH + "]"
+    filled = int(round(_BAR_WIDTH * max(0.0, value) / longest))
+    filled = min(_BAR_WIDTH, filled)
+    return "[" + "#" * filled + " " * (_BAR_WIDTH - filled) + "]"
 
 
 def _fmt_bytes(n: int) -> str:
@@ -85,12 +102,31 @@ def render_explain_analyze(optimized, profile: ExecutionProfile,
             f"-- io: disk={_fmt_bytes(metrics.disk_bytes)} "
             f"cache={_fmt_bytes(metrics.cache_bytes)} "
             f"(cache hit {metrics.cache_hit_fraction * 100:.1f}%)")
+        longest = max((vm.duration_s for vm in metrics.vertices),
+                      default=0.0)
         for vm in metrics.vertices:
+            bar = _time_bar(vm.duration_s, longest)
+            skew = ""
+            if vm.skew_factor > 1.0:
+                skew = f" skew={vm.skew_factor:.2f}"
+                if vm.straggler:
+                    skew += " STRAGGLER"
             lines.append(
-                f"-- vertex {vm.name}: tasks={vm.tasks} rows={vm.rows} "
+                f"-- vertex {vm.name}: {bar} {vm.duration_s:.3f}s "
+                f"tasks={vm.tasks} rows={vm.rows} "
                 f"start={vm.start_s:.3f}s finish={vm.finish_s:.3f}s "
                 f"(startup={vm.startup_s:.3f}s io={vm.io_s:.3f}s "
-                f"cpu={vm.cpu_s:.3f}s shuffle={vm.shuffle_s:.3f}s)")
+                f"cpu={vm.cpu_s:.3f}s shuffle={vm.shuffle_s:.3f}s)"
+                f"{skew}")
+            op_longest = max((op.virtual_s for op in vm.operators),
+                             default=0.0)
+            for op in vm.operators:
+                lines.append(
+                    f"--   op {op.operator}: "
+                    f"{_time_bar(op.virtual_s, op_longest)} "
+                    f"virtual={op.virtual_s:.3f}s "
+                    f"rows_in={op.rows_in} rows_out={op.rows_out} "
+                    f"batches={op.batches}")
         if metrics.pool:
             moved = (f" -> moved to {metrics.moved_to_pool}"
                      if metrics.moved_to_pool else "")

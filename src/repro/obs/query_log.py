@@ -4,13 +4,21 @@ One entry per statement executed through a session — successes and
 failures alike — with the full virtual-time latency breakdown the
 paper's evaluation methodology requires (per-query accounting, BigBench
 style).
+
+Retention: the in-memory ring is bounded (``hive.obs.query.log.capacity``)
+but evicted entries are not lost — they spill to a
+:class:`QueryLogOverflow` store (optionally file-persisted as JSON
+lines), so ``sys.query_log`` still covers long workloads.  Entries also
+carry the per-vertex and per-operator profile rows that back
+``sys.vertex_log`` and ``sys.operator_log``.
 """
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Optional
 
 
@@ -41,6 +49,10 @@ class QueryLogEntry:
     cache_bytes: int = 0
     cache_hit_fraction: float = 0.0
     wall_ms: float = 0.0
+    #: ``sys.vertex_log`` rows for this query (VertexMetrics.as_row)
+    vertices: list = field(default_factory=list)
+    #: ``sys.operator_log`` rows for this query (OperatorProfile.as_row)
+    operators: list = field(default_factory=list)
 
     def as_row(self) -> tuple:
         """Row shape of ``sys.query_log`` (see obs.systables)."""
@@ -53,21 +65,110 @@ class QueryLogEntry:
                 self.external_s, self.disk_bytes, self.cache_bytes,
                 self.cache_hit_fraction, self.wall_ms)
 
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryLogEntry":
+        known = {f.name for f in fields(cls)}
+        entry = cls(**{k: v for k, v in data.items() if k in known})
+        # JSON round-trips tuples as lists; restore the row shapes
+        entry.vertices = [tuple(row) for row in entry.vertices]
+        entry.operators = [tuple(row) for row in entry.operators]
+        return entry
+
+
+class QueryLogOverflow:
+    """Spill store for entries evicted from the ring buffer.
+
+    With a ``path`` the store persists entries as append-only JSON lines
+    (one file per server, survives the process); without one it keeps
+    them in memory, which still makes ``sys.query_log`` complete for
+    long in-process workloads.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._lock = threading.Lock()
+        self._memory: list[QueryLogEntry] = []
+        self.spilled = 0
+
+    def append(self, entry: QueryLogEntry) -> None:
+        with self._lock:
+            self.spilled += 1
+            if self.path is None:
+                self._memory.append(entry)
+                return
+            with open(self.path, "a", encoding="utf-8") as sink:
+                sink.write(json.dumps(entry.to_dict(), default=str))
+                sink.write("\n")
+
+    def entries(self) -> list[QueryLogEntry]:
+        with self._lock:
+            if self.path is None:
+                return list(self._memory)
+            try:
+                with open(self.path, encoding="utf-8") as source:
+                    return [QueryLogEntry.from_dict(json.loads(line))
+                            for line in source if line.strip()]
+            except FileNotFoundError:
+                return []
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+            self.spilled = 0
+            if self.path is not None:
+                with open(self.path, "w", encoding="utf-8"):
+                    pass
+
 
 class QueryLog:
-    """Bounded, thread-safe, append-only log of executed statements."""
+    """Bounded, thread-safe, append-only log of executed statements.
 
-    def __init__(self, capacity: int = 1000):
+    The newest ``capacity`` entries stay in the ring; older ones move to
+    the overflow store on eviction instead of vanishing.
+    """
+
+    def __init__(self, capacity: int = 1000,
+                 overflow: Optional[QueryLogOverflow] = None):
         self._lock = threading.Lock()
-        self._entries: deque[QueryLogEntry] = deque(maxlen=capacity)
+        self._capacity = max(1, int(capacity))
+        self._entries: deque[QueryLogEntry] = deque()
+        self.overflow = overflow if overflow is not None \
+            else QueryLogOverflow()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the ring; shrinking spills the excess immediately."""
+        with self._lock:
+            self._capacity = max(1, int(capacity))
+            self._spill_excess()
+
+    def _spill_excess(self) -> None:
+        # caller holds self._lock; overflow carries its own lock
+        while len(self._entries) > self._capacity:
+            self.overflow.append(  # reprolint: disable=RL001
+                self._entries.popleft())
 
     def append(self, entry: QueryLogEntry) -> None:
         with self._lock:
             self._entries.append(entry)
+            self._spill_excess()
 
     def entries(self) -> list[QueryLogEntry]:
+        """The in-memory ring only (newest ``capacity`` entries)."""
         with self._lock:
             return list(self._entries)
+
+    def all_entries(self) -> list[QueryLogEntry]:
+        """Spilled + ring entries, oldest first — what sys tables read."""
+        spilled = self.overflow.entries()
+        with self._lock:
+            return spilled + list(self._entries)
 
     def last(self) -> Optional[QueryLogEntry]:
         with self._lock:
@@ -80,3 +181,5 @@ class QueryLog:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+        # overflow synchronizes itself; don't nest its lock under ours
+        self.overflow.clear()  # reprolint: disable=RL001

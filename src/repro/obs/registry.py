@@ -186,6 +186,21 @@ class MetricsRegistry:
             return float(metric.count)
         return metric.value
 
+    def percentile(self, name: str, p: float,
+                   **labels) -> Optional[float]:
+        """Estimated p-quantile of one histogram series.
+
+        Returns ``None`` when the series does not exist or is not a
+        histogram — callers treat that as "no distribution yet", the
+        same contract as :meth:`value`.
+        """
+        key = _label_key(labels)
+        with self._lock:
+            metric = self._series.get(name, {}).get(key)
+        if not isinstance(metric, Histogram):
+            return None
+        return metric.percentile(p)
+
     def total(self, name: str, **label_filter) -> float:
         """Sum a metric across all label series matching the filter."""
         wanted = set(_label_key(label_filter))

@@ -1,0 +1,146 @@
+"""Markdown + gating over ``BENCH_obs.json`` exports.
+
+Two consumers share this module:
+
+* ``tools/bench_report`` regenerates the marker-delimited section of
+  ``EXPERIMENTS.md`` from the latest benchmark export, so every paper
+  table cites the per-query virtual-time breakdown of the same run that
+  produced it (no hand-copied numbers drifting from the data).
+* ``tools/perf_gate`` compares a fresh export against the committed
+  baseline (``benchmarks/BENCH_baseline.json``) and fails CI when any
+  scenario's total virtual time regresses beyond the tolerance.
+
+Virtual time is deterministic (no wall-clock noise), so the gate can be
+tight without flaking; the default tolerance of 25% exists to absorb
+intentional cost-model recalibrations, not jitter.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+BEGIN_MARKER = "<!-- BENCH_OBS:BEGIN -->"
+END_MARKER = "<!-- BENCH_OBS:END -->"
+
+#: perf-gate failure threshold: fractional total_s growth per scenario
+DEFAULT_TOLERANCE = 0.25
+
+
+# --------------------------------------------------------------------------- #
+# EXPERIMENTS.md generation
+
+def render_bench_report(payload: dict) -> str:
+    """The generated EXPERIMENTS.md section for one benchmark export."""
+    lines = [
+        BEGIN_MARKER,
+        "## Per-query time breakdowns (generated from BENCH_obs.json)",
+        "",
+        "Regenerate with `tools/bench_report` after running "
+        "`pytest benchmarks/ -q`. Times are virtual seconds; "
+        "`cache%` is the LLAP cache hit fraction of bytes read.",
+        "",
+        "### Scenario totals",
+        "",
+        "| scenario | queries | failed | total virtual s |",
+        "|---|---|---|---|",
+    ]
+    summary = payload.get("summary", {})
+    for scenario in sorted(summary):
+        s = summary[scenario]
+        lines.append(f"| {scenario} | {s.get('queries', 0)} "
+                     f"| {s.get('failed', 0)} "
+                     f"| {s.get('total_s', 0.0):.3f} |")
+    records = payload.get("records", [])
+    scenarios = sorted({r["scenario"] for r in records})
+    for scenario in scenarios:
+        lines += [
+            "",
+            f"### {scenario}",
+            "",
+            "| query | total_s | startup_s | io_s | cpu_s | shuffle_s "
+            "| rows | cache% |",
+            "|---|---|---|---|---|---|---|---|",
+        ]
+        for record in records:
+            if record["scenario"] != scenario:
+                continue
+            if record.get("seconds") is None:
+                lines.append(f"| {record['query']} | FAIL "
+                             f"({record.get('error', '?')}) "
+                             "| | | | | | |")
+                continue
+            b = record.get("breakdown", {})
+            cached = " (cached)" if record.get("from_cache") else ""
+            lines.append(
+                "| {query}{cached} | {total:.3f} | {startup:.3f} "
+                "| {io:.3f} | {cpu:.3f} | {shuffle:.3f} | {rows} "
+                "| {hit:.0f}% |".format(
+                    query=record["query"], cached=cached,
+                    total=record["seconds"],
+                    startup=b.get("startup_s", 0.0),
+                    io=b.get("io_s", 0.0), cpu=b.get("cpu_s", 0.0),
+                    shuffle=b.get("shuffle_s", 0.0),
+                    rows=record.get("rows", 0),
+                    hit=b.get("cache_hit_fraction", 0.0) * 100.0))
+    lines.append(END_MARKER)
+    return "\n".join(lines)
+
+
+def update_experiments(text: str, payload: dict) -> str:
+    """Replace (or append) the generated section of EXPERIMENTS.md."""
+    section = render_bench_report(payload)
+    begin = text.find(BEGIN_MARKER)
+    end = text.find(END_MARKER)
+    if begin != -1 and end != -1:
+        return text[:begin] + section + text[end + len(END_MARKER):]
+    joiner = "" if text.endswith("\n\n") else \
+        ("\n" if text.endswith("\n") else "\n\n")
+    return text + joiner + section + "\n"
+
+
+# --------------------------------------------------------------------------- #
+# CI perf gate
+
+def perf_gate(baseline: dict, current: dict,
+              tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Compare per-scenario total virtual time against the baseline.
+
+    Returns the list of violations (empty = gate passes).  A scenario
+    present in the baseline must exist in the current run; new
+    scenarios in the current run are fine (they become baseline on the
+    next refresh).
+    """
+    problems: list[str] = []
+    base_summary = baseline.get("summary", {})
+    cur_summary = current.get("summary", {})
+    for scenario in sorted(base_summary):
+        base = base_summary[scenario]
+        cur = cur_summary.get(scenario)
+        if cur is None:
+            problems.append(f"{scenario}: missing from current run "
+                            "(baseline scenario disappeared)")
+            continue
+        if cur.get("failed", 0) > base.get("failed", 0):
+            problems.append(
+                f"{scenario}: {cur['failed']} failed queries "
+                f"(baseline {base.get('failed', 0)})")
+        base_total = float(base.get("total_s", 0.0))
+        cur_total = float(cur.get("total_s", 0.0))
+        if base_total <= 0.0:
+            continue
+        growth = (cur_total - base_total) / base_total
+        if growth > tolerance:
+            problems.append(
+                f"{scenario}: total virtual time {cur_total:.3f}s is "
+                f"{growth * 100:.1f}% over baseline {base_total:.3f}s "
+                f"(tolerance {tolerance * 100:.0f}%)")
+    return problems
+
+
+def load_export(path: str) -> Optional[dict]:
+    try:
+        with open(path, encoding="utf-8") as source:
+            return json.load(source)
+    except FileNotFoundError:
+        return None

@@ -21,7 +21,8 @@ import threading
 from collections import deque
 from typing import Optional
 
-from .query_log import QueryLog, QueryLogEntry
+from ..llap.workload import WmEventLog
+from .query_log import QueryLog, QueryLogEntry, QueryLogOverflow
 from .registry import MetricsRegistry
 from .tracing import QueryTrace
 
@@ -30,9 +31,12 @@ class Observability:
     """Registry + tracer + query log + sys catalog for one server."""
 
     def __init__(self, log_capacity: int = 1000,
-                 trace_capacity: int = 64):
+                 trace_capacity: int = 64,
+                 overflow_path: Optional[str] = None):
         self.registry = MetricsRegistry()
-        self.query_log = QueryLog(log_capacity)
+        self.query_log = QueryLog(
+            log_capacity, overflow=QueryLogOverflow(overflow_path))
+        self.wm_events = WmEventLog()
         self.traces: deque[QueryTrace] = deque(maxlen=trace_capacity)
         self._query_ids = itertools.count(1)
         self._lock = threading.Lock()
@@ -115,6 +119,7 @@ class Observability:
             "metrics": self.registry.snapshot(),
             "queries": {
                 "logged": len(self.query_log),
+                "spilled": self.query_log.overflow.spilled,
                 "last_query_id": (self.query_log.last().query_id
                                   if len(self.query_log) else 0),
             },

@@ -9,11 +9,17 @@ them: ``SELECT status, COUNT(*) FROM sys.query_log GROUP BY status``.
 
 Tables:
 
-* ``sys.query_log``   — one row per executed statement (latency breakdown),
-* ``sys.cache_stats`` — LLAP cache + results cache counters,
-* ``sys.compactions`` — the compaction queue history,
-* ``sys.pools``       — active resource-plan pools,
-* ``sys.metrics``     — every series in the metrics registry.
+* ``sys.query_log``    — one row per executed statement (latency breakdown),
+* ``sys.vertex_log``   — one row per DAG vertex per query (task
+  distribution, skew factor, straggler flag); joins ``sys.query_log``
+  on ``query_id``,
+* ``sys.operator_log`` — one row per plan operator per vertex per query
+  (rows in/out, batches, wall + attributed virtual time),
+* ``sys.wm_events``    — workload-management trigger firings (MOVE/KILL),
+* ``sys.cache_stats``  — LLAP cache + results cache counters,
+* ``sys.compactions``  — the compaction queue history,
+* ``sys.pools``        — active resource-plan pools,
+* ``sys.metrics``      — every series in the metrics registry.
 """
 
 from __future__ import annotations
@@ -43,6 +49,31 @@ QUERY_LOG_SCHEMA = Schema([
     Column("cache_bytes", BIGINT), Column("cache_hit_fraction", DOUBLE),
     Column("wall_ms", DOUBLE)])
 
+VERTEX_LOG_SCHEMA = Schema([
+    Column("query_id", BIGINT), Column("vertex_id", BIGINT),
+    Column("name", STRING), Column("tasks", BIGINT),
+    Column("rows", BIGINT), Column("startup_s", DOUBLE),
+    Column("io_s", DOUBLE), Column("cpu_s", DOUBLE),
+    Column("shuffle_s", DOUBLE), Column("external_s", DOUBLE),
+    Column("duration_s", DOUBLE), Column("start_s", DOUBLE),
+    Column("finish_s", DOUBLE), Column("shuffle_bytes", BIGINT),
+    Column("max_task_s", DOUBLE), Column("median_task_s", DOUBLE),
+    Column("skew_factor", DOUBLE), Column("straggler", BOOLEAN)])
+
+OPERATOR_LOG_SCHEMA = Schema([
+    Column("query_id", BIGINT), Column("vertex", STRING),
+    Column("operator", STRING), Column("digest", STRING),
+    Column("rows_in", BIGINT), Column("rows_out", BIGINT),
+    Column("batches", BIGINT), Column("calls", BIGINT),
+    Column("wall_ms", DOUBLE), Column("virtual_s", DOUBLE)])
+
+WM_EVENTS_SCHEMA = Schema([
+    Column("event_id", BIGINT), Column("query_id", BIGINT),
+    Column("pool", STRING), Column("trigger_name", STRING),
+    Column("metric", STRING), Column("value", DOUBLE),
+    Column("threshold", DOUBLE), Column("action", STRING),
+    Column("target_pool", STRING)])
+
 CACHE_STATS_SCHEMA = Schema([
     Column("component", STRING), Column("metric", STRING),
     Column("value", DOUBLE)])
@@ -64,6 +95,9 @@ METRICS_SCHEMA = Schema([
 
 SYS_TABLES: dict[str, Schema] = {
     "query_log": QUERY_LOG_SCHEMA,
+    "vertex_log": VERTEX_LOG_SCHEMA,
+    "operator_log": OPERATOR_LOG_SCHEMA,
+    "wm_events": WM_EVENTS_SCHEMA,
     "cache_stats": CACHE_STATS_SCHEMA,
     "compactions": COMPACTIONS_SCHEMA,
     "pools": POOLS_SCHEMA,
@@ -111,7 +145,20 @@ class SysTableHandler(StorageHandler):
 
     # -- row builders --------------------------------------------------- #
     def _rows_query_log(self) -> list[tuple]:
-        return [e.as_row() for e in self.obs.query_log.entries()]
+        # all_entries: ring + spilled overflow, so long workloads stay
+        # fully queryable (retention, not truncation)
+        return [e.as_row() for e in self.obs.query_log.all_entries()]
+
+    def _rows_vertex_log(self) -> list[tuple]:
+        return [tuple(row) for e in self.obs.query_log.all_entries()
+                for row in e.vertices]
+
+    def _rows_operator_log(self) -> list[tuple]:
+        return [tuple(row) for e in self.obs.query_log.all_entries()
+                for row in e.operators]
+
+    def _rows_wm_events(self) -> list[tuple]:
+        return [event.as_row() for event in self.obs.wm_events.entries()]
 
     def _rows_cache_stats(self) -> list[tuple]:
         rows: list[tuple] = []

@@ -18,6 +18,7 @@ subexpressions are charged once (Section 4.5).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -25,6 +26,7 @@ from ..config import HiveConf
 from ..errors import ExecutionError
 from ..exec.operators import ExecutionContext, execute
 from ..llap.workload import QueryAdmission, WorkloadManager
+from ..obs.profile import OperatorProfile
 from ..optimizer.planner import OptimizedPlan
 from ..plan import relnodes as rel
 from .scan import ScanExecutor, SemijoinFilter
@@ -142,6 +144,7 @@ def merge_shared_vertices(dag: Dag, shared_digests: frozenset) -> Dag:
 @dataclass
 class VertexMetrics:
     name: str
+    vertex_id: int = 0
     tasks: int = 0
     rows: int = 0
     startup_s: float = 0.0
@@ -151,11 +154,41 @@ class VertexMetrics:
     external_s: float = 0.0
     start_s: float = 0.0
     finish_s: float = 0.0
+    shuffle_bytes: int = 0
+    #: modeled per-task durations (hash-partitioned key distribution);
+    #: uniform when no shuffle-key histogram was observed
+    task_durations: list[float] = field(default_factory=list)
+    #: max-task / median-task duration (1.0 = perfectly balanced)
+    skew_factor: float = 1.0
+    #: True when the slowest task exceeds the configured skew threshold
+    straggler: bool = False
+    #: per-operator runtime rows (repro.obs.OperatorProfile)
+    operators: list = field(default_factory=list)
 
     @property
     def duration_s(self) -> float:
         return (self.startup_s + self.io_s + self.cpu_s
                 + self.shuffle_s + self.external_s)
+
+    @property
+    def max_task_s(self) -> float:
+        return max(self.task_durations, default=0.0)
+
+    @property
+    def median_task_s(self) -> float:
+        if not self.task_durations:
+            return 0.0
+        ordered = sorted(self.task_durations)
+        return ordered[len(ordered) // 2]
+
+    def as_row(self, query_id: int) -> tuple:
+        """Row shape of ``sys.vertex_log`` (see obs.systables)."""
+        return (query_id, self.vertex_id, self.name, self.tasks,
+                self.rows, self.startup_s, self.io_s, self.cpu_s,
+                self.shuffle_s, self.external_s, self.duration_s,
+                self.start_s, self.finish_s, self.shuffle_bytes,
+                self.max_task_s, self.median_task_s, self.skew_factor,
+                self.straggler)
 
 
 @dataclass
@@ -235,7 +268,8 @@ class TezRunner:
             failure.runtime_stats = dict(ctx.runtime_stats)
             raise
 
-        metrics = self._account(plan, ctx, scan_executor, admission)
+        metrics = self._account(plan, ctx, scan_executor, admission,
+                                profile=profile)
         metrics.rows_produced = result.num_rows
         metrics.queue_s = admission.queue_delay_s
         metrics.pool = admission.pool
@@ -267,7 +301,8 @@ class TezRunner:
     # -- accounting ---------------------------------------------------------- #
     def _account(self, plan: OptimizedPlan, ctx: ExecutionContext,
                  scan_executor: ScanExecutor,
-                 admission: QueryAdmission) -> QueryMetrics:
+                 admission: QueryAdmission,
+                 profile=None) -> QueryMetrics:
         conf = self.conf
         cost = conf.cost
         dag = build_dag(plan.root)
@@ -295,32 +330,50 @@ class TezRunner:
 
         scale = cost.data_scale
         for vertex in dag.topological():
-            vm = VertexMetrics(name=vertex.name)
+            vm = VertexMetrics(name=vertex.name,
+                               vertex_id=vertex.vertex_id)
             rows = 0
             disk = cache = 0
             files = 0
             merge_rows = 0
+            #: (node, work_rows, scan_bytes) per plan node in the vertex,
+            #: for the per-operator virtual-time attribution below
+            node_work: list[list] = []
             for node in vertex.nodes:
+                node_rows = 0
+                node_bytes = 0
                 if isinstance(node, rel.TableScan):
                     # decode work is the raw (pre-filter) row count
                     scan_metrics = scan_executor.metrics.get(node.digest)
                     if scan_metrics is not None:
                         disk += scan_metrics.disk_bytes
                         cache += scan_metrics.cache_bytes
-                        rows += scan_metrics.raw_rows
+                        node_rows = scan_metrics.raw_rows
+                        node_bytes = (scan_metrics.disk_bytes
+                                      + scan_metrics.cache_bytes)
+                        rows += node_rows
                         files += scan_metrics.files_opened
                         vm.external_s += scan_metrics.external_time_s
                         if scan_metrics.delete_keys > 0:
                             # merge-on-read anti-join work (Section 3.2)
                             merge_rows += scan_metrics.raw_rows
                 else:
-                    rows += ctx.runtime_stats.get(node.digest, 0)
+                    node_rows = ctx.runtime_stats.get(node.digest, 0)
+                    rows += node_rows
+                node_work.append([node, node_rows, node_bytes])
             if not vertex.is_map:
                 # reducers also process every row their inputs emit
-                # (join probes, aggregation input, sort input)
+                # (join probes, aggregation input, sort input); the
+                # vertex root does that processing
+                input_rows = 0
                 for input_id in vertex.inputs:
                     source = by_id[input_id]
-                    rows += ctx.runtime_stats.get(source.root.digest, 0)
+                    input_rows += ctx.runtime_stats.get(
+                        source.root.digest, 0)
+                rows += input_rows
+                for entry in node_work:
+                    if entry[0] is vertex.root:
+                        entry[1] += input_rows
             rows = int(rows * scale)
             disk = int(disk * scale)
             cache = int(cache * scale)
@@ -369,6 +422,10 @@ class TezRunner:
                     source.root.schema.row_width_bytes()
             vm.shuffle_s = shuffle_bytes * scale \
                 / cost.network_bytes_per_s / max(1, parallel)
+            vm.shuffle_bytes = int(shuffle_bytes * scale)
+
+            self._model_tasks(vm, vertex, ctx)
+            self._attribute_operators(vm, vertex, node_work, profile)
 
             start = max((finish[i] for i in vertex.inputs), default=0.0)
             vm.start_s = start
@@ -399,6 +456,70 @@ class TezRunner:
                                       if total_bytes else 0.0)
         return metrics
 
+    def _model_tasks(self, vm: VertexMetrics, vertex: Vertex,
+                     ctx: ExecutionContext) -> None:
+        """Model the vertex's per-task duration distribution.
+
+        ``vm.io_s``/``cpu_s``/``shuffle_s`` are already per-task shares
+        under perfect balance (divided by ``parallel`` above).  IO and
+        shuffle stay split-balanced — splits are sized evenly — but CPU
+        follows the shuffle-key histogram captured at execution time
+        when one exists: hash partitioning sends all rows of one key to
+        one task, so a hot key concentrates CPU on a single task.  The
+        skew factor (max task / median task) and straggler flag fall
+        out of the distribution; they are diagnostics and do not change
+        the vertex's accounted totals.
+        """
+        tasks = max(1, vm.tasks)
+        even = vm.io_s + vm.shuffle_s + vm.external_s
+        # the exchange-consuming operator (join/aggregate) is the first
+        # node of a reducer vertex; trailing projects/filters ride along
+        counts = None
+        for node in vertex.nodes:
+            counts = ctx.key_counts.get(node.digest)
+            if counts:
+                break
+        if tasks <= 1 or not counts:
+            vm.task_durations = [even + vm.cpu_s] * tasks
+        else:
+            per_task = [0.0] * tasks
+            total = float(sum(counts.values()))
+            for key, weight in counts.items():
+                slot = zlib.crc32(repr(key).encode()) % tasks
+                per_task[slot] += weight
+            cpu_work = vm.cpu_s * tasks  # total CPU across all tasks
+            vm.task_durations = [even + cpu_work * share / total
+                                 for share in per_task]
+        median = vm.median_task_s
+        vm.skew_factor = vm.max_task_s / median if median > 0 else 1.0
+        vm.straggler = (tasks > 1 and vm.skew_factor
+                        >= self.conf.straggler_skew_threshold)
+
+    def _attribute_operators(self, vm: VertexMetrics, vertex: Vertex,
+                             node_work: list, profile) -> None:
+        """Split the vertex's virtual time across its plan nodes.
+
+        CPU is attributed proportionally to each operator's processed
+        rows; IO goes to scans proportionally to bytes; shuffle time
+        lands on the vertex root (the exchange consumer).  Wall times,
+        row counts and batch counts come from the execution profile
+        when one was attached.
+        """
+        if profile is None:
+            return
+        total_rows = sum(entry[1] for entry in node_work) or 1
+        total_bytes = sum(entry[2] for entry in node_work) or 1
+        for node, work_rows, node_bytes in node_work:
+            virtual = vm.cpu_s * work_rows / total_rows
+            if node_bytes:
+                virtual += vm.io_s * node_bytes / total_bytes
+            if node is vertex.root:
+                virtual += vm.shuffle_s
+            op = profile.operator_profile(node.digest, virtual_s=virtual)
+            if op.operator == "?":
+                op.operator = type(node).__name__
+            vm.operators.append(op)
+
     def _trace_vertices(self, trace, metrics: QueryMetrics,
                         admission: QueryAdmission) -> None:
         """Attach the DAG schedule as child spans of the trace."""
@@ -406,10 +527,21 @@ class TezRunner:
             trace.add("admission", virtual_s=admission.queue_delay_s,
                       pool=admission.pool)
         for vm in metrics.vertices:
-            trace.add(f"vertex {vm.name}", virtual_s=vm.duration_s,
-                      tasks=vm.tasks, rows=vm.rows,
-                      start_s=round(vm.start_s, 4),
-                      finish_s=round(vm.finish_s, 4))
+            vspan = trace.add(f"vertex {vm.name}",
+                              virtual_s=vm.duration_s,
+                              tasks=vm.tasks, rows=vm.rows,
+                              start_s=round(vm.start_s, 4),
+                              finish_s=round(vm.finish_s, 4),
+                              skew_factor=round(vm.skew_factor, 3),
+                              straggler=vm.straggler)
+            for op in vm.operators:
+                child = vspan.child(f"op {op.operator}",
+                                    virtual_s=op.virtual_s,
+                                    rows_in=op.rows_in,
+                                    rows_out=op.rows_out,
+                                    batches=op.batches)
+                child.wall_s = op.wall_s
+                child.start_s = vspan.start_s
 
     def _publish(self, metrics: QueryMetrics) -> None:
         """Mirror the run's totals into the observability registry."""

@@ -88,7 +88,8 @@ class HiveServer2:
     def __init__(self, conf: Optional[HiveConf] = None):
         self.conf = conf or HiveConf.v3_profile()
         self.conf.validate()
-        self.obs = Observability()
+        self.obs = Observability(
+            log_capacity=self.conf.obs_query_log_capacity)
         self.fs = SimFileSystem()
         self.hms = HiveMetastore(self.fs)
         self.llap_cache = LlapCache(self.conf.llap_cache_capacity_bytes)
@@ -98,7 +99,8 @@ class HiveServer2:
             self.conf.results_cache_max_entries,
             self.conf.results_cache_wait_pending)
         self.workload_manager = WorkloadManager(
-            registry=self.obs.registry)
+            registry=self.obs.registry,
+            event_log=self.obs.wm_events)
         self._view_plans: dict[tuple[str, str], rel.RelNode] = {}
         self._mv_scan_ids = itertools.count(100_000)
         # absorb the pre-existing stats fragments into the registry
@@ -245,6 +247,11 @@ class Session:
             entry.disk_bytes = m.disk_bytes
             entry.cache_bytes = m.cache_bytes
             entry.cache_hit_fraction = m.cache_hit_fraction
+            entry.vertices = [vm.as_row(trace.query_id)
+                              for vm in m.vertices]
+            entry.operators = [op.as_row(trace.query_id, vm.name)
+                               for vm in m.vertices
+                               for op in vm.operators]
         return entry
 
     def _span(self, name: str, **attrs):
@@ -1211,6 +1218,9 @@ class Session:
         except HiveError:
             setattr(self.conf, attr, current)  # keep the session usable
             raise
+        if attr == "obs_query_log_capacity":
+            # server-level knob: resize the live ring (excess spills)
+            self.server.obs.query_log.set_capacity(int(value))
         return QueryResult(operation="set",
                            message=f"{attr}={value}")
 
@@ -1393,4 +1403,6 @@ _CONFIG_ALIASES = {
     "hive.auto.convert.join": "join_reordering",
     "hive.check.plan": "check_plan",
     "hive.check.plan.paranoid": "check_plan_paranoid",
+    "hive.obs.query.log.capacity": "obs_query_log_capacity",
+    "hive.obs.straggler.skew.threshold": "straggler_skew_threshold",
 }

@@ -440,6 +440,17 @@ class Parser:
         plan = self.expect_ident()
         self.expect_keyword("WHEN")
         metric = self.expect_ident().lower()
+        if self.accept_op("("):
+            # percentile trigger: WHEN p95(query.latency_s) > ...
+            if metric[:1] != "p" \
+                    or not metric[1:].replace(".", "", 1).isdigit():
+                raise self._error(
+                    "expected p<percentile>(metric) in WHEN condition")
+            inner = [self.expect_ident()]
+            while self.accept_op("."):
+                inner.append(self.expect_ident())
+            self.expect_op(")")
+            metric = f"{metric}({'.'.join(inner).lower()})"
         self.expect_op(">")
         threshold = self.expect_number()
         self.expect_keyword("THEN")

@@ -199,6 +199,51 @@ class TestRL005MutableDefaults:
 
 
 # --------------------------------------------------------------------------- #
+class TestRL006ObsInternals:
+    def test_reading_metric_internals_flagged(self):
+        findings = lint(
+            "def p95(hist):\n"
+            "    return sorted(hist._values)[-1]\n",
+            path="src/repro/llap/workload.py")
+        assert rule_ids(findings) == ["RL006"]
+
+    def test_registry_series_access_flagged(self):
+        findings = lint(
+            "def dump(registry):\n"
+            "    return dict(registry._series)\n",
+            path="src/repro/server/driver.py")
+        assert rule_ids(findings) == ["RL006"]
+
+    def test_self_access_ok(self):
+        # a class managing its own state is not peeking at obs internals
+        assert lint(
+            "class Histogram:\n"
+            "    def observe(self, v):\n"
+            "        self._values.append(v)\n",
+            path="src/repro/llap/cache.py") == []
+
+    def test_inside_obs_package_ok(self):
+        assert lint(
+            "def p95(hist):\n"
+            "    return sorted(hist._values)[-1]\n",
+            path="src/repro/obs/registry.py") == []
+
+    def test_snapshot_api_ok(self):
+        assert lint(
+            "def dump(registry):\n"
+            "    return registry.snapshot()\n",
+            path="src/repro/server/driver.py") == []
+
+    def test_suppression(self):
+        findings = lint(
+            "def dump(registry):\n"
+            "    return dict(registry._series)"
+            "  # reprolint: disable=RL006\n",
+            path="src/repro/server/driver.py")
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
 class TestSuppression:
     def test_line_suppression(self):
         findings = lint(
