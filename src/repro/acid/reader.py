@@ -40,6 +40,10 @@ class ReadMetrics:
     delete_keys: int = 0
     rows_merged: int = 0
     rows_deleted: int = 0
+    #: injected read errors retried during this read (repro.faults)
+    io_retries: int = 0
+    #: bytes re-transferred by those retries
+    retry_bytes: int = 0
     directories: list[str] = field(default_factory=list)
 
     def merge(self, other: "ReadMetrics") -> None:
@@ -51,6 +55,8 @@ class ReadMetrics:
         self.delete_keys += other.delete_keys
         self.rows_merged += other.rows_merged
         self.rows_deleted += other.rows_deleted
+        self.io_retries += other.io_retries
+        self.retry_bytes += other.retry_bytes
         self.directories.extend(other.directories)
 
 
@@ -80,6 +86,8 @@ class AcidReader:
              ) -> tuple[VectorBatch, ReadMetrics]:
         """Merge-on-read of one ACID directory under a snapshot."""
         metrics = ReadMetrics()
+        faults_before = (self.fs.stats.io_retries,
+                         self.fs.stats.retry_bytes)
         dir_names = [d.rsplit("/", 1)[-1]
                      for d in self.fs.list_dirs(location)]
         state = select_acid_state(dir_names, valid)
@@ -118,6 +126,7 @@ class AcidReader:
                                                 include_row_ids)
         result = VectorBatch.concat(out_schema, batches)
         metrics.rows_merged = result.num_rows
+        self._capture_fault_stats(metrics, faults_before)
         return result, metrics
 
     # -- non-ACID path --------------------------------------------------------- #
@@ -127,11 +136,16 @@ class AcidReader:
                    file_format: str = "orc",
                    ) -> tuple[VectorBatch, ReadMetrics]:
         metrics = ReadMetrics()
+        faults_before = (self.fs.stats.io_retries,
+                         self.fs.stats.retry_bytes)
         names = list(columns) if columns is not None else schema.names()
         out_schema = schema.select(names)
         if file_format == "text":
-            return self._read_plain_text(location, schema, names,
-                                         out_schema, metrics)
+            batch, metrics = self._read_plain_text(location, schema,
+                                                   names, out_schema,
+                                                   metrics)
+            self._capture_fault_stats(metrics, faults_before)
+            return batch, metrics
         batches = []
         for status in self.fs.list_files(location):
             reader = self._open(status.path)
@@ -145,7 +159,14 @@ class AcidReader:
                 metrics.bytes_read += sum(
                     reader.column_chunk_bytes(g, n) for n in names)
                 batches.append(batch)
+        self._capture_fault_stats(metrics, faults_before)
         return VectorBatch.concat(out_schema, batches), metrics
+
+    def _capture_fault_stats(self, metrics: ReadMetrics,
+                             before: tuple[int, int]) -> None:
+        """Attribute injected-retry costs accrued during this read."""
+        metrics.io_retries = self.fs.stats.io_retries - before[0]
+        metrics.retry_bytes = self.fs.stats.retry_bytes - before[1]
 
     def _read_plain_text(self, location, schema, names, out_schema,
                          metrics):

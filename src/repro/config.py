@@ -37,6 +37,17 @@ def _default_check_plan() -> str:
     return os.environ.get("HIVE_CHECK_PLAN", "off")
 
 
+def _default_faults_seed() -> int:
+    """Fault-injection seed; HIVE_FAULTS_SEED lets a whole test run opt
+    in (the CI ``faults`` job replays the tier-1 suite under injection)."""
+    return int(os.environ.get("HIVE_FAULTS_SEED", "0"))
+
+
+def _default_faults_rate() -> float:
+    """Default task-failure / IO-error rate, from HIVE_FAULTS_RATE."""
+    return float(os.environ.get("HIVE_FAULTS_RATE", "0"))
+
+
 @dataclass
 class CostModelConf:
     """Constants for the simulated-time cost model.
@@ -170,6 +181,33 @@ class HiveConf:
     compaction_delta_threshold: int = 10   # minor compaction trigger
     compaction_delta_pct_threshold: float = 0.1  # major trigger: delta/base rows
     txn_lock_timeout_s: float = 5.0
+    #: virtual seconds without a heartbeat before AcidHouseKeeper aborts
+    #: an open transaction and releases its locks
+    txn_timeout_s: float = 300.0
+    #: bound on how long a caller waits on a pending results-cache entry
+    #: before presuming the elected computer dead and computing itself
+    results_cache_pending_timeout_s: float = 30.0
+
+    # ------------------------------------------------------------------ #
+    # fault injection & recovery (repro.faults; §3.2/§4 failure paths).
+    # Rates are probabilities in [0, 1]; decisions are deterministic in
+    # ``faults_seed`` so injected runs are reproducible.
+    faults_seed: int = field(default_factory=_default_faults_seed)
+    faults_task_fail_rate: float = field(default_factory=_default_faults_rate)
+    faults_io_error_rate: float = field(default_factory=_default_faults_rate)
+    faults_node_fail_rate: float = 0.0
+    faults_slow_node_rate: float = 0.0
+    faults_slow_node_multiplier: float = 4.0
+    faults_lock_stall_rate: float = 0.0
+    #: bounded task attempts (1 initial + up to N-1 retries); the final
+    #: attempt always succeeds (blacklisting), so faults cost time only
+    task_max_attempts: int = 4
+    #: base for the exponential retry backoff charged into virtual time
+    task_retry_backoff_s: float = 0.1
+    #: launch a backup attempt for injected stragglers (Tez speculation);
+    #: acts only on fault-injected slowness, never on data skew, so it is
+    #: a no-op in fault-free runs
+    speculative_execution: bool = True
 
     # ------------------------------------------------------------------ #
     # cluster shape (matches the paper's testbed by default)
@@ -224,6 +262,23 @@ class HiveConf:
             raise ConfigError(
                 "straggler_skew_threshold must be > 1.0 (ratio of max "
                 "to median task duration)")
+        for rate_name in ("faults_task_fail_rate", "faults_io_error_rate",
+                          "faults_node_fail_rate", "faults_slow_node_rate",
+                          "faults_lock_stall_rate"):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(
+                    f"{rate_name} must be in [0, 1], got {rate!r}")
+        if self.faults_slow_node_multiplier < 1.0:
+            raise ConfigError("faults_slow_node_multiplier must be >= 1.0")
+        if self.task_max_attempts < 1:
+            raise ConfigError("task_max_attempts must be >= 1")
+        if self.task_retry_backoff_s < 0.0:
+            raise ConfigError("task_retry_backoff_s must be >= 0")
+        if self.txn_timeout_s <= 0.0:
+            raise ConfigError("txn_timeout_s must be > 0")
+        if self.results_cache_pending_timeout_s <= 0.0:
+            raise ConfigError("results_cache_pending_timeout_s must be > 0")
 
     # ------------------------------------------------------------------ #
     @classmethod

@@ -1,0 +1,11 @@
+"""repro.faults — seeded, deterministic fault injection for the simulator.
+
+The registry decides *where* faults strike from a stable hash of
+``(seed, site, key, attempt)`` so two runs with the same seed produce
+identical fault schedules regardless of thread interleaving, and records
+every injection in an event log surfaced as ``sys.fault_log``.
+"""
+
+from .registry import FaultEvent, FaultRegistry
+
+__all__ = ["FaultEvent", "FaultRegistry"]

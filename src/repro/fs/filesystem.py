@@ -38,6 +38,11 @@ class IOStats:
     files_opened: int = 0
     files_created: int = 0
     files_deleted: int = 0
+    #: failed read attempts injected by repro.faults; each one re-charged
+    #: the full transfer, so they already show up in bytes_read too
+    io_retries: int = 0
+    #: bytes re-transferred by those failed attempts
+    retry_bytes: int = 0
 
     def reset(self) -> None:
         self.bytes_read = 0
@@ -45,11 +50,14 @@ class IOStats:
         self.files_opened = 0
         self.files_created = 0
         self.files_deleted = 0
+        self.io_retries = 0
+        self.retry_bytes = 0
 
     def snapshot(self) -> "IOStats":
         return IOStats(self.bytes_read, self.bytes_written,
                        self.files_opened, self.files_created,
-                       self.files_deleted)
+                       self.files_deleted, self.io_retries,
+                       self.retry_bytes)
 
 
 @dataclass
@@ -98,6 +106,9 @@ class SimFileSystem:
         self._next_file_id = 1
         self._clock = 0
         self.stats = IOStats()
+        #: optional repro.faults.FaultRegistry; when attached, reads can
+        #: fail and be transparently retried, re-charging the transfer
+        self.fault_registry = None
 
     # -- directories ------------------------------------------------------- #
     def mkdirs(self, path: str) -> None:
@@ -137,6 +148,7 @@ class SimFileSystem:
         entry = self._entry(path)
         self.stats.files_opened += 1
         self.stats.bytes_read += len(entry.data)
+        self._inject_read_faults(entry.path, len(entry.data))
         return entry.data
 
     def read_range(self, path: str, offset: int, length: int) -> bytes:
@@ -145,7 +157,26 @@ class SimFileSystem:
         self.stats.files_opened += 1
         chunk = entry.data[offset:offset + length]
         self.stats.bytes_read += len(chunk)
+        self._inject_read_faults(entry.path, len(chunk))
         return chunk
+
+    def _inject_read_faults(self, path: str, nbytes: int) -> None:
+        """Charge injected read errors: every failed attempt re-opens the
+        file and re-transfers the bytes before the bounded final attempt
+        succeeds, so faults change IO cost but never file contents."""
+        registry = self.fault_registry
+        if registry is None or registry.io_error_rate <= 0.0:
+            return
+        failures = registry.failed_attempts(
+            "fs.read", path, registry.io_error_rate, registry.max_io_retries)
+        if not failures:
+            return
+        self.stats.files_opened += failures
+        self.stats.bytes_read += failures * nbytes
+        self.stats.io_retries += failures
+        self.stats.retry_bytes += failures * nbytes
+        registry.record("fs.read", path, attempts=failures,
+                        detail=f"reread {failures}x{nbytes}B")
 
     def status(self, path: str) -> FileStatus:
         entry = self._entry(path)

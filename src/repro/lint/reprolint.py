@@ -22,6 +22,9 @@ RL006     direct access to metric internals (``_value``/``_counts``/
           must read through the registry's snapshot API
           (``value()``/``total()``/``percentile()``/``snapshot()``),
           so locking and kind checks cannot be bypassed
+RL007     ``except Exception: pass`` (or ``BaseException``) — a
+          swallowed failure in a recovery path (abort, release, retry)
+          silently leaks transactions and locks; handle or narrow it
 ========  ============================================================
 
 Suppression: append ``# reprolint: disable=RL001`` (comma-separated
@@ -52,6 +55,8 @@ RULES = {
     "RL005": "mutable default argument",
     "RL006": "metric internals read outside repro/obs (use the "
              "registry snapshot API)",
+    "RL007": "'except Exception: pass' silently swallows recovery-path "
+             "failures",
 }
 
 #: private metric-state attributes RL006 protects (Counter._value,
@@ -126,6 +131,8 @@ def lint_source(source: str, path: str = "<string>",
         _check_mutable_defaults(tree, path, findings)
     if "RL006" in enabled and "repro/obs/" not in norm:
         _check_obs_internals(tree, path, findings)
+    if "RL007" in enabled:
+        _check_swallowed_except(tree, path, findings)
     for finding in findings:
         if 0 < finding.line <= len(lines):
             finding.snippet = lines[finding.line - 1].strip()
@@ -377,6 +384,41 @@ def _check_bare_except(tree, path, findings):
                 "RL004", path, node.lineno, node.col_offset,
                 "bare 'except:' also catches KeyboardInterrupt/"
                 "SystemExit — name the exception class"))
+
+
+def _check_swallowed_except(tree, path, findings):
+    """RL007 — a blanket handler whose whole body is ``pass``/``...``.
+
+    ``except Exception: pass`` around an abort/release/cleanup turns a
+    real failure (lock leak, half-aborted transaction) into silence;
+    narrow the exception type or actually handle it.  Specific types
+    (``except KeyError: pass``) are allowed — they document intent.
+    """
+    broad = ("Exception", "BaseException")
+
+    def is_broad(expr: Optional[ast.expr]) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in broad
+        if isinstance(expr, ast.Tuple):
+            return any(is_broad(e) for e in expr.elts)
+        return False
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not is_broad(node.type):
+            continue
+        only_noise = all(
+            isinstance(stmt, ast.Pass)
+            or (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis)
+            for stmt in node.body)
+        if only_noise:
+            findings.append(Finding(
+                "RL007", path, node.lineno, node.col_offset,
+                "'except Exception: pass' swallows recovery-path "
+                "failures — narrow the type or handle the error"))
 
 
 def _check_obs_internals(tree, path, findings):

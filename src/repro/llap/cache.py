@@ -120,6 +120,21 @@ class LlapCache:
             self.stats.evicted_bytes += entry.nbytes
         return len(doomed)
 
+    def invalidate_node(self, node: int, num_nodes: int) -> int:
+        """Drop every chunk resident on a dead LLAP daemon.
+
+        Chunk placement follows the simulator's block-placement rule —
+        ``file_id % num_nodes`` — so a daemon death wipes exactly the
+        files hosted on that node.  Counts as eviction for the same
+        reason as :meth:`invalidate_file`.
+        """
+        doomed = {k.file_id for k in self._entries
+                  if k.file_id % max(1, num_nodes) == node}
+        dropped = 0
+        for file_id in doomed:
+            dropped += self.invalidate_file(file_id)
+        return dropped
+
     def clear(self) -> None:
         self._entries.clear()
         self._used = 0

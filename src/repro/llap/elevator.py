@@ -128,6 +128,16 @@ class LlapReaderFactory:
                           if k[0] != file_id}
         self.cache.invalidate_file(file_id)
 
+    def invalidate_node(self, node: int, num_nodes: int) -> int:
+        """Daemon death: drop the dead node's metadata and data chunks.
+
+        Placement mirrors :meth:`LlapCache.invalidate_node`
+        (``file_id % num_nodes``).  Returns the number of chunks dropped.
+        """
+        self._metadata = {k: v for k, v in self._metadata.items()
+                          if k[0] % max(1, num_nodes) != node}
+        return self.cache.invalidate_node(node, num_nodes)
+
 
 class _CachedReader:
     """Serves row-column chunks through the LLAP cache."""

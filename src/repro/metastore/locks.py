@@ -45,12 +45,30 @@ class _Held:
     txn_id: int
 
 
+@dataclass
+class _Waiter:
+    """A pending acquire, queued in arrival order for fairness."""
+
+    seq: int
+    key: LockKey
+    lock_type: LockType
+    txn_id: int
+
+
 class LockManager:
-    """Blocking lock table with timeout; locks are owned by transactions."""
+    """Blocking lock table with timeout; locks are owned by transactions.
+
+    Grants are FIFO-fair: a SHARED request is not granted past an
+    earlier-queued conflicting EXCLUSIVE request, otherwise steady read
+    traffic starves writers (DROP TABLE would time out forever under
+    continuous readers).
+    """
 
     def __init__(self, default_timeout_s: float = 5.0):
         self._cond = threading.Condition()
         self._held: list[_Held] = []
+        self._waiters: list[_Waiter] = []
+        self._seq = 0
         self.default_timeout_s = default_timeout_s
 
     # -- acquisition ----------------------------------------------------------- #
@@ -62,24 +80,42 @@ class LockManager:
         deadline = (timeout_s if timeout_s is not None
                     else self.default_timeout_s)
         with self._cond:
-            if not self._cond.wait_for(
-                    lambda: self._grantable(txn_id, key, lock_type),
-                    timeout=deadline):
-                raise LockTimeoutError(
-                    f"txn {txn_id}: timed out acquiring {lock_type.value} "
-                    f"lock on {key.table} partition {key.partition}")
-            self._held.append(_Held(key, lock_type, txn_id))
+            self._seq += 1
+            waiter = _Waiter(self._seq, key, lock_type, txn_id)
+            self._waiters.append(waiter)
+            try:
+                if not self._cond.wait_for(
+                        lambda: self._grantable(waiter),
+                        timeout=deadline):
+                    raise LockTimeoutError(
+                        f"txn {txn_id}: timed out acquiring "
+                        f"{lock_type.value} lock on {key.table} "
+                        f"partition {key.partition}")
+                self._held.append(_Held(key, lock_type, txn_id))
+            finally:
+                # on grant *or* timeout the queue entry goes away, and
+                # anyone queued behind it must re-evaluate (a timed-out
+                # EXCLUSIVE no longer bars the SHARED requests after it)
+                self._waiters.remove(waiter)
+                self._cond.notify_all()
 
-    def _grantable(self, txn_id: int, key: LockKey,
-                   lock_type: LockType) -> bool:
+    def _grantable(self, waiter: _Waiter) -> bool:
         for held in self._held:
-            if held.txn_id == txn_id:
+            if held.txn_id == waiter.txn_id:
                 continue  # re-entrant within a transaction
-            if not held.key.conflicts_with(key):
+            if not held.key.conflicts_with(waiter.key):
                 continue
-            if (lock_type is LockType.EXCLUSIVE
+            if (waiter.lock_type is LockType.EXCLUSIVE
                     or held.lock_type is LockType.EXCLUSIVE):
                 return False
+        if waiter.lock_type is LockType.SHARED:
+            # fairness: don't jump an exclusive request that queued first
+            for other in self._waiters:
+                if (other.seq < waiter.seq
+                        and other.txn_id != waiter.txn_id
+                        and other.lock_type is LockType.EXCLUSIVE
+                        and other.key.conflicts_with(waiter.key)):
+                    return False
         return True
 
     # -- release ------------------------------------------------------------ #
@@ -94,6 +130,12 @@ class LockManager:
             return released
 
     # -- introspection -------------------------------------------------------- #
+    def waiting(self) -> list[tuple]:
+        """Queued (not yet granted) requests, in arrival order."""
+        with self._cond:
+            return [(w.key.table, w.key.partition, w.lock_type, w.txn_id)
+                    for w in sorted(self._waiters, key=lambda w: w.seq)]
+
     def locks_held(self, txn_id: int | None = None) -> list[tuple]:
         with self._cond:
             out = []

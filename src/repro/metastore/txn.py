@@ -134,6 +134,9 @@ class _Transaction:
     write_ids: dict[str, int] = field(default_factory=dict)
     write_set: list[_WriteSetEntry] = field(default_factory=list)
     commit_txn_id: int | None = None   # TxnId counter value at commit time
+    #: virtual-clock stamp of the last heartbeat (open time initially);
+    #: the AcidHouseKeeper reaps transactions that stop heartbeating
+    last_heartbeat_s: float = 0.0
 
 
 class TransactionManager:
@@ -149,14 +152,59 @@ class TransactionManager:
         # (table, partition, commit_marker)
         self._committed_write_sets: list[tuple[str, tuple, int, str]] = []
         self._table_write_allocations: dict[str, list[tuple[int, int]]] = {}
+        #: global virtual clock: the max of every now_s any session has
+        #: reported.  Sessions advance at different virtual rates, so
+        #: heartbeats and open stamps use this shared monotonic clock —
+        #: a slow session's transaction is never reaped just because a
+        #: fast session's clock ran ahead while it kept heartbeating.
+        self._clock_s = 0.0
 
     # -- transaction lifecycle ---------------------------------------------- #
     def open_transaction(self, user: str = "anonymous") -> int:
         with self._lock:
             txn_id = next(self._txn_counter)
             self._next_txn_id = txn_id
-            self._txns[txn_id] = _Transaction(txn_id, user)
+            txn = _Transaction(txn_id, user,
+                               last_heartbeat_s=self._clock_s)
+            self._txns[txn_id] = txn
             return txn_id
+
+    # -- heartbeats & expiry -------------------------------------------------- #
+    def advance_clock(self, now_s: float) -> float:
+        """Fold a session's virtual time into the global clock."""
+        with self._lock:
+            self._clock_s = max(self._clock_s, now_s)
+            return self._clock_s
+
+    def heartbeat(self, txn_id: int, now_s: float = 0.0) -> None:
+        """Refresh a transaction's lease; raises TransactionError if the
+        transaction is unknown or already finished (the client learns it
+        was reaped)."""
+        with self._lock:
+            self._clock_s = max(self._clock_s, now_s)
+            txn = self._txns.get(txn_id)
+            if txn is None:
+                raise TransactionError(f"unknown txn {txn_id}")
+            if txn.state is not TxnState.OPEN:
+                raise TransactionError(
+                    f"txn {txn_id} is {txn.state.value}, not open "
+                    "— cannot heartbeat")
+            txn.last_heartbeat_s = self._clock_s
+
+    def expired_txns(self, timeout_s: float) -> list[int]:
+        """Open transactions whose last heartbeat is older than
+        ``timeout_s`` on the global virtual clock."""
+        with self._lock:
+            return [t.txn_id for t in self._txns.values()
+                    if t.state is TxnState.OPEN
+                    and self._clock_s - t.last_heartbeat_s > timeout_s]
+
+    def last_heartbeat_of(self, txn_id: int) -> float:
+        with self._lock:
+            txn = self._txns.get(txn_id)
+            if txn is None:
+                raise TransactionError(f"unknown txn {txn_id}")
+            return txn.last_heartbeat_s
 
     def commit(self, txn_id: int) -> None:
         """Commit; raises :class:`WriteConflictError` under first-commit-wins.
@@ -191,13 +239,30 @@ class TransactionManager:
                      entry.operation))
 
     def abort(self, txn_id: int) -> None:
+        """Abort a transaction.
+
+        Idempotent on an already-aborted transaction: the housekeeper's
+        reap races client aborts (and commit itself aborts on a write
+        conflict), and both sides must be able to finish the abort they
+        observed.  Aborting a *committed* transaction is still an error.
+        """
         with self._lock:
-            txn = self._get_open(txn_id)
+            txn = self._txns.get(txn_id)
+            if txn is None:
+                raise TransactionError(f"unknown txn {txn_id}")
+            if txn.state is TxnState.ABORTED:
+                return
+            if txn.state is TxnState.COMMITTED:
+                raise TransactionError(
+                    f"txn {txn_id} is committed, cannot abort")
             txn.state = TxnState.ABORTED
 
     def state_of(self, txn_id: int) -> TxnState:
         with self._lock:
-            return self._txns[txn_id].state
+            txn = self._txns.get(txn_id)
+            if txn is None:
+                raise TransactionError(f"unknown txn {txn_id}")
+            return txn.state
 
     # -- write ids ------------------------------------------------------------ #
     def allocate_write_id(self, txn_id: int, table: str) -> int:
@@ -284,3 +349,45 @@ class TransactionManager:
             raise TransactionError(
                 f"txn {txn_id} is {txn.state.value}, not open")
         return txn
+
+
+class AcidHouseKeeper:
+    """Heartbeat reaper (the AcidHouseKeeperService analogue, §3.2).
+
+    Aborts transactions whose heartbeat lease expired and releases their
+    locks, so a dead client can't wedge compaction or starve writers.
+    Their WriteIds land in every later snapshot's invalid set, which is
+    what makes the reaped deltas invisible to ``acid.reader``.
+    """
+
+    def __init__(self, txn_manager: TransactionManager, lock_manager,
+                 timeout_s: float = 300.0, faults=None):
+        self.txn_manager = txn_manager
+        self.lock_manager = lock_manager
+        self.timeout_s = timeout_s
+        #: optional repro.faults.FaultRegistry — reaps are logged there
+        self.faults = faults
+        self.reaped_total = 0
+
+    def run(self, now_s: float = 0.0) -> list[int]:
+        """One housekeeping pass; returns the TxnIds reaped."""
+        self.txn_manager.advance_clock(now_s)
+        reaped = []
+        for txn_id in self.txn_manager.expired_txns(self.timeout_s):
+            try:
+                self.txn_manager.abort(txn_id)
+            except TransactionError:
+                continue  # raced a client commit; nothing to reap
+            if self.lock_manager is not None:
+                self.lock_manager.release_all(txn_id)
+            reaped.append(txn_id)
+        if reaped:
+            self.reaped_total += len(reaped)
+            if self.faults is not None:
+                for txn_id in reaped:
+                    self.faults.clear_stall(txn_id)
+                    self.faults.record(
+                        "txn.reaped", f"txn {txn_id}",
+                        detail=f"heartbeat older than {self.timeout_s:g}s"
+                               "; aborted, locks released")
+        return reaped

@@ -111,13 +111,22 @@ def render_explain_analyze(optimized, profile: ExecutionProfile,
                 skew = f" skew={vm.skew_factor:.2f}"
                 if vm.straggler:
                     skew += " STRAGGLER"
+            retries = ""
+            if vm.failed_attempts or vm.speculative_tasks:
+                parts = [f"attempts={vm.attempts}"]
+                if vm.failed_attempts:
+                    parts.append(f"retried={vm.failed_attempts}")
+                if vm.speculative_tasks:
+                    parts.append(f"speculative={vm.speculative_tasks}")
+                parts.append(f"retry={vm.retry_s:.3f}s")
+                retries = " " + " ".join(parts)
             lines.append(
                 f"-- vertex {vm.name}: {bar} {vm.duration_s:.3f}s "
                 f"tasks={vm.tasks} rows={vm.rows} "
                 f"start={vm.start_s:.3f}s finish={vm.finish_s:.3f}s "
                 f"(startup={vm.startup_s:.3f}s io={vm.io_s:.3f}s "
                 f"cpu={vm.cpu_s:.3f}s shuffle={vm.shuffle_s:.3f}s)"
-                f"{skew}")
+                f"{skew}{retries}")
             op_longest = max((op.virtual_s for op in vm.operators),
                              default=0.0)
             for op in vm.operators:
@@ -127,6 +136,10 @@ def render_explain_analyze(optimized, profile: ExecutionProfile,
                     f"virtual={op.virtual_s:.3f}s "
                     f"rows_in={op.rows_in} rows_out={op.rows_out} "
                     f"batches={op.batches}")
+        if metrics.retry_s or metrics.failover_s:
+            lines.append(
+                f"-- faults: retry={metrics.retry_s:.3f}s "
+                f"failover={metrics.failover_s:.3f}s")
         if metrics.pool:
             moved = (f" -> moved to {metrics.moved_to_pool}"
                      if metrics.moved_to_pool else "")

@@ -43,6 +43,7 @@ class Observability:
         # server components the sys tables read (bound by HiveServer2)
         self.hms = None
         self.workload_manager = None
+        self.faults = None
         self._caches: list[tuple[str, object]] = []
         from .systables import SysTableHandler
         self.sys_handler = SysTableHandler(self)
@@ -53,6 +54,11 @@ class Observability:
         with self._lock:
             self.hms = hms
             self.workload_manager = workload_manager
+
+    def bind_faults(self, faults) -> None:
+        """Attach the fault registry so ``sys.fault_log`` can serve it."""
+        with self._lock:
+            self.faults = faults
 
     def bind_cache(self, component: str, stats, *,
                    extra: Optional[dict] = None) -> None:

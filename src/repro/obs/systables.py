@@ -19,7 +19,10 @@ Tables:
 * ``sys.cache_stats``  — LLAP cache + results cache counters,
 * ``sys.compactions``  — the compaction queue history,
 * ``sys.pools``        — active resource-plan pools,
-* ``sys.metrics``      — every series in the metrics registry.
+* ``sys.metrics``      — every series in the metrics registry,
+* ``sys.fault_log``    — every injected fault and recovery action
+  (``repro.faults``): IO re-reads, task retries, speculation, node
+  death, reaped transactions.
 """
 
 from __future__ import annotations
@@ -58,7 +61,9 @@ VERTEX_LOG_SCHEMA = Schema([
     Column("duration_s", DOUBLE), Column("start_s", DOUBLE),
     Column("finish_s", DOUBLE), Column("shuffle_bytes", BIGINT),
     Column("max_task_s", DOUBLE), Column("median_task_s", DOUBLE),
-    Column("skew_factor", DOUBLE), Column("straggler", BOOLEAN)])
+    Column("skew_factor", DOUBLE), Column("straggler", BOOLEAN),
+    Column("attempts", BIGINT), Column("failed_attempts", BIGINT),
+    Column("speculative_tasks", BIGINT), Column("retry_s", DOUBLE)])
 
 OPERATOR_LOG_SCHEMA = Schema([
     Column("query_id", BIGINT), Column("vertex", STRING),
@@ -93,6 +98,12 @@ METRICS_SCHEMA = Schema([
     Column("name", STRING), Column("labels", STRING),
     Column("kind", STRING), Column("value", DOUBLE)])
 
+FAULT_LOG_SCHEMA = Schema([
+    Column("event_id", BIGINT), Column("query_id", BIGINT),
+    Column("site", STRING), Column("target", STRING),
+    Column("attempts", BIGINT), Column("delay_s", DOUBLE),
+    Column("detail", STRING)])
+
 SYS_TABLES: dict[str, Schema] = {
     "query_log": QUERY_LOG_SCHEMA,
     "vertex_log": VERTEX_LOG_SCHEMA,
@@ -102,6 +113,7 @@ SYS_TABLES: dict[str, Schema] = {
     "compactions": COMPACTIONS_SCHEMA,
     "pools": POOLS_SCHEMA,
     "metrics": METRICS_SCHEMA,
+    "fault_log": FAULT_LOG_SCHEMA,
 }
 
 
@@ -193,6 +205,12 @@ class SysTableHandler(StorageHandler):
                  pool.query_parallelism, len(pool.triggers),
                  pool.name == plan.default_pool)
                 for pool in plan.pools.values()]
+
+    def _rows_fault_log(self) -> list[tuple]:
+        faults = self.obs.faults
+        if faults is None:
+            return []
+        return [event.as_row() for event in faults.events()]
 
     def _rows_metrics(self) -> list[tuple]:
         rows = []

@@ -75,6 +75,9 @@ class ScanMetrics:
     delete_keys: int = 0
     external_time_s: float = 0.0
     semijoin_filtered_rows: int = 0
+    #: injected read errors that were retried (repro.faults); the
+    #: re-read bytes are already folded into disk_bytes
+    io_retries: int = 0
 
     def merge(self, other: "ScanMetrics") -> None:
         self.rows += other.rows
@@ -90,6 +93,7 @@ class ScanMetrics:
         self.delete_keys += other.delete_keys
         self.external_time_s += other.external_time_s
         self.semijoin_filtered_rows += other.semijoin_filtered_rows
+        self.io_retries += other.io_retries
 
 
 class ScanExecutor:
@@ -154,6 +158,9 @@ class ScanExecutor:
             if metrics.semijoin_filtered_rows:
                 reg.counter("scan.semijoin_filtered_rows", **labels).inc(
                     metrics.semijoin_filtered_rows)
+            if metrics.io_retries:
+                reg.counter("scan.io_retries",
+                            **labels).inc(metrics.io_retries)
         if self.trace is not None:
             self.trace.add(
                 f"scan {node.table_name}",
@@ -263,6 +270,10 @@ class ScanExecutor:
             metrics.cache_bytes += io.cache_bytes - before[1]
             metrics.metadata_bytes += io.metadata_bytes - before[2]
             metrics.files_opened += io.files_opened - before[3]
+            # the elevator models disk_bytes from chunk sizes, so the
+            # re-reads injected at the fs layer must be charged on top
+            metrics.disk_bytes += read_metrics.retry_bytes
+            metrics.files_opened += read_metrics.io_retries
         else:
             metrics.disk_bytes += self.fs.stats.bytes_read - before[0]
             metrics.files_opened += (self.fs.stats.files_opened
@@ -270,6 +281,7 @@ class ScanExecutor:
             metrics.metadata_bytes += read_metrics.metadata_bytes
         metrics.row_groups_total += read_metrics.row_groups_total
         metrics.row_groups_read += read_metrics.row_groups_read
+        metrics.io_retries += read_metrics.io_retries
 
     def _with_partition_columns(self, node: rel.TableScan,
                                 table: TableDescriptor,

@@ -162,13 +162,29 @@ class VertexMetrics:
     skew_factor: float = 1.0
     #: True when the slowest task exceeds the configured skew threshold
     straggler: bool = False
+    #: injected task-attempt failures that were retried (repro.faults)
+    failed_attempts: int = 0
+    #: backup attempts launched by speculative execution
+    speculative_tasks: int = 0
+    #: extra vertex latency from injected failures: re-run time plus
+    #: exponential backoff, net of what speculation clawed back
+    retry_s: float = 0.0
+    #: extra cluster work (re-run + backup attempts) for the busy floor;
+    #: not a sys.vertex_log column
+    retry_work_s: float = 0.0
     #: per-operator runtime rows (repro.obs.OperatorProfile)
     operators: list = field(default_factory=list)
 
     @property
     def duration_s(self) -> float:
         return (self.startup_s + self.io_s + self.cpu_s
-                + self.shuffle_s + self.external_s)
+                + self.shuffle_s + self.external_s + self.retry_s)
+
+    @property
+    def attempts(self) -> int:
+        """Total task attempts: one per task plus injected retries and
+        speculative backups."""
+        return self.tasks + self.failed_attempts + self.speculative_tasks
 
     @property
     def max_task_s(self) -> float:
@@ -188,7 +204,8 @@ class VertexMetrics:
                 self.shuffle_s, self.external_s, self.duration_s,
                 self.start_s, self.finish_s, self.shuffle_bytes,
                 self.max_task_s, self.median_task_s, self.skew_factor,
-                self.straggler)
+                self.straggler, self.attempts, self.failed_attempts,
+                self.speculative_tasks, self.retry_s)
 
 
 @dataclass
@@ -207,6 +224,10 @@ class QueryMetrics:
     disk_bytes: int = 0
     cache_bytes: int = 0
     cache_hit_fraction: float = 0.0
+    #: injected-failure latency summed over vertices (repro.faults)
+    retry_s: float = 0.0
+    #: container re-allocation charged when an LLAP daemon died mid-query
+    failover_s: float = 0.0
     vertices: list[VertexMetrics] = field(default_factory=list)
     pool: str = ""
     moved_to_pool: Optional[str] = None
@@ -226,10 +247,13 @@ class TezRunner:
 
     def __init__(self, conf: HiveConf,
                  workload_manager: Optional[WorkloadManager] = None,
-                 registry=None):
+                 registry=None, faults=None):
         self.conf = conf
         self.workload_manager = workload_manager
         self.registry = registry
+        #: optional repro.faults.FaultRegistry; injected task failures,
+        #: slow nodes and daemon deaths are charged into virtual time
+        self.faults = faults
 
     # -- public ------------------------------------------------------------- #
     def run(self, plan: OptimizedPlan, scan_executor: ScanExecutor,
@@ -269,7 +293,7 @@ class TezRunner:
             raise
 
         metrics = self._account(plan, ctx, scan_executor, admission,
-                                profile=profile)
+                                profile=profile, query_id=query_id)
         metrics.rows_produced = result.num_rows
         metrics.queue_s = admission.queue_delay_s
         metrics.pool = admission.pool
@@ -302,7 +326,7 @@ class TezRunner:
     def _account(self, plan: OptimizedPlan, ctx: ExecutionContext,
                  scan_executor: ScanExecutor,
                  admission: QueryAdmission,
-                 profile=None) -> QueryMetrics:
+                 profile=None, query_id: int = 0) -> QueryMetrics:
         conf = self.conf
         cost = conf.cost
         dag = build_dag(plan.root)
@@ -314,7 +338,11 @@ class TezRunner:
                            for r in plan.semijoin_reducers))
 
         llap = conf.llap_enabled
-        slots_total = conf.num_nodes * (
+        live_nodes = conf.num_nodes
+        failover_s = self._inject_node_death(scan_executor, query_id)
+        if failover_s > 0.0:
+            live_nodes = max(1, live_nodes - 1)
+        slots_total = live_nodes * (
             conf.llap_executors_per_daemon if llap else conf.cores_per_node)
         slots = max(1, int(slots_total * admission.capacity_fraction))
         cpu_per_row = (cost.vector_cpu_s if conf.vectorized_execution
@@ -425,6 +453,7 @@ class TezRunner:
             vm.shuffle_bytes = int(shuffle_bytes * scale)
 
             self._model_tasks(vm, vertex, ctx)
+            self._apply_faults(vm, vertex, query_id, llap)
             self._attribute_operators(vm, vertex, node_work, profile)
 
             start = max((finish[i] for i in vertex.inputs), default=0.0)
@@ -433,7 +462,8 @@ class TezRunner:
             finish[vertex.vertex_id] = vm.finish_s
 
             total_work_s += (vm.io_s + vm.cpu_s + vm.shuffle_s) \
-                * max(1, vm.tasks)
+                * max(1, vm.tasks) + vm.retry_work_s
+            metrics.retry_s += vm.retry_s
             metrics.vertices.append(vm)
             metrics.startup_s += vm.startup_s
             metrics.io_s += vm.io_s
@@ -449,8 +479,9 @@ class TezRunner:
         # (this is what makes recomputing shared subexpressions — q88
         # without the shared-work optimizer — visibly expensive)
         busy_floor = total_work_s / slots + metrics.startup_s
-        metrics.total_s = metrics.compile_s + max(critical_path,
-                                                  busy_floor)
+        metrics.failover_s = failover_s
+        metrics.total_s = metrics.compile_s + failover_s \
+            + max(critical_path, busy_floor)
         total_bytes = metrics.disk_bytes + metrics.cache_bytes
         metrics.cache_hit_fraction = (metrics.cache_bytes / total_bytes
                                       if total_bytes else 0.0)
@@ -495,6 +526,131 @@ class TezRunner:
         vm.straggler = (tasks > 1 and vm.skew_factor
                         >= self.conf.straggler_skew_threshold)
 
+    # -- fault injection & recovery ------------------------------------------ #
+    def _inject_node_death(self, scan_executor: ScanExecutor,
+                           query_id: int) -> float:
+        """LLAP daemon death (Section 5 failover): the dead node's cache
+        chunks and cached footers are invalidated, one node's executors
+        drop out of the slot pool, and the displaced fragments fall back
+        to fresh Tez containers whose start-up is re-charged.
+
+        Returns the failover charge in virtual seconds (0.0 = no death).
+        """
+        faults = self.faults
+        conf = self.conf
+        if faults is None or not conf.llap_enabled \
+                or conf.faults_node_fail_rate <= 0.0:
+            return 0.0
+        if not faults.decide("node.death", query_id,
+                             conf.faults_node_fail_rate):
+            return 0.0
+        node = faults.pick("node.death.which", query_id, conf.num_nodes)
+        dropped = 0
+        factory = getattr(scan_executor, "reader_factory", None)
+        if factory is not None and hasattr(factory, "invalidate_node"):
+            dropped = factory.invalidate_node(node, conf.num_nodes)
+        cost = conf.cost
+        failover_s = cost.container_startup_s + cost.task_setup_s
+        faults.record("node.death", f"node {node}", query_id=query_id,
+                      delay_s=failover_s,
+                      detail=f"invalidated {dropped} cache chunks, "
+                             "fell back to containers")
+        return failover_s
+
+    def _apply_faults(self, vm: VertexMetrics, vertex: Vertex,
+                      query_id: int, llap: bool) -> None:
+        """Inject task failures and slow nodes into the modeled task
+        distribution, charging recovery into virtual time.
+
+        Every failed attempt re-runs the task (its full modeled duration)
+        after an exponential backoff; the final attempt always succeeds —
+        the scheduler blacklists the flaky node — so injected faults delay
+        queries but never change their results.  Speculative execution
+        then caps the slowest *injected* straggler at roughly a balanced
+        re-run launched when the skew is detected; natural (hot-key) skew
+        stays diagnostic-only, exactly as in the skew model above, so
+        speculation is a no-op in fault-free runs.
+
+        Decisions key on the vertex's root digest + task index, not the
+        query id, so identical workloads see identical schedules.
+        """
+        faults = self.faults
+        conf = self.conf
+        if faults is None:
+            return
+        fail_rate = conf.faults_task_fail_rate
+        slow_rate = conf.faults_slow_node_rate
+        if fail_rate <= 0.0 and slow_rate <= 0.0:
+            return
+        digest = vertex.root.digest
+        base = list(vm.task_durations)
+        natural_max = max(base, default=0.0)
+        durations = list(base)
+        for index, task_s in enumerate(base):
+            key = (digest, index)
+            if slow_rate > 0.0 and faults.decide("task.slow", key,
+                                                 slow_rate):
+                slow_extra = task_s * (conf.faults_slow_node_multiplier
+                                       - 1.0)
+                durations[index] += slow_extra
+                vm.retry_work_s += slow_extra
+                faults.record("task.slow", f"{vm.name}[{index}]",
+                              query_id=query_id, delay_s=slow_extra,
+                              detail="slow node "
+                                     f"x{conf.faults_slow_node_multiplier:g}")
+            failures = faults.failed_attempts(
+                "task.fail", key, fail_rate, conf.task_max_attempts - 1)
+            if failures:
+                backoff = sum(conf.task_retry_backoff_s * 2.0 ** n
+                              for n in range(failures))
+                durations[index] += failures * task_s + backoff
+                vm.retry_work_s += failures * task_s
+                vm.failed_attempts += failures
+                faults.record("task.fail", f"{vm.name}[{index}]",
+                              query_id=query_id, attempts=failures,
+                              delay_s=failures * task_s + backoff,
+                              detail=f"{failures} failed attempts, "
+                                     f"backoff {backoff:.3f}s")
+        self._speculate(vm, durations, base, query_id, llap)
+        vm.task_durations = durations
+        vm.retry_s = max(0.0, max(durations, default=0.0) - natural_max)
+        median = vm.median_task_s
+        vm.skew_factor = vm.max_task_s / median if median > 0 else 1.0
+        vm.straggler = (vm.tasks > 1 and vm.skew_factor
+                        >= conf.straggler_skew_threshold)
+
+    def _speculate(self, vm: VertexMetrics, durations: list[float],
+                   base: list[float], query_id: int, llap: bool) -> None:
+        """Launch a backup attempt for an injected straggler.
+
+        The backup starts when the straggler is flagged (around the
+        median finish time) and re-runs the task at its fault-free
+        duration, so the vertex finishes at
+        ``median + base duration + dispatch`` if that beats waiting.
+        """
+        conf = self.conf
+        if not conf.speculative_execution or len(durations) <= 1:
+            return
+        worst = max(range(len(durations)), key=durations.__getitem__)
+        if durations[worst] <= base[worst]:
+            return  # slowest task was not injected: natural skew only
+        median = sorted(durations)[len(durations) // 2]
+        if median <= 0 or durations[worst] / median \
+                < conf.straggler_skew_threshold:
+            return
+        dispatch = (conf.cost.llap_dispatch_s if llap
+                    else conf.cost.task_setup_s)
+        capped = median + base[worst] + dispatch
+        if capped >= durations[worst]:
+            return
+        saved = durations[worst] - capped
+        durations[worst] = capped
+        vm.speculative_tasks += 1
+        vm.retry_work_s += base[worst]
+        self.faults.record("speculation", f"{vm.name}[{worst}]",
+                           query_id=query_id,
+                           detail=f"backup attempt saved {saved:.3f}s")
+
     def _attribute_operators(self, vm: VertexMetrics, vertex: Vertex,
                              node_work: list, profile) -> None:
         """Split the vertex's virtual time across its plan nodes.
@@ -527,13 +683,17 @@ class TezRunner:
             trace.add("admission", virtual_s=admission.queue_delay_s,
                       pool=admission.pool)
         for vm in metrics.vertices:
+            recovery = {}
+            if vm.failed_attempts or vm.speculative_tasks:
+                recovery = {"attempts": vm.attempts,
+                            "retry_s": round(vm.retry_s, 4)}
             vspan = trace.add(f"vertex {vm.name}",
                               virtual_s=vm.duration_s,
                               tasks=vm.tasks, rows=vm.rows,
                               start_s=round(vm.start_s, 4),
                               finish_s=round(vm.finish_s, 4),
                               skew_factor=round(vm.skew_factor, 3),
-                              straggler=vm.straggler)
+                              straggler=vm.straggler, **recovery)
             for op in vm.operators:
                 child = vspan.child(f"op {op.operator}",
                                     virtual_s=op.virtual_s,
@@ -556,6 +716,18 @@ class TezRunner:
                           "external", "queue"):
             reg.counter(f"runtime.{component}_s").inc(
                 getattr(metrics, f"{component}_s"))
+        # fault-recovery series only appear once injection happened
+        if metrics.retry_s > 0.0:
+            reg.counter("runtime.retry_s").inc(metrics.retry_s)
+        if metrics.failover_s > 0.0:
+            reg.counter("runtime.failover_s").inc(metrics.failover_s)
+        failed = sum(vm.failed_attempts for vm in metrics.vertices)
+        if failed:
+            reg.counter("runtime.failed_task_attempts").inc(failed)
+        speculative = sum(vm.speculative_tasks
+                          for vm in metrics.vertices)
+        if speculative:
+            reg.counter("runtime.speculative_tasks").inc(speculative)
 
     def _apply_triggers(self, admission: QueryAdmission,
                         metrics: QueryMetrics,

@@ -112,10 +112,9 @@ class TableWriter:
                 self.hms.txn_manager.commit(txn)
         except Exception:
             if own_txn:
-                try:
-                    self.hms.txn_manager.abort(txn)
-                except Exception:
-                    pass
+                # abort is idempotent on already-aborted transactions
+                # (commit conflicts self-abort before raising)
+                self.hms.txn_manager.abort(txn)
             raise
         finally:
             if own_txn:
@@ -272,10 +271,9 @@ class TableWriter:
                 self.hms.txn_manager.commit(txn)
         except Exception:
             if own_txn:
-                try:
-                    self.hms.txn_manager.abort(txn)
-                except Exception:
-                    pass
+                # abort is idempotent on already-aborted transactions
+                # (commit conflicts self-abort before raising)
+                self.hms.txn_manager.abort(txn)
             raise
         finally:
             if own_txn:
@@ -459,10 +457,9 @@ class TableWriter:
                 self._merge_stats(table, part_rows, part_values)
             self.hms.txn_manager.commit(txn)
         except Exception:
-            try:
-                self.hms.txn_manager.abort(txn)
-            except Exception:
-                pass
+            # abort is idempotent on already-aborted transactions
+            # (commit conflicts self-abort before raising)
+            self.hms.txn_manager.abort(txn)
             raise
         finally:
             self.hms.lock_manager.release_all(txn)

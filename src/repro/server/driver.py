@@ -22,6 +22,7 @@ from ..errors import (AnalysisError, CatalogError, ExecutionError,
                       HiveError, PlanInvariantError, TransactionError,
                       VertexFailureError)
 from ..exec.operators import ExecutionContext, execute
+from ..faults import FaultRegistry
 from ..fs import SimFileSystem
 from ..llap.cache import LlapCache
 from ..llap.elevator import DirectReaderFactory, LlapReaderFactory
@@ -32,7 +33,8 @@ from ..metastore.catalog import (Constraints, ForeignKey,
                                  TableKind)
 from ..metastore.hms import HiveMetastore
 from ..metastore.stats import TableStatistics
-from ..metastore.txn import DeltaWriteIdList, ValidWriteIdList
+from ..metastore.txn import (AcidHouseKeeper, DeltaWriteIdList,
+                             ValidWriteIdList)
 from ..obs import Observability
 from ..obs.profile import ExecutionProfile
 from ..obs.query_log import QueryLogEntry
@@ -90,14 +92,21 @@ class HiveServer2:
         self.conf.validate()
         self.obs = Observability(
             log_capacity=self.conf.obs_query_log_capacity)
+        self.faults = FaultRegistry.from_conf(
+            self.conf, metrics=self.obs.registry)
         self.fs = SimFileSystem()
+        self.fs.fault_registry = self.faults
         self.hms = HiveMetastore(self.fs)
+        self.housekeeper = AcidHouseKeeper(
+            self.hms.txn_manager, self.hms.lock_manager,
+            timeout_s=self.conf.txn_timeout_s, faults=self.faults)
         self.llap_cache = LlapCache(self.conf.llap_cache_capacity_bytes)
         self.llap_factory = LlapReaderFactory(self.fs, self.llap_cache)
         self.storage_handlers: dict[str, object] = {}
         self.results_cache = QueryResultsCache(
             self.conf.results_cache_max_entries,
-            self.conf.results_cache_wait_pending)
+            self.conf.results_cache_wait_pending,
+            pending_timeout_s=self.conf.results_cache_pending_timeout_s)
         self.workload_manager = WorkloadManager(
             registry=self.obs.registry,
             event_log=self.obs.wm_events)
@@ -105,6 +114,7 @@ class HiveServer2:
         self._mv_scan_ids = itertools.count(100_000)
         # absorb the pre-existing stats fragments into the registry
         self.obs.bind_server(self.hms, self.workload_manager)
+        self.obs.bind_faults(self.faults)
         self.obs.bind_cache(
             "llap", self.llap_cache.stats,
             extra={"used_bytes": lambda: self.llap_cache.used_bytes,
@@ -199,6 +209,7 @@ class Session:
         started_s = self.now_s
         operation = ""
         try:
+            self._tick_txn_clock()
             with trace.span("parse"):
                 statement = parse_statement(sql, self.conf)
             operation = type(statement).__name__.lower()
@@ -221,6 +232,31 @@ class Session:
         result.trace = trace
         obs.record_query(self._log_entry(trace, sql, result, started_s))
         return result
+
+    def _tick_txn_clock(self) -> None:
+        """Per-statement liveness: advance the warehouse virtual clock,
+
+        heartbeat this session's open transaction, and let the
+        housekeeper reap transactions whose owners went silent.  A
+        fault-stalled transaction skips its heartbeat — that is exactly
+        the dead-client scenario the reaper exists for."""
+        manager = self.hms.txn_manager
+        manager.advance_clock(self.now_s)
+        txn = self._active_txn
+        if txn is not None and not self.server.faults.is_stalled(txn):
+            try:
+                manager.heartbeat(txn, self.now_s)
+            except TransactionError:
+                # reaped under us: drop session state so the statement
+                # fails cleanly instead of writing into a dead txn
+                self._clear_transaction()
+                raise
+        reaped = self.server.housekeeper.run(self.now_s)
+        if txn is not None and txn in reaped:
+            self._clear_transaction()
+            raise TransactionError(
+                f"txn {txn} heartbeat expired and was aborted by the "
+                "housekeeper")
 
     def _log_entry(self, trace, sql: str, result: QueryResult,
                    started_s: float) -> QueryLogEntry:
@@ -484,7 +520,8 @@ class Session:
             handlers, conf.semijoin_bloom_fpp,
             registry=self.server.obs.registry, trace=self._trace)
         runner = TezRunner(conf, self.server.workload_manager,
-                           registry=self.server.obs.registry)
+                           registry=self.server.obs.registry,
+                           faults=self.server.faults)
         return runner.run(
             optimized, scan_executor, self.application,
             arrival_s=self.now_s,
@@ -1007,10 +1044,10 @@ class Session:
                 self.hms.txn_manager.commit(txn)
         except Exception:
             if own_txn:
-                try:
-                    self.hms.txn_manager.abort(txn)
-                except Exception:
-                    pass
+                # abort is idempotent on already-aborted transactions
+                # (the reaper may have beaten us to it), so no blanket
+                # exception swallowing here
+                self.hms.txn_manager.abort(txn)
             raise
         finally:
             if own_txn:
@@ -1134,6 +1171,15 @@ class Session:
         self._txn_snapshot = self.hms.txn_manager.get_snapshot()
         self._txn_pending_stats = []
         self._txn_tables = set()
+        # fault injection: this client may be elected to "die" holding
+        # its locks — it stops heartbeating and the reaper cleans up
+        faults = self.server.faults
+        rate = self.conf.faults_lock_stall_rate
+        if rate > 0.0 and faults.decide("lock.stall",
+                                        self._active_txn, rate):
+            faults.stall_txn(self._active_txn)
+            faults.record("lock.stall", f"txn {self._active_txn}",
+                          detail="client stops heartbeating")
         return QueryResult(operation="start_transaction",
                            message=f"txn {self._active_txn} open")
 
@@ -1221,6 +1267,17 @@ class Session:
         if attr == "obs_query_log_capacity":
             # server-level knob: resize the live ring (excess spills)
             self.server.obs.query_log.set_capacity(int(value))
+        # the fault registry is server-wide (the simulated fs is shared);
+        # mirror the knobs its stateless decisions read
+        faults = self.server.faults
+        if attr == "faults_seed":
+            faults.seed = int(value)
+        elif attr == "faults_io_error_rate":
+            faults.io_error_rate = float(value)
+        elif attr == "task_max_attempts":
+            faults.max_io_retries = max(0, int(value) - 1)
+        elif attr == "txn_timeout_s":
+            self.server.housekeeper.timeout_s = float(value)
         return QueryResult(operation="set",
                            message=f"{attr}={value}")
 
@@ -1405,4 +1462,17 @@ _CONFIG_ALIASES = {
     "hive.check.plan.paranoid": "check_plan_paranoid",
     "hive.obs.query.log.capacity": "obs_query_log_capacity",
     "hive.obs.straggler.skew.threshold": "straggler_skew_threshold",
+    "hive.faults.seed": "faults_seed",
+    "hive.faults.task.fail.rate": "faults_task_fail_rate",
+    "hive.faults.io.error.rate": "faults_io_error_rate",
+    "hive.faults.node.fail.rate": "faults_node_fail_rate",
+    "hive.faults.slow.node.rate": "faults_slow_node_rate",
+    "hive.faults.slow.node.multiplier": "faults_slow_node_multiplier",
+    "hive.faults.lock.stall.rate": "faults_lock_stall_rate",
+    "hive.tez.task.max.attempts": "task_max_attempts",
+    "hive.tez.task.retry.backoff.s": "task_retry_backoff_s",
+    "hive.tez.speculative.execution": "speculative_execution",
+    "hive.txn.timeout.s": "txn_timeout_s",
+    "hive.query.results.cache.pending.timeout.s":
+        "results_cache_pending_timeout_s",
 }

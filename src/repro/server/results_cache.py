@@ -14,6 +14,7 @@ computes and the rest wait for it instead of recomputing.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -35,15 +36,25 @@ class ResultsCacheStats:
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    #: wait *episodes* on a pending entry (one per waiting lookup, not
+    #: one per condition-variable wakeup)
     pending_waits: int = 0
+    #: pending entries presumed dead and taken over by a waiter after
+    #: the bounded wait expired
+    pending_takeovers: int = 0
 
 
 class QueryResultsCache:
     """Thread-safe AST-keyed result cache with pending entries."""
 
-    def __init__(self, max_entries: int = 64, wait_for_pending: bool = True):
+    def __init__(self, max_entries: int = 64, wait_for_pending: bool = True,
+                 pending_timeout_s: float = 30.0):
         self.max_entries = max_entries
         self.wait_for_pending = wait_for_pending
+        #: total wall-clock bound on waiting for another caller's pending
+        #: computation; past it the waiter presumes the computer dead
+        #: (died without publish/abandon) and computes itself
+        self.pending_timeout_s = pending_timeout_s
         self.stats = ResultsCacheStats()
         self._lock = threading.Condition()
         self._entries: dict[str, CacheEntry] = {}
@@ -63,6 +74,7 @@ class QueryResultsCache:
         """
         with self._lock:
             self._clock += 1
+            wait_deadline = None
             while True:
                 entry = self._entries.get(key)
                 if entry is None:
@@ -70,8 +82,20 @@ class QueryResultsCache:
                 if not entry.ready:
                     if not self.wait_for_pending:
                         break
-                    self.stats.pending_waits += 1
-                    self._lock.wait(timeout=30.0)
+                    now = time.monotonic()
+                    if wait_deadline is None:
+                        # first wakeup of this lookup: one wait episode
+                        self.stats.pending_waits += 1
+                        wait_deadline = now + self.pending_timeout_s
+                    elif now >= wait_deadline:
+                        # the elected computer died without publish or
+                        # abandon; drop its stale pending entry and take
+                        # over as the computer ourselves
+                        if self._entries.get(key) is entry:
+                            del self._entries[key]
+                        self.stats.pending_takeovers += 1
+                        break
+                    self._lock.wait(timeout=wait_deadline - now)
                     continue
                 if self._is_valid(entry, current_write_ids):
                     entry.last_used = self._clock
