@@ -174,6 +174,16 @@ class HiveConf:
     #: a vertex is flagged a straggler when its modeled
     #: max-task/median-task duration ratio reaches this factor
     straggler_skew_threshold: float = 2.0
+    #: monitor endpoint port; > 0 starts the HTTP server at that port
+    #: on warehouse construction, 0 leaves it to an explicit
+    #: ``obs.start_http()`` call (which binds an ephemeral port)
+    monitor_http_port: int = 0
+    #: virtual seconds between cluster-state timeseries samples
+    #: (<= 0 disables interval sampling; ``/metrics`` scrapes still
+    #: record scrape-time samples)
+    monitor_sample_interval_s: float = 5.0
+    #: ring-buffer capacity per timeseries label-series
+    monitor_timeseries_capacity: int = 512
 
     # ------------------------------------------------------------------ #
     # ACID (Section 3.2)
@@ -262,6 +272,13 @@ class HiveConf:
             raise ConfigError(
                 "straggler_skew_threshold must be > 1.0 (ratio of max "
                 "to median task duration)")
+        if not 0 <= self.monitor_http_port <= 65535:
+            raise ConfigError(
+                "monitor_http_port must be in [0, 65535]")
+        if self.monitor_timeseries_capacity < 2:
+            raise ConfigError(
+                "monitor_timeseries_capacity must be >= 2 (rate() "
+                "needs two samples)")
         for rate_name in ("faults_task_fail_rate", "faults_io_error_rate",
                           "faults_node_fail_rate", "faults_slow_node_rate",
                           "faults_lock_stall_rate"):

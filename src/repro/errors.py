@@ -104,3 +104,18 @@ class ConfigError(HiveError):
 
 class WorkloadManagementError(HiveError):
     """Resource plan violation, e.g. a trigger killed the query."""
+
+
+class QueryKilledError(WorkloadManagementError):
+    """The statement was terminated by ``KILL QUERY`` (live monitor).
+
+    Subclasses :class:`WorkloadManagementError` so an operator kill
+    travels the same path as a WM KILL trigger; the query-log status
+    becomes ``killed`` rather than ``error``.
+    """
+
+    def __init__(self, message: str, query_id: int = 0,
+                 reason: str = ""):
+        super().__init__(message)
+        self.query_id = query_id
+        self.reason = reason

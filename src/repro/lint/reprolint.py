@@ -25,6 +25,10 @@ RL006     direct access to metric internals (``_value``/``_counts``/
 RL007     ``except Exception: pass`` (or ``BaseException``) — a
           swallowed failure in a recovery path (abort, release, retry)
           silently leaks transactions and locks; handle or narrow it
+RL008     ``time.time()``/``time.monotonic()`` inside ``repro/obs/`` or
+          ``repro/llap/`` outside the scrape-clock shim
+          (``repro/obs/clock.py``) — monitoring samples must stamp
+          wall time through one seam so replay/freeze stays possible
 ========  ============================================================
 
 Suppression: append ``# reprolint: disable=RL001`` (comma-separated
@@ -57,6 +61,8 @@ RULES = {
              "registry snapshot API)",
     "RL007": "'except Exception: pass' silently swallows recovery-path "
              "failures",
+    "RL008": "wall-clock call (time.time/time.monotonic) in repro/obs "
+             "or repro/llap outside the scrape-clock shim",
 }
 
 #: private metric-state attributes RL006 protects (Counter._value,
@@ -73,6 +79,16 @@ WALL_CLOCK_CALLS = {("time", "time"), ("time", "perf_counter"),
                     ("time", "monotonic"), ("time", "process_time"),
                     ("datetime", "now"), ("datetime", "utcnow"),
                     ("datetime", "today")}
+
+#: module path fragments where RL008 applies (scrape clock only)
+SCRAPE_CLOCK_SCOPES = ("repro/obs/", "repro/llap/")
+
+#: the one file in those scopes allowed to touch the wall clock
+SCRAPE_CLOCK_SHIM = "repro/obs/clock.py"
+
+#: calls RL008 flags — narrower than RL002: tracing spans legitimately
+#: use time.perf_counter, so only the absolute clocks are banned here
+SCRAPE_CLOCK_CALLS = {("time", "time"), ("time", "monotonic")}
 
 #: method names that mutate built-in containers in place (RL001)
 MUTATORS = frozenset({
@@ -133,6 +149,10 @@ def lint_source(source: str, path: str = "<string>",
         _check_obs_internals(tree, path, findings)
     if "RL007" in enabled:
         _check_swallowed_except(tree, path, findings)
+    if ("RL008" in enabled
+            and any(s in norm for s in SCRAPE_CLOCK_SCOPES)
+            and not norm.endswith(SCRAPE_CLOCK_SHIM)):
+        _check_scrape_clock(tree, path, findings)
     for finding in findings:
         if 0 < finding.line <= len(lines):
             finding.snippet = lines[finding.line - 1].strip()
@@ -346,6 +366,37 @@ def _check_wall_clock(tree, path, findings):
                 "RL002", path, node.lineno, node.col_offset,
                 f"wall-clock call {name}() in a virtual-cost module — "
                 "only the calibrated cost model may produce time here"))
+
+
+# --------------------------------------------------------------------------- #
+# RL008 — wall clock in monitoring/LLAP modules
+
+def _check_scrape_clock(tree, path, findings):
+    """RL008 — absolute wall-clock reads must go through the shim.
+
+    Samplers in ``repro/obs`` and ``repro/llap`` stamp each sample
+    with both virtual and wall time; routing the wall reads through
+    ``repro.obs.clock`` keeps a single seam to freeze in tests and
+    replay tooling.  ``time.perf_counter`` stays allowed — tracing
+    measures *durations*, which replay does not need to pin.
+    """
+    banned = {attr for _, attr in SCRAPE_CLOCK_CALLS}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name):
+            if (func.value.id, func.attr) in SCRAPE_CLOCK_CALLS:
+                name = f"{func.value.id}.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in banned:
+            name = func.id
+        if name:
+            findings.append(Finding(
+                "RL008", path, node.lineno, node.col_offset,
+                f"wall-clock call {name}() outside the scrape-clock "
+                "shim — use repro.obs.clock.wall_now_s()/monotonic_s()"))
 
 
 # --------------------------------------------------------------------------- #

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import HiveError
+from .placement import node_of
 
 
 @dataclass(frozen=True)
@@ -124,12 +125,12 @@ class LlapCache:
         """Drop every chunk resident on a dead LLAP daemon.
 
         Chunk placement follows the simulator's block-placement rule —
-        ``file_id % num_nodes`` — so a daemon death wipes exactly the
-        files hosted on that node.  Counts as eviction for the same
-        reason as :meth:`invalidate_file`.
+        :func:`repro.llap.placement.node_of` — so a daemon death wipes
+        exactly the files hosted on that node.  Counts as eviction for
+        the same reason as :meth:`invalidate_file`.
         """
         doomed = {k.file_id for k in self._entries
-                  if k.file_id % max(1, num_nodes) == node}
+                  if node_of(k.file_id, num_nodes) == node}
         dropped = 0
         for file_id in doomed:
             dropped += self.invalidate_file(file_id)
@@ -143,6 +144,22 @@ class LlapCache:
     @property
     def used_bytes(self) -> int:
         return self._used
+
+    def node_usage(self, num_nodes: int) -> dict[int, tuple[int, int]]:
+        """Per-daemon residency: ``{node: (bytes, chunks)}``.
+
+        Uses the same placement rule as :meth:`invalidate_node`, so the
+        monitor's heatmap agrees with failover behaviour by
+        construction.  ``list(dict.items())`` is atomic under the GIL,
+        so scrape threads get a consistent point-in-time snapshot
+        without a lock on the hot put/get path.
+        """
+        usage = {n: (0, 0) for n in range(max(1, num_nodes))}
+        for key, entry in list(self._entries.items()):
+            node = node_of(key.file_id, num_nodes)
+            nbytes, chunks = usage[node]
+            usage[node] = (nbytes + entry.nbytes, chunks + 1)
+        return usage
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -25,6 +25,7 @@ from ..common.vector import ColumnVector, VectorBatch
 from ..formats.orc import OrcReader, SargPredicate
 from ..fs import SimFileSystem
 from .cache import ChunkKey, LlapCache
+from .placement import node_of
 
 
 @dataclass
@@ -131,11 +132,12 @@ class LlapReaderFactory:
     def invalidate_node(self, node: int, num_nodes: int) -> int:
         """Daemon death: drop the dead node's metadata and data chunks.
 
-        Placement mirrors :meth:`LlapCache.invalidate_node`
-        (``file_id % num_nodes``).  Returns the number of chunks dropped.
+        Placement mirrors :meth:`LlapCache.invalidate_node` through the
+        shared :func:`repro.llap.placement.node_of` rule.  Returns the
+        number of chunks dropped.
         """
         self._metadata = {k: v for k, v in self._metadata.items()
-                          if k[0] % max(1, num_nodes) != node}
+                          if node_of(k[0], num_nodes) != node}
         return self.cache.invalidate_node(node, num_nodes)
 
 

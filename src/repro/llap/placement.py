@@ -1,0 +1,26 @@
+"""LLAP chunk/file placement: one rule, used everywhere.
+
+The simulator places a file's data on exactly one LLAP daemon by
+``file_id % num_nodes`` (the block-placement analogue of HDFS short-
+circuit locality: LLAP schedules fragments where the data lives,
+Section 5.1).  Cache invalidation on daemon death, the tez runner's
+node-death path and the monitor's per-node heatmap must all agree on
+this rule — a drifted copy would invalidate the wrong node's chunks or
+draw a heatmap that disagrees with failover behaviour, so the rule
+lives here and nowhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def node_of(file_id: int, num_nodes: int) -> int:
+    """The LLAP daemon hosting ``file_id``'s chunks."""
+    return file_id % max(1, num_nodes)
+
+
+def files_on_node(file_ids: Iterable[int], node: int,
+                  num_nodes: int) -> set[int]:
+    """The subset of ``file_ids`` resident on ``node``."""
+    return {f for f in file_ids if node_of(f, num_nodes) == node}

@@ -33,6 +33,9 @@ from ..errors import WorkloadManagementError
 #: percentile-trigger metric syntax: ``p<number>(<histogram name>)``
 _PERCENTILE_METRIC = re.compile(r"^p(\d+(?:\.\d+)?)\((.+)\)$")
 
+#: rate-trigger (alert rule) metric syntax: ``rate(<sampled series>)``
+_RATE_METRIC = re.compile(r"^rate\((.+)\)$")
+
 
 class TriggerAction(enum.Enum):
     MOVE = "move"
@@ -46,6 +49,9 @@ class Trigger:
     threshold: float
     action: TriggerAction
     target_pool: Optional[str] = None
+    #: trailing window (virtual seconds) for rate triggers — the
+    #: ``OVER 60s`` clause of an alert rule; ignored otherwise
+    over_s: float = 60.0
 
     @property
     def percentile(self) -> Optional[tuple[float, str]]:
@@ -54,6 +60,18 @@ class Trigger:
         if match is None:
             return None
         return float(match.group(1)), match.group(2)
+
+    @property
+    def rate_metric(self) -> Optional[str]:
+        """Sampled series name for ``rate(...)`` alert rules, else None.
+
+        ``WHEN rate(faults.injected) > N OVER 60s`` compares the
+        per-second increase of a *timeseries-sampled* counter over the
+        trailing ``over_s`` window — cluster-state alerting, evaluated
+        by the same trigger machinery as per-query thresholds.
+        """
+        match = _RATE_METRIC.match(self.metric)
+        return match.group(1) if match else None
 
 
 @dataclass
@@ -186,10 +204,13 @@ class WorkloadManager:
 
     def __init__(self, plan: Optional[ResourcePlan] = None,
                  registry=None,
-                 event_log: Optional[WmEventLog] = None):
+                 event_log: Optional[WmEventLog] = None,
+                 timeseries=None):
         self.plan = plan
         self.registry = registry
         self.event_log = event_log
+        #: repro.obs.TimeseriesStore backing rate(...) alert rules
+        self.timeseries = timeseries
         self._running: dict[str, list[float]] = {}
 
     @property
@@ -234,10 +255,24 @@ class WorkloadManager:
         heapq.heappush(self._running.setdefault(admission.pool, []),
                        finish_s)
 
+    def running_counts(self, now_s: float) -> dict[str, int]:
+        """Queries still holding a slot per pool at virtual ``now_s``.
+
+        Read by the cluster monitor's pool-usage samples; does not
+        mutate the heaps (admission pops the expired entries itself).
+        """
+        if not self.active:
+            return {}
+        return {pool: sum(1 for f in self._running.get(pool, ())
+                          if f > now_s)
+                for pool in self.plan.pools}
+
     # -- triggers ----------------------------------------------------------------- #
     def check_triggers_from_registry(self, registry,
                                      admission: QueryAdmission,
-                                     query_id: int) -> QueryAdmission:
+                                     query_id: int,
+                                     now_s: float = 0.0
+                                     ) -> QueryAdmission:
         """Evaluate triggers against the obs registry's per-query series.
 
         The runner publishes each runtime counter as
@@ -245,7 +280,10 @@ class WorkloadManager:
         back here — no private-field plumbing between runner and
         manager.  Percentile triggers (``p95(query.latency_s)``) read
         the *pool's* histogram series instead, so they see the workload
-        distribution rather than the one query at hand.
+        distribution rather than the one query at hand.  Rate triggers
+        (``rate(faults.injected) ... OVER 60s``) read the cluster
+        timeseries at virtual ``now_s`` — alert rules riding the same
+        machinery.
         """
         if not self.active or not admission.pool:
             return admission
@@ -253,10 +291,15 @@ class WorkloadManager:
         values: dict[str, float] = {}
         for trigger in pool.triggers:
             percentile = trigger.percentile
+            rate_name = trigger.rate_metric
             if percentile is not None:
                 p, histogram_name = percentile
                 value = registry.percentile(histogram_name, p,
                                             pool=admission.pool)
+            elif rate_name is not None:
+                value = (self.timeseries.rate(
+                    rate_name, trigger.over_s, now_s)
+                    if self.timeseries is not None else None)
             else:
                 value = registry.value(f"wm.query.{trigger.metric}",
                                        query=str(query_id))

@@ -23,16 +23,22 @@ The legacy stats classes remain importable from their home modules *and*
 from here, so code written against the fragments keeps working.
 """
 
+from .live import LiveQuery, LiveQueryRegistry
 from .profile import ExecutionProfile
 from .query_log import QueryLog, QueryLogEntry
-from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .registry import (METRIC_HELP, Counter, Gauge, Histogram,
+                       MetricsRegistry)
 from .service import Observability
+from .timeseries import Sample, TimeseriesStore
 from .tracing import QueryTrace, Span
 
 __all__ = [
-    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "METRIC_HELP",
     "QueryTrace", "Span", "ExecutionProfile",
     "QueryLog", "QueryLogEntry", "Observability",
+    "TimeseriesStore", "Sample", "LiveQuery", "LiveQueryRegistry",
+    "ClusterMonitor", "MonitorHttpServer", "render_prometheus",
+    "parse_prometheus_text",
     "SysTableHandler", "render_explain_analyze",
     # adapted legacy stats objects (lazy re-exports)
     "CacheStats", "ResultsCacheStats", "QueryMetrics", "VertexMetrics",
@@ -47,6 +53,11 @@ _LAZY = {
     "VertexMetrics": ("repro.runtime.tez", "VertexMetrics"),
     "ScanMetrics": ("repro.runtime.scan", "ScanMetrics"),
     "SysTableHandler": ("repro.obs.systables", "SysTableHandler"),
+    "ClusterMonitor": ("repro.obs.cluster", "ClusterMonitor"),
+    "MonitorHttpServer": ("repro.obs.exposition", "MonitorHttpServer"),
+    "render_prometheus": ("repro.obs.exposition", "render_prometheus"),
+    "parse_prometheus_text": ("repro.obs.promparse",
+                              "parse_prometheus_text"),
     "render_explain_analyze": ("repro.obs.explain_analyze",
                                "render_explain_analyze"),
 }

@@ -1,0 +1,26 @@
+"""The designated scrape-clock shim (reprolint RL008).
+
+Query latency in this system is *virtual* — the cost model produces it
+and the transaction manager's clock carries it.  The only legitimate
+wall-clock consumers inside ``repro.obs``/``repro.llap`` are the
+exposition layer (Prometheus scrape timestamps, ``/healthz`` uptime)
+and the monitor's scrape-time samples, and they must be auditable as
+such.  RL008 bans ``time.time()``/``time.monotonic()`` in those
+packages *except* in this module, so any wall-clock leak into
+virtual-time accounting fails lint instead of silently skewing the
+calibrated model.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+
+def wall_now_s() -> float:
+    """Wall-clock epoch seconds, for scrape timestamps only."""
+    return _time.time()
+
+
+def monotonic_s() -> float:
+    """Monotonic seconds, for uptime / scrape-interval bookkeeping."""
+    return _time.monotonic()

@@ -1,0 +1,237 @@
+"""Cluster-state monitor: per-node LLAP daemon view + samplers.
+
+The paper's LLAP monitor shows operators each daemon's executors and
+cache; HS2's web UI shows warehouse-wide state (open transactions,
+pool usage).  This module reproduces both over the simulator:
+
+* **Per-node callback gauges** — ``llap.cache.used_bytes{node=...}``,
+  executor occupancy, queue depth — registered into the metrics
+  registry at bind time, so ``/metrics`` and ``sys.metrics`` expose a
+  daemon heatmap that is always current.  Placement comes from
+  :func:`repro.llap.placement.node_of`, the same rule failover uses.
+* **Samplers** — :meth:`maybe_sample` runs on the transaction
+  manager's *virtual* clock (ticked per statement), appending the
+  per-node gauges, warehouse gauges (open txns, lock waiters, pool
+  usage) and cluster counters (faults, failed attempts, failover) to
+  the :class:`~repro.obs.timeseries.TimeseriesStore` every
+  ``interval_s`` virtual seconds; :meth:`scrape_sample` does the same
+  at wall-clock scrape time (``/metrics`` GETs), stamped ``scrape``.
+
+Executor occupancy is modeled, not measured: in-flight queries'
+outstanding tasks (from the live registry) spread round-robin over the
+live daemons — consistent with how the Tez cost model spreads task
+slots.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..llap.placement import node_of
+from .clock import wall_now_s
+
+#: registry counters mirrored into the timeseries on every sample
+#: (container churn, fault pressure, throughput)
+SAMPLED_COUNTERS = ("faults.injected", "runtime.failed_task_attempts",
+                    "runtime.failover_s", "runtime.queries",
+                    "queries.total")
+
+
+class ClusterMonitor:
+    """Heatmap + sampler façade bound to one server's components."""
+
+    def __init__(self, registry, timeseries, live_queries):
+        self.registry = registry
+        self.timeseries = timeseries
+        self.live_queries = live_queries
+        self._lock = threading.Lock()
+        self._last_sample_s: Optional[float] = None
+        #: virtual seconds between interval samples (<= 0 disables)
+        self.interval_s = 5.0
+        # bound by Observability.bind_cluster
+        self.llap_cache = None
+        self.hms = None
+        self.workload_manager = None
+        self.num_nodes = 1
+        self.executors_per_node = 1
+        self.cache_capacity_bytes = 0
+
+    # -- wiring --------------------------------------------------------- #
+    def bind(self, llap_cache, hms, workload_manager, num_nodes: int,
+             executors_per_node: int, cache_capacity_bytes: int,
+             interval_s: float) -> None:
+        with self._lock:
+            self.llap_cache = llap_cache
+            self.hms = hms
+            self.workload_manager = workload_manager
+            self.num_nodes = max(1, num_nodes)
+            self.executors_per_node = max(1, executors_per_node)
+            self.cache_capacity_bytes = cache_capacity_bytes
+            self.interval_s = interval_s
+        self._register_gauges()
+
+    def set_interval(self, interval_s: float) -> None:
+        """Runtime knob: ``SET hive.monitor.sample.interval.s = ...``"""
+        with self._lock:
+            self.interval_s = float(interval_s)
+
+    def _register_gauges(self) -> None:
+        """Per-node + warehouse callback gauges (idempotent: callbacks
+        overwrite by (name, labels))."""
+        reg = self.registry
+        for node in range(self.num_nodes):
+            reg.register_callback(
+                "llap.cache.used_bytes",
+                (lambda n=node: self._node_cache(n)[0]), node=node)
+            reg.register_callback(
+                "llap.cache.chunks",
+                (lambda n=node: self._node_cache(n)[1]), node=node)
+            reg.register_callback(
+                "llap.cache.occupancy",
+                (lambda n=node: self._node_occupancy(n)), node=node)
+            reg.register_callback(
+                "llap.executors.busy",
+                (lambda n=node: self._executors(n)[0]), node=node)
+            reg.register_callback(
+                "llap.executors.total",
+                (lambda: self.executors_per_node), node=node)
+            reg.register_callback(
+                "llap.queue_depth",
+                (lambda n=node: self._executors(n)[1]), node=node)
+        reg.register_callback("cluster.nodes_total",
+                              lambda: self.num_nodes)
+        reg.register_callback("txn.open", self._open_txns)
+        reg.register_callback("txn.min_open", self._min_open_txn)
+        reg.register_callback("locks.held", self._locks_held)
+        reg.register_callback("locks.waiters", self._lock_waiters)
+
+    # -- per-node state ------------------------------------------------- #
+    def _node_cache(self, node: int) -> tuple[int, int]:
+        cache = self.llap_cache
+        if cache is None:
+            return (0, 0)
+        return cache.node_usage(self.num_nodes).get(node, (0, 0))
+
+    def _node_occupancy(self, node: int) -> float:
+        per_node = self.cache_capacity_bytes / self.num_nodes
+        if per_node <= 0:
+            return 0.0
+        return min(1.0, self._node_cache(node)[0] / per_node)
+
+    def _outstanding_tasks(self) -> int:
+        """Tasks not yet accounted across all in-flight queries."""
+        total = 0
+        for row in self.live_queries.rows():
+            # as_row layout: tasks_total at 10, tasks_done at 11
+            total += max(0, int(row[10]) - int(row[11]))
+        return total
+
+    def _executors(self, node: int) -> tuple[int, int]:
+        """Modeled ``(busy_slots, queue_depth)`` of one daemon."""
+        outstanding = self._outstanding_tasks()
+        share = outstanding // self.num_nodes
+        if node < outstanding % self.num_nodes:
+            share += 1
+        busy = min(self.executors_per_node, share)
+        return busy, max(0, share - busy)
+
+    # -- warehouse state ------------------------------------------------ #
+    def _open_txns(self) -> int:
+        return (self.hms.txn_manager.open_txn_count()
+                if self.hms is not None else 0)
+
+    def _min_open_txn(self) -> int:
+        if self.hms is None:
+            return 0
+        return self.hms.txn_manager.min_open_txn() or 0
+
+    def _locks_held(self) -> int:
+        return (len(self.hms.lock_manager.locks_held())
+                if self.hms is not None else 0)
+
+    def _lock_waiters(self) -> int:
+        return (len(self.hms.lock_manager.waiting())
+                if self.hms is not None else 0)
+
+    def virtual_now_s(self) -> float:
+        """The warehouse virtual clock (max of all sessions' now_s)."""
+        if self.hms is None:
+            return 0.0
+        return self.hms.txn_manager.advance_clock(0.0)
+
+    # -- sampling ------------------------------------------------------- #
+    def maybe_sample(self, now_s: float) -> bool:
+        """Interval sampler, driven by the virtual clock tick.
+
+        Samples when the clock advanced ``interval_s`` past the last
+        sample (and on the very first tick), so replayed workloads
+        produce identical timelines.
+        """
+        with self._lock:
+            if self.interval_s <= 0 or self.llap_cache is None:
+                return False
+            last = self._last_sample_s
+            if last is not None and now_s < last + self.interval_s:
+                return False
+            self._last_sample_s = now_s
+        self.sample(now_s, source="interval")
+        return True
+
+    def scrape_sample(self) -> None:
+        """Wall-clock-driven sample, taken on every ``/metrics`` GET."""
+        if self.llap_cache is None:
+            return
+        self.sample(self.virtual_now_s(), source="scrape")
+
+    def sample(self, now_s: float, source: str = "interval") -> None:
+        ts = self.timeseries
+        wall = wall_now_s()
+        for node in range(self.num_nodes):
+            nbytes, chunks = self._node_cache(node)
+            busy, queued = self._executors(node)
+            label = str(node)
+            ts.append("llap.cache.used_bytes", nbytes, now_s, wall,
+                      source, node=label)
+            ts.append("llap.cache.chunks", chunks, now_s, wall,
+                      source, node=label)
+            ts.append("llap.executors.busy", busy, now_s, wall,
+                      source, node=label)
+            ts.append("llap.queue_depth", queued, now_s, wall,
+                      source, node=label)
+        ts.append("txn.open", self._open_txns(), now_s, wall, source)
+        ts.append("locks.held", self._locks_held(), now_s, wall, source)
+        ts.append("locks.waiters", self._lock_waiters(), now_s, wall,
+                  source)
+        wm = self.workload_manager
+        if wm is not None:
+            for pool, running in sorted(
+                    wm.running_counts(now_s).items()):
+                ts.append("wm.pool.running", running, now_s, wall,
+                          source, pool=pool)
+        for name in SAMPLED_COUNTERS:
+            ts.append(name, self.registry.total(name), now_s, wall,
+                      source)
+
+    # -- sys-table rows -------------------------------------------------- #
+    def cluster_node_rows(self) -> list[tuple]:
+        """``sys.cluster_nodes``: membership + executor occupancy."""
+        rows = []
+        for node in range(self.num_nodes):
+            busy, queued = self._executors(node)
+            rows.append((node, "alive", self.executors_per_node, busy,
+                         queued))
+        return rows
+
+    def llap_daemon_rows(self) -> list[tuple]:
+        """``sys.llap_daemons``: per-daemon cache heatmap."""
+        rows = []
+        for node in range(self.num_nodes):
+            nbytes, chunks = self._node_cache(node)
+            rows.append((node, nbytes, chunks,
+                         self._node_occupancy(node)))
+        return rows
+
+    def node_of(self, file_id: int) -> int:
+        """Placement rule, exposed for the heatmap's consumers."""
+        return node_of(file_id, self.num_nodes)

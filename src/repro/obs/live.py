@@ -1,0 +1,229 @@
+"""Live query registry: what is running *right now*.
+
+``sys.query_log`` is a flight recorder — rows appear when statements
+finish.  This registry is the control tower: every statement registers
+at admission, publishes its phase (parse → analyze → optimize → queued
+→ running vertex k/n), completed-vs-total task counts and an ETA while
+it runs, and disappears when it completes.  The rows back
+``sys.live_queries`` and the ``/ui`` dashboard.
+
+Registered queries are also **killable**: ``KILL QUERY <id>`` sets a
+kill flag here, and the Tez runner checks it between vertices
+(:meth:`checkpoint`), raising :class:`~repro.errors.QueryKilledError` —
+a subclass of ``WorkloadManagementError``, so the kill travels the
+exact path a WM KILL trigger uses (Section 5.2 guardrails).  Each kill
+is recorded in the WM event log under the synthetic trigger
+``kill_query``, making operator kills auditable next to trigger kills
+in ``sys.wm_events``.
+
+The ETA comes from the profiler's duration model: the p50 of the
+query's pool latency histogram (``query.latency_s{pool=...}``) minus
+virtual time elapsed, falling back to linear extrapolation from the
+progress fraction when the pool has no history yet.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import QueryKilledError
+
+#: phases a live query moves through, in order
+PHASES = ("parse", "analyze", "optimize", "queued", "running",
+          "finishing")
+
+
+@dataclass
+class LiveQuery:
+    """One in-flight statement (a row of ``sys.live_queries``)."""
+
+    query_id: int
+    statement: str
+    database: str = "default"
+    application: Optional[str] = None
+    phase: str = "parse"
+    pool: str = ""
+    started_s: float = 0.0       # session virtual clock at registration
+    elapsed_s: float = 0.0       # modeled virtual time spent so far
+    vertices_total: int = 0
+    vertices_done: int = 0
+    tasks_total: int = 0
+    tasks_done: int = 0
+    progress: float = 0.0        # [0, 1] fraction of vertices completed
+    eta_s: float = 0.0
+    kill_requested: bool = False
+    kill_reason: str = ""
+
+    def as_row(self) -> tuple:
+        return (self.query_id, self.statement, self.database,
+                self.application, self.phase, self.pool,
+                self.started_s, self.elapsed_s,
+                self.vertices_total, self.vertices_done,
+                self.tasks_total, self.tasks_done,
+                self.progress, self.eta_s, self.kill_requested)
+
+
+class LiveQueryRegistry:
+    """Thread-safe registry of in-flight queries, keyed by query id.
+
+    Lock ordering: this registry's ``_lock`` is a *leaf* — nothing is
+    called while holding it (checkpoint hooks and WM-event recording
+    run outside), so scrape threads reading :meth:`rows` can never
+    deadlock against a running query publishing progress.
+    """
+
+    def __init__(self, registry=None, wm_events=None):
+        self._lock = threading.Lock()
+        self._queries: dict[int, LiveQuery] = {}
+        #: obs MetricsRegistry (kill counters) — bound by Observability
+        self.registry = registry
+        #: WmEventLog — operator kills land next to trigger kills
+        self.wm_events = wm_events
+        #: test-visible checkpoint hooks: fn(LiveQuery) called at every
+        #: runner checkpoint, outside the lock, reentrancy-guarded
+        self._hooks: list[Callable] = []
+        self._in_hook = threading.local()
+
+    # -- lifecycle ------------------------------------------------------ #
+    def register(self, query_id: int, statement: str,
+                 database: str = "default",
+                 application: Optional[str] = None,
+                 started_s: float = 0.0) -> LiveQuery:
+        entry = LiveQuery(query_id=query_id, statement=statement,
+                          database=database, application=application,
+                          started_s=started_s)
+        with self._lock:
+            self._queries[query_id] = entry
+        return entry
+
+    def finish(self, query_id: int, status: str = "ok") -> None:
+        """Deregister; killed queries leave a wm-event audit row."""
+        with self._lock:
+            entry = self._queries.pop(query_id, None)
+        if entry is None or status != "killed":
+            return
+        if self.registry is not None:
+            self.registry.counter("monitor.kills").inc()
+        if self.wm_events is not None:
+            self.wm_events.record(
+                query_id=query_id, pool=entry.pool or "unmanaged",
+                trigger=_kill_query_trigger(), value=entry.elapsed_s)
+
+    # -- progress publishing (driver + runner) -------------------------- #
+    def update(self, query_id: int, **fields) -> None:
+        with self._lock:
+            entry = self._queries.get(query_id)
+            if entry is None:
+                return
+            for key, value in fields.items():
+                setattr(entry, key, value)
+
+    def vertex_progress(self, query_id: int, done: int, total: int,
+                        tasks_done: int, tasks_total: int,
+                        elapsed_s: float, pool_p50: Optional[float]
+                        ) -> None:
+        """Publish vertex k-of-n progress plus the modeled ETA."""
+        progress = done / total if total else 0.0
+        eta = _estimate_eta(elapsed_s, progress, pool_p50)
+        self.update(query_id,
+                    phase=(f"running vertex {done}/{total}"
+                           if done < total else "finishing"),
+                    vertices_done=done, vertices_total=total,
+                    tasks_done=tasks_done, tasks_total=tasks_total,
+                    elapsed_s=elapsed_s, progress=progress, eta_s=eta)
+
+    # -- kill path ------------------------------------------------------ #
+    def request_kill(self, query_id: int,
+                     reason: str = "KILL QUERY") -> bool:
+        """Flag a live query for termination; False if not live."""
+        with self._lock:
+            entry = self._queries.get(query_id)
+            if entry is None:
+                return False
+            entry.kill_requested = True
+            entry.kill_reason = reason
+        if self.registry is not None:
+            self.registry.counter("monitor.kill_requests").inc()
+        return True
+
+    def checkpoint(self, query_id: int) -> None:
+        """Runner cancellation point (between DAG vertices).
+
+        Runs the registered hooks first (tests use them to issue
+        ``KILL QUERY``/scrapes mid-flight), then raises if this query
+        was flagged.  Hooks never re-enter: a hook that executes SQL
+        hits this checkpoint again on its own query and must not
+        cascade.
+        """
+        if query_id == 0:
+            return
+        with self._lock:
+            hooks = list(self._hooks)
+        guard = self._in_hook
+        if hooks and not getattr(guard, "active", False):
+            with self._lock:
+                entry = self._queries.get(query_id)
+            if entry is not None:
+                guard.active = True
+                try:
+                    for hook in hooks:
+                        hook(entry)
+                finally:
+                    guard.active = False
+        with self._lock:
+            entry = self._queries.get(query_id)
+            killed = entry is not None and entry.kill_requested
+            reason = entry.kill_reason if killed else ""
+        if killed:
+            raise QueryKilledError(
+                f"query {query_id} killed by {reason or 'operator'}",
+                query_id=query_id, reason=reason)
+
+    def add_checkpoint_hook(self, fn: Callable) -> None:
+        with self._lock:
+            self._hooks.append(fn)
+
+    def remove_checkpoint_hook(self, fn: Callable) -> None:
+        with self._lock:
+            if fn in self._hooks:
+                self._hooks.remove(fn)
+
+    # -- reads ---------------------------------------------------------- #
+    def get(self, query_id: int) -> Optional[LiveQuery]:
+        with self._lock:
+            return self._queries.get(query_id)
+
+    def rows(self) -> list[tuple]:
+        """Snapshot for ``sys.live_queries``, ordered by query id."""
+        with self._lock:
+            entries = sorted(self._queries.values(),
+                             key=lambda e: e.query_id)
+            return [e.as_row() for e in entries]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queries)
+
+
+def _estimate_eta(elapsed_s: float, progress: float,
+                  pool_p50: Optional[float]) -> float:
+    """Remaining virtual seconds from the duration model.
+
+    Prefer the pool's p50 latency (the profiler's duration model); when
+    the distribution is empty or already overrun, extrapolate linearly
+    from the progress fraction.
+    """
+    if pool_p50 is not None and pool_p50 > elapsed_s:
+        return pool_p50 - elapsed_s
+    if 0.0 < progress < 1.0:
+        return elapsed_s * (1.0 - progress) / progress
+    return 0.0
+
+
+def _kill_query_trigger():
+    """The synthetic WM trigger that audits ``KILL QUERY`` firings."""
+    from ..llap.workload import Trigger, TriggerAction
+    return Trigger(name="kill_query", metric="live.elapsed_s",
+                   threshold=0.0, action=TriggerAction.KILL)

@@ -1,0 +1,173 @@
+"""Strict parser for the Prometheus text exposition format (0.0.4).
+
+The inverse of :mod:`repro.obs.exposition`: it turns a ``/metrics``
+payload back into metric families, *validating* the grammar as it goes.
+Tests and the CI smoke job use it so "the endpoint works" means "a real
+Prometheus scraper would accept this payload", not "some substring was
+present".
+
+Checks enforced:
+
+- ``# HELP``/``# TYPE`` lines are well-formed and precede samples of
+  their family; TYPE is one of the four Prometheus kinds
+- sample lines match ``name{labels} value`` with balanced quotes and
+  ``\\``/``"``/newline escapes in label values
+- sample values parse as floats (``+Inf``/``-Inf``/``NaN`` allowed)
+- histogram families carry ``_bucket``/``_sum``/``_count`` samples and
+  bucket counts are monotone non-decreasing, ending at ``+Inf``
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+#: legal values of a ``# TYPE`` line
+PROM_KINDS = ("counter", "gauge", "histogram", "summary", "untyped")
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$")
+_LABEL_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)='
+    r'"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)')
+
+
+@dataclass
+class Sample:
+    """One exposition line: ``name{labels} value``."""
+
+    name: str
+    labels: dict[str, str]
+    value: float
+
+
+@dataclass
+class Family:
+    """A metric family: HELP/TYPE header plus its samples."""
+
+    name: str
+    help: str = ""
+    type: str = "untyped"
+    samples: list[Sample] = field(default_factory=list)
+
+
+def _unescape(value: str) -> str:
+    return (value.replace("\\\\", "\x00").replace('\\"', '"')
+            .replace("\\n", "\n").replace("\x00", "\\"))
+
+
+def _parse_value(text: str, lineno: int) -> float:
+    lowered = text.lower()
+    if lowered in ("+inf", "inf"):
+        return math.inf
+    if lowered == "-inf":
+        return -math.inf
+    if lowered == "nan":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"line {lineno}: bad sample value {text!r}")
+
+
+def _parse_labels(text: str, lineno: int) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(text):
+        match = _LABEL_RE.match(text, pos)
+        if match is None:
+            raise ValueError(f"line {lineno}: bad label syntax in "
+                             f"{{{text}}}")
+        labels[match.group("key")] = _unescape(match.group("value"))
+        pos = match.end()
+    return labels
+
+
+def _family_of(sample_name: str) -> str:
+    """Histogram samples report under the family's base name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[:-len(suffix)]
+    return sample_name
+
+
+def parse_prometheus_text(text: str) -> dict[str, Family]:
+    """Parse and validate a ``/metrics`` payload.
+
+    Returns ``{family name: Family}``; raises :class:`ValueError` with
+    the offending line number on any grammar violation.
+    """
+    families: dict[str, Family] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(None, 1)
+            if not parts or not _NAME_RE.match(parts[0]):
+                raise ValueError(f"line {lineno}: malformed HELP line")
+            family = families.setdefault(parts[0], Family(parts[0]))
+            family.help = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split()
+            if len(parts) != 2 or not _NAME_RE.match(parts[0]):
+                raise ValueError(f"line {lineno}: malformed TYPE line")
+            if parts[1] not in PROM_KINDS:
+                raise ValueError(
+                    f"line {lineno}: unknown metric type {parts[1]!r}")
+            family = families.setdefault(parts[0], Family(parts[0]))
+            family.type = parts[1]
+            continue
+        if line.startswith("#"):
+            continue                              # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", lineno)
+        value = _parse_value(match.group("value"), lineno)
+        base = _family_of(name)
+        family = families.get(base) or families.get(name)
+        if family is None:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} has no preceding "
+                "HELP/TYPE header")
+        family.samples.append(Sample(name, labels, value))
+    for family in families.values():
+        if family.type == "histogram":
+            _validate_histogram(family)
+    return families
+
+
+def _validate_histogram(family: Family) -> None:
+    """Bucket counts must be cumulative and end at ``+Inf``."""
+    by_series: dict[tuple, list[tuple[float, float]]] = {}
+    for sample in family.samples:
+        if not sample.name.endswith("_bucket"):
+            continue
+        key = tuple(sorted((k, v) for k, v in sample.labels.items()
+                           if k != "le"))
+        le = sample.labels.get("le", "")
+        bound = math.inf if le == "+Inf" else float(le)
+        by_series.setdefault(key, []).append((bound, sample.value))
+    for key, buckets in by_series.items():
+        buckets.sort(key=lambda b: b[0])
+        if not buckets or buckets[-1][0] != math.inf:
+            raise ValueError(
+                f"histogram {family.name}{dict(key)} lacks an "
+                "le=\"+Inf\" bucket")
+        counts = [count for _, count in buckets]
+        if any(b > a for b, a in zip(counts, counts[1:])):
+            raise ValueError(
+                f"histogram {family.name}{dict(key)} bucket counts "
+                "are not cumulative")
+
+
+def total_series(families: dict[str, Family]) -> int:
+    """Number of individual sample lines across every family."""
+    return sum(len(f.samples) for f in families.values())

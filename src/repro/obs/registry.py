@@ -27,6 +27,75 @@ LabelKey = tuple[tuple[str, str], ...]
 #: default histogram boundaries: ~1 ms to ~17 min of (virtual) seconds
 DEFAULT_BUCKETS = tuple(0.001 * (4 ** i) for i in range(11))
 
+#: HELP text for every metric the warehouse registers.  A registry
+#: created with ``require_help=True`` (the server's) rejects any
+#: registration that neither passes ``help=`` nor appears here, so a
+#: new instrumentation site cannot ship an undocumented series —
+#: ``sys.metrics`` and the Prometheus ``/metrics`` exposition render
+#: these as HELP lines.
+METRIC_HELP: dict[str, str] = {
+    "queries.total": "statements executed, by operation and status",
+    "queries.results_cache_hits":
+        "statements answered from the query results cache",
+    "query.latency_s":
+        "end-to-end virtual latency of successful queries, per pool",
+    "runtime.queries": "queries executed by the Tez runner",
+    "runtime.rows_produced": "rows returned by query root operators",
+    "runtime.disk_bytes": "bytes read from simulated disk",
+    "runtime.cache_bytes": "bytes served from the LLAP cache",
+    "runtime.startup_s": "virtual seconds of container/fragment startup",
+    "runtime.io_s": "virtual seconds of scan IO",
+    "runtime.cpu_s": "virtual seconds of operator CPU",
+    "runtime.shuffle_s": "virtual seconds of network shuffle",
+    "runtime.external_s": "virtual seconds in external (federated) scans",
+    "runtime.queue_s": "virtual seconds queued for a WM pool slot",
+    "runtime.retry_s": "virtual seconds lost to injected task retries",
+    "runtime.failover_s":
+        "virtual seconds re-charged for LLAP daemon failover",
+    "runtime.failed_task_attempts": "injected task attempts that failed",
+    "runtime.speculative_tasks": "backup attempts launched by speculation",
+    "scan.rows": "raw rows decoded per table scan",
+    "scan.disk_bytes": "scan bytes read from disk, per table",
+    "scan.cache_bytes": "scan bytes served from LLAP cache, per table",
+    "scan.row_groups_pruned": "row groups skipped by sargable predicates",
+    "scan.partitions_pruned": "partitions eliminated at compile time",
+    "scan.semijoin_filtered_rows":
+        "rows dropped by dynamic semijoin bloom filters",
+    "scan.io_retries": "injected IO errors recovered by re-reads",
+    "federation.calls": "pushdown calls issued to external handlers",
+    "federation.rows": "rows returned by external handlers",
+    "federation.external_s": "virtual seconds spent in external systems",
+    "compaction.runs": "compaction jobs executed, by type",
+    "compaction.merged_rows": "rows merged by compaction jobs",
+    "wm.pool.admissions": "queries admitted per WM pool",
+    "wm.pool.queue_delay_s": "admission queue delay distribution per pool",
+    "wm.pool.running": "queries currently holding a pool slot",
+    "wm.trigger.kills": "queries killed by WM triggers, per pool",
+    "wm.trigger.moves": "queries moved between pools by WM triggers",
+    "wm.query.total_runtime":
+        "per-query scratch gauge read by WM triggers (virtual seconds)",
+    "wm.query.elapsed":
+        "per-query scratch gauge read by WM triggers (virtual seconds)",
+    "wm.query.rows_produced":
+        "per-query scratch gauge read by WM triggers (rows)",
+    "faults.injected": "faults injected, by site",
+    "faults.delay_s": "virtual seconds of injected delay, by site",
+    "monitor.kill_requests": "KILL QUERY statements accepted",
+    "monitor.kills": "queries terminated via KILL QUERY",
+    "llap.cache.used_bytes": "LLAP cache bytes resident per daemon",
+    "llap.cache.chunks": "LLAP cache chunks resident per daemon",
+    "llap.cache.occupancy":
+        "fraction of a daemon's cache capacity in use",
+    "llap.executors.busy": "executor slots busy per daemon (modeled)",
+    "llap.executors.total": "executor slots per daemon",
+    "llap.queue_depth": "fragments waiting for an executor per daemon",
+    "cluster.nodes_total": "configured LLAP daemon count",
+    "txn.open": "transactions currently open",
+    "txn.min_open": "oldest open transaction id (0 when none)",
+    "locks.held": "locks currently held in the lock manager",
+    "locks.waiters": "lock requests currently waiting",
+}
+
 
 def _label_key(labels: dict) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
@@ -118,6 +187,19 @@ class Histogram:
                     return bound
             return self.max if self.max is not None else self.buckets[-1]
 
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs, ending
+        with the ``+Inf`` bucket (== total count)."""
+        with self._lock:
+            counts = list(self._counts)
+        out: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, count in zip(self.buckets, counts):
+            cumulative += count
+            out.append((bound, cumulative))
+        out.append((float("inf"), cumulative + counts[-1]))
+        return out
+
     def to_dict(self) -> dict:
         return {"count": self.count, "sum": self.sum,
                 "min": self.min, "max": self.max, "mean": self.mean,
@@ -127,43 +209,61 @@ class Histogram:
 class MetricsRegistry:
     """Labeled metric series, one namespace per server."""
 
-    def __init__(self):
+    def __init__(self, require_help: bool = False):
         self._lock = threading.RLock()
         self._kinds: dict[str, str] = {}
+        self._help: dict[str, str] = {}
         self._series: dict[str, dict[LabelKey, object]] = {}
         self._callbacks: dict[str, dict[LabelKey, Callable[[], float]]] \
             = {}
+        #: reject registrations with neither ``help=`` nor a METRIC_HELP
+        #: catalog entry (the server registry runs in this mode)
+        self.require_help = require_help
 
     # -- instrument accessors ------------------------------------------- #
-    def counter(self, name: str, **labels) -> Counter:
-        return self._get(name, "counter", Counter, labels)
+    def counter(self, name: str, *, help: str = "",
+                **labels) -> Counter:
+        return self._get(name, "counter", Counter, labels, help)
 
-    def gauge(self, name: str, **labels) -> Gauge:
-        return self._get(name, "gauge", Gauge, labels)
+    def gauge(self, name: str, *, help: str = "", **labels) -> Gauge:
+        return self._get(name, "gauge", Gauge, labels, help)
 
     def histogram(self, name: str,
                   buckets: Sequence[float] = DEFAULT_BUCKETS,
-                  **labels) -> Histogram:
+                  *, help: str = "", **labels) -> Histogram:
         return self._get(name, "histogram",
-                         lambda: Histogram(buckets), labels)
+                         lambda: Histogram(buckets), labels, help)
 
     def register_callback(self, name: str, fn: Callable[[], float],
-                          **labels) -> None:
+                          *, help: str = "", **labels) -> None:
         """A gauge whose value is computed at read time."""
         with self._lock:
             self._check_kind(name, "callback")
+            self._record_help(name, help)
             self._callbacks.setdefault(name, {})[_label_key(labels)] = fn
 
-    def _get(self, name, kind, factory, labels):
+    def _get(self, name, kind, factory, labels, help_text=""):
         key = _label_key(labels)
         with self._lock:
             self._check_kind(name, kind)
+            self._record_help(name, help_text)
             series = self._series.setdefault(name, {})
             metric = series.get(key)
             if metric is None:
                 metric = factory()
                 series[key] = metric
             return metric
+
+    def _record_help(self, name: str, help_text: str) -> None:
+        # always called with self._lock (an RLock) held by the accessor
+        if self._help.get(name):
+            return
+        resolved = help_text or METRIC_HELP.get(name, "")
+        if not resolved and self.require_help:
+            raise HiveError(
+                f"metric {name!r} registered without help text: pass "
+                "help=... or add it to the METRIC_HELP catalog")
+        self._help[name] = resolved  # reprolint: disable=RL001
 
     def _check_kind(self, name: str, kind: str) -> None:
         existing = self._kinds.setdefault(name, kind)
@@ -220,6 +320,16 @@ class MetricsRegistry:
         with self._lock:
             return sorted(set(self._series) | set(self._callbacks))
 
+    def describe(self, name: str) -> str:
+        """HELP text recorded for a metric name ('' when absent)."""
+        with self._lock:
+            return self._help.get(name, "")
+
+    def kind_of(self, name: str) -> str:
+        """Registered kind: counter | gauge | histogram | callback."""
+        with self._lock:
+            return self._kinds.get(name, "")
+
     def drop(self, name: str, **labels) -> None:
         """Remove one series (e.g. a per-query gauge after evaluation)."""
         key = _label_key(labels)
@@ -240,9 +350,13 @@ class MetricsRegistry:
             rows = out.setdefault(name, [])
             for key, metric in sorted(series.items()):
                 entry = {"labels": dict(key),
-                         "kind": self._kinds.get(name, "?")}
+                         "kind": self._kinds.get(name, "?"),
+                         "help": self.describe(name)}
                 if isinstance(metric, Histogram):
                     entry.update(metric.to_dict())
+                    entry["buckets"] = [
+                        [bound, count] for bound, count
+                        in metric.cumulative_buckets()]
                 else:
                     entry["value"] = metric.value
                 rows.append(entry)
@@ -250,6 +364,7 @@ class MetricsRegistry:
             rows = out.setdefault(name, [])
             for key, fn in sorted(series.items()):
                 rows.append({"labels": dict(key), "kind": "gauge",
+                             "help": self.describe(name),
                              "value": float(fn())})
         return out
 

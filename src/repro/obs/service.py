@@ -22,8 +22,11 @@ from collections import deque
 from typing import Optional
 
 from ..llap.workload import WmEventLog
+from .cluster import ClusterMonitor
+from .live import LiveQueryRegistry
 from .query_log import QueryLog, QueryLogEntry, QueryLogOverflow
 from .registry import MetricsRegistry
+from .timeseries import TimeseriesStore
 from .tracing import QueryTrace
 
 
@@ -32,11 +35,18 @@ class Observability:
 
     def __init__(self, log_capacity: int = 1000,
                  trace_capacity: int = 64,
-                 overflow_path: Optional[str] = None):
-        self.registry = MetricsRegistry()
+                 overflow_path: Optional[str] = None,
+                 timeseries_capacity: int = 512):
+        # the server registry refuses undocumented metric names
+        self.registry = MetricsRegistry(require_help=True)
         self.query_log = QueryLog(
             log_capacity, overflow=QueryLogOverflow(overflow_path))
         self.wm_events = WmEventLog()
+        self.timeseries = TimeseriesStore(capacity=timeseries_capacity)
+        self.live_queries = LiveQueryRegistry(
+            registry=self.registry, wm_events=self.wm_events)
+        self.cluster = ClusterMonitor(self.registry, self.timeseries,
+                                      self.live_queries)
         self.traces: deque[QueryTrace] = deque(maxlen=trace_capacity)
         self._query_ids = itertools.count(1)
         self._lock = threading.Lock()
@@ -45,6 +55,7 @@ class Observability:
         self.workload_manager = None
         self.faults = None
         self._caches: list[tuple[str, object]] = []
+        self.http_server = None
         from .systables import SysTableHandler
         self.sys_handler = SysTableHandler(self)
         self._sys_ready = False
@@ -77,14 +88,56 @@ class Observability:
             self.registry.register_callback(
                 f"cache.{metric}",
                 (lambda s=stats, m=metric: getattr(s, m)),
+                help=f"live '{metric}' stat of a cache component",
                 component=component)
         for metric, fn in (extra or {}).items():
             self.registry.register_callback(
-                f"cache.{metric}", fn, component=component)
+                f"cache.{metric}", fn,
+                help=f"live '{metric}' stat of a cache component",
+                component=component)
+
+    def bind_cluster(self, llap_cache, hms, workload_manager, *,
+                     num_nodes: int, executors_per_node: int,
+                     cache_capacity_bytes: int,
+                     interval_s: float) -> None:
+        """Wire the cluster monitor to the warehouse components."""
+        self.cluster.bind(llap_cache, hms, workload_manager,
+                          num_nodes=num_nodes,
+                          executors_per_node=executors_per_node,
+                          cache_capacity_bytes=cache_capacity_bytes,
+                          interval_s=interval_s)
 
     def cache_components(self) -> list[tuple[str, object]]:
         with self._lock:
             return list(self._caches)
+
+    # -- monitor -------------------------------------------------------- #
+    def monitor_tick(self, now_s: float) -> None:
+        """Virtual-clock tick from the driver; interval sampling."""
+        self.cluster.maybe_sample(now_s)
+
+    def scrape(self) -> None:
+        """Scrape-time sample, taken on every ``/metrics`` GET."""
+        self.cluster.scrape_sample()
+
+    def start_http(self, host: str = "127.0.0.1",
+                   port: int = 0):
+        """Start the monitor endpoint; returns the running server."""
+        with self._lock:
+            if self.http_server is None:
+                from .exposition import MonitorHttpServer
+                self.http_server = MonitorHttpServer(
+                    self, host=host, port=port).start()
+            return self.http_server
+
+    def stop_http(self) -> None:
+        with self._lock:
+            server = self.http_server
+            self.http_server = None
+        if server is not None:
+            # join outside the lock: handler threads may still be in a
+            # scrape that reads this facade
+            server.stop()
 
     def ensure_sys_tables(self, hms=None) -> None:
         """Lazily create the ``sys`` database + virtual tables."""

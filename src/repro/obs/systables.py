@@ -22,7 +22,13 @@ Tables:
 * ``sys.metrics``      — every series in the metrics registry,
 * ``sys.fault_log``    — every injected fault and recovery action
   (``repro.faults``): IO re-reads, task retries, speculation, node
-  death, reaped transactions.
+  death, reaped transactions,
+* ``sys.live_queries`` — statements in flight *right now* (phase,
+  progress, ETA, kill flag); targets for ``KILL QUERY <id>``,
+* ``sys.timeseries``   — the cluster-state sample rings (virtual +
+  wall timestamps, interval and scrape sources),
+* ``sys.cluster_nodes`` / ``sys.llap_daemons`` — per-daemon executor
+  occupancy and cache heatmap (the paper's LLAP monitor view).
 """
 
 from __future__ import annotations
@@ -96,7 +102,32 @@ POOLS_SCHEMA = Schema([
 
 METRICS_SCHEMA = Schema([
     Column("name", STRING), Column("labels", STRING),
-    Column("kind", STRING), Column("value", DOUBLE)])
+    Column("kind", STRING), Column("help", STRING),
+    Column("value", DOUBLE)])
+
+LIVE_QUERIES_SCHEMA = Schema([
+    Column("query_id", BIGINT), Column("statement", STRING),
+    Column("db", STRING), Column("application", STRING),
+    Column("phase", STRING), Column("pool", STRING),
+    Column("started_s", DOUBLE), Column("elapsed_s", DOUBLE),
+    Column("vertices_total", BIGINT), Column("vertices_done", BIGINT),
+    Column("tasks_total", BIGINT), Column("tasks_done", BIGINT),
+    Column("progress", DOUBLE), Column("eta_s", DOUBLE),
+    Column("kill_requested", BOOLEAN)])
+
+TIMESERIES_SCHEMA = Schema([
+    Column("ts_s", DOUBLE), Column("wall_s", DOUBLE),
+    Column("name", STRING), Column("labels", STRING),
+    Column("value", DOUBLE), Column("source", STRING)])
+
+CLUSTER_NODES_SCHEMA = Schema([
+    Column("node", BIGINT), Column("state", STRING),
+    Column("executors_total", BIGINT), Column("executors_busy", BIGINT),
+    Column("queue_depth", BIGINT)])
+
+LLAP_DAEMONS_SCHEMA = Schema([
+    Column("node", BIGINT), Column("cache_bytes", BIGINT),
+    Column("cache_chunks", BIGINT), Column("occupancy", DOUBLE)])
 
 FAULT_LOG_SCHEMA = Schema([
     Column("event_id", BIGINT), Column("query_id", BIGINT),
@@ -114,6 +145,10 @@ SYS_TABLES: dict[str, Schema] = {
     "pools": POOLS_SCHEMA,
     "metrics": METRICS_SCHEMA,
     "fault_log": FAULT_LOG_SCHEMA,
+    "live_queries": LIVE_QUERIES_SCHEMA,
+    "timeseries": TIMESERIES_SCHEMA,
+    "cluster_nodes": CLUSTER_NODES_SCHEMA,
+    "llap_daemons": LLAP_DAEMONS_SCHEMA,
 }
 
 
@@ -221,5 +256,19 @@ class SysTableHandler(StorageHandler):
                 value = entry.get("value")
                 if value is None:           # histogram: expose the count
                     value = entry.get("count", 0)
-                rows.append((name, labels, entry["kind"], float(value)))
+                rows.append((name, labels, entry["kind"],
+                             entry.get("help", ""), float(value)))
         return rows
+
+    def _rows_live_queries(self) -> list[tuple]:
+        return self.obs.live_queries.rows()
+
+    def _rows_timeseries(self) -> list[tuple]:
+        # rows() already renders labels as "k=v,k=v"
+        return list(self.obs.timeseries.rows())
+
+    def _rows_cluster_nodes(self) -> list[tuple]:
+        return self.obs.cluster.cluster_node_rows()
+
+    def _rows_llap_daemons(self) -> list[tuple]:
+        return self.obs.cluster.llap_daemon_rows()

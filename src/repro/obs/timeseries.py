@@ -1,0 +1,134 @@
+"""Cluster-state timeseries: fixed-capacity ring buffers per series.
+
+End-of-query counters answer "how much, total"; operators need "how
+much, *when*" — cache churn during a compaction storm, executor
+saturation while the BI pool backs up, fault bursts.  Each series is a
+bounded ``deque`` of :class:`Sample` keyed ``(name, labels)``, exactly
+like registry series, so the same addressing works in both worlds.
+
+Two clocks ride on every sample:
+
+* ``ts_s`` — the warehouse **virtual** clock (the transaction manager's
+  ``advance_clock`` value at sampling time).  Periodic sampling is
+  driven by this clock: the monitor samples whenever it has advanced
+  ``interval_s`` past the previous sample, so a benchmark replay
+  produces the same timeline every run.
+* ``wall_s`` — wall-clock seconds from the scrape-clock shim
+  (:mod:`repro.obs.clock`), stamped so external scrapers (Prometheus)
+  can line samples up with their own scrape times.
+
+``rate(name, over_s, now_s)`` computes the increase of a sampled
+counter over a trailing virtual-time window — the primitive behind
+alert-rule triggers (``WHEN rate(faults.injected) > N OVER 60s``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One observation of one series."""
+
+    ts_s: float          # virtual warehouse clock
+    wall_s: float        # wall clock (scrape shim)
+    value: float
+    source: str          # "interval" | "scrape"
+
+
+class TimeseriesStore:
+    """Bounded per-series sample rings, thread-safe."""
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 2:
+            raise ValueError("timeseries capacity must be >= 2")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, LabelKey], deque] = {}
+
+    # -- writes --------------------------------------------------------- #
+    def append(self, name: str, value: float, ts_s: float,
+               wall_s: float, source: str = "interval",
+               **labels) -> None:
+        key = (name, _label_key(labels))
+        sample = Sample(ts_s, wall_s, float(value), source)
+        with self._lock:
+            ring = self._series.get(key)
+            if ring is None:
+                ring = deque(maxlen=self.capacity)
+                self._series[key] = ring
+            ring.append(sample)
+
+    # -- reads ---------------------------------------------------------- #
+    def series(self, name: str, **labels) -> list[Sample]:
+        key = (name, _label_key(labels))
+        with self._lock:
+            ring = self._series.get(key)
+            return list(ring) if ring is not None else []
+
+    def latest(self, name: str, **labels) -> Optional[Sample]:
+        key = (name, _label_key(labels))
+        with self._lock:
+            ring = self._series.get(key)
+            return ring[-1] if ring else None
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted({name for name, _ in self._series})
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(ring) for ring in self._series.values())
+
+    def rate(self, name: str, over_s: float, now_s: float,
+             **labels) -> Optional[float]:
+        """Per-second increase of a series over a trailing window.
+
+        Sums across every label series of ``name`` matching the filter
+        (so ``rate(faults.injected)`` covers all sites), using the
+        oldest sample inside ``[now_s - over_s, now_s]`` as the
+        baseline.  ``None`` when no series has two in-window samples —
+        callers treat that as "no signal yet", the same contract as
+        ``MetricsRegistry.value``.
+        """
+        if over_s <= 0:
+            return None
+        wanted = set(_label_key(labels))
+        window_start = now_s - over_s
+        increase = 0.0
+        seen = False
+        with self._lock:
+            rings = [ring for (n, key), ring in self._series.items()
+                     if n == name and wanted <= set(key)]
+            snapshots = [list(ring) for ring in rings]
+        for samples in snapshots:
+            window = [s for s in samples if s.ts_s >= window_start]
+            if len(window) < 2:
+                continue
+            seen = True
+            # counters only go up; clamp so a reset never goes negative
+            increase += max(0.0, window[-1].value - window[0].value)
+        if not seen:
+            return None
+        return increase / over_s
+
+    # -- export (sys.timeseries) ---------------------------------------- #
+    def rows(self) -> Iterator[tuple]:
+        """``(ts_s, wall_s, name, labels, value, source)`` per sample."""
+        with self._lock:
+            items = [(name, key, list(ring))
+                     for (name, key), ring in self._series.items()]
+        for name, key, samples in sorted(items):
+            labels = ",".join(f"{k}={v}" for k, v in key)
+            for s in samples:
+                yield (s.ts_s, s.wall_s, name, labels, s.value, s.source)

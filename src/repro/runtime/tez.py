@@ -247,13 +247,17 @@ class TezRunner:
 
     def __init__(self, conf: HiveConf,
                  workload_manager: Optional[WorkloadManager] = None,
-                 registry=None, faults=None):
+                 registry=None, faults=None, live=None):
         self.conf = conf
         self.workload_manager = workload_manager
         self.registry = registry
         #: optional repro.faults.FaultRegistry; injected task failures,
         #: slow nodes and daemon deaths are charged into virtual time
         self.faults = faults
+        #: optional repro.obs.LiveQueryRegistry; the runner publishes
+        #: phase + vertex progress into it and honours kill flags at
+        #: the inter-vertex cancellation checkpoints
+        self.live = live
 
     # -- public ------------------------------------------------------------- #
     def run(self, plan: OptimizedPlan, scan_executor: ScanExecutor,
@@ -271,9 +275,14 @@ class TezRunner:
 
         # admission control (Section 5.2)
         admission = QueryAdmission(pool="", capacity_fraction=1.0)
+        if self.live is not None:
+            self.live.update(query_id, phase="queued")
         if self.workload_manager is not None \
                 and self.workload_manager.active and self.conf.llap_enabled:
             admission = self.workload_manager.admit(application, arrival_s)
+        if self.live is not None:
+            self.live.update(query_id, phase="running",
+                             pool=admission.pool or "unmanaged")
 
         try:
             # run dynamic semijoin reducers first (Section 4.6)
@@ -301,7 +310,8 @@ class TezRunner:
 
         if self.workload_manager is not None \
                 and self.workload_manager.active:
-            self._apply_triggers(admission, metrics, query_id)
+            self._apply_triggers(admission, metrics, query_id,
+                                 now_s=arrival_s + metrics.total_s)
             self.workload_manager.complete(
                 admission, arrival_s + metrics.total_s)
         if profile is not None:
@@ -357,7 +367,15 @@ class TezRunner:
         total_work_s = 0.0
 
         scale = cost.data_scale
-        for vertex in dag.topological():
+        ordered = list(dag.topological())
+        vertices_done = 0
+        tasks_done = 0
+        tasks_total = 0
+        for vertex in ordered:
+            if self.live is not None:
+                # inter-vertex cancellation checkpoint: raises
+                # QueryKilledError when KILL QUERY flagged this query
+                self.live.checkpoint(query_id)
             vm = VertexMetrics(name=vertex.name,
                                vertex_id=vertex.vertex_id)
             rows = 0
@@ -464,6 +482,15 @@ class TezRunner:
             total_work_s += (vm.io_s + vm.cpu_s + vm.shuffle_s) \
                 * max(1, vm.tasks) + vm.retry_work_s
             metrics.retry_s += vm.retry_s
+            vertices_done += 1
+            tasks_total += vm.tasks
+            tasks_done += vm.tasks
+            if self.live is not None:
+                self.live.vertex_progress(
+                    query_id, vertices_done, len(ordered),
+                    tasks_done, tasks_total,
+                    elapsed_s=vm.finish_s,
+                    pool_p50=self._pool_p50(admission.pool))
             metrics.vertices.append(vm)
             metrics.startup_s += vm.startup_s
             metrics.io_s += vm.io_s
@@ -486,6 +513,13 @@ class TezRunner:
         metrics.cache_hit_fraction = (metrics.cache_bytes / total_bytes
                                       if total_bytes else 0.0)
         return metrics
+
+    def _pool_p50(self, pool: str) -> Optional[float]:
+        """The duration model's p50 for this pool (ETA baseline)."""
+        if self.registry is None:
+            return None
+        return self.registry.percentile("query.latency_s", 50,
+                                        pool=pool or "unmanaged")
 
     def _model_tasks(self, vm: VertexMetrics, vertex: Vertex,
                      ctx: ExecutionContext) -> None:
@@ -731,7 +765,8 @@ class TezRunner:
 
     def _apply_triggers(self, admission: QueryAdmission,
                         metrics: QueryMetrics,
-                        query_id: int = 0) -> None:
+                        query_id: int = 0,
+                        now_s: float = 0.0) -> None:
         """Evaluate WM triggers post-hoc over the virtual runtime.
 
         The runtime counters are published as per-query series in the
@@ -755,7 +790,7 @@ class TezRunner:
             registry.gauge(f"wm.query.{metric}", **labels).set(value)
         try:
             wm.check_triggers_from_registry(registry, admission,
-                                            query_id)
+                                            query_id, now_s=now_s)
         finally:
             # per-query series are scratch space; don't accumulate them
             for metric in published:

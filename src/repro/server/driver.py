@@ -19,8 +19,8 @@ from ..common.rows import Column, Schema
 from ..common.types import type_from_name
 from ..config import HiveConf
 from ..errors import (AnalysisError, CatalogError, ExecutionError,
-                      HiveError, PlanInvariantError, TransactionError,
-                      VertexFailureError)
+                      HiveError, PlanInvariantError, QueryKilledError,
+                      TransactionError, VertexFailureError)
 from ..exec.operators import ExecutionContext, execute
 from ..faults import FaultRegistry
 from ..fs import SimFileSystem
@@ -91,7 +91,8 @@ class HiveServer2:
         self.conf = conf or HiveConf.v3_profile()
         self.conf.validate()
         self.obs = Observability(
-            log_capacity=self.conf.obs_query_log_capacity)
+            log_capacity=self.conf.obs_query_log_capacity,
+            timeseries_capacity=self.conf.monitor_timeseries_capacity)
         self.faults = FaultRegistry.from_conf(
             self.conf, metrics=self.obs.registry)
         self.fs = SimFileSystem()
@@ -109,7 +110,8 @@ class HiveServer2:
             pending_timeout_s=self.conf.results_cache_pending_timeout_s)
         self.workload_manager = WorkloadManager(
             registry=self.obs.registry,
-            event_log=self.obs.wm_events)
+            event_log=self.obs.wm_events,
+            timeseries=self.obs.timeseries)
         self._view_plans: dict[tuple[str, str], rel.RelNode] = {}
         self._mv_scan_ids = itertools.count(100_000)
         # absorb the pre-existing stats fragments into the registry
@@ -122,6 +124,14 @@ class HiveServer2:
         self.obs.bind_cache(
             "results", self.results_cache.stats,
             extra={"entries": lambda: len(self.results_cache)})
+        self.obs.bind_cluster(
+            self.llap_cache, self.hms, self.workload_manager,
+            num_nodes=self.conf.num_nodes,
+            executors_per_node=self.conf.llap_executors_per_daemon,
+            cache_capacity_bytes=self.conf.llap_cache_capacity_bytes,
+            interval_s=self.conf.monitor_sample_interval_s)
+        if self.conf.monitor_http_port > 0:
+            self.obs.start_http(port=self.conf.monitor_http_port)
 
     # -- public API -------------------------------------------------------------- #
     def connect(self, database: str = "default",
@@ -208,6 +218,9 @@ class Session:
         self._trace = trace
         started_s = self.now_s
         operation = ""
+        obs.live_queries.register(
+            trace.query_id, sql, database=self.database,
+            application=self.application, started_s=started_s)
         try:
             self._tick_txn_clock()
             with trace.span("parse"):
@@ -215,11 +228,14 @@ class Session:
             operation = type(statement).__name__.lower()
             result = self._dispatch(statement)
         except Exception as error:
+            status = ("killed" if isinstance(error, QueryKilledError)
+                      else "error")
+            obs.live_queries.finish(trace.query_id, status=status)
             trace.finish(error=str(error))
             obs.record_query(QueryLogEntry(
                 query_id=trace.query_id, statement=sql,
                 database=self.database, application=self.application,
-                operation=operation, status="error", error=str(error),
+                operation=operation, status=status, error=str(error),
                 started_s=started_s,
                 wall_ms=trace.root.wall_s * 1000.0))
             raise
@@ -227,6 +243,7 @@ class Session:
             self._trace = None
         if result.metrics is not None:
             self.now_s += result.metrics.total_s
+        obs.live_queries.finish(trace.query_id, status="ok")
         trace.finish()
         result.query_id = trace.query_id
         result.trace = trace
@@ -241,7 +258,9 @@ class Session:
         fault-stalled transaction skips its heartbeat — that is exactly
         the dead-client scenario the reaper exists for."""
         manager = self.hms.txn_manager
-        manager.advance_clock(self.now_s)
+        clock = manager.advance_clock(self.now_s)
+        # interval timeseries sampling rides the same per-statement tick
+        self.server.obs.monitor_tick(clock)
         txn = self._active_txn
         if txn is not None and not self.server.faults.is_stalled(txn):
             try:
@@ -295,6 +314,12 @@ class Session:
         if self._trace is not None:
             return self._trace.span(name, **attrs)
         return contextlib.nullcontext()
+
+    def _publish_phase(self, phase: str) -> None:
+        """Mirror the pipeline stage into ``sys.live_queries``."""
+        if self._trace is not None:
+            self.server.obs.live_queries.update(
+                self._trace.query_id, phase=phase)
 
     def _dispatch(self, statement: ast.Statement) -> QueryResult:
         if isinstance(statement, ast.SelectStatement):
@@ -368,6 +393,8 @@ class Session:
             return self._commit_transaction()
         if isinstance(statement, ast.Rollback):
             return self._rollback_transaction()
+        if isinstance(statement, ast.KillQuery):
+            return self._kill_query(statement)
         if isinstance(statement, (ast.CreateResourcePlan, ast.CreatePool,
                                   ast.CreateTriggerRule,
                                   ast.AddRuleToPool,
@@ -402,6 +429,7 @@ class Session:
     def _run_select(self, query: ast.Query,
                     use_cache: bool = True) -> QueryResult:
         analyzer = self._analyzer()
+        self._publish_phase("analyze")
         with self._span("analyze"):
             plan = analyzer.analyze_query(query)
         tables = sorted({s.table_name for s in rel.find_scans(plan)})
@@ -450,6 +478,7 @@ class Session:
             view_provider=lambda: self.server.view_definitions(self.now_s),
             federation_rule=self.server.federation_rule(),
             trace=self._trace)
+        self._publish_phase("optimize")
         with self._span("optimize"):
             optimized = optimizer.optimize(plan)
         attempts = 0
@@ -521,7 +550,8 @@ class Session:
             registry=self.server.obs.registry, trace=self._trace)
         runner = TezRunner(conf, self.server.workload_manager,
                            registry=self.server.obs.registry,
-                           faults=self.server.faults)
+                           faults=self.server.faults,
+                           live=self.server.obs.live_queries)
         return runner.run(
             optimized, scan_executor, self.application,
             arrival_s=self.now_s,
@@ -1278,8 +1308,30 @@ class Session:
             faults.max_io_retries = max(0, int(value) - 1)
         elif attr == "txn_timeout_s":
             self.server.housekeeper.timeout_s = float(value)
+        elif attr == "monitor_sample_interval_s":
+            # the sampler is server-wide, like the fault registry
+            self.server.obs.cluster.set_interval(float(value))
+        elif attr == "monitor_http_port" and int(value) > 0:
+            self.server.obs.start_http(port=int(value))
         return QueryResult(operation="set",
                            message=f"{attr}={value}")
+
+    def _kill_query(self, statement: ast.KillQuery) -> QueryResult:
+        """KILL QUERY <id> — flag a live query for termination.
+
+        The runner observes the flag at its next inter-vertex
+        checkpoint and aborts through the WM KILL path, so the victim
+        lands in ``sys.query_log`` with status ``killed``.
+        """
+        live = self.server.obs.live_queries
+        if not live.request_kill(statement.query_id,
+                                 reason="KILL QUERY"):
+            raise AnalysisError(
+                f"no live query with id {statement.query_id} "
+                "(see sys.live_queries)")
+        return QueryResult(
+            operation="kill_query",
+            message=f"kill requested for query {statement.query_id}")
 
     def _workload_ddl(self, statement: ast.Statement) -> QueryResult:
         hms = self.hms
@@ -1296,12 +1348,15 @@ class Session:
             return QueryResult(operation="create_pool")
         if isinstance(statement, ast.CreateTriggerRule):
             plan = hms.get_resource_plan(statement.plan)
-            plan.unattached_triggers[statement.name.lower()] = Trigger(
+            trigger = Trigger(
                 statement.name.lower(), statement.metric,
                 statement.threshold,
                 TriggerAction(statement.action.lower()),
                 statement.action_arg.lower()
                 if statement.action_arg else None)
+            if statement.over_s > 0.0:
+                trigger.over_s = statement.over_s
+            plan.unattached_triggers[statement.name.lower()] = trigger
             return QueryResult(operation="create_rule")
         if isinstance(statement, ast.AddRuleToPool):
             plan = self._find_plan_with_rule(statement.rule)
@@ -1462,6 +1517,9 @@ _CONFIG_ALIASES = {
     "hive.check.plan.paranoid": "check_plan_paranoid",
     "hive.obs.query.log.capacity": "obs_query_log_capacity",
     "hive.obs.straggler.skew.threshold": "straggler_skew_threshold",
+    "hive.monitor.http.port": "monitor_http_port",
+    "hive.monitor.sample.interval.s": "monitor_sample_interval_s",
+    "hive.monitor.timeseries.capacity": "monitor_timeseries_capacity",
     "hive.faults.seed": "faults_seed",
     "hive.faults.task.fail.rate": "faults_task_fail_rate",
     "hive.faults.io.error.rate": "faults_io_error_rate",

@@ -642,6 +642,16 @@ class Rollback(Statement):
         return "ROLLBACK"
 
 
+@dataclass(frozen=True)
+class KillQuery(Statement):
+    """``KILL QUERY <id>`` — terminate a live query (HS2 UI kill)."""
+
+    query_id: int
+
+    def unparse(self) -> str:
+        return f"KILL QUERY {self.query_id}"
+
+
 # -- workload management DDL (Section 5.2) ---------------------------------- #
 
 @dataclass(frozen=True)
@@ -669,15 +679,20 @@ class CreatePool(Statement):
 class CreateTriggerRule(Statement):
     name: str
     plan: str
-    metric: str             # e.g. total_runtime
+    metric: str             # e.g. total_runtime, rate(faults.injected)
     threshold: float
     action: str             # MOVE | KILL
     action_arg: Optional[str] = None
+    #: trailing window for rate(...) alert rules ("OVER 60s"); 0 keeps
+    #: the workload manager's default window
+    over_s: float = 0.0
 
     def unparse(self) -> str:
         arg = f" {self.action_arg}" if self.action_arg else ""
+        over = f" OVER {self.over_s:g}s" if self.over_s else ""
         return (f"CREATE RULE {self.name} IN {self.plan} WHEN "
-                f"{self.metric} > {self.threshold} THEN {self.action}{arg}")
+                f"{self.metric} > {self.threshold}{over} THEN "
+                f"{self.action}{arg}")
 
 
 @dataclass(frozen=True)

@@ -210,6 +210,15 @@ class Parser:
             self.advance()
             self.expect_end()
             return ast.Rollback()
+        if token.is_keyword("KILL"):
+            self.advance()
+            # QUERY is deliberately not a reserved word; match the ident
+            word = self.expect_ident()
+            if word.lower() != "query":
+                raise self._error("expected QUERY after KILL")
+            query_id = self.expect_number()
+            self.expect_end()
+            return ast.KillQuery(int(query_id))
         if token.is_keyword("ADD"):
             self.advance()
             self.expect_keyword("RULE")
@@ -441,11 +450,14 @@ class Parser:
         self.expect_keyword("WHEN")
         metric = self.expect_ident().lower()
         if self.accept_op("("):
-            # percentile trigger: WHEN p95(query.latency_s) > ...
-            if metric[:1] != "p" \
-                    or not metric[1:].replace(".", "", 1).isdigit():
+            # derived-metric triggers: WHEN p95(query.latency_s) > ...
+            # and alert rules: WHEN rate(faults.injected) > ... OVER 60s
+            is_percentile = (metric[:1] == "p" and
+                             metric[1:].replace(".", "", 1).isdigit())
+            if metric != "rate" and not is_percentile:
                 raise self._error(
-                    "expected p<percentile>(metric) in WHEN condition")
+                    "expected p<percentile>(metric) or rate(metric) "
+                    "in WHEN condition")
             inner = [self.expect_ident()]
             while self.accept_op("."):
                 inner.append(self.expect_ident())
@@ -453,6 +465,14 @@ class Parser:
             metric = f"{metric}({'.'.join(inner).lower()})"
         self.expect_op(">")
         threshold = self.expect_number()
+        over_s = 0.0
+        if self.accept_keyword("OVER"):
+            # trailing window: OVER 60s (the unit suffix lexes as an
+            # adjacent identifier and is optional)
+            over_s = float(self.expect_number())
+            if (self.peek().type is TokenType.IDENT
+                    and self.peek().value.lower() == "s"):
+                self.advance()
         self.expect_keyword("THEN")
         if self.accept_keyword("MOVE"):
             target = self.expect_ident()
@@ -463,7 +483,7 @@ class Parser:
             raise self._error("expected MOVE or KILL")
         self.expect_end()
         return ast.CreateTriggerRule(name, plan, metric, float(threshold),
-                                     action, arg)
+                                     action, arg, over_s=over_s)
 
     # -- DROP / ALTER ------------------------------------------------------ #
     def _parse_drop(self) -> ast.Statement:

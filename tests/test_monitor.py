@@ -1,0 +1,558 @@
+"""repro.obs.monitor — cluster timeseries, live queries, KILL QUERY,
+and the HTTP /metrics exposition layer."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+import repro
+from repro.bench import TPCDS_QUERIES, TpcdsScale, create_tpcds_warehouse
+from repro.config import HiveConf
+from repro.errors import (AnalysisError, HiveError, QueryKilledError,
+                          WorkloadManagementError)
+from repro.llap.cache import ChunkKey, LlapCache
+from repro.llap.placement import files_on_node, node_of
+from repro.obs import MetricsRegistry, TimeseriesStore
+from repro.obs.live import LiveQueryRegistry
+from repro.obs.promparse import parse_prometheus_text, total_series
+
+
+def _get(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.read()
+
+
+# --------------------------------------------------------------------------- #
+# timeseries store
+
+class TestTimeseriesStore:
+    def test_append_and_latest(self):
+        ts = TimeseriesStore()
+        ts.append("txn.open", 3.0, ts_s=1.0, wall_s=100.0)
+        ts.append("txn.open", 5.0, ts_s=2.0, wall_s=101.0)
+        latest = ts.latest("txn.open")
+        assert latest.value == 5.0 and latest.ts_s == 2.0
+        assert len(ts.series("txn.open")) == 2
+
+    def test_labels_split_series(self):
+        ts = TimeseriesStore()
+        ts.append("llap.queue_depth", 1.0, ts_s=0.0, wall_s=0.0, node="0")
+        ts.append("llap.queue_depth", 9.0, ts_s=0.0, wall_s=0.0, node="1")
+        assert ts.latest("llap.queue_depth", node="0").value == 1.0
+        assert ts.latest("llap.queue_depth", node="1").value == 9.0
+
+    def test_capacity_bound(self):
+        ts = TimeseriesStore(capacity=4)
+        for i in range(50):
+            ts.append("g", float(i), ts_s=float(i), wall_s=0.0)
+        series = ts.series("g")
+        assert len(series) == 4
+        assert [s.value for s in series] == [46.0, 47.0, 48.0, 49.0]
+
+    def test_capacity_must_allow_rate(self):
+        with pytest.raises(ValueError):
+            TimeseriesStore(capacity=1)
+
+    def test_rate_increase_over_window(self):
+        ts = TimeseriesStore()
+        for t, v in [(0.0, 0.0), (30.0, 6.0), (60.0, 12.0)]:
+            ts.append("faults.injected", v, ts_s=t, wall_s=0.0)
+        # window [0, 60]: increase 12 over 60s
+        assert ts.rate("faults.injected", 60.0, now_s=60.0) == \
+            pytest.approx(0.2)
+        # window [30, 60]: only the last two samples count
+        assert ts.rate("faults.injected", 30.0, now_s=60.0) == \
+            pytest.approx(0.2)
+
+    def test_rate_sums_labeled_series(self):
+        ts = TimeseriesStore()
+        for node in ("0", "1"):
+            ts.append("c", 0.0, ts_s=0.0, wall_s=0.0, node=node)
+            ts.append("c", 3.0, ts_s=10.0, wall_s=0.0, node=node)
+        assert ts.rate("c", 10.0, now_s=10.0) == pytest.approx(0.6)
+
+    def test_rate_needs_two_samples(self):
+        ts = TimeseriesStore()
+        assert ts.rate("missing", 60.0, now_s=0.0) is None
+        ts.append("one", 5.0, ts_s=0.0, wall_s=0.0)
+        assert ts.rate("one", 60.0, now_s=0.0) is None
+
+    def test_rate_clamps_counter_reset(self):
+        ts = TimeseriesStore()
+        ts.append("c", 100.0, ts_s=0.0, wall_s=0.0)
+        ts.append("c", 2.0, ts_s=10.0, wall_s=0.0)
+        assert ts.rate("c", 60.0, now_s=10.0) == 0.0
+
+    def test_rows_are_sorted_and_rendered(self):
+        ts = TimeseriesStore()
+        ts.append("b", 1.0, ts_s=2.0, wall_s=0.0, node="1")
+        ts.append("a", 1.0, ts_s=1.0, wall_s=0.0)
+        rows = list(ts.rows())
+        assert rows[0][0] <= rows[1][0]
+        labeled = [r for r in rows if r[2] == "b"]
+        assert labeled[0][3] == "node=1"
+
+
+# --------------------------------------------------------------------------- #
+# live query registry
+
+class TestLiveQueryRegistry:
+    def test_register_update_finish(self):
+        live = LiveQueryRegistry()
+        live.register(7, "SELECT 1", database="tpcds")
+        live.update(7, phase="optimize")
+        row = live.rows()[0]
+        assert row[0] == 7 and row[2] == "tpcds" and row[4] == "optimize"
+        live.finish(7)
+        assert len(live) == 0
+
+    def test_vertex_progress_and_eta(self):
+        live = LiveQueryRegistry()
+        live.register(1, "q")
+        live.vertex_progress(1, 1, 4, tasks_done=10, tasks_total=40,
+                             elapsed_s=2.0, pool_p50=10.0)
+        entry = live.get(1)
+        assert entry.phase == "running vertex 1/4"
+        assert entry.progress == pytest.approx(0.25)
+        assert entry.eta_s == pytest.approx(8.0)      # p50 - elapsed
+        live.vertex_progress(1, 4, 4, tasks_done=40, tasks_total=40,
+                             elapsed_s=9.0, pool_p50=None)
+        assert live.get(1).phase == "finishing"
+
+    def test_eta_falls_back_to_linear_extrapolation(self):
+        live = LiveQueryRegistry()
+        live.register(1, "q")
+        live.vertex_progress(1, 1, 2, tasks_done=1, tasks_total=2,
+                             elapsed_s=4.0, pool_p50=None)
+        assert live.get(1).eta_s == pytest.approx(4.0)
+
+    def test_kill_flag_raises_at_checkpoint(self):
+        live = LiveQueryRegistry()
+        live.register(3, "q")
+        assert live.request_kill(3, reason="operator") is True
+        with pytest.raises(QueryKilledError) as err:
+            live.checkpoint(3)
+        assert err.value.query_id == 3
+        assert "operator" in str(err.value)
+
+    def test_kill_unknown_id_returns_false(self):
+        live = LiveQueryRegistry()
+        assert live.request_kill(99) is False
+
+    def test_checkpoint_hooks_do_not_reenter(self):
+        live = LiveQueryRegistry()
+        live.register(1, "q")
+        calls = []
+
+        def hook(entry):
+            calls.append(entry.query_id)
+            live.checkpoint(1)     # a hook running SQL re-checkpoints
+
+        live.add_checkpoint_hook(hook)
+        live.checkpoint(1)
+        assert calls == [1]
+        live.remove_checkpoint_hook(hook)
+        live.checkpoint(1)
+        assert calls == [1]
+
+    def test_kill_counters(self):
+        registry = MetricsRegistry()
+        live = LiveQueryRegistry(registry=registry)
+        live.register(5, "q")
+        live.request_kill(5)
+        live.finish(5, status="killed")
+        assert registry.total("monitor.kill_requests") == 1
+        assert registry.total("monitor.kills") == 1
+
+
+# --------------------------------------------------------------------------- #
+# driver integration: sys.live_queries + KILL QUERY
+
+class TestLiveQueriesE2E:
+    def test_progress_is_visible_and_increasing_mid_flight(self, server):
+        session = create_tpcds_warehouse(server, TpcdsScale.tiny())
+        live = server.obs.live_queries
+        seen = []
+
+        def spy(entry):
+            seen.append((entry.phase, entry.progress,
+                         entry.vertices_done, entry.vertices_total))
+
+        live.add_checkpoint_hook(spy)
+        try:
+            session.execute(TPCDS_QUERIES[0].sql)
+        finally:
+            live.remove_checkpoint_hook(spy)
+        assert len(seen) >= 2
+        fractions = [p for _, p, _, _ in seen]
+        assert fractions == sorted(fractions)
+        assert any(d > 0 for _, _, d, _ in seen)
+        # total is published with the first completed vertex
+        assert seen[-1][3] > 0
+
+    def test_sys_live_queries_row_mid_flight(self, loaded_session,
+                                             server):
+        rows_seen = []
+
+        def snoop(entry):
+            result = loaded_session.execute(
+                "SELECT query_id, statement, phase FROM sys.live_queries")
+            rows_seen.extend(result.rows)
+
+        server.obs.live_queries.add_checkpoint_hook(snoop)
+        try:
+            loaded_session.execute(
+                "SELECT b, COUNT(*) FROM t GROUP BY b")
+        finally:
+            server.obs.live_queries.remove_checkpoint_hook(snoop)
+        group_rows = [r for r in rows_seen if "GROUP BY" in r[1]]
+        assert group_rows, "running query missing from sys.live_queries"
+        # the statement is gone once finished
+        after = loaded_session.execute(
+            "SELECT statement FROM sys.live_queries").rows
+        assert not any("GROUP BY" in r[0] for r in after)
+
+    def test_kill_query_statement_mid_flight(self, server):
+        session = create_tpcds_warehouse(server, TpcdsScale.tiny())
+        killer = server.connect()
+        live = server.obs.live_queries
+
+        def assassin(entry):
+            live.remove_checkpoint_hook(assassin)
+            killer.execute(f"KILL QUERY {entry.query_id}")
+
+        live.add_checkpoint_hook(assassin)
+        with pytest.raises(QueryKilledError):
+            session.execute(TPCDS_QUERIES[0].sql)
+        # flight recorder shows the kill; the WM event log audits it
+        log = session.execute(
+            "SELECT status FROM sys.query_log "
+            "WHERE status = 'killed'").rows
+        assert log, "killed query missing from sys.query_log"
+        events = session.execute(
+            "SELECT trigger_name FROM sys.wm_events").rows
+        assert ("kill_query",) in events
+        assert server.obs.registry.total("monitor.kills") == 1
+
+    def test_kill_query_unknown_id_is_an_error(self, session):
+        with pytest.raises(AnalysisError, match="no live query"):
+            session.execute("KILL QUERY 424242")
+
+    def test_kill_query_unparses(self):
+        from repro.sql.parser import parse_statement
+        statement = parse_statement("KILL QUERY 17")
+        assert statement.query_id == 17
+        assert statement.unparse() == "KILL QUERY 17"
+
+
+# --------------------------------------------------------------------------- #
+# cluster timeseries + sys tables
+
+class TestClusterTimeseries:
+    def test_interval_sampling_records_multiple_points(self, server):
+        session = server.connect()
+        session.execute("SET hive.monitor.sample.interval.s=0.001")
+        session.execute("CREATE TABLE t (a INT)")
+        for i in range(4):
+            session.execute(f"INSERT INTO t VALUES ({i})")
+            session.execute(f"SELECT COUNT(*) + {i} FROM t")
+        rows = session.execute(
+            "SELECT ts_s FROM sys.timeseries "
+            "WHERE name = 'txn.open'").rows
+        assert len(rows) >= 2
+        stamps = [r[0] for r in rows]
+        assert stamps == sorted(stamps)
+        assert stamps[-1] > stamps[0]
+
+    def test_cluster_nodes_and_daemons_tables(self, server):
+        session = server.connect()
+        nodes = session.execute("SELECT * FROM sys.cluster_nodes")
+        assert len(nodes.rows) == server.conf.num_nodes
+        assert all(row[1] == "alive" for row in nodes.rows)
+        daemons = session.execute(
+            "SELECT node, cache_bytes, occupancy FROM sys.llap_daemons")
+        assert len(daemons.rows) == server.conf.num_nodes
+
+    def test_daemon_heatmap_follows_cache_usage(self, server):
+        session = create_tpcds_warehouse(server, TpcdsScale.tiny())
+        session.execute(TPCDS_QUERIES[0].sql)      # warm the cache
+        total = session.execute(
+            "SELECT SUM(cache_bytes) FROM sys.llap_daemons").rows[0][0]
+        assert total == server.llap_cache.used_bytes
+
+    def test_scrape_also_samples(self, server):
+        before = len(server.obs.timeseries)
+        server.obs.scrape()
+        assert len(server.obs.timeseries) >= before
+        sample = server.obs.timeseries.latest("txn.open")
+        assert sample is not None and sample.source == "scrape"
+
+    def test_sampling_disabled_with_nonpositive_interval(self, server):
+        session = server.connect()
+        session.execute("SET hive.monitor.sample.interval.s=0")
+        session.execute("CREATE TABLE t (a INT)")
+        session.execute("INSERT INTO t VALUES (1)")
+        count = session.execute(
+            "SELECT COUNT(*) FROM sys.timeseries").rows[0][0]
+        session.execute("SELECT a FROM t")
+        after = session.execute(
+            "SELECT COUNT(*) FROM sys.timeseries").rows[0][0]
+        assert after == count
+
+
+# --------------------------------------------------------------------------- #
+# metric help metadata
+
+class TestMetricHelp:
+    def test_registry_can_require_help(self):
+        registry = MetricsRegistry(require_help=True)
+        with pytest.raises(HiveError, match="help"):
+            registry.counter("no.such.metric")
+        registry.counter("documented", help="a documented counter").inc()
+        assert registry.describe("documented") == "a documented counter"
+
+    def test_catalog_backfills_known_names(self):
+        registry = MetricsRegistry(require_help=True)
+        registry.counter("queries.total").inc()
+        assert registry.describe("queries.total")
+
+    def test_sys_metrics_exposes_help_column(self, loaded_session):
+        loaded_session.execute("SELECT COUNT(*) FROM t")
+        rows = loaded_session.execute(
+            "SELECT name, help FROM sys.metrics").rows
+        assert rows
+        missing = sorted({name for name, help_text in rows
+                          if not help_text})
+        assert missing == [], f"metrics without help: {missing}"
+
+
+# --------------------------------------------------------------------------- #
+# HTTP exposition
+
+class TestHttpExposition:
+    @pytest.fixture
+    def monitored_server(self, conf):
+        server = repro.HiveServer2(conf)
+        server.obs.start_http()
+        yield server
+        server.obs.stop_http()
+
+    def test_metrics_endpoint_is_valid_prometheus(self, monitored_server):
+        session = create_tpcds_warehouse(monitored_server,
+                                         TpcdsScale.tiny())
+        session.execute(TPCDS_QUERIES[0].sql)
+        url = monitored_server.obs.http_server.url
+        body = _get(url + "/metrics").decode()
+        families = parse_prometheus_text(body)
+        assert total_series(families) >= 50
+        used = families["hive_llap_cache_used_bytes"]
+        assert used.type == "gauge" and used.help
+        assert {s.labels.get("node") for s in used.samples} == \
+            {str(n) for n in range(monitored_server.conf.num_nodes)}
+        latency = families.get("hive_query_latency_s")
+        assert latency is not None and latency.type == "histogram"
+
+    def test_healthz_and_ui(self, monitored_server):
+        url = monitored_server.obs.http_server.url
+        assert _get(url + "/healthz").decode().strip() == "ok"
+        ui = json.loads(_get(url + "/ui"))
+        assert set(ui) >= {"live_queries", "nodes", "wm_events",
+                           "fault_events", "timeseries"}
+        assert len(ui["nodes"]) == monitored_server.conf.num_nodes
+
+    def test_unknown_path_is_404(self, monitored_server):
+        url = monitored_server.obs.http_server.url
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(url + "/nope")
+        assert err.value.code == 404
+
+    def test_scrape_records_scrape_samples(self, monitored_server):
+        url = monitored_server.obs.http_server.url
+        _get(url + "/metrics")
+        sample = monitored_server.obs.timeseries.latest("txn.open")
+        assert sample is not None and sample.source == "scrape"
+
+    def test_http_port_knob_autostarts(self, conf):
+        conf.monitor_http_port = _free_port()
+        server = repro.HiveServer2(conf)
+        try:
+            assert server.obs.http_server is not None
+            assert server.obs.http_server.port == conf.monitor_http_port
+            body = _get(server.obs.http_server.url + "/healthz")
+            assert body.decode().strip() == "ok"
+        finally:
+            server.obs.stop_http()
+
+    def test_concurrent_scrapes_under_faults(self, conf):
+        conf.faults_task_fail_rate = 0.2
+        conf.faults_io_error_rate = 0.2
+        conf.faults_seed = 42
+        server = repro.HiveServer2(conf)
+        server.obs.start_http()
+        url = server.obs.http_server.url
+        errors = []
+        stop = threading.Event()
+
+        def scraper():
+            reader = server.connect()
+            while not stop.is_set():
+                try:
+                    parse_prometheus_text(_get(url + "/metrics").decode())
+                    reader.execute("SELECT * FROM sys.live_queries")
+                except Exception as error:      # noqa: BLE001 - reported
+                    errors.append(error)
+                    return
+
+        threads = [threading.Thread(target=scraper) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            session = create_tpcds_warehouse(server, TpcdsScale.tiny())
+            for i, query in enumerate(TPCDS_QUERIES[:6]):
+                session.execute(query.sql)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            server.obs.stop_http()
+        assert not errors, f"scrape raced the running query: {errors[0]}"
+        assert not any(t.is_alive() for t in threads)
+
+
+def _free_port() -> int:
+    import socket
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+# --------------------------------------------------------------------------- #
+# prometheus parser (it must reject what a scraper would reject)
+
+class TestPromParser:
+    def test_rejects_samples_without_headers(self):
+        with pytest.raises(ValueError, match="HELP/TYPE"):
+            parse_prometheus_text("orphan_metric 1\n")
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            parse_prometheus_text("# TYPE m widget\nm 1\n")
+
+    def test_rejects_garbage_value(self):
+        with pytest.raises(ValueError, match="bad sample value"):
+            parse_prometheus_text("# TYPE m gauge\nm pancake\n")
+
+    def test_rejects_non_cumulative_histogram(self):
+        payload = ("# TYPE h histogram\n"
+                   'h_bucket{le="1"} 5\n'
+                   'h_bucket{le="+Inf"} 3\n'
+                   "h_sum 2\nh_count 3\n")
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_prometheus_text(payload)
+
+    def test_parses_escaped_labels(self):
+        payload = ('# TYPE m gauge\n'
+                   'm{q="say \\"hi\\"\\nback\\\\slash"} 1\n')
+        families = parse_prometheus_text(payload)
+        assert families["m"].samples[0].labels["q"] == \
+            'say "hi"\nback\\slash'
+
+    def test_roundtrip_with_renderer(self):
+        from repro.obs.exposition import render_prometheus
+        registry = MetricsRegistry()
+        registry.counter("a.b", help="ab", pool='we"ird\npool').inc(3)
+        registry.histogram("lat.s", help="lat").observe(0.5)
+        families = parse_prometheus_text(render_prometheus(registry))
+        assert families["hive_a_b"].samples[0].labels["pool"] == \
+            'we"ird\npool'
+        assert families["hive_lat_s"].type == "histogram"
+
+
+# --------------------------------------------------------------------------- #
+# rate() alert rules riding the WM trigger machinery
+
+class TestRateTriggers:
+    def _arm(self, session, metric="queries.total", threshold=0.001):
+        for sql in [
+            "SET hive.monitor.sample.interval.s=0.001",
+            "CREATE RESOURCE PLAN prod",
+            "CREATE POOL prod.bi WITH alloc_fraction=1.0, "
+            "query_parallelism=4",
+            "ALTER PLAN prod SET DEFAULT POOL = bi",
+            f"CREATE RULE storm IN prod WHEN rate({metric}) > "
+            f"{threshold} OVER 60s THEN KILL",
+            "ADD RULE storm TO bi",
+            "ALTER RESOURCE PLAN prod ENABLE ACTIVATE",
+        ]:
+            session.execute(sql)
+
+    def test_rate_rule_parses_with_window(self):
+        from repro.sql.parser import parse_statement
+        statement = parse_statement(
+            "CREATE RULE r IN p WHEN rate(faults.injected) > 5 "
+            "OVER 120s THEN KILL")
+        assert statement.metric == "rate(faults.injected)"
+        assert statement.over_s == 120.0
+        assert "OVER 120s" in statement.unparse()
+
+    def test_rate_rule_kills_when_rate_exceeds_threshold(self, server):
+        session = server.connect()
+        session.execute("CREATE TABLE t (a INT, b STRING)")
+        session.execute("INSERT INTO t VALUES (1,'x'),(2,'y')")
+        self._arm(session)
+        killed = None
+        for i in range(8):
+            try:
+                session.execute(
+                    f"SELECT COUNT(*) + {i} FROM t GROUP BY b")
+            except WorkloadManagementError as error:
+                killed = error
+                break
+        assert killed is not None and "storm" in str(killed)
+        server.workload_manager.plan.enabled = False
+        events = session.execute(
+            "SELECT trigger_name, metric FROM sys.wm_events").rows
+        assert ("storm", "rate(queries.total)") in events
+
+    def test_rate_rule_idle_metric_never_fires(self, server):
+        session = server.connect()
+        session.execute("CREATE TABLE t (a INT, b STRING)")
+        session.execute("INSERT INTO t VALUES (1,'x'),(2,'y')")
+        self._arm(session, metric="faults.injected", threshold=5.0)
+        for i in range(5):
+            session.execute(f"SELECT COUNT(*) + {i} FROM t GROUP BY b")
+
+
+# --------------------------------------------------------------------------- #
+# placement agreement (satellite: one rule, used everywhere)
+
+class TestPlacementAgreement:
+    def test_node_of_basics(self):
+        assert node_of(7, 4) == 3
+        assert node_of(7, 1) == 0
+        assert node_of(7, 0) == 0          # degenerate cluster
+        assert files_on_node(range(10), 1, 4) == {1, 5, 9}
+
+    def test_cache_heatmap_and_invalidation_agree(self):
+        cache = LlapCache(capacity_bytes=1 << 20)
+        num_nodes = 4
+        for file_id in range(12):
+            cache.put(ChunkKey(file_id, 100, 0, "a"),
+                      payload=b"x", nbytes=64)
+        usage = cache.node_usage(num_nodes)
+        assert sum(chunks for _, chunks in usage.values()) == 12
+        for node in range(num_nodes):
+            expected = len(files_on_node(range(12), node, num_nodes))
+            assert usage[node][1] == expected
+        # killing node 2 drops exactly the heatmap's chunk count
+        dropped = cache.invalidate_node(2, num_nodes)
+        assert dropped == usage[2][1]
+        assert cache.node_usage(num_nodes).get(2, (0, 0))[1] == 0
+
+    def test_cluster_monitor_uses_same_rule(self, server):
+        monitor = server.obs.cluster
+        for file_id in (0, 5, 13):
+            assert monitor.node_of(file_id) == \
+                node_of(file_id, server.conf.num_nodes)

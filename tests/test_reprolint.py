@@ -139,6 +139,42 @@ class TestRL002WallClock:
         assert rule_ids(findings) == ["RL002"]
 
 
+class TestRL008ScrapeClock:
+    CODE = """
+        import time
+        def sample():
+            return time.time() + time.monotonic()
+        """
+
+    def test_flagged_inside_obs_and_llap(self):
+        for path in ("src/repro/obs/cluster.py",
+                     "src/repro/llap/cache.py"):
+            findings = lint(self.CODE, path=path)
+            assert rule_ids(findings) == ["RL008", "RL008"]
+            assert "scrape-clock" in findings[0].message
+
+    def test_shim_itself_exempt(self):
+        assert lint(self.CODE, path="src/repro/obs/clock.py") == []
+
+    def test_not_flagged_elsewhere(self):
+        assert lint(self.CODE, path="src/repro/server/driver.py") == []
+
+    def test_perf_counter_still_allowed_for_tracing(self):
+        assert lint("""
+            import time
+            def span():
+                return time.perf_counter()
+            """, path="src/repro/obs/tracing.py") == []
+
+    def test_bare_names_flagged(self):
+        findings = lint("""
+            from time import monotonic
+            def sample():
+                return monotonic()
+            """, path="src/repro/llap/elevator.py")
+        assert rule_ids(findings) == ["RL008"]
+
+
 class TestRL003FrozenMutation:
     def test_object_setattr_flagged_anywhere(self):
         findings = lint("""
