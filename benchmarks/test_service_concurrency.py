@@ -1,0 +1,123 @@
+"""Serving-layer concurrency: N virtual users replaying SSB dashboards.
+
+Two scenarios land in ``BENCH_obs.json``:
+
+* **service_plan_cache** — a sequential replay of SSB queries through
+  one service session, cold then warm; the virtual-time delta is the
+  compile saving the plan cache buys (data_scale is kept small here so
+  compilation, not execution, dominates short-query latency — the BI
+  regime the cache targets).
+* **service_concurrency** — 12 threaded clients across 3 tenants
+  hammering the in-process protocol; the record carries the summed
+  virtual time from ``sys.query_log`` and a breakdown with wall-clock
+  throughput and the per-pool p95/p99 ``service.admission.wait_s``.
+"""
+
+import pytest
+
+from repro.bench import SSB_QUERIES, SsbScale, create_ssb_warehouse
+from repro.obs.export import BENCH_COLLECTOR
+from repro.service import HiveService, LoadClient, run_load
+from conftest import make_conf
+
+#: dashboards re-run short queries: keep execution small so the
+#: compile pipeline is the dominant cost, as in the BI workloads the
+#: plan cache targets
+SERVICE_DATA_SCALE = 50
+
+REPLAY = [sql for _, sql in SSB_QUERIES[:4]]
+
+
+@pytest.fixture(scope="module")
+def service():
+    conf = make_conf("v3")
+    conf.cost.data_scale = SERVICE_DATA_SCALE
+    conf.server2_default_parallelism = 2   # force real queueing
+    svc = HiveService(conf=conf)
+    create_ssb_warehouse(svc.server, SsbScale.tiny(),
+                         svc.server.connect())
+    yield svc
+    svc.shutdown()
+
+
+def test_plan_cache_compile_saving(benchmark, service):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    session = service.open_session(token="bench")
+    session.driver.conf.results_cache_enabled = False
+
+    def replay():
+        total = 0.0
+        for sql in REPLAY:
+            op = service.execute(session.session_id, sql)
+            assert op.state == "finished", op.error
+            total += op.total_s
+        return total
+
+    cold = replay()
+    warm = replay()
+    saving = cold - warm
+    expected = len(REPLAY) * (
+        service.server.conf.cost.compile_overhead_s
+        - service.server.conf.cost.plan_cache_hit_compile_s)
+    print()
+    print("Serving — plan cache compile saving (4 SSB dashboards)")
+    print(f"  cold replay: {cold:8.3f}s virtual")
+    print(f"  warm replay: {warm:8.3f}s virtual "
+          f"(saved {saving:.3f}s, compile share "
+          f"{expected / cold:.0%} of cold)")
+    BENCH_COLLECTOR.record("service_plan_cache", "ssb replay cold",
+                           seconds=cold, rows=0)
+    BENCH_COLLECTOR.record("service_plan_cache", "ssb replay warm",
+                           seconds=warm, rows=0)
+    benchmark.extra_info["compile_saving_s"] = round(saving, 6)
+    assert saving >= expected - 1e-6
+    service.close_session(session.session_id)
+
+
+def test_concurrent_tenants_throughput(benchmark, service):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    admin = service.server.connect()
+    logged_before = admin.execute(
+        "SELECT COUNT(*), SUM(total_s) FROM sys.query_log").rows[0]
+    clients = [
+        LoadClient(token=("bi", "etl", "adhoc")[i % 3],
+                   statements=[REPLAY[i % 4], REPLAY[(i + 1) % 4]],
+                   application="bench")
+        for i in range(12)
+    ]
+    report = run_load(service, clients, repeat=2)
+    assert report.submitted == 12 * 2 * 2
+    assert report.lost == 0 and report.duplicates == 0
+    assert report.errors == 0, report.error_messages[:3]
+
+    logged_after = admin.execute(
+        "SELECT COUNT(*), SUM(total_s) FROM sys.query_log").rows[0]
+    statements = logged_after[0] - logged_before[0]
+    virtual_s = (logged_after[1] or 0.0) - (logged_before[1] or 0.0)
+    registry = service.server.obs.registry
+    p95 = registry.percentile("service.admission.wait_s", 95.0,
+                              pool="default")
+    p99 = registry.percentile("service.admission.wait_s", 99.0,
+                              pool="default")
+    assert p95 is not None and p99 is not None
+    assert p99 >= p95 >= 0.0
+
+    print()
+    print("Serving — 12 clients, 3 tenants, pool parallelism 2")
+    print(f"  {report.finished} statements, "
+          f"{report.throughput_per_s:7.1f} stmt/s wall, "
+          f"{virtual_s:.1f}s virtual across {statements} logged")
+    print(f"  admission wait: p95={p95:.3f}s p99={p99:.3f}s virtual")
+    print(f"  plan-cache hits: {report.plan_cache_hits}, "
+          f"results-cache hits: {report.results_cache_hits}")
+    BENCH_COLLECTOR.record(
+        "service_concurrency", "12 clients x 4 SSB dashboards",
+        seconds=virtual_s, rows=report.rows_fetched,
+        breakdown={
+            "throughput_stmt_per_s": round(report.throughput_per_s, 3),
+            "admission_wait_p95_s": round(p95, 6),
+            "admission_wait_p99_s": round(p99, 6),
+            "plan_cache_hits": report.plan_cache_hits,
+            "results_cache_hits": report.results_cache_hits,
+        })
+    benchmark.extra_info["admission_wait_p99_s"] = round(p99, 6)

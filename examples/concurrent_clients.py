@@ -1,0 +1,112 @@
+"""Concurrent clients against the HiveServer2-style serving layer.
+
+Walks the wire protocol by hand (open session -> submit -> poll ->
+fetch pages -> close), then points a threaded 3-tenant workload at the
+same HTTP endpoint and reads the serving-side story back out of
+``sys.sessions``, ``sys.plan_cache`` and ``sys.timeseries``.
+
+Run with:  python examples/concurrent_clients.py
+"""
+
+import json
+import urllib.request
+
+from repro.config import HiveConf
+from repro.service import HiveService, LoadClient, run_load
+
+
+def call(base: str, method: str, path: str, body=None) -> dict:
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=10) as reply:
+        return json.loads(reply.read())
+
+
+def main() -> None:
+    service = HiveService(conf=HiveConf.v3_profile())
+    admin = service.server.connect()
+    admin.execute("CREATE TABLE sales (day INT, region STRING, "
+                  "amount INT)")
+    values = ", ".join(
+        f"({i % 30}, '{('EU', 'US', 'APAC')[i % 3]}', {i * 13 % 97})"
+        for i in range(90))
+    admin.execute(f"INSERT INTO sales VALUES {values}")
+
+    # tenants: a token opens sessions, a pool bounds their concurrency
+    for sql in [
+        "CREATE RESOURCE PLAN serving",
+        "CREATE POOL serving.dashboards WITH alloc_fraction=0.6, "
+        "query_parallelism=3",
+        "CREATE POOL serving.batch WITH alloc_fraction=0.4, "
+        "query_parallelism=2",
+        "ALTER PLAN serving SET DEFAULT POOL = batch",
+        "ALTER RESOURCE PLAN serving ENABLE ACTIVATE",
+    ]:
+        admin.execute(sql)
+    service.register_tenant("bi", pool="dashboards")
+    service.register_tenant("etl", pool="batch")
+    service.register_tenant("adhoc")   # routed by the plan's default
+
+    base = service.start_http().url
+    print(f"== serving at {base} ==")
+
+    print("== the protocol, one statement by hand ==")
+    session = call(base, "POST", "/v1/sessions", {"token": "bi"})
+    sid = session["session_id"]
+    print(f"  opened session {sid} for tenant {session['tenant']}")
+    handle = call(base, "POST", f"/v1/sessions/{sid}/submit",
+                  {"sql": "SELECT region, SUM(amount) FROM sales "
+                          "GROUP BY region ORDER BY region"})
+    op = handle["operation_id"]
+    print(f"  submitted -> operation {op} (returns immediately)")
+    while True:
+        status = call(base, "GET", f"/v1/operations/{op}")
+        if status["state"] in ("finished", "error", "killed"):
+            break
+    print(f"  polled to state={status['state']} "
+          f"(pool={status['pool']}, "
+          f"wait={status['admission_wait_s']}s virtual)")
+    page = call(base, "GET", f"/v1/operations/{op}/fetch?offset=0&limit=2")
+    print(f"  fetched page 1: {page['rows']} (has_more={page['has_more']})")
+    page = call(base, "GET",
+                f"/v1/operations/{op}/fetch?offset=2&limit=2")
+    print(f"  fetched page 2: {page['rows']}")
+    call(base, "DELETE", f"/v1/sessions/{sid}")
+
+    print("== 12 concurrent clients, 3 tenants, over HTTP ==")
+    statements = [
+        "SELECT COUNT(*) FROM sales",
+        "SELECT region, SUM(amount) FROM sales GROUP BY region",
+        "SELECT day FROM sales WHERE amount > 48",
+    ]
+    clients = [LoadClient(token=("bi", "bi", "etl", "adhoc")[i % 4],
+                          statements=[statements[i % 3]])
+               for i in range(12)]
+    report = run_load(service, clients, repeat=4, base_url=base)
+    print(f"  {report.finished}/{report.submitted} statements finished "
+          f"({report.throughput_per_s:.0f}/s), lost={report.lost}, "
+          f"duplicates={report.duplicates}")
+    print(f"  plan-cache hits: {report.plan_cache_hits}, "
+          f"results-cache hits: {report.results_cache_hits}")
+
+    print("== the serving story, from SQL ==")
+    stats = service.server.plan_cache.stats
+    print(f"  plan cache: {stats.hits} hits / {stats.misses} misses "
+          f"(hit rate {stats.hit_rate:.0%})")
+    for row in admin.execute("SELECT * FROM sys.plan_cache").rows[:3]:
+        print(f"  sys.plan_cache: {row[1][:48]!r:50} hits={row[4]}")
+    open_now = admin.execute(
+        "SELECT COUNT(*) FROM sys.sessions WHERE state = 'open'")
+    print(f"  open sessions after the run: {open_now.rows[0][0]}")
+    p99 = admin.execute(
+        "SELECT COUNT(*) FROM sys.timeseries WHERE name = "
+        "'service.admission.wait_s.p99'").rows[0][0]
+    print(f"  admission-wait p99 samples in sys.timeseries: {p99}")
+
+    service.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -23,10 +23,11 @@ Quickstart::
 from .config import CostModelConf, HiveConf
 from .errors import (AnalysisError, CatalogError, ExecutionError,
                      FederationError, HiveError, LockTimeoutError,
-                     ParseError, TransactionError,
+                     ParseError, ServiceError, TransactionError,
                      UnsupportedFeatureError, WorkloadManagementError,
                      WriteConflictError)
 from .server import HiveServer2, QueryResult, Session
+from .service import HiveService
 
 __version__ = "1.0.0"
 
@@ -38,10 +39,12 @@ def connect(conf: HiveConf | None = None, database: str = "default",
 
 
 __all__ = [
-    "connect", "HiveServer2", "Session", "QueryResult", "HiveConf",
+    "connect", "HiveServer2", "HiveService", "Session", "QueryResult",
+    "HiveConf",
     "CostModelConf", "HiveError", "ParseError",
     "UnsupportedFeatureError", "AnalysisError", "CatalogError",
     "TransactionError", "WriteConflictError", "LockTimeoutError",
-    "ExecutionError", "FederationError", "WorkloadManagementError",
+    "ExecutionError", "FederationError", "ServiceError",
+    "WorkloadManagementError",
     "__version__",
 ]

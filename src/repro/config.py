@@ -79,6 +79,10 @@ class CostModelConf:
     jit_cold_multiplier: float = 1.3
     #: fixed per-query compile/submit overhead in HS2.
     compile_overhead_s: float = 0.15
+    #: compile/submit overhead when the serving layer's compiled plan
+    #: cache hits: the statement skips parse/analyze/optimize and only
+    #: pays the handle lookup + DAG submission.
+    plan_cache_hit_compile_s: float = 0.01
     #: per-vertex task setup cost inside an already-running container.
     task_setup_s: float = 0.05
     #: per-file open cost (namenode round trip + footer read) — what
@@ -155,6 +159,26 @@ class HiveConf:
     results_cache_enabled: bool = True
     results_cache_max_entries: int = 64
     results_cache_wait_pending: bool = True
+
+    # ------------------------------------------------------------------ #
+    # serving layer (repro.service — the HiveServer2 front door).
+    # All knobs are SET-able under their hive.server2.* aliases.
+    #: virtual seconds a pooled session may sit idle before the
+    #: housekeeper tick expires it (hive.server2.session.ttl.s)
+    server2_session_ttl_s: float = 600.0
+    #: open-session quota per tenant (hive.server2.tenant.max.sessions)
+    server2_max_sessions_per_tenant: int = 64
+    #: wall-clock seconds a submission may wait in the admission queue
+    #: before it is rejected (hive.server2.admission.queue.timeout.s)
+    server2_queue_timeout_s: float = 30.0
+    #: run-slot limit for pools with no active WM resource plan, and
+    #: for the implicit "default" pool (hive.server2.default.parallelism)
+    server2_default_parallelism: int = 8
+    #: compiled plan cache: repeated statements skip parse/analyze/
+    #: optimize (hive.server2.plan.cache.enabled)
+    plan_cache_enabled: bool = True
+    #: LRU bound on compiled plans (hive.server2.plan.cache.max.entries)
+    plan_cache_max_entries: int = 256
 
     # ------------------------------------------------------------------ #
     # runtime (Section 5)
@@ -296,6 +320,17 @@ class HiveConf:
             raise ConfigError("txn_timeout_s must be > 0")
         if self.results_cache_pending_timeout_s <= 0.0:
             raise ConfigError("results_cache_pending_timeout_s must be > 0")
+        if self.server2_session_ttl_s <= 0.0:
+            raise ConfigError("server2_session_ttl_s must be > 0")
+        if self.server2_max_sessions_per_tenant < 1:
+            raise ConfigError(
+                "server2_max_sessions_per_tenant must be >= 1")
+        if self.server2_queue_timeout_s <= 0.0:
+            raise ConfigError("server2_queue_timeout_s must be > 0")
+        if self.server2_default_parallelism < 1:
+            raise ConfigError("server2_default_parallelism must be >= 1")
+        if self.plan_cache_max_entries < 1:
+            raise ConfigError("plan_cache_max_entries must be >= 1")
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -333,6 +368,7 @@ class HiveConf:
             federation_pushdown=False,
             reexecution_strategy="off",
             results_cache_enabled=False,
+            plan_cache_enabled=False,
             vectorized_execution=False,
             llap_enabled=False,
             llap_cache_enabled=False,

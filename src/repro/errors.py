@@ -119,3 +119,19 @@ class QueryKilledError(WorkloadManagementError):
         super().__init__(message)
         self.query_id = query_id
         self.reason = reason
+
+
+class ServiceError(HiveError):
+    """Serving-layer failure (auth, quota, unknown session/operation)."""
+
+    def __init__(self, message: str, code: str = "service_error"):
+        super().__init__(message)
+        #: machine-readable category the HTTP endpoint maps to a status
+        self.code = code
+
+
+class AdmissionTimeoutError(ServiceError):
+    """A queued submission exceeded the admission queue timeout."""
+
+    def __init__(self, message: str):
+        super().__init__(message, code="queue_timeout")

@@ -20,6 +20,7 @@ that empty directories survive (partition directories can be empty).
 from __future__ import annotations
 
 import posixpath
+import threading
 from dataclasses import dataclass, field
 
 from ..errors import HiveError
@@ -95,12 +96,17 @@ def _norm(path: str) -> str:
 
 
 class SimFileSystem:
-    """The simulated namespace.  Not thread-safe by design: the runtime
+    """The simulated namespace.
 
-    serializes FS mutations the way a NameNode serializes namespace edits.
+    Thread-safe: the serving layer runs concurrent sessions, so reads
+    (which also charge ``stats``) and namespace mutations synchronize
+    on one reentrant lock, the way a NameNode serializes namespace
+    edits.  File *contents* are immutable bytes — only the namespace
+    and counters need the lock.
     """
 
     def __init__(self):
+        self._lock = threading.RLock()   # create() nests mkdirs()
         self._files: dict[str, FileEntry] = {}
         self._dirs: set[str] = {"/"}
         self._next_file_id = 1
@@ -114,50 +120,57 @@ class SimFileSystem:
     def mkdirs(self, path: str) -> None:
         path = _norm(path)
         parts = path.strip("/").split("/") if path != "/" else []
-        current = ""
-        for part in parts:
-            current += "/" + part
-            self._dirs.add(current)
+        with self._lock:
+            current = ""
+            for part in parts:
+                current += "/" + part
+                self._dirs.add(current)
 
     def is_dir(self, path: str) -> bool:
-        return _norm(path) in self._dirs
+        with self._lock:
+            return _norm(path) in self._dirs
 
     def exists(self, path: str) -> bool:
         path = _norm(path)
-        return path in self._files or path in self._dirs
+        with self._lock:
+            return path in self._files or path in self._dirs
 
     # -- files ------------------------------------------------------------ #
     def create(self, path: str, data: bytes) -> FileEntry:
         """Create an immutable file; parent directories are created."""
         path = _norm(path)
-        if path in self._files:
-            raise FileSystemError(f"file already exists: {path}")
-        if path in self._dirs:
-            raise FileSystemError(f"path is a directory: {path}")
-        self.mkdirs(posixpath.dirname(path))
-        self._clock += 1
-        entry = FileEntry(path=path, data=bytes(data),
-                          file_id=self._next_file_id, mtime=self._clock)
-        self._next_file_id += 1
-        self._files[path] = entry
-        self.stats.files_created += 1
-        self.stats.bytes_written += len(data)
-        return entry
+        with self._lock:
+            if path in self._files:
+                raise FileSystemError(f"file already exists: {path}")
+            if path in self._dirs:
+                raise FileSystemError(f"path is a directory: {path}")
+            self.mkdirs(posixpath.dirname(path))
+            self._clock += 1
+            entry = FileEntry(path=path, data=bytes(data),
+                              file_id=self._next_file_id,
+                              mtime=self._clock)
+            self._next_file_id += 1
+            self._files[path] = entry
+            self.stats.files_created += 1
+            self.stats.bytes_written += len(data)
+            return entry
 
     def read(self, path: str) -> bytes:
-        entry = self._entry(path)
-        self.stats.files_opened += 1
-        self.stats.bytes_read += len(entry.data)
-        self._inject_read_faults(entry.path, len(entry.data))
+        with self._lock:
+            entry = self._entry(path)
+            self.stats.files_opened += 1
+            self.stats.bytes_read += len(entry.data)
+            self._inject_read_faults(entry.path, len(entry.data))
         return entry.data
 
     def read_range(self, path: str, offset: int, length: int) -> bytes:
         """Ranged read — the I/O elevator fetches individual stripes."""
-        entry = self._entry(path)
-        self.stats.files_opened += 1
-        chunk = entry.data[offset:offset + length]
-        self.stats.bytes_read += len(chunk)
-        self._inject_read_faults(entry.path, len(chunk))
+        with self._lock:
+            entry = self._entry(path)
+            self.stats.files_opened += 1
+            chunk = entry.data[offset:offset + length]
+            self.stats.bytes_read += len(chunk)
+            self._inject_read_faults(entry.path, len(chunk))
         return chunk
 
     def _inject_read_faults(self, path: str, nbytes: int) -> None:
@@ -171,20 +184,23 @@ class SimFileSystem:
             "fs.read", path, registry.io_error_rate, registry.max_io_retries)
         if not failures:
             return
-        self.stats.files_opened += failures
-        self.stats.bytes_read += failures * nbytes
-        self.stats.io_retries += failures
-        self.stats.retry_bytes += failures * nbytes
+        with self._lock:   # reentrant: read paths already hold it
+            self.stats.files_opened += failures
+            self.stats.bytes_read += failures * nbytes
+            self.stats.io_retries += failures
+            self.stats.retry_bytes += failures * nbytes
         registry.record("fs.read", path, attempts=failures,
                         detail=f"reread {failures}x{nbytes}B")
 
     def status(self, path: str) -> FileStatus:
-        entry = self._entry(path)
+        with self._lock:
+            entry = self._entry(path)
         return FileStatus(entry.path, entry.length, entry.file_id,
                           entry.mtime)
 
     def file_id(self, path: str) -> int:
-        return self._entry(path).file_id
+        with self._lock:
+            return self._entry(path).file_id
 
     def delete(self, path: str, recursive: bool = False) -> int:
         """Delete a file, or a directory tree with ``recursive``.
@@ -192,59 +208,69 @@ class SimFileSystem:
         Returns the number of files removed.
         """
         path = _norm(path)
-        if path in self._files:
-            del self._files[path]
-            self.stats.files_deleted += 1
-            return 1
-        if path in self._dirs:
-            children_files = [p for p in self._files
-                              if p.startswith(path + "/")]
-            children_dirs = [d for d in self._dirs
-                             if d.startswith(path + "/")]
-            if (children_files or children_dirs) and not recursive:
-                raise FileSystemError(f"directory not empty: {path}")
-            for p in children_files:
-                del self._files[p]
-            for d in children_dirs:
-                self._dirs.discard(d)
-            self._dirs.discard(path)
-            self.stats.files_deleted += len(children_files)
-            return len(children_files)
+        with self._lock:
+            if path in self._files:
+                del self._files[path]
+                self.stats.files_deleted += 1
+                return 1
+            if path in self._dirs:
+                children_files = [p for p in self._files
+                                  if p.startswith(path + "/")]
+                children_dirs = [d for d in self._dirs
+                                 if d.startswith(path + "/")]
+                if (children_files or children_dirs) and not recursive:
+                    raise FileSystemError(
+                        f"directory not empty: {path}")
+                for p in children_files:
+                    del self._files[p]
+                for d in children_dirs:
+                    self._dirs.discard(d)
+                self._dirs.discard(path)
+                self.stats.files_deleted += len(children_files)
+                return len(children_files)
         raise FileSystemError(f"no such path: {path}")
 
     def rename(self, src: str, dst: str) -> None:
         """Atomic rename of a file or directory tree (commit primitive)."""
         src, dst = _norm(src), _norm(dst)
-        if src in self._files:
-            if dst in self._files or dst in self._dirs:
-                raise FileSystemError(f"destination exists: {dst}")
-            entry = self._files.pop(src)
-            self.mkdirs(posixpath.dirname(dst))
-            self._files[dst] = FileEntry(dst, entry.data, entry.file_id,
-                                         entry.mtime)
-            return
-        if src in self._dirs:
-            if dst in self._files or dst in self._dirs:
-                raise FileSystemError(f"destination exists: {dst}")
-            self.mkdirs(posixpath.dirname(dst))
-            moved_dirs = [d for d in self._dirs if
-                          d == src or d.startswith(src + "/")]
-            for d in moved_dirs:
-                self._dirs.discard(d)
-                self._dirs.add(dst + d[len(src):])
-            moved = [p for p in self._files if p.startswith(src + "/")]
-            for p in moved:
-                entry = self._files.pop(p)
-                new_path = dst + p[len(src):]
-                self._files[new_path] = FileEntry(
-                    new_path, entry.data, entry.file_id, entry.mtime)
-            return
+        with self._lock:
+            if src in self._files:
+                if dst in self._files or dst in self._dirs:
+                    raise FileSystemError(f"destination exists: {dst}")
+                entry = self._files.pop(src)
+                self.mkdirs(posixpath.dirname(dst))
+                self._files[dst] = FileEntry(dst, entry.data,
+                                             entry.file_id, entry.mtime)
+                return
+            if src in self._dirs:
+                if dst in self._files or dst in self._dirs:
+                    raise FileSystemError(f"destination exists: {dst}")
+                self.mkdirs(posixpath.dirname(dst))
+                moved_dirs = [d for d in self._dirs if
+                              d == src or d.startswith(src + "/")]
+                for d in moved_dirs:
+                    self._dirs.discard(d)
+                    self._dirs.add(dst + d[len(src):])
+                moved = [p for p in self._files
+                         if p.startswith(src + "/")]
+                for p in moved:
+                    entry = self._files.pop(p)
+                    new_path = dst + p[len(src):]
+                    self._files[new_path] = FileEntry(
+                        new_path, entry.data, entry.file_id, entry.mtime)
+                return
         raise FileSystemError(f"no such path: {src}")
 
     # -- listing ------------------------------------------------------------ #
     def list_files(self, path: str, recursive: bool = False) -> list[FileStatus]:
         """Files directly under ``path`` (or the whole subtree)."""
         path = _norm(path)
+        with self._lock:
+            return self._list_files_locked(path, recursive)
+
+    def _list_files_locked(self, path: str,
+                           recursive: bool) -> list[FileStatus]:
+        # caller holds self._lock
         if path in self._files:
             return [self.status(path)]
         if path not in self._dirs:
@@ -263,21 +289,25 @@ class SimFileSystem:
     def list_dirs(self, path: str) -> list[str]:
         """Immediate child directories of ``path`` (partition listing)."""
         path = _norm(path)
-        if path not in self._dirs:
-            raise FileSystemError(f"no such directory: {path}")
-        prefix = path if path != "/" else ""
-        children = set()
-        for d in self._dirs:
-            if d.startswith(prefix + "/"):
-                rest = d[len(prefix) + 1:]
-                children.add(rest.split("/")[0])
+        with self._lock:
+            if path not in self._dirs:
+                raise FileSystemError(f"no such directory: {path}")
+            prefix = path if path != "/" else ""
+            children = set()
+            for d in self._dirs:
+                if d.startswith(prefix + "/"):
+                    rest = d[len(prefix) + 1:]
+                    children.add(rest.split("/")[0])
         return sorted(prefix + "/" + c for c in children)
 
     def total_bytes(self, path: str = "/") -> int:
         path = _norm(path)
         prefix = "" if path == "/" else path
-        return sum(len(e.data) for p, e in self._files.items()
-                   if path == "/" or p == path or p.startswith(prefix + "/"))
+        with self._lock:
+            return sum(
+                len(e.data) for p, e in self._files.items()
+                if path == "/" or p == path
+                or p.startswith(prefix + "/"))
 
     def _entry(self, path: str) -> FileEntry:
         path = _norm(path)

@@ -29,6 +29,11 @@ RL008     ``time.time()``/``time.monotonic()`` inside ``repro/obs/`` or
           ``repro/llap/`` outside the scrape-clock shim
           (``repro/obs/clock.py``) — monitoring samples must stamp
           wall time through one seam so replay/freeze stays possible
+RL009     ``ThreadingHTTPServer`` construction outside the two wire
+          endpoints (``repro/obs/exposition.py``,
+          ``repro/service/endpoint.py``) — every HTTP surface must
+          live where shutdown, daemon-threading and error mapping
+          are handled; ad-hoc servers leak threads in tests
 ========  ============================================================
 
 Suppression: append ``# reprolint: disable=RL001`` (comma-separated
@@ -63,6 +68,8 @@ RULES = {
              "failures",
     "RL008": "wall-clock call (time.time/time.monotonic) in repro/obs "
              "or repro/llap outside the scrape-clock shim",
+    "RL009": "ThreadingHTTPServer constructed outside the sanctioned "
+             "wire endpoints (obs/exposition.py, service/endpoint.py)",
 }
 
 #: private metric-state attributes RL006 protects (Counter._value,
@@ -89,6 +96,10 @@ SCRAPE_CLOCK_SHIM = "repro/obs/clock.py"
 #: calls RL008 flags — narrower than RL002: tracing spans legitimately
 #: use time.perf_counter, so only the absolute clocks are banned here
 SCRAPE_CLOCK_CALLS = {("time", "time"), ("time", "monotonic")}
+
+#: the only files allowed to construct an HTTP server (RL009)
+HTTP_SERVER_ALLOWED = ("repro/obs/exposition.py",
+                       "repro/service/endpoint.py")
 
 #: method names that mutate built-in containers in place (RL001)
 MUTATORS = frozenset({
@@ -153,6 +164,10 @@ def lint_source(source: str, path: str = "<string>",
             and any(s in norm for s in SCRAPE_CLOCK_SCOPES)
             and not norm.endswith(SCRAPE_CLOCK_SHIM)):
         _check_scrape_clock(tree, path, findings)
+    if ("RL009" in enabled
+            and not any(norm.endswith(p)
+                        for p in HTTP_SERVER_ALLOWED)):
+        _check_http_server(tree, path, findings)
     for finding in findings:
         if 0 < finding.line <= len(lines):
             finding.snippet = lines[finding.line - 1].strip()
@@ -189,7 +204,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     import argparse
     parser = argparse.ArgumentParser(
         prog="reprolint",
-        description="AST linter with repro-specific rules (RL001-RL005)")
+        description="AST linter with repro-specific rules (RL001-RL009)")
     parser.add_argument("paths", nargs="+",
                         help="files or directories to lint")
     parser.add_argument("--format", choices=("text", "json"),
@@ -397,6 +412,37 @@ def _check_scrape_clock(tree, path, findings):
                 "RL008", path, node.lineno, node.col_offset,
                 f"wall-clock call {name}() outside the scrape-clock "
                 "shim — use repro.obs.clock.wall_now_s()/monotonic_s()"))
+
+
+# --------------------------------------------------------------------------- #
+# RL009 — HTTP servers only at the sanctioned wire endpoints
+
+def _check_http_server(tree, path, findings):
+    """RL009 — ``ThreadingHTTPServer(...)`` outside the endpoints.
+
+    The monitor (``repro/obs/exposition.py``) and the serving layer
+    (``repro/service/endpoint.py``) own HTTP: ephemeral-port binding,
+    daemon threading, clean ``shutdown()``/``server_close()`` and JSON
+    error mapping all live there.  A server constructed anywhere else
+    bypasses that lifecycle and leaks listener threads in tests.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name) \
+                and func.id == "ThreadingHTTPServer":
+            name = func.id
+        elif isinstance(func, ast.Attribute) \
+                and func.attr == "ThreadingHTTPServer":
+            name = func.attr
+        if name:
+            findings.append(Finding(
+                "RL009", path, node.lineno, node.col_offset,
+                "ThreadingHTTPServer constructed outside the wire "
+                "endpoints — use MonitorHttpServer (obs) or "
+                "ServiceHttpServer (service)"))
 
 
 # --------------------------------------------------------------------------- #

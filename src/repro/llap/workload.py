@@ -211,6 +211,10 @@ class WorkloadManager:
         self.event_log = event_log
         #: repro.obs.TimeseriesStore backing rate(...) alert rules
         self.timeseries = timeseries
+        #: per-pool heaps of running-query virtual finish times; the
+        #: serving layer admits from many worker threads concurrently,
+        #: so every heap access goes through the lock
+        self._lock = threading.Lock()
         self._running: dict[str, list[float]] = {}
 
     @property
@@ -225,21 +229,22 @@ class WorkloadManager:
             return QueryAdmission(pool="", capacity_fraction=1.0)
         pool_name = self.plan.route(application)
         pool = self.plan.pools[pool_name]
-        heap = self._running.setdefault(pool_name, [])
-        while heap and heap[0] <= arrival_s:
-            heapq.heappop(heap)
-        delay = 0.0
-        if len(heap) >= pool.query_parallelism:
-            earliest = heapq.heappop(heap)
-            delay = max(0.0, earliest - arrival_s)
-        fraction = pool.alloc_fraction
-        # borrow idle capacity from pools with no running queries
-        for other_name, other in self.plan.pools.items():
-            if other_name == pool_name:
-                continue
-            other_heap = self._running.get(other_name, [])
-            if not any(f > arrival_s for f in other_heap):
-                fraction += other.alloc_fraction
+        with self._lock:
+            heap = self._running.setdefault(pool_name, [])
+            while heap and heap[0] <= arrival_s:
+                heapq.heappop(heap)
+            delay = 0.0
+            if len(heap) >= pool.query_parallelism:
+                earliest = heapq.heappop(heap)
+                delay = max(0.0, earliest - arrival_s)
+            fraction = pool.alloc_fraction
+            # borrow idle capacity from pools with no running queries
+            for other_name, other in self.plan.pools.items():
+                if other_name == pool_name:
+                    continue
+                other_heap = self._running.get(other_name, [])
+                if not any(f > arrival_s for f in other_heap):
+                    fraction += other.alloc_fraction
         if self.registry is not None:
             self.registry.counter("wm.pool.admissions",
                                   pool=pool_name).inc()
@@ -252,8 +257,9 @@ class WorkloadManager:
     def complete(self, admission: QueryAdmission, finish_s: float) -> None:
         if not self.active or not admission.pool:
             return
-        heapq.heappush(self._running.setdefault(admission.pool, []),
-                       finish_s)
+        with self._lock:
+            heapq.heappush(self._running.setdefault(admission.pool, []),
+                           finish_s)
 
     def running_counts(self, now_s: float) -> dict[str, int]:
         """Queries still holding a slot per pool at virtual ``now_s``.
@@ -263,9 +269,10 @@ class WorkloadManager:
         """
         if not self.active:
             return {}
-        return {pool: sum(1 for f in self._running.get(pool, ())
-                          if f > now_s)
-                for pool in self.plan.pools}
+        with self._lock:
+            return {pool: sum(1 for f in self._running.get(pool, ())
+                              if f > now_s)
+                    for pool in self.plan.pools}
 
     # -- triggers ----------------------------------------------------------------- #
     def check_triggers_from_registry(self, registry,

@@ -56,6 +56,11 @@ class HiveMetastore:
         self._active_resource_plan: Optional[str] = None
         self._events: list[NotificationEvent] = []
         self._event_counter = itertools.count(1)
+        #: per-table metadata generation: bumped on every DDL event and
+        #: on every statistics change, so a compiled plan (which bakes
+        #: in partition pruning and stats-driven decisions) can be
+        #: validated cheaply by the serving layer's plan cache
+        self._plan_versions: dict[str, int] = {}
         #: runtime statistics captured during execution, persisted here
         #: so the optimizer can feed them back (§4.2 / §9 roadmap):
         #: plan-node digest -> last observed output cardinality
@@ -121,6 +126,11 @@ class HiveMetastore:
                 self.fs.mkdirs(location)
             self._stats[(table.qualified_name, None)] = TableStatistics()
             self._emit("CREATE_TABLE", table.qualified_name, {})
+            if mv_info is not None:
+                # a new rewrite candidate changes how queries over its
+                # SOURCE tables should compile: invalidate their plans
+                for source in mv_info.source_tables:
+                    self._bump_plan_version(source)
             return table
 
     def get_table(self, name: str, database: str = "default") -> TableDescriptor:
@@ -204,12 +214,14 @@ class HiveMetastore:
                 table_stats = self._stats.get(table_key)
                 self._stats[table_key] = (table_stats.merge(delta)
                                           if table_stats else delta.copy())
+            self._bump_plan_version(table.qualified_name)
 
     def set_statistics(self, table: TableDescriptor, stats: TableStatistics,
                        partition: tuple | None = None) -> None:
         """Replace stats wholesale (ANALYZE TABLE / full rebuild)."""
         with self._lock:
             self._stats[(table.qualified_name, partition)] = stats
+            self._bump_plan_version(table.qualified_name)
 
     def get_statistics(self, table: TableDescriptor,
                        partition: tuple | None = None) -> TableStatistics:
@@ -297,6 +309,25 @@ class HiveMetastore:
         # caller holds self._lock (see emit_event and the DDL methods)
         self._events.append(NotificationEvent(  # reprolint: disable=RL001
             next(self._event_counter), event_type, table, payload))
+        self._bump_plan_version(table)
+
+    def _bump_plan_version(self, table: str) -> None:
+        # caller holds self._lock (every DDL/stats path takes it)
+        key = table.lower()
+        versions = self._plan_versions
+        versions[key] = versions.get(key, 0) + 1
+
+    def plan_versions(self, tables) -> dict[str, int]:
+        """Current plan-relevant metadata generation per table.
+
+        The serving layer's compiled plan cache snapshots these at store
+        time; any mismatch at lookup time invalidates the cached plan
+        (DDL, new partitions, or statistics changes may all have shifted
+        pruning and join decisions baked into it).
+        """
+        with self._lock:
+            return {t: self._plan_versions.get(t.lower(), 0)
+                    for t in tables}
 
     def emit_event(self, event_type: str, table: str, payload: dict) -> None:
         with self._lock:

@@ -85,16 +85,35 @@ class LiveQueryRegistry:
         #: runner checkpoint, outside the lock, reentrancy-guarded
         self._hooks: list[Callable] = []
         self._in_hook = threading.local()
+        #: kill listeners: fn(query_id, reason) called (outside the
+        #: lock) whenever a kill is requested — the serving layer's
+        #: admission controller uses this to cancel *queued* operations
+        #: that no runner checkpoint will ever observe
+        self._kill_listeners: list[Callable] = []
 
     # -- lifecycle ------------------------------------------------------ #
     def register(self, query_id: int, statement: str,
                  database: str = "default",
                  application: Optional[str] = None,
                  started_s: float = 0.0) -> LiveQuery:
-        entry = LiveQuery(query_id=query_id, statement=statement,
-                          database=database, application=application,
-                          started_s=started_s)
+        """Register a statement; re-registering an id *merges*.
+
+        The serving layer pre-registers queued operations (phase
+        ``queued``) before the driver session picks them up; when
+        ``Session.execute`` registers the same id the existing entry is
+        updated in place so a kill flag raised while the operation sat
+        in the admission queue survives into execution.
+        """
         with self._lock:
+            existing = self._queries.get(query_id)
+            if existing is not None:
+                existing.statement = statement
+                existing.database = database
+                existing.application = application
+                return existing
+            entry = LiveQuery(query_id=query_id, statement=statement,
+                              database=database, application=application,
+                              started_s=started_s)
             self._queries[query_id] = entry
         return entry
 
@@ -144,9 +163,22 @@ class LiveQueryRegistry:
                 return False
             entry.kill_requested = True
             entry.kill_reason = reason
+            listeners = list(self._kill_listeners)
         if self.registry is not None:
             self.registry.counter("monitor.kill_requests").inc()
+        for listener in listeners:   # outside the lock (leaf-lock rule)
+            listener(query_id, reason)
         return True
+
+    def add_kill_listener(self, fn: Callable) -> None:
+        """``fn(query_id, reason)`` fires on every kill request."""
+        with self._lock:
+            self._kill_listeners.append(fn)
+
+    def remove_kill_listener(self, fn: Callable) -> None:
+        with self._lock:
+            if fn in self._kill_listeners:
+                self._kill_listeners.remove(fn)
 
     def checkpoint(self, query_id: int) -> None:
         """Runner cancellation point (between DAG vertices).

@@ -82,6 +82,30 @@ METRIC_HELP: dict[str, str] = {
     "faults.delay_s": "virtual seconds of injected delay, by site",
     "monitor.kill_requests": "KILL QUERY statements accepted",
     "monitor.kills": "queries terminated via KILL QUERY",
+    "service.sessions.opened": "service sessions opened, per tenant",
+    "service.sessions.closed": "service sessions closed, per tenant",
+    "service.sessions.expired":
+        "idle service sessions reaped by the TTL housekeeper",
+    "service.sessions.rejected":
+        "session opens refused (bad token or tenant quota), per reason",
+    "service.statements.submitted":
+        "statements accepted by the serving layer, per tenant",
+    "service.statements.finished":
+        "service operations reaching a terminal state, per status",
+    "service.admission.wait_s":
+        "virtual seconds queued at the service admission gate, per pool",
+    "service.admission.timeouts":
+        "submissions rejected by the admission queue timeout, per pool",
+    "service.admission.cancelled":
+        "queued operations cancelled by KILL QUERY, per pool",
+    "service.admission.queued":
+        "operations currently waiting for a run slot, per pool",
+    "service.admission.running":
+        "operations currently holding a service run slot, per pool",
+    "service.admission.wait_s.p99":
+        "p99 of the service admission wait distribution, per pool",
+    "service.admission.wait_s.p95":
+        "p95 of the service admission wait distribution, per pool",
     "llap.cache.used_bytes": "LLAP cache bytes resident per daemon",
     "llap.cache.chunks": "LLAP cache chunks resident per daemon",
     "llap.cache.occupancy":

@@ -54,6 +54,10 @@ class Observability:
         self.hms = None
         self.workload_manager = None
         self.faults = None
+        #: serving-layer sources for sys.sessions / sys.plan_cache
+        #: (bound by HiveService / HiveServer2; anything with .rows())
+        self.session_source = None
+        self.plan_cache_source = None
         self._caches: list[tuple[str, object]] = []
         self.http_server = None
         from .systables import SysTableHandler
@@ -70,6 +74,16 @@ class Observability:
         """Attach the fault registry so ``sys.fault_log`` can serve it."""
         with self._lock:
             self.faults = faults
+
+    def bind_sessions(self, source) -> None:
+        """Attach the service session manager (``sys.sessions``)."""
+        with self._lock:
+            self.session_source = source
+
+    def bind_plan_cache(self, source) -> None:
+        """Attach the compiled plan cache (``sys.plan_cache``)."""
+        with self._lock:
+            self.plan_cache_source = source
 
     def bind_cache(self, component: str, stats, *,
                    extra: Optional[dict] = None) -> None:
@@ -153,8 +167,12 @@ class Observability:
     def next_query_id(self) -> int:
         return next(self._query_ids)
 
-    def start_trace(self, sql: str) -> QueryTrace:
-        trace = QueryTrace(self.next_query_id(), sql)
+    def start_trace(self, sql: str,
+                    query_id: Optional[int] = None) -> QueryTrace:
+        """Open a trace; ``query_id`` reuses an id the serving layer
+        pre-allocated at submit time (the operation handle), so queued
+        phase, kill flags and the final log entry share one id."""
+        trace = QueryTrace(query_id or self.next_query_id(), sql)
         with self._lock:
             self.traces.append(trace)
         return trace

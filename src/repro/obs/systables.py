@@ -25,6 +25,10 @@ Tables:
   death, reaped transactions,
 * ``sys.live_queries`` — statements in flight *right now* (phase,
   progress, ETA, kill flag); targets for ``KILL QUERY <id>``,
+* ``sys.sessions``     — pooled serving-layer sessions (tenant,
+  application, TTL state, statement counts),
+* ``sys.plan_cache``   — compiled-plan cache entries (statement,
+  tables, per-entry hit counts),
 * ``sys.timeseries``   — the cluster-state sample rings (virtual +
   wall timestamps, interval and scrape sources),
 * ``sys.cluster_nodes`` / ``sys.llap_daemons`` — per-daemon executor
@@ -129,6 +133,17 @@ LLAP_DAEMONS_SCHEMA = Schema([
     Column("node", BIGINT), Column("cache_bytes", BIGINT),
     Column("cache_chunks", BIGINT), Column("occupancy", DOUBLE)])
 
+SESSIONS_SCHEMA = Schema([
+    Column("session_id", STRING), Column("tenant", STRING),
+    Column("application", STRING), Column("db", STRING),
+    Column("state", STRING), Column("created_s", DOUBLE),
+    Column("last_used_s", DOUBLE), Column("statements", BIGINT)])
+
+PLAN_CACHE_SCHEMA = Schema([
+    Column("db", STRING), Column("statement", STRING),
+    Column("tables", STRING), Column("conf_digest", STRING),
+    Column("hits", BIGINT), Column("last_used", BIGINT)])
+
 FAULT_LOG_SCHEMA = Schema([
     Column("event_id", BIGINT), Column("query_id", BIGINT),
     Column("site", STRING), Column("target", STRING),
@@ -146,6 +161,8 @@ SYS_TABLES: dict[str, Schema] = {
     "metrics": METRICS_SCHEMA,
     "fault_log": FAULT_LOG_SCHEMA,
     "live_queries": LIVE_QUERIES_SCHEMA,
+    "sessions": SESSIONS_SCHEMA,
+    "plan_cache": PLAN_CACHE_SCHEMA,
     "timeseries": TIMESERIES_SCHEMA,
     "cluster_nodes": CLUSTER_NODES_SCHEMA,
     "llap_daemons": LLAP_DAEMONS_SCHEMA,
@@ -262,6 +279,14 @@ class SysTableHandler(StorageHandler):
 
     def _rows_live_queries(self) -> list[tuple]:
         return self.obs.live_queries.rows()
+
+    def _rows_sessions(self) -> list[tuple]:
+        source = self.obs.session_source
+        return [] if source is None else source.rows()
+
+    def _rows_plan_cache(self) -> list[tuple]:
+        source = self.obs.plan_cache_source
+        return [] if source is None else source.rows()
 
     def _rows_timeseries(self) -> list[tuple]:
         # rows() already renders labels as "k=v,k=v"

@@ -264,8 +264,14 @@ class TezRunner:
             application: Optional[str] = None,
             arrival_s: float = 0.0,
             hash_join_memory_rows: Optional[int] = None,
-            profile=None, trace=None, query_id: int = 0):
-        """Execute and return ``(VectorBatch, QueryMetrics, ctx)``."""
+            profile=None, trace=None, query_id: int = 0,
+            compile_overhead_s: Optional[float] = None):
+        """Execute and return ``(VectorBatch, QueryMetrics, ctx)``.
+
+        ``compile_overhead_s`` overrides the cost model's fixed compile
+        charge — the serving layer's plan cache passes its reduced hit
+        cost, since a cached statement skips parse/analyze/optimize.
+        """
         ctx = ExecutionContext(
             scan_executor=scan_executor,
             semijoin_filters=scan_executor.semijoin_filters,
@@ -302,7 +308,8 @@ class TezRunner:
             raise
 
         metrics = self._account(plan, ctx, scan_executor, admission,
-                                profile=profile, query_id=query_id)
+                                profile=profile, query_id=query_id,
+                                compile_overhead_s=compile_overhead_s)
         metrics.rows_produced = result.num_rows
         metrics.queue_s = admission.queue_delay_s
         metrics.pool = admission.pool
@@ -336,7 +343,9 @@ class TezRunner:
     def _account(self, plan: OptimizedPlan, ctx: ExecutionContext,
                  scan_executor: ScanExecutor,
                  admission: QueryAdmission,
-                 profile=None, query_id: int = 0) -> QueryMetrics:
+                 profile=None, query_id: int = 0,
+                 compile_overhead_s: Optional[float] = None
+                 ) -> QueryMetrics:
         conf = self.conf
         cost = conf.cost
         dag = build_dag(plan.root)
@@ -360,7 +369,10 @@ class TezRunner:
         jit = 1.0 if llap or conf.container_reuse \
             else cost.jit_cold_multiplier
 
-        metrics = QueryMetrics(compile_s=cost.compile_overhead_s)
+        metrics = QueryMetrics(
+            compile_s=(cost.compile_overhead_s
+                       if compile_overhead_s is None
+                       else compile_overhead_s))
         finish: dict[int, float] = {}
         by_id = {v.vertex_id: v for v in dag.vertices}
         containers_started = False

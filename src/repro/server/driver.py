@@ -53,6 +53,9 @@ from .dml import DmlResult, TableWriter
 from .mv import (RebuildReport, changed_sources, classify_changes,
                  snapshot_write_ids, source_tables_of)
 from .results_cache import QueryResultsCache
+# plan_cache is a leaf module (stdlib only) — no cycle back into the
+# driver; the rest of repro.service imports this module lazily
+from ..service.plan_cache import CompiledPlanCache, plan_conf_digest
 
 #: virtual time of a query answered straight from the results cache: a
 #: single task fetching from the cached location (Section 4.3)
@@ -69,6 +72,7 @@ class QueryResult:
     operation: str = "select"
     metrics: Optional[QueryMetrics] = None
     from_cache: bool = False
+    plan_cached: bool = False    # compiled via the plan cache
     reexecuted: bool = False
     views_used: list = field(default_factory=list)
     optimized: Optional[OptimizedPlan] = None
@@ -112,6 +116,11 @@ class HiveServer2:
             registry=self.obs.registry,
             event_log=self.obs.wm_events,
             timeseries=self.obs.timeseries)
+        self.plan_cache = CompiledPlanCache(
+            self.conf.plan_cache_max_entries)
+        #: serving-layer hooks (fn(now_s)) run on every session's
+        #: housekeeper tick — HiveService reaps expired sessions here
+        self.housekeeping_hooks: list = []
         self._view_plans: dict[tuple[str, str], rel.RelNode] = {}
         self._mv_scan_ids = itertools.count(100_000)
         # absorb the pre-existing stats fragments into the registry
@@ -124,6 +133,11 @@ class HiveServer2:
         self.obs.bind_cache(
             "results", self.results_cache.stats,
             extra={"entries": lambda: len(self.results_cache)})
+        self.obs.bind_cache(
+            "plan", self.plan_cache.stats,
+            extra={"entries": lambda: len(self.plan_cache),
+                   "hit_rate": lambda: self.plan_cache.stats.hit_rate})
+        self.obs.bind_plan_cache(self.plan_cache)
         self.obs.bind_cluster(
             self.llap_cache, self.hms, self.workload_manager,
             num_nodes=self.conf.num_nodes,
@@ -199,6 +213,11 @@ class Session:
         self.server = server
         self.database = database
         self.application = application
+        # *snapshot* semantics, like a HS2 connection: the session conf
+        # is copied at open time, so a later server-wide SET does not
+        # retro-apply to open sessions; a session changes its own
+        # behaviour with its own SET.  Anything keyed by session conf
+        # (e.g. the plan-cache digest) must read THIS copy.
         self.conf = server.conf.copy()
         self.now_s = 0.0           # virtual clock across this session
         self._trace = None         # QueryTrace of the statement in flight
@@ -209,12 +228,18 @@ class Session:
         self._txn_tables: set[str] = set()
 
     # ------------------------------------------------------------------ #
-    def execute(self, sql: str) -> QueryResult:
-        """Execute one SQL statement and return its result."""
+    def execute(self, sql: str,
+                query_id: Optional[int] = None) -> QueryResult:
+        """Execute one SQL statement and return its result.
+
+        ``query_id`` lets the serving layer reuse the id it allocated
+        at submit time (the operation handle), so the queued phase,
+        kill flags and the final log entry all share one id.
+        """
         obs = self.server.obs
         if "sys." in sql.lower():
             obs.ensure_sys_tables(self.hms)
-        trace = obs.start_trace(sql)
+        trace = obs.start_trace(sql, query_id=query_id)
         self._trace = trace
         started_s = self.now_s
         operation = ""
@@ -223,10 +248,16 @@ class Session:
             application=self.application, started_s=started_s)
         try:
             self._tick_txn_clock()
-            with trace.span("parse"):
-                statement = parse_statement(sql, self.conf)
-            operation = type(statement).__name__.lower()
-            result = self._dispatch(statement)
+            # byte-identical repeat of a cached select: skip even parse
+            cached_plan = self._cached_plan_for(sql)
+            if cached_plan is not None:
+                operation = "selectstatement"
+                result = self._run_cached_plan(cached_plan)
+            else:
+                with trace.span("parse"):
+                    statement = parse_statement(sql, self.conf)
+                operation = type(statement).__name__.lower()
+                result = self._dispatch(statement)
         except Exception as error:
             status = ("killed" if isinstance(error, QueryKilledError)
                       else "error")
@@ -271,6 +302,10 @@ class Session:
                 self._clear_transaction()
                 raise
         reaped = self.server.housekeeper.run(self.now_s)
+        # serving-layer housekeeping (session TTL reaping) rides the
+        # same per-statement tick as the transaction reaper
+        for hook in list(self.server.housekeeping_hooks):
+            hook(clock)
         if txn is not None and txn in reaped:
             self._clear_transaction()
             raise TransactionError(
@@ -426,22 +461,70 @@ class Session:
 
     # ------------------------------------------------------------------ #
     # SELECT path
+    def _plan_cache_usable(self, use_cache: bool) -> bool:
+        """May this statement use the compiled plan cache at all?
+
+        Transactions pin snapshots the cache key does not capture, and
+        runtime-stats feedback makes compilation workload-dependent —
+        both disable lookup *and* store.
+        """
+        return (use_cache and self.conf.plan_cache_enabled
+                and self._active_txn is None
+                and not self.conf.runtime_stats_feedback)
+
+    def _plan_conf_digest(self) -> str:
+        # the SESSION's effective conf, never the server's: two
+        # sessions differing on a plan-relevant knob must not share
+        # plans.  Registered storage handlers ride along because
+        # federation pushdown plans differ when a handler appears.
+        return plan_conf_digest(
+            self.conf,
+            extra=",".join(sorted(self.server.storage_handlers)))
+
+    def _cached_plan_for(self, sql: str):
+        """Raw-text plan-cache fast path (skips the parser)."""
+        if not self._plan_cache_usable(True):
+            return None
+        return self.server.plan_cache.lookup_raw(
+            self.database, sql, self._plan_conf_digest(),
+            self.hms.plan_versions)
+
     def _run_select(self, query: ast.Query,
                     use_cache: bool = True) -> QueryResult:
+        plan_key = None
+        if self._plan_cache_usable(use_cache):
+            digest = self._plan_conf_digest()
+            canonical = query.unparse()
+            plan_key = (canonical, digest)
+            cached = self.server.plan_cache.lookup(
+                self.database, canonical, digest,
+                self.hms.plan_versions)
+            if cached is not None:
+                # a differently-spelled repeat: teach the raw fast
+                # path this spelling too
+                if self._trace is not None:
+                    self.server.plan_cache.link_raw(
+                        cached, self.database, self._trace.sql, digest)
+                return self._run_cached_plan(cached)
         analyzer = self._analyzer()
         self._publish_phase("analyze")
         with self._span("analyze"):
             plan = analyzer.analyze_query(query)
         tables = sorted({s.table_name for s in rel.find_scans(plan)})
+        # captured BEFORE optimization: a concurrent DDL *during*
+        # compilation leaves the stored versions behind the table's,
+        # invalidating the entry on its next lookup (never stale)
+        plan_versions = self.hms.plan_versions(tables)
         current_wids = {t: self.hms.txn_manager.current_write_id(t)
                         for t in tables}
 
         # sys.* contents are generated from live server state; caching
         # them by write-id would pin permanently stale snapshots
         reads_sys = any(t.split(".", 1)[0] == "sys" for t in tables)
+        deterministic = _is_cacheable(query)
         cacheable = (use_cache and self.conf.results_cache_enabled
                      and self._active_txn is None and not reads_sys
-                     and _is_cacheable(query))
+                     and deterministic)
         entry = None
         if cacheable:
             key = f"{self.database}::{query.unparse()}"
@@ -462,25 +545,103 @@ class Session:
         if entry is not None:
             self.server.results_cache.publish(
                 entry, result.rows, result.column_names, current_wids)
+        if (plan_key is not None and not reads_sys
+                and not result.reexecuted
+                and result.optimized is not None
+                and not result.optimized.views_used
+                and not self._mv_rewrite_candidate(tables)):
+            # MV-rewritten plans are excluded — and so are plans a
+            # rewrite COULD apply to: the decision depends on view
+            # freshness, which is time-dependent
+            self.server.plan_cache.store(
+                self.database, plan_key[0], plan_key[1],
+                analyzed=plan, optimized=result.optimized,
+                tables=tables, versions=plan_versions,
+                cacheable=deterministic,
+                raw_sql=(self._trace.sql if self._trace is not None
+                         else None))
+        return result
+
+    def _mv_rewrite_candidate(self, tables: list) -> bool:
+        """Could an enabled materialized view rewrite this query?
+
+        Whether a rewrite *applies* depends on view freshness at the
+        session clock — not capturable in a version key — so plans
+        over any rewrite-enabled view's source tables are never
+        cached.
+        """
+        if not self.conf.mv_rewriting:
+            return False
+        reads = {t.lower() for t in tables}
+        for view in self.hms.views_enabled_for_rewrite():
+            info = view.mv_info
+            if info is not None and reads.intersection(
+                    s.lower() for s in info.source_tables):
+                return True
+        return False
+
+    def _run_cached_plan(self, cached) -> QueryResult:
+        """Execute a plan-cache hit.
+
+        Compilation is charged at the reduced
+        ``cost.plan_cache_hit_compile_s``; the results cache still
+        applies on top (a hit there skips execution as well).
+        """
+        self._publish_phase("plan cache hit")
+        current_wids = {t: self.hms.txn_manager.current_write_id(t)
+                        for t in cached.tables}
+        cacheable = (self.conf.results_cache_enabled
+                     and self._active_txn is None and cached.cacheable)
+        entry = None
+        if cacheable:
+            key = f"{self.database}::{cached.canonical}"
+            entry, must_compute = self.server.results_cache.lookup(
+                key, current_wids)
+            if not must_compute:
+                metrics = QueryMetrics(total_s=CACHED_FETCH_S,
+                                       compile_s=CACHED_FETCH_S)
+                return QueryResult(rows=list(entry.rows),
+                                   column_names=list(entry.column_names),
+                                   metrics=metrics, from_cache=True,
+                                   plan_cached=True)
+        try:
+            result = self._compile_and_run(cached.analyzed,
+                                           cached=cached)
+        except Exception:
+            if entry is not None:
+                self.server.results_cache.abandon(entry)
+            raise
+        result.plan_cached = True
+        if entry is not None:
+            self.server.results_cache.publish(
+                entry, result.rows, result.column_names, current_wids)
         return result
 
     def _compile_and_run(self, plan: rel.RelNode,
                          conf: Optional[HiveConf] = None,
                          stats_overrides: Optional[dict] = None,
-                         ) -> QueryResult:
+                         cached=None) -> QueryResult:
         conf = conf or self.conf
         if conf.runtime_stats_feedback:
             merged = self.hms.runtime_stats()
             merged.update(stats_overrides or {})
             stats_overrides = merged
-        optimizer = Optimizer(
-            self.hms, conf, stats_overrides=stats_overrides,
-            view_provider=lambda: self.server.view_definitions(self.now_s),
-            federation_rule=self.server.federation_rule(),
-            trace=self._trace)
-        self._publish_phase("optimize")
-        with self._span("optimize"):
-            optimized = optimizer.optimize(plan)
+        compile_cost = None
+        if cached is not None:
+            # plan-cache hit: reuse the compiled plan and charge the
+            # reduced compile cost; a reoptimize below compiles anew
+            optimized = cached.optimized
+            compile_cost = conf.cost.plan_cache_hit_compile_s
+        else:
+            optimizer = Optimizer(
+                self.hms, conf, stats_overrides=stats_overrides,
+                view_provider=lambda: self.server.view_definitions(
+                    self.now_s),
+                federation_rule=self.server.federation_rule(),
+                trace=self._trace)
+            self._publish_phase("optimize")
+            with self._span("optimize"):
+                optimized = optimizer.optimize(plan)
         attempts = 0
         reexecuted = False
         while True:
@@ -488,7 +649,8 @@ class Session:
             try:
                 with self._span("execute") as span:
                     batch, metrics, ctx = self._run_optimized(
-                        optimized, conf, profile)
+                        optimized, conf, profile,
+                        compile_overhead_s=compile_cost)
                     if span is not None:
                         span.virtual_s = metrics.total_s
                 break
@@ -502,6 +664,8 @@ class Session:
                 if conf.reexecution_strategy == "overlay":
                     conf = conf.copy(**conf.reexecution_overlay)
                 else:  # reoptimize using captured runtime statistics
+                    # a real recompilation: full compile cost again
+                    compile_cost = None
                     runtime_stats = getattr(failure, "runtime_stats", {})
                     optimizer = Optimizer(
                         self.hms, conf, stats_overrides=runtime_stats,
@@ -522,7 +686,8 @@ class Session:
         return result
 
     def _run_optimized(self, optimized: OptimizedPlan, conf: HiveConf,
-                       profile: Optional[ExecutionProfile] = None):
+                       profile: Optional[ExecutionProfile] = None,
+                       compile_overhead_s: Optional[float] = None):
         in_txn = self._active_txn is not None
         snapshot = (self._txn_snapshot if in_txn
                     else self.hms.txn_manager.get_snapshot())
@@ -557,7 +722,8 @@ class Session:
             arrival_s=self.now_s,
             hash_join_memory_rows=conf.hash_join_memory_rows,
             profile=profile, trace=self._trace,
-            query_id=self._trace.query_id if self._trace else 0)
+            query_id=self._trace.query_id if self._trace else 0,
+            compile_overhead_s=compile_overhead_s)
 
     # ------------------------------------------------------------------ #
     # EXPLAIN
@@ -1313,6 +1479,13 @@ class Session:
             self.server.obs.cluster.set_interval(float(value))
         elif attr == "monitor_http_port" and int(value) > 0:
             self.server.obs.start_http(port=int(value))
+        elif attr in _SERVER2_KNOBS:
+            # serving-layer knobs are server-wide: the session manager
+            # and admission controller read the SERVER conf (session
+            # confs remain snapshots — see Session.__init__)
+            setattr(self.server.conf, attr, value)
+            if attr == "plan_cache_max_entries":
+                self.server.plan_cache.max_entries = int(value)
         return QueryResult(operation="set",
                            message=f"{attr}={value}")
 
@@ -1533,4 +1706,20 @@ _CONFIG_ALIASES = {
     "hive.txn.timeout.s": "txn_timeout_s",
     "hive.query.results.cache.pending.timeout.s":
         "results_cache_pending_timeout_s",
+    "hive.server2.session.ttl.s": "server2_session_ttl_s",
+    "hive.server2.tenant.max.sessions": "server2_max_sessions_per_tenant",
+    "hive.server2.admission.queue.timeout.s": "server2_queue_timeout_s",
+    "hive.server2.default.parallelism": "server2_default_parallelism",
+    "hive.server2.plan.cache.enabled": "plan_cache_enabled",
+    "hive.server2.plan.cache.max.entries": "plan_cache_max_entries",
 }
+
+#: serving-layer knobs mirrored to the server conf by ``SET`` (the
+#: session manager / admission controller read server state);
+#: ``plan_cache_enabled`` stays session-scoped by design — it gates
+#: this session's lookups, like ``results_cache_enabled``
+_SERVER2_KNOBS = frozenset({
+    "server2_session_ttl_s", "server2_max_sessions_per_tenant",
+    "server2_queue_timeout_s", "server2_default_parallelism",
+    "plan_cache_max_entries",
+})

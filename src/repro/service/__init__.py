@@ -1,0 +1,35 @@
+"""``repro.service`` — the concurrent serving layer (HiveServer2 front).
+
+Lazy re-exports keep import cost near zero and avoid import cycles:
+the driver imports :mod:`repro.service.plan_cache` directly, while
+:class:`HiveService` imports the driver only at construction time.
+"""
+
+_EXPORTS = {
+    "HiveService": "core",
+    "ServiceHttpServer": "endpoint",
+    "SessionManager": "sessions",
+    "ServiceSession": "sessions",
+    "AdmissionController": "admission",
+    "Operation": "operations",
+    "OperationRegistry": "operations",
+    "CompiledPlanCache": "plan_cache",
+    "PlanCacheStats": "plan_cache",
+    "PLAN_RELEVANT_CONF": "plan_cache",
+    "plan_conf_digest": "plan_cache",
+    "LoadClient": "harness",
+    "LoadReport": "harness",
+    "run_load": "harness",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module 'repro.service' has no attribute {name!r}")
+    import importlib
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, name)

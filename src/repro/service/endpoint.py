@@ -1,0 +1,176 @@
+"""HTTP wire protocol for :class:`~repro.service.core.HiveService`.
+
+A JSON-over-HTTP rendition of the HiveServer2 Thrift API, stdlib only
+(same ``ThreadingHTTPServer`` pattern as the monitor endpoint in
+:mod:`repro.obs.exposition` — the only two modules allowed to build one,
+enforced by reprolint RL009):
+
+========  ==============================  ===============================
+method    path                            body / query
+========  ==============================  ===============================
+POST      /v1/sessions                    {token?, application?, database?}
+DELETE    /v1/sessions/{sid}              —
+POST      /v1/sessions/{sid}/submit       {sql}
+GET       /v1/operations/{op}             —  (poll state/phase/ETA)
+GET       /v1/operations/{op}/fetch       ?offset=N&limit=M (paged rows)
+DELETE    /v1/operations/{op}             —  (KILL QUERY path)
+GET       /healthz                        —
+========  ==============================  ===============================
+
+``submit`` is asynchronous: it returns an operation handle immediately;
+clients poll then fetch.  Service errors map onto HTTP statuses by
+their machine code: ``auth``→401, ``quota``→429, ``not_found``→404,
+``not_ready``→409, ``timeout``→408; anything else is a 400.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from ..errors import HiveError, ServiceError
+
+#: ServiceError.code -> HTTP status
+_STATUS = {"auth": 401, "quota": 429, "not_found": 404,
+           "not_ready": 409, "timeout": 408, "queue_timeout": 408}
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    server_version = "repro-hs2/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- routing -------------------------------------------------------- #
+    def do_POST(self):  # noqa: N802 - stdlib API
+        self._route("POST")
+
+    def do_GET(self):  # noqa: N802 - stdlib API
+        self._route("GET")
+
+    def do_DELETE(self):  # noqa: N802 - stdlib API
+        self._route("DELETE")
+
+    def _route(self, method: str) -> None:
+        service = self.server.service
+        path, _, query = self.path.partition("?")
+        parts = [p for p in path.split("/") if p]
+        try:
+            payload = self._dispatch(service, method, parts, query)
+        except ServiceError as error:
+            self._json(_STATUS.get(error.code, 400),
+                       {"error": str(error), "code": error.code})
+        except HiveError as error:
+            self._json(400, {"error": str(error),
+                             "code": "execution"})
+        except Exception as error:  # surface, don't kill the thread
+            self._json(500, {"error": str(error), "code": "internal"})
+        else:
+            self._json(200, payload)
+
+    def _dispatch(self, service, method: str, parts: list[str],
+                  query: str) -> dict:
+        if parts == ["healthz"]:
+            return {"status": "ok",
+                    "sessions": service.sessions.open_count(),
+                    "live_operations": service.operations.live_count()}
+        if not parts or parts[0] != "v1":
+            raise ServiceError(f"no such route: {self.path}",
+                               code="not_found")
+        if parts[1:] == ["sessions"] and method == "POST":
+            body = self._body()
+            session = service.open_session(
+                token=body.get("token"),
+                application=body.get("application"),
+                database=body.get("database", "default"))
+            return {"session_id": session.session_id,
+                    "tenant": session.tenant}
+        if len(parts) == 3 and parts[1] == "sessions" \
+                and method == "DELETE":
+            service.close_session(parts[2])
+            return {"session_id": parts[2], "closed": True}
+        if len(parts) == 4 and parts[1] == "sessions" \
+                and parts[3] == "submit" and method == "POST":
+            body = self._body()
+            sql = body.get("sql")
+            if not sql:
+                raise ServiceError("missing 'sql'", code="bad_request")
+            op = service.submit(parts[2], sql)
+            return {"operation_id": op.op_id,
+                    "query_id": op.query_id, "state": op.state}
+        if len(parts) == 3 and parts[1] == "operations":
+            if method == "GET":
+                return service.poll(parts[2])
+            if method == "DELETE":
+                cancelled = service.cancel(parts[2])
+                return {"operation_id": parts[2],
+                        "cancelled": cancelled}
+        if len(parts) == 4 and parts[1] == "operations" \
+                and parts[3] == "fetch" and method == "GET":
+            params = dict(pair.split("=", 1)
+                          for pair in query.split("&") if "=" in pair)
+            return service.fetch(parts[2],
+                                 offset=int(params.get("offset", 0)),
+                                 limit=int(params.get("limit", 100)))
+        raise ServiceError(f"no such route: {method} {self.path}",
+                           code="not_found")
+
+    # -- plumbing ------------------------------------------------------- #
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except ValueError as error:
+            raise ServiceError(f"invalid JSON body: {error}",
+                               code="bad_request")
+        if not isinstance(body, dict):
+            raise ServiceError("JSON body must be an object",
+                               code="bad_request")
+        return body
+
+    def _json(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib API
+        pass  # load tests must not spam the output
+
+
+class ServiceHttpServer:
+    """Daemon-threaded JSON endpoint for one :class:`HiveService`."""
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0):
+        self._httpd = ThreadingHTTPServer((host, port), _ServiceHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = service
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceHttpServer":
+        thread = threading.Thread(target=self._httpd.serve_forever,
+                                  name="repro-hs2", daemon=True)
+        self._thread = thread
+        thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

@@ -1,0 +1,211 @@
+"""Threaded load harness: N virtual users against the serving layer.
+
+Drives a :class:`HiveService` either in-process (direct method calls)
+or over its HTTP endpoint (``base_url=``), one thread per client, each
+client replaying its statement list ``repeat`` times: open session →
+submit → poll to a terminal state → page rows via ``fetch`` → verify.
+
+The report proves the acceptance bar (zero lost, zero duplicated
+results under concurrency): every submission must reach a terminal
+state exactly once, every fetched page must re-assemble to exactly the
+operation's row count, and no operation id may be observed twice.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class LoadClient:
+    """One virtual user: a tenant token and a statement script."""
+
+    token: str
+    statements: list
+    application: Optional[str] = None
+    database: str = "default"
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one :func:`run_load` run."""
+
+    submitted: int = 0
+    finished: int = 0
+    errors: int = 0
+    killed: int = 0
+    lost: int = 0            # submissions that never reached a terminal state
+    duplicates: int = 0      # operation ids observed more than once
+    rows_fetched: int = 0
+    results_cache_hits: int = 0
+    plan_cache_hits: int = 0
+    wall_s: float = 0.0
+    error_messages: list = field(default_factory=list)
+
+    @property
+    def throughput_per_s(self) -> float:
+        return self.finished / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class _InProcessClient:
+    """Direct-call protocol adapter."""
+
+    def __init__(self, service):
+        self.service = service
+
+    def open(self, client: LoadClient) -> str:
+        session = self.service.open_session(
+            token=client.token, application=client.application,
+            database=client.database)
+        return session.session_id
+
+    def submit(self, session_id: str, sql: str) -> str:
+        return self.service.submit(session_id, sql).op_id
+
+    def poll(self, op_id: str) -> dict:
+        return self.service.poll(op_id)
+
+    def fetch(self, op_id: str, offset: int, limit: int) -> dict:
+        return self.service.fetch(op_id, offset, limit)
+
+    def close(self, session_id: str) -> None:
+        self.service.close_session(session_id)
+
+
+class _HttpClient:
+    """urllib protocol adapter against a running endpoint."""
+
+    def __init__(self, base_url: str):
+        self.base = base_url.rstrip("/")
+
+    def _call(self, method: str, path: str,
+              body: Optional[dict] = None) -> dict:
+        data = (json.dumps(body).encode("utf-8")
+                if body is not None else None)
+        request = urllib.request.Request(
+            self.base + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=30) as reply:
+            return json.loads(reply.read())
+
+    def open(self, client: LoadClient) -> str:
+        payload = self._call("POST", "/v1/sessions", {
+            "token": client.token,
+            "application": client.application,
+            "database": client.database})
+        return payload["session_id"]
+
+    def submit(self, session_id: str, sql: str) -> str:
+        payload = self._call(
+            "POST", f"/v1/sessions/{session_id}/submit", {"sql": sql})
+        return payload["operation_id"]
+
+    def poll(self, op_id: str) -> dict:
+        return self._call("GET", f"/v1/operations/{op_id}")
+
+    def fetch(self, op_id: str, offset: int, limit: int) -> dict:
+        return self._call(
+            "GET",
+            f"/v1/operations/{op_id}/fetch"
+            f"?offset={offset}&limit={limit}")
+
+    def close(self, session_id: str) -> None:
+        self._call("DELETE", f"/v1/sessions/{session_id}")
+
+
+def run_load(service, clients, repeat: int = 1,
+             base_url: Optional[str] = None,
+             fetch_page: int = 64,
+             poll_interval_s: float = 0.002,
+             timeout_s: float = 120.0) -> LoadReport:
+    """Replay every client's script concurrently; verify delivery."""
+    proto = (_HttpClient(base_url) if base_url is not None
+             else _InProcessClient(service))
+    report = LoadReport()
+    seen_ops: set = set()
+    lock = threading.Lock()
+
+    def one_client(client: LoadClient) -> None:
+        try:
+            session_id = proto.open(client)
+        except Exception as error:   # open rejected (auth/quota/...)
+            with lock:
+                report.errors += 1
+                report.error_messages.append(
+                    f"open({client.token}): {error}")
+            return
+        try:
+            for _ in range(repeat):
+                for sql in client.statements:
+                    _one_statement(proto, session_id, sql, report,
+                                   seen_ops, lock, fetch_page,
+                                   poll_interval_s, timeout_s)
+        finally:
+            proto.close(session_id)
+
+    threads = [threading.Thread(target=one_client, args=(c,),
+                                name=f"load-{i}", daemon=True)
+               for i, c in enumerate(clients)]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout_s)
+    report.wall_s = time.monotonic() - started
+    return report
+
+
+def _one_statement(proto, session_id: str, sql: str,
+                   report: LoadReport, seen_ops: set,
+                   lock: threading.Lock, fetch_page: int,
+                   poll_interval_s: float, timeout_s: float) -> None:
+    op_id = proto.submit(session_id, sql)
+    with lock:
+        report.submitted += 1
+        if op_id in seen_ops:
+            report.duplicates += 1
+        seen_ops.add(op_id)
+    deadline = time.monotonic() + timeout_s
+    state = "queued"
+    payload: dict = {}
+    while time.monotonic() < deadline:
+        payload = proto.poll(op_id)
+        state = payload["state"]
+        if state in ("finished", "error", "killed"):
+            break
+        time.sleep(poll_interval_s)
+    else:
+        with lock:
+            report.lost += 1
+        return
+    if state != "finished":
+        with lock:
+            if state == "killed":
+                report.killed += 1
+            else:
+                report.errors += 1
+                report.error_messages.append(payload.get("error", ""))
+        return
+    # page the full result set and verify nothing was dropped
+    rows = 0
+    offset = 0
+    while True:
+        page = proto.fetch(op_id, offset, fetch_page)
+        rows += page["returned"]
+        offset += page["returned"]
+        if not page["has_more"] or page["returned"] == 0:
+            break
+    with lock:
+        report.finished += 1
+        report.rows_fetched += rows
+        if rows != payload.get("row_count", rows):
+            report.lost += 1   # short delivery counts as loss
+        if payload.get("from_cache"):
+            report.results_cache_hits += 1
+        if payload.get("plan_cached"):
+            report.plan_cache_hits += 1

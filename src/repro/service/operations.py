@@ -1,0 +1,158 @@
+"""Async operation handles: submit returns immediately, clients poll.
+
+Mirrors HiveServer2's ``TOperationHandle``: a submitted statement gets
+an operation id at once, runs on a worker thread, and the client polls
+``GET /v1/operations/{op}`` then pages rows with ``fetch``.  The
+operation id doubles as the hex-encoded query id, so ``KILL QUERY`` /
+``sys.live_queries`` / the query log all line up with the handle a
+client holds.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ServiceError
+
+#: operation lifecycle; the first two are live, the rest terminal
+STATES = ("queued", "running", "finished", "error", "killed")
+TERMINAL = ("finished", "error", "killed")
+
+
+@dataclass
+class Operation:
+    """One submitted statement and (eventually) its result pages."""
+
+    op_id: str
+    session_id: str
+    tenant: str
+    sql: str
+    query_id: int
+    submitted_s: float = 0.0     # session virtual clock at submit
+    state: str = "queued"
+    pool: str = ""
+    error: str = ""
+    error_code: str = ""
+    column_names: list = field(default_factory=list)
+    rows: list = field(default_factory=list)
+    rows_affected: int = 0
+    from_cache: bool = False     # served by the *results* cache
+    plan_cached: bool = False    # compiled via the *plan* cache
+    reexecuted: bool = False
+    admission_wait_s: float = 0.0
+    total_s: float = 0.0
+    done: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL
+
+    def describe(self) -> dict:
+        """Poll payload (rows ride only on ``fetch``)."""
+        return {
+            "operation_id": self.op_id,
+            "session_id": self.session_id,
+            "tenant": self.tenant,
+            "query_id": self.query_id,
+            "state": self.state,
+            "pool": self.pool,
+            "error": self.error,
+            "error_code": self.error_code,
+            "row_count": len(self.rows),
+            "rows_affected": self.rows_affected,
+            "from_cache": self.from_cache,
+            "plan_cached": self.plan_cached,
+            "reexecuted": self.reexecuted,
+            "admission_wait_s": round(self.admission_wait_s, 6),
+            "total_s": round(self.total_s, 6),
+        }
+
+
+class OperationRegistry:
+    """Thread-safe registry of operations, keyed by operation id.
+
+    Completed operations are retained (clients fetch after the worker
+    thread exits) up to ``max_completed``, oldest evicted first.
+    """
+
+    def __init__(self, max_completed: int = 10_000):
+        self._lock = threading.Lock()
+        self._ops: dict[str, Operation] = {}
+        self._completed: deque[str] = deque()
+        self._max_completed = max_completed
+
+    # -- lifecycle ------------------------------------------------------ #
+    def create(self, session_id: str, tenant: str, sql: str,
+               query_id: int, submitted_s: float) -> Operation:
+        op = Operation(op_id=f"{query_id:x}", session_id=session_id,
+                       tenant=tenant, sql=sql, query_id=query_id,
+                       submitted_s=submitted_s)
+        with self._lock:
+            self._ops[op.op_id] = op
+        return op
+
+    def get(self, op_id: str) -> Operation:
+        with self._lock:
+            op = self._ops.get(op_id)
+        if op is None:
+            raise ServiceError(f"unknown operation: {op_id}",
+                               code="not_found")
+        return op
+
+    def transition(self, op: Operation, state: str, **fields) -> None:
+        """Move an operation to ``state``; terminal states set the
+        done event and enter the retention window."""
+        with self._lock:
+            # a kill that raced the normal finish keeps the first
+            # terminal state — results are never overwritten
+            if op.state in TERMINAL:
+                return
+            op.state = state
+            for key, value in fields.items():
+                setattr(op, key, value)
+            if state not in TERMINAL:
+                return
+            self._completed.append(op.op_id)
+            while len(self._completed) > self._max_completed:
+                self._ops.pop(self._completed.popleft(), None)
+        op.done.set()
+
+    # -- result access -------------------------------------------------- #
+    def fetch(self, op_id: str, offset: int = 0,
+              limit: int = 100) -> dict:
+        op = self.get(op_id)
+        if not op.finished:
+            raise ServiceError(
+                f"operation {op_id} not finished (state={op.state})",
+                code="not_ready")
+        if op.state != "finished":
+            raise ServiceError(
+                f"operation {op_id} {op.state}: {op.error}",
+                code=op.error_code or "failed")
+        with self._lock:
+            page = op.rows[offset:offset + limit]
+            total = len(op.rows)
+            columns = list(op.column_names)
+        return {"operation_id": op_id, "columns": columns,
+                "rows": page, "offset": offset, "returned": len(page),
+                "total": total, "has_more": offset + len(page) < total}
+
+    def wait(self, op_id: str, timeout_s: float = 60.0) -> Operation:
+        op = self.get(op_id)
+        if not op.done.wait(timeout_s):
+            raise ServiceError(
+                f"operation {op_id} still {op.state} after "
+                f"{timeout_s:.0f}s", code="timeout")
+        return op
+
+    def live_count(self) -> int:
+        with self._lock:
+            return sum(1 for op in self._ops.values()
+                       if op.state not in TERMINAL)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ops)

@@ -180,7 +180,7 @@ class TestSysTables:
         rows = loaded_session.execute(
             "SELECT component, metric, value FROM sys.cache_stats").rows
         components = {r[0] for r in rows}
-        assert components == {"llap", "results"}
+        assert components == {"llap", "results", "plan"}
         metrics = {r[1] for r in rows if r[0] == "llap"}
         assert {"hits", "misses", "evictions"} <= metrics
 

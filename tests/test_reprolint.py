@@ -175,6 +175,33 @@ class TestRL008ScrapeClock:
         assert rule_ids(findings) == ["RL008"]
 
 
+class TestRL009HttpServer:
+    CODE = """
+        from http.server import ThreadingHTTPServer
+        def serve(handler):
+            return ThreadingHTTPServer(("127.0.0.1", 0), handler)
+        """
+
+    def test_flagged_outside_endpoints(self):
+        findings = lint(self.CODE, path="src/repro/obs/cluster.py")
+        assert rule_ids(findings) == ["RL009"]
+        assert "ThreadingHTTPServer" in findings[0].message
+
+    def test_attribute_call_flagged(self):
+        findings = lint("""
+            import http.server
+            def serve(handler):
+                return http.server.ThreadingHTTPServer(
+                    ("127.0.0.1", 0), handler)
+            """, path="src/repro/server/driver.py")
+        assert rule_ids(findings) == ["RL009"]
+
+    def test_sanctioned_endpoints_exempt(self):
+        for path in ("src/repro/obs/exposition.py",
+                     "src/repro/service/endpoint.py"):
+            assert lint(self.CODE, path=path) == []
+
+
 class TestRL003FrozenMutation:
     def test_object_setattr_flagged_anywhere(self):
         findings = lint("""

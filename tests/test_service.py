@@ -1,0 +1,523 @@
+"""repro.service: the concurrent serving layer (ISSUE 6 tentpole).
+
+Covers the HS2-style facade end to end: session pooling (auth, quotas,
+TTL reaping, conf-snapshot semantics), async operation handles with
+paged fetch, admission control (FIFO slots, queue timeout,
+kill-while-queued, deterministic virtual waits, p99 timeseries), the
+compiled plan cache (hits, DDL/stats invalidation, per-session conf
+digests), and the acceptance bar: 64 threads x 1000+ statements x 3
+tenants with zero lost and zero duplicated results.
+"""
+
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.config import HiveConf
+from repro.errors import ServiceError
+from repro.service import HiveService, LoadClient, run_load
+from repro.service.plan_cache import plan_conf_digest
+
+
+@pytest.fixture
+def service():
+    svc = HiveService(conf=HiveConf.v3_profile())
+    yield svc
+    svc.shutdown()
+
+
+def wait_until(predicate, timeout_s=10.0, interval_s=0.002):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return False
+
+
+def make_table(service, rows=20):
+    admin = service.server.connect()
+    admin.execute("CREATE TABLE t (a INT, b STRING)")
+    values = ", ".join(f"({i}, 'v{i}')" for i in range(rows))
+    admin.execute(f"INSERT INTO t VALUES {values}")
+    return admin
+
+
+# --------------------------------------------------------------------------- #
+class TestSessions:
+    def test_open_execute_close(self, service):
+        make_table(service)
+        session = service.open_session(token="alice")
+        op = service.execute(session.session_id, "SELECT COUNT(*) FROM t")
+        assert op.state == "finished"
+        assert op.rows == [(20,)]
+        service.close_session(session.session_id)
+        with pytest.raises(ServiceError) as err:
+            service.submit(session.session_id, "SELECT 1")
+        assert err.value.code == "not_found"
+
+    def test_auth_rejects_unknown_token(self, service):
+        service.register_tenant("bi", token="secret-bi")
+        session = service.open_session(token="secret-bi")
+        assert session.tenant == "bi"
+        with pytest.raises(ServiceError) as err:
+            service.open_session(token="wrong")
+        assert err.value.code == "auth"
+
+    def test_per_tenant_session_quota(self, service):
+        service.server.conf.server2_max_sessions_per_tenant = 3
+        held = [service.open_session(token="alice") for _ in range(3)]
+        with pytest.raises(ServiceError) as err:
+            service.open_session(token="alice")
+        assert err.value.code == "quota"
+        # another tenant is unaffected; closing frees the quota
+        service.open_session(token="bob")
+        service.close_session(held[0].session_id)
+        service.open_session(token="alice")
+
+    def test_sys_sessions_rows(self, service):
+        make_table(service)
+        session = service.open_session(token="alice", application="dash")
+        service.execute(session.session_id, "SELECT a FROM t")
+        reader = service.server.connect()
+        result = reader.execute("SELECT * FROM sys.sessions")
+        rows = [dict(zip(result.column_names, row))
+                for row in result.rows]
+        mine = [r for r in rows
+                if r["session_id"] == session.session_id]
+        assert mine and mine[0]["tenant"] == "alice"
+        assert mine[0]["application"] == "dash"
+        assert mine[0]["state"] == "open"
+        assert mine[0]["statements"] == 1
+
+    def test_ttl_reaps_idle_sessions(self, service):
+        service.server.conf.server2_session_ttl_s = 5.0
+        session = service.open_session(token="alice")
+        idle_at = session.last_used_s
+        assert service.sessions.reap_expired(idle_at + 4.0) == []
+        assert service.sessions.reap_expired(idle_at + 6.0) == \
+            [session.session_id]
+        assert session.state == "expired"
+        with pytest.raises(ServiceError):
+            service.submit(session.session_id, "SELECT 1")
+
+    def test_ttl_never_reaps_mid_statement_session(self, service):
+        service.server.conf.server2_session_ttl_s = 0.001
+        session = service.open_session(token="alice")
+        with session.lock:   # simulates a statement in flight
+            assert service.sessions.reap_expired(1e9) == []
+        assert session.state == "open"
+
+    def test_housekeeper_tick_expires_sessions(self, service):
+        """TTL reaping rides the driver's per-statement housekeeper."""
+        make_table(service)
+        service.server.conf.server2_session_ttl_s = 0.5
+        idle = service.open_session(token="alice")
+        # a *different* session keeps executing, advancing the global
+        # clock past the idle session's TTL; its ticks run the reaper
+        busy = service.server.connect()
+        busy.conf.results_cache_enabled = False
+        for _ in range(30):
+            busy.execute("SELECT COUNT(*) FROM t WHERE a < 5")
+            if idle.state != "open":
+                break
+            busy.now_s += 0.2
+        assert idle.state == "expired"
+
+
+class TestConfSnapshot:
+    def test_server_set_does_not_retro_apply(self, service):
+        """Satellite 1: conf is copied at open; later server-wide
+        changes only affect sessions opened afterwards."""
+        before = service.open_session(token="alice")
+        service.server.conf.cbo_enabled = False
+        after = service.open_session(token="alice")
+        assert before.driver.conf.cbo_enabled is True
+        assert after.driver.conf.cbo_enabled is False
+
+    def test_session_set_is_private(self, service):
+        make_table(service)
+        one = service.open_session(token="alice")
+        two = service.open_session(token="bob")
+        service.execute(one.session_id, "SET hive.cbo.enable=false")
+        assert one.driver.conf.cbo_enabled is False
+        assert two.driver.conf.cbo_enabled is True
+        assert service.server.conf.cbo_enabled is True
+
+    def test_plan_cache_digest_uses_session_conf(self, service):
+        """Sessions whose plan-relevant conf differs must not share
+        cached plans: their digests (the cache key) differ."""
+        one = service.open_session(token="alice")
+        two = service.open_session(token="bob")
+        service.execute(one.session_id, "SET hive.cbo.enable=false")
+        three = service.open_session(token="carol")
+        assert one.driver._plan_conf_digest() != \
+            two.driver._plan_conf_digest()
+        assert two.driver._plan_conf_digest() == \
+            three.driver._plan_conf_digest()
+        # the digest is a pure function of the plan-relevant conf
+        assert plan_conf_digest(one.driver.conf) != \
+            plan_conf_digest(two.driver.conf)
+
+
+# --------------------------------------------------------------------------- #
+class TestOperations:
+    def test_submit_returns_handle_immediately(self, service):
+        make_table(service)
+        session = service.open_session(token="alice")
+        op = service.submit(session.session_id, "SELECT a FROM t")
+        assert op.op_id == f"{op.query_id:x}"
+        assert wait_until(lambda: op.finished)
+        payload = service.poll(op.op_id)
+        assert payload["state"] == "finished"
+        assert payload["row_count"] == 20
+
+    def test_fetch_pages_all_rows(self, service):
+        make_table(service, rows=25)
+        session = service.open_session(token="alice")
+        op = service.execute(session.session_id,
+                             "SELECT a FROM t ORDER BY a")
+        rows, offset = [], 0
+        while True:
+            page = service.fetch(op.op_id, offset=offset, limit=7)
+            rows.extend(page["rows"])
+            offset += page["returned"]
+            if not page["has_more"]:
+                break
+        assert rows == [(i,) for i in range(25)]
+        assert page["total"] == 25
+
+    def test_fetch_before_finish_is_not_ready(self, service):
+        op = service.operations.create("s0", "alice", "SELECT 1", 99,
+                                       submitted_s=0.0)
+        with pytest.raises(ServiceError) as err:
+            service.operations.fetch(op.op_id)
+        assert err.value.code == "not_ready"
+
+    def test_failed_statement_surfaces_error(self, service):
+        session = service.open_session(token="alice")
+        op = service.execute(session.session_id,
+                             "SELECT a FROM missing_table")
+        assert op.state == "error"
+        assert "missing_table" in op.error
+        with pytest.raises(ServiceError):
+            service.fetch(op.op_id)
+
+    def test_unknown_operation(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.poll("deadbeef")
+        assert err.value.code == "not_found"
+
+
+# --------------------------------------------------------------------------- #
+class TestAdmission:
+    def _occupy_default_pool(self, service):
+        service.server.conf.server2_default_parallelism = 1
+        service.admission.acquire("default", query_id=10**9,
+                                  arrival_s=0.0)
+
+    def test_queue_timeout_rejects(self, service):
+        make_table(service)
+        self._occupy_default_pool(service)
+        service.server.conf.server2_queue_timeout_s = 0.1
+        session = service.open_session(token="alice")
+        op = service.submit(session.session_id, "SELECT a FROM t")
+        assert wait_until(lambda: op.finished)
+        assert op.state == "error"
+        assert op.error_code == "queue_timeout"
+        registry = service.server.obs.registry
+        assert registry.value("service.admission.timeouts",
+                              pool="default") >= 1
+        service.admission.release("default", 0.0)
+
+    def test_cancel_while_queued(self, service):
+        """Satellite 2: KILL removes a queued operation immediately,
+        marks it killed, and leaves a wm_events audit row."""
+        make_table(service)
+        self._occupy_default_pool(service)
+        session = service.open_session(token="alice")
+        op = service.submit(session.session_id, "SELECT a FROM t")
+        assert wait_until(
+            lambda: service.admission.queue_depth("default") == 1)
+        assert service.cancel(op.op_id, reason="operator kill") is True
+        assert wait_until(lambda: op.finished)
+        assert op.state == "killed"
+        assert "killed while queued" in op.error
+        service.admission.release("default", 0.0)
+        reader = service.server.connect()
+        audits = reader.execute(
+            "SELECT query_id, trigger_name FROM sys.wm_events").rows
+        assert (op.query_id, "kill_query") in audits
+        # cancelling a terminal operation is a no-op
+        assert service.cancel(op.op_id) is False
+
+    def test_kill_query_statement_reaches_queued_ops(self, service):
+        """The SQL surface (KILL QUERY n) drives the same listener."""
+        make_table(service)
+        self._occupy_default_pool(service)
+        session = service.open_session(token="alice")
+        op = service.submit(session.session_id, "SELECT a FROM t")
+        assert wait_until(
+            lambda: service.admission.queue_depth("default") == 1)
+        admin = service.server.connect()
+        admin.execute(f"KILL QUERY {op.query_id}")
+        assert wait_until(lambda: op.finished)
+        assert op.state == "killed"
+        service.admission.release("default", 0.0)
+
+    def test_tenant_pool_mapping_overrides_plan(self, service):
+        admin = service.server.connect()
+        for sql in [
+            "CREATE RESOURCE PLAN prod",
+            "CREATE POOL prod.bi WITH alloc_fraction=0.7, "
+            "query_parallelism=2",
+            "CREATE POOL prod.etl WITH alloc_fraction=0.3, "
+            "query_parallelism=4",
+            "ALTER PLAN prod SET DEFAULT POOL = etl",
+            "ALTER RESOURCE PLAN prod ENABLE ACTIVATE",
+        ]:
+            admin.execute(sql)
+        service.register_tenant("dash", pool="bi")
+        assert service.admission.route("dash") == "bi"
+        assert service.admission.route("other") == "etl"
+        assert service.admission._limit("bi") == 2
+        assert service.admission._limit("etl") == 4
+
+    def test_virtual_wait_model_charges_queue_delay(self, service):
+        """The WM-style heap model: with the pool virtually full, an
+        arrival waits for the earliest modeled finisher."""
+        service.server.conf.server2_default_parallelism = 2
+        adm = service.admission
+        assert adm.acquire("default", 1, arrival_s=0.0) == 0.0
+        assert adm.acquire("default", 2, arrival_s=0.0) == 0.0
+        adm.release("default", finish_s=10.0)
+        adm.release("default", finish_s=12.0)
+        # arrival at t=1 with finishers at 10 and 12 -> waits 9 virtual
+        # seconds, however fast the wall clock admitted it
+        assert adm.acquire("default", 3, arrival_s=1.0) == \
+            pytest.approx(9.0)
+        adm.release("default", finish_s=15.0)
+        # a late arrival (past every modeled finish) waits nothing
+        assert adm.acquire("default", 4, arrival_s=20.0) == 0.0
+        adm.release("default", finish_s=21.0)
+
+    def test_virtual_wait_is_deterministic(self):
+        """The wait charged to the session clock depends only on the
+        arrival schedule and pool limit — two fresh services replaying
+        the same sequence agree exactly (seeded runs reproduce)."""
+        def replay():
+            conf = HiveConf.v3_profile()
+            conf.faults_seed = 42
+            conf.server2_default_parallelism = 2
+            svc = HiveService(conf=conf)
+            try:
+                make_table(svc)
+                session = svc.open_session(token="alice")
+                waits, clocks = [], []
+                for i in range(8):
+                    op = svc.execute(session.session_id,
+                                     f"SELECT a FROM t WHERE a > {i}")
+                    waits.append(op.admission_wait_s)
+                    clocks.append(round(session.driver.now_s, 9))
+                return waits, clocks
+            finally:
+                svc.shutdown()
+
+        assert replay() == replay()
+
+    def test_admission_wait_p99_in_timeseries(self, service):
+        make_table(service)
+        session = service.open_session(token="alice")
+        for i in range(3):
+            service.execute(session.session_id,
+                            f"SELECT a FROM t WHERE a > {i}")
+        reader = service.server.connect()
+        rows = reader.execute(
+            "SELECT name, labels, value FROM sys.timeseries "
+            "WHERE name = 'service.admission.wait_s.p99'").rows
+        assert rows, "p99 admission wait must be published per admission"
+        assert all("pool=default" in labels for _, labels, _ in rows)
+        assert reader.execute(
+            "SELECT COUNT(*) FROM sys.timeseries "
+            "WHERE name = 'service.admission.wait_s.p95'").rows[0][0] > 0
+
+
+# --------------------------------------------------------------------------- #
+class TestPlanCache:
+    def test_repeat_statement_hits(self, service):
+        make_table(service)
+        session = service.open_session(token="alice")
+        sql = "SELECT a, b FROM t WHERE a > 3"
+        first = service.execute(session.session_id, sql)
+        second = service.execute(session.session_id, sql)
+        assert first.plan_cached is False
+        assert second.plan_cached is True
+        stats = service.server.plan_cache.stats
+        assert stats.hits >= 1 and stats.stores >= 1
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_hit_skips_compile_cost(self, service):
+        make_table(service)
+        session = service.open_session(token="alice")
+        session.driver.conf.results_cache_enabled = False
+        sql = "SELECT COUNT(*) FROM t"
+        conf = service.server.conf
+        cold = service.execute(session.session_id, sql)
+        warm = service.execute(session.session_id, sql)
+        assert cold.total_s > warm.total_s
+        assert warm.total_s < cold.total_s - (
+            conf.cost.compile_overhead_s
+            - conf.cost.plan_cache_hit_compile_s) + 1e-9
+
+    def test_ddl_invalidates(self, service):
+        make_table(service)
+        session = service.open_session(token="alice")
+        sql = "SELECT a FROM t WHERE a > 1"
+        service.execute(session.session_id, sql)
+        admin = service.server.connect()
+        # a DDL on an *unrelated* table leaves the entry valid
+        admin.execute("CREATE TABLE scratch (x INT)")
+        hit = service.execute(session.session_id, sql)
+        assert hit.plan_cached is True
+        stats = service.server.plan_cache.stats
+        before = stats.invalidations
+        admin.execute("INSERT INTO t VALUES (100, 'x')")
+        recompiled = service.execute(session.session_id, sql)
+        assert recompiled.plan_cached is False
+        assert stats.invalidations == before + 1
+        rehit = service.execute(session.session_id, sql)
+        assert rehit.plan_cached is True
+
+    def test_stats_change_invalidates(self, service):
+        make_table(service)
+        session = service.open_session(token="alice")
+        sql = "SELECT b FROM t WHERE a > 2"
+        service.execute(session.session_id, sql)
+        stats = service.server.plan_cache.stats
+        before = stats.invalidations
+        admin = service.server.connect()
+        admin.execute("ANALYZE TABLE t COMPUTE STATISTICS FOR COLUMNS")
+        recompiled = service.execute(session.session_id, sql)
+        assert recompiled.plan_cached is False
+        assert stats.invalidations == before + 1
+
+    def test_sys_plan_cache_rows(self, service):
+        make_table(service)
+        session = service.open_session(token="alice")
+        sql = "SELECT a FROM t WHERE a > 7"
+        service.execute(session.session_id, sql)
+        service.execute(session.session_id, sql)
+        reader = service.server.connect()
+        result = reader.execute("SELECT * FROM sys.plan_cache")
+        rows = [dict(zip(result.column_names, row))
+                for row in result.rows]
+        mine = [r for r in rows
+                if r["statement"] == "SELECT a FROM t WHERE (a > 7)"]
+        assert mine and mine[0]["db"] == "default"
+        assert mine[0]["tables"] == "default.t"
+        assert mine[0]["hits"] == 1
+
+    def test_conf_change_misses(self, service):
+        make_table(service)
+        session = service.open_session(token="alice")
+        sql = "SELECT a FROM t WHERE a > 5"
+        service.execute(session.session_id, sql)
+        service.execute(session.session_id,
+                        "SET hive.cbo.enable=false")
+        other_conf = service.execute(session.session_id, sql)
+        assert other_conf.plan_cached is False
+
+    def test_disabled_by_conf(self, service):
+        make_table(service)
+        session = service.open_session(token="alice")
+        service.execute(session.session_id,
+                        "SET hive.server2.plan.cache.enabled=false")
+        sql = "SELECT a FROM t"
+        service.execute(session.session_id, sql)
+        repeat = service.execute(session.session_id, sql)
+        assert repeat.plan_cached is False
+        assert len(service.server.plan_cache) == 0
+
+
+# --------------------------------------------------------------------------- #
+class TestConcurrentServing:
+    def test_32_threads_no_lost_or_duplicated(self, service):
+        make_table(service, rows=30)
+        clients = [
+            LoadClient(token=f"tenant-{i % 4}",
+                       statements=[
+                           f"SELECT a FROM t WHERE a > {i % 7}",
+                           "SELECT COUNT(*) FROM t",
+                       ])
+            for i in range(32)
+        ]
+        report = run_load(service, clients, repeat=2)
+        assert report.submitted == 32 * 2 * 2
+        assert report.errors == 0, report.error_messages[:3]
+        assert report.lost == 0
+        assert report.duplicates == 0
+        assert report.finished == report.submitted
+        assert report.plan_cache_hits > 0
+
+    def test_concurrent_sessions_share_one_timeline(self, service):
+        make_table(service)
+        errors = []
+
+        def worker(index):
+            try:
+                session = service.open_session(token=f"u{index}")
+                for _ in range(3):
+                    op = service.execute(session.session_id,
+                                         "SELECT COUNT(*) FROM t")
+                    assert op.state == "finished"
+                service.close_session(session.session_id)
+            except Exception as error:   # pragma: no cover - surfaced
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        assert service.operations.live_count() == 0
+
+    def test_acceptance_64_threads_1000_statements_3_tenants(self):
+        """ISSUE 6 acceptance: 64 client threads, 3 tenants, 1000+
+        statements, zero lost and zero duplicated results."""
+        conf = HiveConf.v3_profile()
+        conf.faults_seed = 42
+        service = HiveService(conf=conf)
+        try:
+            make_table(service, rows=40)
+            for tenant in ("bi", "etl", "adhoc"):
+                service.register_tenant(tenant)
+            statements = [
+                "SELECT COUNT(*) FROM t",
+                "SELECT a FROM t WHERE a > 10",
+                "SELECT b, COUNT(*) FROM t GROUP BY b",
+                "SELECT a FROM t ORDER BY a",
+            ]
+            clients = [
+                LoadClient(token=("bi", "etl", "adhoc")[i % 3],
+                           statements=[statements[i % 4],
+                                       statements[(i + 1) % 4]])
+                for i in range(64)
+            ]
+            report = run_load(service, clients, repeat=4,
+                              timeout_s=240.0)
+            assert report.submitted == 64 * 2 * 4   # 1024 statements
+            assert report.lost == 0
+            assert report.duplicates == 0
+            assert report.errors == 0, report.error_messages[:3]
+            assert report.killed == 0
+            assert report.finished == report.submitted
+            # the dashboard workload must benefit from the plan cache
+            assert report.plan_cache_hits + report.results_cache_hits \
+                > report.submitted // 2
+            assert service.sessions.open_count() == 0
+        finally:
+            service.shutdown()
