@@ -20,7 +20,14 @@ Quickstart::
     print(result.rows)
 """
 
-from .config import CostModelConf, HiveConf
+from .lint.sanitizer import install_from_env as _install_sanitizer
+
+# honor HIVE_SANITIZE=1 before any lock is constructed: every
+# warehouse component built after this point gets instrumented
+# primitives from the repro.common.sync seam
+_install_sanitizer()
+
+from .config import CostModelConf, HiveConf  # noqa: E402
 from .errors import (AnalysisError, CatalogError, ExecutionError,
                      FederationError, HiveError, LockTimeoutError,
                      ParseError, ServiceError, TransactionError,

@@ -193,7 +193,7 @@ class AcidReader:
             metrics.files_opened += 1
             metrics.metadata_bytes += reader.metadata_bytes
             batch = reader.read_all()
-            metrics.bytes_read += len(self.fs._entry(path).data)
+            metrics.bytes_read += self.fs.status(path).length
             wids = batch.column("__writeid__").data
             orig_wids = batch.column("__orig_writeid__").data
             buckets = batch.column("__bucket__").data

@@ -1,0 +1,66 @@
+"""Synchronization-primitive seam: one construction point for locks.
+
+Every lock, re-entrant lock and condition variable the warehouse
+creates goes through these factories instead of calling
+``threading.Lock()`` directly.  In normal runs the factories return
+the stdlib primitives unchanged — zero overhead, zero indirection on
+the acquire/release hot path.  When the runtime lock sanitizer is
+installed (``HIVE_SANITIZE=1``, :mod:`repro.lint.sanitizer`), the
+factories hand back instrumented drop-in wrappers that record
+per-thread acquisition stacks, hold times and the observed lock-order
+graph.
+
+The ``name`` passed at construction is the lock's *site identity*
+(``"SimFileSystem._lock"``).  The sanitizer aggregates instances by
+site — per-object locks (one per service session, one per admission
+gate) share one node in the lock-order graph, which is also the token
+the static analyzer (:mod:`repro.lint.concurrency`) uses, so the two
+passes talk about the same graph.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+#: the installed sanitizer (a ``repro.lint.sanitizer.LockSanitizer``)
+#: or None; module-global because locks outlive any one server
+_factory = None
+
+
+def install(factory) -> None:
+    """Route subsequent lock construction through ``factory``."""
+    global _factory
+    _factory = factory
+
+
+def uninstall() -> None:
+    global _factory
+    _factory = None
+
+
+def active():
+    """The installed sanitizer, or None when locks are raw."""
+    return _factory
+
+
+def new_lock(name: str = "lock"):
+    """A mutex (``threading.Lock`` unless the sanitizer is installed)."""
+    if _factory is not None:
+        return _factory.lock(name)
+    return threading.Lock()
+
+
+def new_rlock(name: str = "rlock"):
+    """A re-entrant mutex (``threading.RLock`` or sanitized wrapper)."""
+    if _factory is not None:
+        return _factory.rlock(name)
+    return threading.RLock()
+
+
+def new_condition(name: str = "cond", lock: Optional[object] = None):
+    """A condition variable; ``lock`` defaults to a fresh re-entrant
+    lock carrying the same site name."""
+    if _factory is not None:
+        return _factory.condition(name, lock)
+    return threading.Condition(lock)

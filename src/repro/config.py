@@ -208,6 +208,11 @@ class HiveConf:
     monitor_sample_interval_s: float = 5.0
     #: ring-buffer capacity per timeseries label-series
     monitor_timeseries_capacity: int = 512
+    #: lock sanitizer long-hold threshold in wall seconds
+    #: (``hive.lint.sanitize.longhold.s``): a sanitized lock held
+    #: longer than this is reported in ``sys.lint_findings``.  Only
+    #: consulted when the process runs under ``HIVE_SANITIZE=1``.
+    lint_sanitize_longhold_s: float = 5.0
 
     # ------------------------------------------------------------------ #
     # ACID (Section 3.2)
@@ -303,6 +308,9 @@ class HiveConf:
             raise ConfigError(
                 "monitor_timeseries_capacity must be >= 2 (rate() "
                 "needs two samples)")
+        if self.lint_sanitize_longhold_s <= 0:
+            raise ConfigError(
+                "lint_sanitize_longhold_s must be > 0 (wall seconds)")
         for rate_name in ("faults_task_fail_rate", "faults_io_error_rate",
                           "faults_node_fail_rate", "faults_slow_node_rate",
                           "faults_lock_stall_rate"):

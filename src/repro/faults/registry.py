@@ -32,6 +32,8 @@ virtual ``sys.fault_log`` table, and mirrored into metrics counters
 from __future__ import annotations
 
 import threading
+
+from ..common import sync
 import zlib
 from dataclasses import dataclass
 from typing import Optional
@@ -78,7 +80,7 @@ class FaultRegistry:
         self.io_error_rate = float(io_error_rate)
         self.max_io_retries = int(max_io_retries)
         self.metrics = metrics
-        self._lock = threading.Lock()
+        self._lock = sync.new_lock('FaultRegistry._lock')
         self._events: list[FaultEvent] = []
         self._counts: dict[str, int] = {}
         self._next_event_id = 1

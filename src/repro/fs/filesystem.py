@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import posixpath
 import threading
+
+from ..common import sync
 from dataclasses import dataclass, field
 
 from ..errors import HiveError
@@ -106,7 +108,7 @@ class SimFileSystem:
     """
 
     def __init__(self):
-        self._lock = threading.RLock()   # create() nests mkdirs()
+        self._lock = sync.new_rlock('SimFileSystem._lock')   # create() nests mkdirs()
         self._files: dict[str, FileEntry] = {}
         self._dirs: set[str] = {"/"}
         self._next_file_id = 1

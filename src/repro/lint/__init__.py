@@ -8,13 +8,28 @@
   repo-specific rules (lock discipline, wall-clock bans in virtual-cost
   modules, frozen plan-node mutation, bare except, mutable defaults),
   runnable via ``tools/reprolint`` and wired into CI.
+* **Concurrency analyzer** (:mod:`repro.lint.concurrency` +
+  :mod:`repro.lint.sanitizer`): static interprocedural lock-order /
+  deadlock analysis (``tools/concheck``, rules CC001-CC003) paired
+  with a runtime lock sanitizer installed via ``HIVE_SANITIZE=1``
+  that validates real interleavings against the static graph.
 """
 
+from .concurrency import (RULES as CONCHECK_RULES, ConcurrencyReport,
+                          analyze_package, analyze_paths,
+                          analyze_source)
 from .plan_check import (check_plan, plan_violations,
                          render_plan_diff)
 from .reprolint import RULES, Finding, lint_paths, lint_source
+from .sanitizer import (LockSanitizer, current as current_sanitizer,
+                        install_from_env, install_sanitizer,
+                        uninstall_sanitizer)
 
 __all__ = [
     "check_plan", "plan_violations", "render_plan_diff",
     "RULES", "Finding", "lint_paths", "lint_source",
+    "CONCHECK_RULES", "ConcurrencyReport", "analyze_package",
+    "analyze_paths", "analyze_source",
+    "LockSanitizer", "current_sanitizer", "install_from_env",
+    "install_sanitizer", "uninstall_sanitizer",
 ]

@@ -34,6 +34,14 @@ RL009     ``ThreadingHTTPServer`` construction outside the two wire
           ``repro/service/endpoint.py``) — every HTTP surface must
           live where shutdown, daemon-threading and error mapping
           are handled; ad-hoc servers leak threads in tests
+RL010     manual ``lock.acquire()``/``lock.release()`` outside a
+          ``with`` block or ``try/finally`` pairing — an exception
+          between the two leaks the lock and hangs every later
+          acquirer; use ``with`` (or release in a ``finally``)
+RL011     ``threading.Thread(...)`` constructed outside the sanctioned
+          modules (``repro/service/``, ``repro/obs/exposition.py``) or
+          without ``daemon=`` — a stray non-daemon thread keeps the
+          interpreter alive and hangs CI on failure
 ========  ============================================================
 
 Suppression: append ``# reprolint: disable=RL001`` (comma-separated
@@ -70,6 +78,10 @@ RULES = {
              "or repro/llap outside the scrape-clock shim",
     "RL009": "ThreadingHTTPServer constructed outside the sanctioned "
              "wire endpoints (obs/exposition.py, service/endpoint.py)",
+    "RL010": "manual lock acquire()/release() outside 'with' or "
+             "try/finally (leaks the lock on exception)",
+    "RL011": "threading.Thread constructed outside sanctioned modules "
+             "or without daemon= (stray threads hang CI)",
 }
 
 #: private metric-state attributes RL006 protects (Counter._value,
@@ -100,6 +112,14 @@ SCRAPE_CLOCK_CALLS = {("time", "time"), ("time", "monotonic")}
 #: the only files allowed to construct an HTTP server (RL009)
 HTTP_SERVER_ALLOWED = ("repro/obs/exposition.py",
                        "repro/service/endpoint.py")
+
+#: receiver attribute/variable names RL010 treats as locks
+LOCK_RECEIVER_NAMES = frozenset({"_lock", "lock", "_cond", "cond",
+                                 "_glock", "_rlock", "rlock", "mutex"})
+
+#: modules allowed to construct threads (RL011): the serving layer
+#: owns worker/housekeeper threads, the monitor endpoint its listener
+THREAD_ALLOWED_SCOPES = ("repro/service/", "repro/obs/exposition.py")
 
 #: method names that mutate built-in containers in place (RL001)
 MUTATORS = frozenset({
@@ -168,6 +188,10 @@ def lint_source(source: str, path: str = "<string>",
             and not any(norm.endswith(p)
                         for p in HTTP_SERVER_ALLOWED)):
         _check_http_server(tree, path, findings)
+    if "RL010" in enabled:
+        _check_manual_lock_calls(tree, path, findings)
+    if "RL011" in enabled:
+        _check_thread_construction(tree, path, norm, findings)
     for finding in findings:
         if 0 < finding.line <= len(lines):
             finding.snippet = lines[finding.line - 1].strip()
@@ -204,7 +228,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     import argparse
     parser = argparse.ArgumentParser(
         prog="reprolint",
-        description="AST linter with repro-specific rules (RL001-RL009)")
+        description="AST linter with repro-specific rules (RL001-RL011)")
     parser.add_argument("paths", nargs="+",
                         help="files or directories to lint")
     parser.add_argument("--format", choices=("text", "json"),
@@ -443,6 +467,157 @@ def _check_http_server(tree, path, findings):
                 "ThreadingHTTPServer constructed outside the wire "
                 "endpoints — use MonitorHttpServer (obs) or "
                 "ServiceHttpServer (service)"))
+
+
+# --------------------------------------------------------------------------- #
+# RL010 — manual lock acquire/release pairing
+
+def _lock_call_receiver(node: ast.Call) -> Optional[tuple[str, str]]:
+    """``(receiver_source, "acquire"|"release")`` when ``node`` is a
+    manual lock call on a lock-named receiver, else None."""
+    func = node.func
+    if not isinstance(func, ast.Attribute) \
+            or func.attr not in ("acquire", "release"):
+        return None
+    recv = func.value
+    if isinstance(recv, ast.Attribute):
+        name = recv.attr
+    elif isinstance(recv, ast.Name):
+        name = recv.id
+    else:
+        return None
+    if name not in LOCK_RECEIVER_NAMES:
+        return None
+    return ast.unparse(recv), func.attr
+
+
+def _check_manual_lock_calls(tree, path, findings):
+    """RL010 — ``lock.acquire()`` must be paired with a ``finally:
+    lock.release()``.
+
+    The sanctioned shapes::
+
+        lock.acquire()              try:
+        try:                            lock.acquire()
+            ...                         ...
+        finally:                    finally:
+            lock.release()              lock.release()
+
+    Anything else — acquire with the release later in the same
+    straight-line block, release outside any ``finally`` — leaks the
+    lock when an exception lands between the two.  Conditional probes
+    (``if lock.acquire(False):``) are out of scope: they appear in
+    expressions, not statements, and release on both arms by
+    construction or they'd be caught here anyway.
+    """
+
+    def releases_in_finally(try_node: ast.Try, receiver: str) -> bool:
+        for stmt in try_node.finalbody:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    info = _lock_call_receiver(node)
+                    if info == (receiver, "release"):
+                        return True
+        return False
+
+    def scan_block(stmts, covered: frozenset, in_finally: bool):
+        for index, stmt in enumerate(stmts):
+            if isinstance(stmt, ast.Expr) \
+                    and isinstance(stmt.value, ast.Call):
+                info = _lock_call_receiver(stmt.value)
+                if info is not None:
+                    receiver, what = info
+                    if what == "acquire":
+                        following = stmts[index + 1:index + 2]
+                        paired = receiver in covered or any(
+                            isinstance(n, ast.Try)
+                            and releases_in_finally(n, receiver)
+                            for n in following)
+                        if not paired:
+                            findings.append(Finding(
+                                "RL010", path, stmt.lineno,
+                                stmt.col_offset,
+                                f"'{receiver}.acquire()' without a "
+                                "try/finally release — an exception "
+                                "here leaks the lock; use 'with'"))
+                    elif not in_finally and receiver not in covered:
+                        findings.append(Finding(
+                            "RL010", path, stmt.lineno,
+                            stmt.col_offset,
+                            f"'{receiver}.release()' outside a "
+                            "'finally:' block — pair it with the "
+                            "acquire via try/finally or 'with'"))
+            for block, inner_covered, inner_finally in _sub_blocks(
+                    stmt, covered, in_finally):
+                scan_block(block, inner_covered, inner_finally)
+
+    def _sub_blocks(stmt, covered, in_finally):
+        if isinstance(stmt, ast.Try):
+            body_covered = covered | {
+                receiver for receiver in _released_receivers(stmt)}
+            yield stmt.body, body_covered, False
+            for handler in stmt.handlers:
+                yield handler.body, body_covered, False
+            yield stmt.orelse, body_covered, False
+            yield stmt.finalbody, covered, True
+            return
+        for field_name in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, field_name, None)
+            if block:
+                yield block, covered, in_finally
+
+    def _released_receivers(try_node: ast.Try) -> set[str]:
+        out = set()
+        for stmt in try_node.finalbody:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    info = _lock_call_receiver(node)
+                    if info is not None and info[1] == "release":
+                        out.add(info[0])
+        return out
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scan_block(node.body, frozenset(), False)
+
+
+# --------------------------------------------------------------------------- #
+# RL011 — thread construction discipline
+
+def _check_thread_construction(tree, path, norm, findings):
+    """RL011 — ``threading.Thread`` only in sanctioned modules, and
+    always with explicit ``daemon=``.
+
+    The serving layer (``repro/service/``) owns worker and housekeeper
+    threads; the monitor endpoint owns its listener.  A thread created
+    elsewhere has no owner to join it, and a thread created anywhere
+    without ``daemon=`` keeps the interpreter alive when a test dies
+    mid-run — the classic hung-CI shape.
+    """
+    sanctioned = any(s in norm for s in THREAD_ALLOWED_SCOPES)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_thread = (
+            (isinstance(func, ast.Attribute) and func.attr == "Thread"
+             and isinstance(func.value, ast.Name)
+             and func.value.id == "threading")
+            or (isinstance(func, ast.Name) and func.id == "Thread"))
+        if not is_thread:
+            continue
+        if not sanctioned:
+            findings.append(Finding(
+                "RL011", path, node.lineno, node.col_offset,
+                "threading.Thread constructed outside the sanctioned "
+                "modules (repro/service/, obs/exposition.py) — no "
+                "owner will join this thread"))
+        elif not any(k.arg == "daemon" for k in node.keywords):
+            findings.append(Finding(
+                "RL011", path, node.lineno, node.col_offset,
+                "threading.Thread without explicit daemon= — a "
+                "non-daemon thread hangs the interpreter if its "
+                "owner dies before joining it"))
 
 
 # --------------------------------------------------------------------------- #

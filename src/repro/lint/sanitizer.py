@@ -1,0 +1,500 @@
+"""Runtime lock sanitizer (``HIVE_SANITIZE=1``).
+
+The static pass (:mod:`repro.lint.concurrency`) reasons about lock
+order from the AST; this module observes the *real* interleavings.
+When installed through the :mod:`repro.common.sync` seam, every lock
+the warehouse creates becomes a drop-in instrumented wrapper that
+records, per thread, the stack of locks currently held, and checks
+each acquisition against the global observed lock-order graph:
+
+* **order** — thread acquires site B while holding site A after some
+  thread (any thread, any time) acquired A while holding B: a cycle in
+  the observed order graph, i.e. a latent ABBA deadlock.  Static-graph
+  edges can be merged in (``HIVE_SANITIZE_STATIC=1``) so an inversion
+  against an order only *derivable* from the source is caught too.
+* **blocking** — a condition wait while still holding another
+  sanitized lock: the classic lost-wakeup / convoy shape.  Locks whose
+  *job* is to be held across blocking work (the per-session statement
+  serialization lock) are allowlisted in :data:`WAIT_ALLOWED_HOLDING`.
+* **longhold** — a lock held longer than ``longhold_s`` wall seconds
+  (knob ``hive.lint.sanitize.longhold.s``); an outlier that starves
+  every other thread parked on the same site.
+
+Locks are aggregated by **site name** (``"SimFileSystem._lock"``) —
+the same tokens the static analyzer emits — so per-object locks (one
+per service session, one per admission gate) share a node in the
+graph.  Findings are deduplicated by (kind, locks, site) with a count,
+surface in ``sys.lint_findings`` and as ``lint.*`` metrics, and are
+meant to be *zero* on a healthy tree: CI runs the full suite under
+``HIVE_SANITIZE=1`` and fails on any order inversion.
+
+Overhead when not installed: none (the sync factories return raw
+stdlib primitives).  When installed: a thread-local list push/pop and
+two ``perf_counter`` reads per acquisition; stacks are only captured
+when a *new* order edge or a finding is recorded.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from ..common import sync
+
+#: lock sites that are *designed* to be held across blocking calls —
+#: the HS2 per-session serialization lock is held for the whole
+#: statement, including metastore lock waits, by construction
+WAIT_ALLOWED_HOLDING = frozenset({"ServiceSession.lock"})
+
+#: finding kinds, in severity order
+KINDS = ("order", "blocking", "longhold")
+
+_TRUE = ("1", "true", "yes", "on")
+
+
+@dataclass
+class SanFinding:
+    """One deduplicated sanitizer finding."""
+
+    finding_id: int
+    kind: str                 # order | blocking | longhold
+    locks: tuple[str, ...]    # sites involved, acquisition order
+    thread: str
+    site: str                 # "file:line" of the triggering frame
+    detail: str
+    wall_s: float             # wall timestamp of first occurrence
+    count: int = 1
+
+    def as_row(self) -> tuple:
+        return (self.finding_id, "sanitizer", self.kind,
+                "->".join(self.locks), self.thread, self.site,
+                self.detail, self.wall_s, self.count)
+
+
+@dataclass
+class SiteStats:
+    """Per-site counters (plain attributes: diagnostic, GIL-tolerant)."""
+
+    name: str
+    instances: int = 0
+    acquisitions: int = 0
+    contended: int = 0
+    hold_s_sum: float = 0.0
+    hold_s_max: float = 0.0
+
+
+class _Held:
+    """A per-thread record of one held lock."""
+
+    __slots__ = ("wrapper", "name", "t0")
+
+    def __init__(self, wrapper, name, t0):
+        self.wrapper = wrapper
+        self.name = name
+        self.t0 = t0
+
+
+def _caller_site() -> str:
+    """``file:line`` of the first frame outside this module."""
+    for frame in reversed(traceback.extract_stack(limit=12)):
+        if not frame.filename.endswith(("sanitizer.py", "sync.py",
+                                        "threading.py")):
+            return f"{frame.filename}:{frame.lineno}"
+    return "<unknown>"
+
+
+class LockSanitizer:
+    """Order/blocking/longhold detection over sanitized locks."""
+
+    def __init__(self, longhold_s: float = 5.0,
+                 max_findings: int = 1000):
+        self.longhold_s = float(longhold_s)
+        self.max_findings = max_findings
+        # raw primitives on purpose: the sanitizer must not sanitize
+        # its own internals (and this lock is a leaf by construction)
+        self._glock = threading.Lock()
+        self._tls = threading.local()
+        #: observed order edges: (held_site, acquired_site) -> witness
+        self._edges: dict[tuple[str, str], str] = {}
+        #: extra edges from the static graph (never produce witnesses)
+        self._static_edges: set[tuple[str, str]] = set()
+        self._findings: dict[tuple, SanFinding] = {}
+        self._sites: dict[str, SiteStats] = {}
+        self._ids = 0
+
+    # -- factory interface (repro.common.sync) --------------------------- #
+    def lock(self, name: str) -> "_SanLock":
+        return _SanLock(self, name, threading.Lock())
+
+    def rlock(self, name: str) -> "_SanRLock":
+        return _SanRLock(self, name, threading.RLock())
+
+    def condition(self, name: str, lock=None) -> "_SanCondition":
+        if lock is None:
+            lock = self.rlock(name)
+        return _SanCondition(self, name, lock)
+
+    def merge_static_edges(self, edges) -> int:
+        """Merge ``(held, acquired)`` pairs from the static analysis so
+        runtime inversions against source-derivable order are caught."""
+        with self._glock:
+            self._static_edges.update(tuple(e) for e in edges)
+            return len(self._static_edges)
+
+    # -- per-thread stack ------------------------------------------------- #
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _site_stats(self, name: str) -> SiteStats:
+        stats = self._sites.get(name)
+        if stats is None:
+            with self._glock:
+                stats = self._sites.setdefault(name, SiteStats(name))
+        return stats
+
+    # -- wrapper callbacks ------------------------------------------------ #
+    def note_instance(self, name: str) -> None:
+        self._site_stats(name).instances += 1
+
+    def note_acquired(self, wrapper, contended: bool) -> None:
+        stats = self._site_stats(wrapper.san_name)
+        stats.acquisitions += 1
+        if contended:
+            stats.contended += 1
+        stack = self._stack()
+        for held in stack:
+            if held.name != wrapper.san_name:
+                self._note_edge(held.name, wrapper.san_name)
+        stack.append(_Held(wrapper, wrapper.san_name,
+                           time.perf_counter()))
+
+    def note_released(self, wrapper) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i].wrapper is wrapper:
+                held = stack.pop(i)
+                break
+        else:
+            return
+        dt = time.perf_counter() - held.t0
+        stats = self._site_stats(held.name)
+        stats.hold_s_sum += dt
+        if dt > stats.hold_s_max:
+            stats.hold_s_max = dt
+        if dt > self.longhold_s:
+            self._record("longhold", (held.name,),
+                         f"held {dt:.3f}s (threshold "
+                         f"{self.longhold_s:g}s)")
+
+    def note_wait(self, cond_lock, cond_name: str) -> None:
+        """Condition wait entered; flag other sanitized locks held."""
+        others = [held.name for held in self._stack()
+                  if held.wrapper is not cond_lock
+                  and held.name not in WAIT_ALLOWED_HOLDING]
+        if others:
+            self._record("blocking", (*others, cond_name),
+                         f"wait on {cond_name} while holding "
+                         f"{', '.join(others)}")
+
+    # -- graph + findings -------------------------------------------------- #
+    def _note_edge(self, held: str, acquired: str) -> None:
+        key = (held, acquired)
+        if key in self._edges:          # fast path: known edge
+            return
+        site = _caller_site()
+        with self._glock:
+            if key in self._edges:
+                return
+            self._edges[key] = site
+            reverse = (acquired, held)
+            witness = self._edges.get(reverse)
+            if witness is None and reverse in self._static_edges:
+                witness = "static graph"
+        if witness is not None:
+            self._record(
+                "order", (held, acquired),
+                f"acquired {acquired} while holding {held}, but the "
+                f"opposite order was observed at {witness}")
+
+    def _record(self, kind: str, locks: tuple, detail: str) -> None:
+        site = _caller_site()
+        thread = threading.current_thread().name
+        key = (kind, locks, site)
+        with self._glock:
+            existing = self._findings.get(key)
+            if existing is not None:
+                existing.count += 1
+                return
+            if len(self._findings) >= self.max_findings:
+                return
+            self._ids += 1
+            self._findings[key] = SanFinding(
+                self._ids, kind, locks, thread, site, detail,
+                wall_s=time.time())
+
+    # -- reads -------------------------------------------------------------- #
+    def findings(self, kind: str | None = None) -> list[SanFinding]:
+        with self._glock:
+            out = sorted(self._findings.values(),
+                         key=lambda f: f.finding_id)
+        if kind is not None:
+            out = [f for f in out if f.kind == kind]
+        return out
+
+    def finding_count(self, kind: str) -> int:
+        with self._glock:
+            return sum(1 for f in self._findings.values()
+                       if f.kind == kind)
+
+    def edges(self) -> dict[tuple[str, str], str]:
+        with self._glock:
+            return dict(self._edges)
+
+    def site_rows(self) -> list[SiteStats]:
+        with self._glock:
+            return [self._sites[name] for name in sorted(self._sites)]
+
+    def totals(self) -> dict:
+        acquisitions = contended = 0
+        longest = 0.0
+        with self._glock:
+            sites = list(self._sites.values())
+        for stats in sites:
+            acquisitions += stats.acquisitions
+            contended += stats.contended
+            longest = max(longest, stats.hold_s_max)
+        return {"sites": len(sites), "acquisitions": acquisitions,
+                "contended": contended, "longest_hold_s": longest}
+
+    def reset(self) -> None:
+        with self._glock:
+            self._edges.clear()
+            self._findings.clear()
+            self._sites.clear()
+            self._ids = 0
+
+    def report_json(self, indent: int = 2) -> str:
+        """Deterministically ordered JSON report (the CI artifact)."""
+        findings = self.findings()
+        payload = {
+            "tool": "sanitizer", "version": 1,
+            "longhold_s": self.longhold_s,
+            "totals": self.totals(),
+            "counts": {kind: self.finding_count(kind)
+                       for kind in KINDS},
+            "findings": [{
+                "finding_id": f.finding_id, "kind": f.kind,
+                "locks": list(f.locks), "thread": f.thread,
+                "site": f.site, "detail": f.detail,
+                "count": f.count} for f in findings],
+            "order_edges": [
+                {"held": a, "acquired": b, "witness": w}
+                for (a, b), w in sorted(self.edges().items())],
+            "sites": [{
+                "name": s.name, "instances": s.instances,
+                "acquisitions": s.acquisitions,
+                "contended": s.contended,
+                "hold_s_max": s.hold_s_max}
+                for s in self.site_rows()],
+        }
+        import json
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    def write_report(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.report_json())
+            handle.write("\n")
+
+
+class _SanLock:
+    """Drop-in for ``threading.Lock`` with sanitizer bookkeeping."""
+
+    def __init__(self, san: LockSanitizer, name: str, inner):
+        self._san = san
+        self.san_name = name
+        self._inner = inner
+        san.note_instance(name)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        contended = False
+        if blocking and timeout == -1:
+            # try-then-block so contention is observable
+            ok = self._inner.acquire(False)
+            if not ok:
+                contended = True
+                ok = self._inner.acquire()
+        else:
+            ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._san.note_acquired(self, contended)
+        return ok
+
+    def release(self):
+        self._san.note_released(self)
+        self._inner.release()
+
+    def locked(self):
+        return self._inner.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+    def __repr__(self):
+        return f"<SanLock {self.san_name} {self._inner!r}>"
+
+
+class _SanRLock:
+    """Drop-in for ``threading.RLock``; records only the outermost
+    acquisition so re-entrancy never fakes an order edge."""
+
+    def __init__(self, san: LockSanitizer, name: str, inner):
+        self._san = san
+        self.san_name = name
+        self._inner = inner
+        self._local = threading.local()
+        san.note_instance(name)
+
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        contended = False
+        if blocking and timeout == -1:
+            ok = self._inner.acquire(False)
+            if not ok:
+                contended = True
+                ok = self._inner.acquire()
+        else:
+            ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            depth = self._depth() + 1
+            self._local.depth = depth
+            if depth == 1:
+                self._san.note_acquired(self, contended)
+        return ok
+
+    def release(self):
+        depth = self._depth() - 1
+        self._local.depth = depth
+        if depth == 0:
+            self._san.note_released(self)
+        self._inner.release()
+
+    # Condition-variable integration: a wait must fully release the
+    # re-entrant lock and restore it afterwards, with bookkeeping.
+    def _release_save(self):
+        depth = self._depth()
+        self._local.depth = 0
+        if depth > 0:
+            self._san.note_released(self)
+        return (self._inner._release_save(), depth)
+
+    def _acquire_restore(self, state):
+        inner_state, depth = state
+        self._inner._acquire_restore(inner_state)
+        self._local.depth = depth
+        if depth > 0:
+            self._san.note_acquired(self, False)
+
+    def _is_owned(self):
+        return self._inner._is_owned()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+    def __repr__(self):
+        return f"<SanRLock {self.san_name} {self._inner!r}>"
+
+
+class _SanCondition(threading.Condition):
+    """``threading.Condition`` over a sanitized lock; flags waits that
+    still hold *other* sanitized locks."""
+
+    def __init__(self, san: LockSanitizer, name: str, lock):
+        super().__init__(lock)
+        self._san = san
+        self.san_name = name
+
+    def wait(self, timeout=None):
+        self._san.note_wait(self._lock, self.san_name)
+        return super().wait(timeout)
+
+
+# --------------------------------------------------------------------------- #
+# process-global install seam
+
+_sanitizer: LockSanitizer | None = None
+
+
+def current() -> LockSanitizer | None:
+    """The installed sanitizer, or None."""
+    return _sanitizer
+
+
+def install_sanitizer(longhold_s: float | None = None) -> LockSanitizer:
+    """Install (idempotently) and return the process sanitizer."""
+    global _sanitizer
+    if _sanitizer is None:
+        if longhold_s is None:
+            longhold_s = float(
+                os.environ.get("HIVE_SANITIZE_LONGHOLD_S", "5.0"))
+        _sanitizer = LockSanitizer(longhold_s=longhold_s)
+        sync.install(_sanitizer)
+    elif longhold_s is not None:
+        _sanitizer.longhold_s = float(longhold_s)
+    return _sanitizer
+
+
+def install_instance(sanitizer: LockSanitizer) -> LockSanitizer:
+    """Install a specific instance (tests save/restore the env one)."""
+    global _sanitizer
+    _sanitizer = sanitizer
+    sync.install(sanitizer)
+    return sanitizer
+
+
+def uninstall_sanitizer() -> None:
+    global _sanitizer
+    _sanitizer = None
+    sync.uninstall()
+
+
+def install_from_env() -> LockSanitizer | None:
+    """Honor ``HIVE_SANITIZE=1`` (called once at package import).
+
+    ``HIVE_SANITIZE_STATIC=1`` additionally runs the static analysis
+    over the installed package and merges its lock-order edges, so a
+    runtime acquisition that inverts a *source-derivable* order is
+    reported even if the other order never executes in this run.
+    """
+    if os.environ.get("HIVE_SANITIZE", "").lower() not in _TRUE:
+        return None
+    sanitizer = install_sanitizer()
+    if os.environ.get("HIVE_SANITIZE_STATIC", "").lower() in _TRUE:
+        from .concurrency import analyze_package
+        report = analyze_package()
+        sanitizer.merge_static_edges(report.edge_pairs())
+    report_path = os.environ.get("HIVE_SANITIZE_REPORT")
+    if report_path:
+        # the CI artifact: dump findings at interpreter exit, bound to
+        # THIS instance — tests may swap sanitizers mid-run, but the
+        # env-installed one keeps observing every lock created under it
+        import atexit
+        atexit.register(sanitizer.write_report, report_path)
+    return sanitizer

@@ -24,6 +24,8 @@ import enum
 import heapq
 import re
 import threading
+
+from ..common import sync
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
@@ -98,7 +100,7 @@ class WmEventLog:
     """Bounded, thread-safe log of workload-management trigger firings."""
 
     def __init__(self, capacity: int = 1024):
-        self._lock = threading.Lock()
+        self._lock = sync.new_lock('WmEventLog._lock')
         self._events: deque = deque(maxlen=capacity)
         self._next_id = 1
 
@@ -214,7 +216,7 @@ class WorkloadManager:
         #: per-pool heaps of running-query virtual finish times; the
         #: serving layer admits from many worker threads concurrently,
         #: so every heap access goes through the lock
-        self._lock = threading.Lock()
+        self._lock = sync.new_lock('WorkloadManager._lock')
         self._running: dict[str, list[float]] = {}
 
     @property

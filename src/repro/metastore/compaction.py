@@ -14,6 +14,8 @@ from __future__ import annotations
 import enum
 import itertools
 import threading
+
+from ..common import sync
 from dataclasses import dataclass, field
 
 
@@ -69,7 +71,7 @@ class CompactionQueue:
     """FIFO of compaction work with lifecycle states."""
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = sync.new_lock('CompactionQueue._lock')
         self._counter = itertools.count(1)
         self._requests: dict[int, CompactionRequest] = {}
 

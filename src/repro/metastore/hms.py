@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import itertools
 import threading
+
+from ..common import sync
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -46,7 +48,7 @@ class HiveMetastore:
 
     def __init__(self, fs: SimFileSystem):
         self.fs = fs
-        self._lock = threading.RLock()
+        self._lock = sync.new_rlock('HiveMetastore._lock')
         self._databases: dict[str, Database] = {}
         self._stats: dict[tuple[str, tuple | None], TableStatistics] = {}
         self.txn_manager = TransactionManager()
@@ -83,13 +85,15 @@ class HiveMetastore:
             return db
 
     def get_database(self, name: str) -> Database:
-        try:
-            return self._databases[name.lower()]
-        except KeyError:
-            raise CatalogError(f"no such database: {name}") from None
+        with self._lock:
+            try:
+                return self._databases[name.lower()]
+            except KeyError:
+                raise CatalogError(f"no such database: {name}") from None
 
     def list_databases(self) -> list[str]:
-        return sorted(self._databases)
+        with self._lock:
+            return sorted(self._databases)
 
     # ------------------------------------------------------------------ #
     # tables
@@ -271,10 +275,12 @@ class HiveMetastore:
             self._resource_plans[name.lower()] = plan
 
     def get_resource_plan(self, name: str) -> object:
-        try:
-            return self._resource_plans[name.lower()]
-        except KeyError:
-            raise CatalogError(f"no such resource plan: {name}") from None
+        with self._lock:
+            try:
+                return self._resource_plans[name.lower()]
+            except KeyError:
+                raise CatalogError(
+                    f"no such resource plan: {name}") from None
 
     def activate_resource_plan(self, name: str) -> None:
         with self._lock:

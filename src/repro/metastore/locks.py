@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import enum
 import threading
+
+from ..common import sync
 from dataclasses import dataclass, field
 
 from ..errors import LockTimeoutError, TransactionError
@@ -65,7 +67,7 @@ class LockManager:
     """
 
     def __init__(self, default_timeout_s: float = 5.0):
-        self._cond = threading.Condition()
+        self._cond = sync.new_condition('LockManager._cond')
         self._held: list[_Held] = []
         self._waiters: list[_Waiter] = []
         self._seq = 0

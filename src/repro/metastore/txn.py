@@ -20,6 +20,8 @@ from __future__ import annotations
 import enum
 import itertools
 import threading
+
+from ..common import sync
 from dataclasses import dataclass, field
 
 from ..errors import TransactionError, WriteConflictError
@@ -143,7 +145,7 @@ class TransactionManager:
     """Allocates TxnIds/WriteIds and validates commits."""
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = sync.new_lock('TransactionManager._lock')
         self._txn_counter = itertools.count(1)
         self._next_txn_id = 0
         self._txns: dict[int, _Transaction] = {}

@@ -1,3 +1,8 @@
+# concheck: disable-file=CC002 -- ClusterMonitor publishes its
+# bindings (hms, llap_cache, num_nodes, ...) exactly once in
+# bind() at server construction, before any sampler/scrape thread
+# exists; the callback gauges then read them lock-free by design
+# (a scrape must never contend with the query path).
 """Cluster-state monitor: per-node LLAP daemon view + samplers.
 
 The paper's LLAP monitor shows operators each daemon's executors and
@@ -26,6 +31,8 @@ slots.
 from __future__ import annotations
 
 import threading
+
+from ..common import sync
 from typing import Optional
 
 from ..llap.placement import node_of
@@ -45,7 +52,7 @@ class ClusterMonitor:
         self.registry = registry
         self.timeseries = timeseries
         self.live_queries = live_queries
-        self._lock = threading.Lock()
+        self._lock = sync.new_lock('ClusterMonitor._lock')
         self._last_sample_s: Optional[float] = None
         #: virtual seconds between interval samples (<= 0 disables)
         self.interval_s = 5.0

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import json
 import threading
+
+from ..common import sync
 from typing import Optional
 
 
@@ -19,7 +21,7 @@ class BenchObsCollector:
     """Accumulates per-query benchmark records for JSON export."""
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = sync.new_lock('BenchObsCollector._lock')
         self._records: list[dict] = []
 
     def record(self, scenario: str, query: str, *,

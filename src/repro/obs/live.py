@@ -25,6 +25,8 @@ progress fraction when the pool has no history yet.
 from __future__ import annotations
 
 import threading
+
+from ..common import sync
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -75,7 +77,7 @@ class LiveQueryRegistry:
     """
 
     def __init__(self, registry=None, wm_events=None):
-        self._lock = threading.Lock()
+        self._lock = sync.new_lock('LiveQueryRegistry._lock')
         self._queries: dict[int, LiveQuery] = {}
         #: obs MetricsRegistry (kill counters) — bound by Observability
         self.registry = registry

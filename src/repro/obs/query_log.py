@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import json
 import threading
+
+from ..common import sync
 from collections import deque
 from dataclasses import dataclass, field, fields
 from typing import Optional
@@ -89,7 +91,7 @@ class QueryLogOverflow:
 
     def __init__(self, path: Optional[str] = None):
         self.path = path
-        self._lock = threading.Lock()
+        self._lock = sync.new_lock('QueryLogOverflow._lock')
         self._memory: list[QueryLogEntry] = []
         self.spilled = 0
 
@@ -132,7 +134,7 @@ class QueryLog:
 
     def __init__(self, capacity: int = 1000,
                  overflow: Optional[QueryLogOverflow] = None):
-        self._lock = threading.Lock()
+        self._lock = sync.new_lock('QueryLog._lock')
         self._capacity = max(1, int(capacity))
         self._entries: deque[QueryLogEntry] = deque()
         self.overflow = overflow if overflow is not None \
@@ -140,7 +142,8 @@ class QueryLog:
 
     @property
     def capacity(self) -> int:
-        return self._capacity
+        with self._lock:
+            return self._capacity
 
     def set_capacity(self, capacity: int) -> None:
         """Resize the ring; shrinking spills the excess immediately."""

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import json
 import threading
+
+from ..common import sync
 from typing import Callable, Optional, Sequence
 
 from ..errors import HiveError
@@ -118,6 +120,19 @@ METRIC_HELP: dict[str, str] = {
     "txn.min_open": "oldest open transaction id (0 when none)",
     "locks.held": "locks currently held in the lock manager",
     "locks.waiters": "lock requests currently waiting",
+    "lint.sanitizer.enabled":
+        "1 when the process runs with the lock sanitizer installed "
+        "(HIVE_SANITIZE=1), else 0",
+    "lint.sanitizer.sites":
+        "distinct lock sites the sanitizer has instrumented",
+    "lint.sanitizer.acquisitions":
+        "lock acquisitions observed by the sanitizer",
+    "lint.sanitizer.contended":
+        "sanitized acquisitions that had to block on a held lock",
+    "lint.sanitizer.longest_hold_s":
+        "longest wall-clock hold of any sanitized lock, in seconds",
+    "lint.findings":
+        "runtime sanitizer findings so far (rows of sys.lint_findings)",
 }
 
 
@@ -142,7 +157,8 @@ class Counter:
 
     @property
     def value(self) -> float:
-        return self._value
+        # single GIL-atomic float read on the scrape hot path
+        return self._value  # concheck: disable=CC002
 
 
 class Gauge:
@@ -164,7 +180,8 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        # single GIL-atomic float read on the scrape hot path
+        return self._value  # concheck: disable=CC002
 
 
 class Histogram:
@@ -196,7 +213,8 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
         """Estimated p-quantile (upper bucket bound), p in [0, 100]."""
@@ -225,8 +243,14 @@ class Histogram:
         return out
 
     def to_dict(self) -> dict:
-        return {"count": self.count, "sum": self.sum,
-                "min": self.min, "max": self.max, "mean": self.mean,
+        # snapshot under the lock, then compute percentiles (which
+        # take the non-reentrant lock themselves) after release
+        with self._lock:
+            count, total = self.count, self.sum
+            low, high = self.min, self.max
+        mean = total / count if count else 0.0
+        return {"count": count, "sum": total,
+                "min": low, "max": high, "mean": mean,
                 "p50": self.percentile(50), "p95": self.percentile(95)}
 
 
@@ -234,7 +258,7 @@ class MetricsRegistry:
     """Labeled metric series, one namespace per server."""
 
     def __init__(self, require_help: bool = False):
-        self._lock = threading.RLock()
+        self._lock = sync.new_rlock('MetricsRegistry._lock')
         self._kinds: dict[str, str] = {}
         self._help: dict[str, str] = {}
         self._series: dict[str, dict[LabelKey, object]] = {}
@@ -370,11 +394,12 @@ class MetricsRegistry:
                      for name, series in self._series.items()]
             callbacks = [(name, dict(series))
                          for name, series in self._callbacks.items()]
+            kinds = dict(self._kinds)
         for name, series in items:
             rows = out.setdefault(name, [])
             for key, metric in sorted(series.items()):
                 entry = {"labels": dict(key),
-                         "kind": self._kinds.get(name, "?"),
+                         "kind": kinds.get(name, "?"),
                          "help": self.describe(name)}
                 if isinstance(metric, Histogram):
                     entry.update(metric.to_dict())

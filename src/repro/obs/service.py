@@ -18,6 +18,8 @@ from __future__ import annotations
 import itertools
 import json
 import threading
+
+from ..common import sync
 from collections import deque
 from typing import Optional
 
@@ -49,7 +51,7 @@ class Observability:
                                       self.live_queries)
         self.traces: deque[QueryTrace] = deque(maxlen=trace_capacity)
         self._query_ids = itertools.count(1)
-        self._lock = threading.Lock()
+        self._lock = sync.new_lock('Observability._lock')
         # server components the sys tables read (bound by HiveServer2)
         self.hms = None
         self.workload_manager = None
@@ -63,6 +65,35 @@ class Observability:
         from .systables import SysTableHandler
         self.sys_handler = SysTableHandler(self)
         self._sys_ready = False
+        self._register_lint_gauges()
+
+    def _register_lint_gauges(self) -> None:
+        """Lock-sanitizer visibility (``lint.*``).  Registered
+        unconditionally: the callbacks read the live sanitizer lazily
+        and report zeros when the process runs without one, so
+        dashboards keep a stable series either way."""
+        from ..lint import sanitizer
+
+        def totals(key):
+            active = sanitizer.current()
+            return float(active.totals()[key]) if active else 0.0
+
+        reg = self.registry
+        reg.register_callback(
+            "lint.sanitizer.enabled",
+            lambda: 1.0 if sanitizer.current() else 0.0)
+        reg.register_callback("lint.sanitizer.sites",
+                              lambda: totals("sites"))
+        reg.register_callback("lint.sanitizer.acquisitions",
+                              lambda: totals("acquisitions"))
+        reg.register_callback("lint.sanitizer.contended",
+                              lambda: totals("contended"))
+        reg.register_callback("lint.sanitizer.longest_hold_s",
+                              lambda: totals("longest_hold_s"))
+        reg.register_callback(
+            "lint.findings",
+            lambda: float(len(sanitizer.current().findings()))
+            if sanitizer.current() else 0.0)
 
     # -- wiring --------------------------------------------------------- #
     def bind_server(self, hms, workload_manager) -> None:
@@ -155,10 +186,10 @@ class Observability:
 
     def ensure_sys_tables(self, hms=None) -> None:
         """Lazily create the ``sys`` database + virtual tables."""
-        target = hms or self.hms
-        if target is None:
-            return
         with self._lock:
+            target = hms or self.hms
+            if target is None:
+                return
             if not self._sys_ready:
                 self.sys_handler.ensure_tables(target)
                 self._sys_ready = True

@@ -32,7 +32,10 @@ Tables:
 * ``sys.timeseries``   — the cluster-state sample rings (virtual +
   wall timestamps, interval and scrape sources),
 * ``sys.cluster_nodes`` / ``sys.llap_daemons`` — per-daemon executor
-  occupancy and cache heatmap (the paper's LLAP monitor view).
+  occupancy and cache heatmap (the paper's LLAP monitor view),
+* ``sys.lint_findings`` — runtime lock-sanitizer findings (order
+  inversions, waits holding foreign locks, long holds) when the
+  process runs under ``HIVE_SANITIZE=1``; empty otherwise.
 """
 
 from __future__ import annotations
@@ -150,6 +153,13 @@ FAULT_LOG_SCHEMA = Schema([
     Column("attempts", BIGINT), Column("delay_s", DOUBLE),
     Column("detail", STRING)])
 
+LINT_FINDINGS_SCHEMA = Schema([
+    Column("finding_id", BIGINT), Column("source", STRING),
+    Column("kind", STRING), Column("locks", STRING),
+    Column("thread", STRING), Column("site", STRING),
+    Column("detail", STRING), Column("wall_s", DOUBLE),
+    Column("count", BIGINT)])
+
 SYS_TABLES: dict[str, Schema] = {
     "query_log": QUERY_LOG_SCHEMA,
     "vertex_log": VERTEX_LOG_SCHEMA,
@@ -166,6 +176,7 @@ SYS_TABLES: dict[str, Schema] = {
     "timeseries": TIMESERIES_SCHEMA,
     "cluster_nodes": CLUSTER_NODES_SCHEMA,
     "llap_daemons": LLAP_DAEMONS_SCHEMA,
+    "lint_findings": LINT_FINDINGS_SCHEMA,
 }
 
 
@@ -297,3 +308,12 @@ class SysTableHandler(StorageHandler):
 
     def _rows_llap_daemons(self) -> list[tuple]:
         return self.obs.cluster.llap_daemon_rows()
+
+    def _rows_lint_findings(self) -> list[tuple]:
+        """Runtime lock-sanitizer findings; empty when the process
+        does not run under ``HIVE_SANITIZE=1``."""
+        from ..lint import sanitizer
+        active = sanitizer.current()
+        if active is None:
+            return []
+        return [finding.as_row() for finding in active.findings()]

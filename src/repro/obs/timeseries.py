@@ -25,6 +25,8 @@ alert-rule triggers (``WHEN rate(faults.injected) > N OVER 60s``).
 from __future__ import annotations
 
 import threading
+
+from ..common import sync
 from collections import deque
 from dataclasses import dataclass
 from typing import Iterator, Optional
@@ -53,7 +55,7 @@ class TimeseriesStore:
         if capacity < 2:
             raise ValueError("timeseries capacity must be >= 2")
         self.capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = sync.new_lock('TimeseriesStore._lock')
         self._series: dict[tuple[str, LabelKey], deque] = {}
 
     # -- writes --------------------------------------------------------- #

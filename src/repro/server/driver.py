@@ -1479,6 +1479,12 @@ class Session:
             self.server.obs.cluster.set_interval(float(value))
         elif attr == "monitor_http_port" and int(value) > 0:
             self.server.obs.start_http(port=int(value))
+        elif attr == "lint_sanitize_longhold_s":
+            # push to the live sanitizer, if this process runs one
+            from ..lint import sanitizer as _sanitizer
+            active = _sanitizer.current()
+            if active is not None:
+                active.longhold_s = float(value)
         elif attr in _SERVER2_KNOBS:
             # serving-layer knobs are server-wide: the session manager
             # and admission controller read the SERVER conf (session
@@ -1693,6 +1699,7 @@ _CONFIG_ALIASES = {
     "hive.monitor.http.port": "monitor_http_port",
     "hive.monitor.sample.interval.s": "monitor_sample_interval_s",
     "hive.monitor.timeseries.capacity": "monitor_timeseries_capacity",
+    "hive.lint.sanitize.longhold.s": "lint_sanitize_longhold_s",
     "hive.faults.seed": "faults_seed",
     "hive.faults.task.fail.rate": "faults_task_fail_rate",
     "hive.faults.io.error.rate": "faults_io_error_rate",

@@ -14,6 +14,8 @@ computes and the rest wait for it instead of recomputing.
 from __future__ import annotations
 
 import threading
+
+from ..common import sync
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -56,7 +58,7 @@ class QueryResultsCache:
         #: (died without publish/abandon) and computes itself
         self.pending_timeout_s = pending_timeout_s
         self.stats = ResultsCacheStats()
-        self._lock = threading.Condition()
+        self._lock = sync.new_condition('QueryResultsCache._lock')
         self._entries: dict[str, CacheEntry] = {}
         self._clock = 0
 

@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import heapq
 import threading
+
+from ..common import sync
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -54,7 +56,7 @@ class _Gate:
 
     limit: int
     cond: threading.Condition = field(
-        default_factory=threading.Condition)
+        default_factory=lambda: sync.new_condition("_Gate.cond"))
     queue: deque = field(default_factory=deque)
     running: int = 0
     #: heap of virtual finish times of admitted queries (the WM model)
@@ -70,7 +72,7 @@ class AdmissionController:
         self.registry = registry
         self.timeseries = timeseries
         self.workload_manager = workload_manager
-        self._lock = threading.Lock()
+        self._lock = sync.new_lock('AdmissionController._lock')
         self._gates: dict[str, _Gate] = {}
         self._tenant_pools: dict[str, str] = {}
 

@@ -11,6 +11,8 @@ client holds.
 from __future__ import annotations
 
 import threading
+
+from ..common import sync
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
@@ -79,7 +81,7 @@ class OperationRegistry:
     """
 
     def __init__(self, max_completed: int = 10_000):
-        self._lock = threading.Lock()
+        self._lock = sync.new_lock('OperationRegistry._lock')
         self._ops: dict[str, Operation] = {}
         self._completed: deque[str] = deque()
         self._max_completed = max_completed

@@ -42,6 +42,8 @@ from __future__ import annotations
 import hashlib
 import itertools
 import threading
+
+from ..common import sync
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -125,7 +127,7 @@ class CompiledPlanCache:
     def __init__(self, max_entries: int = 256):
         self.max_entries = max_entries
         self.stats = PlanCacheStats()
-        self._lock = threading.Lock()
+        self._lock = sync.new_lock('CompiledPlanCache._lock')
         self._entries: dict[tuple, PlanCacheEntry] = {}
         #: raw statement text -> canonical key, so a repeat of the exact
         #: byte-identical statement skips even the parse step

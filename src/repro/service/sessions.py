@@ -20,6 +20,8 @@ from __future__ import annotations
 import contextlib
 import itertools
 import threading
+
+from ..common import sync
 from typing import Optional
 
 from ..errors import ServiceError, TransactionError
@@ -39,7 +41,7 @@ class ServiceSession:
         self.last_used_s = driver.now_s
         self.statements = 0
         #: serializes statements: one in flight per session, like HS2
-        self.lock = threading.Lock()
+        self.lock = sync.new_lock('ServiceSession.lock')
 
     def as_row(self) -> tuple:
         return (self.session_id, self.tenant, self.application,
@@ -52,7 +54,7 @@ class SessionManager:
 
     def __init__(self, server):
         self.server = server               # HiveServer2
-        self._lock = threading.Lock()
+        self._lock = sync.new_lock('SessionManager._lock')
         self._sessions: dict[str, ServiceSession] = {}
         #: token -> tenant; empty means open access (token names tenant)
         self._tenants: dict[str, str] = {}

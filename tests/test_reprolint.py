@@ -307,6 +307,102 @@ class TestRL006ObsInternals:
 
 
 # --------------------------------------------------------------------------- #
+class TestRL010ManualLockCalls:
+    def test_acquire_without_try_finally(self):
+        findings = lint("""
+            class C:
+                def leak(self):
+                    self._lock.acquire()
+                    work()
+                    self._lock.release()
+        """, rules=["RL010"])
+        assert rule_ids(findings) == ["RL010", "RL010"]
+
+    def test_acquire_then_try_finally_release_ok(self):
+        findings = lint("""
+            class C:
+                def good(self):
+                    self._lock.acquire()
+                    try:
+                        work()
+                    finally:
+                        self._lock.release()
+        """, rules=["RL010"])
+        assert findings == []
+
+    def test_acquire_inside_try_with_finally_release_ok(self):
+        findings = lint("""
+            class C:
+                def good(self):
+                    try:
+                        self._lock.acquire()
+                        work()
+                    finally:
+                        self._lock.release()
+        """, rules=["RL010"])
+        assert findings == []
+
+    def test_release_in_except_handler_flagged(self):
+        findings = lint("""
+            class C:
+                def bad(self):
+                    try:
+                        work()
+                    except ValueError:
+                        self._lock.release()
+        """, rules=["RL010"])
+        assert rule_ids(findings) == ["RL010"]
+
+    def test_non_lock_receiver_ignored(self):
+        findings = lint("""
+            def f(sess):
+                sess.pool.acquire()
+                sess.pool.release()
+        """, rules=["RL010"])
+        assert findings == []
+
+    def test_condition_receiver_covered(self):
+        findings = lint("""
+            class C:
+                def bad(self):
+                    self._cond.acquire()
+                    work()
+                    self._cond.release()
+        """, rules=["RL010"])
+        assert len(findings) == 2
+
+
+class TestRL011ThreadConstruction:
+    def test_thread_outside_sanctioned_modules(self):
+        findings = lint("""
+            import threading
+            t = threading.Thread(target=work, daemon=True)
+        """, path="src/repro/metastore/hms.py", rules=["RL011"])
+        assert rule_ids(findings) == ["RL011"]
+
+    def test_thread_in_service_with_daemon_ok(self):
+        findings = lint("""
+            import threading
+            t = threading.Thread(target=work, daemon=True)
+        """, path="src/repro/service/core.py", rules=["RL011"])
+        assert findings == []
+
+    def test_thread_in_service_without_daemon_flagged(self):
+        findings = lint("""
+            import threading
+            t = threading.Thread(target=work)
+        """, path="src/repro/service/core.py", rules=["RL011"])
+        assert rule_ids(findings) == ["RL011"]
+
+    def test_exposition_endpoint_sanctioned(self):
+        findings = lint("""
+            import threading
+            t = threading.Thread(target=serve, daemon=True)
+        """, path="src/repro/obs/exposition.py", rules=["RL011"])
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
 class TestSuppression:
     def test_line_suppression(self):
         findings = lint(
