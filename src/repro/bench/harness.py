@@ -90,6 +90,8 @@ def run_query_set(session: Session,
                 label, name,
                 seconds=result.metrics.total_s if result.metrics else 0.0,
                 rows=len(result.rows), from_cache=result.from_cache,
+                wall_s=(result.trace.root.wall_s
+                        if result.trace is not None else None),
                 breakdown=breakdown_of(result.metrics))
         except HiveError as error:
             run.timings.append(QueryTiming(name, None,

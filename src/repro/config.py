@@ -213,6 +213,20 @@ class HiveConf:
     #: longer than this is reported in ``sys.lint_findings``.  Only
     #: consulted when the process runs under ``HIVE_SANITIZE=1``.
     lint_sanitize_longhold_s: float = 5.0
+    #: query store (fingerprint-level workload history; sys.query_store)
+    qstore_enabled: bool = True
+    #: max fingerprints retained (LRU on last virtual use)
+    qstore_capacity: int = 512
+    #: virtual seconds per latency window; samples from completed
+    #: windows form the per-fingerprint regression baseline
+    qstore_window_s: float = 300.0
+    #: regression fires when current-window p95 exceeds baseline p95
+    #: by more than this factor
+    qstore_regression_threshold: float = 1.5
+    #: minimum samples required on both sides before comparing
+    qstore_regression_min_samples: int = 5
+    #: bound on deduplicated findings in sys.query_store_events
+    qstore_max_events: int = 512
 
     # ------------------------------------------------------------------ #
     # ACID (Section 3.2)
@@ -311,6 +325,20 @@ class HiveConf:
         if self.lint_sanitize_longhold_s <= 0:
             raise ConfigError(
                 "lint_sanitize_longhold_s must be > 0 (wall seconds)")
+        if self.qstore_capacity < 1:
+            raise ConfigError("qstore_capacity must be >= 1")
+        if self.qstore_window_s <= 0.0:
+            raise ConfigError(
+                "qstore_window_s must be > 0 (virtual seconds)")
+        if self.qstore_regression_threshold <= 1.0:
+            raise ConfigError(
+                "qstore_regression_threshold must be > 1.0 (a ratio "
+                "of current to baseline p95)")
+        if self.qstore_regression_min_samples < 1:
+            raise ConfigError(
+                "qstore_regression_min_samples must be >= 1")
+        if self.qstore_max_events < 1:
+            raise ConfigError("qstore_max_events must be >= 1")
         for rate_name in ("faults_task_fail_rate", "faults_io_error_rate",
                           "faults_node_fail_rate", "faults_slow_node_rate",
                           "faults_lock_stall_rate"):

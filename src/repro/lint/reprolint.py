@@ -42,6 +42,11 @@ RL011     ``threading.Thread(...)`` constructed outside the sanctioned
           modules (``repro/service/``, ``repro/obs/exposition.py``) or
           without ``daemon=`` — a stray non-daemon thread keeps the
           interpreter alive and hangs CI on failure
+RL012     a dotted metric-name literal passed to a registry accessor
+          (``counter``/``gauge``/``histogram``/``register_callback``)
+          that is neither in the ``METRIC_HELP`` catalog nor
+          accompanied by ``help=`` — the server registry rejects such
+          registrations at runtime; the lint catches them statically
 ========  ============================================================
 
 Suppression: append ``# reprolint: disable=RL001`` (comma-separated
@@ -82,6 +87,8 @@ RULES = {
              "try/finally (leaks the lock on exception)",
     "RL011": "threading.Thread constructed outside sanctioned modules "
              "or without daemon= (stray threads hang CI)",
+    "RL012": "metric name literal outside the METRIC_HELP catalog with "
+             "no help= (undocumented series)",
 }
 
 #: private metric-state attributes RL006 protects (Counter._value,
@@ -130,6 +137,10 @@ MUTATORS = frozenset({
 
 #: methods construction-time mutation is allowed in (RL001)
 CONSTRUCTORS = frozenset({"__init__", "__new__", "__post_init__"})
+
+#: registry accessor methods RL012 inspects for metric-name literals
+METRIC_ACCESSORS = frozenset({"counter", "gauge", "histogram",
+                              "register_callback"})
 
 _SUPPRESS_RE = re.compile(
     r"#\s*reprolint:\s*disable=([A-Za-z0-9, ]+)")
@@ -192,6 +203,8 @@ def lint_source(source: str, path: str = "<string>",
         _check_manual_lock_calls(tree, path, findings)
     if "RL011" in enabled:
         _check_thread_construction(tree, path, norm, findings)
+    if "RL012" in enabled:
+        _check_metric_help(tree, path, findings)
     for finding in findings:
         if 0 < finding.line <= len(lines):
             finding.snippet = lines[finding.line - 1].strip()
@@ -228,7 +241,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     import argparse
     parser = argparse.ArgumentParser(
         prog="reprolint",
-        description="AST linter with repro-specific rules (RL001-RL011)")
+        description="AST linter with repro-specific rules (RL001-RL012)")
     parser.add_argument("paths", nargs="+",
                         help="files or directories to lint")
     parser.add_argument("--format", choices=("text", "json"),
@@ -715,6 +728,50 @@ def _check_obs_internals(tree, path, findings):
             f"direct metric-internals access "
             f"'{ast.unparse(node)}' outside repro/obs — read through "
             "registry.value()/total()/percentile()/snapshot()"))
+
+
+# --------------------------------------------------------------------------- #
+# RL012 — metric names must be documented
+
+def _check_metric_help(tree, path, findings):
+    """RL012 — undocumented metric-name literals.
+
+    The server's registry runs with ``require_help=True``, so a
+    ``registry.counter("my.metric")`` with neither a ``help=`` kwarg
+    nor a ``METRIC_HELP`` catalog entry raises at first use — usually
+    deep inside a query, long after the typo shipped.  This check
+    surfaces the problem statically.  Only dotted string *literals*
+    are inspected; names built with f-strings or variables are a
+    documented blind spot (such sites pass ``help=`` inline anyway,
+    which also satisfies this rule).
+    """
+    try:
+        from ..obs.registry import METRIC_HELP
+    except ImportError:   # linting outside the package tree
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) \
+                or func.attr not in METRIC_ACCESSORS:
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant)
+                and isinstance(first.value, str)):
+            continue
+        name = first.value
+        if "." not in name or name in METRIC_HELP:
+            continue
+        if any(k.arg == "help" for k in node.keywords):
+            continue
+        findings.append(Finding(
+            "RL012", path, node.lineno, node.col_offset,
+            f"metric {name!r} is not in the METRIC_HELP catalog and "
+            "passes no help= — the require_help registry rejects it "
+            "at runtime; document the series"))
 
 
 def _check_mutable_defaults(tree, path, findings):

@@ -12,7 +12,10 @@ compares the *current query's* counter against the threshold.  A
 percentile form — ``p95(query.latency_s)`` — compares a quantile of the
 query's *pool distribution* read from the obs registry's histograms, so
 MOVE/KILL fire on distribution shifts (adaptive admission) even when the
-triggering query itself is cheap.  Every firing is recorded in a
+triggering query itself is cheap.  A regression form —
+``regression(query.latency_s)`` — compares the executing query's
+fingerprint-level regression factor from the query store (current
+window p95 over baseline).  Every firing is recorded in a
 :class:`WmEventLog`, which backs the ``sys.wm_events`` table.
 
 Plans are persisted in HMS; exactly one plan is active at a time.
@@ -37,6 +40,10 @@ _PERCENTILE_METRIC = re.compile(r"^p(\d+(?:\.\d+)?)\((.+)\)$")
 
 #: rate-trigger (alert rule) metric syntax: ``rate(<sampled series>)``
 _RATE_METRIC = re.compile(r"^rate\((.+)\)$")
+
+#: query-store trigger syntax: ``regression(<metric>)`` — compares the
+#: live query's fingerprint regression factor (window p95 / baseline)
+_REGRESSION_METRIC = re.compile(r"^regression\((.+)\)$")
 
 
 class TriggerAction(enum.Enum):
@@ -73,6 +80,19 @@ class Trigger:
         by the same trigger machinery as per-query thresholds.
         """
         match = _RATE_METRIC.match(self.metric)
+        return match.group(1) if match else None
+
+    @property
+    def regression_metric(self) -> Optional[str]:
+        """Inner metric name for ``regression(...)`` triggers, else None.
+
+        ``WHEN regression(query.latency_s) > F THEN MOVE/KILL``
+        compares the executing query's *fingerprint-level* regression
+        factor — current-window p95 over baseline p95 from the query
+        store — so recurring statements that suddenly slow down are
+        demoted or killed regardless of their absolute latency.
+        """
+        match = _REGRESSION_METRIC.match(self.metric)
         return match.group(1) if match else None
 
 
@@ -207,12 +227,14 @@ class WorkloadManager:
     def __init__(self, plan: Optional[ResourcePlan] = None,
                  registry=None,
                  event_log: Optional[WmEventLog] = None,
-                 timeseries=None):
+                 timeseries=None, query_store=None):
         self.plan = plan
         self.registry = registry
         self.event_log = event_log
         #: repro.obs.TimeseriesStore backing rate(...) alert rules
         self.timeseries = timeseries
+        #: repro.obs.QueryStore backing regression(...) triggers
+        self.query_store = query_store
         #: per-pool heaps of running-query virtual finish times; the
         #: serving layer admits from many worker threads concurrently,
         #: so every heap access goes through the lock
@@ -301,6 +323,7 @@ class WorkloadManager:
         for trigger in pool.triggers:
             percentile = trigger.percentile
             rate_name = trigger.rate_metric
+            regression_name = trigger.regression_metric
             if percentile is not None:
                 p, histogram_name = percentile
                 value = registry.percentile(histogram_name, p,
@@ -309,6 +332,9 @@ class WorkloadManager:
                 value = (self.timeseries.rate(
                     rate_name, trigger.over_s, now_s)
                     if self.timeseries is not None else None)
+            elif regression_name is not None:
+                value = (self.query_store.regression_factor(query_id)
+                         if self.query_store is not None else None)
             else:
                 value = registry.value(f"wm.query.{trigger.metric}",
                                        query=str(query_id))

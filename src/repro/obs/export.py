@@ -27,10 +27,13 @@ class BenchObsCollector:
     def record(self, scenario: str, query: str, *,
                seconds: Optional[float], rows: int = 0,
                from_cache: bool = False, error: str = "",
+               wall_s: Optional[float] = None,
                breakdown: Optional[dict] = None) -> None:
         entry = {"scenario": scenario, "query": query,
                  "seconds": seconds, "rows": rows,
                  "from_cache": from_cache}
+        if wall_s is not None:
+            entry["wall_s"] = round(wall_s, 6)
         if error:
             entry["error"] = error
         if breakdown:
@@ -54,14 +57,16 @@ class BenchObsCollector:
         for record in self.records():
             s = scenarios.setdefault(record["scenario"],
                                      {"queries": 0, "failed": 0,
-                                      "total_s": 0.0})
+                                      "total_s": 0.0, "wall_s": 0.0})
             s["queries"] += 1
             if record["seconds"] is None:
                 s["failed"] += 1
             else:
                 s["total_s"] += record["seconds"]
+            s["wall_s"] += record.get("wall_s") or 0.0
         for s in scenarios.values():
             s["total_s"] = round(s["total_s"], 6)
+            s["wall_s"] = round(s["wall_s"], 6)
         return scenarios
 
     def write(self, path: str) -> dict:

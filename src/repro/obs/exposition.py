@@ -124,6 +124,7 @@ def render_ui(obs) -> dict:
         "fault_events": faults,
         "timeseries": obs.timeseries.names(),
         "queries_logged": len(obs.query_log),
+        "query_store": obs.query_store.ui_snapshot(),
     }
 
 

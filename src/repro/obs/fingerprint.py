@@ -1,0 +1,106 @@
+"""Statement fingerprints and plan hashes for the query store.
+
+A **fingerprint** identifies a recurring statement across executions:
+the SQL text is canonicalized through the lexer — keywords uppercased,
+identifiers lowercased, every literal replaced by ``?`` — and hashed.
+The driver fingerprints the *unparsed* statement
+(``statement.unparse()``), the same canonical text the plan cache keys
+on, so two spellings of one statement (whitespace, literal values,
+case, optional parentheses) share a fingerprint and the store, the
+plan cache and ``EXPLAIN HISTORY`` agree on identity.  Raw SQL is
+fingerprinted directly only for statements that fail to parse.
+
+A **plan hash** identifies the *shape* of an optimized plan: the
+EXPLAIN tree (:meth:`RelNode.explain`) plus the semijoin-reducer and
+materialized-view annotations, hashed.  The tree is purely structural
+(operator labels, no cardinality estimates), so the hash is stable
+across pure statistics refreshes and only moves when the optimizer
+actually picks a different plan — exactly the event the query store
+wants to surface.
+
+Blind spots (documented in DESIGN.md): literal stripping conflates
+statements whose literals select different plans (partition pruning);
+``IN`` lists of different lengths fingerprint differently; statements
+that fail to tokenize fall back to whitespace-normalized text.
+"""
+
+from __future__ import annotations
+
+import difflib
+import hashlib
+
+from ..errors import ParseError
+from ..sql.lexer import TokenType, tokenize
+
+#: hex digits kept from the sha1 — short enough to eyeball in sys
+#: tables, long enough that collisions are out of scope here
+_DIGEST_LEN = 12
+
+
+def canonicalize(sql: str) -> str:
+    """Literal-stripped canonical text of one SQL statement."""
+    try:
+        tokens = tokenize(sql)
+    except ParseError:
+        # unlexable text still deserves an identity (error statements
+        # land in the store too): normalize whitespace and move on
+        return " ".join(sql.split())
+    parts: list[str] = []
+    for token in tokens:
+        if token.type is TokenType.EOF:
+            break
+        if token.type in (TokenType.NUMBER, TokenType.STRING):
+            parts.append("?")
+        elif token.type is TokenType.KEYWORD:
+            parts.append(token.value.upper())
+        elif token.type is TokenType.IDENT:
+            parts.append(token.value.lower())
+        else:
+            parts.append(token.value)
+    # drop a trailing statement terminator so "X;" and "X" agree
+    while parts and parts[-1] == ";":
+        parts.pop()
+    return " ".join(parts)
+
+
+def fingerprint(sql: str) -> str:
+    """Stable fingerprint of one statement's canonical text."""
+    canonical = canonicalize(sql)
+    digest = hashlib.sha1(canonical.encode("utf-8")).hexdigest()
+    return digest[:_DIGEST_LEN]
+
+
+def plan_text(optimized) -> str:
+    """The EXPLAIN tree of an optimized plan, with the annotations
+    that change execution shape (semijoin reducers, MV rewrites)."""
+    if optimized is None:
+        return ""
+    lines = optimized.root.explain().splitlines()
+    for reducer in optimized.semijoin_reducers:
+        lines.append(f"semijoin reducer -> {reducer.target_table}"
+                     f".{reducer.target_column}")
+    if optimized.views_used:
+        lines.append("materialized views: "
+                     + ", ".join(sorted(optimized.views_used)))
+    return "\n".join(lines)
+
+
+def hash_plan_text(text: str) -> str:
+    """Hash of an already-rendered plan text ('' when empty)."""
+    if not text:
+        return ""
+    digest = hashlib.sha1(text.encode("utf-8")).hexdigest()
+    return digest[:_DIGEST_LEN]
+
+
+def plan_hash(optimized) -> str:
+    """Stable hash over the optimized-plan shape ('' when no plan)."""
+    return hash_plan_text(plan_text(optimized))
+
+
+def plan_diff(old_text: str, new_text: str) -> str:
+    """Structural unified diff between two EXPLAIN trees."""
+    lines = difflib.unified_diff(
+        old_text.splitlines(), new_text.splitlines(),
+        fromfile="old_plan", tofile="new_plan", lineterm="", n=2)
+    return "\n".join(lines)

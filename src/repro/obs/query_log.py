@@ -51,6 +51,8 @@ class QueryLogEntry:
     cache_bytes: int = 0
     cache_hit_fraction: float = 0.0
     wall_ms: float = 0.0
+    #: query-store identity; joins sys.query_log to sys.query_store
+    fingerprint: str = ""
     #: ``sys.vertex_log`` rows for this query (VertexMetrics.as_row)
     vertices: list = field(default_factory=list)
     #: ``sys.operator_log`` rows for this query (OperatorProfile.as_row)
@@ -65,7 +67,7 @@ class QueryLogEntry:
                 self.total_s, self.queue_s, self.compile_s,
                 self.startup_s, self.io_s, self.cpu_s, self.shuffle_s,
                 self.external_s, self.disk_bytes, self.cache_bytes,
-                self.cache_hit_fraction, self.wall_ms)
+                self.cache_hit_fraction, self.wall_ms, self.fingerprint)
 
     def to_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -133,6 +133,20 @@ METRIC_HELP: dict[str, str] = {
         "longest wall-clock hold of any sanitized lock, in seconds",
     "lint.findings":
         "runtime sanitizer findings so far (rows of sys.lint_findings)",
+    "qstore.fingerprints":
+        "distinct statement fingerprints tracked by the query store",
+    "qstore.plans":
+        "distinct (fingerprint, plan hash) pairs tracked by the "
+        "query store",
+    "qstore.events":
+        "deduplicated findings retained in sys.query_store_events",
+    "qstore.recorded": "executions aggregated into the query store",
+    "qstore.plan_changes":
+        "plan-change events detected (fingerprint switched plan hash)",
+    "qstore.regressions":
+        "latency-regression events detected (window p95 vs. baseline)",
+    "qstore.evictions":
+        "fingerprints evicted from the query store at capacity",
 }
 
 

@@ -26,6 +26,11 @@ END_MARKER = "<!-- BENCH_OBS:END -->"
 #: perf-gate failure threshold: fractional total_s growth per scenario
 DEFAULT_TOLERANCE = 0.25
 
+#: wall-clock gate threshold — deliberately generous: wall time sees
+#: CI-machine noise (shared runners, GC, thermal jitter), so only a
+#: multiple-of-baseline blowup should fail the gate
+DEFAULT_WALL_TOLERANCE = 3.0
+
 
 # --------------------------------------------------------------------------- #
 # EXPERIMENTS.md generation
@@ -103,13 +108,18 @@ def update_experiments(text: str, payload: dict) -> str:
 # CI perf gate
 
 def perf_gate(baseline: dict, current: dict,
-              tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
-    """Compare per-scenario total virtual time against the baseline.
+              tolerance: float = DEFAULT_TOLERANCE,
+              wall_tolerance: float = DEFAULT_WALL_TOLERANCE
+              ) -> list[str]:
+    """Compare per-scenario totals against the baseline.
 
     Returns the list of violations (empty = gate passes).  A scenario
     present in the baseline must exist in the current run; new
     scenarios in the current run are fine (they become baseline on the
-    next refresh).
+    next refresh).  Virtual time gates at ``tolerance``; wall time
+    gates at the much looser ``wall_tolerance`` and only when the
+    baseline carries wall data (older baselines skip the wall gate
+    rather than failing on a missing field).
     """
     problems: list[str] = []
     base_summary = baseline.get("summary", {})
@@ -127,14 +137,24 @@ def perf_gate(baseline: dict, current: dict,
                 f"(baseline {base.get('failed', 0)})")
         base_total = float(base.get("total_s", 0.0))
         cur_total = float(cur.get("total_s", 0.0))
-        if base_total <= 0.0:
-            continue
-        growth = (cur_total - base_total) / base_total
-        if growth > tolerance:
-            problems.append(
-                f"{scenario}: total virtual time {cur_total:.3f}s is "
-                f"{growth * 100:.1f}% over baseline {base_total:.3f}s "
-                f"(tolerance {tolerance * 100:.0f}%)")
+        if base_total > 0.0:
+            growth = (cur_total - base_total) / base_total
+            if growth > tolerance:
+                problems.append(
+                    f"{scenario}: total virtual time {cur_total:.3f}s "
+                    f"is {growth * 100:.1f}% over baseline "
+                    f"{base_total:.3f}s "
+                    f"(tolerance {tolerance * 100:.0f}%)")
+        base_wall = float(base.get("wall_s", 0.0))
+        cur_wall = float(cur.get("wall_s", 0.0))
+        if base_wall > 0.0 and cur_wall > 0.0:
+            wall_growth = (cur_wall - base_wall) / base_wall
+            if wall_growth > wall_tolerance:
+                problems.append(
+                    f"{scenario}: wall time {cur_wall:.3f}s is "
+                    f"{wall_growth * 100:.0f}% over baseline "
+                    f"{base_wall:.3f}s (wall tolerance "
+                    f"{wall_tolerance * 100:.0f}%)")
     return problems
 
 

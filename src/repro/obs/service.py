@@ -27,6 +27,7 @@ from ..llap.workload import WmEventLog
 from .cluster import ClusterMonitor
 from .live import LiveQueryRegistry
 from .query_log import QueryLog, QueryLogEntry, QueryLogOverflow
+from .query_store import QueryStore
 from .registry import MetricsRegistry
 from .timeseries import TimeseriesStore
 from .tracing import QueryTrace
@@ -43,6 +44,7 @@ class Observability:
         self.registry = MetricsRegistry(require_help=True)
         self.query_log = QueryLog(
             log_capacity, overflow=QueryLogOverflow(overflow_path))
+        self.query_store = QueryStore()
         self.wm_events = WmEventLog()
         self.timeseries = TimeseriesStore(capacity=timeseries_capacity)
         self.live_queries = LiveQueryRegistry(
@@ -66,6 +68,7 @@ class Observability:
         self.sys_handler = SysTableHandler(self)
         self._sys_ready = False
         self._register_lint_gauges()
+        self._register_qstore_gauges()
 
     def _register_lint_gauges(self) -> None:
         """Lock-sanitizer visibility (``lint.*``).  Registered
@@ -94,6 +97,25 @@ class Observability:
             "lint.findings",
             lambda: float(len(sanitizer.current().findings()))
             if sanitizer.current() else 0.0)
+
+    def _register_qstore_gauges(self) -> None:
+        """Query-store visibility (``qstore.*``)."""
+        store = self.query_store
+        reg = self.registry
+        reg.register_callback("qstore.fingerprints",
+                              lambda: float(store.fingerprints_tracked()))
+        reg.register_callback("qstore.plans",
+                              lambda: float(store.plans_tracked()))
+        reg.register_callback("qstore.events",
+                              lambda: float(store.events_retained()))
+        reg.register_callback("qstore.recorded",
+                              lambda: float(store.recorded))
+        reg.register_callback("qstore.plan_changes",
+                              lambda: float(store.plan_changes))
+        reg.register_callback("qstore.regressions",
+                              lambda: float(store.regressions))
+        reg.register_callback("qstore.evictions",
+                              lambda: float(store.evictions))
 
     # -- wiring --------------------------------------------------------- #
     def bind_server(self, hms, workload_manager) -> None:
@@ -208,9 +230,15 @@ class Observability:
             self.traces.append(trace)
         return trace
 
-    def record_query(self, entry: QueryLogEntry) -> None:
+    def record_query(self, entry: QueryLogEntry, *,
+                     plan_hash: str = "",
+                     plan_explain: str = "") -> None:
         # QueryLog carries its own lock; appends are synchronized there
         self.query_log.append(entry)  # reprolint: disable=RL001
+        self.query_store.record(
+            entry, fingerprint=entry.fingerprint, plan_hash=plan_hash,
+            plan_explain=plan_explain,
+            now_s=entry.started_s + entry.total_s)
         labels = {"operation": entry.operation or "unknown",
                   "status": entry.status}
         self.registry.counter("queries.total", **labels).inc()

@@ -35,7 +35,11 @@ Tables:
   occupancy and cache heatmap (the paper's LLAP monitor view),
 * ``sys.lint_findings`` — runtime lock-sanitizer findings (order
   inversions, waits holding foreign locks, long holds) when the
-  process runs under ``HIVE_SANITIZE=1``; empty otherwise.
+  process runs under ``HIVE_SANITIZE=1``; empty otherwise,
+* ``sys.query_store`` / ``sys.query_store_plans`` /
+  ``sys.query_store_events`` — fingerprint-level workload history,
+  per-plan-hash stats and deduplicated plan-change/regression
+  findings; join ``sys.query_log`` on ``fingerprint``.
 """
 
 from __future__ import annotations
@@ -63,7 +67,7 @@ QUERY_LOG_SCHEMA = Schema([
     Column("cpu_s", DOUBLE), Column("shuffle_s", DOUBLE),
     Column("external_s", DOUBLE), Column("disk_bytes", BIGINT),
     Column("cache_bytes", BIGINT), Column("cache_hit_fraction", DOUBLE),
-    Column("wall_ms", DOUBLE)])
+    Column("wall_ms", DOUBLE), Column("fingerprint", STRING)])
 
 VERTEX_LOG_SCHEMA = Schema([
     Column("query_id", BIGINT), Column("vertex_id", BIGINT),
@@ -153,6 +157,37 @@ FAULT_LOG_SCHEMA = Schema([
     Column("attempts", BIGINT), Column("delay_s", DOUBLE),
     Column("detail", STRING)])
 
+QUERY_STORE_SCHEMA = Schema([
+    Column("fingerprint", STRING), Column("statement", STRING),
+    Column("plans", BIGINT), Column("executions", BIGINT),
+    Column("errors", BIGINT), Column("retries", BIGINT),
+    Column("results_cache_hits", BIGINT),
+    Column("plan_cache_hits", BIGINT),
+    Column("plan_cache_misses", BIGINT),
+    Column("rows_produced", BIGINT), Column("queue_s", DOUBLE),
+    Column("p50_s", DOUBLE), Column("p95_s", DOUBLE),
+    Column("p99_s", DOUBLE), Column("baseline_p95_s", DOUBLE),
+    Column("mean_wall_ms", DOUBLE), Column("last_plan_hash", STRING),
+    Column("first_seen_s", DOUBLE), Column("last_seen_s", DOUBLE)])
+
+QUERY_STORE_PLANS_SCHEMA = Schema([
+    Column("fingerprint", STRING), Column("plan_hash", STRING),
+    Column("executions", BIGINT), Column("errors", BIGINT),
+    Column("retries", BIGINT), Column("rows_produced", BIGINT),
+    Column("disk_bytes", BIGINT), Column("cache_bytes", BIGINT),
+    Column("p50_s", DOUBLE), Column("p95_s", DOUBLE),
+    Column("p99_s", DOUBLE), Column("mean_s", DOUBLE),
+    Column("mean_wall_ms", DOUBLE), Column("first_seen_s", DOUBLE),
+    Column("last_seen_s", DOUBLE)])
+
+QUERY_STORE_EVENTS_SCHEMA = Schema([
+    Column("event_id", BIGINT), Column("kind", STRING),
+    Column("fingerprint", STRING), Column("statement", STRING),
+    Column("old_plan_hash", STRING), Column("new_plan_hash", STRING),
+    Column("before_p95_s", DOUBLE), Column("after_p95_s", DOUBLE),
+    Column("factor", DOUBLE), Column("detail", STRING),
+    Column("at_s", DOUBLE), Column("count", BIGINT)])
+
 LINT_FINDINGS_SCHEMA = Schema([
     Column("finding_id", BIGINT), Column("source", STRING),
     Column("kind", STRING), Column("locks", STRING),
@@ -177,6 +212,9 @@ SYS_TABLES: dict[str, Schema] = {
     "cluster_nodes": CLUSTER_NODES_SCHEMA,
     "llap_daemons": LLAP_DAEMONS_SCHEMA,
     "lint_findings": LINT_FINDINGS_SCHEMA,
+    "query_store": QUERY_STORE_SCHEMA,
+    "query_store_plans": QUERY_STORE_PLANS_SCHEMA,
+    "query_store_events": QUERY_STORE_EVENTS_SCHEMA,
 }
 
 
@@ -308,6 +346,15 @@ class SysTableHandler(StorageHandler):
 
     def _rows_llap_daemons(self) -> list[tuple]:
         return self.obs.cluster.llap_daemon_rows()
+
+    def _rows_query_store(self) -> list[tuple]:
+        return self.obs.query_store.rows_store()
+
+    def _rows_query_store_plans(self) -> list[tuple]:
+        return self.obs.query_store.rows_plans()
+
+    def _rows_query_store_events(self) -> list[tuple]:
+        return self.obs.query_store.rows_events()
 
     def _rows_lint_findings(self) -> list[tuple]:
         """Runtime lock-sanitizer findings; empty when the process

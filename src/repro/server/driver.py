@@ -36,6 +36,7 @@ from ..metastore.stats import TableStatistics
 from ..metastore.txn import (AcidHouseKeeper, DeltaWriteIdList,
                              ValidWriteIdList)
 from ..obs import Observability
+from ..obs import fingerprint as fingerprints
 from ..obs.profile import ExecutionProfile
 from ..obs.query_log import QueryLogEntry
 from ..optimizer import OptimizedPlan, Optimizer
@@ -112,12 +113,15 @@ class HiveServer2:
             self.conf.results_cache_max_entries,
             self.conf.results_cache_wait_pending,
             pending_timeout_s=self.conf.results_cache_pending_timeout_s)
+        self.obs.query_store.configure(self.conf)
         self.workload_manager = WorkloadManager(
             registry=self.obs.registry,
             event_log=self.obs.wm_events,
-            timeseries=self.obs.timeseries)
+            timeseries=self.obs.timeseries,
+            query_store=self.obs.query_store)
         self.plan_cache = CompiledPlanCache(
-            self.conf.plan_cache_max_entries)
+            self.conf.plan_cache_max_entries,
+            on_lookup=self.obs.query_store.note_plan_cache)
         #: serving-layer hooks (fn(now_s)) run on every session's
         #: housekeeper tick — HiveService reaps expired sessions here
         self.housekeeping_hooks: list = []
@@ -243,6 +247,7 @@ class Session:
         self._trace = trace
         started_s = self.now_s
         operation = ""
+        fingerprint = ""
         obs.live_queries.register(
             trace.query_id, sql, database=self.database,
             application=self.application, started_s=started_s)
@@ -252,33 +257,54 @@ class Session:
             cached_plan = self._cached_plan_for(sql)
             if cached_plan is not None:
                 operation = "selectstatement"
+                # fingerprint from the unparsed canonical — the same
+                # identity space the parse path below uses
+                fingerprint = obs.query_store.fingerprint_of(
+                    cached_plan.canonical)
+                obs.query_store.register_live(trace.query_id,
+                                              fingerprint)
                 result = self._run_cached_plan(cached_plan)
             else:
                 with trace.span("parse"):
                     statement = parse_statement(sql, self.conf)
                 operation = type(statement).__name__.lower()
+                # visible to WM regression(...) triggers while running
+                fingerprint = obs.query_store.fingerprint_of(
+                    statement.unparse())
+                obs.query_store.register_live(trace.query_id,
+                                              fingerprint)
                 result = self._dispatch(statement)
         except Exception as error:
             status = ("killed" if isinstance(error, QueryKilledError)
                       else "error")
             obs.live_queries.finish(trace.query_id, status=status)
             trace.finish(error=str(error))
+            if not fingerprint:
+                # died before (or in) parse: raw-text identity
+                fingerprint = obs.query_store.fingerprint_of(sql)
             obs.record_query(QueryLogEntry(
                 query_id=trace.query_id, statement=sql,
                 database=self.database, application=self.application,
                 operation=operation, status=status, error=str(error),
                 started_s=started_s,
-                wall_ms=trace.root.wall_s * 1000.0))
+                wall_ms=trace.root.wall_s * 1000.0,
+                fingerprint=fingerprint))
             raise
         finally:
             self._trace = None
+            obs.query_store.forget_live(trace.query_id)
         if result.metrics is not None:
             self.now_s += result.metrics.total_s
         obs.live_queries.finish(trace.query_id, status="ok")
         trace.finish()
         result.query_id = trace.query_id
         result.trace = trace
-        obs.record_query(self._log_entry(trace, sql, result, started_s))
+        entry = self._log_entry(trace, sql, result, started_s)
+        entry.fingerprint = fingerprint
+        plan_explain = fingerprints.plan_text(result.optimized)
+        obs.record_query(
+            entry, plan_hash=fingerprints.hash_plan_text(plan_explain),
+            plan_explain=plan_explain)
         return result
 
     def _tick_txn_clock(self) -> None:
@@ -364,6 +390,8 @@ class Session:
                 return self._explain_analyze(statement.statement)
             if statement.validate:
                 return self._explain_validate(statement.statement)
+            if statement.history:
+                return self._explain_history(statement.statement)
             return self._explain(statement.statement)
         if isinstance(statement, ast.CreateDatabase):
             self.hms.create_database(statement.name,
@@ -762,6 +790,18 @@ class Session:
         return QueryResult(rows=[(line,) for line in lines],
                            column_names=["plan"], operation="explain",
                            optimized=optimized)
+
+    def _explain_history(self, statement: ast.Statement) -> QueryResult:
+        """EXPLAIN HISTORY: the query store's aggregate view of this
+        statement — per-plan-hash stats, the last plan diff and any
+        regression findings for its fingerprint.  The driver
+        fingerprints executed statements by their ``unparse()`` text,
+        so unparsing here looks up the same identity."""
+        lines = self.server.obs.query_store.history_lines(
+            statement.unparse())
+        return QueryResult(rows=[(line,) for line in lines],
+                           column_names=["history"],
+                           operation="explain")
 
     def _explain_validate(self, statement: ast.Statement) -> QueryResult:
         """EXPLAIN VALIDATE: compile with the plan-invariant checker
@@ -1463,6 +1503,9 @@ class Session:
         if attr == "obs_query_log_capacity":
             # server-level knob: resize the live ring (excess spills)
             self.server.obs.query_log.set_capacity(int(value))
+        if attr.startswith("qstore_"):
+            # the query store is server-wide, like the query log
+            self.server.obs.query_store.apply_knob(attr, value)
         # the fault registry is server-wide (the simulated fs is shared);
         # mirror the knobs its stateless decisions read
         faults = self.server.faults
@@ -1719,6 +1762,14 @@ _CONFIG_ALIASES = {
     "hive.server2.default.parallelism": "server2_default_parallelism",
     "hive.server2.plan.cache.enabled": "plan_cache_enabled",
     "hive.server2.plan.cache.max.entries": "plan_cache_max_entries",
+    "hive.query.store.enabled": "qstore_enabled",
+    "hive.query.store.capacity": "qstore_capacity",
+    "hive.query.store.window.s": "qstore_window_s",
+    "hive.query.store.regression.threshold":
+        "qstore_regression_threshold",
+    "hive.query.store.regression.min.samples":
+        "qstore_regression_min_samples",
+    "hive.query.store.max.events": "qstore_max_events",
 }
 
 #: serving-layer knobs mirrored to the server conf by ``SET`` (the

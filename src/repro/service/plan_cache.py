@@ -124,9 +124,15 @@ class PlanCacheEntry:
 class CompiledPlanCache:
     """Thread-safe LRU cache of compiled plans (``sys.plan_cache``)."""
 
-    def __init__(self, max_entries: int = 256):
+    def __init__(self, max_entries: int = 256,
+                 on_lookup: Optional[Callable] = None):
         self.max_entries = max_entries
         self.stats = PlanCacheStats()
+        #: ``fn(database, canonical, hit)`` observer, called *after*
+        #: the cache lock is released (the query store hangs its
+        #: per-fingerprint hit/miss accounting here; firing outside the
+        #: lock keeps the lock-order graph acyclic)
+        self.on_lookup = on_lookup
         self._lock = sync.new_lock('CompiledPlanCache._lock')
         self._entries: dict[tuple, PlanCacheEntry] = {}
         #: raw statement text -> canonical key, so a repeat of the exact
@@ -149,18 +155,20 @@ class CompiledPlanCache:
         key = (database, canonical, digest)
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
-                self.stats.misses += 1
-                return None
-            if versions_of(entry.tables) != entry.versions:
+            if entry is not None \
+                    and versions_of(entry.tables) != entry.versions:
                 self._evict(key, entry)
                 self.stats.invalidations += 1
+                entry = None
+            if entry is None:
                 self.stats.misses += 1
-                return None
-            entry.hits += 1
-            entry.last_used = next(self._clock)
-            self.stats.hits += 1
-            return entry
+            else:
+                entry.hits += 1
+                entry.last_used = next(self._clock)
+                self.stats.hits += 1
+        if self.on_lookup is not None:
+            self.on_lookup(database, canonical, entry is not None)
+        return entry
 
     def lookup_raw(self, database: str, raw_sql: str, digest: str,
                    versions_of: Callable[[list], dict]

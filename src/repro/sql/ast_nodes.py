@@ -559,6 +559,9 @@ class Explain(Statement):
     #: EXPLAIN VALIDATE: compile with the plan-invariant checker forced
     #: on and report per-stage verdicts instead of the plan
     validate: bool = False
+    #: EXPLAIN HISTORY: render the query store's per-plan-hash stats
+    #: and last plan diff for the statement's fingerprint
+    history: bool = False
 
     def unparse(self) -> str:
         keyword = "EXPLAIN"
@@ -566,6 +569,8 @@ class Explain(Statement):
             keyword = "EXPLAIN ANALYZE"
         elif self.validate:
             keyword = "EXPLAIN VALIDATE"
+        elif self.history:
+            keyword = "EXPLAIN HISTORY"
         return f"{keyword} {self.statement.unparse()}"
 
 

@@ -127,7 +127,7 @@ class Parser:
         token = self.peek()
         if token.is_keyword("EXPLAIN"):
             self.advance()
-            analyze = validate = False
+            analyze = validate = history = False
             # EXPLAIN ANALYZE <query> (but EXPLAIN ANALYZE TABLE ... is
             # an explain of the ANALYZE TABLE statement itself)
             if self.peek().is_keyword("ANALYZE") \
@@ -137,8 +137,14 @@ class Parser:
             elif self.peek().is_keyword("VALIDATE"):
                 self.advance()
                 validate = True
+            elif (self.peek().type is TokenType.IDENT
+                    and self.peek().value.lower() == "history"):
+                # HISTORY is deliberately not a reserved word
+                self.advance()
+                history = True
             inner = self.parse_statement()
-            return ast.Explain(inner, analyze=analyze, validate=validate)
+            return ast.Explain(inner, analyze=analyze, validate=validate,
+                               history=history)
         if token.is_keyword("SELECT", "WITH"):
             query = self.parse_query()
             self.expect_end()
@@ -450,14 +456,16 @@ class Parser:
         self.expect_keyword("WHEN")
         metric = self.expect_ident().lower()
         if self.accept_op("("):
-            # derived-metric triggers: WHEN p95(query.latency_s) > ...
-            # and alert rules: WHEN rate(faults.injected) > ... OVER 60s
+            # derived-metric triggers: WHEN p95(query.latency_s) > ...,
+            # alert rules: WHEN rate(faults.injected) > ... OVER 60s,
+            # query-store triggers: WHEN regression(query.latency_s) > F
             is_percentile = (metric[:1] == "p" and
                              metric[1:].replace(".", "", 1).isdigit())
-            if metric != "rate" and not is_percentile:
+            if metric not in ("rate", "regression") \
+                    and not is_percentile:
                 raise self._error(
-                    "expected p<percentile>(metric) or rate(metric) "
-                    "in WHEN condition")
+                    "expected p<percentile>(metric), rate(metric) or "
+                    "regression(metric) in WHEN condition")
             inner = [self.expect_ident()]
             while self.accept_op("."):
                 inner.append(self.expect_ident())

@@ -150,7 +150,8 @@ class TestVertexAndOperatorSysTables:
         session.execute("SELECT COUNT(*) FROM t")
         result = session.execute("SELECT * FROM sys.query_log")
         # vertices/operators ride the entry, not the sys.query_log row
-        assert len(result.column_names) == 25
+        assert len(result.column_names) == 26
+        assert result.column_names[-1] == "fingerprint"
 
 
 # --------------------------------------------------------------------------- #
@@ -490,3 +491,27 @@ class TestBenchReport:
         current = {"summary": {"llap": {"queries": 2, "failed": 1,
                                         "total_s": 9.0}}}
         assert perf_gate(SAMPLE_EXPORT, current)
+
+    def test_perf_gate_wall_clock(self):
+        baseline = {"summary": {"llap": {"queries": 2, "failed": 0,
+                                         "total_s": 10.0,
+                                         "wall_s": 1.0}}}
+        # 2x wall growth sits inside the generous default tolerance
+        current = {"summary": {"llap": {"queries": 2, "failed": 0,
+                                        "total_s": 10.0,
+                                        "wall_s": 2.0}}}
+        assert perf_gate(baseline, current) == []
+        # a 6x blowup fails; a tighter knob catches the 2x too
+        blowup = {"summary": {"llap": {"queries": 2, "failed": 0,
+                                       "total_s": 10.0,
+                                       "wall_s": 6.0}}}
+        problems = perf_gate(baseline, blowup)
+        assert problems and "wall time" in problems[0]
+        assert perf_gate(baseline, current, wall_tolerance=0.5)
+
+    def test_perf_gate_wall_skipped_without_baseline_data(self):
+        # pre-wall baselines (no wall_s) must not fail the gate
+        current = {"summary": {"llap": {"queries": 2, "failed": 0,
+                                        "total_s": 10.0,
+                                        "wall_s": 99.0}}}
+        assert perf_gate(SAMPLE_EXPORT, current) == []

@@ -403,6 +403,60 @@ class TestRL011ThreadConstruction:
 
 
 # --------------------------------------------------------------------------- #
+class TestRL012MetricHelp:
+    def test_undocumented_metric_literal_flagged(self):
+        findings = lint("""
+            registry.counter("totally.new.metric", pool=p).inc()
+        """, rules=["RL012"])
+        assert rule_ids(findings) == ["RL012"]
+        assert "totally.new.metric" in findings[0].message
+
+    def test_catalog_entry_ok(self):
+        findings = lint("""
+            registry.counter("queries.total", op="select").inc()
+        """, rules=["RL012"])
+        assert findings == []
+
+    def test_inline_help_ok(self):
+        findings = lint("""
+            registry.gauge("totally.new.metric",
+                           help="documented inline").set(1)
+        """, rules=["RL012"])
+        assert findings == []
+
+    def test_all_accessors_covered(self):
+        code = """
+            registry.counter("a.b")
+            registry.gauge("c.d")
+            registry.histogram("e.f")
+            registry.register_callback("g.h", fn)
+        """
+        findings = lint(code, rules=["RL012"])
+        assert rule_ids(findings) == ["RL012"] * 4
+
+    def test_dynamic_name_is_blind_spot(self):
+        # f-strings / variables are skipped by design (those sites
+        # pass help= inline, which the runtime check still enforces)
+        findings = lint("""
+            registry.counter(f"dyn.{name}").inc()
+            registry.counter(name).inc()
+        """, rules=["RL012"])
+        assert findings == []
+
+    def test_undotted_literal_not_a_metric(self):
+        findings = lint("""
+            collections.Counter("abc")
+        """, rules=["RL012"])
+        assert findings == []
+
+    def test_suppressible(self):
+        findings = lint(
+            'registry.counter("x.y")  # reprolint: disable=RL012\n',
+            rules=["RL012"])
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
 class TestSuppression:
     def test_line_suppression(self):
         findings = lint(
