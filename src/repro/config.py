@@ -183,6 +183,12 @@ class HiveConf:
     # ------------------------------------------------------------------ #
     # runtime (Section 5)
     vectorized_execution: bool = True
+    #: lower expressions once per plan into fused numpy kernels
+    #: (hive.vectorized.compile.enabled); off = per-batch interpreter
+    vectorized_compile: bool = True
+    #: fuse Filter->Project so the selection mask is applied only to
+    #: projected columns (hive.vectorized.fusion.enabled)
+    vectorized_fusion: bool = True
     llap_enabled: bool = True
     llap_cache_enabled: bool = True
     llap_io_threads: int = 4

@@ -8,15 +8,29 @@ runtime improvements ([39], Section 5); the row-at-a-time fallback used
 by the legacy profile lives in the cost model, not here (both profiles
 compute identical results; they are *charged* differently).
 
+This module is the reference *interpreter*: it re-walks the expression
+tree on every batch.  The hot path uses :mod:`repro.exec.compile`, which
+lowers a tree once into a fused closure chain; the parity suite
+(tests/test_expr_compile.py) pins compiled kernels to the semantics
+defined here.
+
 NULL semantics: three-valued logic for comparisons and AND/OR; nulls
 propagate through arithmetic and functions; predicates treat NULL as
 false at filter time.
+
+Determinism: expressions never read the wall clock or unseeded process
+randomness.  ``CURRENT_DATE``/``CURRENT_TIMESTAMP`` resolve against the
+:class:`EvalContext`'s *virtual* statement time (pinned once per
+statement from the session clock) and ``RAND`` is a pure function of
+(seed-or-query-id, absolute row index), so repeated runs — including
+seeded fault replays — are bit-identical.
 """
 
 from __future__ import annotations
 
 import datetime
 import re
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -27,22 +41,63 @@ from ..errors import ExecutionError
 from ..plan.rexnodes import RexCall, RexInputRef, RexLiteral, RexNode
 
 _EPOCH = datetime.date(1970, 1, 1)
+_EPOCH_DT = datetime.datetime(1970, 1, 1)
+
+#: operators whose value depends on the evaluation context rather than
+#: the input batch alone — never constant-folded, never compiled to a
+#: literal (the optimizer and repro.exec.compile both consult this)
+CONTEXT_DEPENDENT_OPS = frozenset({
+    "RAND", "CURRENT_DATE", "CURRENT_TIMESTAMP",
+})
 
 
-def evaluate(expr: RexNode, batch: VectorBatch) -> ColumnVector:
+@dataclass
+class EvalContext:
+    """Statement-scoped inputs for context-dependent expressions.
+
+    Everything non-deterministic an expression may observe comes from
+    here, pinned at statement start on the session's *virtual* clock —
+    never the wall clock — so a statement sees one consistent
+    ``CURRENT_TIMESTAMP`` and repeated runs reproduce bit-identically.
+    """
+
+    #: virtual statement time, seconds since the virtual epoch
+    now_s: float = 0.0
+    #: query id of the statement being evaluated (salts unseeded RAND)
+    query_id: int = 0
+    #: absolute row index of the batch's first row (RAND stream offset)
+    row_offset: int = 0
+
+    def statement_date(self) -> datetime.date:
+        return _EPOCH + datetime.timedelta(days=int(self.now_s // 86400.0))
+
+    def statement_timestamp(self) -> datetime.datetime:
+        ms = int(round(self.now_s * 1000.0))
+        return _EPOCH_DT + datetime.timedelta(milliseconds=ms)
+
+
+#: fallback context: the virtual epoch (deterministic, not wall time)
+DEFAULT_CONTEXT = EvalContext()
+
+
+def evaluate(expr: RexNode, batch: VectorBatch,
+             ctx: EvalContext | None = None) -> ColumnVector:
     """Evaluate ``expr`` against every row of ``batch``."""
+    if ctx is None:
+        ctx = DEFAULT_CONTEXT
     if isinstance(expr, RexInputRef):
         return batch.vectors[expr.index]
     if isinstance(expr, RexLiteral):
         return _broadcast(expr.value, expr.dtype, batch.num_rows)
     if isinstance(expr, RexCall):
-        return _call(expr, batch)
+        return _call(expr, batch, ctx)
     raise ExecutionError(f"cannot evaluate {expr!r}")
 
 
-def evaluate_predicate(expr: RexNode, batch: VectorBatch) -> np.ndarray:
+def evaluate_predicate(expr: RexNode, batch: VectorBatch,
+                       ctx: EvalContext | None = None) -> np.ndarray:
     """Boolean mask with NULL treated as false."""
-    result = evaluate(expr, batch)
+    result = evaluate(expr, batch, ctx)
     mask = result.data.astype(bool, copy=True)
     mask[result.nulls] = False
     return mask
@@ -67,19 +122,21 @@ def _broadcast(value, dtype: DataType, n: int) -> ColumnVector:
     return ColumnVector(dtype, data, np.zeros(n, dtype=bool))
 
 
-def _call(expr: RexCall, batch: VectorBatch) -> ColumnVector:
+def _call(expr: RexCall, batch: VectorBatch,
+          ctx: EvalContext) -> ColumnVector:
     op = expr.op
     handler = _HANDLERS.get(op)
     if handler is not None:
-        return handler(expr, batch)
+        return handler(expr, batch, ctx)
     raise ExecutionError(f"no evaluator for operator {op!r}")
 
 
 # -- arithmetic ---------------------------------------------------------------- #
 
-def _arith(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    left = evaluate(expr.operands[0], batch)
-    right = evaluate(expr.operands[1], batch)
+def _arith(expr: RexCall, batch: VectorBatch,
+           ctx: EvalContext) -> ColumnVector:
+    left = evaluate(expr.operands[0], batch, ctx)
+    right = evaluate(expr.operands[1], batch, ctx)
     nulls = left.nulls | right.nulls
     a = left.data.astype(np.float64) if expr.op == "/" else left.data
     b = right.data.astype(np.float64) if expr.op == "/" else right.data
@@ -95,9 +152,12 @@ def _arith(expr: RexCall, batch: VectorBatch) -> ColumnVector:
             data = np.divide(a, b)
             div_zero = (b == 0)
             nulls = nulls | div_zero
-        elif expr.op == "%":
+        elif expr.op in ("%", "MOD"):
             safe_b = np.where(b == 0, 1, b)
-            data = np.mod(a, safe_b)
+            # Hive follows Java: the result takes the *dividend*'s sign
+            # (C fmod), not numpy's floored modulo which follows the
+            # divisor — -7 % 3 must be -1, not 2
+            data = np.fmod(a, safe_b)
             nulls = nulls | (b == 0)
         else:  # pragma: no cover
             raise ExecutionError(expr.op)
@@ -105,16 +165,18 @@ def _arith(expr: RexCall, batch: VectorBatch) -> ColumnVector:
                         nulls)
 
 
-def _negate(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    operand = evaluate(expr.operands[0], batch)
+def _negate(expr: RexCall, batch: VectorBatch,
+            ctx: EvalContext) -> ColumnVector:
+    operand = evaluate(expr.operands[0], batch, ctx)
     return ColumnVector(expr.dtype, -operand.data, operand.nulls.copy())
 
 
 # -- comparison ---------------------------------------------------------------- #
 
-def _compare(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    left = evaluate(expr.operands[0], batch)
-    right = evaluate(expr.operands[1], batch)
+def _compare(expr: RexCall, batch: VectorBatch,
+             ctx: EvalContext) -> ColumnVector:
+    left = evaluate(expr.operands[0], batch, ctx)
+    right = evaluate(expr.operands[1], batch, ctx)
     nulls = left.nulls | right.nulls
     a, b = _align_for_compare(left, right)
     op = expr.op
@@ -148,9 +210,10 @@ def _align_for_compare(left: ColumnVector, right: ColumnVector):
 
 # -- boolean logic (three-valued) --------------------------------------------------- #
 
-def _and(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    left = evaluate(expr.operands[0], batch)
-    right = evaluate(expr.operands[1], batch)
+def _and(expr: RexCall, batch: VectorBatch,
+         ctx: EvalContext) -> ColumnVector:
+    left = evaluate(expr.operands[0], batch, ctx)
+    right = evaluate(expr.operands[1], batch, ctx)
     lv = left.data.astype(bool) & ~left.nulls
     rv = right.data.astype(bool) & ~right.nulls
     lf = ~left.data.astype(bool) & ~left.nulls
@@ -161,9 +224,10 @@ def _and(expr: RexCall, batch: VectorBatch) -> ColumnVector:
     return ColumnVector(BOOLEAN, data, nulls)
 
 
-def _or(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    left = evaluate(expr.operands[0], batch)
-    right = evaluate(expr.operands[1], batch)
+def _or(expr: RexCall, batch: VectorBatch,
+        ctx: EvalContext) -> ColumnVector:
+    left = evaluate(expr.operands[0], batch, ctx)
+    right = evaluate(expr.operands[1], batch, ctx)
     lv = left.data.astype(bool) & ~left.nulls
     rv = right.data.astype(bool) & ~right.nulls
     data = lv | rv
@@ -171,14 +235,16 @@ def _or(expr: RexCall, batch: VectorBatch) -> ColumnVector:
     return ColumnVector(BOOLEAN, data, nulls)
 
 
-def _not(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    operand = evaluate(expr.operands[0], batch)
+def _not(expr: RexCall, batch: VectorBatch,
+         ctx: EvalContext) -> ColumnVector:
+    operand = evaluate(expr.operands[0], batch, ctx)
     return ColumnVector(BOOLEAN, ~operand.data.astype(bool),
                         operand.nulls.copy())
 
 
-def _is_null(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    operand = evaluate(expr.operands[0], batch)
+def _is_null(expr: RexCall, batch: VectorBatch,
+             ctx: EvalContext) -> ColumnVector:
+    operand = evaluate(expr.operands[0], batch, ctx)
     data = operand.nulls.copy()
     if expr.op == "IS_NOT_NULL":
         data = ~data
@@ -188,8 +254,9 @@ def _is_null(expr: RexCall, batch: VectorBatch) -> ColumnVector:
 
 # -- membership / pattern ------------------------------------------------------------ #
 
-def _in(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    operand = evaluate(expr.operands[0], batch)
+def _in(expr: RexCall, batch: VectorBatch,
+        ctx: EvalContext) -> ColumnVector:
+    operand = evaluate(expr.operands[0], batch, ctx)
     values = []
     for v in expr.operands[1:]:
         if isinstance(v, RexLiteral):
@@ -205,8 +272,9 @@ def _in(expr: RexCall, batch: VectorBatch) -> ColumnVector:
     return ColumnVector(BOOLEAN, data, operand.nulls.copy())
 
 
-def _like(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    operand = evaluate(expr.operands[0], batch)
+def _like(expr: RexCall, batch: VectorBatch,
+          ctx: EvalContext) -> ColumnVector:
+    operand = evaluate(expr.operands[0], batch, ctx)
     pattern = expr.operands[1]
     if not isinstance(pattern, RexLiteral):
         raise ExecutionError("LIKE pattern must be a literal")
@@ -231,7 +299,8 @@ def _like_to_regex(pattern: str) -> re.Pattern:
 
 # -- conditional ---------------------------------------------------------------- #
 
-def _case(expr: RexCall, batch: VectorBatch) -> ColumnVector:
+def _case(expr: RexCall, batch: VectorBatch,
+          ctx: EvalContext) -> ColumnVector:
     n = batch.num_rows
     result = _broadcast(None, expr.dtype, n)
     data = result.data.copy()
@@ -240,17 +309,17 @@ def _case(expr: RexCall, batch: VectorBatch) -> ColumnVector:
     operands = expr.operands
     pairs, default = operands[:-1], operands[-1]
     for i in range(0, len(pairs), 2):
-        cond = evaluate_predicate(pairs[i], batch)
+        cond = evaluate_predicate(pairs[i], batch, ctx)
         take = cond & ~decided
         if take.any():
-            value = evaluate(pairs[i + 1], batch)
+            value = evaluate(pairs[i + 1], batch, ctx)
             value_data = _cast_array(value, expr.dtype)
             data[take] = value_data[take]
             nulls[take] = value.nulls[take]
         decided |= cond
     rest = ~decided
     if rest.any():
-        value = evaluate(default, batch)
+        value = evaluate(default, batch, ctx)
         value_data = _cast_array(value, expr.dtype)
         data[rest] = value_data[rest]
         nulls[rest] = value.nulls[rest]
@@ -270,8 +339,9 @@ def _cast_array(vector: ColumnVector, target: DataType) -> np.ndarray:
 
 # -- cast ---------------------------------------------------------------------- #
 
-def _cast(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    operand = evaluate(expr.operands[0], batch)
+def _cast(expr: RexCall, batch: VectorBatch,
+          ctx: EvalContext) -> ColumnVector:
+    operand = evaluate(expr.operands[0], batch, ctx)
     target = expr.dtype
     nulls = operand.nulls.copy()
     src_family = operand.dtype._family()
@@ -308,10 +378,26 @@ def _dates_of(operand: ColumnVector) -> np.ndarray:
     return operand.data.astype(np.int64).astype("datetime64[D]")
 
 
-def _extract(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    operand = evaluate(expr.operands[0], batch)
+def iso_week(days: np.ndarray) -> np.ndarray:
+    """ISO-8601 week of year, vectorized.
+
+    Weeks run Monday-Sunday and week 1 is the week containing the
+    year's first Thursday, so a date's week number is determined by the
+    Thursday of its own week — matching ``date.isocalendar()`` (and
+    Hive's ``weekofyear``) including the years with a week 53.
+    """
+    d = days.astype("datetime64[D]").astype(np.int64)  # epoch is a Thu
+    dow = (d + 3) % 7                    # 0=Mon .. 6=Sun
+    thursday = d + 3 - dow               # the Thursday of d's ISO week
+    year_start = (thursday.astype("datetime64[D]")
+                  .astype("datetime64[Y]").astype("datetime64[D]")
+                  .astype(np.int64))
+    return (thursday - year_start) // 7 + 1
+
+
+def extract_unit(unit: str, operand: ColumnVector) -> np.ndarray:
+    """The EXTRACT computation shared by interpreter and compiler."""
     days = _dates_of(operand)
-    unit = expr.op.split("_", 1)[1]
     years = days.astype("datetime64[Y]")
     if unit == "YEAR":
         data = years.astype(int) + 1970
@@ -326,7 +412,7 @@ def _extract(expr: RexCall, batch: VectorBatch) -> ColumnVector:
         month_num = (months - years.astype("datetime64[M]")).astype(int)
         data = month_num // 3 + 1
     elif unit == "WEEK":
-        data = (days.astype("datetime64[W]").astype(int) + 3) % 52 + 1
+        data = iso_week(days)
     elif unit in ("HOUR", "MINUTE", "SECOND"):
         if operand.dtype._family() != "TIMESTAMP":
             data = np.zeros(len(operand), dtype=np.int64)
@@ -341,21 +427,29 @@ def _extract(expr: RexCall, batch: VectorBatch) -> ColumnVector:
                 data = seconds % 60
     else:  # pragma: no cover
         raise ExecutionError(unit)
-    return ColumnVector(INT, data.astype(np.int64),
+    return data.astype(np.int64)
+
+
+def _extract(expr: RexCall, batch: VectorBatch,
+             ctx: EvalContext) -> ColumnVector:
+    operand = evaluate(expr.operands[0], batch, ctx)
+    unit = expr.op.split("_", 1)[1]
+    return ColumnVector(INT, extract_unit(unit, operand),
                         operand.nulls.copy())
 
 
-def _date_add_days(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    operand = evaluate(expr.operands[0], batch)
-    amount = evaluate(expr.operands[1], batch)
+def _date_add_days(expr: RexCall, batch: VectorBatch,
+                   ctx: EvalContext) -> ColumnVector:
+    operand = evaluate(expr.operands[0], batch, ctx)
+    amount = evaluate(expr.operands[1], batch, ctx)
     data = operand.data + amount.data.astype(operand.data.dtype)
     return ColumnVector(operand.dtype, data,
                         operand.nulls | amount.nulls)
 
 
-def _date_add_months(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    operand = evaluate(expr.operands[0], batch)
-    amount = evaluate(expr.operands[1], batch)
+def add_months_array(operand: ColumnVector,
+                     amount: ColumnVector) -> np.ndarray:
+    """DATE_ADD_MONTHS payload shared by interpreter and compiler."""
     out = np.zeros(len(operand), dtype=operand.data.dtype)
     for i in range(len(operand)):
         if operand.nulls[i] or amount.nulls[i]:
@@ -365,7 +459,15 @@ def _date_add_months(expr: RexCall, batch: VectorBatch) -> ColumnVector:
         year, month = divmod(total, 12)
         day = min(base.day, _days_in_month(year, month + 1))
         out[i] = (datetime.date(year, month + 1, day) - _EPOCH).days
-    return ColumnVector(operand.dtype, out, operand.nulls | amount.nulls)
+    return out
+
+
+def _date_add_months(expr: RexCall, batch: VectorBatch,
+                     ctx: EvalContext) -> ColumnVector:
+    operand = evaluate(expr.operands[0], batch, ctx)
+    amount = evaluate(expr.operands[1], batch, ctx)
+    return ColumnVector(operand.dtype, add_months_array(operand, amount),
+                        operand.nulls | amount.nulls)
 
 
 def _days_in_month(year: int, month: int) -> int:
@@ -375,11 +477,62 @@ def _days_in_month(year: int, month: int) -> int:
             - datetime.date(year, month, 1)).days
 
 
+# -- context-dependent (virtual clock / seeded randomness) ---------------------- #
+
+def _current_date(expr: RexCall, batch: VectorBatch,
+                  ctx: EvalContext) -> ColumnVector:
+    return _broadcast(ctx.statement_date(), DATE, batch.num_rows)
+
+
+def _current_timestamp(expr: RexCall, batch: VectorBatch,
+                       ctx: EvalContext) -> ColumnVector:
+    return _broadcast(ctx.statement_timestamp(), TIMESTAMP,
+                      batch.num_rows)
+
+
+def rand_vector(n: int, base: int, offset: int) -> np.ndarray:
+    """Deterministic uniforms in [0, 1): splitmix64 of (base, row).
+
+    A pure function of its arguments — no process RNG state — so a
+    seeded fault replay that re-executes the same query over the same
+    rows reproduces bit-identical samples.
+    """
+    idx = np.arange(offset, offset + n, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        z = (idx + np.uint64(base & 0xFFFFFFFFFFFFFFFF)) \
+            * np.uint64(0x9E3779B97F4A7C15)
+        z ^= z >> np.uint64(30)
+        z *= np.uint64(0xBF58476D1CE4E5B9)
+        z ^= z >> np.uint64(27)
+        z *= np.uint64(0x94D049BB133111EB)
+        z ^= z >> np.uint64(31)
+    return (z >> np.uint64(11)).astype(np.float64) * (2.0 ** -53)
+
+
+def rand_base(expr: RexCall, ctx: EvalContext) -> int:
+    """RAND's stream identity: explicit seed, else per-query salt."""
+    if expr.operands:
+        seed = expr.operands[0]
+        if isinstance(seed, RexLiteral) and seed.value is not None:
+            return int(seed.value)
+    # unseeded: deterministic per query, distinct across queries
+    return (int(ctx.query_id) * 0x5851F42D4C957F2D) & 0xFFFFFFFFFFFFFFFF
+
+
+def _rand(expr: RexCall, batch: VectorBatch,
+          ctx: EvalContext) -> ColumnVector:
+    data = rand_vector(batch.num_rows, rand_base(expr, ctx),
+                       ctx.row_offset)
+    return ColumnVector(DOUBLE, data,
+                        np.zeros(batch.num_rows, dtype=bool))
+
+
 # -- string / scalar functions ----------------------------------------------------- #
 
 def _rowwise(fn):
-    def evaluator(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-        args = [evaluate(o, batch) for o in expr.operands]
+    def evaluator(expr: RexCall, batch: VectorBatch,
+                  ctx: EvalContext) -> ColumnVector:
+        args = [evaluate(o, batch, ctx) for o in expr.operands]
         n = batch.num_rows
         nulls = np.zeros(n, dtype=bool)
         for a in args:
@@ -398,8 +551,9 @@ def _rowwise(fn):
     return evaluator
 
 
-def _concat(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    args = [evaluate(o, batch) for o in expr.operands]
+def _concat(expr: RexCall, batch: VectorBatch,
+            ctx: EvalContext) -> ColumnVector:
+    args = [evaluate(o, batch, ctx) for o in expr.operands]
     n = batch.num_rows
     nulls = np.zeros(n, dtype=bool)
     for a in args:
@@ -410,8 +564,9 @@ def _concat(expr: RexCall, batch: VectorBatch) -> ColumnVector:
     return ColumnVector(STRING, out, nulls)
 
 
-def _coalesce(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    args = [evaluate(o, batch) for o in expr.operands]
+def _coalesce(expr: RexCall, batch: VectorBatch,
+              ctx: EvalContext) -> ColumnVector:
+    args = [evaluate(o, batch, ctx) for o in expr.operands]
     n = batch.num_rows
     np_dtype = expr.dtype.numpy_dtype
     if np_dtype == np.dtype(object):
@@ -428,21 +583,26 @@ def _coalesce(expr: RexCall, batch: VectorBatch) -> ColumnVector:
     return ColumnVector(expr.dtype, out, nulls)
 
 
-def _if(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    cond = evaluate_predicate(expr.operands[0], batch)
-    then_v = evaluate(expr.operands[1], batch)
-    else_v = evaluate(expr.operands[2], batch)
+def _if(expr: RexCall, batch: VectorBatch,
+        ctx: EvalContext) -> ColumnVector:
+    cond = evaluate_predicate(expr.operands[0], batch, ctx)
+    then_v = evaluate(expr.operands[1], batch, ctx)
+    else_v = evaluate(expr.operands[2], batch, ctx)
     data = np.where(cond, _cast_array(then_v, expr.dtype),
                     _cast_array(else_v, expr.dtype))
     nulls = np.where(cond, then_v.nulls, else_v.nulls)
     return ColumnVector(expr.dtype, data, nulls)
 
 
-def _nullif(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    a = evaluate(expr.operands[0], batch)
-    b = evaluate(expr.operands[1], batch)
+def _nullif(expr: RexCall, batch: VectorBatch,
+            ctx: EvalContext) -> ColumnVector:
+    a = evaluate(expr.operands[0], batch, ctx)
+    b = evaluate(expr.operands[1], batch, ctx)
     equal = (a.data == b.data) & ~a.nulls & ~b.nulls
-    return ColumnVector(a.dtype, a.data, a.nulls | equal)
+    # result is typed by the *expression*, not the left operand — the
+    # analyzer may have widened it
+    return ColumnVector(expr.dtype, _cast_array(a, expr.dtype),
+                        a.nulls | equal)
 
 
 def _substr(*args):
@@ -453,24 +613,33 @@ def _substr(*args):
     return text[start:]
 
 
-def _year_fn(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    return _extract(RexCall("EXTRACT_YEAR", expr.operands, INT), batch)
+def _year_fn(expr: RexCall, batch: VectorBatch,
+             ctx: EvalContext) -> ColumnVector:
+    return _extract(RexCall("EXTRACT_YEAR", expr.operands, INT),
+                    batch, ctx)
 
 
-def _month_fn(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    return _extract(RexCall("EXTRACT_MONTH", expr.operands, INT), batch)
+def _month_fn(expr: RexCall, batch: VectorBatch,
+              ctx: EvalContext) -> ColumnVector:
+    return _extract(RexCall("EXTRACT_MONTH", expr.operands, INT),
+                    batch, ctx)
 
 
-def _day_fn(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    return _extract(RexCall("EXTRACT_DAY", expr.operands, INT), batch)
+def _day_fn(expr: RexCall, batch: VectorBatch,
+            ctx: EvalContext) -> ColumnVector:
+    return _extract(RexCall("EXTRACT_DAY", expr.operands, INT),
+                    batch, ctx)
 
 
-def _quarter_fn(expr: RexCall, batch: VectorBatch) -> ColumnVector:
-    return _extract(RexCall("EXTRACT_QUARTER", expr.operands, INT), batch)
+def _quarter_fn(expr: RexCall, batch: VectorBatch,
+                ctx: EvalContext) -> ColumnVector:
+    return _extract(RexCall("EXTRACT_QUARTER", expr.operands, INT),
+                    batch, ctx)
 
 
 _HANDLERS = {
     "+": _arith, "-": _arith, "*": _arith, "/": _arith, "%": _arith,
+    "MOD": _arith,
     "NEGATE": _negate,
     "=": _compare, "<>": _compare, "<": _compare, "<=": _compare,
     ">": _compare, ">=": _compare,
@@ -501,13 +670,10 @@ _HANDLERS = {
     "LN": _rowwise(lambda x: float(np.log(x))),
     "EXP": _rowwise(lambda x: float(np.exp(x))),
     "POWER": _rowwise(lambda x, y: float(np.power(x, y))),
-    "MOD": _rowwise(lambda x, y: x % y),
     "GREATEST": _rowwise(lambda *xs: max(xs)),
     "LEAST": _rowwise(lambda *xs: min(xs)),
     "HASH": _rowwise(lambda *xs: hash(xs) & 0x7FFFFFFFFFFFFFFF),
-    "RAND": _rowwise(lambda *seed: float(np.random.random())),
-    "CURRENT_DATE": lambda expr, batch: _broadcast(
-        datetime.date.today(), DATE, batch.num_rows),
-    "CURRENT_TIMESTAMP": lambda expr, batch: _broadcast(
-        datetime.datetime.now(), TIMESTAMP, batch.num_rows),
+    "RAND": _rand,
+    "CURRENT_DATE": _current_date,
+    "CURRENT_TIMESTAMP": _current_timestamp,
 }

@@ -59,6 +59,17 @@ class ExecutionContext:
     #: (digest -> {key: rows}); the runtime's skew analysis assigns the
     #: keys to reducer tasks to model per-task duration spread
     key_counts: dict = field(default_factory=dict)
+    #: statement-scoped expression inputs (virtual statement time, RAND
+    #: salt); defaults to the virtual epoch — never the wall clock
+    eval_ctx: expr_eval.EvalContext = field(
+        default_factory=expr_eval.EvalContext)
+    #: compiled-kernel cache (repro.exec.compile.KernelCache); when set,
+    #: expressions are lowered once and reused across batches — None
+    #: falls back to the per-batch interpreter
+    kernels: Optional[object] = None
+    #: fuse Filter->Project chains so the selection mask is applied only
+    #: to columns the projection reads (hive.vectorized.fusion)
+    fuse: bool = True
 
     def record(self, node: rel.RelNode, rows: int) -> None:
         self.runtime_stats[node.digest] = rows
@@ -96,6 +107,21 @@ def execute(node: rel.RelNode, ctx: ExecutionContext) -> VectorBatch:
     return result
 
 
+def _eval(ctx: ExecutionContext, expr: rex.RexNode,
+          batch) -> ColumnVector:
+    """Evaluate through the kernel cache when one is wired."""
+    if ctx.kernels is not None:
+        return ctx.kernels.kernel(expr)(batch, ctx.eval_ctx)
+    return expr_eval.evaluate(expr, batch, ctx.eval_ctx)
+
+
+def _predicate(ctx: ExecutionContext, expr: rex.RexNode,
+               batch) -> np.ndarray:
+    if ctx.kernels is not None:
+        return ctx.kernels.predicate(expr)(batch, ctx.eval_ctx)
+    return expr_eval.evaluate_predicate(expr, batch, ctx.eval_ctx)
+
+
 # --------------------------------------------------------------------------- #
 # leaves
 
@@ -112,14 +138,71 @@ def _exec_values(node: rel.Values, ctx: ExecutionContext) -> VectorBatch:
 
 def _exec_filter(node: rel.Filter, ctx: ExecutionContext) -> VectorBatch:
     child = execute(node.input, ctx)
-    mask = expr_eval.evaluate_predicate(node.condition, child)
+    mask = _predicate(ctx, node.condition, child)
     return child.filter(mask)
 
 
+class _SelectionView:
+    """A filtered view of a batch that only materializes needed columns.
+
+    Fused Filter->Project evaluation applies the selection mask to just
+    the columns the projection references; the rest stay untouched in
+    the source batch (``None`` placeholders keep ordinals aligned).
+    Duck-types the two attributes expression kernels read —
+    ``vectors`` and ``num_rows`` — deliberately *not* a VectorBatch,
+    whose constructor would reject the ragged placeholder columns.
+    """
+
+    __slots__ = ("vectors", "num_rows")
+
+    def __init__(self, source: VectorBatch, mask: np.ndarray,
+                 refs: set):
+        selected = int(np.count_nonzero(mask))
+        if selected == source.num_rows:
+            self.vectors = source.vectors       # mask selects everything
+        else:
+            self.vectors = [v.filter(mask) if i in refs else None
+                            for i, v in enumerate(source.vectors)]
+        self.num_rows = selected
+
+
 def _exec_project(node: rel.Project, ctx: ExecutionContext) -> VectorBatch:
-    child = execute(node.input, ctx)
-    vectors = [expr_eval.evaluate(expr, child) for expr in node.exprs]
+    child = _fused_filter_input(node, ctx)
+    if child is None:
+        child = execute(node.input, ctx)
+    vectors = [_eval(ctx, expr, child) for expr in node.exprs]
     return VectorBatch(node.schema, vectors)
+
+
+def _fused_filter_input(node: rel.Project, ctx: ExecutionContext):
+    """Evaluate a Filter child as a selection view, not a new batch.
+
+    Returns None when fusion does not apply: disabled, the child is not
+    a Filter, or the Filter's output is needed verbatim elsewhere
+    (shared-work memoization reuses materialized results by digest).
+    The bypassed Filter is still recorded in ``runtime_stats`` and the
+    profile — reoptimization and EXPLAIN ANALYZE must see it run.
+    """
+    child_node = node.input
+    if not ctx.fuse or not isinstance(child_node, rel.Filter):
+        return None
+    if ctx.memo_digests and child_node.digest in ctx.memo_digests:
+        return None
+    t0 = time.perf_counter() if ctx.profile is not None else 0.0
+    source = execute(child_node.input, ctx)
+    mask = _predicate(ctx, child_node.condition, source)
+    refs: set = set()
+    for expr in node.exprs:
+        refs |= expr.input_refs()
+    view = _SelectionView(source, mask, refs)
+    ctx.record(child_node, view.num_rows)
+    if ctx.profile is not None:
+        ctx.profile.record(
+            child_node.digest, view.num_rows,
+            time.perf_counter() - t0,
+            rows_in=ctx.runtime_stats.get(child_node.input.digest, 0),
+            batches=1, operator=type(child_node).__name__)
+    return view
 
 
 def _exec_limit(node: rel.Limit, ctx: ExecutionContext) -> VectorBatch:
@@ -220,6 +303,170 @@ def _aggregate_grouping_sets(node: rel.Aggregate,
 def _aggregate_once(node: rel.Aggregate, child: VectorBatch,
                     group_keys: tuple[int, ...],
                     sizes_out: Optional[dict] = None) -> list[tuple]:
+    rows = _aggregate_vectorized(node, child, group_keys, sizes_out)
+    if rows is not None:
+        return rows
+    return _aggregate_rowwise(node, child, group_keys, sizes_out)
+
+
+def _group_codes(vector: ColumnVector) -> Optional[np.ndarray]:
+    """Dense int codes for one key column; NULL is its own group.
+
+    Returns None when the column cannot be factorized (unorderable
+    mixed-type object data) — the caller falls back to the row loop.
+    """
+    vals = vector.data
+    nulls = vector.nulls
+    has_nulls = bool(nulls.any())
+    if has_nulls:
+        # values under null positions are unspecified garbage; blank
+        # them so np.unique never compares them against real values
+        vals = vals.copy()
+        vals[nulls] = "" if vals.dtype == np.dtype(object) else 0
+    try:
+        uniq, inv = np.unique(vals, return_inverse=True)
+    except TypeError:
+        return None
+    codes = inv.reshape(-1).astype(np.int64)
+    if has_nulls:
+        codes[nulls] = len(uniq)
+    return codes
+
+
+def _factorize_keys(child: VectorBatch, group_keys: tuple[int, ...]):
+    """Combined group ids in *first-occurrence* order.
+
+    Returns ``(codes, group_count, representatives)`` where
+    ``representatives[g]`` is the row index of group ``g``'s first row,
+    or None if any key column cannot be factorized.  First-occurrence
+    ordering matches the dict-insertion order of the row-at-a-time
+    fallback, so both paths emit identical output row order.
+    """
+    n = child.num_rows
+    if not group_keys:
+        return np.zeros(n, dtype=np.int64), 1, np.zeros(1, dtype=np.int64)
+    code_cols = []
+    for k in group_keys:
+        codes = _group_codes(child.vectors[k])
+        if codes is None:
+            return None
+        code_cols.append(codes)
+    mat = np.stack(code_cols, axis=1)
+    _, first_idx, inv = np.unique(mat, axis=0, return_index=True,
+                                  return_inverse=True)
+    inv = inv.reshape(-1)
+    g = len(first_idx)
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(g, dtype=np.int64)
+    rank[order] = np.arange(g)
+    return rank[inv], g, first_idx[order]
+
+
+def _key_tuple(key_columns, i: int) -> tuple:
+    return tuple(None if kc.nulls[i] else _plain(kc.data[i])
+                 for kc in key_columns)
+
+
+def _minmax_init(dtype: np.dtype, for_min: bool):
+    if dtype == np.dtype(bool):
+        return for_min
+    if np.issubdtype(dtype, np.floating):
+        return np.inf if for_min else -np.inf
+    return np.iinfo(dtype).max if for_min else np.iinfo(dtype).min
+
+
+def _aggregate_vectorized(node: rel.Aggregate, child: VectorBatch,
+                          group_keys: tuple[int, ...],
+                          sizes_out: Optional[dict]
+                          ) -> Optional[list[tuple]]:
+    """Grouped aggregation as batch-level numpy ops.
+
+    ``np.bincount`` with weights accumulates in row order, so float
+    sums are bit-identical to the sequential loop it replaces.  Returns
+    None (fall back to the row loop) for DISTINCT aggregates, string
+    min/max, or keys that will not factorize.
+    """
+    for call in node.agg_calls:
+        if call.distinct:
+            return None
+        if call.func in ("min", "max") and call.arg is not None \
+                and child.vectors[call.arg].data.dtype == np.dtype(object):
+            return None
+    factorized = _factorize_keys(child, group_keys)
+    if factorized is None:
+        return None
+    codes, g, reps = factorized
+    if group_keys and g == 0:
+        return []
+    key_columns = [child.vectors[k] for k in group_keys]
+    keys = [_key_tuple(key_columns, int(r)) for r in reps]
+    if sizes_out is not None and group_keys:
+        sizes = np.bincount(codes, minlength=g)
+        for key, size in zip(keys, sizes):
+            sizes_out[key] = int(size)
+
+    columns: list[tuple] = []   # one (finals-per-group,) per agg call
+    for call in node.agg_calls:
+        column = None if call.arg is None else child.vectors[call.arg]
+        if column is None:
+            valid_codes, valid_data = codes, None
+        else:
+            valid = ~column.nulls
+            valid_codes = codes[valid]
+            valid_data = column.data[valid]
+        counts = np.bincount(valid_codes, minlength=g)
+        if call.func == "count":
+            finals = [int(c) for c in counts]
+        elif call.func in ("sum", "avg"):
+            weights = valid_data.astype(np.float64, copy=False)
+            totals = np.bincount(valid_codes, weights=weights,
+                                 minlength=g)
+            if call.func == "sum":
+                as_int = call.dtype == BIGINT
+                finals = [None if counts[j] == 0
+                          else (int(totals[j]) if as_int
+                                else float(totals[j]))
+                          for j in range(g)]
+            else:
+                finals = [None if counts[j] == 0
+                          else float(totals[j]) / int(counts[j])
+                          for j in range(g)]
+        elif call.func in ("min", "max"):
+            for_min = call.func == "min"
+            out = np.full(g, _minmax_init(valid_data.dtype, for_min),
+                          dtype=valid_data.dtype)
+            if for_min:
+                np.minimum.at(out, valid_codes, valid_data)
+            else:
+                np.maximum.at(out, valid_codes, valid_data)
+            finals = [None if counts[j] == 0 else _plain(out[j])
+                      for j in range(g)]
+        elif call.func in ("stddev", "variance"):
+            weights = valid_data.astype(np.float64, copy=False)
+            totals = np.bincount(valid_codes, weights=weights,
+                                 minlength=g)
+            sumsq = np.bincount(valid_codes, weights=weights * weights,
+                                minlength=g)
+            finals = []
+            for j in range(g):
+                if counts[j] == 0:
+                    finals.append(None)
+                    continue
+                mean = float(totals[j]) / int(counts[j])
+                variance = max(0.0, float(sumsq[j]) / int(counts[j])
+                               - mean * mean)
+                finals.append(variance if call.func == "variance"
+                              else variance ** 0.5)
+        else:
+            return None
+        columns.append(tuple(finals))
+    return [keys[j] + tuple(col[j] for col in columns)
+            for j in range(g)]
+
+
+def _aggregate_rowwise(node: rel.Aggregate, child: VectorBatch,
+                       group_keys: tuple[int, ...],
+                       sizes_out: Optional[dict] = None) -> list[tuple]:
     key_columns = [child.vectors[k] for k in group_keys]
     n = child.num_rows
     groups: dict[tuple, list] = {}
@@ -372,7 +619,7 @@ def join_batches(node: rel.Join, left: VectorBatch, right: VectorBatch,
     if key_counts is not None:
         ctx.record_keys(node, key_counts)
     if residual:
-        mask = _residual_mask(node, left, right, li, ri, residual)
+        mask = _residual_mask(node, left, right, li, ri, residual, ctx)
         li, ri = li[mask], ri[mask]
 
     kind = node.kind
@@ -448,14 +695,15 @@ def _candidate_pairs(left: VectorBatch, right: VectorBatch,
             np.asarray(ri_out, dtype=np.int64), key_counts)
 
 
-def _residual_mask(node, left, right, li, ri, residual) -> np.ndarray:
+def _residual_mask(node, left, right, li, ri, residual,
+                   ctx: ExecutionContext) -> np.ndarray:
     combined_schema = left.schema.concat(right.schema, dedupe=True)
     combined = VectorBatch(
         combined_schema,
         [v.take(li) for v in left.vectors]
         + [v.take(ri) for v in right.vectors])
     condition = rex.make_and(list(residual))
-    return expr_eval.evaluate_predicate(condition, combined)
+    return _predicate(ctx, condition, combined)
 
 
 def _combine(out_schema: Schema, left: VectorBatch, right: VectorBatch,
@@ -535,22 +783,47 @@ def _exec_window(node: rel.Window, ctx: ExecutionContext) -> VectorBatch:
     return VectorBatch(node.schema, out_vectors)
 
 
-def _window_column(call: rel.WindowCall, child: VectorBatch,
-                   n: int) -> ColumnVector:
+def _partition_rows(child: VectorBatch,
+                    partition_keys) -> list[list[int]]:
+    """Row indices of each window partition (ascending within one).
+
+    Factorized: combined key codes + one stable argsort + np.split,
+    instead of a per-row dict of tuples.  The per-row fallback only
+    runs for unfactorizable (mixed-type object) key columns.  Partition
+    *iteration* order differs between the two paths, which is
+    immaterial — window results are written back per absolute row
+    index.
+    """
+    n = child.num_rows
+    if not partition_keys:
+        return [list(range(n))]
+    factorized = _factorize_keys(child, tuple(partition_keys))
+    if factorized is not None:
+        codes, g, _ = factorized
+        if g <= 1:
+            return [list(range(n))] if n else []
+        order = np.argsort(codes, kind="stable")
+        cuts = np.flatnonzero(np.diff(codes[order])) + 1
+        return [seg.tolist() for seg in np.split(order, cuts)]
     partitions: dict[tuple, list[int]] = {}
     for i in range(n):
         key = tuple(
             None if child.vectors[k].nulls[i]
             else _plain(child.vectors[k].data[i])
-            for k in call.partition_keys)
+            for k in partition_keys)
         partitions.setdefault(key, []).append(i)
+    return list(partitions.values())
 
+
+def _window_column(call: rel.WindowCall, child: VectorBatch,
+                   n: int) -> ColumnVector:
+    partitions = _partition_rows(child, call.partition_keys)
     np_dtype = call.dtype.numpy_dtype
     data = (np.zeros(n, dtype=np_dtype) if np_dtype != np.dtype(object)
             else _empty_obj(n))
     nulls = np.zeros(n, dtype=bool)
 
-    for rows in partitions.values():
+    for rows in partitions:
         ordered = rows
         if call.order_keys:
             sub = child.take(np.asarray(rows, dtype=np.int64))

@@ -25,10 +25,15 @@ RL006     direct access to metric internals (``_value``/``_counts``/
 RL007     ``except Exception: pass`` (or ``BaseException``) — a
           swallowed failure in a recovery path (abort, release, retry)
           silently leaks transactions and locks; handle or narrow it
-RL008     ``time.time()``/``time.monotonic()`` inside ``repro/obs/`` or
-          ``repro/llap/`` outside the scrape-clock shim
-          (``repro/obs/clock.py``) — monitoring samples must stamp
-          wall time through one seam so replay/freeze stays possible
+RL008     ``time.time()``/``time.monotonic()`` and the ``datetime``
+          factories (``now``/``utcnow``/``today``) inside
+          ``repro/obs/``, ``repro/llap/`` or ``repro/exec/`` outside
+          the scrape-clock shim (``repro/obs/clock.py``) — monitoring
+          samples must stamp wall time through one seam so
+          replay/freeze stays possible, and expression evaluation must
+          take statement time from ``EvalContext`` (a direct
+          ``datetime.now()`` once leaked the host clock into
+          CURRENT_DATE results)
 RL009     ``ThreadingHTTPServer`` construction outside the two wire
           endpoints (``repro/obs/exposition.py``,
           ``repro/service/endpoint.py``) — every HTTP surface must
@@ -79,8 +84,9 @@ RULES = {
              "registry snapshot API)",
     "RL007": "'except Exception: pass' silently swallows recovery-path "
              "failures",
-    "RL008": "wall-clock call (time.time/time.monotonic) in repro/obs "
-             "or repro/llap outside the scrape-clock shim",
+    "RL008": "wall-clock call (time.time/time.monotonic/datetime.now/"
+             "date.today) in repro/obs, repro/llap or repro/exec "
+             "outside the scrape-clock shim",
     "RL009": "ThreadingHTTPServer constructed outside the sanctioned "
              "wire endpoints (obs/exposition.py, service/endpoint.py)",
     "RL010": "manual lock acquire()/release() outside 'with' or "
@@ -106,8 +112,10 @@ WALL_CLOCK_CALLS = {("time", "time"), ("time", "perf_counter"),
                     ("datetime", "now"), ("datetime", "utcnow"),
                     ("datetime", "today")}
 
-#: module path fragments where RL008 applies (scrape clock only)
-SCRAPE_CLOCK_SCOPES = ("repro/obs/", "repro/llap/")
+#: module path fragments where RL008 applies (scrape clock only);
+#: repro/exec joined after CURRENT_DATE leaked the host clock into
+#: query results — expression evaluation must use EvalContext.now_s
+SCRAPE_CLOCK_SCOPES = ("repro/obs/", "repro/llap/", "repro/exec/")
 
 #: the one file in those scopes allowed to touch the wall clock
 SCRAPE_CLOCK_SHIM = "repro/obs/clock.py"
@@ -115,6 +123,15 @@ SCRAPE_CLOCK_SHIM = "repro/obs/clock.py"
 #: calls RL008 flags — narrower than RL002: tracing spans legitimately
 #: use time.perf_counter, so only the absolute clocks are banned here
 SCRAPE_CLOCK_CALLS = {("time", "time"), ("time", "monotonic")}
+
+#: datetime factory methods RL008 also bans in its scopes, matched on
+#: any dotted chain ending in ``datetime``/``date`` + one of these
+#: (covers datetime.now, datetime.datetime.now, datetime.date.today,
+#: date.today, datetime.utcnow — all read the host clock)
+SCRAPE_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: receiver names the datetime check recognises as the stdlib types
+SCRAPE_DATETIME_RECEIVERS = frozenset({"datetime", "date"})
 
 #: the only files allowed to construct an HTTP server (RL009)
 HTTP_SERVER_ALLOWED = ("repro/obs/exposition.py",
@@ -423,14 +440,44 @@ def _check_wall_clock(tree, path, findings):
 # --------------------------------------------------------------------------- #
 # RL008 — wall clock in monitoring/LLAP modules
 
+def _datetime_factory(func: ast.expr) -> Optional[str]:
+    """Dotted name when ``func`` is a host-clock datetime factory.
+
+    Matches any attribute chain whose last receiver segment is
+    ``datetime`` or ``date`` and whose call attribute is one of
+    ``now``/``utcnow``/``today`` — so ``datetime.now``,
+    ``datetime.datetime.now`` and ``datetime.date.today`` all hit,
+    while ``self.clock.now`` does not.
+    """
+    if not isinstance(func, ast.Attribute) \
+            or func.attr not in SCRAPE_DATETIME_ATTRS:
+        return None
+    recv = func.value
+    if isinstance(recv, ast.Attribute):
+        recv_name = recv.attr
+    elif isinstance(recv, ast.Name):
+        recv_name = recv.id
+    else:
+        return None
+    if recv_name not in SCRAPE_DATETIME_RECEIVERS:
+        return None
+    return f"{ast.unparse(recv)}.{func.attr}"
+
+
 def _check_scrape_clock(tree, path, findings):
     """RL008 — absolute wall-clock reads must go through the shim.
 
     Samplers in ``repro/obs`` and ``repro/llap`` stamp each sample
     with both virtual and wall time; routing the wall reads through
     ``repro.obs.clock`` keeps a single seam to freeze in tests and
-    replay tooling.  ``time.perf_counter`` stays allowed — tracing
-    measures *durations*, which replay does not need to pin.
+    replay tooling.  ``repro/exec`` is in scope for a different
+    reason: CURRENT_DATE/CURRENT_TIMESTAMP once read the host clock
+    directly, making query results non-reproducible — expression code
+    must take statement time from ``EvalContext``.  The datetime
+    factories (``datetime.now``/``utcnow``/``date.today``) are banned
+    alongside ``time.time``/``time.monotonic``.  ``time.perf_counter``
+    stays allowed — tracing measures *durations*, which replay does
+    not need to pin.
     """
     banned = {attr for _, attr in SCRAPE_CLOCK_CALLS}
     for node in ast.walk(tree):
@@ -438,17 +485,23 @@ def _check_scrape_clock(tree, path, findings):
             continue
         func = node.func
         name = None
+        hint = "use repro.obs.clock.wall_now_s()/monotonic_s()"
         if isinstance(func, ast.Attribute) \
-                and isinstance(func.value, ast.Name):
-            if (func.value.id, func.attr) in SCRAPE_CLOCK_CALLS:
-                name = f"{func.value.id}.{func.attr}"
+                and isinstance(func.value, ast.Name) \
+                and (func.value.id, func.attr) in SCRAPE_CLOCK_CALLS:
+            name = f"{func.value.id}.{func.attr}"
         elif isinstance(func, ast.Name) and func.id in banned:
             name = func.id
+        else:
+            name = _datetime_factory(func)
+            if name is not None:
+                hint = ("take statement time from EvalContext "
+                        "(statement_date()/statement_timestamp())")
         if name:
             findings.append(Finding(
                 "RL008", path, node.lineno, node.col_offset,
                 f"wall-clock call {name}() outside the scrape-clock "
-                "shim — use repro.obs.clock.wall_now_s()/monotonic_s()"))
+                f"shim — {hint}"))
 
 
 # --------------------------------------------------------------------------- #

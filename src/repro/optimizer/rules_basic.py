@@ -83,6 +83,11 @@ def fold_rex(expr: rex.RexNode) -> rex.RexNode:
     if operands and all(isinstance(o, rex.RexLiteral) for o in operands):
         if op in ("IN",):  # keep IN lists for sarg extraction
             return expr
+        from ..exec.expr_eval import CONTEXT_DEPENDENT_OPS
+        if op in CONTEXT_DEPENDENT_OPS:
+            # RAND(literal seed) is per-row, CURRENT_* is per-statement
+            # — folding either to a single literal changes results
+            return expr
         try:
             return _evaluate_constant(expr)
         except Exception:

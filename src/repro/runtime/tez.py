@@ -24,6 +24,8 @@ from typing import Optional
 
 from ..config import HiveConf
 from ..errors import ExecutionError
+from ..exec.compile import KernelCache
+from ..exec.expr_eval import EvalContext
 from ..exec.operators import ExecutionContext, execute
 from ..llap.workload import QueryAdmission, WorkloadManager
 from ..obs.profile import OperatorProfile
@@ -265,19 +267,33 @@ class TezRunner:
             arrival_s: float = 0.0,
             hash_join_memory_rows: Optional[int] = None,
             profile=None, trace=None, query_id: int = 0,
-            compile_overhead_s: Optional[float] = None):
+            compile_overhead_s: Optional[float] = None,
+            eval_ctx: Optional[EvalContext] = None,
+            kernels: Optional[KernelCache] = None):
         """Execute and return ``(VectorBatch, QueryMetrics, ctx)``.
 
         ``compile_overhead_s`` overrides the cost model's fixed compile
         charge — the serving layer's plan cache passes its reduced hit
         cost, since a cached statement skips parse/analyze/optimize.
+
+        ``eval_ctx`` pins the statement's virtual time and RAND salt;
+        ``kernels`` is the compiled-kernel cache to (re)use — the plan
+        cache passes its entry's cache so repeated fingerprints skip
+        expression compilation.  Absent one, an ephemeral cache still
+        compiles each expression once per query.
         """
+        if kernels is None and self.conf.vectorized_compile:
+            kernels = KernelCache()
         ctx = ExecutionContext(
             scan_executor=scan_executor,
             semijoin_filters=scan_executor.semijoin_filters,
             hash_join_memory_rows=hash_join_memory_rows,
             memo_digests=self._memo_digests(plan),
-            profile=profile)
+            profile=profile,
+            eval_ctx=(eval_ctx if eval_ctx is not None
+                      else EvalContext(query_id=query_id)),
+            kernels=kernels,
+            fuse=self.conf.vectorized_fusion)
 
         # admission control (Section 5.2)
         admission = QueryAdmission(pool="", capacity_fraction=1.0)

@@ -44,9 +44,14 @@ class DmlResult:
 class TableWriter:
     """Executes transactional and plain writes against one warehouse."""
 
-    def __init__(self, hms: HiveMetastore, conf: HiveConf):
+    def __init__(self, hms: HiveMetastore, conf: HiveConf,
+                 eval_ctx: expr_eval.EvalContext | None = None):
         self.hms = hms
         self.conf = conf
+        #: statement-time context for DML expressions (UPDATE SET /
+        #: MERGE assignments may call CURRENT_DATE or RAND)
+        self.eval_ctx = (eval_ctx if eval_ctx is not None
+                         else expr_eval.EvalContext())
         self.writer = AcidWriter(hms.fs)
         self.reader = AcidReader(hms.fs)
         self.initiator = CompactionInitiator(hms, conf)
@@ -291,7 +296,8 @@ class TableWriter:
             return np.ones(batch.num_rows, dtype=bool)
         # predicate is over the full schema (data + partition columns)
         eval_batch = self._with_partitions(table, batch, partition_values)
-        return expr_eval.evaluate_predicate(predicate, eval_batch)
+        return expr_eval.evaluate_predicate(predicate, eval_batch,
+                                            self.eval_ctx)
 
     def _with_partitions(self, table: TableDescriptor, batch: VectorBatch,
                          values: tuple) -> VectorBatch:
@@ -334,7 +340,8 @@ class TableWriter:
                 columns.append(data_batch.vectors[i].to_values())
             else:
                 columns.append(
-                    expr_eval.evaluate(expr, data_batch).to_values())
+                    expr_eval.evaluate(expr, data_batch,
+                                       self.eval_ctx).to_values())
         return [tuple(col[r] for col in columns)
                 for r in range(data_batch.num_rows)]
 
@@ -387,7 +394,8 @@ class TableWriter:
                     t_row = data_batch.slice(ti, ti + 1)
                     pair = _cross_pair(t_row, source_batch,
                                        source_schema)
-                    cond = expr_eval.evaluate_predicate(condition, pair)
+                    cond = expr_eval.evaluate_predicate(
+                        condition, pair, self.eval_ctx)
                     hits = np.nonzero(cond)[0]
                     if len(hits) > 1:
                         raise ExecutionError(
@@ -428,7 +436,8 @@ class TableWriter:
                 for si in np.nonzero(~matched_source)[0]:
                     row_batch = source_batch.slice(int(si), int(si) + 1)
                     row = tuple(
-                        expr_eval.evaluate(expr, row_batch).value(0)
+                        expr_eval.evaluate(expr, row_batch,
+                                           self.eval_ctx).value(0)
                         for expr in insert_clause.insert_values)
                     new_rows.append(row)
                 if new_rows:
@@ -472,8 +481,8 @@ class TableWriter:
             if not clause.matched:
                 continue
             if clause.condition is not None:
-                if not expr_eval.evaluate_predicate(clause.condition,
-                                                    pair_row)[0]:
+                if not expr_eval.evaluate_predicate(
+                        clause.condition, pair_row, self.eval_ctx)[0]:
                     continue
             return clause.action, clause
         return None
@@ -488,7 +497,8 @@ class TableWriter:
                 values.append(pair_row.vectors[i].value(0))
             else:
                 values.append(
-                    expr_eval.evaluate(expr, pair_row).value(0))
+                    expr_eval.evaluate(expr, pair_row,
+                                       self.eval_ctx).value(0))
         return tuple(values)
 
 

@@ -21,6 +21,7 @@ from ..config import HiveConf
 from ..errors import (AnalysisError, CatalogError, ExecutionError,
                       HiveError, PlanInvariantError, QueryKilledError,
                       TransactionError, VertexFailureError)
+from ..exec.expr_eval import EvalContext
 from ..exec.operators import ExecutionContext, execute
 from ..faults import FaultRegistry
 from ..fs import SimFileSystem
@@ -480,7 +481,17 @@ class Session:
         return Analyzer(self.hms, self.conf, self.database)
 
     def _writer(self) -> TableWriter:
-        return TableWriter(self.hms, self.conf)
+        return TableWriter(self.hms, self.conf,
+                           eval_ctx=self._eval_context())
+
+    def _eval_context(self) -> EvalContext:
+        """Per-statement expression context: the session's virtual clock
+        anchors CURRENT_DATE/CURRENT_TIMESTAMP, the query id salts
+        unseeded RAND() (deterministic per statement, distinct across
+        statements)."""
+        return EvalContext(
+            now_s=self.now_s,
+            query_id=self._trace.query_id if self._trace else 0)
 
     def _reader_factory(self):
         if self.conf.llap_enabled and self.conf.llap_cache_enabled:
@@ -678,7 +689,9 @@ class Session:
                 with self._span("execute") as span:
                     batch, metrics, ctx = self._run_optimized(
                         optimized, conf, profile,
-                        compile_overhead_s=compile_cost)
+                        compile_overhead_s=compile_cost,
+                        kernels=(cached.kernels if cached is not None
+                                 else None))
                     if span is not None:
                         span.virtual_s = metrics.total_s
                 break
@@ -715,7 +728,8 @@ class Session:
 
     def _run_optimized(self, optimized: OptimizedPlan, conf: HiveConf,
                        profile: Optional[ExecutionProfile] = None,
-                       compile_overhead_s: Optional[float] = None):
+                       compile_overhead_s: Optional[float] = None,
+                       kernels=None):
         in_txn = self._active_txn is not None
         snapshot = (self._txn_snapshot if in_txn
                     else self.hms.txn_manager.get_snapshot())
@@ -751,7 +765,8 @@ class Session:
             hash_join_memory_rows=conf.hash_join_memory_rows,
             profile=profile, trace=self._trace,
             query_id=self._trace.query_id if self._trace else 0,
-            compile_overhead_s=compile_overhead_s)
+            compile_overhead_s=compile_overhead_s,
+            eval_ctx=self._eval_context(), kernels=kernels)
 
     # ------------------------------------------------------------------ #
     # EXPLAIN
@@ -1258,7 +1273,8 @@ class Session:
                 converter = _ExprConverter(analyzer, scope, None, {})
                 if spec.where is not None:
                     condition = converter.convert(spec.where)
-                    mask = expr_eval.evaluate_predicate(condition, batch)
+                    mask = expr_eval.evaluate_predicate(
+                        condition, batch, writer.eval_ctx)
                     batch = batch.filter(mask)
                 columns = []
                 for item in spec.select_items:
@@ -1266,7 +1282,8 @@ class Session:
                         columns.extend(batch.vectors)
                         continue
                     expr = converter.convert(item.expr)
-                    columns.append(expr_eval.evaluate(expr, batch))
+                    columns.append(expr_eval.evaluate(
+                        expr, batch, writer.eval_ctx))
                 rows = [tuple(col.value(i) for col in columns)
                         for i in range(batch.num_rows)]
                 result = writer.insert_rows(
@@ -1728,6 +1745,8 @@ _CONFIG_ALIASES = {
     "hive.llap.enabled": "llap_enabled",
     "hive.llap.io.enabled": "llap_cache_enabled",
     "hive.vectorized.execution.enabled": "vectorized_execution",
+    "hive.vectorized.compile.enabled": "vectorized_compile",
+    "hive.vectorized.fusion.enabled": "vectorized_fusion",
     "hive.cbo.enable": "cbo_enabled",
     "hive.optimize.shared.work": "shared_work_optimization",
     "hive.optimize.semijoin.reduction": "semijoin_reduction",

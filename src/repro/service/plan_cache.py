@@ -44,6 +44,7 @@ import itertools
 import threading
 
 from ..common import sync
+from ..exec.compile import KernelCache
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -115,6 +116,11 @@ class PlanCacheEntry:
     hits: int = 0
     last_used: int = 0           # LRU clock tick
     raw_keys: set = field(default_factory=set)
+    #: compiled expression kernels (repro.exec.compile): every hit on
+    #: this entry reuses them, so repeated fingerprints pay expression
+    #: lowering once, not once per execution (KernelCache is
+    #: thread-safe; entries are shared across sessions)
+    kernels: KernelCache = field(default_factory=KernelCache)
 
     def as_row(self) -> tuple:
         return (self.database, self.canonical, ",".join(self.tables),

@@ -267,3 +267,61 @@ class TestQueries:
     def test_order_by_date_column(self, data):
         rows = data.execute("SELECT d FROM t ORDER BY d DESC LIMIT 1").rows
         assert rows == [(datetime.date(2020, 2, 2),)]
+
+
+class TestVectorizedKnobsAndDeterminism:
+    @pytest.fixture
+    def data(self, loaded_session):
+        return loaded_session
+
+    def test_compile_knob_toggles_without_changing_results(self, data):
+        query = ("SELECT a, upper(b), c * 2 + 1 FROM t "
+                 "WHERE a % 2 = 1 ORDER BY a")
+        on = data.execute(query).rows
+        data.execute("SET hive.vectorized.compile.enabled=false")
+        assert data.conf.vectorized_compile is False
+        assert data.execute(query).rows == on
+        data.execute("SET hive.vectorized.compile.enabled=true")
+        assert data.execute(query).rows == on
+
+    def test_fusion_knob_toggles_without_changing_results(self, data):
+        query = ("SELECT upper(b) FROM t WHERE c > 2 AND a < 5 "
+                 "ORDER BY a")
+        fused = data.execute(query).rows
+        data.execute("SET hive.vectorized.fusion.enabled=false")
+        assert data.conf.vectorized_fusion is False
+        assert data.execute(query).rows == fused
+
+    def test_current_date_is_virtual_not_host(self, data):
+        # the session clock starts at the virtual epoch; a wall-clock
+        # leak would return today's real date here
+        rows = data.execute("SELECT current_date() FROM t LIMIT 1").rows
+        assert rows == [(datetime.date(1970, 1, 1),)]
+
+    def test_seeded_rand_stable_across_executions(self, data):
+        query = "SELECT a, rand(42) FROM t ORDER BY a"
+        first = data.execute(query).rows
+        second = data.execute(query).rows
+        assert first == second
+        values = [r[1] for r in first]
+        assert len(set(values)) == len(values)   # per-row stream
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_unseeded_rand_changes_per_statement(self, data):
+        one = data.execute("SELECT rand() FROM t").rows
+        two = data.execute("SELECT rand() FROM t").rows
+        assert one != two          # distinct query ids → distinct salt
+
+    def test_rand_identical_across_fresh_servers(self, conf):
+        import repro
+
+        def run():
+            session = repro.HiveServer2(
+                repro.HiveConf.v3_profile()).connect()
+            session.execute("CREATE TABLE r (a INT)")
+            session.execute(
+                "INSERT INTO r VALUES (1), (2), (3), (4)")
+            return session.execute(
+                "SELECT a, rand(7), rand() FROM r ORDER BY a").rows
+
+        assert run() == run()      # full-stack reproducibility

@@ -200,3 +200,131 @@ class TestStringFunctions:
                        STRING)
         assert evaluate(expr, batch).to_values() == [
             "apple!", "banana!", None, "apricot!"]
+
+
+class TestJavaModulo:
+    """Hive follows Java: the sign of % is the sign of the dividend."""
+
+    @pytest.fixture
+    def signed(self):
+        schema = Schema([Column("a", INT), Column("b", INT)])
+        rows = [(-7, 3), (7, -3), (-7, -3), (7, 3), (0, 3), (5, 0)]
+        return VectorBatch.from_rows(schema, rows)
+
+    def test_sign_of_dividend(self, signed):
+        expr = RexCall("%", (col(0, INT), col(1, INT)), INT)
+        assert evaluate(expr, signed).to_values() == [
+            -1, 1, -1, 1, 0, None]
+
+    def test_mod_alias_matches(self, signed):
+        expr = RexCall("MOD", (col(0, INT), col(1, INT)), INT)
+        assert evaluate(expr, signed).to_values() == [
+            -1, 1, -1, 1, 0, None]
+
+    def test_double_modulo(self):
+        schema = Schema([Column("f", DOUBLE)])
+        batch = VectorBatch.from_rows(schema, [(-7.5,), (7.5,)])
+        expr = RexCall("%", (col(0, DOUBLE), lit(2.0, DOUBLE)), DOUBLE)
+        assert evaluate(expr, batch).to_values() == [-1.5, 1.5]
+
+
+class TestNullifDtype:
+    def test_result_uses_expression_dtype(self, batch):
+        # analyzer may widen NULLIF(int_col, 1) to DOUBLE; the result
+        # vector must carry that dtype, not the first operand's
+        expr = RexCall("NULLIF", (col(0, INT), lit(1, INT)), DOUBLE)
+        out = evaluate(expr, batch)
+        assert out.dtype == DOUBLE
+        assert out.to_values() == [None, 2.0, None, -4.0]
+
+
+class TestIsoWeek:
+    def test_week_53_not_wrapped(self):
+        # the old '% 52 + 1' formula sent ISO week 53 back to week 2
+        schema = Schema([Column("d", DATE)])
+        dates = [datetime.date(2020, 12, 31),   # ISO 2020-W53
+                 datetime.date(2021, 1, 1),     # still 2020-W53
+                 datetime.date(2021, 1, 4),     # 2021-W01
+                 datetime.date(2015, 12, 28),   # 2015-W53
+                 datetime.date(2020, 6, 15)]
+        batch = VectorBatch.from_rows(schema, [(d,) for d in dates])
+        expr = RexCall("EXTRACT_WEEK", (col(0, DATE),), INT)
+        out = evaluate(expr, batch).to_values()
+        assert out == [d.isocalendar()[1] for d in dates]
+        assert out[0] == 53
+
+    def test_parity_with_isocalendar_across_years(self):
+        schema = Schema([Column("d", DATE)])
+        dates = [datetime.date(1970, 1, 1) + datetime.timedelta(days=k)
+                 for k in range(0, 20000, 97)]
+        batch = VectorBatch.from_rows(schema, [(d,) for d in dates])
+        expr = RexCall("EXTRACT_WEEK", (col(0, DATE),), INT)
+        out = evaluate(expr, batch).to_values()
+        assert out == [d.isocalendar()[1] for d in dates]
+
+
+class TestVirtualClock:
+    def test_current_date_comes_from_context(self, batch):
+        from repro.exec.expr_eval import EvalContext
+        ctx = EvalContext(now_s=86400.0 * 365 * 10 + 7200)
+        expr = RexCall("CURRENT_DATE", (), DATE)
+        out = evaluate(expr, batch, ctx).to_values()
+        want = (datetime.date(1970, 1, 1)
+                + datetime.timedelta(days=3650))
+        assert out == [want] * batch.num_rows
+
+    def test_current_timestamp_from_context(self, batch):
+        from repro.common.types import TIMESTAMP
+        from repro.exec.expr_eval import EvalContext
+        ctx = EvalContext(now_s=12.345)
+        expr = RexCall("CURRENT_TIMESTAMP", (), TIMESTAMP)
+        out = evaluate(expr, batch, ctx).to_values()
+        assert out[0] == datetime.datetime(1970, 1, 1, 0, 0, 12, 345000)
+
+    def test_default_context_is_fixed_epoch_not_wall_clock(self, batch):
+        # two evaluations arbitrarily far apart must agree: the default
+        # context pins the virtual epoch, never the host clock
+        expr = RexCall("CURRENT_DATE", (), DATE)
+        first = evaluate(expr, batch).to_values()
+        second = evaluate(expr, batch).to_values()
+        assert first == second == [datetime.date(1970, 1, 1)] * 4
+
+
+class TestRandDeterminism:
+    def test_seeded_rand_reproduces(self, batch):
+        expr = RexCall("RAND", (lit(42, INT),), DOUBLE)
+        a = evaluate(expr, batch).to_values()
+        b = evaluate(expr, batch).to_values()
+        assert a == b
+        assert all(0.0 <= v < 1.0 for v in a)
+        assert len(set(a)) > 1    # per-row stream, not one number
+
+    def test_seed_changes_stream(self, batch):
+        one = evaluate(RexCall("RAND", (lit(1, INT),), DOUBLE),
+                       batch).to_values()
+        two = evaluate(RexCall("RAND", (lit(2, INT),), DOUBLE),
+                       batch).to_values()
+        assert one != two
+
+    def test_unseeded_rand_salted_by_query_id(self, batch):
+        from repro.exec.expr_eval import EvalContext
+        expr = RexCall("RAND", (), DOUBLE)
+        q1 = evaluate(expr, batch, EvalContext(query_id=1)).to_values()
+        q2 = evaluate(expr, batch, EvalContext(query_id=2)).to_values()
+        q1_again = evaluate(expr, batch,
+                            EvalContext(query_id=1)).to_values()
+        assert q1 != q2
+        assert q1 == q1_again
+
+    def test_row_offset_continues_stream(self):
+        from repro.exec.expr_eval import EvalContext
+        schema = Schema([Column("i", INT)])
+        big = VectorBatch.from_rows(schema, [(k,) for k in range(10)])
+        lo = VectorBatch.from_rows(schema, [(k,) for k in range(6)])
+        hi = VectorBatch.from_rows(schema, [(k,) for k in range(4)])
+        expr = RexCall("RAND", (lit(9, INT),), DOUBLE)
+        whole = evaluate(expr, big).to_values()
+        first = evaluate(expr, lo).to_values()
+        rest = evaluate(expr, hi,
+                        EvalContext(row_offset=6)).to_values()
+        assert whole == first + rest

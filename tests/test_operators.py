@@ -245,3 +245,141 @@ class TestMemoization:
         result = execute(node, ctx)
         assert result.num_rows == 10
         assert calls["count"] == 1
+
+
+class TestFusionAndKernels:
+    """scan→filter→project fusion and compiled-kernel execution must be
+    invisible: same rows, same runtime stats, only faster."""
+
+    def _plan(self):
+        condition = make_call(">", RexInputRef(0, INT),
+                              RexLiteral(1, INT))
+        filt = rel.Filter(scan("l", LEFT), condition)
+        exprs = (RexInputRef(1, STRING),
+                 make_call("+", RexInputRef(0, INT),
+                           RexLiteral(100, INT)))
+        return rel.Project(filt, exprs, ("tag", "idplus"))
+
+    def test_fused_matches_unfused(self):
+        plan = self._plan()
+        fused = execute(plan, make_ctx()).to_rows()
+        ctx = make_ctx()
+        ctx.fuse = False
+        assert fused == execute(plan, ctx).to_rows()
+        assert fused == [("b", 102), ("c", 103), ("b2", 102)]
+
+    def test_fusion_records_bypassed_filter(self):
+        plan = self._plan()
+        ctx = make_ctx()
+        execute(plan, ctx)
+        # the Filter never ran as an operator, but reoptimization and
+        # EXPLAIN ANALYZE still need its output cardinality
+        assert ctx.runtime_stats[plan.input.digest] == 3
+
+    def test_kernels_match_interpreter(self):
+        from repro.exec.compile import KernelCache
+        plan = self._plan()
+        interpreted = execute(plan, make_ctx()).to_rows()
+        ctx = make_ctx()
+        ctx.kernels = KernelCache()
+        assert execute(plan, ctx).to_rows() == interpreted
+        assert ctx.kernels.compiled > 0
+
+    def test_fusion_skipped_for_memoized_filter(self):
+        plan = self._plan()
+        ctx = make_ctx()
+        ctx.memo_digests = frozenset({plan.input.digest})
+        rows = execute(plan, ctx).to_rows()
+        assert rows == [("b", 102), ("c", 103), ("b2", 102)]
+        # shared-work reuse: the filter result must be in the memo
+        assert plan.input.digest in ctx.memo
+
+
+class TestVectorizedAggregationParity:
+    """The factorized fast path must equal the row-wise fallback —
+    including group order (first occurrence) and float accumulation."""
+
+    def test_group_order_is_first_occurrence(self):
+        schema = Schema([Column("g", INT), Column("v", INT)])
+        data = [(3, 1), (1, 2), (3, 3), (2, 4), (1, 5), (None, 6)]
+        batch = VectorBatch.from_rows(schema, data)
+        ctx = ExecutionContext(scan_executor=lambda n: batch)
+        plan = rel.Aggregate(
+            rel.TableScan("t", schema), (0,),
+            (AggregateCall("sum", 1, BIGINT, "s"),
+             AggregateCall("count", 1, BIGINT, "c"),
+             AggregateCall("min", 1, INT, "lo"),
+             AggregateCall("max", 1, INT, "hi")),
+            ("g",))
+        rows = execute(plan, ctx).to_rows()
+        # legacy dict-insertion order: 3, 1, 2, NULL — exactly
+        assert rows == [(3, 4, 2, 1, 3), (1, 7, 2, 2, 5),
+                        (2, 4, 1, 4, 4), (None, 6, 1, 6, 6)]
+
+    def test_string_group_key_and_min_max_fallback(self):
+        # grouping by a string key factorizes; a string min/max
+        # aggregate forces the row-wise fallback — results must agree
+        schema = Schema([Column("g", STRING), Column("v", INT)])
+        data = [("b", 1), ("a", 2), ("b", 3), (None, 4), ("a", 5)]
+        batch = VectorBatch.from_rows(schema, data)
+        plan_sum = rel.Aggregate(
+            rel.TableScan("t", schema), (0,),
+            (AggregateCall("sum", 1, BIGINT, "s"),), ("g",))
+        plan_min = rel.Aggregate(
+            rel.TableScan("t", schema), (1,),
+            (AggregateCall("min", 0, STRING, "lo"),), ("v",))
+        ctx = ExecutionContext(scan_executor=lambda n: batch)
+        assert execute(plan_sum, ctx).to_rows() == [
+            ("b", 4), ("a", 7), (None, 4)]
+        ctx2 = ExecutionContext(scan_executor=lambda n: batch)
+        assert execute(plan_min, ctx2).to_rows() == [
+            (1, "b"), (2, "a"), (3, "b"), (4, None), (5, "a")]
+
+    def test_fast_path_bit_matches_rowwise(self):
+        import numpy as np
+        from repro.exec import operators as ops
+        rng = np.random.default_rng(3)
+        n = 500
+        schema = Schema([Column("g", INT), Column("v", DOUBLE)])
+        data = [(int(rng.integers(0, 7)), float(rng.normal(0, 10)))
+                for _ in range(n)]
+        batch = VectorBatch.from_rows(schema, data)
+        node = rel.Aggregate(
+            rel.TableScan("t", schema), (0,),
+            (AggregateCall("sum", 1, DOUBLE, "s"),
+             AggregateCall("avg", 1, DOUBLE, "a"),
+             AggregateCall("stddev", 1, DOUBLE, "sd"),
+             AggregateCall("min", 1, DOUBLE, "lo"),
+             AggregateCall("max", 1, DOUBLE, "hi")),
+            ("g",))
+        fast = ops._aggregate_vectorized(node, batch, (0,), None)
+        slow = ops._aggregate_rowwise(node, batch, (0,), None)
+        assert fast is not None
+        assert fast == slow                    # bit-equal floats
+
+    def test_global_aggregate_bit_matches_rowwise(self):
+        import numpy as np
+        from repro.exec import operators as ops
+        rng = np.random.default_rng(4)
+        schema = Schema([Column("v", DOUBLE)])
+        data = [(float(rng.normal(0, 1)),) for _ in range(257)]
+        batch = VectorBatch.from_rows(schema, data)
+        node = rel.Aggregate(
+            rel.TableScan("t", schema), (),
+            (AggregateCall("sum", 0, DOUBLE, "s"),
+             AggregateCall("count", None, BIGINT, "c"),
+             AggregateCall("variance", 0, DOUBLE, "var")), ())
+        fast = ops._aggregate_vectorized(node, batch, (), None)
+        slow = ops._aggregate_rowwise(node, batch, (), None)
+        assert fast is not None
+        assert fast == slow
+
+    def test_distinct_falls_back(self):
+        from repro.exec import operators as ops
+        schema = Schema([Column("g", INT), Column("v", INT)])
+        batch = VectorBatch.from_rows(schema, [(1, 2), (1, 2), (2, 3)])
+        node = rel.Aggregate(
+            rel.TableScan("t", schema), (0,),
+            (AggregateCall("count", 1, BIGINT, "c", distinct=True),),
+            ("g",))
+        assert ops._aggregate_vectorized(node, batch, (0,), None) is None

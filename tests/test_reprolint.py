@@ -174,6 +174,44 @@ class TestRL008ScrapeClock:
             """, path="src/repro/llap/elevator.py")
         assert rule_ids(findings) == ["RL008"]
 
+    def test_exec_scope_flags_time_calls(self):
+        findings = lint(self.CODE, path="src/repro/exec/expr_eval.py")
+        assert rule_ids(findings) == ["RL008", "RL008"]
+
+    def test_datetime_factories_flagged_in_exec(self):
+        findings = lint("""
+            import datetime
+            def current_date():
+                return datetime.datetime.now()
+            def today():
+                return datetime.date.today()
+            def short():
+                from datetime import date, datetime
+                return date.today(), datetime.utcnow()
+            """, path="src/repro/exec/expr_eval.py")
+        assert rule_ids(findings) == ["RL008"] * 4
+        assert "EvalContext" in findings[0].message
+
+    def test_datetime_constructors_allowed(self):
+        # explicit-argument constructors and arithmetic are not clock
+        # reads — only the now/utcnow/today factories are banned
+        assert lint("""
+            import datetime
+            EPOCH = datetime.date(1970, 1, 1)
+            def to_date(days):
+                return EPOCH + datetime.timedelta(days=days)
+            def other(obj):
+                return obj.clock.now()
+            """, path="src/repro/exec/expr_eval.py") == []
+
+    def test_datetime_factories_flagged_in_obs(self):
+        findings = lint("""
+            import datetime
+            def stamp():
+                return datetime.datetime.utcnow()
+            """, path="src/repro/obs/cluster.py")
+        assert rule_ids(findings) == ["RL008"]
+
 
 class TestRL009HttpServer:
     CODE = """
