@@ -233,6 +233,19 @@ class HiveConf:
     qstore_regression_min_samples: int = 5
     #: bound on deduplicated findings in sys.query_store_events
     qstore_max_events: int = 512
+    #: column-level lineage extraction (``hive.lineage.enabled``);
+    #: when off, post-exec hooks skip the plan walk
+    lineage_enabled: bool = True
+    #: max statement fingerprints retained in the lineage graph
+    #: (``hive.lineage.capacity``, LRU on last record)
+    lineage_capacity: int = 512
+    #: ring-buffer capacity of the per-tenant audit log
+    #: (``hive.audit.capacity``); evicted records spill to the
+    #: overflow store so ``sys.audit_log`` stays complete
+    audit_capacity: int = 1000
+    #: wall-clock budget per execution hook (``hive.hook.timeout.s``);
+    #: a hook exceeding it is quarantined for subsequent statements
+    hook_timeout_s: float = 1.0
 
     # ------------------------------------------------------------------ #
     # ACID (Section 3.2)
@@ -345,6 +358,13 @@ class HiveConf:
                 "qstore_regression_min_samples must be >= 1")
         if self.qstore_max_events < 1:
             raise ConfigError("qstore_max_events must be >= 1")
+        if self.lineage_capacity < 1:
+            raise ConfigError("lineage_capacity must be >= 1")
+        if self.audit_capacity < 1:
+            raise ConfigError("audit_capacity must be >= 1")
+        if self.hook_timeout_s <= 0.0:
+            raise ConfigError(
+                "hook_timeout_s must be > 0 (wall seconds)")
         for rate_name in ("faults_task_fail_rate", "faults_io_error_rate",
                           "faults_node_fail_rate", "faults_slow_node_rate",
                           "faults_lock_stall_rate"):

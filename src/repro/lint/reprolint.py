@@ -52,6 +52,12 @@ RL012     a dotted metric-name literal passed to a registry accessor
           that is neither in the ``METRIC_HELP`` catalog nor
           accompanied by ``help=`` — the server registry rejects such
           registrations at runtime; the lint catches them statically
+RL013     an execution-hook registration (``<something hook>.register``)
+          outside ``repro/obs/hooks.py`` or a ``register_hook``
+          wrapper — hooks installed from arbitrary call sites bypass
+          the server's sanctioned path (``HiveServer2.register_hook``),
+          so quarantine state and RL-auditing of hook providers
+          cannot be reasoned about
 ========  ============================================================
 
 Suppression: append ``# reprolint: disable=RL001`` (comma-separated
@@ -95,6 +101,9 @@ RULES = {
              "or without daemon= (stray threads hang CI)",
     "RL012": "metric name literal outside the METRIC_HELP catalog with "
              "no help= (undocumented series)",
+    "RL013": "execution-hook registration outside repro/obs/hooks.py "
+             "or a register_hook wrapper (use "
+             "HiveServer2.register_hook)",
 }
 
 #: private metric-state attributes RL006 protects (Counter._value,
@@ -159,6 +168,13 @@ CONSTRUCTORS = frozenset({"__init__", "__new__", "__post_init__"})
 METRIC_ACCESSORS = frozenset({"counter", "gauge", "histogram",
                               "register_callback"})
 
+#: the one module whose hook registrations are the built-ins (RL013)
+HOOK_REGISTRATION_ALLOWED = "repro/obs/hooks.py"
+
+#: enclosing function names sanctioned to wrap a registration (RL013):
+#: HiveServer2.register_hook is the public path user hooks go through
+HOOK_REGISTRATION_WRAPPERS = frozenset({"register_hook"})
+
 _SUPPRESS_RE = re.compile(
     r"#\s*reprolint:\s*disable=([A-Za-z0-9, ]+)")
 _SUPPRESS_FILE_RE = re.compile(
@@ -222,6 +238,9 @@ def lint_source(source: str, path: str = "<string>",
         _check_thread_construction(tree, path, norm, findings)
     if "RL012" in enabled:
         _check_metric_help(tree, path, findings)
+    if ("RL013" in enabled
+            and not norm.endswith(HOOK_REGISTRATION_ALLOWED)):
+        _check_hook_registration(tree, path, findings)
     for finding in findings:
         if 0 < finding.line <= len(lines):
             finding.snippet = lines[finding.line - 1].strip()
@@ -258,7 +277,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     import argparse
     parser = argparse.ArgumentParser(
         prog="reprolint",
-        description="AST linter with repro-specific rules (RL001-RL012)")
+        description="AST linter with repro-specific rules (RL001-RL013)")
     parser.add_argument("paths", nargs="+",
                         help="files or directories to lint")
     parser.add_argument("--format", choices=("text", "json"),
@@ -825,6 +844,47 @@ def _check_metric_help(tree, path, findings):
             f"metric {name!r} is not in the METRIC_HELP catalog and "
             "passes no help= — the require_help registry rejects it "
             "at runtime; document the series"))
+
+
+def _check_hook_registration(tree, path, findings):
+    """RL013 — hook registrations outside the sanctioned paths.
+
+    A call ``<receiver>.register(...)`` whose receiver chain names a
+    hook registry (any dotted part containing ``hook``) must live in
+    ``repro/obs/hooks.py`` (the built-ins) or inside a function named
+    ``register_hook`` (the server's public wrapper).  Everything else
+    installs side effects on the statement pipeline from a place no
+    reader expects; route it through ``HiveServer2.register_hook``.
+    """
+    def receiver_parts(node) -> list[str]:
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+        return parts
+
+    def visit(node, func_stack):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func_stack = func_stack + [node.name]
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr == "register"
+                    and any("hook" in part.lower()
+                            for part in receiver_parts(func.value))
+                    and not any(name in HOOK_REGISTRATION_WRAPPERS
+                                for name in func_stack)):
+                findings.append(Finding(
+                    "RL013", path, node.lineno, node.col_offset,
+                    "execution hook registered outside "
+                    "repro/obs/hooks.py or a register_hook wrapper — "
+                    "use HiveServer2.register_hook"))
+        for child in ast.iter_child_nodes(node):
+            visit(child, func_stack)
+
+    visit(tree, [])
 
 
 def _check_mutable_defaults(tree, path, findings):

@@ -43,6 +43,25 @@ class NotificationEvent:
     payload: dict
 
 
+@dataclass
+class ProvenanceRecord:
+    """One table→table data-flow edge (the Atlas side of HMS).
+
+    Registered by the built-in provenance hook for CTAS / INSERT / MV
+    statements; ``kind`` is ``ctas`` | ``insert`` | ``mv``.  Records
+    follow tables through RENAME and are tombstoned (not deleted) on
+    DROP, so impact analysis keeps its history.
+    """
+
+    dst_table: str
+    src_table: str
+    kind: str
+    first_at_s: float = 0.0
+    last_at_s: float = 0.0
+    statements: int = 1
+    tombstoned: bool = False
+
+
 class HiveMetastore:
     """One metastore instance shared by all sessions of a warehouse."""
 
@@ -67,6 +86,10 @@ class HiveMetastore:
         #: so the optimizer can feed them back (§4.2 / §9 roadmap):
         #: plan-node digest -> last observed output cardinality
         self._runtime_stats: dict[str, int] = {}
+        #: table→table provenance, keyed (dst, src, kind); the store
+        #: behind sys.lineage_tables
+        self._provenance: dict[tuple[str, str, str],
+                               ProvenanceRecord] = {}
         self.create_database("default", if_not_exists=True)
         fs.mkdirs(WAREHOUSE_ROOT)
 
@@ -166,10 +189,87 @@ class HiveMetastore:
             if purge and table.storage_handler is None and self.fs.exists(
                     table.location):
                 self.fs.delete(table.location, recursive=True)
+            # provenance outlives the table, marked as historical
+            dropped = table.qualified_name
+            for record in self._provenance.values():
+                if dropped in (record.dst_table, record.src_table):
+                    record.tombstoned = True
             self._emit("DROP_TABLE", table.qualified_name, {})
+
+    def rename_table(self, name: str, new_name: str,
+                     database: str = "default") -> TableDescriptor:
+        """Metadata-only rename within the table's database.
+
+        The catalog entry, statistics keys, plan versions and
+        provenance records all follow the new name; file locations are
+        left in place (Hive's rename is a metadata operation for
+        external tables, and our simulated FS paths are opaque).
+        """
+        new_name = new_name.lower()
+        if "." in new_name:
+            raise CatalogError(
+                "RENAME target must be a bare table name")
+        with self._lock:
+            table = self.get_table(name, database)
+            db = self._databases[table.database]
+            if new_name in db.tables:
+                raise CatalogError(
+                    f"table {table.database}.{new_name} already exists")
+            old_qualified = table.qualified_name
+            del db.tables[table.name]
+            table.name = new_name
+            db.tables[new_name] = table
+            new_qualified = table.qualified_name
+            for key in [k for k in self._stats
+                        if k[0] == old_qualified]:
+                self._stats[(new_qualified, key[1])] = \
+                    self._stats.pop(key)
+            for key in [k for k in self._provenance
+                        if old_qualified in (k[0], k[1])]:
+                record = self._provenance.pop(key)
+                if record.dst_table == old_qualified:
+                    record.dst_table = new_qualified
+                if record.src_table == old_qualified:
+                    record.src_table = new_qualified
+                self._provenance[(record.dst_table, record.src_table,
+                                  record.kind)] = record
+            # ACID write-id history follows the name, or readers would
+            # see an empty watermark and hide every committed row
+            self.txn_manager.rename_table(old_qualified, new_qualified)
+            # both names' compiled plans are stale now
+            self._bump_plan_version(new_qualified)
+            self._emit("ALTER_TABLE_RENAME", old_qualified,
+                       {"new_name": new_qualified})
+            return table
 
     def list_tables(self, database: str = "default") -> list[str]:
         return sorted(self.get_database(database).tables)
+
+    # ------------------------------------------------------------------ #
+    # table provenance (the Atlas integration point, Section 6)
+    def record_provenance(self, dst_table: str, src_table: str,
+                          kind: str, at_s: float) -> None:
+        """Upsert one dst←src data-flow edge (virtual-clock stamped)."""
+        key = (dst_table.lower(), src_table.lower(), kind)
+        with self._lock:
+            record = self._provenance.get(key)
+            if record is None:
+                self._provenance[key] = ProvenanceRecord(
+                    dst_table=key[0], src_table=key[1], kind=kind,
+                    first_at_s=at_s, last_at_s=at_s)
+                return
+            record.last_at_s = max(record.last_at_s, at_s)
+            record.statements += 1
+            # a fresh write into a previously-dropped name revives it
+            record.tombstoned = False
+
+    def provenance_rows(self) -> list[ProvenanceRecord]:
+        """Every provenance record (tombstones included), stable order."""
+        with self._lock:
+            return sorted(
+                (ProvenanceRecord(**vars(r))
+                 for r in self._provenance.values()),
+                key=lambda r: (r.dst_table, r.src_table, r.kind))
 
     # ------------------------------------------------------------------ #
     # partitions

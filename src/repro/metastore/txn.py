@@ -281,6 +281,27 @@ class TransactionManager:
                 (write_id, txn_id))
             return write_id
 
+    def rename_table(self, old_name: str, new_name: str) -> None:
+        """Move per-table write-id state to a renamed table's key.
+
+        Without this, a renamed ACID table's valid-write-id list would
+        restart at watermark 0 and readers would treat every existing
+        delta as uncommitted (invisible rows after RENAME).
+        """
+        old_name, new_name = old_name.lower(), new_name.lower()
+        with self._lock:
+            if old_name in self._write_id_counters:
+                self._write_id_counters[new_name] = \
+                    self._write_id_counters.pop(old_name)
+            if old_name in self._table_write_allocations:
+                self._table_write_allocations[new_name] = \
+                    self._table_write_allocations.pop(old_name)
+            self._committed_write_sets = [
+                (new_name if table == old_name else table,
+                 partition, txn_id, operation)
+                for table, partition, txn_id, operation
+                in self._committed_write_sets]
+
     def record_write_set(self, txn_id: int, table: str, partition: tuple,
                          operation: str) -> None:
         if operation not in ("insert", "update", "delete"):

@@ -40,6 +40,8 @@ __all__ = [
     "ClusterMonitor", "MonitorHttpServer", "render_prometheus",
     "parse_prometheus_text",
     "SysTableHandler", "render_explain_analyze",
+    "HookContext", "HookRegistry", "AuditLog", "AuditRecord",
+    "LineageGraph", "LineageEdge", "extract_lineage", "render_lineage",
     # adapted legacy stats objects (lazy re-exports)
     "CacheStats", "ResultsCacheStats", "QueryMetrics", "VertexMetrics",
     "ScanMetrics",
@@ -60,6 +62,14 @@ _LAZY = {
                               "parse_prometheus_text"),
     "render_explain_analyze": ("repro.obs.explain_analyze",
                                "render_explain_analyze"),
+    "HookContext": ("repro.obs.hooks", "HookContext"),
+    "HookRegistry": ("repro.obs.hooks", "HookRegistry"),
+    "AuditLog": ("repro.obs.audit", "AuditLog"),
+    "AuditRecord": ("repro.obs.audit", "AuditRecord"),
+    "LineageGraph": ("repro.obs.lineage", "LineageGraph"),
+    "LineageEdge": ("repro.obs.lineage", "LineageEdge"),
+    "extract_lineage": ("repro.obs.lineage", "extract_lineage"),
+    "render_lineage": ("repro.obs.lineage", "render_lineage"),
 }
 
 

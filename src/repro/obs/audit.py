@@ -1,0 +1,177 @@
+"""Per-tenant audit log: the ring buffer behind ``sys.audit_log``.
+
+One record per statement — successes, errors, kills, and admission
+denials alike — attributing every access to a tenant the way Hive's
+Ranger hook does in production deployments (Camacho-Rodriguez et al.,
+SIGMOD 2019, §6).  Each record carries the resolved input/output tables
+and the per-table column sets the statement actually touched (post
+column pruning), the rows it returned, and how long admission made it
+wait.
+
+Retention mirrors the query log: a bounded in-memory ring
+(``hive.audit.capacity``) whose evicted records spill to an
+:class:`AuditOverflow` store (optionally file-persisted as JSON lines),
+so ``sys.audit_log`` still covers long multi-tenant workloads.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..common import sync
+from collections import deque
+from dataclasses import dataclass, field, fields
+from typing import Optional
+
+
+@dataclass
+class AuditRecord:
+    query_id: int
+    tenant: str = "anonymous"
+    session: str = ""
+    database: str = "default"
+    application: Optional[str] = None
+    statement: str = ""
+    operation: str = ""
+    status: str = "ok"                 # ok | error | killed | denied
+    error: str = ""
+    #: resolved input tables (sorted), e.g. ["default.store_sales"]
+    input_tables: list = field(default_factory=list)
+    #: resolved output tables (sorted)
+    output_tables: list = field(default_factory=list)
+    #: per-table column access, as sorted "table.column" strings
+    columns: list = field(default_factory=list)
+    rows_returned: int = 0
+    rows_affected: int = 0
+    admission_wait_s: float = 0.0
+    total_s: float = 0.0
+    #: session virtual clock when the statement finished
+    at_s: float = 0.0
+    #: query-store identity; joins sys.audit_log to sys.query_store
+    fingerprint: str = ""
+
+    def as_row(self) -> tuple:
+        """Row shape of ``sys.audit_log`` (see obs.systables)."""
+        return (self.query_id, self.tenant, self.session, self.database,
+                self.application, self.statement, self.operation,
+                self.status, self.error,
+                ",".join(self.input_tables), ",".join(self.output_tables),
+                ",".join(self.columns), self.rows_returned,
+                self.rows_affected, self.admission_wait_s, self.total_s,
+                self.at_s, self.fingerprint)
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AuditRecord":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class AuditOverflow:
+    """Spill store for records evicted from the audit ring.
+
+    With a ``path`` the store persists records as append-only JSON
+    lines; without one it keeps them in memory, which still makes
+    ``sys.audit_log`` complete for long in-process workloads.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._lock = sync.new_lock('AuditOverflow._lock')
+        self._memory: list[AuditRecord] = []
+        self.spilled = 0
+
+    def append(self, record: AuditRecord) -> None:
+        with self._lock:
+            self.spilled += 1
+            if self.path is None:
+                self._memory.append(record)
+                return
+            with open(self.path, "a", encoding="utf-8") as sink:
+                sink.write(json.dumps(record.to_dict(), default=str))
+                sink.write("\n")
+
+    def entries(self) -> list[AuditRecord]:
+        with self._lock:
+            if self.path is None:
+                return list(self._memory)
+            try:
+                with open(self.path, encoding="utf-8") as source:
+                    return [AuditRecord.from_dict(json.loads(line))
+                            for line in source if line.strip()]
+            except FileNotFoundError:
+                return []
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+            self.spilled = 0
+            if self.path is not None:
+                with open(self.path, "w", encoding="utf-8"):
+                    pass
+
+
+class AuditLog:
+    """Bounded, thread-safe, append-only per-tenant audit trail.
+
+    The newest ``capacity`` records stay in the ring; older ones move to
+    the overflow store on eviction instead of vanishing.
+    """
+
+    def __init__(self, capacity: int = 1000,
+                 overflow: Optional[AuditOverflow] = None):
+        self._lock = sync.new_lock('AuditLog._lock')
+        self._capacity = max(1, int(capacity))
+        self._records: deque[AuditRecord] = deque()
+        self.recorded = 0
+        self.overflow = overflow if overflow is not None else AuditOverflow()
+
+    @property
+    def capacity(self) -> int:
+        with self._lock:
+            return self._capacity
+
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the ring; shrinking spills the excess immediately."""
+        with self._lock:
+            self._capacity = max(1, int(capacity))
+            self._spill_excess()
+
+    def _spill_excess(self) -> None:
+        # caller holds self._lock; overflow carries its own lock
+        while len(self._records) > self._capacity:
+            self.overflow.append(  # reprolint: disable=RL001
+                self._records.popleft())
+
+    def append(self, record: AuditRecord) -> None:
+        with self._lock:
+            self.recorded += 1
+            self._records.append(record)
+            self._spill_excess()
+
+    def entries(self) -> list[AuditRecord]:
+        """The in-memory ring only (newest ``capacity`` records)."""
+        with self._lock:
+            return list(self._records)
+
+    def all_entries(self) -> list[AuditRecord]:
+        """Spilled + ring records, oldest first — what sys tables read."""
+        spilled = self.overflow.entries()
+        with self._lock:
+            return spilled + list(self._records)
+
+    def by_tenant(self, tenant: str) -> list[AuditRecord]:
+        return [r for r in self.all_entries() if r.tenant == tenant]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.recorded = 0
+        # overflow synchronizes itself; don't nest its lock under ours
+        self.overflow.clear()  # reprolint: disable=RL001

@@ -85,9 +85,17 @@ def _render_tree(node: rel.RelNode, profile: ExecutionProfile,
 
 def render_explain_analyze(optimized, profile: ExecutionProfile,
                            reexecuted: bool = False,
-                           views_used: Optional[list] = None
+                           views_used: Optional[list] = None,
+                           inputs: Optional[list] = None,
+                           outputs: Optional[list] = None
                            ) -> list[str]:
-    """Annotated-plan lines for one executed query."""
+    """Annotated-plan lines for one executed query.
+
+    ``inputs``/``outputs`` are the hook-context's resolved table lists
+    — the driver passes the SAME resolution the audit log records, so
+    EXPLAIN ANALYZE and ``sys.audit_log`` cannot disagree about what a
+    statement touched.
+    """
     lines = _render_tree(optimized.root, profile)
     metrics = profile.metrics
     if metrics is not None:
@@ -150,4 +158,8 @@ def render_explain_analyze(optimized, profile: ExecutionProfile,
             f"-- materialized views: {', '.join(views_used)}")
     if reexecuted:
         lines.append("-- reexecuted: yes")
+    if inputs:
+        lines.append(f"-- inputs: {', '.join(inputs)}")
+    if outputs:
+        lines.append(f"-- outputs: {', '.join(outputs)}")
     return lines

@@ -117,6 +117,17 @@ def render_ui(obs) -> dict:
         faults = [{"query_id": f.query_id, "site": f.site,
                    "target": f.target, "detail": f.detail}
                   for f in obs.faults.events()[-20:]]
+    audit = [{"query_id": r.query_id, "tenant": r.tenant,
+              "operation": r.operation, "status": r.status,
+              "inputs": list(r.input_tables),
+              "outputs": list(r.output_tables),
+              "rows_returned": r.rows_returned, "at_s": r.at_s}
+             for r in obs.audit_log.entries()[-20:]]
+    lineage = [{"fingerprint": r.fingerprint,
+                "dst_table": r.dst_table,
+                "edges": len(r.edges), "executions": r.executions,
+                "at_s": r.at_s}
+               for r in obs.lineage_graph.records()[-20:]]
     return {
         "live_queries": live,
         "nodes": heatmap,
@@ -125,6 +136,11 @@ def render_ui(obs) -> dict:
         "timeseries": obs.timeseries.names(),
         "queries_logged": len(obs.query_log),
         "query_store": obs.query_store.ui_snapshot(),
+        "audit": {"records": len(obs.audit_log),
+                  "recent": audit},
+        "lineage": {"fingerprints": len(obs.lineage_graph),
+                    "edges": obs.lineage_graph.edge_count(),
+                    "recent": lineage},
     }
 
 

@@ -1,0 +1,269 @@
+"""Execution hooks: Hive's ecosystem integration point, reproduced.
+
+Production Hive fires pre/post-execution hooks around every statement;
+Apache Atlas consumes them for lineage and Apache Ranger for audit
+(Camacho-Rodriguez et al., SIGMOD 2019, §6).  This module provides the
+same shape: a :class:`HookRegistry` holding named hooks fired at three
+phases — ``pre_exec`` (after parse/fingerprint, before execution),
+``post_exec`` (statement succeeded) and ``on_failure`` (statement
+errored, was killed, or was denied) — from the single
+``Session.execute`` choke point, each receiving a :class:`HookContext`
+with the resolved inputs/outputs of the statement.
+
+Isolation contract: a hook can never change a statement's result or
+status.  Exceptions are caught, logged and counted (``hooks.errors``);
+a hook whose wall-clock runtime exceeds the ``hive.hook.timeout.s``
+budget is quarantined (skipped for subsequent statements, counted in
+``hooks.timeouts``).  Hooks run inline on the executing thread — the
+first over-budget run still blocks for its duration, a documented blind
+spot of the inline model (see DESIGN.md).
+
+The built-in lineage / audit / provenance hooks are ordinary
+registrations made by :func:`register_builtin_hooks`; user hooks go
+through ``HiveServer2.register_hook`` (reprolint RL013 flags hook
+registrations anywhere else).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+
+from ..common import sync
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+logger = logging.getLogger("repro.obs.hooks")
+
+#: hook phases, in firing order
+PRE_EXEC = "pre_exec"
+POST_EXEC = "post_exec"
+ON_FAILURE = "on_failure"
+PHASES = (PRE_EXEC, POST_EXEC, ON_FAILURE)
+
+
+@dataclass
+class HookContext:
+    """Everything a hook may observe about one statement.
+
+    Built by ``Session.execute``; enriched during compilation (optimized
+    plan, resolved inputs) and execution (rows, latency).  Mutating it
+    from a hook affects later hooks in the same statement but never the
+    statement itself.
+    """
+
+    query_id: int
+    sql: str = ""
+    fingerprint: str = ""
+    tenant: str = "anonymous"
+    session: str = ""
+    database: str = "default"
+    application: Optional[str] = None
+    operation: str = ""
+    status: str = "ok"                 # ok | error | killed | denied
+    error: str = ""
+    #: the OptimizedPlan of the (last) SELECT compiled for this
+    #: statement — None for pure DDL
+    optimized: object = None
+    input_tables: set = field(default_factory=set)
+    output_tables: set = field(default_factory=set)
+    #: table -> set of column names actually read (post column pruning)
+    input_columns: dict = field(default_factory=dict)
+    rows_produced: int = 0
+    rows_affected: int = 0
+    admission_wait_s: float = 0.0
+    total_s: float = 0.0               # virtual seconds, end to end
+    started_s: float = 0.0             # session virtual clock at start
+    wall_ms: float = 0.0
+
+    def add_input(self, table: str, columns=()) -> None:
+        self.input_tables.add(table)
+        self.input_columns.setdefault(table, set()).update(columns)
+
+    def add_output(self, table: str) -> None:
+        self.output_tables.add(table)
+
+    def inputs(self) -> list[str]:
+        return sorted(self.input_tables)
+
+    def outputs(self) -> list[str]:
+        return sorted(self.output_tables)
+
+    def column_refs(self) -> list[str]:
+        """Sorted ``table.column`` strings over every input column."""
+        return sorted(f"{table}.{column}"
+                      for table, columns in self.input_columns.items()
+                      for column in columns)
+
+
+@dataclass
+class HookEntry:
+    name: str
+    fn: Callable
+    phases: frozenset
+    builtin: bool = False
+    #: quarantined after a timeout — skipped until re-registered
+    disabled: bool = False
+    calls: int = 0
+    failures: int = 0
+
+
+class HookRegistry:
+    """Named hooks fired per phase, with error/timeout isolation."""
+
+    def __init__(self, metrics=None, timeout_s: float = 1.0):
+        self._lock = sync.new_lock('HookRegistry._lock')
+        self._hooks: list[HookEntry] = []
+        self.metrics = metrics
+        self.timeout_s = float(timeout_s)
+
+    def register(self, name: str, fn: Callable, phases=PHASES,
+                 builtin: bool = False) -> HookEntry:
+        """Add (or replace, by name) a hook.
+
+        ``fn`` is called as ``fn(phase, ctx)``.  Re-registering a
+        quarantined name re-enables it.
+        """
+        entry = HookEntry(name=name, fn=fn,
+                          phases=frozenset(phases), builtin=builtin)
+        with self._lock:
+            self._hooks = [h for h in self._hooks if h.name != name]
+            self._hooks.append(entry)
+        return entry
+
+    def unregister(self, name: str) -> bool:
+        with self._lock:
+            before = len(self._hooks)
+            self._hooks = [h for h in self._hooks if h.name != name]
+            return len(self._hooks) != before
+
+    def hooks(self) -> list[HookEntry]:
+        with self._lock:
+            return list(self._hooks)
+
+    def set_timeout(self, timeout_s: float) -> None:
+        with self._lock:
+            self.timeout_s = float(timeout_s)
+
+    def fire(self, phase: str, ctx: HookContext) -> None:
+        """Run every enabled hook registered for ``phase``.
+
+        Never raises: hook exceptions and timeouts are absorbed here so
+        the statement's outcome is exactly what it would have been with
+        no hooks installed.
+        """
+        with self._lock:
+            snapshot = list(self._hooks)
+            budget = self.timeout_s
+        for entry in snapshot:
+            if entry.disabled or phase not in entry.phases:
+                continue
+            started = time.perf_counter()
+            try:
+                entry.fn(phase, ctx)
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                logger.warning("hook %s failed in %s: %s",
+                               entry.name, phase, exc)
+                self._count("hooks.errors", entry.name, phase)
+                with self._lock:
+                    entry.failures += 1
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                entry.calls += 1
+                if elapsed > budget:
+                    entry.disabled = True
+            self._count("hooks.fired", entry.name, phase)
+            if elapsed > budget:
+                logger.warning(
+                    "hook %s exceeded %.3fs budget (%.3fs); quarantined",
+                    entry.name, budget, elapsed)
+                self._count("hooks.timeouts", entry.name, phase)
+
+    def _count(self, name: str, hook: str, phase: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, hook=hook, phase=phase).inc()
+
+
+# --------------------------------------------------------------------------- #
+# built-in hooks (Atlas/Ranger equivalents)
+
+#: operation → provenance kind for table→table edges
+_PROVENANCE_KINDS = {
+    "create_table": "ctas",
+    "insert": "insert",
+    "multi_insert": "insert",
+    "merge": "insert",
+    "create_materialized_view": "mv",
+    "rebuild": "mv",
+}
+
+
+def make_audit_hook(audit_log) -> Callable:
+    """Ranger-style hook: one AuditRecord per finished statement."""
+    from .audit import AuditRecord
+
+    def audit_hook(phase: str, ctx: HookContext) -> None:
+        record = AuditRecord(
+            query_id=ctx.query_id, tenant=ctx.tenant,
+            session=ctx.session, database=ctx.database,
+            application=ctx.application, statement=ctx.sql,
+            operation=ctx.operation, status=ctx.status, error=ctx.error,
+            input_tables=ctx.inputs(), output_tables=ctx.outputs(),
+            columns=ctx.column_refs(), rows_returned=ctx.rows_produced,
+            rows_affected=ctx.rows_affected,
+            admission_wait_s=ctx.admission_wait_s, total_s=ctx.total_s,
+            at_s=ctx.started_s + ctx.total_s,
+            fingerprint=ctx.fingerprint)
+        audit_log.append(record)
+
+    return audit_hook
+
+
+def make_lineage_hook(graph) -> Callable:
+    """Atlas-style hook: column-level edges into the lineage graph."""
+    from .lineage import extract_lineage
+
+    def lineage_hook(phase: str, ctx: HookContext) -> None:
+        if not graph.enabled or ctx.optimized is None:
+            return
+        edges = extract_lineage(ctx.optimized.root)
+        dst = ctx.outputs()
+        graph.record(fingerprint=ctx.fingerprint, statement=ctx.sql,
+                     query_id=ctx.query_id,
+                     at_s=ctx.started_s + ctx.total_s, edges=edges,
+                     dst_table=dst[0] if dst else "")
+
+    return lineage_hook
+
+
+def make_provenance_hook(hms) -> Callable:
+    """Registers table→table provenance in the metastore for
+    CTAS / INSERT / MV statements (survives rename, tombstoned on
+    drop — see HiveMetastore.record_provenance)."""
+
+    def provenance_hook(phase: str, ctx: HookContext) -> None:
+        kind = _PROVENANCE_KINDS.get(ctx.operation)
+        if kind is None or not ctx.output_tables:
+            return
+        at_s = ctx.started_s + ctx.total_s
+        for dst in ctx.outputs():
+            for src in ctx.inputs():
+                if src != dst:
+                    hms.record_provenance(dst, src, kind, at_s)
+
+    return provenance_hook
+
+
+def register_builtin_hooks(registry: HookRegistry, obs, hms) -> None:
+    """Install the lineage / audit / provenance hooks on a server.
+
+    These are ordinary registrations — the statement pipeline has no
+    special-cased knowledge of them, so dropping ``unregister("audit")``
+    genuinely turns auditing off.
+    """
+    registry.register("lineage", make_lineage_hook(obs.lineage_graph),
+                      phases=(POST_EXEC,), builtin=True)
+    registry.register("provenance", make_provenance_hook(hms),
+                      phases=(POST_EXEC,), builtin=True)
+    registry.register("audit", make_audit_hook(obs.audit_log),
+                      phases=(POST_EXEC, ON_FAILURE), builtin=True)

@@ -1,0 +1,281 @@
+"""Column-level lineage: plan-walk extraction and the lineage graph.
+
+What Apache Atlas gets from Hive's post-execution hook (SIGMOD 2019,
+§6), reproduced over our own optimized plans: every output column of a
+statement is traced back to the base-table columns it derives from,
+with an edge kind describing *how* the value flows —
+
+``PROJECTION``
+    the column is a straight copy of a base column;
+``EXPRESSION``
+    the column is computed from the source via a scalar expression;
+``AGGREGATION``
+    the source is folded through an aggregate or window function;
+``JOIN-KEY`` / ``FILTER``
+    predicate edges: the source column did not produce output values
+    but decided *which* rows appear (join conditions, WHERE clauses and
+    pushed-down sargable predicates).  Predicate edges target the
+    pseudo-column ``*``.
+
+Extraction runs bottom-up over the optimized RelNode tree, so it sees
+exactly what executes: pruned columns never appear, and expressions
+folded away by the optimizer leave PROJECTION edges, not EXPRESSION
+ones.  Edges are persisted into a bounded, virtual-clock-stamped
+:class:`LineageGraph` keyed by statement fingerprint — the store behind
+``sys.lineage_edges`` and ``EXPLAIN LINEAGE``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field, fields
+
+from ..common import sync
+from ..plan.relnodes import (Aggregate, Filter, Join, Limit, Project,
+                             RelNode, SetOp, Sort, TableScan, Union,
+                             Values, Window)
+from ..plan.rexnodes import RexInputRef, RexNode
+
+PROJECTION = "PROJECTION"
+EXPRESSION = "EXPRESSION"
+AGGREGATION = "AGGREGATION"
+JOIN_KEY = "JOIN-KEY"
+FILTER = "FILTER"
+
+#: how "transformed" a data edge is; upgrades never downgrade
+_RANK = {PROJECTION: 0, EXPRESSION: 1, AGGREGATION: 2}
+
+
+@dataclass(frozen=True, order=True)
+class LineageEdge:
+    """One dependency edge: dst_column derives from src_table.src_column.
+
+    ``dst_column`` is the output-column name, or ``*`` for predicate
+    edges (JOIN-KEY / FILTER) that select rows rather than produce
+    values.
+    """
+
+    src_table: str
+    src_column: str
+    dst_column: str
+    kind: str
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LineageEdge":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+# --------------------------------------------------------------------------- #
+# extraction
+
+def extract_lineage(root: RelNode) -> list[LineageEdge]:
+    """Column-level edges for one optimized plan, deterministically
+    ordered (output-schema order, then sorted sources; predicate edges
+    last)."""
+    predicates: set[tuple[str, str, str]] = set()
+    deps = _column_deps(root, predicates)
+    edges: list[LineageEdge] = []
+    for name, dep in zip(root.schema.names(), deps):
+        for table, column, kind in sorted(dep):
+            edges.append(LineageEdge(table, column, name, kind))
+    for table, column, kind in sorted(predicates):
+        edges.append(LineageEdge(table, column, "*", kind))
+    return edges
+
+
+def _upgrade(deps: set, kind: str) -> set:
+    """Lift every dep to at least ``kind`` severity."""
+    return {(table, column,
+             kind if _RANK[kind] > _RANK[existing] else existing)
+            for table, column, existing in deps}
+
+
+def _expr_deps(expr: RexNode, child: list[set]) -> set:
+    """Deps of one Rex expression over its input's per-ordinal deps."""
+    if isinstance(expr, RexInputRef):
+        return child[expr.index]
+    merged: set = set()
+    for ordinal in expr.input_refs():
+        merged |= child[ordinal]
+    return _upgrade(merged, EXPRESSION)
+
+
+def _predicate_refs(expr: RexNode, child: list[set], kind: str,
+                    predicates: set) -> None:
+    """Record the base columns an executed predicate touches."""
+    for ordinal in expr.input_refs():
+        for table, column, _ in child[ordinal]:
+            predicates.add((table, column, kind))
+
+
+def _column_deps(node: RelNode, predicates: set) -> list[set]:
+    """Per-output-ordinal sets of ``(table, column, kind)`` triples;
+    predicate triples accumulate into ``predicates`` as a side channel.
+    """
+    if isinstance(node, TableScan):
+        deps = [{(node.table_name, column.name, PROJECTION)}
+                for column in node.schema]
+        # pushed-down sargable predicates execute inside the scan
+        for conjunct in node.sarg_conjuncts:
+            _predicate_refs(conjunct, deps, FILTER, predicates)
+        return deps
+    if isinstance(node, Values):
+        return [set() for _ in node.schema]
+    if isinstance(node, Filter):
+        child = _column_deps(node.input, predicates)
+        _predicate_refs(node.condition, child, FILTER, predicates)
+        return child
+    if isinstance(node, Project):
+        child = _column_deps(node.input, predicates)
+        return [_expr_deps(expr, child) for expr in node.exprs]
+    if isinstance(node, Aggregate):
+        child = _column_deps(node.input, predicates)
+        deps = [child[key] for key in node.group_keys]
+        for call in node.agg_calls:
+            deps.append(set() if call.arg is None
+                        else _upgrade(child[call.arg], AGGREGATION))
+        if node.grouping_sets is not None:
+            deps.append(set())           # synthetic grouping_id
+        return deps
+    if isinstance(node, Window):
+        child = _column_deps(node.input, predicates)
+        deps = list(child)
+        for call in node.calls:
+            deps.append(set() if call.arg is None
+                        else _upgrade(child[call.arg], AGGREGATION))
+        return deps
+    if isinstance(node, Join):
+        left = _column_deps(node.left, predicates)
+        right = _column_deps(node.right, predicates)
+        combined = left + right          # condition row type (raw concat)
+        if node.condition is not None:
+            _predicate_refs(node.condition, combined, JOIN_KEY,
+                            predicates)
+        if node.kind in ("semi", "anti"):
+            return left
+        return combined
+    if isinstance(node, Union):
+        branches = [_column_deps(rel, predicates) for rel in node.rels]
+        return [set().union(*(branch[i] for branch in branches))
+                for i in range(len(node.schema))]
+    if isinstance(node, SetOp):
+        left = _column_deps(node.left, predicates)
+        right = _column_deps(node.right, predicates)
+        return [left[i] | right[i] for i in range(len(node.schema))]
+    if isinstance(node, (Sort, Limit)):
+        return _column_deps(node.input, predicates)
+    # unknown operator: opaque — no false edges, just unknown provenance
+    return [set() for _ in node.schema]
+
+
+# --------------------------------------------------------------------------- #
+# rendering (EXPLAIN LINEAGE)
+
+def render_lineage(root: RelNode) -> list[str]:
+    """The ``EXPLAIN LINEAGE`` body: one block per output column, then
+    the predicate (row-selection) edges."""
+    edges = extract_lineage(root)
+    lines = ["LINEAGE"]
+    for name in root.schema.names():
+        lines.append(f"  column {name}")
+        data = [e for e in edges if e.dst_column == name]
+        if not data:
+            lines.append("    <- (constant or opaque)")
+        for edge in data:
+            lines.append(f"    <- {edge.src_table}.{edge.src_column} "
+                         f"[{edge.kind}]")
+    preds = [e for e in edges if e.dst_column == "*"]
+    if preds:
+        lines.append("  predicates")
+        for edge in preds:
+            lines.append(f"    <- {edge.src_table}.{edge.src_column} "
+                         f"[{edge.kind}]")
+    return lines
+
+
+# --------------------------------------------------------------------------- #
+# the graph store
+
+@dataclass
+class LineageRecord:
+    """Lineage of one statement fingerprint (latest plan wins)."""
+
+    fingerprint: str
+    statement: str
+    query_id: int
+    at_s: float                        # virtual clock at extraction
+    dst_table: str = ""                # "" for plain SELECTs
+    edges: list = field(default_factory=list)
+    executions: int = 1
+
+
+class LineageGraph:
+    """Bounded LRU of per-fingerprint lineage, virtual-clock stamped.
+
+    Re-recording a fingerprint refreshes its edges (the plan may have
+    changed) and bumps its execution count; at capacity the least
+    recently touched fingerprint is evicted (``lineage.evictions``).
+    """
+
+    def __init__(self, capacity: int = 512, enabled: bool = True):
+        self._lock = sync.new_lock('LineageGraph._lock')
+        self._records: OrderedDict[str, LineageRecord] = OrderedDict()
+        self._capacity = max(1, int(capacity))
+        self.enabled = bool(enabled)
+        self.evictions = 0
+        self.recorded = 0
+
+    @property
+    def capacity(self) -> int:
+        with self._lock:
+            return self._capacity
+
+    def set_capacity(self, capacity: int) -> None:
+        with self._lock:
+            self._capacity = max(1, int(capacity))
+            self._evict_excess()
+
+    def _evict_excess(self) -> None:
+        # caller holds self._lock
+        while len(self._records) > self._capacity:
+            self._records.popitem(last=False)
+            self.evictions += 1  # reprolint: disable=RL001
+
+    def record(self, fingerprint: str, statement: str, query_id: int,
+               at_s: float, edges: list, dst_table: str = "") -> None:
+        with self._lock:
+            self.recorded += 1
+            existing = self._records.pop(fingerprint, None)
+            record = LineageRecord(
+                fingerprint=fingerprint, statement=statement,
+                query_id=query_id, at_s=at_s, dst_table=dst_table,
+                edges=list(edges),
+                executions=existing.executions + 1 if existing else 1)
+            self._records[fingerprint] = record
+            self._evict_excess()
+
+    def records(self) -> list[LineageRecord]:
+        with self._lock:
+            return list(self._records.values())
+
+    def get(self, fingerprint: str) -> LineageRecord | None:
+        with self._lock:
+            return self._records.get(fingerprint)
+
+    def edge_count(self) -> int:
+        with self._lock:
+            return sum(len(r.edges) for r in self._records.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.evictions = 0
+            self.recorded = 0

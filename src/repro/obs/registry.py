@@ -147,6 +147,26 @@ METRIC_HELP: dict[str, str] = {
         "latency-regression events detected (window p95 vs. baseline)",
     "qstore.evictions":
         "fingerprints evicted from the query store at capacity",
+    "hooks.fired": "execution-hook invocations, by hook and phase",
+    "hooks.errors":
+        "execution-hook exceptions absorbed (statement unaffected), "
+        "by hook and phase",
+    "hooks.timeouts":
+        "execution hooks quarantined for exceeding hive.hook.timeout.s, "
+        "by hook and phase",
+    "audit.records": "audit records written (ring + spilled)",
+    "audit.ring": "audit records currently resident in the ring",
+    "audit.spilled": "audit records spilled to the overflow store",
+    "lineage.fingerprints":
+        "statement fingerprints with recorded column lineage",
+    "lineage.edges":
+        "column-level dependency edges resident in the lineage graph",
+    "lineage.recorded": "lineage extractions recorded (incl. refreshes)",
+    "lineage.evictions":
+        "fingerprints evicted from the lineage graph at capacity",
+    "lineage.table_edges":
+        "table-to-table provenance records in the metastore "
+        "(incl. tombstones)",
 }
 
 

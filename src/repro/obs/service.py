@@ -24,7 +24,10 @@ from collections import deque
 from typing import Optional
 
 from ..llap.workload import WmEventLog
+from .audit import AuditLog, AuditOverflow
 from .cluster import ClusterMonitor
+from .hooks import HookRegistry
+from .lineage import LineageGraph
 from .live import LiveQueryRegistry
 from .query_log import QueryLog, QueryLogEntry, QueryLogOverflow
 from .query_store import QueryStore
@@ -39,12 +42,23 @@ class Observability:
     def __init__(self, log_capacity: int = 1000,
                  trace_capacity: int = 64,
                  overflow_path: Optional[str] = None,
-                 timeseries_capacity: int = 512):
+                 timeseries_capacity: int = 512,
+                 audit_capacity: int = 1000,
+                 audit_overflow_path: Optional[str] = None,
+                 lineage_capacity: int = 512,
+                 lineage_enabled: bool = True,
+                 hook_timeout_s: float = 1.0):
         # the server registry refuses undocumented metric names
         self.registry = MetricsRegistry(require_help=True)
         self.query_log = QueryLog(
             log_capacity, overflow=QueryLogOverflow(overflow_path))
         self.query_store = QueryStore()
+        self.audit_log = AuditLog(
+            audit_capacity, overflow=AuditOverflow(audit_overflow_path))
+        self.lineage_graph = LineageGraph(
+            capacity=lineage_capacity, enabled=lineage_enabled)
+        self.hooks = HookRegistry(metrics=self.registry,
+                                  timeout_s=hook_timeout_s)
         self.wm_events = WmEventLog()
         self.timeseries = TimeseriesStore(capacity=timeseries_capacity)
         self.live_queries = LiveQueryRegistry(
@@ -69,6 +83,7 @@ class Observability:
         self._sys_ready = False
         self._register_lint_gauges()
         self._register_qstore_gauges()
+        self._register_audit_lineage_gauges()
 
     def _register_lint_gauges(self) -> None:
         """Lock-sanitizer visibility (``lint.*``).  Registered
@@ -117,11 +132,35 @@ class Observability:
         reg.register_callback("qstore.evictions",
                               lambda: float(store.evictions))
 
+    def _register_audit_lineage_gauges(self) -> None:
+        """Audit/lineage visibility (``audit.*`` / ``lineage.*``).
+
+        ``lineage.table_edges`` is registered lazily by
+        ``bind_server`` — the metastore isn't known at construction."""
+        audit, graph = self.audit_log, self.lineage_graph
+        reg = self.registry
+        reg.register_callback("audit.records",
+                              lambda: float(audit.recorded))
+        reg.register_callback("audit.ring", lambda: float(len(audit)))
+        reg.register_callback("audit.spilled",
+                              lambda: float(audit.overflow.spilled))
+        reg.register_callback("lineage.fingerprints",
+                              lambda: float(len(graph)))
+        reg.register_callback("lineage.edges",
+                              lambda: float(graph.edge_count()))
+        reg.register_callback("lineage.recorded",
+                              lambda: float(graph.recorded))
+        reg.register_callback("lineage.evictions",
+                              lambda: float(graph.evictions))
+
     # -- wiring --------------------------------------------------------- #
     def bind_server(self, hms, workload_manager) -> None:
         with self._lock:
             self.hms = hms
             self.workload_manager = workload_manager
+        self.registry.register_callback(
+            "lineage.table_edges",
+            lambda: float(len(hms.provenance_rows())))
 
     def bind_faults(self, faults) -> None:
         """Attach the fault registry so ``sys.fault_log`` can serve it."""

@@ -39,7 +39,17 @@ Tables:
 * ``sys.query_store`` / ``sys.query_store_plans`` /
   ``sys.query_store_events`` — fingerprint-level workload history,
   per-plan-hash stats and deduplicated plan-change/regression
-  findings; join ``sys.query_log`` on ``fingerprint``.
+  findings; join ``sys.query_log`` on ``fingerprint``,
+* ``sys.audit_log``     — one row per statement with tenant
+  attribution, the resolved tables/columns it touched and its outcome
+  (incl. ``killed`` / ``denied``); join ``sys.query_store`` on
+  ``fingerprint``,
+* ``sys.lineage_edges`` — column-level dependency edges from the
+  lineage graph (``dst_column = '*'`` marks JOIN-KEY/FILTER predicate
+  edges),
+* ``sys.lineage_tables`` — table→table provenance from CTAS/INSERT/MV
+  statements, with each source table's current plan version — what a
+  DDL on the source will invalidate downstream.
 """
 
 from __future__ import annotations
@@ -188,6 +198,31 @@ QUERY_STORE_EVENTS_SCHEMA = Schema([
     Column("factor", DOUBLE), Column("detail", STRING),
     Column("at_s", DOUBLE), Column("count", BIGINT)])
 
+AUDIT_LOG_SCHEMA = Schema([
+    Column("query_id", BIGINT), Column("tenant", STRING),
+    Column("session", STRING), Column("db", STRING),
+    Column("application", STRING), Column("statement", STRING),
+    Column("operation", STRING), Column("status", STRING),
+    Column("error", STRING), Column("input_tables", STRING),
+    Column("output_tables", STRING), Column("columns", STRING),
+    Column("rows_returned", BIGINT), Column("rows_affected", BIGINT),
+    Column("admission_wait_s", DOUBLE), Column("total_s", DOUBLE),
+    Column("at_s", DOUBLE), Column("fingerprint", STRING)])
+
+LINEAGE_EDGES_SCHEMA = Schema([
+    Column("fingerprint", STRING), Column("dst_table", STRING),
+    Column("dst_column", STRING), Column("src_table", STRING),
+    Column("src_column", STRING), Column("kind", STRING),
+    Column("query_id", BIGINT), Column("at_s", DOUBLE),
+    Column("executions", BIGINT)])
+
+LINEAGE_TABLES_SCHEMA = Schema([
+    Column("dst_table", STRING), Column("src_table", STRING),
+    Column("kind", STRING), Column("statements", BIGINT),
+    Column("first_at_s", DOUBLE), Column("last_at_s", DOUBLE),
+    Column("tombstoned", BOOLEAN),
+    Column("src_plan_version", BIGINT)])
+
 LINT_FINDINGS_SCHEMA = Schema([
     Column("finding_id", BIGINT), Column("source", STRING),
     Column("kind", STRING), Column("locks", STRING),
@@ -215,6 +250,9 @@ SYS_TABLES: dict[str, Schema] = {
     "query_store": QUERY_STORE_SCHEMA,
     "query_store_plans": QUERY_STORE_PLANS_SCHEMA,
     "query_store_events": QUERY_STORE_EVENTS_SCHEMA,
+    "audit_log": AUDIT_LOG_SCHEMA,
+    "lineage_edges": LINEAGE_EDGES_SCHEMA,
+    "lineage_tables": LINEAGE_TABLES_SCHEMA,
 }
 
 
@@ -355,6 +393,31 @@ class SysTableHandler(StorageHandler):
 
     def _rows_query_store_events(self) -> list[tuple]:
         return self.obs.query_store.rows_events()
+
+    def _rows_audit_log(self) -> list[tuple]:
+        # ring + spilled overflow, like sys.query_log
+        return [r.as_row() for r in self.obs.audit_log.all_entries()]
+
+    def _rows_lineage_edges(self) -> list[tuple]:
+        rows: list[tuple] = []
+        for record in self.obs.lineage_graph.records():
+            for edge in record.edges:
+                rows.append((record.fingerprint, record.dst_table,
+                             edge.dst_column, edge.src_table,
+                             edge.src_column, edge.kind,
+                             record.query_id, record.at_s,
+                             record.executions))
+        return rows
+
+    def _rows_lineage_tables(self) -> list[tuple]:
+        hms = self.obs.hms
+        if hms is None:
+            return []
+        records = hms.provenance_rows()
+        versions = hms.plan_versions([r.src_table for r in records])
+        return [(r.dst_table, r.src_table, r.kind, r.statements,
+                 r.first_at_s, r.last_at_s, r.tombstoned,
+                 versions.get(r.src_table, 0)) for r in records]
 
     def _rows_lint_findings(self) -> list[tuple]:
         """Runtime lock-sanitizer findings; empty when the process

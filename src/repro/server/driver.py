@@ -38,6 +38,8 @@ from ..metastore.txn import (AcidHouseKeeper, DeltaWriteIdList,
                              ValidWriteIdList)
 from ..obs import Observability
 from ..obs import fingerprint as fingerprints
+from ..obs.hooks import (HookContext, ON_FAILURE, PHASES, POST_EXEC,
+                         PRE_EXEC, register_builtin_hooks)
 from ..obs.profile import ExecutionProfile
 from ..obs.query_log import QueryLogEntry
 from ..optimizer import OptimizedPlan, Optimizer
@@ -98,7 +100,11 @@ class HiveServer2:
         self.conf.validate()
         self.obs = Observability(
             log_capacity=self.conf.obs_query_log_capacity,
-            timeseries_capacity=self.conf.monitor_timeseries_capacity)
+            timeseries_capacity=self.conf.monitor_timeseries_capacity,
+            audit_capacity=self.conf.audit_capacity,
+            lineage_capacity=self.conf.lineage_capacity,
+            lineage_enabled=self.conf.lineage_enabled,
+            hook_timeout_s=self.conf.hook_timeout_s)
         self.faults = FaultRegistry.from_conf(
             self.conf, metrics=self.obs.registry)
         self.fs = SimFileSystem()
@@ -131,6 +137,8 @@ class HiveServer2:
         # absorb the pre-existing stats fragments into the registry
         self.obs.bind_server(self.hms, self.workload_manager)
         self.obs.bind_faults(self.faults)
+        # Atlas/Ranger-style built-ins are ordinary hook registrations
+        register_builtin_hooks(self.obs.hooks, self.obs, self.hms)
         self.obs.bind_cache(
             "llap", self.llap_cache.stats,
             extra={"used_bytes": lambda: self.llap_cache.used_bytes,
@@ -156,6 +164,17 @@ class HiveServer2:
     def connect(self, database: str = "default",
                 application: Optional[str] = None) -> "Session":
         return Session(self, database, application)
+
+    def register_hook(self, name: str, fn, phases=PHASES):
+        """Install a user execution hook (Section 6 ecosystem point).
+
+        ``fn`` is called as ``fn(phase, ctx)`` with a
+        :class:`repro.obs.hooks.HookContext`; errors and over-budget
+        runtimes are isolated by the registry and can never change a
+        statement's result.  This is the sanctioned registration path
+        (reprolint RL013 flags registrations made anywhere else).
+        """
+        return self.obs.hooks.register(name, fn, phases=phases)
 
     def register_storage_handler(self, name: str, handler) -> None:
         """Plug in an external engine (Section 6.1)."""
@@ -226,6 +245,14 @@ class Session:
         self.conf = server.conf.copy()
         self.now_s = 0.0           # virtual clock across this session
         self._trace = None         # QueryTrace of the statement in flight
+        # audit attribution — the serving layer stamps these at open
+        # time; a bare connect() runs as the anonymous tenant
+        self.tenant = "anonymous"
+        self.session_name = ""
+        #: admission wait attributed to the NEXT statement (set by the
+        #: serving layer after the queued phase, consumed by execute)
+        self.pending_admission_wait_s = 0.0
+        self._hook_ctx: Optional[HookContext] = None
         # multi-statement transaction state (§9 roadmap)
         self._active_txn: Optional[int] = None
         self._txn_snapshot = None
@@ -249,6 +276,14 @@ class Session:
         started_s = self.now_s
         operation = ""
         fingerprint = ""
+        trace.root.attrs["tenant"] = self.tenant
+        ctx = HookContext(
+            query_id=trace.query_id, sql=sql, tenant=self.tenant,
+            session=self.session_name, database=self.database,
+            application=self.application, started_s=started_s,
+            admission_wait_s=self.pending_admission_wait_s)
+        self.pending_admission_wait_s = 0.0
+        self._hook_ctx = ctx
         obs.live_queries.register(
             trace.query_id, sql, database=self.database,
             application=self.application, started_s=started_s)
@@ -264,6 +299,9 @@ class Session:
                     cached_plan.canonical)
                 obs.query_store.register_live(trace.query_id,
                                               fingerprint)
+                ctx.operation = operation
+                ctx.fingerprint = fingerprint
+                obs.hooks.fire(PRE_EXEC, ctx)
                 result = self._run_cached_plan(cached_plan)
             else:
                 with trace.span("parse"):
@@ -274,6 +312,9 @@ class Session:
                     statement.unparse())
                 obs.query_store.register_live(trace.query_id,
                                               fingerprint)
+                ctx.operation = operation
+                ctx.fingerprint = fingerprint
+                obs.hooks.fire(PRE_EXEC, ctx)
                 result = self._dispatch(statement)
         except Exception as error:
             status = ("killed" if isinstance(error, QueryKilledError)
@@ -290,9 +331,17 @@ class Session:
                 started_s=started_s,
                 wall_ms=trace.root.wall_s * 1000.0,
                 fingerprint=fingerprint))
+            trace.root.attrs["fingerprint"] = fingerprint
+            ctx.status = status
+            ctx.error = str(error)
+            ctx.operation = operation
+            ctx.fingerprint = fingerprint
+            ctx.wall_ms = trace.root.wall_s * 1000.0
+            obs.hooks.fire(ON_FAILURE, ctx)
             raise
         finally:
             self._trace = None
+            self._hook_ctx = None
             obs.query_store.forget_live(trace.query_id)
         if result.metrics is not None:
             self.now_s += result.metrics.total_s
@@ -306,6 +355,17 @@ class Session:
         obs.record_query(
             entry, plan_hash=fingerprints.hash_plan_text(plan_explain),
             plan_explain=plan_explain)
+        trace.root.attrs["fingerprint"] = fingerprint
+        ctx.status = "ok"
+        ctx.operation = result.operation
+        ctx.fingerprint = fingerprint
+        ctx.rows_produced = len(result.rows)
+        ctx.rows_affected = result.rows_affected
+        ctx.total_s = result.metrics.total_s if result.metrics else 0.0
+        ctx.wall_ms = trace.root.wall_s * 1000.0
+        if ctx.optimized is None and result.optimized is not None:
+            self._note_plan_inputs(result.optimized, ctx=ctx)
+        obs.hooks.fire(POST_EXEC, ctx)
         return result
 
     def _tick_txn_clock(self) -> None:
@@ -383,6 +443,26 @@ class Session:
             self.server.obs.live_queries.update(
                 self._trace.query_id, phase=phase)
 
+    def _note_plan_inputs(self, optimized: OptimizedPlan,
+                          ctx: Optional[HookContext] = None) -> None:
+        """Resolve the statement's inputs from its optimized plan.
+
+        Every scan surviving optimization contributes its table and the
+        post-pruning column set; EXPLAIN ANALYZE, the audit log and the
+        lineage hook all read this one resolution so they cannot drift.
+        """
+        ctx = ctx or self._hook_ctx
+        if ctx is None or optimized is None:
+            return
+        ctx.optimized = optimized
+        for scan in rel.find_scans(optimized.root):
+            ctx.add_input(scan.table_name, scan.schema.names())
+
+    def _note_output(self, table_name: str) -> None:
+        """Record a table this statement writes (CTAS/INSERT/MV/...)."""
+        if self._hook_ctx is not None:
+            self._hook_ctx.add_output(table_name)
+
     def _dispatch(self, statement: ast.Statement) -> QueryResult:
         if isinstance(statement, ast.SelectStatement):
             return self._run_select(statement.query)
@@ -393,6 +473,8 @@ class Session:
                 return self._explain_validate(statement.statement)
             if statement.history:
                 return self._explain_history(statement.statement)
+            if statement.lineage:
+                return self._explain_lineage(statement.statement)
             return self._explain(statement.statement)
         if isinstance(statement, ast.CreateDatabase):
             self.hms.create_database(statement.name,
@@ -404,6 +486,8 @@ class Session:
             return self._create_materialized_view(statement)
         if isinstance(statement, ast.AlterMaterializedViewRebuild):
             return self._rebuild_materialized_view(statement)
+        if isinstance(statement, ast.AlterTableRename):
+            return self._alter_table_rename(statement)
         if isinstance(statement, ast.DropTable):
             return self._drop_table(statement)
         if isinstance(statement, ast.Insert):
@@ -718,6 +802,9 @@ class Session:
                         optimized = optimizer.optimize(plan)
         if conf.runtime_stats_feedback:
             self.hms.record_runtime_stats(ctx.runtime_stats)
+        # resolve hook-context inputs from the plan that actually ran
+        # (after any reoptimization), post column pruning
+        self._note_plan_inputs(optimized)
         result = QueryResult(
             rows=batch.to_rows(),
             column_names=[c.name for c in batch.schema],
@@ -868,15 +955,43 @@ class Session:
             raise AnalysisError("EXPLAIN ANALYZE supports queries only")
         result = self._run_select(statement.query, use_cache=False)
         from ..obs.explain_analyze import render_explain_analyze
+        # the inputs/outputs footer reads the hook context, the SAME
+        # resolution the audit log gets — the two surfaces cannot drift
+        ctx = self._hook_ctx
         lines = render_explain_analyze(
             result.optimized, result.profile,
-            reexecuted=result.reexecuted, views_used=result.views_used)
+            reexecuted=result.reexecuted, views_used=result.views_used,
+            inputs=ctx.inputs() if ctx is not None else None,
+            outputs=ctx.outputs() if ctx is not None else None)
         return QueryResult(rows=[(line,) for line in lines],
                            column_names=["plan"],
                            operation="explain_analyze",
                            metrics=result.metrics,
                            optimized=result.optimized,
                            profile=result.profile)
+
+    def _explain_lineage(self, statement: ast.Statement) -> QueryResult:
+        """EXPLAIN LINEAGE: per-output-column dependency edges.
+
+        Compiles (never executes) the query and walks the optimized
+        plan with the same extractor the lineage hook uses, so the
+        rendered tree matches what ``sys.lineage_edges`` would record.
+        """
+        if not isinstance(statement, ast.SelectStatement):
+            raise AnalysisError("EXPLAIN LINEAGE supports queries only")
+        plan = self._analyzer().analyze_query(statement.query)
+        optimizer = Optimizer(
+            self.hms, self.conf,
+            view_provider=lambda: self.server.view_definitions(self.now_s),
+            federation_rule=self.server.federation_rule(),
+            trace=self._trace)
+        optimized = optimizer.optimize(plan)
+        from ..obs.lineage import render_lineage
+        lines = render_lineage(optimized.root)
+        return QueryResult(rows=[(line,) for line in lines],
+                           column_names=["lineage"],
+                           operation="explain_lineage",
+                           optimized=optimized)
 
     # ------------------------------------------------------------------ #
     # DDL
@@ -958,6 +1073,7 @@ class Session:
             inferred = handler.infer_schema(table)
             if inferred is not None and not len(schema):
                 table.schema = inferred
+        self._note_output(table.qualified_name)
         return table
 
     def _drop_table(self, statement: ast.DropTable) -> QueryResult:
@@ -990,6 +1106,21 @@ class Session:
             self.hms.lock_manager.release_all(txn)
         return QueryResult(operation="drop_table")
 
+    def _alter_table_rename(
+            self, statement: ast.AlterTableRename) -> QueryResult:
+        """ALTER TABLE t RENAME TO u — provenance follows the rename.
+
+        The metastore rewrites its table→table lineage records and
+        bumps plan versions on both names, so cached plans over the old
+        name invalidate instead of reading a ghost.
+        """
+        table = self.hms.rename_table(statement.name, statement.new_name,
+                                      self.database)
+        self._note_output(table.qualified_name)
+        return QueryResult(
+            operation="alter_table_rename",
+            message=f"renamed to {table.qualified_name}")
+
     # ------------------------------------------------------------------ #
     # materialized views
     def _create_materialized_view(
@@ -1017,6 +1148,7 @@ class Session:
             kind=TableKind.MATERIALIZED_VIEW,
             is_acid=False, storage_handler=handler_name,
             properties=properties, mv_info=info)
+        self._note_output(view.qualified_name)
         self._store_view_contents(view, select.rows)
         return QueryResult(operation="create_materialized_view",
                            rows_affected=len(select.rows),
@@ -1050,6 +1182,12 @@ class Session:
             raise CatalogError(f"{statement.name} is not a materialized "
                                "view")
         info = view.mv_info
+        self._note_output(view.qualified_name)
+        if self._hook_ctx is not None:
+            # the incremental path executes outside _compile_and_run,
+            # so resolve rebuild inputs from the view's source list
+            for source in info.source_tables:
+                self._hook_ctx.add_input(source)
         change = classify_changes(self.hms, info)
         if change is None:
             return QueryResult(operation="rebuild",
@@ -1153,6 +1291,7 @@ class Session:
     # DML
     def _insert(self, statement: ast.Insert) -> QueryResult:
         table = self.hms.get_table(statement.table, self.database)
+        self._note_output(table.qualified_name)
         partition_spec = dict(statement.partition_spec)
         if table.storage_handler is not None:
             if table.storage_handler == "sys":
@@ -1290,6 +1429,7 @@ class Session:
                     table, rows, dict(branch.partition_spec),
                     txn=txn, stats_sink=pending_stats)
                 total += result.rows_affected
+                self._note_output(table.qualified_name)
                 touched.append(table)
                 if not own_txn:
                     self._txn_tables.add(table.qualified_name)
@@ -1315,6 +1455,7 @@ class Session:
 
     def _update(self, statement: ast.Update) -> QueryResult:
         table = self.hms.get_table(statement.table, self.database)
+        self._note_output(table.qualified_name)
         analyzer = self._analyzer()
         schema = table.full_schema()
         predicate = (analyzer.convert_predicate(statement.where, schema)
@@ -1334,6 +1475,7 @@ class Session:
 
     def _delete(self, statement: ast.Delete) -> QueryResult:
         table = self.hms.get_table(statement.table, self.database)
+        self._note_output(table.qualified_name)
         analyzer = self._analyzer()
         predicate = (analyzer.convert_predicate(
             statement.where, table.full_schema())
@@ -1353,6 +1495,7 @@ class Session:
                 "MERGE is not supported inside a multi-statement "
                 "transaction yet")
         table = self.hms.get_table(statement.target, self.database)
+        self._note_output(table.qualified_name)
         analyzer = self._analyzer()
         # source rows
         if isinstance(statement.source, ast.NamedTable):
@@ -1523,6 +1666,16 @@ class Session:
         if attr.startswith("qstore_"):
             # the query store is server-wide, like the query log
             self.server.obs.query_store.apply_knob(attr, value)
+        # audit/lineage stores and the hook registry are server-wide,
+        # like the query log: SET takes effect for every session
+        if attr == "audit_capacity":
+            self.server.obs.audit_log.set_capacity(int(value))
+        elif attr == "lineage_capacity":
+            self.server.obs.lineage_graph.set_capacity(int(value))
+        elif attr == "lineage_enabled":
+            self.server.obs.lineage_graph.enabled = bool(value)
+        elif attr == "hook_timeout_s":
+            self.server.obs.hooks.set_timeout(float(value))
         # the fault registry is server-wide (the simulated fs is shared);
         # mirror the knobs its stateless decisions read
         faults = self.server.faults
@@ -1789,6 +1942,10 @@ _CONFIG_ALIASES = {
     "hive.query.store.regression.min.samples":
         "qstore_regression_min_samples",
     "hive.query.store.max.events": "qstore_max_events",
+    "hive.lineage.enabled": "lineage_enabled",
+    "hive.lineage.capacity": "lineage_capacity",
+    "hive.audit.capacity": "audit_capacity",
+    "hive.hook.timeout.s": "hook_timeout_s",
 }
 
 #: serving-layer knobs mirrored to the server conf by ``SET`` (the
@@ -1799,4 +1956,8 @@ _SERVER2_KNOBS = frozenset({
     "server2_session_ttl_s", "server2_max_sessions_per_tenant",
     "server2_queue_timeout_s", "server2_default_parallelism",
     "plan_cache_max_entries",
+    # audit/lineage/hook stores live on the server's Observability;
+    # mirroring keeps server.conf in step with the live objects
+    "audit_capacity", "lineage_capacity", "lineage_enabled",
+    "hook_timeout_s",
 })

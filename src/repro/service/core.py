@@ -118,6 +118,8 @@ class HiveService:
                 session.driver.now_s += wait_s
                 self.operations.transition(op, "running",
                                            admission_wait_s=wait_s)
+                # the audit hook attributes this wait to the statement
+                session.driver.pending_admission_wait_s = wait_s
                 result = session.driver.execute(sql=op.sql,
                                                 query_id=op.query_id)
                 self.sessions.touch(session, session.driver.now_s)
@@ -140,11 +142,15 @@ class HiveService:
                 # the driver never saw this statement: close out the
                 # live entry ourselves so the kill is audited
                 obs.live_queries.finish(op.query_id, status="killed")
+                self._audit_unadmitted(op, session, "killed", error)
             self._finish_count(op, "killed")
         except AdmissionTimeoutError as error:
             self.operations.transition(op, "error", error=str(error),
                                        error_code=error.code)
             obs.live_queries.finish(op.query_id, status="error")
+            # timed out in the queue: Session.execute never ran, so
+            # the audit hook could not see the denial
+            self._audit_unadmitted(op, session, "denied", error)
             self._finish_count(op, "timeout")
         except Exception as error:   # never strand an operation
             code = (getattr(error, "code", "") or "execution"
@@ -159,6 +165,24 @@ class HiveService:
     def _finish_count(self, op, status: str) -> None:
         self.server.obs.registry.counter(
             "service.statements.finished", status=status).inc()
+
+    def _audit_unadmitted(self, op, session, status: str,
+                          error: Exception) -> None:
+        """Audit a statement that died before reaching the driver.
+
+        Killed-while-queued and admission-timeout operations never
+        enter ``Session.execute``, so the post/failure hooks cannot
+        fire — this is the only other writer of the audit log, keeping
+        the one-row-per-statement invariant.
+        """
+        from ..obs.audit import AuditRecord
+        self.server.obs.audit_log.append(AuditRecord(
+            query_id=op.query_id, tenant=session.tenant,
+            session=session.session_id,
+            database=session.driver.database,
+            application=session.application, statement=op.sql,
+            operation="", status=status, error=str(error),
+            at_s=session.driver.now_s))
 
     # -- client helpers (in-process protocol) --------------------------- #
     def execute(self, session_id: str, sql: str,

@@ -80,21 +80,31 @@ class SessionManager:
              application: Optional[str] = None,
              database: str = "default") -> ServiceSession:
         conf = self.server.conf
-        with self._lock:
-            tenant = self._resolve_tenant(token)
-            open_count = sum(
-                1 for s in self._sessions.values()
-                if s.tenant == tenant and s.state == "open")
-            if open_count >= conf.server2_max_sessions_per_tenant:
-                self._count("service.sessions.rejected",
-                            reason="quota")
-                raise ServiceError(
-                    f"tenant {tenant} already holds {open_count} open "
-                    f"sessions (limit "
-                    f"{conf.server2_max_sessions_per_tenant})",
-                    code="quota")
-            session_id = f"s{next(self._ids):06x}"
+        try:
+            with self._lock:
+                tenant = self._resolve_tenant(token)
+                open_count = sum(
+                    1 for s in self._sessions.values()
+                    if s.tenant == tenant and s.state == "open")
+                if open_count >= conf.server2_max_sessions_per_tenant:
+                    self._count("service.sessions.rejected",
+                                reason="quota")
+                    raise ServiceError(
+                        f"tenant {tenant} already holds {open_count} "
+                        f"open sessions (limit "
+                        f"{conf.server2_max_sessions_per_tenant})",
+                        code="quota")
+                session_id = f"s{next(self._ids):06x}"
+        except ServiceError as error:
+            # rejected opens never reach Session.execute, so the audit
+            # hook cannot see them — record the denial here
+            self._audit_denied(token, application, database, error)
+            raise
         driver = self.server.connect(database, application)
+        # the audit/lineage hooks attribute statements to the tenant
+        # the serving layer authenticated, not a self-reported name
+        driver.tenant = tenant
+        driver.session_name = session_id
         # seed the session clock from the warehouse global clock so
         # sessions opened mid-run share the cluster timeline
         driver.now_s = self.server.hms.txn_manager.advance_clock(0.0)
@@ -103,6 +113,20 @@ class SessionManager:
             self._sessions[session_id] = session
         self._count("service.sessions.opened", tenant=tenant)
         return session
+
+    def _audit_denied(self, token: Optional[str],
+                      application: Optional[str], database: str,
+                      error: ServiceError) -> None:
+        from ..obs.audit import AuditRecord
+        with self._lock:
+            tenant = self._tenants.get(token or "",
+                                       token or "anonymous")
+        # the audit log takes its own lock
+        self.server.obs.audit_log.append(AuditRecord(  # reprolint: disable=RL001
+            query_id=0, tenant=tenant, database=database,
+            application=application, operation="open_session",
+            status="denied", error=str(error),
+            at_s=self.server.hms.txn_manager.advance_clock(0.0)))
 
     def get(self, session_id: str) -> ServiceSession:
         with self._lock:

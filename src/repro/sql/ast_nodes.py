@@ -456,6 +456,15 @@ class AlterMaterializedViewRebuild(Statement):
 
 
 @dataclass(frozen=True)
+class AlterTableRename(Statement):
+    name: str
+    new_name: str
+
+    def unparse(self) -> str:
+        return f"ALTER TABLE {self.name} RENAME TO {self.new_name}"
+
+
+@dataclass(frozen=True)
 class DropTable(Statement):
     name: str
     if_exists: bool = False
@@ -562,6 +571,9 @@ class Explain(Statement):
     #: EXPLAIN HISTORY: render the query store's per-plan-hash stats
     #: and last plan diff for the statement's fingerprint
     history: bool = False
+    #: EXPLAIN LINEAGE: compile (don't execute) and render the
+    #: column-level dependency edges of the optimized plan
+    lineage: bool = False
 
     def unparse(self) -> str:
         keyword = "EXPLAIN"
@@ -571,6 +583,8 @@ class Explain(Statement):
             keyword = "EXPLAIN VALIDATE"
         elif self.history:
             keyword = "EXPLAIN HISTORY"
+        elif self.lineage:
+            keyword = "EXPLAIN LINEAGE"
         return f"{keyword} {self.statement.unparse()}"
 
 

@@ -127,7 +127,7 @@ class Parser:
         token = self.peek()
         if token.is_keyword("EXPLAIN"):
             self.advance()
-            analyze = validate = history = False
+            analyze = validate = history = lineage = False
             # EXPLAIN ANALYZE <query> (but EXPLAIN ANALYZE TABLE ... is
             # an explain of the ANALYZE TABLE statement itself)
             if self.peek().is_keyword("ANALYZE") \
@@ -142,9 +142,14 @@ class Parser:
                 # HISTORY is deliberately not a reserved word
                 self.advance()
                 history = True
+            elif (self.peek().type is TokenType.IDENT
+                    and self.peek().value.lower() == "lineage"):
+                # LINEAGE is deliberately not a reserved word either
+                self.advance()
+                lineage = True
             inner = self.parse_statement()
             return ast.Explain(inner, analyze=analyze, validate=validate,
-                               history=history)
+                               history=history, lineage=lineage)
         if token.is_keyword("SELECT", "WITH"):
             query = self.parse_query()
             self.expect_end()
@@ -534,6 +539,17 @@ class Parser:
             pool = self.expect_ident()
             self.expect_end()
             return ast.AlterPlan(plan, default_pool=pool)
+        if self.accept_keyword("TABLE"):
+            name = self._parse_qualified_name()
+            # RENAME is deliberately not a reserved word
+            if not (self.peek().type is TokenType.IDENT
+                    and self.peek().value.lower() == "rename"):
+                raise self._error("expected RENAME TO")
+            self.advance()
+            self.expect_keyword("TO")
+            new_name = self.expect_ident()
+            self.expect_end()
+            return ast.AlterTableRename(name, new_name)
         raise self._error("unsupported ALTER statement")
 
     # -- DML --------------------------------------------------------------- #
